@@ -1,0 +1,387 @@
+package toss
+
+// This file holds one benchmark per table/figure of the paper's evaluation
+// (Figures 15(a–c) and 16(a–c)) plus the ablation benchmarks DESIGN.md
+// calls out. `go test -bench=. -benchmem` regenerates every series; the
+// cmd/experiments binary prints the same data as labelled tables.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/ontology"
+	"repro/internal/pattern"
+	"repro/internal/seo"
+	"repro/internal/similarity"
+	"repro/internal/tax"
+	"repro/internal/tree"
+	"repro/internal/xmldb"
+)
+
+// benchSystem builds a TOSS system over a synthetic DBLP corpus.
+func benchSystem(b *testing.B, papers int, eps float64, withSIGMOD bool) (*core.System, *datagen.Corpus) {
+	b.Helper()
+	gen := datagen.DefaultConfig(papers)
+	gen.Seed = 3
+	corpus := datagen.Generate(gen)
+	s := core.NewSystem()
+	dblp, err := s.AddInstance("dblp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dblp.Col.SetMaxBytes(0)
+	chunk := 50
+	for i := 0; i < len(corpus.Papers); i += chunk {
+		end := i + chunk
+		if end > len(corpus.Papers) {
+			end = len(corpus.Papers)
+		}
+		key := fmt.Sprintf("dblp-%04d", i/chunk)
+		if _, err := dblp.Col.PutXML(key, strings.NewReader(corpus.DBLPString(corpus.Papers[i:end]))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if withSIGMOD {
+		sig, err := s.AddInstance("sigmod")
+		if err != nil {
+			b.Fatal(err)
+		}
+		sig.Col.SetMaxBytes(0)
+		n := len(corpus.Papers) / 5
+		if n < 1 {
+			n = 1
+		}
+		if _, err := sig.Col.PutXML("sigmod-0", strings.NewReader(corpus.SIGMODString(corpus.Papers[:n]))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Build(experiments.DefaultMeasure(), eps); err != nil {
+		b.Fatal(err)
+	}
+	return s, corpus
+}
+
+// BenchmarkFig15Quality regenerates the Figure 15 quality experiment (one
+// dataset per iteration: 4 queries scored against ground truth for TAX,
+// TOSS(ε=2) and TOSS(ε=3)).
+func BenchmarkFig15Quality(b *testing.B) {
+	cfg := experiments.DefaultQualityConfig()
+	cfg.Datasets = 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunQuality(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Outcomes) == 0 {
+			b.Fatal("no outcomes")
+		}
+	}
+}
+
+// BenchmarkFig16aSelection measures the Figure 16(a) conjunctive selection
+// (2 isa + 4 tag conditions) per data size, TOSS vs the TAX baseline.
+func BenchmarkFig16aSelection(b *testing.B) {
+	pat := pattern.MustParse(
+		`#1 pc #2, #1 pc #3, #1 pc #4 :: ` +
+			`#1.tag = "inproceedings" & #2.tag = "title" & #3.tag = "booktitle" & #4.tag = "year" & ` +
+			`#2.content isa "operation" & #3.content isa "conference"`)
+	for _, papers := range []int{250, 1000} {
+		s, _ := benchSystem(b, papers, 3, false)
+		docs, err := s.Trees("dblp")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("TOSS/papers=%d", papers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Select("dblp", pat, []int{1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("TAX/papers=%d", papers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tax.Select(tree.NewCollection(), docs, pat, []int{1}, tax.Baseline{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig16bJoin measures the Figure 16(b) join (5 tag + 1 similarTo
+// conditions) of the DBLP and SIGMOD corpora, TOSS vs the TAX baseline.
+func BenchmarkFig16bJoin(b *testing.B) {
+	pat := pattern.MustParse(
+		`#1 pc #2, #1 pc #3, #2 ad #4, #3 ad #5 :: ` +
+			`#1.tag = "tax_prod_root" & #2.tag = "dblp" & #3.tag = "ProceedingsPage" & ` +
+			`#4.tag = "title" & #5.tag = "title" & #4.content ~ #5.content`)
+	for _, papers := range []int{100, 400} {
+		s, _ := benchSystem(b, papers, 3, true)
+		ldocs, _ := s.Trees("dblp")
+		rdocs, _ := s.Trees("sigmod")
+		b.Run(fmt.Sprintf("TOSS/papers=%d", papers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Join("dblp", "sigmod", pat, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("TAX/papers=%d", papers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dst := tree.NewCollection()
+				prod := tax.Product(dst, ldocs, rdocs)
+				if _, err := tax.Select(dst, prod, pat, nil, tax.Baseline{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig16cEpsilon measures TOSS selection time as ε grows (the
+// Figure 16(c) sweep): larger ε ⇒ larger SEO clusters ⇒ larger results.
+func BenchmarkFig16cEpsilon(b *testing.B) {
+	for _, eps := range []float64{0, 2, 4, 6} {
+		s, corpus := benchSystem(b, 400, eps, false)
+		author := corpus.Authors[0].Canonical()
+		pat := pattern.MustParse(fmt.Sprintf(
+			`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ %q`, author))
+		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Select("dblp", pat, []int{1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSEOPrecompute contrasts answering ~ conditions from the
+// precomputed SEO against computing pairwise similarity at query time (the
+// design argument behind Definition 8's condition (3)).
+func BenchmarkAblationSEOPrecompute(b *testing.B) {
+	gen := datagen.DefaultConfig(400)
+	gen.Seed = 3
+	corpus := datagen.Generate(gen)
+	author := corpus.Authors[0].Canonical()
+	pat := pattern.MustParse(fmt.Sprintf(
+		`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ %q`, author))
+
+	load := func(s *core.System) {
+		dblp, err := s.AddInstance("dblp")
+		if err != nil {
+			b.Fatal(err)
+		}
+		dblp.Col.SetMaxBytes(0)
+		if _, err := dblp.Col.PutXML("dblp-0", strings.NewReader(corpus.DBLPString(corpus.Papers))); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	withSEO := core.NewSystem()
+	load(withSEO)
+	if err := withSEO.Build(experiments.DefaultMeasure(), 3); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("precomputed-SEO", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := withSEO.Select("dblp", pat, []int{1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	dynamic := core.NewSystem()
+	dynamic.MakerConfig.ValueTags = nil // nothing ontologized: every ~ is a live distance computation
+	load(dynamic)
+	if err := dynamic.Build(experiments.DefaultMeasure(), 3); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("on-the-fly", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dynamic.Select("dblp", pat, []int{1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationIndex contrasts indexed bottom-up XPath evaluation with a
+// full document scan in the xmldb substrate.
+func BenchmarkAblationIndex(b *testing.B) {
+	gen := datagen.DefaultConfig(1000)
+	gen.Seed = 3
+	corpus := datagen.Generate(gen)
+	db := xmldb.New()
+	col := db.CreateCollection("dblp")
+	col.SetMaxBytes(0)
+	if _, err := col.PutXML("dblp-0", strings.NewReader(corpus.DBLPString(corpus.Papers))); err != nil {
+		b.Fatal(err)
+	}
+	col.BuildIndexes()
+	const expr = `//inproceedings/booktitle[.='VLDB']`
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := col.Query(expr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := col.QueryScan(expr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationLemma1 contrasts the Lemma 1 single-representative node
+// distance with the full min-over-pairs distance during SEA clustering with
+// a strong measure.
+func BenchmarkAblationLemma1(b *testing.B) {
+	h := ontology.NewHierarchy()
+	gen := datagen.DefaultConfig(400)
+	gen.Seed = 3
+	corpus := datagen.Generate(gen)
+	for _, p := range corpus.Papers {
+		for _, a := range p.DBLPAuthors {
+			h.AddNode(a)
+			h.MustAddEdge(a, "author")
+		}
+	}
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"lemma1", false}, {"full-pairs", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := seo.Enhance(h, similarity.Levenshtein{}, 2,
+					seo.Options{CompatibilityFilter: true, DisableLemma1: mode.disable}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationReachability contrasts the memoized reachability index
+// with per-query DFS for isa lookups over the fused hierarchy.
+func BenchmarkAblationReachability(b *testing.B) {
+	s, _ := benchSystem(b, 400, 3, false)
+	h := s.FusedIsa.Hierarchy
+	nodes := h.Nodes()
+	h.BuildReachability()
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < len(nodes); j += 7 {
+				h.Leq(nodes[j], "conference")
+			}
+		}
+	})
+	b.Run("dfs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < len(nodes); j += 7 {
+				h.LeqNoIndex(nodes[j], "conference")
+			}
+		}
+	})
+}
+
+// BenchmarkSEABuild measures the Similarity Enhancer itself (the
+// precomputation the Query Executor amortises), per ontology size.
+func BenchmarkSEABuild(b *testing.B) {
+	for _, papers := range []int{100, 400} {
+		gen := datagen.DefaultConfig(papers)
+		gen.Seed = 3
+		corpus := datagen.Generate(gen)
+		s := core.NewSystem()
+		dblp, err := s.AddInstance("dblp")
+		if err != nil {
+			b.Fatal(err)
+		}
+		dblp.Col.SetMaxBytes(0)
+		if _, err := dblp.Col.PutXML("d", strings.NewReader(corpus.DBLPString(corpus.Papers))); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.MakeOntologies(); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Fuse(); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("terms=%d", s.OntologyTermCount()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := s.Enhance(experiments.DefaultMeasure(), 3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimilarityMeasures measures the individual string measures on
+// representative author-name pairs.
+func BenchmarkSimilarityMeasures(b *testing.B) {
+	pairs := [][2]string{
+		{"Jeffrey D. Ullman", "J. D. Ullman"},
+		{"Gian Luigi Ferrari", "GianLuigi Ferrari"},
+		{"Materialized View and Index Selection Tool", "Materialized View and Index Selection Tool."},
+	}
+	for _, name := range similarity.Names() {
+		m := similarity.ByName(name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, p := range pairs {
+					m.Distance(p[0], p[1])
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEmbedding measures the raw TAX embedding search on one document.
+func BenchmarkEmbedding(b *testing.B) {
+	gen := datagen.DefaultConfig(200)
+	gen.Seed = 3
+	corpus := datagen.Generate(gen)
+	col := tree.NewCollection()
+	t, err := col.ParseXMLString(corpus.DBLPString(corpus.Papers))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pat := pattern.MustParse(
+		`#1 pc #2, #1 pc #3 :: #1.tag = "inproceedings" & #2.tag = "author" & #3.tag = "year" & #3.content = "1999"`)
+	c := tax.Compile(pat)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Embeddings(t, tax.Baseline{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelSelect contrasts sequential and fan-out candidate-document
+// evaluation for a selection over a chunked corpus.
+func BenchmarkParallelSelect(b *testing.B) {
+	s, corpus := benchSystem(b, 1000, 3, false)
+	author := corpus.Authors[0].Canonical()
+	pat := pattern.MustParse(fmt.Sprintf(
+		`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ %q`, author))
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s.Parallelism = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Select("dblp", pat, []int{1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	s.Parallelism = 1
+}

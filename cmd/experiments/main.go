@@ -1,0 +1,138 @@
+// Command experiments regenerates the paper's evaluation figures as text
+// tables: Figure 15(a–c) (answer quality of TOSS vs TAX) and Figure 16(a–c)
+// (selection/join scalability and the ε sweep).
+//
+// Usage:
+//
+//	experiments [-fig 15|15a|15b|15c|16a|16b|16c|all] [-quick]
+//
+// -quick shrinks the sweeps so everything finishes in well under a minute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	fig := flag.String("fig", "all", "which figure to regenerate: 15, 15a, 15b, 15c, 16a, 16b, 16c, ablations, all")
+	quick := flag.Bool("quick", false, "shrink the sweeps for a fast run")
+	csvDir := flag.String("csv", "", "also write each figure's data as CSV files into this directory")
+	flag.Parse()
+
+	writeCSV := func(name string, emit func(io.Writer) error) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatalf("creating %s: %v", *csvDir, err)
+		}
+		path := filepath.Join(*csvDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatalf("creating %s: %v", path, err)
+		}
+		defer f.Close()
+		if err := emit(f); err != nil {
+			log.Fatalf("writing %s: %v", path, err)
+		}
+		log.Printf("wrote %s", path)
+	}
+
+	want := func(name string) bool {
+		f := strings.ToLower(*fig)
+		return f == "all" || f == name || (len(f) == 2 && strings.HasPrefix(name, f))
+	}
+
+	ran := false
+	if want("15a") || want("15b") || want("15c") {
+		cfg := experiments.DefaultQualityConfig()
+		if *quick {
+			cfg.Datasets = 1
+		}
+		rep, err := experiments.RunQuality(cfg)
+		if err != nil {
+			log.Fatalf("quality experiment: %v", err)
+		}
+		if want("15a") {
+			fmt.Println(rep.Fig15a())
+		}
+		if want("15b") {
+			fmt.Println(rep.Fig15b())
+		}
+		if want("15c") {
+			fmt.Println(rep.Fig15c())
+		}
+		writeCSV("fig15.csv", rep.WriteCSV)
+		ran = true
+	}
+	if want("16a") {
+		cfg := experiments.DefaultSelectionScalabilityConfig()
+		if *quick {
+			cfg.PaperCounts = []int{100, 200, 400}
+			cfg.Repetitions = 1
+		}
+		rep, err := experiments.RunSelectionScalability(cfg)
+		if err != nil {
+			log.Fatalf("selection scalability: %v", err)
+		}
+		fmt.Println(rep.String())
+		writeCSV("fig16a.csv", rep.WriteCSV)
+		ran = true
+	}
+	if want("16b") {
+		cfg := experiments.DefaultJoinScalabilityConfig()
+		if *quick {
+			cfg.PaperCounts = []int{50, 100, 200}
+		}
+		rep, err := experiments.RunJoinScalability(cfg)
+		if err != nil {
+			log.Fatalf("join scalability: %v", err)
+		}
+		fmt.Println(rep.String())
+		writeCSV("fig16b.csv", rep.WriteCSV)
+		ran = true
+	}
+	if strings.ToLower(*fig) == "ablations" || strings.ToLower(*fig) == "all" {
+		cfg := experiments.DefaultAblationConfig()
+		if *quick {
+			cfg.Papers = 150
+			cfg.Repetitions = 2
+		}
+		rep, err := experiments.RunAblations(cfg)
+		if err != nil {
+			log.Fatalf("ablations: %v", err)
+		}
+		fmt.Println(rep.String())
+		ran = true
+	}
+	if want("16c") {
+		cfg := experiments.DefaultEpsilonConfig()
+		if *quick {
+			cfg.Epsilons = []float64{0, 2, 4, 6}
+			cfg.SelectPapers = 300
+			cfg.JoinPapers = 150
+			cfg.Repetitions = 1
+		}
+		rep, err := experiments.RunEpsilon(cfg)
+		if err != nil {
+			log.Fatalf("epsilon sweep: %v", err)
+		}
+		fmt.Println(rep.String())
+		writeCSV("fig16c.csv", rep.WriteCSV)
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 15, 15a, 15b, 15c, 16a, 16b, 16c or all)\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildExperiments(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "experiments")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building experiments: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildExperiments(t)
+	out, err := exec.Command(bin, "-quick", "-fig", "15a").CombinedOutput()
+	if err != nil {
+		t.Fatalf("experiments -fig 15a: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Figure 15(a)") {
+		t.Errorf("missing table header:\n%s", out)
+	}
+	out, err = exec.Command(bin, "-quick", "-fig", "16c").CombinedOutput()
+	if err != nil {
+		t.Fatalf("experiments -fig 16c: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Figure 16(c)") {
+		t.Errorf("missing table header:\n%s", out)
+	}
+}
+
+func TestExperimentsUnknownFigure(t *testing.T) {
+	bin := buildExperiments(t)
+	if out, err := exec.Command(bin, "-fig", "99z").CombinedOutput(); err == nil {
+		t.Errorf("unknown figure should fail:\n%s", out)
+	}
+}

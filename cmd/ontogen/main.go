@@ -1,0 +1,92 @@
+// Command ontogen runs the TOSS Ontology Maker and Similarity Enhancer over
+// one or more XML files and prints the per-instance ontologies, the derived
+// interoperation constraints' fusion, and the similarity enhanced ontology.
+//
+// Usage:
+//
+//	ontogen [-measure name-rule] [-eps 3] [-show isa|part-of|seo|all] file1.xml [file2.xml ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/similarity"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ontogen: ")
+	measureName := flag.String("measure", "name-rule", "similarity measure: "+strings.Join(similarity.Names(), ", "))
+	eps := flag.Float64("eps", 3, "similarity threshold epsilon")
+	show := flag.String("show", "all", "what to print: isa, part-of, seo, all")
+	rules := flag.String("rules", "", "DBA rule file to merge into the lexicon (isa:/part:/syn: lines)")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT for the fused hierarchies instead of text")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ontogen [flags] file1.xml [file2.xml ...]")
+		os.Exit(2)
+	}
+	measure := similarity.ByName(*measureName)
+	if measure == nil {
+		log.Fatalf("unknown measure %q", *measureName)
+	}
+
+	sys := core.NewSystem()
+	if *rules != "" {
+		if err := sys.Lexicon.LoadRulesFile(*rules); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i, file := range flag.Args() {
+		in, err := sys.AddInstance(fmt.Sprintf("src%d", i+1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Open(file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, err = in.Col.PutXML(file, f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("loading %s: %v", file, err)
+		}
+	}
+	if err := sys.Build(measure, *eps); err != nil {
+		log.Fatalf("building: %v", err)
+	}
+
+	if *dot {
+		if *show == "isa" || *show == "all" {
+			if err := sys.FusedIsa.WriteDOT(os.Stdout, "isa"); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *show == "part-of" || *show == "all" {
+			if err := sys.FusedPart.WriteDOT(os.Stdout, "partof"); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+	if *show == "isa" || *show == "all" {
+		fmt.Println("=== fused isa hierarchy ===")
+		fmt.Print(sys.FusedIsa.String())
+	}
+	if *show == "part-of" || *show == "all" {
+		fmt.Println("=== fused part-of hierarchy ===")
+		fmt.Print(sys.FusedPart.String())
+	}
+	if *show == "seo" || *show == "all" {
+		fmt.Printf("=== similarity enhanced ontology (measure=%s eps=%g) ===\n", *measureName, *eps)
+		fmt.Print(sys.SEO.String())
+	}
+	log.Printf("instances=%d fused-terms=%d seo-nodes=%d",
+		len(sys.Instances), sys.OntologyTermCount(), sys.SEO.NodeCount())
+}

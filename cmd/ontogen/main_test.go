@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixtureA = `<dblp>
+  <inproceedings key="d1">
+    <author>Elisa Bertino</author>
+    <title>Securing XML Documents</title>
+    <booktitle>SIGMOD Conference</booktitle>
+    <year>2000</year>
+  </inproceedings>
+</dblp>`
+
+const fixtureB = `<ProceedingsPage>
+  <articles>
+    <article key="s1">
+      <title>Securing XML Documents.</title>
+      <author>E. Bertino</author>
+      <conference>International Conference on Management of Data</conference>
+      <confYear>2000</confYear>
+    </article>
+  </articles>
+</ProceedingsPage>`
+
+func buildOntogen(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ontogen")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building ontogen: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestOntogenTwoSources(t *testing.T) {
+	bin := buildOntogen(t)
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.xml")
+	b := filepath.Join(dir, "b.xml")
+	if err := os.WriteFile(a, []byte(fixtureA), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte(fixtureB), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-eps", "3", a, b).CombinedOutput()
+	if err != nil {
+		t.Fatalf("ontogen failed: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"fused isa hierarchy",
+		"fused part-of hierarchy",
+		"similarity enhanced ontology",
+		"booktitle", // fused schema node
+		"seo-nodes",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	// The schema merge (booktitle = conference) shows up as one node whose
+	// member list spans both sources.
+	if !strings.Contains(s, "booktitle:1") || !strings.Contains(s, "conference:2") {
+		t.Errorf("fusion member listing missing source-qualified terms:\n%s", s)
+	}
+}
+
+func TestOntogenErrors(t *testing.T) {
+	bin := buildOntogen(t)
+	if out, err := exec.Command(bin).CombinedOutput(); err == nil {
+		t.Errorf("no args should fail:\n%s", out)
+	}
+	if out, err := exec.Command(bin, "-measure", "nope", "x.xml").CombinedOutput(); err == nil {
+		t.Errorf("unknown measure should fail:\n%s", out)
+	}
+	if out, err := exec.Command(bin, "/missing-file.xml").CombinedOutput(); err == nil {
+		t.Errorf("missing file should fail:\n%s", out)
+	}
+}

@@ -1,0 +1,201 @@
+// Command tossql loads XML instances, builds the similarity enhanced
+// ontology, and evaluates a TOSS query against them, printing the answer
+// trees as XML.
+//
+// Usage:
+//
+//	tossql -instance dblp=file1.xml[,file2.xml] [-instance sigmod=...] \
+//	       [-measure name-rule] [-eps 3] [-sl 1] \
+//	       [-tax] [-explain] 'pattern'
+//
+// Example pattern:
+//
+//	#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ "J. Ullman"
+//
+// Selection runs against the first -instance; supply -join to run a
+// condition join between the first two instances instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/similarity"
+	"repro/internal/tax"
+	"repro/internal/tree"
+)
+
+type instanceFlag struct {
+	specs []string
+}
+
+func (f *instanceFlag) String() string { return strings.Join(f.specs, " ") }
+func (f *instanceFlag) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want name=file1.xml[,file2.xml], got %q", v)
+	}
+	f.specs = append(f.specs, v)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tossql: ")
+	var instances instanceFlag
+	flag.Var(&instances, "instance", "instance spec name=file1.xml[,file2.xml] (repeatable)")
+	measureName := flag.String("measure", "name-rule", "similarity measure: "+strings.Join(similarity.Names(), ", "))
+	eps := flag.Float64("eps", 3, "similarity threshold epsilon")
+	slFlag := flag.String("sl", "", "comma-separated pattern labels whose subtrees are kept (selection SL)")
+	taxMode := flag.Bool("tax", false, "evaluate with plain TAX semantics (exact/contains) instead of TOSS")
+	join := flag.Bool("join", false, "join the first two instances instead of selecting from the first")
+	algebra := flag.Bool("algebra", false, "treat the argument as a full algebra expression, e.g. select[...; 1](dblp) or union(e1, e2)")
+	explain := flag.Bool("explain", false, "print the rewritten XPath queries before executing")
+	rules := flag.String("rules", "", "DBA rule file to merge into the lexicon (isa:/part:/syn: lines)")
+	ranked := flag.Bool("ranked", false, "order selection answers by similarity score (sum of ~ distances, best first)")
+	stats := flag.Bool("stats", false, "print system statistics after building")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tossql [flags] 'pattern'")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(instances.specs) == 0 {
+		log.Fatal("at least one -instance is required")
+	}
+	var pat *pattern.Tree
+	var expr core.Expr
+	var err error
+	if *algebra {
+		expr, err = core.ParseExpr(flag.Arg(0))
+		if err != nil {
+			log.Fatalf("parsing algebra expression: %v", err)
+		}
+	} else {
+		pat, err = pattern.Parse(flag.Arg(0))
+		if err != nil {
+			log.Fatalf("parsing pattern: %v", err)
+		}
+	}
+	measure := similarity.ByName(*measureName)
+	if measure == nil {
+		log.Fatalf("unknown measure %q (want one of %s)", *measureName, strings.Join(similarity.Names(), ", "))
+	}
+	var sl []int
+	if *slFlag != "" {
+		for _, part := range strings.Split(*slFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				log.Fatalf("bad -sl entry %q: %v", part, err)
+			}
+			sl = append(sl, n)
+		}
+	}
+
+	sys := core.NewSystem()
+	if *rules != "" {
+		if err := sys.Lexicon.LoadRulesFile(*rules); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var names []string
+	for _, spec := range instances.specs {
+		name, files, _ := strings.Cut(spec, "=")
+		in, err := sys.AddInstance(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		names = append(names, name)
+		for _, file := range strings.Split(files, ",") {
+			f, err := os.Open(file)
+			if err != nil {
+				log.Fatal(err)
+			}
+			_, err = in.Col.PutXML(file, f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("loading %s: %v", file, err)
+			}
+		}
+	}
+	if err := sys.Build(measure, *eps); err != nil {
+		log.Fatalf("building SEO: %v", err)
+	}
+	log.Printf("fused ontology: %d terms; SEO: %d nodes (measure=%s eps=%g)",
+		sys.OntologyTermCount(), sys.SEO.NodeCount(), *measureName, *eps)
+	if *stats {
+		for _, line := range strings.Split(strings.TrimRight(sys.Stats().String(), "\n"), "\n") {
+			log.Printf("stats: %s", line)
+		}
+	}
+
+	if *explain && pat != nil && !*join {
+		plan, perr := sys.Explain(names[0], pat)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		for _, line := range strings.Split(strings.TrimRight(plan.String(), "\n"), "\n") {
+			log.Printf("plan: %s", line)
+		}
+	}
+
+	if *ranked {
+		if pat == nil || *join {
+			log.Fatal("-ranked applies to plain selections only")
+		}
+		rankedAnswers, rerr := sys.SelectRanked(names[0], pat, sl)
+		if rerr != nil {
+			log.Fatalf("executing query: %v", rerr)
+		}
+		log.Printf("%d answer tree(s), best first", len(rankedAnswers))
+		for _, ra := range rankedAnswers {
+			log.Printf("score %.2f", ra.Score)
+			if err := ra.Tree.WriteXML(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+
+	var answers []*tree.Tree
+	switch {
+	case expr != nil:
+		answers, err = expr.Eval(sys)
+	case *join:
+		if len(names) < 2 {
+			log.Fatal("-join needs two -instance specs")
+		}
+		if *taxMode {
+			ldocs, _ := sys.Trees(names[0])
+			rdocs, _ := sys.Trees(names[1])
+			dst := tree.NewCollection()
+			answers, err = tax.Select(dst, tax.Product(dst, ldocs, rdocs), pat, sl, tax.Baseline{})
+		} else {
+			answers, err = sys.Join(names[0], names[1], pat, sl)
+		}
+	case *taxMode:
+		docs, terr := sys.Trees(names[0])
+		if terr != nil {
+			log.Fatal(terr)
+		}
+		answers, err = tax.Select(tree.NewCollection(), docs, pat, sl, tax.Baseline{})
+	default:
+		answers, err = sys.Select(names[0], pat, sl)
+	}
+	if err != nil {
+		log.Fatalf("executing query: %v", err)
+	}
+
+	log.Printf("%d answer tree(s)", len(answers))
+	for _, t := range answers {
+		if err := t.WriteXML(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

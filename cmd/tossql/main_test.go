@@ -1,0 +1,185 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixtureDBLP = `<dblp>
+  <inproceedings key="u1">
+    <author>Jeffrey D. Ullman</author>
+    <title>Principles of Database Systems</title>
+    <booktitle>PODS</booktitle>
+    <year>1997</year>
+  </inproceedings>
+  <inproceedings key="u2">
+    <author>J. Ullman</author>
+    <title>Database Systems Implementation</title>
+    <booktitle>SIGMOD Conference</booktitle>
+    <year>1999</year>
+  </inproceedings>
+</dblp>`
+
+const fixtureSIGMOD = `<ProceedingsPage>
+  <articles>
+    <article key="s1">
+      <title>Database Systems Implementation.</title>
+      <author>J. D. Ullman</author>
+      <conference>International Conference on Management of Data</conference>
+      <confYear>1999</confYear>
+    </article>
+  </articles>
+</ProceedingsPage>`
+
+// buildCLI compiles this command into a temp dir once per test run.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "tossql")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building tossql: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func writeFixture(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCLISimilaritySelect(t *testing.T) {
+	bin := buildCLI(t)
+	dblp := writeFixture(t, "dblp.xml", fixtureDBLP)
+	cmd := exec.Command(bin,
+		"-instance", "dblp="+dblp,
+		"-eps", "3",
+		"-explain",
+		`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ "Jeffrey D. Ullman"`)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("tossql failed: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "2 answer tree(s)") {
+		t.Errorf("expected 2 answers:\n%s", s)
+	}
+	if !strings.Contains(s, "plan:") || !strings.Contains(s, "candidate documents") {
+		t.Errorf("-explain should print the execution plan:\n%s", s)
+	}
+	if !strings.Contains(s, "J. Ullman") {
+		t.Errorf("answers missing variant paper:\n%s", s)
+	}
+}
+
+func TestCLITAXMode(t *testing.T) {
+	bin := buildCLI(t)
+	dblp := writeFixture(t, "dblp.xml", fixtureDBLP)
+	cmd := exec.Command(bin,
+		"-instance", "dblp="+dblp,
+		"-tax",
+		`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ "Jeffrey D. Ullman"`)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("tossql -tax failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "1 answer tree(s)") {
+		t.Errorf("TAX exact match should find exactly 1:\n%s", out)
+	}
+}
+
+func TestCLIJoin(t *testing.T) {
+	bin := buildCLI(t)
+	dblp := writeFixture(t, "dblp.xml", fixtureDBLP)
+	sigmod := writeFixture(t, "sigmod.xml", fixtureSIGMOD)
+	cmd := exec.Command(bin,
+		"-instance", "dblp="+dblp,
+		"-instance", "sigmod="+sigmod,
+		"-join",
+		`#1 pc #2, #1 pc #3, #2 ad #4, #3 ad #5 :: #1.tag = "tax_prod_root" & #2.tag = "dblp" & #3.tag = "ProceedingsPage" & #4.tag = "title" & #5.tag = "title" & #4.content ~ #5.content`)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("tossql -join failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "1 answer tree(s)") {
+		t.Errorf("join should find the shared paper:\n%s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	bin := buildCLI(t)
+	dblp := writeFixture(t, "dblp.xml", fixtureDBLP)
+	cases := [][]string{
+		{},                         // no pattern
+		{`#1 ::`},                  // bad pattern, no instance
+		{"-instance", "bad", `#1`}, // malformed instance spec
+		{"-instance", "dblp=" + dblp, "-measure", "nope", `#1`}, // unknown measure
+		{"-instance", "dblp=" + dblp, "-sl", "x", `#1`},         // bad sl
+		{"-instance", "dblp=/missing.xml", `#1`},                // missing file
+		{"-instance", "dblp=" + dblp, "-join", `#1`},            // join needs two instances
+	}
+	for _, args := range cases {
+		cmd := exec.Command(bin, args...)
+		if out, err := cmd.CombinedOutput(); err == nil {
+			t.Errorf("tossql %v should fail:\n%s", args, out)
+		}
+	}
+}
+
+func TestCLIAlgebraExpression(t *testing.T) {
+	bin := buildCLI(t)
+	dblp := writeFixture(t, "dblp.xml", fixtureDBLP)
+	sigmod := writeFixture(t, "sigmod.xml", fixtureSIGMOD)
+	cmd := exec.Command(bin,
+		"-instance", "dblp="+dblp,
+		"-instance", "sigmod="+sigmod,
+		"-algebra",
+		`join[#1 pc #2, #1 pc #3, #2 ad #4, #3 ad #5 :: #1.tag = "tax_prod_root" & #2.tag = "dblp" & #3.tag = "ProceedingsPage" & #4.tag = "title" & #5.tag = "title" & #4.content ~ #5.content](dblp, sigmod)`)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("tossql -algebra failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "1 answer tree(s)") {
+		t.Errorf("algebra join should find the shared paper:\n%s", out)
+	}
+	// Bad expression fails cleanly.
+	bad := exec.Command(bin, "-instance", "dblp="+dblp, "-algebra", `union(dblp)`)
+	if out, err := bad.CombinedOutput(); err == nil {
+		t.Errorf("bad algebra expression should fail:\n%s", out)
+	}
+}
+
+func TestCLIRanked(t *testing.T) {
+	bin := buildCLI(t)
+	dblp := writeFixture(t, "dblp.xml", fixtureDBLP)
+	cmd := exec.Command(bin,
+		"-instance", "dblp="+dblp,
+		"-ranked",
+		`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ "Jeffrey D. Ullman"`)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("tossql -ranked failed: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "best first") || !strings.Contains(s, "score 0.00") {
+		t.Errorf("ranked output malformed:\n%s", s)
+	}
+	// The exact match (score 0) must print before the variant.
+	exact := strings.Index(s, "Jeffrey D. Ullman")
+	variant := strings.Index(s, "J. Ullman")
+	if exact < 0 || variant < 0 || exact > variant {
+		t.Errorf("ranking order wrong (exact at %d, variant at %d):\n%s", exact, variant, s)
+	}
+	// -ranked with -join is rejected.
+	bad := exec.Command(bin, "-instance", "dblp="+dblp, "-ranked", "-join", `#1`)
+	if out, err := bad.CombinedOutput(); err == nil {
+		t.Errorf("-ranked -join should fail:\n%s", out)
+	}
+}

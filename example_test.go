@@ -1,0 +1,74 @@
+package toss_test
+
+import (
+	"fmt"
+	"strings"
+
+	toss "repro"
+)
+
+// The package-level workflow: load, build, query. The similarity condition
+// reaches all three spellings of the author even though only one matches
+// exactly.
+func Example() {
+	const xml = `<dblp>
+	  <inproceedings key="u1"><author>Jeffrey D. Ullman</author><year>1997</year></inproceedings>
+	  <inproceedings key="u2"><author>J. Ullman</author><year>1999</year></inproceedings>
+	  <inproceedings key="u3"><author>Jeff Ullman</author><year>2001</year></inproceedings>
+	  <inproceedings key="x1"><author>Paolo Ciancarini</author><year>1999</year></inproceedings>
+	</dblp>`
+
+	sys := toss.New()
+	inst, err := sys.AddInstance("dblp")
+	if err != nil {
+		panic(err)
+	}
+	if _, err := inst.Col.PutXML("dblp.xml", strings.NewReader(xml)); err != nil {
+		panic(err)
+	}
+	if err := sys.Build(toss.MeasureByName("name-rule"), 3); err != nil {
+		panic(err)
+	}
+
+	p := toss.MustParsePattern(`#1 pc #2 :: #1.tag = "inproceedings" & ` +
+		`#2.tag = "author" & #2.content ~ "Jeffrey D. Ullman"`)
+	answers, err := sys.Select("dblp", p, []int{1})
+	if err != nil {
+		panic(err)
+	}
+	for _, t := range answers {
+		fmt.Println(t.Root.ChildContent("author"))
+	}
+	// Output:
+	// Jeffrey D. Ullman
+	// J. Ullman
+	// Jeff Ullman
+}
+
+// Ranked selection grades the same answers by similarity distance.
+func ExampleSystem_ranked() {
+	const xml = `<dblp>
+	  <inproceedings key="u1"><author>Jeffrey D. Ullman</author></inproceedings>
+	  <inproceedings key="u2"><author>J. Ullman</author></inproceedings>
+	</dblp>`
+	sys := toss.New()
+	inst, _ := sys.AddInstance("dblp")
+	if _, err := inst.Col.PutXML("d", strings.NewReader(xml)); err != nil {
+		panic(err)
+	}
+	if err := sys.Build(toss.MeasureByName("name-rule"), 3); err != nil {
+		panic(err)
+	}
+	p := toss.MustParsePattern(`#1 pc #2 :: #1.tag = "inproceedings" & ` +
+		`#2.tag = "author" & #2.content ~ "Jeffrey D. Ullman"`)
+	ranked, err := sys.SelectRanked("dblp", p, []int{1})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range ranked {
+		fmt.Printf("%.0f %s\n", r.Score, r.Tree.Root.ChildContent("author"))
+	}
+	// Output:
+	// 0 Jeffrey D. Ullman
+	// 2 J. Ullman
+}

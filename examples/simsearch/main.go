@@ -1,0 +1,101 @@
+// simsearch demonstrates how the similarity threshold ε controls the
+// precision/recall trade-off of similarity search over a synthetic
+// bibliography: the same author-name query returns more (and eventually
+// wrong) answers as ε grows, and the SEO cluster of the queried name
+// grows accordingly.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	toss "repro"
+
+	"repro/internal/datagen"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	gen := datagen.DefaultConfig(150)
+	gen.Seed = 42
+	gen.AuthorPool = 20
+	gen.SurnamePool = 6
+	gen.VariantRate = 0.85
+	gen.TypoRate = 0.2
+	gen.MangleRate = 0.25
+	corpus := datagen.Generate(gen)
+
+	// Query the most-published author.
+	best, bestCount := 0, 0
+	for _, a := range corpus.Authors {
+		if n := len(corpus.PapersByAuthor(a.ID)); n > bestCount {
+			best, bestCount = a.ID, n
+		}
+	}
+	author := corpus.Authors[best]
+	truth := corpus.PapersByAuthor(best)
+	fmt.Printf("query author: %s (%d papers, mentions: %s)\n\n",
+		author.Canonical(), bestCount, strings.Join(corpus.MentionsOf(best), " | "))
+
+	query := toss.MustParsePattern(fmt.Sprintf(
+		`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ %q`,
+		author.Canonical()))
+
+	fmt.Printf("%5s %9s %9s %9s %9s  %s\n", "eps", "returned", "correct", "precision", "recall", "SEO cluster of the name")
+	for _, eps := range []float64{0, 1, 2, 3, 4} {
+		sys := toss.New()
+		inst, err := sys.AddInstance("dblp")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := inst.Col.PutXML("dblp.xml",
+			strings.NewReader(corpus.DBLPString(corpus.Papers))); err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Build(toss.MeasureByName("name-rule"), eps); err != nil {
+			log.Fatal(err)
+		}
+		answers, err := sys.Select("dblp", query, []int{1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids := paperIDs(answers)
+		correct := 0
+		for _, id := range ids {
+			if truth[id] {
+				correct++
+			}
+		}
+		precision, recall := 1.0, 0.0
+		if len(ids) > 0 {
+			precision = float64(correct) / float64(len(ids))
+		}
+		if len(truth) > 0 {
+			recall = float64(correct) / float64(len(truth))
+		}
+		cluster := sys.SimilarStrings(author.Canonical())
+		sort.Strings(cluster)
+		if len(cluster) > 6 {
+			cluster = append(cluster[:6], "...")
+		}
+		fmt.Printf("%5.1f %9d %9d %9.3f %9.3f  %s\n",
+			eps, len(ids), correct, precision, recall, strings.Join(cluster, " | "))
+	}
+}
+
+func paperIDs(trees []*toss.Tree) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, t := range trees {
+		for _, n := range t.FindTag("@key") {
+			if !seen[n.Content] {
+				seen[n.Content] = true
+				out = append(out, n.Content)
+			}
+		}
+	}
+	return out
+}

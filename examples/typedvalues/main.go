@@ -1,0 +1,98 @@
+// typedvalues demonstrates the typed-value machinery of the paper's Section
+// 5: types with domains, conversion functions with closure under identity
+// and composition, and well-typed comparisons through least common
+// supertypes. A catalogue lists part dimensions in millimetres in one source
+// and centimetres in another; TOSS compares them as the same quantity, the
+// way the paper's Euro/USD discussion prescribes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	toss "repro"
+
+	"repro/internal/pattern"
+	"repro/internal/types"
+)
+
+const metricXML = `<catalog>
+  <part key="m1">
+    <name>spacer</name>
+    <width>25</width>
+  </part>
+  <part key="m2">
+    <name>bracket</name>
+    <width>40</width>
+  </part>
+</catalog>`
+
+func main() {
+	log.SetFlags(0)
+	sys := toss.New()
+
+	// Register a unit type: 1 cm = 10 mm. MustDeclareUnit installs both
+	// conversion directions and the subtype edge cm ≤ mm.
+	sys.Types.MustDeclareUnit("cm", "mm", 10)
+
+	inst, err := sys.AddInstance("catalog")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := inst.Col.PutXML("catalog.xml", strings.NewReader(metricXML)); err != nil {
+		log.Fatal(err)
+	}
+	// Tag the width contents as millimetres so comparisons are unit-aware.
+	docs, err := sys.Trees("catalog")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range docs {
+		for _, n := range d.FindTag("width") {
+			n.ContentType = "mm"
+		}
+	}
+	if err := sys.Build(toss.MeasureByName("levenshtein"), 1); err != nil {
+		log.Fatal(err)
+	}
+
+	// "width = 2.5 cm" matches the 25 mm part: both sides convert to the
+	// least common supertype (mm) before comparing.
+	q := `#1 pc #2 :: #1.tag = "part" & #2.tag = "width" & #2.content = "2.5":cm`
+	p := toss.MustParsePattern(q)
+	if errs := sys.CheckWellTyped(p); len(errs) != 0 {
+		log.Fatalf("query is ill-typed: %v", errs)
+	}
+	res, err := sys.Select("catalog", p, []int{1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("width = 2.5cm matches %d part(s):\n", len(res))
+	for _, t := range res {
+		fmt.Printf("  %s (%s mm)\n", t.Root.ChildContent("name"), t.Root.ChildContent("width"))
+	}
+
+	// Range queries convert too: parts wider than 3 cm.
+	q2 := `#1 pc #2 :: #1.tag = "part" & #2.tag = "width" & #2.content > "3":cm`
+	res2, err := sys.Select("catalog", toss.MustParsePattern(q2), []int{1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("width > 3cm matches %d part(s)\n", len(res2))
+
+	// instance_of consults the type domain.
+	q3 := `#1 pc #2 :: #1.tag = "part" & #2.tag = "width" & #2.content instance_of mm`
+	res3, err := sys.Select("catalog", toss.MustParsePattern(q3), []int{1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("width instance_of mm matches %d part(s)\n", len(res3))
+
+	// The static type checker rejects comparisons with no common supertype.
+	sys.Types.MustRegister(&types.Type{Name: "colour"})
+	bad := pattern.MustParse(`#1 :: "red":colour = "3":cm`)
+	if errs := sys.CheckWellTyped(bad); len(errs) > 0 {
+		fmt.Printf("ill-typed query rejected: %s\n", errs[0].Reason)
+	}
+}

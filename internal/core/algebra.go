@@ -1,0 +1,403 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pattern"
+	"repro/internal/tax"
+	"repro/internal/tree"
+)
+
+// Expr is a TOSS algebra expression (the inductive [Exp]_F of Section
+// 5.1.2): an instance reference, a selection, a projection, a cross product,
+// a condition join, or a set operation over sub-expressions. Expressions are
+// evaluated against a built System with Eval.
+type Expr interface {
+	// Eval produces the expression's tree collection.
+	Eval(s *System) ([]*tree.Tree, error)
+	// String renders the expression in the syntax accepted by ParseExpr.
+	String() string
+}
+
+// InstanceExpr references a registered instance by name; it evaluates to the
+// instance's documents (lifted into the SEO context, per the base case of
+// the inductive definition).
+type InstanceExpr struct {
+	Name string
+}
+
+// Eval implements Expr.
+func (e *InstanceExpr) Eval(s *System) ([]*tree.Tree, error) {
+	return s.Trees(e.Name)
+}
+
+func (e *InstanceExpr) String() string { return e.Name }
+
+// SelectExpr is σ_{P,SL}(Sub).
+type SelectExpr struct {
+	Pattern *pattern.Tree
+	SL      []int
+	Sub     Expr
+}
+
+// Eval implements Expr. When the sub-expression is a plain instance
+// reference, the XPath candidate pre-filter applies; otherwise the selection
+// runs over the materialised sub-result.
+func (e *SelectExpr) Eval(s *System) ([]*tree.Tree, error) {
+	if in, ok := e.Sub.(*InstanceExpr); ok {
+		return s.Select(in.Name, e.Pattern, e.SL)
+	}
+	sub, err := e.Sub.Eval(s)
+	if err != nil {
+		return nil, err
+	}
+	return s.SelectTrees(sub, e.Pattern, e.SL)
+}
+
+func (e *SelectExpr) String() string {
+	return fmt.Sprintf("select[%s; %s](%s)", e.Pattern, intsString(e.SL), e.Sub)
+}
+
+// ProjectExpr is π_{P,PL}(Sub).
+type ProjectExpr struct {
+	Pattern *pattern.Tree
+	PL      []int
+	Sub     Expr
+}
+
+// Eval implements Expr.
+func (e *ProjectExpr) Eval(s *System) ([]*tree.Tree, error) {
+	if in, ok := e.Sub.(*InstanceExpr); ok {
+		return s.Project(in.Name, e.Pattern, e.PL)
+	}
+	sub, err := e.Sub.Eval(s)
+	if err != nil {
+		return nil, err
+	}
+	return s.ProjectTrees(sub, e.Pattern, e.PL)
+}
+
+func (e *ProjectExpr) String() string {
+	return fmt.Sprintf("project[%s; %s](%s)", e.Pattern, intsString(e.PL), e.Sub)
+}
+
+// ProductExpr is Left × Right.
+type ProductExpr struct {
+	Left, Right Expr
+}
+
+// Eval implements Expr.
+func (e *ProductExpr) Eval(s *System) ([]*tree.Tree, error) {
+	l, err := e.Left.Eval(s)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.Right.Eval(s)
+	if err != nil {
+		return nil, err
+	}
+	return s.Product(l, r), nil
+}
+
+func (e *ProductExpr) String() string {
+	return fmt.Sprintf("product(%s, %s)", e.Left, e.Right)
+}
+
+// JoinExpr is the condition join σ_{P,SL}(Left × Right), executed with the
+// similarity hash-join optimisation when applicable.
+type JoinExpr struct {
+	Pattern     *pattern.Tree
+	SL          []int
+	Left, Right Expr
+}
+
+// Eval implements Expr.
+func (e *JoinExpr) Eval(s *System) ([]*tree.Tree, error) {
+	l, err := e.Left.Eval(s)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.Right.Eval(s)
+	if err != nil {
+		return nil, err
+	}
+	return s.JoinTrees(l, r, e.Pattern, e.SL)
+}
+
+func (e *JoinExpr) String() string {
+	return fmt.Sprintf("join[%s; %s](%s, %s)", e.Pattern, intsString(e.SL), e.Left, e.Right)
+}
+
+// SetExpr is Left op Right for op ∈ {union, intersect, difference}.
+type SetExpr struct {
+	Op          string // "union", "intersect", "difference"
+	Left, Right Expr
+}
+
+// Eval implements Expr.
+func (e *SetExpr) Eval(s *System) ([]*tree.Tree, error) {
+	l, err := e.Left.Eval(s)
+	if err != nil {
+		return nil, err
+	}
+	r, err := e.Right.Eval(s)
+	if err != nil {
+		return nil, err
+	}
+	switch e.Op {
+	case "union":
+		return s.Union(l, r), nil
+	case "intersect":
+		return s.Intersect(l, r), nil
+	case "difference":
+		return s.Difference(l, r), nil
+	default:
+		return nil, fmt.Errorf("core: unknown set operator %q", e.Op)
+	}
+}
+
+func (e *SetExpr) String() string {
+	return fmt.Sprintf("%s(%s, %s)", e.Op, e.Left, e.Right)
+}
+
+func intsString(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprint(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ProjectTrees runs TOSS projection over an explicit tree set.
+func (s *System) ProjectTrees(db []*tree.Tree, p *pattern.Tree, pl []int) ([]*tree.Tree, error) {
+	dst := tree.NewCollection()
+	return tax.Project(dst, db, p, pl, s.Evaluator())
+}
+
+// ---- expression parser ----
+//
+// Grammar (whitespace-insensitive; pattern text runs to the matching ']'):
+//
+//	expr    := name
+//	         | "select"  "[" pattern (";" ints)? "]" "(" expr ")"
+//	         | "project" "[" pattern (";" ints)? "]" "(" expr ")"
+//	         | "join"    "[" pattern (";" ints)? "]" "(" expr "," expr ")"
+//	         | "product" "(" expr "," expr ")"
+//	         | ("union" | "intersect" | "difference") "(" expr "," expr ")"
+//	ints    := int ("," int)*
+
+// ParseExpr parses the textual algebra-expression syntax, e.g.
+//
+//	select[#1 pc #2 :: #1.tag = "inproceedings" & #2.content ~ "J. Ullman"; 1](dblp)
+//	union(select[...](dblp), select[...](sigmod))
+func ParseExpr(src string) (Expr, error) {
+	p := &exprParser{src: src}
+	e, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return nil, fmt.Errorf("core: trailing input at offset %d: %q", p.pos, p.src[p.pos:])
+	}
+	return e, nil
+}
+
+// MustParseExpr is ParseExpr but panics on error.
+func MustParseExpr(src string) Expr {
+	e, err := ParseExpr(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *exprParser) parse() (Expr, error) {
+	p.skipSpace()
+	name := p.readName()
+	if name == "" {
+		return nil, fmt.Errorf("core: expected expression at offset %d", p.pos)
+	}
+	switch name {
+	case "select", "project", "join":
+		pat, sl, err := p.readBracketArgs()
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.readParenExprs()
+		if err != nil {
+			return nil, err
+		}
+		switch name {
+		case "select":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("core: select takes 1 sub-expression, got %d", len(args))
+			}
+			return &SelectExpr{Pattern: pat, SL: sl, Sub: args[0]}, nil
+		case "project":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("core: project takes 1 sub-expression, got %d", len(args))
+			}
+			return &ProjectExpr{Pattern: pat, PL: sl, Sub: args[0]}, nil
+		default:
+			if len(args) != 2 {
+				return nil, fmt.Errorf("core: join takes 2 sub-expressions, got %d", len(args))
+			}
+			return &JoinExpr{Pattern: pat, SL: sl, Left: args[0], Right: args[1]}, nil
+		}
+	case "product", "union", "intersect", "difference":
+		args, err := p.readParenExprs()
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 2 {
+			return nil, fmt.Errorf("core: %s takes 2 sub-expressions, got %d", name, len(args))
+		}
+		if name == "product" {
+			return &ProductExpr{Left: args[0], Right: args[1]}, nil
+		}
+		return &SetExpr{Op: name, Left: args[0], Right: args[1]}, nil
+	default:
+		return &InstanceExpr{Name: name}, nil
+	}
+}
+
+func (p *exprParser) readName() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		ch := p.src[p.pos]
+		if ch == '_' || ch == '-' ||
+			(ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || (ch >= '0' && ch <= '9') {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return p.src[start:p.pos]
+}
+
+// readBracketArgs reads "[pattern (; ints)?]". The pattern text runs to the
+// matching close bracket, skipping string literals.
+func (p *exprParser) readBracketArgs() (*pattern.Tree, []int, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != '[' {
+		return nil, nil, fmt.Errorf("core: expected [ at offset %d", p.pos)
+	}
+	p.pos++
+	start := p.pos
+	depth := 1
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '"':
+			p.pos++
+			for p.pos < len(p.src) && p.src[p.pos] != '"' {
+				if p.src[p.pos] == '\\' {
+					p.pos++
+				}
+				p.pos++
+			}
+		case '[':
+			depth++
+		case ']':
+			depth--
+			if depth == 0 {
+				inner := p.src[start:p.pos]
+				p.pos++
+				return parseBracketInner(inner)
+			}
+		}
+		p.pos++
+	}
+	return nil, nil, fmt.Errorf("core: unterminated [ starting at offset %d", start-1)
+}
+
+func parseBracketInner(inner string) (*pattern.Tree, []int, error) {
+	patSrc := inner
+	var labels []int
+	// The label list follows the last ';' that is outside any string.
+	if i := lastTopLevelSemicolon(inner); i >= 0 {
+		patSrc = inner[:i]
+		for _, part := range strings.Split(inner[i+1:], ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			var n int
+			if _, err := fmt.Sscanf(part, "%d", &n); err != nil {
+				return nil, nil, fmt.Errorf("core: bad label %q in expression", part)
+			}
+			labels = append(labels, n)
+		}
+	}
+	pat, err := pattern.Parse(patSrc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pat, labels, nil
+}
+
+func lastTopLevelSemicolon(s string) int {
+	inStr := false
+	last := -1
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '\\':
+			if inStr {
+				i++
+			}
+		case ';':
+			if !inStr {
+				last = i
+			}
+		}
+	}
+	return last
+}
+
+func (p *exprParser) readParenExprs() ([]Expr, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != '(' {
+		return nil, fmt.Errorf("core: expected ( at offset %d", p.pos)
+	}
+	p.pos++
+	var out []Expr
+	for {
+		e, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("core: unterminated ( in expression")
+		}
+		switch p.src[p.pos] {
+		case ',':
+			p.pos++
+		case ')':
+			p.pos++
+			return out, nil
+		default:
+			return nil, fmt.Errorf("core: expected , or ) at offset %d", p.pos)
+		}
+	}
+}

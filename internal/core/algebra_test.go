@@ -1,0 +1,162 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExprInstance(t *testing.T) {
+	s := miniSystem(t, 3)
+	e := MustParseExpr("dblp")
+	out, err := e.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 { // one document
+		t.Fatalf("instance eval = %d trees", len(out))
+	}
+	if _, err := MustParseExpr("ghost").Eval(s); err == nil {
+		t.Error("unknown instance must fail at eval")
+	}
+}
+
+func TestExprSelect(t *testing.T) {
+	s := miniSystem(t, 3)
+	e := MustParseExpr(`select[#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ "Jeffrey D. Ullman"; 1](dblp)`)
+	out, err := e.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("selection = %d trees, want 2", len(out))
+	}
+	// The same selection evaluates identically over a nested expression
+	// (losing only the XPath pre-filter).
+	e2 := MustParseExpr(`select[#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ "Jeffrey D. Ullman"; 1](union(dblp, dblp))`)
+	out2, err := e2.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out2) != 2 {
+		t.Fatalf("nested selection = %d trees, want 2", len(out2))
+	}
+}
+
+func TestExprProjectAndSetOps(t *testing.T) {
+	s := miniSystem(t, 3)
+	authors := MustParseExpr(`project[#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author"; 2](dblp)`)
+	out, err := authors.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("projection = %d trees, want 3", len(out))
+	}
+	// difference(x, x) = ∅ through the expression layer.
+	empty := MustParseExpr(`difference(project[#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author"; 2](dblp), project[#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author"; 2](dblp))`)
+	out2, err := empty.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out2) != 0 {
+		t.Fatalf("difference = %d trees, want 0", len(out2))
+	}
+	inter := MustParseExpr(`intersect(dblp, dblp)`)
+	out3, err := inter.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out3) != 1 {
+		t.Fatalf("intersect = %d trees", len(out3))
+	}
+	// Projection over a nested sub-expression.
+	nested := MustParseExpr(`project[#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "title"; 2](union(dblp, dblp))`)
+	out4, err := nested.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out4) != 3 {
+		t.Fatalf("nested projection = %d trees, want 3", len(out4))
+	}
+}
+
+func TestExprJoinAndProduct(t *testing.T) {
+	s := miniSystem(t, 3)
+	join := MustParseExpr(`join[#1 pc #2, #1 pc #3, #2 ad #4, #3 ad #5 :: ` +
+		`#1.tag = "tax_prod_root" & #2.tag = "dblp" & #3.tag = "ProceedingsPage" & ` +
+		`#4.tag = "title" & #5.tag = "title" & #4.content ~ #5.content](dblp, sigmod)`)
+	out, err := join.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("join = %d trees, want 1", len(out))
+	}
+	prod := MustParseExpr(`product(dblp, sigmod)`)
+	out2, err := prod.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out2) != 1 {
+		t.Fatalf("product = %d trees", len(out2))
+	}
+	if out2[0].Root.Tag != "tax_prod_root" {
+		t.Errorf("product root = %q", out2[0].Root.Tag)
+	}
+}
+
+func TestExprStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		`dblp`,
+		`select[#1 pc #2 :: #1.tag = "inproceedings" & #2.content ~ "J. Ullman"; 1](dblp)`,
+		`union(dblp, sigmod)`,
+		`join[#1 pc #2 :: #1.tag = "tax_prod_root" & #2.tag = "dblp"; 1, 2](dblp, sigmod)`,
+		`project[#1 pc #2 :: #1.tag = "a"; 2](intersect(dblp, product(dblp, sigmod)))`,
+	}
+	for _, src := range srcs {
+		e1 := MustParseExpr(src)
+		e2, err := ParseExpr(e1.String())
+		if err != nil {
+			t.Errorf("re-parse of %q (%q): %v", src, e1.String(), err)
+			continue
+		}
+		if e1.String() != e2.String() {
+			t.Errorf("round trip unstable:\n%s\nvs\n%s", e1.String(), e2.String())
+		}
+	}
+}
+
+func TestExprParseErrors(t *testing.T) {
+	for _, src := range []string{
+		``,
+		`select(dblp)`, // missing pattern
+		`select[#1 :: #1.tag = "a"](dblp, extra)`, // wrong arity
+		`join[#1]()`,             // empty args
+		`union(dblp)`,            // wrong arity
+		`select[#1](dblp) extra`, // trailing
+		`select[#1; x](dblp)`,    // bad label
+		`select[#1(dblp)`,        // unterminated bracket
+		`product(dblp, sigmod`,   // unterminated paren
+		`product(dblp; sigmod)`,  // bad separator
+	} {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q) should fail", src)
+		}
+	}
+}
+
+func TestExprSemicolonInsideStringLiteral(t *testing.T) {
+	// A ';' inside the pattern's string literal must not be taken as the
+	// label-list separator.
+	e := MustParseExpr(`select[#1 :: #1.content = "a;b"; 1](dblp)`)
+	sel, ok := e.(*SelectExpr)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if len(sel.SL) != 1 || sel.SL[0] != 1 {
+		t.Errorf("SL = %v", sel.SL)
+	}
+	if !strings.Contains(sel.Pattern.String(), `a;b`) {
+		t.Errorf("pattern lost the literal: %s", sel.Pattern)
+	}
+}

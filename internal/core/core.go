@@ -1,0 +1,267 @@
+// Package core is the TOSS system itself — the paper's primary contribution.
+// It wires the substrates together exactly as the architecture of Section 3
+// describes:
+//
+//   - the Ontology Maker (maker.go) associates an ontology with each
+//     semistructured instance using the WordNet-lite lexicon and DBA rules,
+//     derives interoperation constraints, and fuses the per-instance
+//     ontologies into one canonical ontology (internal/ontology);
+//   - the Similarity Enhancer (this file, Enhance) runs the SEA algorithm
+//     (internal/seo) over the fused isa hierarchy to precompute the
+//     similarity enhanced ontology;
+//   - the Query Executor (exec.go, eval.go) implements the TOSS algebra of
+//     Section 5.1 on top of the XML database (internal/xmldb), rewriting
+//     pattern trees into XPath queries, executing them, and evaluating the
+//     ontology- and similarity-aware selection conditions on the results.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ontology"
+	"repro/internal/seo"
+	"repro/internal/similarity"
+	"repro/internal/tree"
+	"repro/internal/types"
+	"repro/internal/wordnet"
+	"repro/internal/xmldb"
+)
+
+// Instance is an ontology extended semistructured instance: a collection of
+// XML documents plus its associated ontology (Section 5's OES instance; the
+// ontology is attached by the Ontology Maker).
+type Instance struct {
+	Name string
+	Col  *xmldb.Collection
+	Ont  *ontology.Ontology
+}
+
+// System is a TOSS deployment: a set of instances over an XML database, the
+// fused ontology, its similarity enhancement, and a type system.
+type System struct {
+	DB        *xmldb.DB
+	Types     *types.System
+	Lexicon   *wordnet.Lexicon
+	Instances []*Instance
+
+	// DBA-supplied interoperation constraints, appended to the derived
+	// ones; keyed by relation name ("isa", "part-of").
+	ExtraConstraints map[string][]ontology.Constraint
+
+	// Fusion products (per relation) and the similarity enhancement of the
+	// fused isa hierarchy.
+	FusedIsa    *ontology.Fusion
+	FusedPart   *ontology.Fusion
+	SEO         *seo.SEO
+	Measure     similarity.Measure
+	Epsilon     float64
+	SEAOptions  seo.Options
+	MakerConfig MakerConfig
+
+	// Parallelism caps the worker count for fan-out over candidate
+	// documents during selection; values ≤ 1 keep evaluation sequential.
+	// Results are identical either way (document order is preserved).
+	Parallelism int
+
+	// DynamicSimilarity allows the ~ operator to fall back to a direct
+	// measure comparison for terms the ontology does not know. It keeps the
+	// operator total on ad-hoc strings (default), at the cost of disabling
+	// the similarity hash join and some XPath pre-filters, which require
+	// the SEO to enumerate all possible matches.
+	DynamicSimilarity bool
+
+	// valueTags records, per tag, that the Ontology Maker ontologized that
+	// tag's content values — which makes XPath similarity pre-filters sound.
+	valueTags map[string]bool
+	// valueTruncated is set when MaxValueTerms capped value ontologization,
+	// invalidating completeness-dependent optimisations.
+	valueTruncated bool
+}
+
+// NewSystem returns a system with an empty database, default type system and
+// the default lexicon.
+func NewSystem() *System {
+	return &System{
+		DB:                xmldb.New(),
+		Types:             types.NewSystem(),
+		Lexicon:           wordnet.Default(),
+		ExtraConstraints:  map[string][]ontology.Constraint{},
+		MakerConfig:       DefaultMakerConfig(),
+		DynamicSimilarity: true,
+		valueTags:         map[string]bool{},
+	}
+}
+
+// AddInstance creates a collection with the given name and registers it as
+// an instance. Documents are added with the returned instance's Col.
+func (s *System) AddInstance(name string) (*Instance, error) {
+	for _, in := range s.Instances {
+		if in.Name == name {
+			return nil, fmt.Errorf("core: duplicate instance %q", name)
+		}
+	}
+	in := &Instance{Name: name, Col: s.DB.CreateCollection(name)}
+	s.Instances = append(s.Instances, in)
+	return in, nil
+}
+
+// Instance returns the named instance, or nil.
+func (s *System) Instance(name string) *Instance {
+	for _, in := range s.Instances {
+		if in.Name == name {
+			return in
+		}
+	}
+	return nil
+}
+
+// AddConstraint registers a DBA-supplied interoperation constraint for the
+// given relation ("isa" or "part-of"). Sources are 1-based instance indices
+// in registration order, matching the paper's x:i notation.
+func (s *System) AddConstraint(relation string, c ontology.Constraint) {
+	s.ExtraConstraints[relation] = append(s.ExtraConstraints[relation], c)
+}
+
+// Build runs the full precomputation pipeline: Ontology Maker on every
+// instance, constraint derivation, fusion, and similarity enhancement with
+// the given measure and threshold.
+func (s *System) Build(measure similarity.Measure, epsilon float64) error {
+	if err := s.MakeOntologies(); err != nil {
+		return err
+	}
+	if err := s.Fuse(); err != nil {
+		return err
+	}
+	return s.Enhance(measure, epsilon)
+}
+
+// MakeOntologies runs the Ontology Maker over every instance (see maker.go).
+// It is re-runnable: adding documents after a Build and calling Build again
+// refreshes the ontologies, the fusion and the SEO.
+func (s *System) MakeOntologies() error {
+	if len(s.Instances) == 0 {
+		return fmt.Errorf("core: no instances registered")
+	}
+	s.valueTags = map[string]bool{}
+	s.valueTruncated = false
+	for _, in := range s.Instances {
+		in.Ont = s.makeOntology(in)
+	}
+	return nil
+}
+
+// Fuse derives interoperation constraints and fuses the per-instance isa
+// and part-of hierarchies into canonical fusions.
+func (s *System) Fuse() error {
+	if len(s.Instances) == 0 {
+		return fmt.Errorf("core: no instances to fuse")
+	}
+	var isaH, partH []*ontology.Hierarchy
+	for _, in := range s.Instances {
+		if in.Ont == nil {
+			return fmt.Errorf("core: instance %q has no ontology; run MakeOntologies first", in.Name)
+		}
+		isaH = append(isaH, in.Ont.Isa())
+		partH = append(partH, in.Ont.PartOf())
+	}
+	isaC := append(s.deriveConstraints(isaH), s.ExtraConstraints[ontology.RelIsa]...)
+	partC := append(s.deriveConstraints(partH), s.ExtraConstraints[ontology.RelPartOf]...)
+	var err error
+	if s.FusedIsa, err = ontology.Fuse(isaH, isaC); err != nil {
+		return fmt.Errorf("core: fusing isa hierarchies: %w", err)
+	}
+	if s.FusedPart, err = ontology.Fuse(partH, partC); err != nil {
+		return fmt.Errorf("core: fusing part-of hierarchies: %w", err)
+	}
+	return nil
+}
+
+// Enhance runs the Similarity Enhancer (SEA algorithm) over the fused isa
+// hierarchy, producing the SEO all similarity queries consult.
+func (s *System) Enhance(measure similarity.Measure, epsilon float64) error {
+	if s.FusedIsa == nil {
+		return fmt.Errorf("core: no fused ontology; run Fuse first")
+	}
+	s.Measure = measure
+	s.Epsilon = epsilon
+	opts := s.SEAOptions
+	opts.Strings = s.fusedNodeStrings()
+	// The production pipeline clusters only order-compatible terms, which
+	// guarantees a consistent enhancement exists (see seo.Options); callers
+	// wanting the paper's strict Definition 8 semantics can run seo.Enhance
+	// directly.
+	opts.CompatibilityFilter = true
+	enhanced, err := seo.Enhance(s.FusedIsa.Hierarchy, measure, epsilon, opts)
+	if err != nil {
+		return fmt.Errorf("core: similarity enhancement: %w", err)
+	}
+	s.SEO = enhanced
+	return nil
+}
+
+// fusedNodeStrings maps every fused isa node to the distinct bare terms it
+// merged — the "set of strings contained in a node" of Definition 7.
+func (s *System) fusedNodeStrings() map[string][]string {
+	out := make(map[string][]string, len(s.FusedIsa.Members))
+	for name, members := range s.FusedIsa.Members {
+		seen := map[string]bool{}
+		for _, q := range members {
+			if !seen[q.Term] {
+				seen[q.Term] = true
+				out[name] = append(out[name], q.Term)
+			}
+		}
+	}
+	return out
+}
+
+// VerifySEO independently checks the current SEO against Definition 8's
+// conditions (see seo.Verify). Useful as a post-Build self-check and in
+// tests.
+func (s *System) VerifySEO() error {
+	if s.SEO == nil || s.FusedIsa == nil {
+		return fmt.Errorf("core: no SEO built")
+	}
+	return seo.Verify(s.FusedIsa.Hierarchy, s.Measure, s.Epsilon, s.SEO, s.fusedNodeStrings())
+}
+
+// OntologyTermCount reports the size of the fused isa ontology in terms, the
+// quantity the paper's scalability experiments vary.
+func (s *System) OntologyTermCount() int {
+	if s.FusedIsa == nil {
+		return 0
+	}
+	return s.FusedIsa.Hierarchy.NodeCount()
+}
+
+// NewTFIDFMeasure builds a corpus-weighted cosine measure from the contents
+// of the given tags across every instance (all content when no tags are
+// given). The returned measure can then be passed to Build or Enhance, so
+// title-similarity queries weight rare words more than ubiquitous ones.
+func (s *System) NewTFIDFMeasure(scale float64, tags ...string) *similarity.TFIDF {
+	want := map[string]bool{}
+	for _, t := range tags {
+		want[t] = true
+	}
+	var docs []string
+	for _, in := range s.Instances {
+		for _, doc := range in.Col.Docs() {
+			doc.Walk(func(n *tree.Node) bool {
+				if n.Content != "" && (len(want) == 0 || want[n.Tag]) {
+					docs = append(docs, n.Content)
+				}
+				return true
+			})
+		}
+	}
+	return similarity.NewTFIDF(scale, docs)
+}
+
+// Trees returns the document trees of the named instance.
+func (s *System) Trees(instance string) ([]*tree.Tree, error) {
+	in := s.Instance(instance)
+	if in == nil {
+		return nil, fmt.Errorf("core: unknown instance %q", instance)
+	}
+	return in.Col.Docs(), nil
+}

@@ -1,0 +1,540 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ontology"
+	"repro/internal/pattern"
+	"repro/internal/similarity"
+	"repro/internal/tax"
+	"repro/internal/tree"
+)
+
+const miniDBLP = `<dblp>
+  <inproceedings key="d1">
+    <author>Jeffrey D. Ullman</author>
+    <title>Relational Query Optimization</title>
+    <year>1997</year>
+    <booktitle>SIGMOD Conference</booktitle>
+  </inproceedings>
+  <inproceedings key="d2">
+    <author>J. Ullman</author>
+    <title>Index Structures for Databases</title>
+    <year>1999</year>
+    <booktitle>VLDB</booktitle>
+  </inproceedings>
+  <inproceedings key="d3">
+    <author>Elisa Bertino</author>
+    <title>Securing XML Documents</title>
+    <year>2000</year>
+    <booktitle>SIGMOD Conference</booktitle>
+  </inproceedings>
+</dblp>`
+
+const miniSIGMOD = `<ProceedingsPage>
+  <articles>
+    <article key="s1">
+      <title>Securing XML Documents.</title>
+      <author>E. Bertino</author>
+      <conference>International Conference on Management of Data</conference>
+      <confYear>2000</confYear>
+    </article>
+  </articles>
+</ProceedingsPage>`
+
+func miniSystem(t *testing.T, eps float64) *System {
+	t.Helper()
+	s := NewSystem()
+	dblp, err := s.AddInstance("dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dblp.Col.PutXML("d", strings.NewReader(miniDBLP)); err != nil {
+		t.Fatal(err)
+	}
+	sig, err := s.AddInstance("sigmod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sig.Col.PutXML("s", strings.NewReader(miniSIGMOD)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Build(similarity.NameRule{}, eps); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAddInstanceValidation(t *testing.T) {
+	s := NewSystem()
+	if _, err := s.AddInstance("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddInstance("a"); err == nil {
+		t.Error("duplicate instance must fail")
+	}
+	if s.Instance("a") == nil || s.Instance("b") != nil {
+		t.Error("Instance lookup broken")
+	}
+	if _, err := s.Trees("ghost"); err == nil {
+		t.Error("Trees of unknown instance must fail")
+	}
+}
+
+func TestBuildRequiresInstances(t *testing.T) {
+	s := NewSystem()
+	if err := s.Build(similarity.Levenshtein{}, 2); err == nil {
+		t.Error("Build without instances must fail")
+	}
+	s2 := NewSystem()
+	if err := s2.Fuse(); err == nil {
+		t.Error("Fuse without ontologies must fail")
+	}
+	s3 := NewSystem()
+	if err := s3.Enhance(similarity.Levenshtein{}, 2); err == nil {
+		t.Error("Enhance without fusion must fail")
+	}
+}
+
+func TestOntologyMakerStructure(t *testing.T) {
+	s := miniSystem(t, 3)
+	dblp := s.Instance("dblp")
+	part := dblp.Ont.PartOf()
+	// Structural part-of: author part-of inproceedings part-of dblp.
+	if !part.Leq("author", "inproceedings") || !part.Leq("inproceedings", "dblp") {
+		t.Error("structural part-of extraction failed")
+	}
+	isa := dblp.Ont.Isa()
+	// Lexicon chains for tags: inproceedings isa article isa publication.
+	if !isa.Leq("inproceedings", "publication") {
+		t.Error("lexicon hypernym chain missing")
+	}
+	// Value terms below their tag.
+	if !isa.Leq("Jeffrey D. Ullman", "author") {
+		t.Error("author value not ontologized")
+	}
+	if !isa.Leq("SIGMOD Conference", "booktitle") {
+		t.Error("booktitle value not ontologized")
+	}
+	// Title tokens below lexicon concepts.
+	if !isa.Leq("relational", "data model") {
+		t.Error("title token chain missing")
+	}
+	// Synonym bridge: booktitle <= conference <= meeting.
+	if !isa.Leq("booktitle", "meeting") {
+		t.Error("synonym bridging failed")
+	}
+}
+
+func TestFusionMergesSchemas(t *testing.T) {
+	s := miniSystem(t, 3)
+	// booktitle (dblp) and conference (sigmod) fuse via the derived
+	// synonym equality constraint.
+	b := s.FusedIsa.NodesOf("booktitle")
+	c := s.FusedIsa.NodesOf("conference")
+	if len(b) == 0 || len(c) == 0 {
+		t.Fatal("schema terms missing from fusion")
+	}
+	same := false
+	for _, x := range b {
+		for _, y := range c {
+			if x == y {
+				same = true
+			}
+		}
+	}
+	if !same {
+		t.Error("booktitle and conference should share a fused node")
+	}
+	// confYear and year fuse (synonym).
+	cy := s.FusedIsa.NodesOf("confYear")
+	y := s.FusedIsa.NodesOf("year")
+	if len(cy) == 0 || len(y) == 0 {
+		t.Fatal("year terms missing")
+	}
+	if cy[0] != y[0] {
+		t.Errorf("confYear %v and year %v should fuse", cy, y)
+	}
+}
+
+func TestEvaluatorSimilarity(t *testing.T) {
+	s := miniSystem(t, 3)
+	ev := s.Evaluator()
+	cases := []struct {
+		cond string
+		want bool
+	}{
+		{`"Jeffrey D. Ullman" ~ "J. Ullman"`, true},
+		{`"Jeffrey D. Ullman" ~ "Elisa Bertino"`, false},
+		{`"Elisa Bertino" ~ "E. Bertino"`, true},
+		{`"x" ~ "x"`, true},
+		// Unknown terms fall back to the dynamic measure.
+		{`"Brand New Name" ~ "Brand New Nmae"`, true},
+		{`"Brand New Name" ~ "Entirely Different"`, false},
+	}
+	for _, tc := range cases {
+		cond := pattern.MustParseCondition(tc.cond).(*pattern.Atomic)
+		got, err := ev.EvalAtomic(cond, tax.Binding{})
+		if err != nil {
+			t.Errorf("%s: %v", tc.cond, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.cond, got, tc.want)
+		}
+	}
+	// Dynamic fallback honours the switch.
+	s.DynamicSimilarity = false
+	ev2 := s.Evaluator()
+	cond := pattern.MustParseCondition(`"Brand New Name" ~ "Brand New Nmae"`).(*pattern.Atomic)
+	if got, _ := ev2.EvalAtomic(cond, tax.Binding{}); got {
+		t.Error("dynamic fallback should be off")
+	}
+}
+
+func TestEvaluatorIsaAndPartOf(t *testing.T) {
+	s := miniSystem(t, 3)
+	ev := s.Evaluator()
+	cases := []struct {
+		cond string
+		want bool
+	}{
+		{`"SIGMOD Conference" isa "conference"`, true},
+		{`"SIGMOD Conference" isa "meeting"`, true},
+		{`"Relational Query Optimization" isa "data model"`, true}, // token "relational"
+		{`"Securing XML Documents" isa "markup language"`, true},   // token "xml"
+		{`"Securing XML Documents" isa "data model"`, false},
+		{`"ghost term" isa "conference"`, false},
+		{`"SIGMOD Conference" isa "ghost concept"`, false},
+		{`"author" part_of "inproceedings"`, true},
+		{`"author" part_of "dblp"`, true},
+		{`"dblp" part_of "author"`, false},
+		{`"x" part_of "x"`, true},
+		// Ontologized values participate in below/above through the isa
+		// hierarchy (year values are not ontologized, booktitle values are).
+		{`"SIGMOD Conference" below "booktitle"`, true},
+		{`"booktitle" above "SIGMOD Conference"`, true},
+		{`"booktitle" below "SIGMOD Conference"`, false},
+	}
+	for _, tc := range cases {
+		cond := pattern.MustParseCondition(tc.cond).(*pattern.Atomic)
+		got, err := ev.EvalAtomic(cond, tax.Binding{})
+		if err != nil {
+			t.Errorf("%s: %v", tc.cond, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.cond, got, tc.want)
+		}
+	}
+}
+
+func TestEvaluatorTypesAndComparisons(t *testing.T) {
+	s := miniSystem(t, 3)
+	ev := s.Evaluator()
+	col := tree.NewCollection()
+	year := col.NewNode("year", "1999")
+	year.ContentType = "int"
+	b := tax.BindingOf(map[int]*tree.Node{1: year})
+	cases := []struct {
+		cond string
+		want bool
+	}{
+		{`#1.content = "1999"`, true},
+		{`#1.content <= "2000":int`, true},
+		{`#1.content > "200":int`, true}, // numeric via common supertype
+		{`#1.content instance_of int`, true},
+		{`#1.content instance_of string`, true},
+		{`int subtype_of string`, true},
+		{`string subtype_of int`, false},
+		{`#1.content below int`, true},
+		{`int above #1.content`, true},
+		{`#1.content = "*"`, true}, // wildcard
+		{`#1.content != "1999"`, false},
+		{`#1.content contains "99"`, true},
+	}
+	for _, tc := range cases {
+		cond := pattern.MustParseCondition(tc.cond).(*pattern.Atomic)
+		got, err := ev.EvalAtomic(cond, b)
+		if err != nil {
+			t.Errorf("%s: %v", tc.cond, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.cond, got, tc.want)
+		}
+	}
+}
+
+func TestEvaluatorUnboundAndUnknownOp(t *testing.T) {
+	s := miniSystem(t, 3)
+	ev := s.Evaluator()
+	cond := pattern.MustParseCondition(`#9.content = "x"`).(*pattern.Atomic)
+	if _, err := ev.EvalAtomic(cond, tax.Binding{}); err == nil {
+		t.Error("unbound node must error")
+	}
+	bad := &pattern.Atomic{X: pattern.Value("a"), Op: "??", Y: pattern.Value("b")}
+	if _, err := ev.EvalAtomic(bad, tax.Binding{}); err == nil {
+		t.Error("unknown operator must error")
+	}
+}
+
+func TestSelectMatchesUnfilteredTAX(t *testing.T) {
+	// The XPath pre-filter must not change answers: System.Select equals
+	// plain tax.Select over all documents with the same TOSS evaluator.
+	s := miniSystem(t, 3)
+	pats := []string{
+		`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ "Jeffrey D. Ullman"`,
+		`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "title" & #2.content isa "access method"`,
+		`#1 pc #2, #1 pc #3 :: #1.tag = "inproceedings" & #2.tag = "year" & #3.tag = "booktitle" & #3.content isa "conference" & #2.content <= "1999"`,
+		`#1 ad #2 :: #1.tag = "dblp" & #2.tag = "author"`,
+		`#1 pc #2 :: #1.tag = "inproceedings" & (#2.tag = "author" | #2.tag = "title")`,
+	}
+	docs, err := s.Trees("dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range pats {
+		p := pattern.MustParse(src)
+		fast, err := s.Select("dblp", p, []int{1})
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		slow, err := tax.Select(tree.NewCollection(), docs, p, []int{1}, s.Evaluator())
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if len(fast) != len(slow) {
+			t.Errorf("%s: filtered %d vs unfiltered %d answers", src, len(fast), len(slow))
+			continue
+		}
+		for i := range fast {
+			if !tree.Equal(fast[i], slow[i]) {
+				t.Errorf("%s: answer %d differs", src, i)
+			}
+		}
+	}
+}
+
+func TestRewritePattern(t *testing.T) {
+	s := miniSystem(t, 3)
+	p := pattern.MustParse(`#1 pc #2, #1 ad #3 :: #1.tag = "inproceedings" & #2.tag = "author" & ` +
+		`#2.content ~ "Jeffrey D. Ullman" & #3.tag = "year" & #3.content = "1999"`)
+	strs := s.RewriteToXPathStrings(p)
+	if len(strs) != 3 {
+		t.Fatalf("rewritten %d paths, want 3: %v", len(strs), strs)
+	}
+	joined := strings.Join(strs, "\n")
+	if !strings.Contains(joined, "//inproceedings/author[") {
+		t.Errorf("author path missing similarity expansion: %v", strs)
+	}
+	if !strings.Contains(joined, "J. Ullman") {
+		t.Errorf("expansion should include the similar variant: %v", strs)
+	}
+	if !strings.Contains(joined, "//inproceedings//year[.='1999']") {
+		t.Errorf("ad edge should become descendant axis: %v", strs)
+	}
+	// Or-conditions are not compiled into the filter (soundness).
+	p2 := pattern.MustParse(`#1 :: #1.tag = "inproceedings" | #1.tag = "article"`)
+	if got := s.RewriteToXPathStrings(p2); len(got) != 0 {
+		t.Errorf("disjunctive condition must not produce filters: %v", got)
+	}
+	// Wildcard equality is not compiled in.
+	p3 := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "title" & #2.content = "*"`)
+	for _, q := range s.RewriteToXPathStrings(p3) {
+		if strings.Contains(q, "*'") {
+			t.Errorf("wildcard leaked into filter: %q", q)
+		}
+	}
+}
+
+func TestJoinEqualsNestedLoop(t *testing.T) {
+	s := miniSystem(t, 3)
+	p := pattern.MustParse(`#1 pc #2, #1 pc #3, #2 ad #4, #3 ad #5 :: ` +
+		`#1.tag = "tax_prod_root" & #2.tag = "dblp" & #3.tag = "ProceedingsPage" & ` +
+		`#4.tag = "title" & #5.tag = "title" & #4.content ~ #5.content`)
+	fast, err := s.Join("dblp", "sigmod", p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldocs, _ := s.Trees("dblp")
+	rdocs, _ := s.Trees("sigmod")
+	slow, err := s.NestedLoopJoinTrees(ldocs, rdocs, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast) != len(slow) {
+		t.Fatalf("join paths disagree: %d vs %d", len(fast), len(slow))
+	}
+	if len(fast) != 1 {
+		t.Errorf("expected exactly the Bertino paper pair, got %d", len(fast))
+	}
+	if _, err := s.Join("dblp", "ghost", p, nil); err == nil {
+		t.Error("join with unknown instance must fail")
+	}
+}
+
+func TestProjectAndSetOps(t *testing.T) {
+	s := miniSystem(t, 3)
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author"`)
+	authors, err := s.Project("dblp", p, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(authors) != 3 {
+		t.Fatalf("projection returned %d author trees, want 3", len(authors))
+	}
+	u := s.Union(authors[:2], authors[1:])
+	if len(u) != 3 {
+		t.Errorf("union = %d, want 3", len(u))
+	}
+	i := s.Intersect(authors[:2], authors[1:])
+	if len(i) != 1 {
+		t.Errorf("intersection = %d, want 1", len(i))
+	}
+	d := s.Difference(authors, authors[:1])
+	if len(d) != 2 {
+		t.Errorf("difference = %d, want 2", len(d))
+	}
+	prod := s.Product(authors[:2], authors[:2])
+	if len(prod) != 4 {
+		t.Errorf("product = %d, want 4", len(prod))
+	}
+	if _, err := s.Project("ghost", p, []int{2}); err == nil {
+		t.Error("projection on unknown instance must fail")
+	}
+	if _, err := s.Select("ghost", p, nil); err == nil {
+		t.Error("selection on unknown instance must fail")
+	}
+}
+
+func TestExtraConstraints(t *testing.T) {
+	// A DBA constraint merges otherwise-unrelated terms.
+	s := NewSystem()
+	a, err := s.AddInstance("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Col.PutXML("a", strings.NewReader(`<root><alpha>x</alpha></root>`)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.AddInstance("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Col.PutXML("b", strings.NewReader(`<root><beta>y</beta></root>`)); err != nil {
+		t.Fatal(err)
+	}
+	s.AddConstraint(ontology.RelIsa, ontology.Equal("alpha", 1, "beta", 2))
+	if err := s.Build(similarity.Levenshtein{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	na := s.FusedIsa.NodesOf("alpha")
+	nb := s.FusedIsa.NodesOf("beta")
+	if len(na) != 1 || len(nb) != 1 || na[0] != nb[0] {
+		t.Errorf("DBA constraint not honoured: %v vs %v", na, nb)
+	}
+}
+
+func TestSimilarStrings(t *testing.T) {
+	s := miniSystem(t, 3)
+	got := s.SimilarStrings("Jeffrey D. Ullman")
+	found := false
+	for _, v := range got {
+		if v == "J. Ullman" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("SimilarStrings missing variant: %v", got)
+	}
+	// Unknown strings return themselves.
+	if got := s.SimilarStrings("zzz"); len(got) != 1 || got[0] != "zzz" {
+		t.Errorf("SimilarStrings(unknown) = %v", got)
+	}
+}
+
+func TestValueTruncationDisablesSimPrefilter(t *testing.T) {
+	s := NewSystem()
+	s.MakerConfig.MaxValueTerms = 1
+	dblp, err := s.AddInstance("dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dblp.Col.PutXML("d", strings.NewReader(miniDBLP)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Build(similarity.NameRule{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ "J. Ullman"`)
+	// With truncated values the ~ expansion would be incomplete; the
+	// rewriter must not emit an author-value predicate...
+	for _, q := range s.RewriteToXPathStrings(p) {
+		if strings.Contains(q, "Ullman") {
+			t.Errorf("truncated ontology must not pre-filter ~: %q", q)
+		}
+	}
+	// ...and the answers still come from the dynamic fallback.
+	res, err := s.Select("dblp", p, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Errorf("expected both Ullman papers, got %d", len(res))
+	}
+}
+
+func TestEvaluatorUnknownTypeFallback(t *testing.T) {
+	// Values typed with a type the system does not know fall back to
+	// integer-aware string comparison rather than failing.
+	s := miniSystem(t, 3)
+	ev := s.Evaluator()
+	col := tree.NewCollection()
+	n := col.NewNode("year", "1999")
+	n.ContentType = "mystery"
+	b := tax.BindingOf(map[int]*tree.Node{1: n})
+	cases := []struct {
+		cond string
+		want bool
+	}{
+		{`#1.content <= "2000"`, true},
+		{`#1.content > "200"`, true}, // numeric fallback
+		{`#1.content = "1999"`, true},
+	}
+	for _, tc := range cases {
+		cond := pattern.MustParseCondition(tc.cond).(*pattern.Atomic)
+		got, err := ev.EvalAtomic(cond, b)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.cond, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.cond, got, tc.want)
+		}
+	}
+}
+
+// TestContainsPrefilterSoundness is the regression test for a pre-filter
+// bug: XPath contains() is case-sensitive while the algebra's contains folds
+// case, so compiling contains into the pre-filter dropped valid answers.
+func TestContainsPrefilterSoundness(t *testing.T) {
+	s := miniSystem(t, 3)
+	// "xml" (lower case) must match "Securing XML Documents".
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "title" & #2.content contains "xml"`)
+	res, err := s.Select("dblp", p, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("case-folded contains = %d answers, want 1", len(res))
+	}
+	docs, _ := s.Trees("dblp")
+	slow, err := tax.Select(tree.NewCollection(), docs, p, []int{1}, s.Evaluator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(slow) {
+		t.Fatalf("pre-filtered %d vs unfiltered %d", len(res), len(slow))
+	}
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pattern"
+	"repro/internal/similarity"
+	"repro/internal/tax"
+)
+
+// Wildcard is the literal that matches any value in equality conditions, as
+// in the paper's Example 12 ("#3.content = *").
+const Wildcard = "*"
+
+// Evaluator implements the TOSS satisfaction relation of Section 5.1.1 —
+// the cases EI, WT ⊨ c — against the system's SEO, fused part-of hierarchy
+// and type system. It plugs into the shared TAX algebra machinery.
+type Evaluator struct {
+	sys *System
+	// Memoization of ontology lookups: condition values repeat across
+	// bindings (every paper has the same tags; tokens recur), so isa and ~
+	// verdicts are cached per (x, y) pair for the evaluator's lifetime.
+	simMemo map[[2]string]bool
+	isaMemo map[[2]string]bool
+}
+
+// Evaluator returns a fresh TOSS condition evaluator (one per query
+// execution; its memo tables assume a fixed SEO). The system must be Built.
+func (s *System) Evaluator() *Evaluator {
+	return &Evaluator{
+		sys:     s,
+		simMemo: map[[2]string]bool{},
+		isaMemo: map[[2]string]bool{},
+	}
+}
+
+// term is a resolved condition operand: value plus its type.
+type term struct {
+	value  string
+	typ    string
+	isType bool
+}
+
+func (e *Evaluator) resolve(t pattern.Term, b tax.Binding) (term, error) {
+	switch t.Kind {
+	case pattern.TermAttr:
+		n := b.Get(t.Label)
+		if n == nil {
+			return term{}, fmt.Errorf("core: unbound pattern node #%d", t.Label)
+		}
+		if t.Attr == "tag" {
+			return term{value: n.Tag, typ: n.TagType}, nil
+		}
+		return term{value: n.Content, typ: n.ContentType}, nil
+	case pattern.TermValue:
+		typ := t.Type
+		if typ == "" {
+			typ = "string"
+		}
+		return term{value: t.Value, typ: typ}, nil
+	case pattern.TermType:
+		return term{value: t.Type, typ: t.Type, isType: true}, nil
+	default:
+		return term{}, fmt.Errorf("core: unknown term kind %d", t.Kind)
+	}
+}
+
+// EvalAtomic implements tax.Evaluator with the TOSS semantics.
+func (e *Evaluator) EvalAtomic(a *pattern.Atomic, b tax.Binding) (bool, error) {
+	x, err := e.resolve(a.X, b)
+	if err != nil {
+		return false, err
+	}
+	y, err := e.resolve(a.Y, b)
+	if err != nil {
+		return false, err
+	}
+	switch a.Op {
+	case pattern.OpEq:
+		return e.compareEq(x, y)
+	case pattern.OpNe:
+		ok, err := e.compareEq(x, y)
+		return !ok, err
+	case pattern.OpLe, pattern.OpGe, pattern.OpLt, pattern.OpGt:
+		cmp, err := e.compareOrd(x, y)
+		if err != nil {
+			return false, err
+		}
+		switch a.Op {
+		case pattern.OpLe:
+			return cmp <= 0, nil
+		case pattern.OpGe:
+			return cmp >= 0, nil
+		case pattern.OpLt:
+			return cmp < 0, nil
+		default:
+			return cmp > 0, nil
+		}
+	case pattern.OpSim:
+		key := [2]string{x.value, y.value}
+		if v, ok := e.simMemo[key]; ok {
+			return v, nil
+		}
+		v := e.similar(x.value, y.value)
+		e.simMemo[key] = v
+		return v, nil
+	case pattern.OpIsa:
+		key := [2]string{x.value, y.value}
+		if v, ok := e.isaMemo[key]; ok {
+			return v, nil
+		}
+		v := e.isaReach(x.value, y.value)
+		e.isaMemo[key] = v
+		return v, nil
+	case pattern.OpPartOf:
+		return e.partOfReach(x.value, y.value), nil
+	case pattern.OpInstanceOf:
+		return e.instanceOf(x, y), nil
+	case pattern.OpSubtypeOf:
+		return e.subtypeOf(x, y), nil
+	case pattern.OpBelow:
+		// X below Y ≡ X instance_of Y ∨ X subtype_of Y, extended through
+		// the ontology's below_H set (Section 5: below_H adds dom values).
+		return e.instanceOf(x, y) || e.subtypeOf(x, y) || e.isaReach(x.value, y.value), nil
+	case pattern.OpAbove:
+		return e.instanceOf(y, x) || e.subtypeOf(y, x) || e.isaReach(y.value, x.value), nil
+	case pattern.OpContains:
+		return strings.Contains(strings.ToLower(x.value), strings.ToLower(y.value)), nil
+	default:
+		return false, fmt.Errorf("core: unsupported operator %q", a.Op)
+	}
+}
+
+// compareEq implements the well-typed equality of Section 5.1.1: convert
+// both operands to their least common supertype and compare there. Wildcards
+// match anything; operands without a common type fall back to literal
+// string equality.
+func (e *Evaluator) compareEq(x, y term) (bool, error) {
+	if x.value == Wildcard || y.value == Wildcard {
+		return true, nil
+	}
+	if common, ok := e.sys.Types.LeastCommonSupertype(x.typ, y.typ); ok {
+		if e.sys.Types.CanConvert(x.typ, common) && e.sys.Types.CanConvert(y.typ, common) {
+			cmp, err := e.sys.Types.CompareAs(x.value, x.typ, y.value, y.typ, common)
+			if err == nil {
+				return cmp == 0, nil
+			}
+		}
+	}
+	return x.value == y.value, nil
+}
+
+// compareOrd orders two operands at their least common supertype; without
+// one, it falls back to integer-aware string ordering (so untyped year
+// comparisons behave sensibly).
+func (e *Evaluator) compareOrd(x, y term) (int, error) {
+	if common, ok := e.sys.Types.LeastCommonSupertype(x.typ, y.typ); ok {
+		if e.sys.Types.CanConvert(x.typ, common) && e.sys.Types.CanConvert(y.typ, common) {
+			cmp, err := e.sys.Types.CompareAs(x.value, x.typ, y.value, y.typ, common)
+			if err == nil {
+				return cmp, nil
+			}
+		}
+	}
+	return fallbackCompare(x.value, y.value), nil
+}
+
+// similar implements A ~ B: "true iff ∃ a node containing both of them in
+// the similarity enhancement". Terms known to the fused ontology are
+// answered from the precomputed SEO; unknown terms (ad-hoc strings the
+// Ontology Maker never saw) fall back to a direct distance check with the
+// system's measure and threshold, so the operator remains total.
+func (e *Evaluator) similar(x, y string) bool {
+	if x == y {
+		return true
+	}
+	if e.sys.SEO == nil {
+		return false
+	}
+	nx := e.sys.FusedIsa.NodesOf(x)
+	ny := e.sys.FusedIsa.NodesOf(y)
+	if len(nx) > 0 && len(ny) > 0 {
+		for _, a := range nx {
+			for _, b := range ny {
+				if e.sys.SEO.Similar(a, b) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if e.sys.Measure == nil || !e.sys.DynamicSimilarity {
+		return false
+	}
+	return similarity.Within(e.sys.Measure, x, y, e.sys.Epsilon)
+}
+
+// SimilarStrings returns every ontology term sharing an SEO cluster with v
+// (including v itself when known); the Query Executor expands ~ conditions
+// into XPath disjunctions with it.
+func (s *System) SimilarStrings(v string) []string {
+	if s.SEO == nil || s.FusedIsa == nil {
+		return []string{v}
+	}
+	set := map[string]bool{v: true}
+	for _, node := range s.FusedIsa.NodesOf(v) {
+		for _, other := range s.SEO.SimilarTo(node) {
+			for _, q := range s.FusedIsa.Members[other] {
+				set[q.Term] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	return out
+}
+
+// isaReach implements X isa Y through the SEO-lifted fused isa hierarchy.
+// When X is a free-text string (e.g. a whole title), its tokens are also
+// tried, so "Efficient Relational Query Processing" isa "data model" holds
+// when the token "relational" does.
+func (e *Evaluator) isaReach(x, y string) bool {
+	if x == y {
+		return true
+	}
+	if e.sys.SEO == nil || e.sys.FusedIsa == nil {
+		return false
+	}
+	targets := e.sys.FusedIsa.NodesOf(y)
+	if len(targets) == 0 {
+		return false
+	}
+	for _, cand := range e.candidateTerms(x) {
+		for _, src := range e.sys.FusedIsa.NodesOf(cand) {
+			for _, dst := range targets {
+				if e.sys.SEO.Leq(src, dst) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// candidateTerms maps a raw condition value to ontology term candidates:
+// the string itself plus its lower-cased tokens.
+func (e *Evaluator) candidateTerms(v string) []string {
+	out := []string{v}
+	lower := strings.ToLower(v)
+	if lower != v {
+		out = append(out, lower)
+	}
+	out = append(out, similarity.Tokenize(v)...)
+	return out
+}
+
+// partOfReach implements X part_of Y over the fused part-of hierarchy
+// (tokens tried as for isa).
+func (e *Evaluator) partOfReach(x, y string) bool {
+	if x == y {
+		return true
+	}
+	if e.sys.FusedPart == nil {
+		return false
+	}
+	targets := e.sys.FusedPart.NodesOf(y)
+	if len(targets) == 0 {
+		return false
+	}
+	h := e.sys.FusedPart.Hierarchy
+	for _, cand := range e.candidateTerms(x) {
+		for _, src := range e.sys.FusedPart.NodesOf(cand) {
+			for _, dst := range targets {
+				if h.Leq(src, dst) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// instanceOf implements X instance_of Y: Y names a type, X's type is at or
+// below it, and X's value lies in Y's domain.
+func (e *Evaluator) instanceOf(x, y term) bool {
+	if !e.sys.Types.Has(y.value) {
+		return false
+	}
+	if x.isType {
+		return false
+	}
+	return e.sys.Types.Subtype(x.typ, y.value) && e.sys.Types.InDomain(x.value, y.value)
+}
+
+// subtypeOf implements X subtype_of Y over the type hierarchy.
+func (e *Evaluator) subtypeOf(x, y term) bool {
+	return e.sys.Types.Has(x.value) && e.sys.Types.Has(y.value) &&
+		e.sys.Types.Subtype(x.value, y.value)
+}
+
+// fallbackCompare is the integer-aware ordering shared with the TAX
+// baseline, used when no least common supertype exists.
+func fallbackCompare(x, y string) int {
+	return tax.CompareValues(x, y)
+}
+
+var _ tax.Evaluator = (*Evaluator)(nil)

@@ -1,0 +1,535 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pattern"
+	"repro/internal/tax"
+	"repro/internal/tree"
+	"repro/internal/xmldb"
+	"repro/internal/xpath"
+)
+
+// maxXPathExpansion caps how many disjuncts a rewritten ~ or isa condition
+// may contribute to an XPath predicate; beyond it the predicate is dropped
+// (the post-filter still enforces the condition, the pre-filter just stops
+// helping).
+const maxXPathExpansion = 64
+
+// RewritePattern rewrites a pattern tree into XPath queries, one per pattern
+// node, each a necessary condition for that node's image (the paper's Query
+// Executor "transforms a user query into a query that takes the single
+// similarity enhanced (fused) ontology into account" and rewrites it to
+// XPath for Xindice). Only atoms on the top-level conjunctive spine are
+// compiled in; everything else is left to the algebra-level post-filter, so
+// the rewrite is always sound.
+func (s *System) RewritePattern(p *pattern.Tree) []*xpath.Path {
+	spine := map[int][]*pattern.Atomic{}
+	for _, atom := range pattern.Atoms(conjunctiveOnly(p.Cond)) {
+		labels := atom.Labels(nil)
+		if len(labels) == 1 {
+			spine[labels[0]] = append(spine[labels[0]], atom)
+		} else if len(labels) == 2 && labels[0] == labels[1] {
+			spine[labels[0]] = append(spine[labels[0]], atom)
+		}
+	}
+	tagOf := func(label int) string {
+		for _, a := range spine[label] {
+			if a.Op == pattern.OpEq && a.X.Kind == pattern.TermAttr && a.X.Attr == "tag" &&
+				a.Y.Kind == pattern.TermValue && a.Y.Value != Wildcard {
+				return a.Y.Value
+			}
+		}
+		return "*"
+	}
+
+	var paths []*xpath.Path
+	for _, pn := range p.Nodes() {
+		path := &xpath.Path{}
+		// Chain of steps from the pattern root down to pn. The root itself
+		// may embed anywhere in a document, hence a descendant first step.
+		chain := []*pattern.PNode{}
+		for cur := pn; cur != nil; cur = cur.Parent {
+			chain = append(chain, cur)
+		}
+		for i := len(chain) - 1; i >= 0; i-- {
+			n := chain[i]
+			axis := xpath.AxisDescendant
+			if i < len(chain)-1 && n.EdgeIn == pattern.PC {
+				axis = xpath.AxisChild
+			}
+			step := xpath.Step{Axis: axis, Name: tagOf(n.Label)}
+			if i == 0 {
+				step.Preds = s.contentPreds(step.Name, spine[n.Label])
+			}
+			path.Steps = append(path.Steps, step)
+		}
+		// A bare //* query filters nothing; skip it.
+		if pathIsTrivial(path) {
+			continue
+		}
+		paths = append(paths, path)
+	}
+	return paths
+}
+
+// conjunctiveOnly strips Or/Not branches, keeping only the conjunctive
+// spine (necessary conditions).
+func conjunctiveOnly(c pattern.Condition) pattern.Condition {
+	switch v := c.(type) {
+	case *pattern.Atomic:
+		return v
+	case *pattern.And:
+		out := &pattern.And{}
+		for _, s := range v.Conds {
+			if kept := conjunctiveOnly(s); kept != nil {
+				out.Conds = append(out.Conds, kept)
+			}
+		}
+		if len(out.Conds) == 0 {
+			return nil
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// contentPreds compiles a node's content atoms into XPath predicates. Only
+// predicates that are *necessary* for the atom are emitted, so the rewrite
+// never loses answers.
+func (s *System) contentPreds(tag string, atoms []*pattern.Atomic) []xpath.Pred {
+	var out []xpath.Pred
+	for _, a := range atoms {
+		// Normalise to attr-op-literal with the attribute on the left.
+		attr, lit, op, ok := normalizeAtom(a)
+		if !ok || attr != "content" || lit == Wildcard {
+			continue
+		}
+		switch op {
+		case pattern.OpEq:
+			// Sound only for plain strings (typed values may compare equal
+			// across different spellings).
+			out = append(out, xpath.EqualsSelf(lit))
+		// OpContains is deliberately NOT compiled into an XPath predicate:
+		// the algebra operator folds case while XPath contains() does not,
+		// so the pre-filter would drop answers whose case differs.
+		case pattern.OpSim:
+			// ~ expands to the literal's full SEO cluster. The expansion is
+			// a complete enumeration of possible matches only when (a) the
+			// node's tag is a value tag, so every DB value under it is in
+			// the ontology, (b) the Ontology Maker did not truncate value
+			// terms, and (c) the literal itself is a known term — otherwise
+			// the evaluator's dynamic-similarity fallback could match
+			// values outside the expansion and the pre-filter would be
+			// unsound, so we emit nothing.
+			if !s.simRewriteSound(tag, lit) {
+				continue
+			}
+			vals := s.SimilarStrings(lit)
+			if len(vals) > 0 && len(vals) <= maxXPathExpansion {
+				out = append(out, xpath.AnyEqualsSelf(vals))
+			}
+		}
+	}
+	return out
+}
+
+// simRewriteSound reports whether a ~ condition on a node with the given tag
+// and literal may be pre-filtered by SEO expansion (see contentPreds).
+func (s *System) simRewriteSound(tag, lit string) bool {
+	return s.SEO != nil && s.valueTags[tag] && !s.valueTruncated &&
+		len(s.FusedIsa.NodesOf(lit)) > 0
+}
+
+func normalizeAtom(a *pattern.Atomic) (attr, lit string, op pattern.Op, ok bool) {
+	x, y := a.X, a.Y
+	op = a.Op
+	if x.Kind == pattern.TermValue && y.Kind == pattern.TermAttr {
+		// literal op attr: symmetric ops only.
+		switch op {
+		case pattern.OpEq, pattern.OpSim:
+			x, y = y, x
+		default:
+			return "", "", op, false
+		}
+	}
+	if x.Kind != pattern.TermAttr || y.Kind != pattern.TermValue {
+		return "", "", op, false
+	}
+	if y.Type != "" && y.Type != "string" {
+		return "", "", op, false
+	}
+	return x.Attr, y.Value, op, true
+}
+
+func pathIsTrivial(p *xpath.Path) bool {
+	for _, s := range p.Steps {
+		if s.Name != "*" || len(s.Preds) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CandidateDocs returns the documents of the collection that match every
+// rewritten XPath query — the candidate set the algebra then runs over.
+func (s *System) CandidateDocs(col *xmldb.Collection, paths []*xpath.Path) []*tree.Tree {
+	docs := col.Docs()
+	if len(paths) == 0 {
+		return docs
+	}
+	rootDoc := make(map[*tree.Node]*tree.Tree, len(docs))
+	for _, d := range docs {
+		rootDoc[d.Root] = d
+	}
+	var surviving map[*tree.Tree]bool
+	for _, p := range paths {
+		hits := map[*tree.Tree]bool{}
+		for _, n := range col.QueryPath(p) {
+			if d := rootDoc[n.Root()]; d != nil {
+				hits[d] = true
+			}
+		}
+		if surviving == nil {
+			surviving = hits
+		} else {
+			for d := range surviving {
+				if !hits[d] {
+					delete(surviving, d)
+				}
+			}
+		}
+		if len(surviving) == 0 {
+			return nil
+		}
+	}
+	var out []*tree.Tree
+	for _, d := range docs { // preserve document order
+		if surviving[d] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Select executes TOSS selection σ_{P,SL} against the named instance:
+// rewrite to XPath, fetch candidate documents, run the embedding search
+// with the TOSS evaluator, and materialise witness trees.
+func (s *System) Select(instance string, p *pattern.Tree, sl []int) ([]*tree.Tree, error) {
+	in := s.Instance(instance)
+	if in == nil {
+		return nil, fmt.Errorf("core: unknown instance %q", instance)
+	}
+	cands := s.CandidateDocs(in.Col, s.RewritePattern(p))
+	return s.selectDocs(cands, p, sl)
+}
+
+// SelectN runs TOSS selection but stops after collecting limit answers
+// (limit ≤ 0 means no limit). Documents are processed in order, so the
+// answers are a prefix of what Select would return.
+func (s *System) SelectN(instance string, p *pattern.Tree, sl []int, limit int) ([]*tree.Tree, error) {
+	if limit <= 0 {
+		return s.Select(instance, p, sl)
+	}
+	in := s.Instance(instance)
+	if in == nil {
+		return nil, fmt.Errorf("core: unknown instance %q", instance)
+	}
+	cands := s.CandidateDocs(in.Col, s.RewritePattern(p))
+	dst := tree.NewCollection()
+	ev := s.Evaluator()
+	var out []*tree.Tree
+	for _, doc := range cands {
+		res, err := tax.Select(dst, []*tree.Tree{doc}, p, sl, ev)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res...)
+		if len(out) >= limit {
+			return out[:limit], nil
+		}
+	}
+	return out, nil
+}
+
+// SelectTrees runs TOSS selection over an explicit tree set (used for
+// composed algebra expressions whose inputs are intermediate results).
+func (s *System) SelectTrees(db []*tree.Tree, p *pattern.Tree, sl []int) ([]*tree.Tree, error) {
+	dst := tree.NewCollection()
+	return tax.Select(dst, db, p, sl, s.Evaluator())
+}
+
+// Project executes TOSS projection π_{P,PL} against the named instance.
+func (s *System) Project(instance string, p *pattern.Tree, pl []int) ([]*tree.Tree, error) {
+	in := s.Instance(instance)
+	if in == nil {
+		return nil, fmt.Errorf("core: unknown instance %q", instance)
+	}
+	cands := s.CandidateDocs(in.Col, s.RewritePattern(p))
+	dst := tree.NewCollection()
+	return tax.Project(dst, cands, p, pl, s.Evaluator())
+}
+
+// Product returns the TOSS cross product of two tree sets.
+func (s *System) Product(a, b []*tree.Tree) []*tree.Tree {
+	dst := tree.NewCollection()
+	return tax.Product(dst, a, b)
+}
+
+// Join executes a condition join of two instances: product followed by
+// selection (Section 5.1.2), with the XPath pre-filter applied per side.
+// When the join condition contains a cross-tree ~ or = atom on content, a
+// similarity hash join pairs only documents sharing an SEO cluster key,
+// preserving the result while skipping hopeless pairs.
+func (s *System) Join(left, right string, p *pattern.Tree, sl []int) ([]*tree.Tree, error) {
+	li := s.Instance(left)
+	ri := s.Instance(right)
+	if li == nil || ri == nil {
+		return nil, fmt.Errorf("core: unknown instance in join (%q, %q)", left, right)
+	}
+	ldocs := li.Col.Docs()
+	rdocs := ri.Col.Docs()
+	// Side-aware pre-filtering: a product-rooted pattern splits into one
+	// sub-pattern per side, each a necessary condition for documents of
+	// that side, so hopeless documents never enter the pairing at all.
+	if lp, rp, ok := SplitJoinPattern(p); ok {
+		ldocs = s.CandidateDocs(li.Col, s.RewritePattern(lp))
+		rdocs = s.CandidateDocs(ri.Col, s.RewritePattern(rp))
+	}
+	return s.JoinTrees(ldocs, rdocs, p, sl)
+}
+
+// SplitJoinPattern splits a product-rooted join pattern into its two side
+// sub-patterns: the pattern root must be constrained (on the conjunctive
+// spine) to the product root tag and have exactly two child subtrees. Each
+// returned pattern carries the original structure of its side plus the
+// conjunctive-spine atoms that mention only that side's labels — necessary
+// conditions for any embedding, hence sound pre-filters.
+func SplitJoinPattern(p *pattern.Tree) (left, right *pattern.Tree, ok bool) {
+	root := p.Root
+	if root == nil || len(root.Children) != 2 {
+		return nil, nil, false
+	}
+	rootIsProd := false
+	for _, a := range pattern.Atoms(conjunctiveOnly(p.Cond)) {
+		if a.Op == pattern.OpEq && a.X.Kind == pattern.TermAttr &&
+			a.X.Label == root.Label && a.X.Attr == "tag" &&
+			a.Y.Kind == pattern.TermValue && a.Y.Value == tax.ProdRootTag {
+			rootIsProd = true
+		}
+	}
+	if !rootIsProd {
+		return nil, nil, false
+	}
+	build := func(top *pattern.PNode) *pattern.Tree {
+		t := pattern.New(top.Label)
+		labels := map[int]bool{top.Label: true}
+		var rec func(parent *pattern.PNode)
+		rec = func(parent *pattern.PNode) {
+			for _, c := range parent.Children {
+				t.MustAddChild(parent.Label, c.Label, c.EdgeIn)
+				labels[c.Label] = true
+				rec(c)
+			}
+		}
+		rec(top)
+		var conds []pattern.Condition
+		for _, a := range pattern.Atoms(conjunctiveOnly(p.Cond)) {
+			ls := a.Labels(nil)
+			if len(ls) == 0 {
+				continue
+			}
+			all := true
+			for _, l := range ls {
+				if !labels[l] {
+					all = false
+					break
+				}
+			}
+			if all {
+				cp := *a
+				conds = append(conds, &cp)
+			}
+		}
+		if len(conds) == 1 {
+			t.Cond = conds[0]
+		} else if len(conds) > 1 {
+			t.Cond = &pattern.And{Conds: conds}
+		}
+		return t
+	}
+	return build(root.Children[0]), build(root.Children[1]), true
+}
+
+// JoinTrees joins two explicit tree sets (see Join).
+func (s *System) JoinTrees(ldocs, rdocs []*tree.Tree, p *pattern.Tree, sl []int) ([]*tree.Tree, error) {
+	dst := tree.NewCollection()
+	pairs := s.joinPairs(ldocs, rdocs, p)
+	ev := s.Evaluator()
+	var out []*tree.Tree
+	for _, pr := range pairs {
+		prod := tax.Product(dst, []*tree.Tree{pr[0]}, []*tree.Tree{pr[1]})
+		res, err := tax.Select(dst, prod, p, sl, ev)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res...)
+	}
+	return out, nil
+}
+
+// NestedLoopJoinTrees is the unoptimised product-then-select join, kept for
+// the hash-join ablation benchmark and as the semantic reference.
+func (s *System) NestedLoopJoinTrees(ldocs, rdocs []*tree.Tree, p *pattern.Tree, sl []int) ([]*tree.Tree, error) {
+	dst := tree.NewCollection()
+	prod := tax.Product(dst, ldocs, rdocs)
+	return tax.Select(dst, prod, p, sl, s.Evaluator())
+}
+
+// joinPairs picks the document pairs worth joining. With a usable cross atom
+// it hash-partitions both sides by SEO cluster keys; otherwise it returns
+// the full cross product of documents.
+func (s *System) joinPairs(ldocs, rdocs []*tree.Tree, p *pattern.Tree) [][2]*tree.Tree {
+	atom := s.crossSimAtom(p)
+	if atom == nil {
+		out := make([][2]*tree.Tree, 0, len(ldocs)*len(rdocs))
+		for _, l := range ldocs {
+			for _, r := range rdocs {
+				out = append(out, [2]*tree.Tree{l, r})
+			}
+		}
+		return out
+	}
+	keyed := func(docs []*tree.Tree) map[string][]int {
+		m := map[string][]int{}
+		for i, d := range docs {
+			seen := map[string]bool{}
+			d.Walk(func(n *tree.Node) bool {
+				if n.Content == "" {
+					return true
+				}
+				for _, k := range s.simKeys(n.Content, atom.Op) {
+					if !seen[k] {
+						seen[k] = true
+						m[k] = append(m[k], i)
+					}
+				}
+				return true
+			})
+		}
+		return m
+	}
+	lk := keyed(ldocs)
+	rk := keyed(rdocs)
+	pairSet := map[[2]int]bool{}
+	var out [][2]*tree.Tree
+	for k, ls := range lk {
+		rs := rk[k]
+		for _, li := range ls {
+			for _, ri := range rs {
+				pr := [2]int{li, ri}
+				if !pairSet[pr] {
+					pairSet[pr] = true
+					out = append(out, [2]*tree.Tree{ldocs[li], rdocs[ri]})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return indexOfTree(ldocs, out[i][0]) < indexOfTree(ldocs, out[j][0])
+		}
+		return indexOfTree(rdocs, out[i][1]) < indexOfTree(rdocs, out[j][1])
+	})
+	return out
+}
+
+func indexOfTree(ts []*tree.Tree, t *tree.Tree) int {
+	for i, x := range ts {
+		if x == t {
+			return i
+		}
+	}
+	return -1
+}
+
+// crossSimAtom finds a conjunctive-spine atom of the form
+// #a.content (~|=) #b.content with a ≠ b — the hash-join key.
+func (s *System) crossSimAtom(p *pattern.Tree) *pattern.Atomic {
+	for _, a := range pattern.Atoms(conjunctiveOnly(p.Cond)) {
+		if (a.Op == pattern.OpSim || a.Op == pattern.OpEq) &&
+			a.X.Kind == pattern.TermAttr && a.Y.Kind == pattern.TermAttr &&
+			a.X.Attr == "content" && a.Y.Attr == "content" &&
+			a.X.Label != a.Y.Label {
+			if a.Op == pattern.OpSim && !s.hashSimJoinComplete() {
+				// Cluster keys unavailable or incomplete (the dynamic
+				// similarity fallback could relate values the ontology does
+				// not know); fall back to the nested loop.
+				continue
+			}
+			return a
+		}
+	}
+	return nil
+}
+
+// simKeys produces the hash-join keys of a content value: for = the value
+// itself; for ~ its SEO cluster names (or the value when unknown — two
+// unknown values can only be ~ by the dynamic fallback, which the hash path
+// refuses above).
+func (s *System) simKeys(v string, op pattern.Op) []string {
+	if op == pattern.OpEq {
+		return []string{"=" + v}
+	}
+	nodes := s.FusedIsa.NodesOf(v)
+	if len(nodes) == 0 {
+		return []string{"=" + v}
+	}
+	var out []string
+	for _, n := range nodes {
+		for _, cl := range s.SEO.Mu[n] {
+			out = append(out, "~"+cl)
+		}
+	}
+	if len(out) == 0 {
+		out = []string{"=" + v}
+	}
+	return out
+}
+
+// Union, Intersect and Difference lift the TAX set operations (tree
+// value-equality semantics are identical in TOSS, Section 5.1.2).
+func (s *System) Union(a, b []*tree.Tree) []*tree.Tree {
+	return tax.Union(tree.NewCollection(), a, b)
+}
+
+// Intersect returns the set intersection of two tree sets.
+func (s *System) Intersect(a, b []*tree.Tree) []*tree.Tree {
+	return tax.Intersect(tree.NewCollection(), a, b)
+}
+
+// Difference returns the set difference of two tree sets.
+func (s *System) Difference(a, b []*tree.Tree) []*tree.Tree {
+	return tax.Difference(tree.NewCollection(), a, b)
+}
+
+// hashSimJoinComplete reports whether SEO cluster keys enumerate every
+// possible ~ match between DB values, which is what the similarity hash join
+// needs. This holds when every content value the join might compare is
+// ontologized; the conservative proxy used here is that the system was built
+// with DynamicSimilarity disabled (no measure fallback at query time).
+func (s *System) hashSimJoinComplete() bool {
+	return s.SEO != nil && !s.DynamicSimilarity
+}
+
+// RewriteToXPathStrings renders the rewritten queries (handy for CLIs and
+// tests demonstrating the executor's query transformation).
+func (s *System) RewriteToXPathStrings(p *pattern.Tree) []string {
+	var out []string
+	for _, path := range s.RewritePattern(p) {
+		out = append(out, path.String())
+	}
+	return out
+}

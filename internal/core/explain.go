@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pattern"
+)
+
+// Plan describes how the Query Executor will run a selection: the rewritten
+// XPath pre-filters, how many documents survive them, and which conditions
+// are enforced only by the algebra-level post-filter.
+type Plan struct {
+	Instance      string
+	Pattern       string
+	XPaths        []string
+	TotalDocs     int
+	CandidateDocs int
+	// PostFilterAtoms lists the atomic conditions the rewrite could not
+	// compile into XPath (they are checked during embedding search).
+	PostFilterAtoms []string
+	// SimilarityExpansions maps each ~ literal that was expanded to the
+	// number of SEO-cluster strings it expanded into.
+	SimilarityExpansions map[string]int
+	// TypeErrors carries static well-typedness findings (advisory).
+	TypeErrors []TypeError
+}
+
+// Explain builds the execution plan for a selection without running it.
+func (s *System) Explain(instance string, p *pattern.Tree) (*Plan, error) {
+	in := s.Instance(instance)
+	if in == nil {
+		return nil, fmt.Errorf("core: unknown instance %q", instance)
+	}
+	paths := s.RewritePattern(p)
+	plan := &Plan{
+		Instance:             instance,
+		Pattern:              p.String(),
+		TotalDocs:            in.Col.DocCount(),
+		SimilarityExpansions: map[string]int{},
+		TypeErrors:           s.CheckWellTyped(p),
+	}
+	for _, path := range paths {
+		plan.XPaths = append(plan.XPaths, path.String())
+	}
+	plan.CandidateDocs = len(s.CandidateDocs(in.Col, paths))
+
+	compiled := map[string]bool{}
+	for _, a := range pattern.Atoms(conjunctiveOnly(p.Cond)) {
+		attr, lit, op, ok := normalizeAtom(a)
+		if !ok {
+			continue
+		}
+		switch {
+		case attr == "tag" && op == pattern.OpEq:
+			compiled[a.String()] = true
+		case attr == "content" && op == pattern.OpEq && lit != Wildcard:
+			compiled[a.String()] = true
+		case attr == "content" && op == pattern.OpSim && s.simRewriteSound("", lit):
+			// Tag-specific soundness was already decided during rewriting;
+			// report the expansion size regardless so the plan shows what
+			// the SEO knows about the literal.
+		}
+		if op == pattern.OpSim {
+			plan.SimilarityExpansions[lit] = len(s.SimilarStrings(lit))
+		}
+	}
+	for _, a := range pattern.Atoms(p.Cond) {
+		if !compiled[a.String()] {
+			plan.PostFilterAtoms = append(plan.PostFilterAtoms, a.String())
+		}
+	}
+	return plan, nil
+}
+
+// String renders the plan for humans.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "selection on %s\n", p.Instance)
+	fmt.Fprintf(&b, "pattern: %s\n", p.Pattern)
+	if len(p.XPaths) == 0 {
+		b.WriteString("pre-filter: none (full scan)\n")
+	} else {
+		b.WriteString("pre-filter XPath queries:\n")
+		for _, q := range p.XPaths {
+			fmt.Fprintf(&b, "  %s\n", q)
+		}
+	}
+	fmt.Fprintf(&b, "candidate documents: %d of %d\n", p.CandidateDocs, p.TotalDocs)
+	if len(p.SimilarityExpansions) > 0 {
+		b.WriteString("similarity expansions:\n")
+		for lit, n := range p.SimilarityExpansions {
+			fmt.Fprintf(&b, "  %q -> %d cluster string(s)\n", lit, n)
+		}
+	}
+	if len(p.PostFilterAtoms) > 0 {
+		b.WriteString("post-filtered conditions:\n")
+		for _, a := range p.PostFilterAtoms {
+			fmt.Fprintf(&b, "  %s\n", a)
+		}
+	}
+	for _, e := range p.TypeErrors {
+		fmt.Fprintf(&b, "type warning: %s\n", e)
+	}
+	return b.String()
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+func TestExplain(t *testing.T) {
+	s := miniSystem(t, 3)
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & ` +
+		`#2.content ~ "Jeffrey D. Ullman"`)
+	plan, err := s.Explain("dblp", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalDocs != 1 || plan.CandidateDocs != 1 {
+		t.Errorf("doc counts = %d/%d", plan.CandidateDocs, plan.TotalDocs)
+	}
+	if len(plan.XPaths) == 0 {
+		t.Error("plan should list XPath pre-filters")
+	}
+	if n := plan.SimilarityExpansions["Jeffrey D. Ullman"]; n < 2 {
+		t.Errorf("expansion size = %d, want >= 2 (J. Ullman variant)", n)
+	}
+	out := plan.String()
+	for _, want := range []string{"pre-filter XPath", "candidate documents: 1 of 1", "similarity expansions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan rendering missing %q:\n%s", want, out)
+		}
+	}
+	// The ~ atom is always post-filtered (the expansion is only a
+	// pre-filter).
+	foundSim := false
+	for _, a := range plan.PostFilterAtoms {
+		if strings.Contains(a, "~") {
+			foundSim = true
+		}
+	}
+	if !foundSim {
+		t.Errorf("~ condition should appear among post-filtered atoms: %v", plan.PostFilterAtoms)
+	}
+	if _, err := s.Explain("ghost", p); err == nil {
+		t.Error("unknown instance must fail")
+	}
+}
+
+func TestExplainUnselectiveQuery(t *testing.T) {
+	s := miniSystem(t, 3)
+	p := pattern.MustParse(`#1 :: #1.tag = "nonexistent"`)
+	plan, err := s.Explain("dblp", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.CandidateDocs != 0 {
+		t.Errorf("impossible query should have 0 candidates, got %d", plan.CandidateDocs)
+	}
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/similarity"
+	"repro/internal/tax"
+	"repro/internal/tree"
+)
+
+const thirdSourceXML = `<biblio>
+  <paper key="b1">
+    <writer>E. Bertino</writer>
+    <heading>Securing XML Documents</heading>
+    <venue>SIGMOD Conference</venue>
+    <published>2000</published>
+  </paper>
+</biblio>`
+
+// TestThreeSourceFusion integrates a third bibliography whose schema shares
+// no tag names with DBLP or SIGMOD; DBA synonym rules bridge the vocabulary
+// and the fusion merges all three schemas.
+func TestThreeSourceFusion(t *testing.T) {
+	s := NewSystem()
+	// DBA vocabulary rules for the third source's schema.
+	s.Lexicon.AddSynonym("writer", "author")
+	s.Lexicon.AddSynonym("heading", "title")
+	s.Lexicon.AddSynonym("venue", "booktitle")
+	s.Lexicon.AddSynonym("published", "year")
+
+	for _, src := range []struct{ name, xml string }{
+		{"dblp", miniDBLP},
+		{"sigmod", miniSIGMOD},
+		{"biblio", thirdSourceXML},
+	} {
+		in, err := s.AddInstance(src.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := in.Col.PutXML(src.name, strings.NewReader(src.xml)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Build(similarity.NameRule{}, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	// All three author-like tags fuse into one node.
+	a := s.FusedIsa.NodesOf("author")
+	w := s.FusedIsa.NodesOf("writer")
+	if len(a) == 0 || len(w) == 0 || a[0] != w[0] {
+		t.Errorf("author %v and writer %v should fuse", a, w)
+	}
+	// Venue values from all sources sit below the fused booktitle node.
+	ev := s.Evaluator()
+	for _, cond := range []string{
+		`"SIGMOD Conference" isa "venue"`,
+		`"SIGMOD Conference" isa "booktitle"`,
+		`"International Conference on Management of Data" isa "venue"`,
+	} {
+		atom := pattern.MustParseCondition(cond).(*pattern.Atomic)
+		ok, err := ev.EvalAtomic(atom, bindingNone())
+		if err != nil {
+			t.Fatalf("%s: %v", cond, err)
+		}
+		if !ok {
+			t.Errorf("%s should hold after three-way fusion", cond)
+		}
+	}
+
+	// A similarity query in the third source's own vocabulary finds the
+	// variant spellings from the other sources' value pools.
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "paper" & #2.tag = "writer" & #2.content ~ "Elisa Bertino"`)
+	res, err := s.Select("biblio", p, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Errorf("cross-vocabulary similarity selection = %d answers, want 1", len(res))
+	}
+}
+
+// TestReEnhance rebuilds the SEO at a different ε on a live system; query
+// results widen accordingly without re-running the Ontology Maker.
+func TestReEnhance(t *testing.T) {
+	s := NewSystem()
+	in, err := s.AddInstance("dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Col.PutXML("d", strings.NewReader(miniDBLP)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Build(similarity.NameRule{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ "Jeffrey D. Ullman"`)
+	strict, err := s.Select("dblp", p, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict) != 1 {
+		t.Fatalf("eps=0 should match exactly, got %d", len(strict))
+	}
+	// Re-enhance at eps=3 without rebuilding ontologies.
+	if err := s.Enhance(similarity.NameRule{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	loose, err := s.Select("dblp", p, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loose) != 2 {
+		t.Fatalf("eps=3 should add the J. Ullman paper, got %d", len(loose))
+	}
+}
+
+// bindingNone returns an empty binding for literal-only conditions.
+func bindingNone() tax.Binding { return tax.Binding{} }
+
+func TestNewTFIDFMeasure(t *testing.T) {
+	s := miniSystem(t, 3)
+	m := s.NewTFIDFMeasure(1, "title")
+	if m.DocCount() != 4 { // 3 DBLP titles + 1 SIGMOD title
+		t.Fatalf("DocCount = %d, want 4", m.DocCount())
+	}
+	// "xml" appears in two titles, "index" in one.
+	if m.DocFrequency("xml") != 2 || m.DocFrequency("index") != 1 {
+		t.Errorf("df(xml)=%d df(index)=%d", m.DocFrequency("xml"), m.DocFrequency("index"))
+	}
+	// The corpus-weighted measure drives a rebuild end to end.
+	if err := s.Enhance(m, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if s.SEO == nil {
+		t.Fatal("re-enhancement with TFIDF failed")
+	}
+	// All-content variant sees more documents.
+	all := s.NewTFIDFMeasure(1)
+	if all.DocCount() <= m.DocCount() {
+		t.Errorf("all-content corpus (%d) should exceed title corpus (%d)", all.DocCount(), m.DocCount())
+	}
+}
+
+// TestHashSimJoin exercises the similarity hash-join fast path: with the
+// dynamic fallback disabled (every relevant value ontologized), joinPairs
+// partitions documents by SEO cluster keys and must produce exactly the
+// nested-loop result.
+func TestHashSimJoin(t *testing.T) {
+	s := miniSystem(t, 3)
+	s.DynamicSimilarity = false
+	p := pattern.MustParse(`#1 pc #2, #1 pc #3, #2 ad #4, #3 ad #5 :: ` +
+		`#1.tag = "tax_prod_root" & #2.tag = "dblp" & #3.tag = "ProceedingsPage" & ` +
+		`#4.tag = "author" & #5.tag = "author" & #4.content ~ #5.content`)
+	fast, err := s.Join("dblp", "sigmod", p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldocs, _ := s.Trees("dblp")
+	rdocs, _ := s.Trees("sigmod")
+	slow, err := s.NestedLoopJoinTrees(ldocs, rdocs, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast) != len(slow) {
+		t.Fatalf("hash join %d vs nested loop %d", len(fast), len(slow))
+	}
+	if len(fast) != 1 {
+		t.Errorf("expected the Bertino author pair, got %d", len(fast))
+	}
+	// = cross atoms also use the hash path.
+	pEq := pattern.MustParse(`#1 pc #2, #1 pc #3, #2 ad #4, #3 ad #5 :: ` +
+		`#1.tag = "tax_prod_root" & #2.tag = "dblp" & #3.tag = "ProceedingsPage" & ` +
+		`#4.tag = "year" & #5.tag = "confYear" & #4.content = #5.content`)
+	eqFast, err := s.Join("dblp", "sigmod", pEq, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqSlow, err := s.NestedLoopJoinTrees(ldocs, rdocs, pEq, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eqFast) != len(eqSlow) {
+		t.Fatalf("= hash join %d vs nested loop %d", len(eqFast), len(eqSlow))
+	}
+}
+
+// TestPartOfValueChains mirrors the govquery example inside the test suite:
+// affiliation values reach "us government" through lexicon holonym chains.
+func TestPartOfValueChains(t *testing.T) {
+	s := NewSystem()
+	in, err := s.AddInstance("papers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const xml = `<dblp>
+	  <inproceedings key="p1">
+	    <author>Ann Smith</author>
+	    <affiliation>US Census Bureau</affiliation>
+	    <title>Census Tabulation</title>
+	  </inproceedings>
+	  <inproceedings key="p2">
+	    <author>Carol White</author>
+	    <affiliation>Stanford University</affiliation>
+	    <title>Ontology Algebra</title>
+	  </inproceedings>
+	</dblp>`
+	if _, err := in.Col.PutXML("p", strings.NewReader(xml)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Build(similarity.NameRule{}, 2); err != nil {
+		t.Fatal(err)
+	}
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "affiliation" & #2.content part_of "us government"`)
+	res, err := s.Select("papers", p, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("part_of selection = %d answers, want 1 (Census Bureau only)", len(res))
+	}
+	if got := res[0].Root.ChildContent("affiliation"); got != "US Census Bureau" {
+		t.Errorf("wrong paper matched: %q", got)
+	}
+}
+
+func TestSplitJoinPattern(t *testing.T) {
+	p := pattern.MustParse(`#1 pc #2, #1 pc #3, #2 ad #4, #3 ad #5 :: ` +
+		`#1.tag = "tax_prod_root" & #2.tag = "dblp" & #3.tag = "ProceedingsPage" & ` +
+		`#4.tag = "title" & #5.tag = "title" & #4.content ~ #5.content`)
+	l, r, ok := SplitJoinPattern(p)
+	if !ok {
+		t.Fatal("product-rooted pattern should split")
+	}
+	if l.Root.Label != 2 || r.Root.Label != 3 {
+		t.Errorf("split roots = #%d/#%d", l.Root.Label, r.Root.Label)
+	}
+	if l.NodeCount() != 2 || r.NodeCount() != 2 {
+		t.Errorf("split sizes = %d/%d", l.NodeCount(), r.NodeCount())
+	}
+	// Side conditions keep only their own labels; the cross atom is gone.
+	for _, a := range pattern.Atoms(l.Cond) {
+		for _, lab := range a.Labels(nil) {
+			if lab != 2 && lab != 4 {
+				t.Errorf("left condition leaked label %d", lab)
+			}
+		}
+	}
+	if len(pattern.Atoms(l.Cond)) != 2 { // #2.tag and #4.tag
+		t.Errorf("left atoms = %d", len(pattern.Atoms(l.Cond)))
+	}
+	// Non-product patterns do not split.
+	if _, _, ok := SplitJoinPattern(pattern.MustParse(`#1 pc #2 :: #1.tag = "a"`)); ok {
+		t.Error("non-product pattern must not split")
+	}
+	if _, _, ok := SplitJoinPattern(pattern.MustParse(`#1 pc #2, #1 pc #3`)); ok {
+		t.Error("unconstrained root must not split")
+	}
+}
+
+// TestJoinSidePrefilterSoundness: Join with side pre-filtering equals the
+// raw nested-loop join over all documents.
+func TestJoinSidePrefilterSoundness(t *testing.T) {
+	s := miniSystem(t, 3)
+	p := pattern.MustParse(`#1 pc #2, #1 pc #3, #2 ad #4, #3 ad #5 :: ` +
+		`#1.tag = "tax_prod_root" & #2.tag = "dblp" & #3.tag = "ProceedingsPage" & ` +
+		`#4.tag = "booktitle" & #5.tag = "conference" & #4.content isa "meeting" & #5.content isa "meeting" & #4.content = "SIGMOD Conference"`)
+	fast, err := s.Join("dblp", "sigmod", p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldocs, _ := s.Trees("dblp")
+	rdocs, _ := s.Trees("sigmod")
+	slow, err := s.NestedLoopJoinTrees(ldocs, rdocs, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast) != len(slow) {
+		t.Fatalf("prefiltered join %d vs nested loop %d", len(fast), len(slow))
+	}
+	for i := range fast {
+		if !tree.Equal(fast[i], slow[i]) {
+			t.Fatalf("answer %d differs", i)
+		}
+	}
+}
+
+// TestRebuildAfterNewDocuments: adding documents after a Build and building
+// again refreshes ontologies and answers.
+func TestRebuildAfterNewDocuments(t *testing.T) {
+	s := NewSystem()
+	in, err := s.AddInstance("dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Col.PutXML("d1", strings.NewReader(miniDBLP)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Build(similarity.NameRule{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	before := s.OntologyTermCount()
+
+	const extra = `<dblp>
+	  <inproceedings key="d9">
+	    <author>Newcomer Author</author>
+	    <title>Fresh Results</title>
+	    <booktitle>BRANDNEW</booktitle>
+	    <year>2003</year>
+	  </inproceedings>
+	</dblp>`
+	if _, err := in.Col.PutXML("d2", strings.NewReader(extra)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Build(similarity.NameRule{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if s.OntologyTermCount() <= before {
+		t.Errorf("rebuild should grow the ontology: %d -> %d", before, s.OntologyTermCount())
+	}
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ "Newcomer Author"`)
+	res, err := s.Select("dblp", p, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Errorf("new document not queryable after rebuild: %d answers", len(res))
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := miniSystem(t, 3)
+	st := s.Stats()
+	if st.Instances != 2 || st.Documents != 2 {
+		t.Errorf("instances/documents = %d/%d", st.Instances, st.Documents)
+	}
+	if st.Bytes <= 0 || st.IsaTerms <= 0 || st.PartTerms <= 0 || st.SEONodes <= 0 {
+		t.Errorf("stats incomplete: %+v", st)
+	}
+	if st.MergedNodes == 0 {
+		t.Error("expected at least one merged SEO cluster (Ullman variants)")
+	}
+	if st.MeasureName != "name-rule" || st.Epsilon != 3 {
+		t.Errorf("measure metadata wrong: %s/%g", st.MeasureName, st.Epsilon)
+	}
+	out := st.String()
+	for _, want := range []string{"instances: 2", "isa hierarchy", "SEO:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Unbuilt system: zero values, no panic.
+	empty := NewSystem()
+	if st := empty.Stats(); st.SEONodes != 0 || st.IsaTerms != 0 {
+		t.Errorf("unbuilt stats should be zero: %+v", st)
+	}
+}
+
+func TestVerifySEO(t *testing.T) {
+	s := miniSystem(t, 3)
+	if err := s.VerifySEO(); err != nil {
+		t.Fatalf("built SEO should verify: %v", err)
+	}
+	if err := NewSystem().VerifySEO(); err == nil {
+		t.Error("unbuilt system must fail verification")
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/pattern"
+	"repro/internal/tax"
+	"repro/internal/tree"
+)
+
+// selectDocs evaluates a selection over candidate documents, fanning out
+// across s.Parallelism workers when that is set above 1. Each document gets
+// its own destination collection and its own evaluator (the evaluator's memo
+// tables are not safe for concurrent use); answers are concatenated in
+// document order, so results are identical to the sequential path.
+func (s *System) selectDocs(cands []*tree.Tree, p *pattern.Tree, sl []int) ([]*tree.Tree, error) {
+	workers := s.Parallelism
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || len(cands) <= 1 {
+		dst := tree.NewCollection()
+		return tax.Select(dst, cands, p, sl, s.Evaluator())
+	}
+
+	type result struct {
+		trees []*tree.Tree
+		err   error
+	}
+	results := make([]result, len(cands))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, doc := range cands {
+		wg.Add(1)
+		go func(i int, doc *tree.Tree) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			dst := tree.NewCollection()
+			trees, err := tax.Select(dst, []*tree.Tree{doc}, p, sl, s.Evaluator())
+			results[i] = result{trees: trees, err: err}
+		}(i, doc)
+	}
+	wg.Wait()
+	var out []*tree.Tree
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		out = append(out, r.trees...)
+	}
+	return out, nil
+}

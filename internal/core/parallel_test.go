@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"fmt"
+	"repro/internal/datagen"
+	"repro/internal/pattern"
+	"repro/internal/similarity"
+	"repro/internal/tax"
+	"repro/internal/tree"
+	"strings"
+)
+
+// buildCorpusSystem loads a chunked corpus for parallelism tests.
+func buildCorpusSystem(t *testing.T, papers, chunk int) (*System, *datagen.Corpus) {
+	t.Helper()
+	corpus := datagen.Generate(datagen.DefaultConfig(papers))
+	s := NewSystem()
+	dblp, err := s.AddInstance("dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(corpus.Papers); i += chunk {
+		end := i + chunk
+		if end > len(corpus.Papers) {
+			end = len(corpus.Papers)
+		}
+		key := fmt.Sprintf("dblp-%03d", i/chunk)
+		if _, err := dblp.Col.PutXML(key, strings.NewReader(corpus.DBLPString(corpus.Papers[i:end]))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Build(similarity.NameRule{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	return s, corpus
+}
+
+func TestParallelSelectMatchesSequential(t *testing.T) {
+	s, corpus := buildCorpusSystem(t, 120, 10)
+	author := corpus.Authors[0].Canonical()
+	pats := []string{
+		fmt.Sprintf(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ %q`, author),
+		`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "title" & #2.content isa "operation"`,
+	}
+	for _, src := range pats {
+		p := pattern.MustParse(src)
+		s.Parallelism = 1
+		seq, err := s.Select("dblp", p, []int{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Parallelism = 8
+		par, err := s.Select("dblp", p, []int{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq) != len(par) {
+			t.Fatalf("%s: sequential %d vs parallel %d", src, len(seq), len(par))
+		}
+		for i := range seq {
+			if !tree.Equal(seq[i], par[i]) {
+				t.Fatalf("%s: answer %d differs (order not preserved?)", src, i)
+			}
+		}
+	}
+}
+
+func TestSelectNLimit(t *testing.T) {
+	s, corpus := buildCorpusSystem(t, 120, 10)
+	_ = corpus
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "year"`)
+	all, err := s.Select("dblp", p, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 120 {
+		t.Fatalf("unlimited select = %d", len(all))
+	}
+	five, err := s.SelectN("dblp", p, []int{1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(five) != 5 {
+		t.Fatalf("SelectN(5) = %d", len(five))
+	}
+	for i := range five {
+		if !tree.Equal(five[i], all[i]) {
+			t.Fatalf("SelectN answers are not a prefix of Select at %d", i)
+		}
+	}
+	// limit 0 means unlimited; limit beyond size returns everything.
+	if got, _ := s.SelectN("dblp", p, []int{1}, 0); len(got) != 120 {
+		t.Errorf("SelectN(0) = %d", len(got))
+	}
+	if got, _ := s.SelectN("dblp", p, []int{1}, 1000); len(got) != 120 {
+		t.Errorf("SelectN(1000) = %d", len(got))
+	}
+	if _, err := s.SelectN("ghost", p, nil, 3); err == nil {
+		t.Error("unknown instance must fail")
+	}
+}
+
+// TestQuickPrefilterSoundness: on random corpora and random query shapes,
+// the XPath-prefiltered Select equals the unfiltered algebra run with the
+// same evaluator.
+func TestQuickPrefilterSoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s, corpus := buildCorpusSystem(t, 80, 8)
+	docs, err := s.Trees("dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	concepts := []string{"operation", "access method", "conference", "data model"}
+	for seed := 0; seed < 12; seed++ {
+		author := corpus.Authors[seed%len(corpus.Authors)].Canonical()
+		concept := concepts[seed%len(concepts)]
+		var src string
+		switch seed % 3 {
+		case 0:
+			src = fmt.Sprintf(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ %q`, author)
+		case 1:
+			src = fmt.Sprintf(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "title" & #2.content isa %q`, concept)
+		default:
+			src = fmt.Sprintf(`#1 pc #2, #1 pc #3 :: #1.tag = "inproceedings" & #2.tag = "author" & #3.tag = "booktitle" & (#2.content ~ %q | #3.content isa %q)`, author, concept)
+		}
+		p := pattern.MustParse(src)
+		fast, err := s.Select("dblp", p, []int{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := tax.Select(tree.NewCollection(), docs, p, []int{1}, s.Evaluator())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fast) != len(slow) {
+			t.Errorf("seed %d (%s): filtered %d vs unfiltered %d", seed, src, len(fast), len(slow))
+			continue
+		}
+		for i := range fast {
+			if !tree.Equal(fast[i], slow[i]) {
+				t.Errorf("seed %d: answer %d differs", seed, i)
+				break
+			}
+		}
+	}
+}

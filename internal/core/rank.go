@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/pattern"
+	"repro/internal/tax"
+	"repro/internal/tree"
+)
+
+// RankedAnswer is a witness tree with a similarity score. Score is the sum
+// of string distances of the ~ conditions under the embedding that produced
+// the witness (0 = exact match on every similarity condition), so ascending
+// score orders answers from most to least similar.
+//
+// This is the IR-flavoured extension the paper's related-work section
+// contrasts TOSS with (TIX's scored pattern trees): TOSS's boolean ~ either
+// keeps or drops an answer; ranked selection additionally grades the kept
+// answers by how far inside the ε ball they fall.
+type RankedAnswer struct {
+	Tree  *tree.Tree
+	Score float64
+}
+
+// SelectRanked runs TOSS selection and scores each witness by the summed
+// distances of its ~ conditions, returning answers ordered most-similar
+// first (ties broken by discovery order, i.e. document order).
+func (s *System) SelectRanked(instance string, p *pattern.Tree, sl []int) ([]RankedAnswer, error) {
+	in := s.Instance(instance)
+	if in == nil {
+		return nil, fmt.Errorf("core: unknown instance %q", instance)
+	}
+	if s.Measure == nil {
+		return nil, fmt.Errorf("core: system not built; no similarity measure")
+	}
+	cands := s.CandidateDocs(in.Col, s.RewritePattern(p))
+	dst := tree.NewCollection()
+	c := tax.Compile(p)
+	ev := s.Evaluator()
+	simAtoms := simAtomsOf(p)
+
+	var out []RankedAnswer
+	for _, doc := range cands {
+		bindings, err := c.Embeddings(doc, ev)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range bindings {
+			wt := c.WitnessTree(dst, doc, b, sl)
+			if wt == nil {
+				continue
+			}
+			score, err := s.scoreBinding(simAtoms, b)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, RankedAnswer{Tree: wt, Score: score})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score < out[j].Score })
+	return out, nil
+}
+
+// simAtomsOf collects every ~ atom of the condition (not just the
+// conjunctive spine — scores are informative even for disjunctive atoms that
+// happened to hold).
+func simAtomsOf(p *pattern.Tree) []*pattern.Atomic {
+	var out []*pattern.Atomic
+	for _, a := range pattern.Atoms(p.Cond) {
+		if a.Op == pattern.OpSim {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// scoreBinding sums the measure distances of the ~ atoms under the binding.
+// Atoms whose operands cannot be resolved (an unbound optional branch)
+// contribute nothing; an atom that did not actually hold contributes its
+// true distance, which is what a ranking wants.
+func (s *System) scoreBinding(atoms []*pattern.Atomic, b tax.Binding) (float64, error) {
+	ev := s.Evaluator()
+	total := 0.0
+	for _, a := range atoms {
+		x, errX := ev.resolve(a.X, b)
+		y, errY := ev.resolve(a.Y, b)
+		if errX != nil || errY != nil {
+			continue
+		}
+		d := s.Measure.Distance(x.value, y.value)
+		if math.IsInf(d, 1) {
+			continue
+		}
+		total += d
+	}
+	return total, nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+func TestSelectRanked(t *testing.T) {
+	s := miniSystem(t, 3)
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ "Jeffrey D. Ullman"`)
+	ranked, err := s.SelectRanked("dblp", p, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 2 {
+		t.Fatalf("ranked answers = %d, want 2 (both Ullman papers)", len(ranked))
+	}
+	// The exact-match paper ranks first with score 0; the J. Ullman variant
+	// follows with a positive score.
+	if ranked[0].Score != 0 {
+		t.Errorf("best score = %g, want 0", ranked[0].Score)
+	}
+	if ranked[1].Score <= 0 {
+		t.Errorf("second score = %g, want > 0", ranked[1].Score)
+	}
+	if got := ranked[0].Tree.Root.ChildContent("author"); got != "Jeffrey D. Ullman" {
+		t.Errorf("best answer author = %q", got)
+	}
+	if got := ranked[1].Tree.Root.ChildContent("author"); got != "J. Ullman" {
+		t.Errorf("second answer author = %q", got)
+	}
+	// Scores ascend.
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Score < ranked[i-1].Score {
+			t.Error("scores not ascending")
+		}
+	}
+}
+
+func TestSelectRankedNoSimCondition(t *testing.T) {
+	s := miniSystem(t, 3)
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "year"`)
+	ranked, err := s.SelectRanked("dblp", p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 3 {
+		t.Fatalf("ranked = %d, want 3", len(ranked))
+	}
+	for _, r := range ranked {
+		if r.Score != 0 {
+			t.Errorf("score without ~ conditions = %g, want 0", r.Score)
+		}
+	}
+}
+
+func TestSelectRankedErrors(t *testing.T) {
+	s := miniSystem(t, 3)
+	p := pattern.MustParse(`#1 :: #1.tag = "inproceedings"`)
+	if _, err := s.SelectRanked("ghost", p, nil); err == nil {
+		t.Error("unknown instance must fail")
+	}
+	unbuilt := NewSystem()
+	if _, err := unbuilt.AddInstance("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := unbuilt.SelectRanked("x", p, nil); err == nil {
+		t.Error("unbuilt system must fail")
+	}
+}
+
+func TestSelectRankedAgreesWithSelect(t *testing.T) {
+	s := miniSystem(t, 3)
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ "Elisa Bertino"`)
+	ranked, err := s.SelectRanked("dblp", p, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := s.Select("dblp", p, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != len(plain) {
+		t.Errorf("ranked %d vs plain %d answers", len(ranked), len(plain))
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/pattern"
+	"repro/internal/similarity"
+)
+
+// buildTestSystem loads a small two-source corpus and builds the SEO.
+func buildTestSystem(t testing.TB, papers int, eps float64) (*System, *datagen.Corpus) {
+	t.Helper()
+	corpus := datagen.Generate(datagen.DefaultConfig(papers))
+	s := NewSystem()
+	dblp, err := s.AddInstance("dblp")
+	if err != nil {
+		t.Fatalf("AddInstance: %v", err)
+	}
+	if _, err := dblp.Col.PutXML("dblp-0", strings.NewReader(corpus.DBLPString(corpus.Papers))); err != nil {
+		t.Fatalf("PutXML dblp: %v", err)
+	}
+	sig, err := s.AddInstance("sigmod")
+	if err != nil {
+		t.Fatalf("AddInstance: %v", err)
+	}
+	if _, err := sig.Col.PutXML("sigmod-0", strings.NewReader(corpus.SIGMODString(corpus.Papers))); err != nil {
+		t.Fatalf("PutXML sigmod: %v", err)
+	}
+	if err := s.Build(similarity.NameRule{}, eps); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return s, corpus
+}
+
+func TestSmokeEndToEnd(t *testing.T) {
+	s, corpus := buildTestSystem(t, 40, 3)
+
+	if s.OntologyTermCount() == 0 {
+		t.Fatal("fused ontology is empty")
+	}
+	if s.SEO == nil || s.SEO.NodeCount() == 0 {
+		t.Fatal("SEO is empty")
+	}
+
+	// Pick an author with at least two distinct surface forms.
+	var authorID = -1
+	var mentions []string
+	for _, a := range corpus.Authors {
+		m := corpus.MentionsOf(a.ID)
+		if len(m) >= 2 {
+			authorID = a.ID
+			mentions = m
+			break
+		}
+	}
+	if authorID < 0 {
+		t.Fatal("no author with multiple mentions; generator misconfigured?")
+	}
+	t.Logf("author %d mentions: %q", authorID, mentions)
+
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ ` +
+		quote(corpus.Authors[authorID].Canonical()))
+	res, err := s.Select("dblp", p, []int{1})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	truth := corpus.PapersByAuthor(authorID)
+	t.Logf("TOSS returned %d trees; truth has %d papers", len(res), len(truth))
+	if len(res) == 0 && len(truth) > 0 {
+		t.Error("TOSS similarity selection returned nothing")
+	}
+
+	// isa query over title words.
+	p2 := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "title" & #2.content isa "access method"`)
+	res2, err := s.Select("dblp", p2, []int{1})
+	if err != nil {
+		t.Fatalf("Select isa: %v", err)
+	}
+	truth2 := corpus.PapersByTitleWord(func(w string) bool {
+		return w == "index" || w == "indexes" || w == "indices"
+	})
+	t.Logf("isa query returned %d trees; truth %d", len(res2), len(truth2))
+	if len(truth2) > 0 && len(res2) == 0 {
+		t.Error("isa selection returned nothing")
+	}
+}
+
+func quote(s string) string { return `"` + s + `"` }

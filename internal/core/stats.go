@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats summarises a built system: data volumes, ontology sizes and SEO
+// shape. Useful in CLIs and for sanity checks after Build.
+type Stats struct {
+	Instances      int
+	Documents      int
+	Bytes          int
+	IsaTerms       int
+	IsaEdges       int
+	PartTerms      int
+	PartEdges      int
+	SEONodes       int
+	MergedNodes    int // SEO clusters with more than one member
+	Epsilon        float64
+	MeasureName    string
+	ValueTags      []string
+	DroppedEdges   int
+	TypeCount      int
+	Parallelism    int
+	DynamicSimOn   bool
+	ValueTruncated bool
+}
+
+// Stats collects the current statistics (zero values where the system has
+// not been built yet).
+func (s *System) Stats() Stats {
+	st := Stats{
+		Instances:      len(s.Instances),
+		Epsilon:        s.Epsilon,
+		Parallelism:    s.Parallelism,
+		DynamicSimOn:   s.DynamicSimilarity,
+		TypeCount:      len(s.Types.Names()),
+		ValueTruncated: s.valueTruncated,
+	}
+	for tag := range s.valueTags {
+		st.ValueTags = append(st.ValueTags, tag)
+	}
+	for _, in := range s.Instances {
+		st.Documents += in.Col.DocCount()
+		st.Bytes += in.Col.ByteSize()
+	}
+	if s.Measure != nil {
+		st.MeasureName = s.Measure.Name()
+	}
+	if s.FusedIsa != nil {
+		st.IsaTerms = s.FusedIsa.Hierarchy.NodeCount()
+		st.IsaEdges = s.FusedIsa.Hierarchy.EdgeCount()
+	}
+	if s.FusedPart != nil {
+		st.PartTerms = s.FusedPart.Hierarchy.NodeCount()
+		st.PartEdges = s.FusedPart.Hierarchy.EdgeCount()
+	}
+	if s.SEO != nil {
+		st.SEONodes = s.SEO.NodeCount()
+		for _, members := range s.SEO.Clusters {
+			if len(members) > 1 {
+				st.MergedNodes++
+			}
+		}
+		st.DroppedEdges = len(s.SEO.Dropped)
+	}
+	return st
+}
+
+// String renders the statistics as a compact multi-line summary.
+func (st Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "instances: %d (%d documents, %d bytes)\n", st.Instances, st.Documents, st.Bytes)
+	fmt.Fprintf(&b, "isa hierarchy: %d terms, %d edges\n", st.IsaTerms, st.IsaEdges)
+	fmt.Fprintf(&b, "part-of hierarchy: %d terms, %d edges\n", st.PartTerms, st.PartEdges)
+	fmt.Fprintf(&b, "SEO: %d nodes (%d merged clusters), measure=%s eps=%g\n",
+		st.SEONodes, st.MergedNodes, st.MeasureName, st.Epsilon)
+	if st.DroppedEdges > 0 {
+		fmt.Fprintf(&b, "relaxed enhancement dropped %d order edges\n", st.DroppedEdges)
+	}
+	if st.ValueTruncated {
+		b.WriteString("value ontologization truncated (MaxValueTerms)\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pattern"
+)
+
+// TypeError describes one ill-typed atomic condition.
+type TypeError struct {
+	Atom   string
+	Reason string
+}
+
+func (e TypeError) String() string { return e.Atom + ": " + e.Reason }
+
+// CheckWellTyped statically checks a pattern's selection condition against
+// the system's type system, per Section 5.1.1: a comparison X op Y with op ∈
+// {=, ≠, ≤, ≥, <, >} is well-typed iff X and Y have a least common supertype
+// τ and the conversion functions type(X)→τ and type(Y)→τ exist; conditions
+// with other operators are always well-typed, except that instance_of /
+// subtype_of need their type operand to name a registered type. Atoms
+// involving node attributes are skipped statically — an attribute's type
+// comes from the instance, so the same rules apply dynamically during
+// evaluation instead.
+//
+// A nil return means the condition is well-typed.
+func (s *System) CheckWellTyped(p *pattern.Tree) []TypeError {
+	var errs []TypeError
+	for _, a := range pattern.Atoms(p.Cond) {
+		switch a.Op {
+		case pattern.OpEq, pattern.OpNe, pattern.OpLe, pattern.OpGe, pattern.OpLt, pattern.OpGt:
+			tx := s.staticType(a.X)
+			ty := s.staticType(a.Y)
+			if tx == "" || ty == "" {
+				// A node attribute's type is only known at evaluation time;
+				// the dynamic path re-checks there.
+				continue
+			}
+			if !s.Types.Has(tx) {
+				errs = append(errs, TypeError{a.String(), fmt.Sprintf("unknown type %q", tx)})
+				continue
+			}
+			if !s.Types.Has(ty) {
+				errs = append(errs, TypeError{a.String(), fmt.Sprintf("unknown type %q", ty)})
+				continue
+			}
+			common, ok := s.Types.LeastCommonSupertype(tx, ty)
+			if !ok {
+				errs = append(errs, TypeError{a.String(), fmt.Sprintf("no least common supertype of %q and %q", tx, ty)})
+				continue
+			}
+			if !s.Types.CanConvert(tx, common) || !s.Types.CanConvert(ty, common) {
+				errs = append(errs, TypeError{a.String(), fmt.Sprintf("missing conversion into common supertype %q", common)})
+			}
+			// Typed literals must lie in their declared domain.
+			for _, term := range []pattern.Term{a.X, a.Y} {
+				if term.Kind == pattern.TermValue && term.Type != "" && term.Type != "string" &&
+					!s.Types.InDomain(term.Value, term.Type) {
+					errs = append(errs, TypeError{a.String(), fmt.Sprintf("literal %q is not in dom(%s)", term.Value, term.Type)})
+				}
+			}
+		case pattern.OpInstanceOf, pattern.OpSubtypeOf:
+			if name, ok := typeName(a.Y); ok && !s.Types.Has(name) {
+				errs = append(errs, TypeError{a.String(), fmt.Sprintf("right operand %q is not a registered type", name)})
+			}
+			if a.Op == pattern.OpSubtypeOf {
+				if name, ok := typeName(a.X); ok && !s.Types.Has(name) {
+					errs = append(errs, TypeError{a.String(), fmt.Sprintf("left operand %q is not a registered type", name)})
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// staticType returns the statically-known type of a term; node attributes
+// have none (their types come from the instance at evaluation time).
+func (s *System) staticType(t pattern.Term) string {
+	switch t.Kind {
+	case pattern.TermValue:
+		if t.Type == "" {
+			return "string"
+		}
+		return t.Type
+	case pattern.TermType:
+		return t.Type
+	default: // TermAttr
+		return ""
+	}
+}
+
+// typeName extracts the type name a term denotes statically, when it does.
+func typeName(t pattern.Term) (string, bool) {
+	switch t.Kind {
+	case pattern.TermType:
+		return t.Type, true
+	case pattern.TermValue:
+		return t.Value, true
+	default:
+		return "", false
+	}
+}
+
+// FormatTypeErrors renders the error list, one per line.
+func FormatTypeErrors(errs []TypeError) string {
+	parts := make([]string, len(errs))
+	for i, e := range errs {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, "\n")
+}

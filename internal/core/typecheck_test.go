@@ -1,0 +1,62 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/types"
+)
+
+func TestCheckWellTypedOK(t *testing.T) {
+	s := miniSystem(t, 3)
+	good := []string{
+		`#1 :: #1.content = "x"`,
+		`#1 :: #1.content <= "3":int`, // int ≤ string have a common supertype
+		`#1 :: #1.content ~ "anything"`,
+		`#1 :: #1.content isa "whatever"`,
+		`#1 :: #1.content instance_of int`,
+		`#1 :: int subtype_of string`,
+	}
+	for _, src := range good {
+		p := pattern.MustParse(src)
+		if errs := s.CheckWellTyped(p); len(errs) != 0 {
+			t.Errorf("%s: unexpected type errors: %s", src, FormatTypeErrors(errs))
+		}
+	}
+}
+
+func TestCheckWellTypedErrors(t *testing.T) {
+	s := miniSystem(t, 3)
+	// A type disconnected from string.
+	s.Types.MustRegister(&types.Type{Name: "island"})
+	bad := []struct {
+		src  string
+		want string
+	}{
+		{`#1 :: "a" = "x":island`, "no least common supertype"},
+		{`#1 :: "a" = "x":ghost`, "unknown type"},
+		{`#1 :: "3":int <= "abc":int`, "not in dom"},
+		{`#1 :: #1.content instance_of ghost`, "not a registered type"},
+		{`#1 :: ghost subtype_of string`, "not a registered type"},
+	}
+	for _, tc := range bad {
+		p := pattern.MustParse(tc.src)
+		errs := s.CheckWellTyped(p)
+		if len(errs) == 0 {
+			t.Errorf("%s: expected a type error", tc.src)
+			continue
+		}
+		if !strings.Contains(FormatTypeErrors(errs), tc.want) {
+			t.Errorf("%s: errors %q missing %q", tc.src, FormatTypeErrors(errs), tc.want)
+		}
+	}
+}
+
+func TestCheckWellTypedNoCondition(t *testing.T) {
+	s := miniSystem(t, 3)
+	p := pattern.MustParse(`#1 pc #2`)
+	if errs := s.CheckWellTyped(p); len(errs) != 0 {
+		t.Errorf("condition-free pattern should be well-typed: %s", FormatTypeErrors(errs))
+	}
+}

@@ -1,0 +1,232 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/similarity"
+	"repro/internal/tree"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(DefaultConfig(50))
+	b := Generate(DefaultConfig(50))
+	if a.DBLPString(a.Papers) != b.DBLPString(b.Papers) {
+		t.Fatal("same seed must produce identical corpora")
+	}
+	cfg := DefaultConfig(50)
+	cfg.Seed = 2
+	c := Generate(cfg)
+	if a.DBLPString(a.Papers) == c.DBLPString(c.Papers) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestCorpusShape(t *testing.T) {
+	cfg := DefaultConfig(100)
+	corpus := Generate(cfg)
+	if len(corpus.Papers) != 100 {
+		t.Fatalf("papers = %d", len(corpus.Papers))
+	}
+	if len(corpus.Authors) != cfg.AuthorPool {
+		t.Fatalf("authors = %d", len(corpus.Authors))
+	}
+	ids := map[string]bool{}
+	for _, p := range corpus.Papers {
+		if ids[p.ID] {
+			t.Fatalf("duplicate paper ID %s", p.ID)
+		}
+		ids[p.ID] = true
+		if len(p.AuthorIDs) < 1 || len(p.AuthorIDs) > 3 {
+			t.Errorf("paper %s has %d authors", p.ID, len(p.AuthorIDs))
+		}
+		if len(p.AuthorIDs) != len(p.DBLPAuthors) || len(p.AuthorIDs) != len(p.SIGMODAuthors) {
+			t.Errorf("paper %s surface forms out of sync", p.ID)
+		}
+		if p.Year < cfg.StartYear || p.Year > cfg.EndYear {
+			t.Errorf("paper %s year %d out of range", p.ID, p.Year)
+		}
+		if p.ConfID < 0 || p.ConfID >= len(corpus.Conferences) {
+			t.Errorf("paper %s conf %d out of range", p.ID, p.ConfID)
+		}
+		if len(p.TitleWords) != 4 {
+			t.Errorf("paper %s title words = %v", p.ID, p.TitleWords)
+		}
+	}
+	// Canonical names are unique.
+	names := map[string]bool{}
+	for _, a := range corpus.Authors {
+		if names[a.Canonical()] {
+			t.Fatalf("duplicate author %s", a.Canonical())
+		}
+		names[a.Canonical()] = true
+	}
+}
+
+func TestRenderedXMLParses(t *testing.T) {
+	corpus := Generate(DefaultConfig(60))
+	col := tree.NewCollection()
+	dblp, err := col.ParseXMLString(corpus.DBLPString(corpus.Papers))
+	if err != nil {
+		t.Fatalf("DBLP XML invalid: %v", err)
+	}
+	if got := len(dblp.FindTag("inproceedings")); got != 60 {
+		t.Errorf("DBLP has %d papers", got)
+	}
+	sig, err := col.ParseXMLString(corpus.SIGMODString(corpus.Papers[:20]))
+	if err != nil {
+		t.Fatalf("SIGMOD XML invalid: %v", err)
+	}
+	if got := len(sig.FindTag("article")); got != 20 {
+		t.Errorf("SIGMOD has %d articles", got)
+	}
+	// Ground-truth keys are embedded.
+	keys := dblp.FindTag("@key")
+	if len(keys) != 60 {
+		t.Errorf("keys = %d", len(keys))
+	}
+	// Venue forms differ between the corpora.
+	if dblp.FindTag("booktitle")[0].Content == sig.FindTag("conference")[0].Content {
+		t.Error("DBLP short venue should differ from SIGMOD long venue")
+	}
+}
+
+func TestGroundTruthHelpers(t *testing.T) {
+	corpus := Generate(DefaultConfig(80))
+	total := 0
+	for _, a := range corpus.Authors {
+		papers := corpus.PapersByAuthor(a.ID)
+		total += len(papers)
+		for id := range papers {
+			found := false
+			for _, p := range corpus.Papers {
+				if p.ID == id {
+					for _, aid := range p.AuthorIDs {
+						if aid == a.ID {
+							found = true
+						}
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("PapersByAuthor(%d) contains wrong paper %s", a.ID, id)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no author has papers")
+	}
+	byConf := 0
+	for _, c := range corpus.Conferences {
+		byConf += len(corpus.PapersByConference(c.ID))
+	}
+	if byConf != len(corpus.Papers) {
+		t.Errorf("conference partition covers %d of %d papers", byConf, len(corpus.Papers))
+	}
+	withQuery := corpus.PapersByTitleWord(func(w string) bool { return w == "query" })
+	for id := range withQuery {
+		var paper *Paper
+		for _, p := range corpus.Papers {
+			if p.ID == id {
+				paper = p
+			}
+		}
+		if !strings.Contains(strings.ToLower(paper.Title), "query") {
+			t.Errorf("paper %s title %q lacks the word", id, paper.Title)
+		}
+	}
+	inter := Intersect(withQuery, corpus.PapersByConference(0))
+	for id := range inter {
+		if !withQuery[id] || !corpus.PapersByConference(0)[id] {
+			t.Error("Intersect broken")
+		}
+	}
+	if Intersect() != nil {
+		t.Error("empty Intersect should be nil")
+	}
+}
+
+func TestAuthorLookupAndMentions(t *testing.T) {
+	corpus := Generate(DefaultConfig(80))
+	a := corpus.Authors[0]
+	if corpus.AuthorByCanonical(a.Canonical()) != a {
+		t.Error("AuthorByCanonical failed")
+	}
+	if corpus.AuthorByCanonical("Nobody Q. Nowhere") != nil {
+		t.Error("unknown author should be nil")
+	}
+	for _, aa := range corpus.Authors {
+		mentions := corpus.MentionsOf(aa.ID)
+		if len(corpus.PapersByAuthor(aa.ID)) > 0 && len(mentions) == 0 {
+			t.Errorf("author %d has papers but no mentions", aa.ID)
+		}
+	}
+}
+
+func TestVariantsAreRecognisable(t *testing.T) {
+	// Every generated mention should be within NameRule distance 4 of the
+	// canonical form (initial + dropped middle + surname swap is the worst
+	// mangle), except when a typo lands awkwardly — allow a small slack.
+	cfg := DefaultConfig(150)
+	cfg.VariantRate = 0.9
+	cfg.TypoRate = 0.3
+	cfg.MangleRate = 0.3
+	corpus := Generate(cfg)
+	n := similarity.NameRule{}
+	far := 0
+	total := 0
+	for _, p := range corpus.Papers {
+		for i, id := range p.AuthorIDs {
+			canon := corpus.Authors[id].Canonical()
+			for _, mention := range []string{p.DBLPAuthors[i], p.SIGMODAuthors[i]} {
+				total++
+				if n.Distance(canon, mention) > 5 {
+					far++
+				}
+			}
+		}
+	}
+	if far*10 > total {
+		t.Errorf("%d/%d mentions are unrecognisably far from canonical", far, total)
+	}
+}
+
+func TestMangleDistances(t *testing.T) {
+	cfg := DefaultConfig(200)
+	cfg.MangleRate = 1 // every mention mangled
+	cfg.VariantRate = 0
+	cfg.TypoRate = 0
+	corpus := Generate(cfg)
+	n := similarity.NameRule{}
+	for _, p := range corpus.Papers[:50] {
+		for i, id := range p.AuthorIDs {
+			canon := corpus.Authors[id].Canonical()
+			d := n.Distance(canon, p.DBLPAuthors[i])
+			// Mangled forms sit at 1–6: at least a typo away, at most a
+			// bare initial + two dropped given tokens + surname swap.
+			if d < 1 || d > 6 {
+				t.Errorf("mangle distance %g for %q vs %q", d, canon, p.DBLPAuthors[i])
+			}
+		}
+	}
+}
+
+func TestSurnamePool(t *testing.T) {
+	cfg := DefaultConfig(50)
+	cfg.AuthorPool = 20
+	cfg.SurnamePool = 3
+	corpus := Generate(cfg)
+	surnames := map[string]bool{}
+	for _, a := range corpus.Authors {
+		surnames[a.Last] = true
+	}
+	if len(surnames) > 3 {
+		t.Errorf("surname pool not honoured: %v", surnames)
+	}
+}
+
+func TestXMLEscaping(t *testing.T) {
+	if esc(`a & <b> "c"`) != "a &amp; &lt;b&gt; &quot;c&quot;" {
+		t.Errorf("esc = %q", esc(`a & <b> "c"`))
+	}
+}

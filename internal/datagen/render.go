@@ -1,0 +1,183 @@
+package datagen
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+)
+
+// titleCase upper-cases the first letter of each space-separated word.
+func titleCase(s string) string {
+	words := strings.Fields(s)
+	for i, w := range words {
+		r := []rune(w)
+		r[0] = unicode.ToUpper(r[0])
+		words[i] = string(r)
+	}
+	return strings.Join(words, " ")
+}
+
+// WriteDBLPXML renders the given papers in DBLP format (the schema of the
+// paper's Figure 1): a <dblp> root with one <inproceedings> per paper whose
+// children are author*, title, pages, year, booktitle, plus a key attribute
+// carrying the ground-truth paper ID so experiment harnesses can score
+// answers.
+func (c *Corpus) WriteDBLPXML(w io.Writer, papers []*Paper) error {
+	var b strings.Builder
+	b.WriteString("<dblp>\n")
+	for _, p := range papers {
+		fmt.Fprintf(&b, "<inproceedings key=%q>\n", p.ID)
+		for _, a := range p.DBLPAuthors {
+			fmt.Fprintf(&b, "<author>%s</author>\n", esc(a))
+		}
+		fmt.Fprintf(&b, "<title>%s</title>\n", esc(p.Title))
+		fmt.Fprintf(&b, "<pages>%s</pages>\n", esc(p.Pages))
+		fmt.Fprintf(&b, "<year>%d</year>\n", p.Year)
+		fmt.Fprintf(&b, "<booktitle>%s</booktitle>\n", esc(c.Conferences[p.ConfID].Short))
+		b.WriteString("</inproceedings>\n")
+	}
+	b.WriteString("</dblp>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// DBLPString renders papers in DBLP format as a string.
+func (c *Corpus) DBLPString(papers []*Paper) string {
+	var b strings.Builder
+	if err := c.WriteDBLPXML(&b, papers); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+// WriteSIGMODXML renders the given papers in SIGMOD Record format (the
+// schema of the paper's Figure 2): a <ProceedingsPage> with an <articles>
+// list of <article> elements carrying title, author*, conference (long
+// form), confYear. Titles get SIGMOD-style subtitle punctuation and the
+// author surface forms favour initials.
+func (c *Corpus) WriteSIGMODXML(w io.Writer, papers []*Paper) error {
+	var b strings.Builder
+	b.WriteString("<ProceedingsPage>\n<articles>\n")
+	for _, p := range papers {
+		fmt.Fprintf(&b, "<article key=%q>\n", p.ID)
+		fmt.Fprintf(&b, "<title>%s.</title>\n", esc(p.Title))
+		for _, a := range p.SIGMODAuthors {
+			fmt.Fprintf(&b, "<author>%s</author>\n", esc(a))
+		}
+		fmt.Fprintf(&b, "<conference>%s</conference>\n", esc(c.Conferences[p.ConfID].Long))
+		fmt.Fprintf(&b, "<confYear>%d</confYear>\n", p.Year)
+		b.WriteString("</article>\n")
+	}
+	b.WriteString("</articles>\n</ProceedingsPage>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// SIGMODString renders papers in SIGMOD format as a string.
+func (c *Corpus) SIGMODString(papers []*Paper) string {
+	var b strings.Builder
+	if err := c.WriteSIGMODXML(&b, papers); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// ---- ground truth ----
+
+// PapersByAuthor returns the set of paper IDs written by the author entity.
+func (c *Corpus) PapersByAuthor(authorID int) map[string]bool {
+	out := map[string]bool{}
+	for _, p := range c.Papers {
+		for _, id := range p.AuthorIDs {
+			if id == authorID {
+				out[p.ID] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// PapersByConference returns the set of paper IDs published at the venue.
+func (c *Corpus) PapersByConference(confID int) map[string]bool {
+	out := map[string]bool{}
+	for _, p := range c.Papers {
+		if p.ConfID == confID {
+			out[p.ID] = true
+		}
+	}
+	return out
+}
+
+// PapersByTitleWord returns papers whose title words satisfy pred.
+func (c *Corpus) PapersByTitleWord(pred func(word string) bool) map[string]bool {
+	out := map[string]bool{}
+	for _, p := range c.Papers {
+		for _, w := range p.TitleWords {
+			if pred(strings.ToLower(w)) {
+				out[p.ID] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Intersect intersects ground-truth sets.
+func Intersect(sets ...map[string]bool) map[string]bool {
+	if len(sets) == 0 {
+		return nil
+	}
+	out := map[string]bool{}
+	for k := range sets[0] {
+		all := true
+		for _, s := range sets[1:] {
+			if !s[k] {
+				all = false
+				break
+			}
+		}
+		if all {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// AuthorByCanonical finds an author entity by canonical name, or nil.
+func (c *Corpus) AuthorByCanonical(name string) *Author {
+	for _, a := range c.Authors {
+		if a.Canonical() == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// MentionsOf returns every distinct surface form used for the author across
+// both corpora, sorted by first use.
+func (c *Corpus) MentionsOf(authorID int) []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(s string) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, p := range c.Papers {
+		for i, id := range p.AuthorIDs {
+			if id == authorID {
+				add(p.DBLPAuthors[i])
+				add(p.SIGMODAuthors[i])
+			}
+		}
+	}
+	return out
+}

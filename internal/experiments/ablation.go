@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/ontology"
+	"repro/internal/pattern"
+	"repro/internal/seo"
+	"repro/internal/similarity"
+)
+
+// AblationConfig parameterises the ablation studies DESIGN.md §5 lists.
+type AblationConfig struct {
+	Papers      int
+	Epsilon     float64
+	Repetitions int
+	Seed        int64
+}
+
+// DefaultAblationConfig keeps the runs in the low seconds.
+func DefaultAblationConfig() AblationConfig {
+	return AblationConfig{Papers: 400, Epsilon: 3, Repetitions: 5, Seed: 3}
+}
+
+// AblationRow is one variant's average timing.
+type AblationRow struct {
+	Study   string
+	Variant string
+	Elapsed time.Duration
+}
+
+// AblationReport collects every ablation row.
+type AblationReport struct {
+	Config AblationConfig
+	Rows   []AblationRow
+}
+
+// RunAblations executes the four design-choice ablations: precomputed SEO vs
+// on-the-fly similarity, indexed vs scan XPath evaluation, the Lemma 1 node
+// distance shortcut, and the reachability index for isa lookups.
+func RunAblations(cfg AblationConfig) (*AblationReport, error) {
+	rep := &AblationReport{Config: cfg}
+	reps := cfg.Repetitions
+	if reps < 1 {
+		reps = 1
+	}
+	gen := datagen.DefaultConfig(cfg.Papers)
+	gen.Seed = cfg.Seed
+	corpus := datagen.Generate(gen)
+	author := corpus.Authors[0].Canonical()
+	simPat := pattern.MustParse(fmt.Sprintf(
+		`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ %q`, author))
+
+	timeIt := func(study, variant string, f func() error) error {
+		var total time.Duration
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			if err := f(); err != nil {
+				return fmt.Errorf("%s/%s: %w", study, variant, err)
+			}
+			total += time.Since(start)
+		}
+		rep.Rows = append(rep.Rows, AblationRow{study, variant, total / time.Duration(reps)})
+		return nil
+	}
+
+	// 1. Precomputed SEO vs on-the-fly similarity for ~ selections.
+	withSEO, err := buildSystem(corpus, buildOptions{chunk: 50, epsilon: cfg.Epsilon, noLimit: true})
+	if err != nil {
+		return nil, err
+	}
+	dynamic := core.NewSystem()
+	dynamic.MakerConfig.ValueTags = nil // every ~ becomes a live distance computation
+	dyn, err := dynamic.AddInstance("dblp")
+	if err != nil {
+		return nil, err
+	}
+	dyn.Col.SetMaxBytes(0)
+	if _, err := dyn.Col.PutXML("d", strings.NewReader(corpus.DBLPString(corpus.Papers))); err != nil {
+		return nil, err
+	}
+	if err := dynamic.Build(DefaultMeasure(), cfg.Epsilon); err != nil {
+		return nil, err
+	}
+	if err := timeIt("seo-precompute", "precomputed", func() error {
+		_, err := withSEO.Select("dblp", simPat, []int{1})
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := timeIt("seo-precompute", "on-the-fly", func() error {
+		_, err := dynamic.Select("dblp", simPat, []int{1})
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// 2. Indexed vs scan XPath evaluation.
+	col := withSEO.Instance("dblp").Col
+	col.BuildIndexes()
+	const expr = `//inproceedings/booktitle[.='VLDB']`
+	if err := timeIt("xpath-index", "indexed", func() error {
+		_, err := col.Query(expr)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := timeIt("xpath-index", "scan", func() error {
+		_, err := col.QueryScan(expr)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// 3. Lemma 1 shortcut in SEA clustering.
+	names := ontology.NewHierarchy()
+	for _, p := range corpus.Papers {
+		for _, a := range p.DBLPAuthors {
+			names.AddNode(a)
+			_ = names.AddEdge(a, "author")
+		}
+	}
+	for _, mode := range []struct {
+		variant string
+		disable bool
+	}{{"lemma1", false}, {"full-pairs", true}} {
+		disable := mode.disable
+		if err := timeIt("lemma1", mode.variant, func() error {
+			_, err := seo.Enhance(names, similarity.Levenshtein{}, 2,
+				seo.Options{CompatibilityFilter: true, DisableLemma1: disable})
+			return err
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// 4. Reachability index vs per-query DFS.
+	h := withSEO.FusedIsa.Hierarchy
+	nodes := h.Nodes()
+	h.BuildReachability()
+	if err := timeIt("reachability", "indexed", func() error {
+		for j := 0; j < len(nodes); j += 3 {
+			h.Leq(nodes[j], "conference")
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := timeIt("reachability", "dfs", func() error {
+		for j := 0; j < len(nodes); j += 3 {
+			h.LeqNoIndex(nodes[j], "conference")
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// String renders the ablation table.
+func (r *AblationReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablations (papers=%d, eps=%g, avg of %d runs)\n",
+		r.Config.Papers, r.Config.Epsilon, r.Config.Repetitions)
+	fmt.Fprintf(&b, "%-16s %-14s %12s\n", "study", "variant", "time")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s %-14s %12s\n", row.Study, row.Variant, fmtDur(row.Elapsed))
+	}
+	return b.String()
+}

@@ -1,0 +1,109 @@
+// Package experiments contains the harnesses that regenerate every figure of
+// the paper's evaluation (Section 6): the answer-quality comparison of
+// Figure 15(a–c) and the performance curves of Figure 16(a–c), plus the
+// ablation studies listed in DESIGN.md. Each harness returns a typed report
+// whose String method prints the same rows/series the paper plots.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/similarity"
+	"repro/internal/tree"
+)
+
+// DefaultMeasure is the similarity measure every experiment uses: the
+// rule-based person-name measure (the paper's "rule-based similarity where a
+// set of domain-specific rules are used"), which degrades to edit distance
+// on non-name strings.
+func DefaultMeasure() similarity.Measure {
+	return similarity.NameRule{Fallback: similarity.Damerau{}}
+}
+
+// buildSystem loads DBLP (split into chunked documents) and optionally the
+// SIGMOD corpus into a fresh TOSS system and builds the SEO.
+type buildOptions struct {
+	chunk         int // papers per XML document (0 = all in one document)
+	withSIGMOD    bool
+	sigmodPapers  []*datagen.Paper
+	maxValueTerms int
+	epsilon       float64
+	noLimit       bool // lift the 5 MB Xindice-style cap for size sweeps
+}
+
+func buildSystem(corpus *datagen.Corpus, opts buildOptions) (*core.System, error) {
+	s := core.NewSystem()
+	if opts.maxValueTerms > 0 {
+		s.MakerConfig.MaxValueTerms = opts.maxValueTerms
+	}
+	dblp, err := s.AddInstance("dblp")
+	if err != nil {
+		return nil, err
+	}
+	if opts.noLimit {
+		dblp.Col.SetMaxBytes(0)
+	}
+	chunk := opts.chunk
+	if chunk <= 0 {
+		chunk = len(corpus.Papers)
+	}
+	for i := 0; i < len(corpus.Papers); i += chunk {
+		end := i + chunk
+		if end > len(corpus.Papers) {
+			end = len(corpus.Papers)
+		}
+		key := fmt.Sprintf("dblp-%04d", i/chunk)
+		xml := corpus.DBLPString(corpus.Papers[i:end])
+		if _, err := dblp.Col.PutXML(key, strings.NewReader(xml)); err != nil {
+			return nil, fmt.Errorf("loading %s: %w", key, err)
+		}
+	}
+	if opts.withSIGMOD {
+		sig, err := s.AddInstance("sigmod")
+		if err != nil {
+			return nil, err
+		}
+		if opts.noLimit {
+			sig.Col.SetMaxBytes(0)
+		}
+		papers := opts.sigmodPapers
+		if papers == nil {
+			papers = corpus.Papers
+		}
+		for i := 0; i < len(papers); i += chunk {
+			end := i + chunk
+			if end > len(papers) {
+				end = len(papers)
+			}
+			key := fmt.Sprintf("sigmod-%04d", i/chunk)
+			xml := corpus.SIGMODString(papers[i:end])
+			if _, err := sig.Col.PutXML(key, strings.NewReader(xml)); err != nil {
+				return nil, fmt.Errorf("loading %s: %w", key, err)
+			}
+		}
+	}
+	if err := s.Build(DefaultMeasure(), opts.epsilon); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// PaperIDs extracts the ground-truth paper IDs (the @key attributes the
+// generators embed) from a set of answer trees, deduplicated in order.
+func PaperIDs(trees []*tree.Tree) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, t := range trees {
+		t.Walk(func(n *tree.Node) bool {
+			if n.Tag == "@key" && n.Content != "" && !seen[n.Content] {
+				seen[n.Content] = true
+				out = append(out, n.Content)
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteCSV emits the Figure 15 per-query data (one row per query with TAX
+// and per-ε TOSS precision/recall/quality) for plotting.
+func (r *QualityReport) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	eps := r.epsList()
+	header := []string{"query", "dataset", "label", "truth", "tax_precision", "tax_recall", "tax_quality"}
+	for _, e := range eps {
+		header = append(header,
+			fmt.Sprintf("toss%g_precision", e),
+			fmt.Sprintf("toss%g_recall", e),
+			fmt.Sprintf("toss%g_quality", e))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, o := range r.Outcomes {
+		row := []string{
+			fmt.Sprint(i + 1),
+			fmt.Sprint(o.Dataset),
+			o.Label,
+			fmt.Sprint(o.TruthSize),
+			fmt.Sprintf("%.4f", o.TAX.Precision()),
+			fmt.Sprintf("%.4f", o.TAX.Recall()),
+			fmt.Sprintf("%.4f", o.TAX.Quality()),
+		}
+		for _, e := range eps {
+			res := o.TOSS[e]
+			row = append(row,
+				fmt.Sprintf("%.4f", res.Precision()),
+				fmt.Sprintf("%.4f", res.Recall()),
+				fmt.Sprintf("%.4f", res.Quality()))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Figure 16(a) series: bytes on the x axis, one column
+// per curve.
+func (r *SelectionScalabilityReport) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"papers", "bytes", "tax_ms"}
+	for i := range r.TOSS {
+		terms := 0
+		if len(r.TOSS[i]) > 0 {
+			terms = r.TOSS[i][len(r.TOSS[i])-1].OntoTerms
+		}
+		header = append(header, fmt.Sprintf("toss_%dterms_ms", terms))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for row := range r.TAX {
+		rec := []string{
+			fmt.Sprint(r.TAX[row].Papers),
+			fmt.Sprint(r.TAX[row].Bytes),
+			fmt.Sprintf("%.3f", msOf(r.TAX[row])),
+		}
+		for i := range r.TOSS {
+			rec = append(rec, fmt.Sprintf("%.3f", msOf(r.TOSS[i][row])))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Figure 16(b) series.
+func (r *JoinScalabilityReport) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"papers", "bytes", "tax_ms"}
+	for i := range r.TOSS {
+		terms := 0
+		if len(r.TOSS[i]) > 0 {
+			terms = r.TOSS[i][len(r.TOSS[i])-1].OntoTerms
+		}
+		header = append(header, fmt.Sprintf("toss_%dterms_ms", terms))
+	}
+	header = append(header, "results")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for row := range r.TAX {
+		rec := []string{
+			fmt.Sprint(r.TAX[row].Papers),
+			fmt.Sprint(r.TAX[row].Bytes),
+			fmt.Sprintf("%.3f", msOf(r.TAX[row])),
+		}
+		for i := range r.TOSS {
+			rec = append(rec, fmt.Sprintf("%.3f", msOf(r.TOSS[i][row])))
+		}
+		rec = append(rec, fmt.Sprint(r.Results[row]))
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the Figure 16(c) series.
+func (r *EpsilonReport) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"eps", "selection_ms", "join_ms", "onto_terms", "seo_nodes"}); err != nil {
+		return err
+	}
+	pts := append([]EpsilonPoint{}, r.Points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Eps < pts[j].Eps })
+	for _, p := range pts {
+		rec := []string{
+			fmt.Sprintf("%g", p.Eps),
+			fmt.Sprintf("%.3f", float64(p.SelectTime.Microseconds())/1000),
+			fmt.Sprintf("%.3f", float64(p.JoinTime.Microseconds())/1000),
+			fmt.Sprint(p.OntoTerms),
+			fmt.Sprint(p.SEONodes),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func msOf(p ScalabilityPoint) float64 {
+	return float64(p.Elapsed.Microseconds()) / 1000
+}

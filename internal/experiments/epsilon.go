@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/pattern"
+)
+
+// EpsilonConfig parameterises the Figure 16(c) experiment: how the execution
+// time of selection and join queries grows with the similarity threshold ε
+// (the SEO is precomputed per ε, as in the paper; the reported time is query
+// time only).
+type EpsilonConfig struct {
+	Epsilons     []float64
+	SelectPapers int
+	JoinPapers   int
+	SIGMODShare  float64
+	Repetitions  int
+	Seed         int64
+}
+
+// DefaultEpsilonConfig sweeps ε = 0..6 as in the paper's x-axis.
+func DefaultEpsilonConfig() EpsilonConfig {
+	return EpsilonConfig{
+		Epsilons:     []float64{0, 1, 2, 3, 4, 5, 6},
+		SelectPapers: 1000,
+		JoinPapers:   400,
+		SIGMODShare:  0.2,
+		Repetitions:  3,
+		Seed:         17,
+	}
+}
+
+// EpsilonPoint is one measured ε point.
+type EpsilonPoint struct {
+	Eps        float64
+	SelectTime time.Duration
+	JoinTime   time.Duration
+	OntoTerms  int
+	SEONodes   int
+}
+
+// EpsilonReport holds the Figure 16(c) series.
+type EpsilonReport struct {
+	Config EpsilonConfig
+	Points []EpsilonPoint
+}
+
+// epsilonSelectQuery has one similarTo condition whose result set grows with
+// ε (the driver of the paper's linear trend).
+func epsilonSelectQuery(author string) *pattern.Tree {
+	return pattern.MustParse(fmt.Sprintf(
+		`#1 pc #2, #1 pc #3 :: #1.tag = "inproceedings" & #2.tag = "author" & #3.tag = "year" & `+
+			`#2.content ~ %q`, author))
+}
+
+// RunEpsilon executes the Figure 16(c) experiment.
+func RunEpsilon(cfg EpsilonConfig) (*EpsilonReport, error) {
+	rep := &EpsilonReport{Config: cfg}
+	reps := cfg.Repetitions
+	if reps < 1 {
+		reps = 1
+	}
+
+	selGen := datagen.DefaultConfig(cfg.SelectPapers)
+	selGen.Seed = cfg.Seed
+	selGen.AuthorPool = 60
+	selGen.SurnamePool = 10
+	selGen.MangleRate = 0.2
+	selCorpus := datagen.Generate(selGen)
+	selAuthor := selCorpus.Authors[0].Canonical()
+
+	joinGen := datagen.DefaultConfig(cfg.JoinPapers)
+	joinGen.Seed = cfg.Seed + 1
+	joinCorpus := datagen.Generate(joinGen)
+	nSig := int(float64(cfg.JoinPapers) * cfg.SIGMODShare)
+	if nSig < 1 {
+		nSig = 1
+	}
+
+	jq := joinQuery()
+	sq := epsilonSelectQuery(selAuthor)
+	for _, eps := range cfg.Epsilons {
+		sysSel, err := buildSystem(selCorpus, buildOptions{chunk: 50, epsilon: eps, noLimit: true})
+		if err != nil {
+			return nil, fmt.Errorf("eps %g: %w", eps, err)
+		}
+		var selTotal time.Duration
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			if _, err := sysSel.Select("dblp", sq, []int{1}); err != nil {
+				return nil, err
+			}
+			selTotal += time.Since(start)
+		}
+
+		sysJoin, err := buildSystem(joinCorpus, buildOptions{
+			chunk: 50, withSIGMOD: true, sigmodPapers: joinCorpus.Papers[:nSig],
+			epsilon: eps, noLimit: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("eps %g join: %w", eps, err)
+		}
+		var joinTotal time.Duration
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			if _, err := sysJoin.Join("dblp", "sigmod", jq, nil); err != nil {
+				return nil, err
+			}
+			joinTotal += time.Since(start)
+		}
+
+		rep.Points = append(rep.Points, EpsilonPoint{
+			Eps:        eps,
+			SelectTime: selTotal / time.Duration(reps),
+			JoinTime:   joinTotal / time.Duration(reps),
+			OntoTerms:  sysSel.OntologyTermCount(),
+			SEONodes:   sysSel.SEO.NodeCount(),
+		})
+	}
+	return rep, nil
+}
+
+// String renders the Figure 16(c) series as a table.
+func (r *EpsilonReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 16(c): TOSS query time vs epsilon\n")
+	fmt.Fprintf(&b, "%6s %12s %12s %10s %10s\n", "eps", "selection", "join", "ontoTerms", "seoNodes")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%6.1f %12s %12s %10d %10d\n",
+			p.Eps, fmtDur(p.SelectTime), fmtDur(p.JoinTime), p.OntoTerms, p.SEONodes)
+	}
+	return b.String()
+}

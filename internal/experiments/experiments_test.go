@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+// TestQualityShape runs a reduced Figure 15 experiment and asserts the
+// paper's qualitative findings: TAX precision is always 1; TOSS recall
+// dominates TAX recall; recall grows with ε; precision does not grow with ε;
+// TOSS quality beats TAX quality on average.
+func TestQualityShape(t *testing.T) {
+	cfg := DefaultQualityConfig()
+	cfg.Datasets = 2
+	rep, err := RunQuality(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outcomes) != cfg.Datasets*cfg.QueriesPerDataset {
+		t.Fatalf("outcomes = %d", len(rep.Outcomes))
+	}
+	for i, o := range rep.Outcomes {
+		if o.TAX.Precision() != 1 {
+			t.Errorf("q%d: TAX precision %.3f != 1 (exact match must be correct)", i, o.TAX.Precision())
+		}
+		if o.TruthSize == 0 {
+			t.Errorf("q%d: empty ground truth", i)
+		}
+		r2 := o.TOSS[2]
+		r3 := o.TOSS[3]
+		if r2.Recall() < o.TAX.Recall()-1e-9 {
+			t.Errorf("q%d: TOSS(2) recall %.3f below TAX %.3f", i, r2.Recall(), o.TAX.Recall())
+		}
+		if r3.Recall() < r2.Recall()-1e-9 {
+			t.Errorf("q%d: recall should not shrink with eps (%.3f vs %.3f)", i, r3.Recall(), r2.Recall())
+		}
+	}
+	taxP, taxR, toss := rep.Averages()
+	if taxP != 1 {
+		t.Errorf("avg TAX precision = %.3f", taxP)
+	}
+	if taxR >= toss[3][1] {
+		t.Errorf("avg TAX recall %.3f should trail TOSS(3) recall %.3f", taxR, toss[3][1])
+	}
+	if toss[3][0] > toss[2][0]+1e-9 {
+		t.Errorf("precision should not grow with eps: P(3)=%.3f P(2)=%.3f", toss[3][0], toss[2][0])
+	}
+	// Average quality: TOSS(3) beats TAX (the paper's headline).
+	var qTax, qToss float64
+	for _, o := range rep.Outcomes {
+		qTax += o.TAX.Quality()
+		qToss += o.TOSS[3].Quality()
+	}
+	if qToss <= qTax {
+		t.Errorf("TOSS(3) avg quality %.3f should beat TAX %.3f", qToss, qTax)
+	}
+	// Reports render with all panels.
+	out := rep.String()
+	for _, want := range []string{"Figure 15(a)", "Figure 15(b)", "Figure 15(c)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %s", want)
+		}
+	}
+}
+
+// TestSelectionScalabilityShape runs a reduced Figure 16(a) and checks that
+// times grow with data size and that the TOSS curves sit above TAX.
+func TestSelectionScalabilityShape(t *testing.T) {
+	cfg := DefaultSelectionScalabilityConfig()
+	cfg.PaperCounts = []int{100, 400}
+	cfg.Repetitions = 2
+	rep, err := RunSelectionScalability(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.TAX) != 2 || len(rep.TOSS) != len(cfg.OntologySizes) {
+		t.Fatalf("series malformed")
+	}
+	// Bytes grow with papers; every timing is positive.
+	if rep.TAX[1].Bytes <= rep.TAX[0].Bytes {
+		t.Error("bytes should grow with paper count")
+	}
+	for _, pt := range rep.TAX {
+		if pt.Elapsed <= 0 {
+			t.Error("TAX timing missing")
+		}
+	}
+	for i := range rep.TOSS {
+		for row, pt := range rep.TOSS[i] {
+			if pt.Elapsed <= 0 {
+				t.Error("TOSS timing missing")
+			}
+			if pt.OntoTerms <= 0 {
+				t.Error("ontology size missing")
+			}
+			if pt.Bytes != rep.TAX[row].Bytes {
+				t.Error("curves should share the x axis")
+			}
+		}
+	}
+	// Larger data takes longer for the biggest-ontology TOSS curve.
+	last := rep.TOSS[len(rep.TOSS)-1]
+	if last[1].Elapsed <= last[0].Elapsed/4 {
+		t.Errorf("TOSS time did not grow with size: %v then %v", last[0].Elapsed, last[1].Elapsed)
+	}
+	if !strings.Contains(rep.String(), "Figure 16(a)") {
+		t.Error("report header missing")
+	}
+}
+
+// TestJoinScalabilityShape runs a reduced Figure 16(b).
+func TestJoinScalabilityShape(t *testing.T) {
+	cfg := DefaultJoinScalabilityConfig()
+	cfg.PaperCounts = []int{50, 150}
+	rep, err := RunJoinScalability(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.TAX) != 2 || len(rep.Results) != 2 {
+		t.Fatalf("series malformed")
+	}
+	// The join must actually produce matches (each SIGMOD paper appears in
+	// DBLP too), and more data ⇒ more matches.
+	if rep.Results[0] == 0 || rep.Results[1] <= rep.Results[0] {
+		t.Errorf("join results = %v", rep.Results)
+	}
+	// TOSS joins cost at least as much as TAX joins at the same size
+	// (similarity checks on top of the same algebra).
+	for row := range rep.TAX {
+		toss := rep.TOSS[len(rep.TOSS)-1][row].Elapsed
+		if toss < rep.TAX[row].Elapsed/2 {
+			t.Errorf("row %d: TOSS %v suspiciously cheaper than TAX %v", row, toss, rep.TAX[row].Elapsed)
+		}
+	}
+	if !strings.Contains(rep.String(), "Figure 16(b)") {
+		t.Error("report header missing")
+	}
+}
+
+// TestEpsilonShape runs a reduced Figure 16(c): SEO size shrinks (or stays)
+// as clusters merge with growing ε, and timings are recorded per ε.
+func TestEpsilonShape(t *testing.T) {
+	cfg := DefaultEpsilonConfig()
+	cfg.Epsilons = []float64{0, 3}
+	cfg.SelectPapers = 150
+	cfg.JoinPapers = 80
+	cfg.Repetitions = 1
+	rep, err := RunEpsilon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("points = %d", len(rep.Points))
+	}
+	p0, p3 := rep.Points[0], rep.Points[1]
+	if p0.SelectTime <= 0 || p0.JoinTime <= 0 || p3.SelectTime <= 0 || p3.JoinTime <= 0 {
+		t.Error("timings missing")
+	}
+	// At ε=0 every term is its own cluster; at ε=3 clusters merge.
+	if p3.SEONodes > p0.SEONodes {
+		t.Errorf("SEO nodes grew with eps: %d -> %d", p0.SEONodes, p3.SEONodes)
+	}
+	if p0.OntoTerms != p3.OntoTerms {
+		t.Error("ontology size should not depend on eps")
+	}
+	if !strings.Contains(rep.String(), "Figure 16(c)") {
+		t.Error("report header missing")
+	}
+}
+
+// TestPaperIDsExtraction covers the answer-scoring helper.
+func TestPaperIDsExtraction(t *testing.T) {
+	s, corpus := mustMini(t)
+	_ = corpus
+	docs, err := s.Trees("dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := PaperIDs(docs)
+	if len(ids) == 0 {
+		t.Fatal("no IDs extracted")
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate ID %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+// mustMini builds a small system for helper tests.
+func mustMini(t *testing.T) (*core.System, *datagen.Corpus) {
+	t.Helper()
+	c := datagen.Generate(datagen.DefaultConfig(60))
+	s, err := buildSystem(c, buildOptions{epsilon: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, c
+}
+
+// TestAblationsShape runs the reduced ablation suite and checks the expected
+// winners: indexed XPath beats scans and the reachability index beats DFS.
+func TestAblationsShape(t *testing.T) {
+	cfg := DefaultAblationConfig()
+	cfg.Papers = 200
+	cfg.Repetitions = 3
+	rep, err := RunAblations(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]int64{}
+	for _, row := range rep.Rows {
+		byKey[row.Study+"/"+row.Variant] = row.Elapsed.Nanoseconds()
+	}
+	if len(rep.Rows) != 8 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	if byKey["xpath-index/indexed"] >= byKey["xpath-index/scan"] {
+		t.Errorf("indexed XPath (%d ns) should beat scan (%d ns)",
+			byKey["xpath-index/indexed"], byKey["xpath-index/scan"])
+	}
+	if byKey["reachability/indexed"] >= byKey["reachability/dfs"] {
+		t.Errorf("reachability index (%d ns) should beat DFS (%d ns)",
+			byKey["reachability/indexed"], byKey["reachability/dfs"])
+	}
+	if !strings.Contains(rep.String(), "Ablations") {
+		t.Error("report header missing")
+	}
+}
+
+// TestCSVExport sanity-checks each report's CSV writer: right header arity,
+// one row per data point, parseable with encoding/csv.
+func TestCSVExport(t *testing.T) {
+	qcfg := DefaultQualityConfig()
+	qcfg.Datasets = 1
+	qrep, err := RunQuality(qcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCSV(t, "fig15", qrep.WriteCSV, len(qrep.Outcomes)+1)
+
+	scfg := DefaultSelectionScalabilityConfig()
+	scfg.PaperCounts = []int{80}
+	scfg.Repetitions = 1
+	srep, err := RunSelectionScalability(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCSV(t, "fig16a", srep.WriteCSV, 2)
+
+	jcfg := DefaultJoinScalabilityConfig()
+	jcfg.PaperCounts = []int{40}
+	jrep, err := RunJoinScalability(jcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCSV(t, "fig16b", jrep.WriteCSV, 2)
+
+	ecfg := DefaultEpsilonConfig()
+	ecfg.Epsilons = []float64{0, 2}
+	ecfg.SelectPapers = 60
+	ecfg.JoinPapers = 40
+	ecfg.Repetitions = 1
+	erep, err := RunEpsilon(ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCSV(t, "fig16c", erep.WriteCSV, 3)
+}
+
+func checkCSV(t *testing.T, name string, emit func(io.Writer) error, wantRows int) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := emit(&buf); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("%s: output is not valid CSV: %v", name, err)
+	}
+	if len(records) != wantRows {
+		t.Errorf("%s: %d rows, want %d", name, len(records), wantRows)
+	}
+	for i, rec := range records {
+		if len(rec) != len(records[0]) {
+			t.Errorf("%s: row %d arity %d != header %d", name, i, len(rec), len(records[0]))
+		}
+	}
+}

@@ -1,0 +1,353 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+	"repro/internal/pattern"
+	"repro/internal/tax"
+	"repro/internal/tree"
+	"repro/internal/wordnet"
+)
+
+// QualityConfig parameterises the Figure 15 experiment: selection queries,
+// each with 1 isa + 1 similarTo + 3 tag matching conditions, evaluated
+// against ground truth on datasets of random papers, comparing TAX
+// (contains/exact) with TOSS at several ε.
+type QualityConfig struct {
+	Datasets          int
+	PapersPerDataset  int
+	QueriesPerDataset int
+	Epsilons          []float64
+	Seed              int64
+}
+
+// DefaultQualityConfig reproduces the paper's setup: 12 queries over 3
+// datasets of 100 random papers; TOSS at ε = 2 and ε = 3.
+func DefaultQualityConfig() QualityConfig {
+	return QualityConfig{
+		Datasets:          3,
+		PapersPerDataset:  100,
+		QueriesPerDataset: 4,
+		Epsilons:          []float64{2, 3},
+		Seed:              7,
+	}
+}
+
+// QueryOutcome is the scored result of one query on one dataset. Queries
+// come in two families, both with 1 isa + 1 similarTo + 3 tag conditions as
+// in the paper: author-centric queries (similarTo on the author name, broad
+// isa on the venue) and concept-centric queries (similarTo on the venue,
+// isa on title words).
+type QueryOutcome struct {
+	Dataset   int
+	Label     string // human-readable query description
+	TruthSize int
+	TAX       metrics.Result
+	TOSS      map[float64]metrics.Result
+
+	pat   *pattern.Tree
+	truth map[string]bool
+}
+
+// QualityReport aggregates the Figure 15 experiment.
+type QualityReport struct {
+	Config   QualityConfig
+	Outcomes []QueryOutcome
+}
+
+// authorQuery: 3 tag conditions + similarTo on the author + a broad isa on
+// the venue ("every booktitle value is a conference"), so the author
+// dimension determines the truth set. TAX degrades ~ to exact match and isa
+// to contains, so it only finds papers whose author string is the literal
+// and whose venue literally contains "conference".
+func authorQuery(author string) *pattern.Tree {
+	return pattern.MustParse(fmt.Sprintf(
+		`#1 pc #2, #1 pc #4 :: #1.tag = "inproceedings" & #2.tag = "author" & #4.tag = "booktitle" & `+
+			`#2.content ~ %q & #4.content isa "conference"`, author))
+}
+
+// conceptQuery: 3 tag conditions + similarTo on the venue + isa on title
+// words; the concept and venue dimensions jointly determine the truth set.
+func conceptQuery(venue, concept string) *pattern.Tree {
+	return pattern.MustParse(fmt.Sprintf(
+		`#1 pc #3, #1 pc #4 :: #1.tag = "inproceedings" & #3.tag = "title" & #4.tag = "booktitle" & `+
+			`#4.content ~ %q & #3.content isa %q`, venue, concept))
+}
+
+var qualityConcepts = []string{
+	"index", "access method", "database", "operation",
+	"query", "data model", "view", "transaction",
+}
+
+// pickQueries chooses n queries per dataset, half author-centric and half
+// concept-centric, with a deterministic spread of truth sizes.
+func pickQueries(corpus *datagen.Corpus, lex *wordnet.Lexicon, n int) []QueryOutcome {
+	var out []QueryOutcome
+	nAuthor := (n + 1) / 2
+
+	// Author-centric: spread over paper counts (largest, then evenly down).
+	type ac struct {
+		a     *datagen.Author
+		truth map[string]bool
+	}
+	var authors []ac
+	for _, a := range corpus.Authors {
+		t := corpus.PapersByAuthor(a.ID)
+		if len(t) > 0 {
+			authors = append(authors, ac{a, t})
+		}
+	}
+	sort.Slice(authors, func(i, j int) bool {
+		if len(authors[i].truth) != len(authors[j].truth) {
+			return len(authors[i].truth) > len(authors[j].truth)
+		}
+		return authors[i].a.ID < authors[j].a.ID
+	})
+	step := 1
+	if len(authors) > nAuthor && nAuthor > 0 {
+		step = len(authors) / nAuthor
+	}
+	for i := 0; i < len(authors) && len(out) < nAuthor; i += step {
+		name := authors[i].a.Canonical()
+		out = append(out, QueryOutcome{
+			Label:     "author ~ " + name,
+			TruthSize: len(authors[i].truth),
+			TOSS:      map[float64]metrics.Result{},
+			pat:       authorQuery(name),
+			truth:     authors[i].truth,
+		})
+	}
+
+	// Concept-centric: (venue, concept) pairs with non-empty truth, spread
+	// over sizes.
+	type cc struct {
+		venue   string
+		concept string
+		truth   map[string]bool
+	}
+	var cands []cc
+	for _, conf := range corpus.Conferences {
+		byVenue := corpus.PapersByConference(conf.ID)
+		for _, concept := range qualityConcepts {
+			truth := datagen.Intersect(byVenue, conceptTruth(corpus, lex, concept))
+			if len(truth) > 0 {
+				cands = append(cands, cc{conf.Short, concept, truth})
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if len(cands[i].truth) != len(cands[j].truth) {
+			return len(cands[i].truth) > len(cands[j].truth)
+		}
+		if cands[i].venue != cands[j].venue {
+			return cands[i].venue < cands[j].venue
+		}
+		return cands[i].concept < cands[j].concept
+	})
+	nConcept := n - len(out)
+	step = 1
+	if len(cands) > nConcept && nConcept > 0 {
+		step = len(cands) / nConcept
+	}
+	for i := 0; i < len(cands) && len(out) < n; i += step {
+		c := cands[i]
+		out = append(out, QueryOutcome{
+			Label:     fmt.Sprintf("venue ~ %s & title isa %s", c.venue, c.concept),
+			TruthSize: len(c.truth),
+			TOSS:      map[float64]metrics.Result{},
+			pat:       conceptQuery(c.venue, c.concept),
+			truth:     c.truth,
+		})
+	}
+	return out
+}
+
+// conceptTruth returns papers whose title contains a word that isa concept,
+// per the lexicon (the ground truth a human labeller would produce).
+func conceptTruth(corpus *datagen.Corpus, lex *wordnet.Lexicon, concept string) map[string]bool {
+	return corpus.PapersByTitleWord(func(w string) bool { return lex.IsA(w, concept) })
+}
+
+// RunQuality executes the Figure 15 experiment.
+func RunQuality(cfg QualityConfig) (*QualityReport, error) {
+	lex := wordnet.Default()
+	report := &QualityReport{Config: cfg}
+	for ds := 0; ds < cfg.Datasets; ds++ {
+		gen := datagen.DefaultConfig(cfg.PapersPerDataset)
+		gen.Seed = cfg.Seed + int64(ds)
+		// A small author pool with colliding surnames and heavy mention
+		// noise: several papers per author (the paper's truth sets reach 38
+		// papers), initialled mentions that collide across same-surname
+		// entities (precision pressure at higher ε), and typo'd variant
+		// forms beyond ε=2 (the recall gap between ε=2 and ε=3).
+		gen.AuthorPool = 16
+		gen.SurnamePool = 6
+		gen.ConfPool = 3
+		gen.VariantRate = 0.85
+		gen.TypoRate = 0.15
+		gen.MangleRate = 0.35
+		corpus := datagen.Generate(gen)
+
+		queries := pickQueries(corpus, lex, cfg.QueriesPerDataset)
+
+		// One TOSS system per ε (the SEO depends on it); TAX runs over the
+		// same documents with the baseline evaluator.
+		systems := map[float64]*core.System{}
+		for _, eps := range cfg.Epsilons {
+			s, err := buildSystem(corpus, buildOptions{epsilon: eps})
+			if err != nil {
+				return nil, fmt.Errorf("dataset %d eps %g: %w", ds, eps, err)
+			}
+			systems[eps] = s
+		}
+		var taxDocs []*tree.Tree
+		if len(cfg.Epsilons) > 0 {
+			var err error
+			taxDocs, err = systems[cfg.Epsilons[0]].Trees("dblp")
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		for qi := range queries {
+			q := &queries[qi]
+			q.Dataset = ds
+
+			taxRes, err := tax.Select(tree.NewCollection(), taxDocs, q.pat, []int{1}, tax.Baseline{})
+			if err != nil {
+				return nil, fmt.Errorf("tax select: %w", err)
+			}
+			q.TAX = metrics.Score(PaperIDs(taxRes), q.truth)
+
+			for _, eps := range cfg.Epsilons {
+				res, err := systems[eps].Select("dblp", q.pat, []int{1})
+				if err != nil {
+					return nil, fmt.Errorf("toss select eps %g: %w", eps, err)
+				}
+				q.TOSS[eps] = metrics.Score(PaperIDs(res), q.truth)
+			}
+			report.Outcomes = append(report.Outcomes, *q)
+		}
+	}
+	return report, nil
+}
+
+// Averages returns mean precision and recall for TAX and each TOSS ε.
+func (r *QualityReport) Averages() (taxP, taxR float64, toss map[float64][2]float64) {
+	toss = map[float64][2]float64{}
+	n := float64(len(r.Outcomes))
+	if n == 0 {
+		return 0, 0, toss
+	}
+	for _, o := range r.Outcomes {
+		taxP += o.TAX.Precision()
+		taxR += o.TAX.Recall()
+		for eps, res := range o.TOSS {
+			v := toss[eps]
+			v[0] += res.Precision()
+			v[1] += res.Recall()
+			toss[eps] = v
+		}
+	}
+	taxP /= n
+	taxR /= n
+	for eps, v := range toss {
+		toss[eps] = [2]float64{v[0] / n, v[1] / n}
+	}
+	return taxP, taxR, toss
+}
+
+// epsList returns the configured epsilons in ascending order.
+func (r *QualityReport) epsList() []float64 {
+	eps := append([]float64{}, r.Config.Epsilons...)
+	sort.Float64s(eps)
+	return eps
+}
+
+// Fig15a renders the per-query precision/recall table.
+func (r *QualityReport) Fig15a() string {
+	var b strings.Builder
+	eps := r.epsList()
+	fmt.Fprintf(&b, "Figure 15(a): precision & recall per query (TAX vs TOSS)\n")
+	fmt.Fprintf(&b, "%-3s %-42s %5s  %7s %7s", "q", "query", "truth", "TAX-P", "TAX-R")
+	for _, e := range eps {
+		fmt.Fprintf(&b, "  P(e=%g) R(e=%g)", e, e)
+	}
+	b.WriteString("\n")
+	for i, o := range r.Outcomes {
+		fmt.Fprintf(&b, "%-3d %-42s %5d  %7.3f %7.3f", i+1, o.Label, o.TruthSize,
+			o.TAX.Precision(), o.TAX.Recall())
+		for _, e := range eps {
+			fmt.Fprintf(&b, "  %6.3f  %6.3f", o.TOSS[e].Precision(), o.TOSS[e].Recall())
+		}
+		b.WriteString("\n")
+	}
+	taxP, taxR, toss := r.Averages()
+	fmt.Fprintf(&b, "%-3s %-42s %5s  %7.3f %7.3f", "avg", "", "", taxP, taxR)
+	for _, e := range eps {
+		fmt.Fprintf(&b, "  %6.3f  %6.3f", toss[e][0], toss[e][1])
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Fig15b renders quality √(P·R) against √(TAX recall) per query.
+func (r *QualityReport) Fig15b() string {
+	var b strings.Builder
+	eps := r.epsList()
+	fmt.Fprintf(&b, "Figure 15(b): quality sqrt(P*R) vs sqrt(TAX recall)\n")
+	fmt.Fprintf(&b, "%-3s %12s %12s", "q", "sqrt(TAX-R)", "TAX-quality")
+	for _, e := range eps {
+		fmt.Fprintf(&b, "  q(e=%g)", e)
+	}
+	b.WriteString("\n")
+	for i, o := range r.Outcomes {
+		fmt.Fprintf(&b, "%-3d %12.3f %12.3f", i+1, math.Sqrt(o.TAX.Recall()), o.TAX.Quality())
+		for _, e := range eps {
+			fmt.Fprintf(&b, "  %6.3f", o.TOSS[e].Quality())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Fig15c renders the recall improvement of TOSS over TAX, normalised by the
+// TOSS precision: (R_toss / R_tax) · P_toss. When TAX recall is zero the
+// ratio is computed against the smallest non-zero recall 1/truth.
+func (r *QualityReport) Fig15c() string {
+	var b strings.Builder
+	eps := r.epsList()
+	fmt.Fprintf(&b, "Figure 15(c): normalised recall improvement over TAX\n")
+	fmt.Fprintf(&b, "%-3s %7s", "q", "TAX-R")
+	for _, e := range eps {
+		fmt.Fprintf(&b, "  imp(e=%g)", e)
+	}
+	b.WriteString("\n")
+	for i, o := range r.Outcomes {
+		base := o.TAX.Recall()
+		if base == 0 && o.TruthSize > 0 {
+			base = 1 / float64(o.TruthSize)
+		}
+		fmt.Fprintf(&b, "%-3d %7.3f", i+1, o.TAX.Recall())
+		for _, e := range eps {
+			imp := 0.0
+			if base > 0 {
+				imp = o.TOSS[e].Recall() / base * o.TOSS[e].Precision()
+			}
+			fmt.Fprintf(&b, "  %8.2f", imp)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// String renders all three panels.
+func (r *QualityReport) String() string {
+	return r.Fig15a() + "\n" + r.Fig15b() + "\n" + r.Fig15c()
+}

@@ -1,0 +1,315 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/pattern"
+	"repro/internal/tax"
+	"repro/internal/tree"
+)
+
+// SelectionScalabilityConfig parameterises the Figure 16(a) experiment:
+// conjunctive selection queries (2 isa + 4 tag matching conditions) over
+// DBLP data of growing size, with TOSS curves at several ontology sizes and
+// the TAX baseline.
+type SelectionScalabilityConfig struct {
+	// PaperCounts are the corpus sizes to sweep (each rendered to XML; the
+	// report lists the resulting byte sizes, the x-axis the paper uses).
+	PaperCounts []int
+	// OntologySizes are MaxValueTerms caps yielding the TOSS curves of
+	// different ontology sizes (0 = uncapped, the largest ontology).
+	OntologySizes []int
+	Epsilon       float64
+	Repetitions   int
+	Seed          int64
+}
+
+// DefaultSelectionScalabilityConfig sweeps ~0.1–1.4 MB of XML (scaled from
+// the paper's 0.5–4.75 MB to keep the harness quick) at three ontology
+// sizes.
+func DefaultSelectionScalabilityConfig() SelectionScalabilityConfig {
+	return SelectionScalabilityConfig{
+		PaperCounts:   []int{250, 500, 1000, 2000, 3700},
+		OntologySizes: []int{100, 250, 0},
+		Epsilon:       3,
+		Repetitions:   3,
+		Seed:          11,
+	}
+}
+
+// ScalabilityPoint is one measured point of a time-vs-size curve.
+type ScalabilityPoint struct {
+	Papers    int
+	Bytes     int
+	OntoTerms int           // fused ontology size (0 for the TAX baseline)
+	Elapsed   time.Duration // average over repetitions
+}
+
+// SelectionScalabilityReport holds the Figure 16(a) series.
+type SelectionScalabilityReport struct {
+	Config SelectionScalabilityConfig
+	// TOSS[i] is the curve for OntologySizes[i]; TAX is the baseline curve.
+	TOSS [][]ScalabilityPoint
+	TAX  []ScalabilityPoint
+}
+
+// selectionQuery is the paper's Fig 16(a) query shape: 4 tag matching and 2
+// isa conditions.
+func selectionQuery() *pattern.Tree {
+	return pattern.MustParse(
+		`#1 pc #2, #1 pc #3, #1 pc #4 :: ` +
+			`#1.tag = "inproceedings" & #2.tag = "title" & #3.tag = "booktitle" & #4.tag = "year" & ` +
+			`#2.content isa "operation" & #3.content isa "conference"`)
+}
+
+// RunSelectionScalability executes the Figure 16(a) experiment.
+func RunSelectionScalability(cfg SelectionScalabilityConfig) (*SelectionScalabilityReport, error) {
+	rep := &SelectionScalabilityReport{Config: cfg, TOSS: make([][]ScalabilityPoint, len(cfg.OntologySizes))}
+	reps := cfg.Repetitions
+	if reps < 1 {
+		reps = 1
+	}
+	pat := selectionQuery()
+	for _, papers := range cfg.PaperCounts {
+		gen := datagen.DefaultConfig(papers)
+		gen.Seed = cfg.Seed
+		corpus := datagen.Generate(gen)
+
+		for i, capTerms := range cfg.OntologySizes {
+			s, err := buildSystem(corpus, buildOptions{
+				chunk: 50, maxValueTerms: capTerms, epsilon: cfg.Epsilon, noLimit: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("papers=%d cap=%d: %w", papers, capTerms, err)
+			}
+			bytes := s.Instance("dblp").Col.ByteSize()
+			var total time.Duration
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				if _, err := s.Select("dblp", pat, []int{1}); err != nil {
+					return nil, err
+				}
+				total += time.Since(start)
+			}
+			rep.TOSS[i] = append(rep.TOSS[i], ScalabilityPoint{
+				Papers:    papers,
+				Bytes:     bytes,
+				OntoTerms: s.OntologyTermCount(),
+				Elapsed:   total / time.Duration(reps),
+			})
+		}
+
+		// TAX baseline over the same documents, no ontology.
+		s, err := buildSystem(corpus, buildOptions{
+			chunk: 50, maxValueTerms: 1, epsilon: cfg.Epsilon, noLimit: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		docs, err := s.Trees("dblp")
+		if err != nil {
+			return nil, err
+		}
+		var total time.Duration
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			if _, err := tax.Select(tree.NewCollection(), docs, pat, []int{1}, tax.Baseline{}); err != nil {
+				return nil, err
+			}
+			total += time.Since(start)
+		}
+		rep.TAX = append(rep.TAX, ScalabilityPoint{
+			Papers:  papers,
+			Bytes:   s.Instance("dblp").Col.ByteSize(),
+			Elapsed: total / time.Duration(reps),
+		})
+	}
+	return rep, nil
+}
+
+// String renders the Figure 16(a) series as a table.
+func (r *SelectionScalabilityReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 16(a): selection time vs data size (eps=%g)\n", r.Config.Epsilon)
+	fmt.Fprintf(&b, "%8s %10s %12s", "papers", "bytes", "TAX")
+	for i := range r.TOSS {
+		terms := 0
+		if len(r.TOSS[i]) > 0 {
+			terms = r.TOSS[i][len(r.TOSS[i])-1].OntoTerms
+		}
+		fmt.Fprintf(&b, " %12s", fmt.Sprintf("TOSS(%d)", terms))
+	}
+	b.WriteString("\n")
+	for row := range r.TAX {
+		fmt.Fprintf(&b, "%8d %10d %12s", r.TAX[row].Papers, r.TAX[row].Bytes, fmtDur(r.TAX[row].Elapsed))
+		for i := range r.TOSS {
+			fmt.Fprintf(&b, " %12s", fmtDur(r.TOSS[i][row].Elapsed))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	if d < time.Millisecond {
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1000)
+	}
+	return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+}
+
+// JoinScalabilityConfig parameterises the Figure 16(b) experiment: joins of
+// DBLP and SIGMOD data (5 tag matching + 1 similarTo conditions) as the
+// total data size grows.
+type JoinScalabilityConfig struct {
+	// PaperCounts sweep the DBLP side; the SIGMOD side holds a fixed
+	// fraction of the papers (the paper's SIGMOD data was ~16% of the
+	// largest DBLP file).
+	PaperCounts  []int
+	SIGMODShare  float64
+	Epsilon      float64
+	Repetitions  int
+	Seed         int64
+	OntologyCaps []int // value-term caps (TOSS curves), 0 = uncapped
+}
+
+// DefaultJoinScalabilityConfig sweeps joins at a scale that finishes in
+// seconds while preserving the paper's superlinear tail.
+func DefaultJoinScalabilityConfig() JoinScalabilityConfig {
+	return JoinScalabilityConfig{
+		PaperCounts:  []int{100, 200, 400, 800, 1600},
+		SIGMODShare:  0.2,
+		Epsilon:      3,
+		Repetitions:  1,
+		Seed:         13,
+		OntologyCaps: []int{100, 0},
+	}
+}
+
+// JoinScalabilityReport holds the Figure 16(b) series.
+type JoinScalabilityReport struct {
+	Config JoinScalabilityConfig
+	TOSS   [][]ScalabilityPoint
+	TAX    []ScalabilityPoint
+	// Results sanity-checks the join outputs (result tree count at each
+	// size, largest ontology curve).
+	Results []int
+}
+
+// joinQuery is the paper's Fig 16(b)/Example 13 query shape: join DBLP and
+// SIGMOD pages on similar titles — 5 tag matching conditions + 1 similarTo.
+func joinQuery() *pattern.Tree {
+	return pattern.MustParse(
+		`#1 pc #2, #1 pc #3, #2 ad #4, #3 ad #5 :: ` +
+			`#1.tag = "tax_prod_root" & #2.tag = "dblp" & #3.tag = "ProceedingsPage" & ` +
+			`#4.tag = "title" & #5.tag = "title" & #4.content ~ #5.content`)
+}
+
+// RunJoinScalability executes the Figure 16(b) experiment.
+func RunJoinScalability(cfg JoinScalabilityConfig) (*JoinScalabilityReport, error) {
+	rep := &JoinScalabilityReport{Config: cfg, TOSS: make([][]ScalabilityPoint, len(cfg.OntologyCaps))}
+	reps := cfg.Repetitions
+	if reps < 1 {
+		reps = 1
+	}
+	pat := joinQuery()
+	for _, papers := range cfg.PaperCounts {
+		gen := datagen.DefaultConfig(papers)
+		gen.Seed = cfg.Seed
+		corpus := datagen.Generate(gen)
+		nSig := int(float64(papers) * cfg.SIGMODShare)
+		if nSig < 1 {
+			nSig = 1
+		}
+		sigPapers := corpus.Papers[:nSig]
+
+		for i, capTerms := range cfg.OntologyCaps {
+			s, err := buildSystem(corpus, buildOptions{
+				chunk: 50, withSIGMOD: true, sigmodPapers: sigPapers,
+				maxValueTerms: capTerms, epsilon: cfg.Epsilon, noLimit: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("papers=%d cap=%d: %w", papers, capTerms, err)
+			}
+			bytes := s.Instance("dblp").Col.ByteSize() + s.Instance("sigmod").Col.ByteSize()
+			var total time.Duration
+			var count int
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				res, err := s.Join("dblp", "sigmod", pat, nil)
+				if err != nil {
+					return nil, err
+				}
+				total += time.Since(start)
+				count = len(res)
+			}
+			rep.TOSS[i] = append(rep.TOSS[i], ScalabilityPoint{
+				Papers:    papers,
+				Bytes:     bytes,
+				OntoTerms: s.OntologyTermCount(),
+				Elapsed:   total / time.Duration(reps),
+			})
+			if i == len(cfg.OntologyCaps)-1 {
+				rep.Results = append(rep.Results, count)
+			}
+		}
+
+		// TAX baseline: the same join with exact-match semantics.
+		s, err := buildSystem(corpus, buildOptions{
+			chunk: 50, withSIGMOD: true, sigmodPapers: sigPapers,
+			maxValueTerms: 1, epsilon: cfg.Epsilon, noLimit: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ldocs, err := s.Trees("dblp")
+		if err != nil {
+			return nil, err
+		}
+		rdocs, err := s.Trees("sigmod")
+		if err != nil {
+			return nil, err
+		}
+		var total time.Duration
+		for r := 0; r < reps; r++ {
+			dst := tree.NewCollection()
+			start := time.Now()
+			prod := tax.Product(dst, ldocs, rdocs)
+			if _, err := tax.Select(dst, prod, pat, nil, tax.Baseline{}); err != nil {
+				return nil, err
+			}
+			total += time.Since(start)
+		}
+		rep.TAX = append(rep.TAX, ScalabilityPoint{
+			Papers:  papers,
+			Bytes:   s.Instance("dblp").Col.ByteSize() + s.Instance("sigmod").Col.ByteSize(),
+			Elapsed: total / time.Duration(reps),
+		})
+	}
+	return rep, nil
+}
+
+// String renders the Figure 16(b) series as a table.
+func (r *JoinScalabilityReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 16(b): join time vs total data size (eps=%g)\n", r.Config.Epsilon)
+	fmt.Fprintf(&b, "%8s %10s %12s", "papers", "bytes", "TAX")
+	for i := range r.TOSS {
+		terms := 0
+		if len(r.TOSS[i]) > 0 {
+			terms = r.TOSS[i][len(r.TOSS[i])-1].OntoTerms
+		}
+		fmt.Fprintf(&b, " %12s", fmt.Sprintf("TOSS(%d)", terms))
+	}
+	fmt.Fprintf(&b, " %8s\n", "results")
+	for row := range r.TAX {
+		fmt.Fprintf(&b, "%8d %10d %12s", r.TAX[row].Papers, r.TAX[row].Bytes, fmtDur(r.TAX[row].Elapsed))
+		for i := range r.TOSS {
+			fmt.Fprintf(&b, " %12s", fmtDur(r.TOSS[i][row].Elapsed))
+		}
+		fmt.Fprintf(&b, " %8d\n", r.Results[row])
+	}
+	return b.String()
+}

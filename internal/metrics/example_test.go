@@ -1,0 +1,16 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// Quality is the paper's √(precision · recall).
+func ExampleScore() {
+	truth := map[string]bool{"p1": true, "p2": true, "p3": true, "p4": true}
+	r := metrics.Score([]string{"p1", "p2", "p9"}, truth)
+	fmt.Printf("P=%.3f R=%.3f Q=%.3f\n", r.Precision(), r.Recall(), r.Quality())
+	// Output:
+	// P=0.667 R=0.500 Q=0.577
+}

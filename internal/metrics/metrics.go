@@ -1,0 +1,63 @@
+// Package metrics implements the answer-quality measures of the paper's
+// evaluation: precision (correct answers returned / answers returned),
+// recall (correct answers returned / correct answers that exist) and the
+// quality measure √(precision · recall) from [14].
+package metrics
+
+import "math"
+
+// Result summarises one query evaluation against ground truth.
+type Result struct {
+	Returned int // answers the system returned
+	Correct  int // of those, how many are correct
+	Relevant int // total correct answers that exist
+}
+
+// Score compares a returned answer set with the ground-truth relevant set,
+// using any comparable key type (paper IDs in our experiments).
+func Score[K comparable](returned []K, relevant map[K]bool) Result {
+	r := Result{Returned: len(returned), Relevant: len(relevant)}
+	seen := map[K]bool{}
+	for _, k := range returned {
+		if seen[k] {
+			r.Returned-- // count distinct answers, as the paper scores papers
+			continue
+		}
+		seen[k] = true
+		if relevant[k] {
+			r.Correct++
+		}
+	}
+	return r
+}
+
+// Precision returns correct/returned; by convention an empty answer set has
+// precision 1 (it contains no wrong answers).
+func (r Result) Precision() float64 {
+	if r.Returned == 0 {
+		return 1
+	}
+	return float64(r.Correct) / float64(r.Returned)
+}
+
+// Recall returns correct/relevant; with no relevant answers recall is 1.
+func (r Result) Recall() float64 {
+	if r.Relevant == 0 {
+		return 1
+	}
+	return float64(r.Correct) / float64(r.Relevant)
+}
+
+// Quality is √(precision · recall), the paper's answer-quality measure.
+func (r Result) Quality() float64 {
+	return math.Sqrt(r.Precision() * r.Recall())
+}
+
+// F1 is the usual harmonic mean, included for completeness.
+func (r Result) F1() float64 {
+	p, rec := r.Precision(), r.Recall()
+	if p+rec == 0 {
+		return 0
+	}
+	return 2 * p * rec / (p + rec)
+}

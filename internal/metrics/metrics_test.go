@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScore(t *testing.T) {
+	relevant := map[string]bool{"a": true, "b": true, "c": true, "d": true}
+	r := Score([]string{"a", "b", "x"}, relevant)
+	if r.Returned != 3 || r.Correct != 2 || r.Relevant != 4 {
+		t.Fatalf("Score = %+v", r)
+	}
+	if got := r.Precision(); math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("Precision = %g", got)
+	}
+	if got := r.Recall(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("Recall = %g", got)
+	}
+	if got := r.Quality(); math.Abs(got-math.Sqrt(1.0/3)) > 1e-9 {
+		t.Errorf("Quality = %g", got)
+	}
+	if got := r.F1(); math.Abs(got-2*(2.0/3)*0.5/((2.0/3)+0.5)) > 1e-9 {
+		t.Errorf("F1 = %g", got)
+	}
+}
+
+func TestScoreDeduplicates(t *testing.T) {
+	relevant := map[string]bool{"a": true}
+	r := Score([]string{"a", "a", "a"}, relevant)
+	if r.Returned != 1 || r.Correct != 1 {
+		t.Errorf("duplicates not collapsed: %+v", r)
+	}
+}
+
+func TestEmptyConventions(t *testing.T) {
+	// Empty answer: precision 1 (nothing wrong), recall 0 (missed all).
+	r := Score(nil, map[string]bool{"a": true})
+	if r.Precision() != 1 || r.Recall() != 0 {
+		t.Errorf("empty answer conventions: P=%g R=%g", r.Precision(), r.Recall())
+	}
+	// Empty truth: recall 1 by convention.
+	r2 := Score([]string{"x"}, map[string]bool{})
+	if r2.Recall() != 1 || r2.Precision() != 0 {
+		t.Errorf("empty truth conventions: P=%g R=%g", r2.Precision(), r2.Recall())
+	}
+	r3 := Score[string](nil, nil)
+	if r3.Quality() != math.Sqrt(1) {
+		t.Errorf("vacuous quality = %g", r3.Quality())
+	}
+	if r3.F1() != 1 {
+		t.Errorf("vacuous F1 = %g", r3.F1())
+	}
+}
+
+func TestIntKeys(t *testing.T) {
+	r := Score([]int{1, 2}, map[int]bool{2: true, 3: true})
+	if r.Correct != 1 || r.Returned != 2 || r.Relevant != 2 {
+		t.Errorf("int-keyed score = %+v", r)
+	}
+}
+
+// TestQuickBounds: precision, recall, quality and F1 always lie in [0, 1].
+func TestQuickBounds(t *testing.T) {
+	f := func(returned []uint8, relevantList []uint8) bool {
+		relevant := map[uint8]bool{}
+		for _, v := range relevantList {
+			relevant[v] = true
+		}
+		r := Score(returned, relevant)
+		for _, v := range []float64{r.Precision(), r.Recall(), r.Quality(), r.F1()} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		// Correct can never exceed either denominator.
+		return r.Correct <= r.Returned && r.Correct <= r.Relevant
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

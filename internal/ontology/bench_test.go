@@ -1,0 +1,63 @@
+package ontology
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchHierarchy(n int) *Hierarchy {
+	h := NewHierarchy()
+	for i := 0; i < n; i++ {
+		h.MustAddEdge(fmt.Sprintf("leaf-%d", i), fmt.Sprintf("mid-%d", i%20))
+	}
+	for i := 0; i < 20; i++ {
+		h.MustAddEdge(fmt.Sprintf("mid-%d", i), "root")
+	}
+	return h
+}
+
+func BenchmarkBuildReachability(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := benchHierarchy(1000)
+		h.BuildReachability()
+	}
+}
+
+func BenchmarkLeqIndexed(b *testing.B) {
+	h := benchHierarchy(1000)
+	h.BuildReachability()
+	for i := 0; i < b.N; i++ {
+		if !h.Leq("leaf-500", "root") {
+			b.Fatal("reachability broken")
+		}
+	}
+}
+
+func BenchmarkFuse(b *testing.B) {
+	h1 := benchHierarchy(500)
+	h2 := benchHierarchy(500)
+	var constraints []Constraint
+	for i := 0; i < 50; i++ {
+		constraints = append(constraints, Equal(fmt.Sprintf("leaf-%d", i), 1, fmt.Sprintf("leaf-%d", i), 2))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fuse([]*Hierarchy{h1, h2}, constraints); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransitiveReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := benchHierarchy(500)
+		// Add redundant transitive edges to give the reduction work.
+		for j := 0; j < 100; j++ {
+			_ = h.AddEdge(fmt.Sprintf("leaf-%d", j), "root")
+		}
+		b.StartTimer()
+		h.TransitiveReduction()
+	}
+}

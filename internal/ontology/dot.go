@@ -1,0 +1,81 @@
+package ontology
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the hierarchy in Graphviz DOT format (edges point from
+// child to parent, i.e. along ≤). The graph name must be a valid DOT
+// identifier fragment; it is sanitised defensively.
+func (h *Hierarchy) WriteDOT(w io.Writer, name string) error {
+	if _, err := fmt.Fprintf(w, "digraph %s {\n  rankdir=BT;\n  node [shape=box];\n", dotID(name)); err != nil {
+		return err
+	}
+	for _, n := range h.Nodes() {
+		if _, err := fmt.Fprintf(w, "  %s;\n", dotQuote(n)); err != nil {
+			return err
+		}
+	}
+	for _, e := range h.Edges() {
+		if _, err := fmt.Fprintf(w, "  %s -> %s;\n", dotQuote(e.Child), dotQuote(e.Parent)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}\n")
+	return err
+}
+
+// WriteDOT renders the fusion: fused nodes labelled with their qualified
+// members, edges along the fused order.
+func (f *Fusion) WriteDOT(w io.Writer, name string) error {
+	if _, err := fmt.Fprintf(w, "digraph %s {\n  rankdir=BT;\n  node [shape=box];\n", dotID(name)); err != nil {
+		return err
+	}
+	for _, n := range f.Hierarchy.Nodes() {
+		label := n
+		if members := f.Members[n]; len(members) > 1 {
+			parts := make([]string, len(members))
+			for i, q := range members {
+				parts[i] = q.String()
+			}
+			label = strings.Join(parts, "\\n")
+		}
+		if _, err := fmt.Fprintf(w, "  %s [label=%s];\n", dotQuote(n), dotQuote(label)); err != nil {
+			return err
+		}
+	}
+	for _, e := range f.Hierarchy.Edges() {
+		if _, err := fmt.Fprintf(w, "  %s -> %s;\n", dotQuote(e.Child), dotQuote(e.Parent)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}\n")
+	return err
+}
+
+// dotQuote renders a DOT double-quoted string.
+func dotQuote(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	// Preserve intentional newline escapes from label construction.
+	s = strings.ReplaceAll(s, `\\n`, `\n`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return `"` + s + `"`
+}
+
+// dotID sanitises a graph name into a DOT identifier.
+func dotID(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9' && b.Len() > 0) {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "G"
+	}
+	return b.String()
+}

@@ -1,0 +1,49 @@
+package ontology_test
+
+import (
+	"fmt"
+
+	"repro/internal/ontology"
+)
+
+// Fusing the paper's Example 10: two bibliographic part-of hierarchies merge
+// under interoperation constraints; conference (SIGMOD) and booktitle (DBLP)
+// become one fused node.
+func ExampleFuse() {
+	sigmod := ontology.NewHierarchy()
+	sigmod.MustAddEdge("author", "article")
+	sigmod.MustAddEdge("conference", "article")
+
+	dblp := ontology.NewHierarchy()
+	dblp.MustAddEdge("author", "inproceedings")
+	dblp.MustAddEdge("booktitle", "inproceedings")
+
+	f, err := ontology.Fuse(
+		[]*ontology.Hierarchy{sigmod, dblp},
+		[]ontology.Constraint{
+			ontology.Equal("conference", 1, "booktitle", 2),
+			ontology.Equal("author", 1, "author", 2),
+		})
+	if err != nil {
+		panic(err)
+	}
+	conf, _ := f.Psi(ontology.QTerm{Term: "conference", Source: 1})
+	book, _ := f.Psi(ontology.QTerm{Term: "booktitle", Source: 2})
+	fmt.Println(conf == book)
+	a, _ := f.Psi(ontology.QTerm{Term: "author", Source: 1})
+	art, _ := f.Psi(ontology.QTerm{Term: "article", Source: 1})
+	fmt.Println(f.Hierarchy.Leq(a, art))
+	// Output:
+	// true
+	// true
+}
+
+func ExampleHierarchy_Below() {
+	h := ontology.NewHierarchy()
+	h.MustAddEdge("index", "access method")
+	h.MustAddEdge("indexes", "index")
+	h.MustAddEdge("indices", "index")
+	fmt.Println(h.Below("access method"))
+	// Output:
+	// [access method index indexes indices]
+}

@@ -1,0 +1,318 @@
+package ontology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// QTerm is a term qualified by the index of the hierarchy it comes from —
+// the "x : i" notation of Definition 4.
+type QTerm struct {
+	Term   string
+	Source int
+}
+
+func (q QTerm) String() string { return fmt.Sprintf("%s:%d", q.Term, q.Source) }
+
+// Constraint is an interoperation constraint between terms of different
+// hierarchies (Definition 4): x:i ≤ y:j, x:i = y:j (the pair of ≤
+// constraints, as the paper notes), or x:i ≠ y:j (the two terms must NOT end
+// up in the same fused node; an integration violating this does not exist).
+type Constraint struct {
+	X   QTerm
+	Y   QTerm
+	Eq  bool
+	Neq bool
+}
+
+// Leq builds the constraint x:i ≤ y:j.
+func Leq(x string, i int, y string, j int) Constraint {
+	return Constraint{X: QTerm{x, i}, Y: QTerm{y, j}}
+}
+
+// Equal builds the constraint x:i = y:j.
+func Equal(x string, i int, y string, j int) Constraint {
+	return Constraint{X: QTerm{x, i}, Y: QTerm{y, j}, Eq: true}
+}
+
+// NotEqual builds the constraint x:i ≠ y:j.
+func NotEqual(x string, i int, y string, j int) Constraint {
+	return Constraint{X: QTerm{x, i}, Y: QTerm{y, j}, Neq: true}
+}
+
+func (c Constraint) String() string {
+	op := "<="
+	switch {
+	case c.Eq:
+		op = "="
+	case c.Neq:
+		op = "!="
+	}
+	return fmt.Sprintf("%s %s %s", c.X, op, c.Y)
+}
+
+// Fusion is the canonical fusion of several hierarchies under interoperation
+// constraints (Section 4.2): a witness ⟨H, ≤, ψ_1..ψ_n⟩ to integrability.
+// Each fused node corresponds to a set of qualified terms that the
+// constraints force to be equal (an SCC of the hierarchy graph of Def. 6).
+type Fusion struct {
+	// Hierarchy is the fused DAG over canonical node names.
+	Hierarchy *Hierarchy
+	// Members maps a canonical node name to the qualified terms it merges.
+	Members map[string][]QTerm
+	// Witness maps each qualified term to its canonical node (the ψ_i maps).
+	Witness map[QTerm]string
+	// byTerm maps a bare term to the canonical nodes containing it in any
+	// source; used at query time where terms arrive unqualified.
+	byTerm map[string][]string
+}
+
+// Fuse integrates the given hierarchies under the constraints and returns
+// the canonical fusion. It follows the graph-merging construction the paper
+// adapts from [3,2]: build the hierarchy graph (every hierarchy edge plus
+// every constraint edge), contract its strongly connected components (the
+// sets of terms forced equal), and keep the condensation DAG.
+//
+// Constraints referring to out-of-range sources or unknown terms yield an
+// error rather than being silently dropped.
+func Fuse(hierarchies []*Hierarchy, constraints []Constraint) (*Fusion, error) {
+	for _, c := range constraints {
+		for _, q := range []QTerm{c.X, c.Y} {
+			if q.Source < 1 || q.Source > len(hierarchies) {
+				return nil, fmt.Errorf("ontology: constraint %v: source %d out of range 1..%d", c, q.Source, len(hierarchies))
+			}
+			if !hierarchies[q.Source-1].HasNode(q.Term) {
+				return nil, fmt.Errorf("ontology: constraint %v: term %q not in hierarchy %d", c, q.Term, q.Source)
+			}
+		}
+	}
+
+	// Hierarchy graph (Definition 6): nodes x:i, edges from hierarchy edges
+	// and from constraints (both directions for equality constraints);
+	// ≠ constraints contribute no edges but are verified against the SCCs.
+	g := newDigraph()
+	for i, h := range hierarchies {
+		for _, n := range h.Nodes() {
+			g.addNode(QTerm{n, i + 1})
+		}
+		for _, e := range h.Edges() {
+			g.addEdge(QTerm{e.Child, i + 1}, QTerm{e.Parent, i + 1})
+		}
+	}
+	var neqs []Constraint
+	for _, c := range constraints {
+		if c.Neq {
+			neqs = append(neqs, c)
+			continue
+		}
+		g.addEdge(c.X, c.Y)
+		if c.Eq {
+			g.addEdge(c.Y, c.X)
+		}
+	}
+
+	comps := g.tarjanSCC()
+
+	// ≠ constraints: the two terms must not land in the same component.
+	if len(neqs) > 0 {
+		compOf := map[QTerm]int{}
+		for ci, comp := range comps {
+			for _, q := range comp {
+				compOf[q] = ci
+			}
+		}
+		for _, c := range neqs {
+			if compOf[c.X] == compOf[c.Y] {
+				return nil, fmt.Errorf("ontology: not integrable: constraint %v violated (the remaining constraints force %v = %v)", c, c.X, c.Y)
+			}
+		}
+	}
+
+	f := &Fusion{
+		Hierarchy: NewHierarchy(),
+		Members:   map[string][]QTerm{},
+		Witness:   map[QTerm]string{},
+		byTerm:    map[string][]string{},
+	}
+	// Canonical names: the smallest bare term of the component; if the same
+	// bare term would name several components, fall back to the smallest
+	// qualified string for the later ones.
+	nameOf := make([]string, len(comps))
+	used := map[string]int{} // name → component index + 1
+	for ci, comp := range comps {
+		sort.Slice(comp, func(a, b int) bool {
+			if comp[a].Term != comp[b].Term {
+				return comp[a].Term < comp[b].Term
+			}
+			return comp[a].Source < comp[b].Source
+		})
+		name := comp[0].Term
+		if prev, taken := used[name]; taken && prev != ci+1 {
+			name = comp[0].String()
+		}
+		used[name] = ci + 1
+		nameOf[ci] = name
+		f.Members[name] = comp
+		f.Hierarchy.AddNode(name)
+		for _, q := range comp {
+			f.Witness[q] = name
+			if !containsStr(f.byTerm[q.Term], name) {
+				f.byTerm[q.Term] = append(f.byTerm[q.Term], name)
+			}
+		}
+	}
+	for _, t := range f.byTerm {
+		sort.Strings(t)
+	}
+	// Condensation edges. The condensation of the SCCs is acyclic, so
+	// AddEdge cannot fail here; a failure would indicate a bug in tarjanSCC.
+	for from, tos := range g.adj {
+		cf := f.Witness[from]
+		for _, to := range tos {
+			ct := f.Witness[to]
+			if cf == ct {
+				continue
+			}
+			if err := f.Hierarchy.AddEdge(cf, ct); err != nil {
+				return nil, fmt.Errorf("ontology: condensation not acyclic: %w", err)
+			}
+		}
+	}
+	f.Hierarchy.TransitiveReduction()
+	return f, nil
+}
+
+func containsStr(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// NodesOf returns the canonical fused nodes that contain the bare term in
+// any source hierarchy (usually one; several when distinct unconstrained
+// sources both use the term).
+func (f *Fusion) NodesOf(term string) []string { return f.byTerm[term] }
+
+// Psi returns the canonical node for a qualified term, implementing the ψ_i
+// witness maps of Definition 5. ok is false when the term is unknown.
+func (f *Fusion) Psi(q QTerm) (string, bool) {
+	n, ok := f.Witness[q]
+	return n, ok
+}
+
+// String summarises the fusion: node memberships plus the fused Hasse edges.
+func (f *Fusion) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(f.Members))
+	for n := range f.Members {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		terms := make([]string, len(f.Members[n]))
+		for i, q := range f.Members[n] {
+			terms[i] = q.String()
+		}
+		fmt.Fprintf(&b, "%s = {%s}\n", n, strings.Join(terms, ", "))
+	}
+	b.WriteString(f.Hierarchy.String())
+	return b.String()
+}
+
+// ---- digraph + Tarjan SCC over qualified terms ----
+
+type digraph struct {
+	adj   map[QTerm][]QTerm
+	nodes []QTerm
+	seen  map[QTerm]bool
+}
+
+func newDigraph() *digraph {
+	return &digraph{adj: map[QTerm][]QTerm{}, seen: map[QTerm]bool{}}
+}
+
+func (g *digraph) addNode(q QTerm) {
+	if !g.seen[q] {
+		g.seen[q] = true
+		g.nodes = append(g.nodes, q)
+	}
+}
+
+func (g *digraph) addEdge(from, to QTerm) {
+	g.addNode(from)
+	g.addNode(to)
+	g.adj[from] = append(g.adj[from], to)
+}
+
+// tarjanSCC returns the strongly connected components (iterative Tarjan, so
+// deep hierarchies cannot overflow the goroutine stack).
+func (g *digraph) tarjanSCC() [][]QTerm {
+	index := map[QTerm]int{}
+	low := map[QTerm]int{}
+	onStack := map[QTerm]bool{}
+	var stack []QTerm
+	var comps [][]QTerm
+	counter := 0
+
+	type frame struct {
+		node QTerm
+		edge int
+	}
+	for _, start := range g.nodes {
+		if _, visited := index[start]; visited {
+			continue
+		}
+		frames := []frame{{node: start}}
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.edge < len(g.adj[f.node]) {
+				next := g.adj[f.node][f.edge]
+				f.edge++
+				if _, visited := index[next]; !visited {
+					index[next] = counter
+					low[next] = counter
+					counter++
+					stack = append(stack, next)
+					onStack[next] = true
+					frames = append(frames, frame{node: next})
+				} else if onStack[next] {
+					if index[next] < low[f.node] {
+						low[f.node] = index[next]
+					}
+				}
+				continue
+			}
+			// Done with f.node.
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[f.node] < low[parent.node] {
+					low[parent.node] = low[f.node]
+				}
+			}
+			if low[f.node] == index[f.node] {
+				var comp []QTerm
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					comp = append(comp, top)
+					if top == f.node {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}

@@ -1,0 +1,289 @@
+package ontology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// paperHierarchies builds the simplified SIGMOD and DBLP part-of ontologies
+// of the paper's Figure 9.
+func paperHierarchies() (*Hierarchy, *Hierarchy) {
+	sigmod := NewHierarchy() // hierarchy 1
+	for _, child := range []string{"article"} {
+		sigmod.MustAddEdge(child, "articles")
+	}
+	for _, child := range []string{"author", "conference", "title", "year", "month", "date", "location", "volume", "number", "confYear"} {
+		sigmod.MustAddEdge(child, "article")
+	}
+	sigmod.MustAddEdge("articles", "ProceedingsPage")
+
+	dblp := NewHierarchy() // hierarchy 2
+	for _, child := range []string{"author", "title", "booktitle", "year", "pages"} {
+		dblp.MustAddEdge(child, "inproceedings")
+	}
+	dblp.MustAddEdge("inproceedings", "dblp")
+	return sigmod, dblp
+}
+
+// TestPaperFusionExample reproduces Example 10 / Figure 11: fusing the two
+// bibliographic ontologies under the paper's interoperation constraints.
+func TestPaperFusionExample(t *testing.T) {
+	sigmod, dblp := paperHierarchies()
+	constraints := []Constraint{
+		Equal("conference", 1, "booktitle", 2),
+		Equal("title", 1, "title", 2),
+		Equal("author", 1, "author", 2),
+		Equal("year", 1, "year", 2),
+		Equal("confYear", 1, "year", 2),
+	}
+	f, err := Fuse([]*Hierarchy{sigmod, dblp}, constraints)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// conference:1 and booktitle:2 land on the same canonical node.
+	c1, ok1 := f.Psi(QTerm{"conference", 1})
+	b2, ok2 := f.Psi(QTerm{"booktitle", 2})
+	if !ok1 || !ok2 || c1 != b2 {
+		t.Errorf("conference:1 and booktitle:2 should fuse, got %q vs %q", c1, b2)
+	}
+	// year:1 = year:2 = confYear:1 all merge.
+	y1, _ := f.Psi(QTerm{"year", 1})
+	y2, _ := f.Psi(QTerm{"year", 2})
+	cy1, _ := f.Psi(QTerm{"confYear", 1})
+	if y1 != y2 || y1 != cy1 {
+		t.Errorf("year merging failed: %q %q %q", y1, y2, cy1)
+	}
+	// pages exists only in DBLP, so it stays a singleton.
+	pg, ok := f.Psi(QTerm{"pages", 2})
+	if !ok || len(f.Members[pg]) != 1 {
+		t.Errorf("pages should be a singleton node, got %v", f.Members[pg])
+	}
+	// Order is preserved: author ≤ article (SIGMOD) and author ≤
+	// inproceedings (DBLP) both hold in the fused hierarchy.
+	a, _ := f.Psi(QTerm{"author", 1})
+	art, _ := f.Psi(QTerm{"article", 1})
+	inpro, _ := f.Psi(QTerm{"inproceedings", 2})
+	if !f.Hierarchy.Leq(a, art) {
+		t.Error("fused order lost author <= article")
+	}
+	if !f.Hierarchy.Leq(a, inpro) {
+		t.Error("fused order lost author <= inproceedings")
+	}
+	// NodesOf works for bare terms.
+	if nodes := f.NodesOf("author"); len(nodes) != 1 {
+		t.Errorf("NodesOf(author) = %v", nodes)
+	}
+	if f.NodesOf("ghost") != nil {
+		t.Error("NodesOf(unknown) should be nil")
+	}
+	if f.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestFusionEqualityChains(t *testing.T) {
+	// a:1 = b:2 and b:2 = c:3 must merge all three (SCC through equality
+	// edges).
+	h1 := NewHierarchy()
+	h1.AddNode("a")
+	h2 := NewHierarchy()
+	h2.AddNode("b")
+	h3 := NewHierarchy()
+	h3.AddNode("c")
+	f, err := Fuse([]*Hierarchy{h1, h2, h3}, []Constraint{
+		Equal("a", 1, "b", 2),
+		Equal("b", 2, "c", 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, _ := f.Psi(QTerm{"a", 1})
+	nb, _ := f.Psi(QTerm{"b", 2})
+	nc, _ := f.Psi(QTerm{"c", 3})
+	if na != nb || nb != nc {
+		t.Errorf("equality chain not merged: %q %q %q", na, nb, nc)
+	}
+	if len(f.Members[na]) != 3 {
+		t.Errorf("merged node has %d members, want 3", len(f.Members[na]))
+	}
+}
+
+func TestFusionLeqConstraint(t *testing.T) {
+	h1 := NewHierarchy()
+	h1.AddNode("google")
+	h2 := NewHierarchy()
+	h2.AddNode("company")
+	f, err := Fuse([]*Hierarchy{h1, h2}, []Constraint{Leq("google", 1, "company", 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := f.Psi(QTerm{"google", 1})
+	c, _ := f.Psi(QTerm{"company", 2})
+	if g == c {
+		t.Error("<= constraint must not merge nodes")
+	}
+	if !f.Hierarchy.Leq(g, c) {
+		t.Error("<= constraint must order the fused nodes")
+	}
+}
+
+func TestFusionNameCollision(t *testing.T) {
+	// The same bare term in two sources without constraints stays as two
+	// distinct fused nodes with distinct names.
+	h1 := NewHierarchy()
+	h1.AddNode("title")
+	h2 := NewHierarchy()
+	h2.AddNode("title")
+	f, err := Fuse([]*Hierarchy{h1, h2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, _ := f.Psi(QTerm{"title", 1})
+	n2, _ := f.Psi(QTerm{"title", 2})
+	if n1 == n2 {
+		t.Fatal("unconstrained same-name terms must stay distinct")
+	}
+	if nodes := f.NodesOf("title"); len(nodes) != 2 {
+		t.Errorf("NodesOf(title) = %v, want both nodes", nodes)
+	}
+}
+
+func TestFusionConstraintValidation(t *testing.T) {
+	h := NewHierarchy()
+	h.AddNode("a")
+	if _, err := Fuse([]*Hierarchy{h}, []Constraint{Equal("a", 1, "b", 2)}); err == nil {
+		t.Error("out-of-range source must fail")
+	}
+	if _, err := Fuse([]*Hierarchy{h}, []Constraint{Equal("ghost", 1, "a", 1)}); err == nil {
+		t.Error("unknown term must fail")
+	}
+}
+
+func TestFusionMergesCyclesAcrossConstraints(t *testing.T) {
+	// a ≤ b in source 1, plus b:1 = a:2, a:2 ... plus constraint b:1 <= a:1
+	// would create a cycle a ≤ b ≤ a; fusion must merge rather than fail.
+	h1 := NewHierarchy()
+	h1.MustAddEdge("a", "b")
+	h2 := NewHierarchy()
+	h2.AddNode("x")
+	f, err := Fuse([]*Hierarchy{h1, h2},
+		[]Constraint{Leq("b", 1, "x", 2), Leq("x", 2, "a", 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, _ := f.Psi(QTerm{"a", 1})
+	nb, _ := f.Psi(QTerm{"b", 1})
+	nx, _ := f.Psi(QTerm{"x", 2})
+	if na != nb || nb != nx {
+		t.Errorf("cycle should collapse into one node: %q %q %q", na, nb, nx)
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	if got := Equal("a", 1, "b", 2).String(); got != "a:1 = b:2" {
+		t.Errorf("Equal String = %q", got)
+	}
+	if got := Leq("a", 1, "b", 2).String(); got != "a:1 <= b:2" {
+		t.Errorf("Leq String = %q", got)
+	}
+}
+
+// TestQuickFusionAxioms checks Definition 5 on random inputs: (1) the fused
+// hierarchy preserves each source's order through ψ; (2) it satisfies every
+// constraint; and the result is acyclic by construction.
+func TestQuickFusionAxioms(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h1 := randomHierarchy(rng, 3+rng.Intn(6))
+		h2 := randomHierarchy(rng, 3+rng.Intn(6))
+		// Random constraints between existing terms.
+		var constraints []Constraint
+		n1, n2 := h1.Nodes(), h2.Nodes()
+		for i := 0; i < rng.Intn(4); i++ {
+			x := n1[rng.Intn(len(n1))]
+			y := n2[rng.Intn(len(n2))]
+			if rng.Intn(2) == 0 {
+				constraints = append(constraints, Equal(x, 1, y, 2))
+			} else {
+				constraints = append(constraints, Leq(x, 1, y, 2))
+			}
+		}
+		fu, err := Fuse([]*Hierarchy{h1, h2}, constraints)
+		if err != nil {
+			t.Logf("seed %d: fuse error %v", seed, err)
+			return false
+		}
+		// Axiom 1: order preservation.
+		for src, h := range map[int]*Hierarchy{1: h1, 2: h2} {
+			for _, u := range h.Nodes() {
+				for _, v := range h.Nodes() {
+					if h.Leq(u, v) {
+						cu, _ := fu.Psi(QTerm{u, src})
+						cv, _ := fu.Psi(QTerm{v, src})
+						if !fu.Hierarchy.Leq(cu, cv) {
+							t.Logf("seed %d: lost %s <=_%d %s", seed, u, src, v)
+							return false
+						}
+					}
+				}
+			}
+		}
+		// Axiom 2: constraints respected.
+		for _, c := range constraints {
+			cx, _ := fu.Psi(c.X)
+			cy, _ := fu.Psi(c.Y)
+			if !fu.Hierarchy.Leq(cx, cy) {
+				t.Logf("seed %d: constraint %v not respected", seed, c)
+				return false
+			}
+			if c.Eq && cx != cy {
+				t.Logf("seed %d: equality constraint %v not merged", seed, c)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNotEqualConstraints(t *testing.T) {
+	h1 := NewHierarchy()
+	h1.AddNode("title")
+	h2 := NewHierarchy()
+	h2.AddNode("title")
+	// ≠ alone: fine (the terms stay separate anyway without an = edge).
+	f, err := Fuse([]*Hierarchy{h1, h2}, []Constraint{NotEqual("title", 1, "title", 2)})
+	if err != nil {
+		t.Fatalf("compatible != constraint should succeed: %v", err)
+	}
+	n1, _ := f.Psi(QTerm{"title", 1})
+	n2, _ := f.Psi(QTerm{"title", 2})
+	if n1 == n2 {
+		t.Error("terms should stay separate")
+	}
+	// ≠ contradicted by = : not integrable.
+	if _, err := Fuse([]*Hierarchy{h1, h2}, []Constraint{
+		Equal("title", 1, "title", 2),
+		NotEqual("title", 1, "title", 2),
+	}); err == nil {
+		t.Error("contradictory constraints must fail")
+	}
+	// ≠ contradicted transitively via a chain of <= constraints forming a
+	// cycle.
+	h3 := NewHierarchy()
+	h3.AddNode("x")
+	if _, err := Fuse([]*Hierarchy{h1, h3}, []Constraint{
+		Leq("title", 1, "x", 2),
+		Leq("x", 2, "title", 1),
+		NotEqual("title", 1, "x", 2),
+	}); err == nil {
+		t.Error("cycle-forced equality must violate !=")
+	}
+	if got := NotEqual("a", 1, "b", 2).String(); got != "a:1 != b:2" {
+		t.Errorf("NotEqual String = %q", got)
+	}
+}

@@ -1,0 +1,398 @@
+// Package ontology implements the ontology machinery of Section 4 of the
+// paper: hierarchies (Hasse diagrams of partial orders, represented as
+// DAGs over term strings), ontologies (partial maps from relation names such
+// as "isa" and "part-of" to hierarchies), interoperation constraints, and the
+// canonical fusion of several hierarchies under such constraints.
+package ontology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Hierarchy is a directed acyclic graph over terms. An edge u→v encodes
+// u ≤ v in the underlying partial order (e.g. author part-of article is the
+// edge author→article). Acyclicity is the caller's obligation when adding
+// edges; AddEdge refuses edges that would create a cycle.
+type Hierarchy struct {
+	nodes map[string]bool
+	up    map[string]map[string]bool // child → parents
+	down  map[string]map[string]bool // parent → children
+
+	reach map[string]map[string]bool // memoized ancestors incl. self; nil when dirty
+}
+
+// NewHierarchy returns an empty hierarchy.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{
+		nodes: map[string]bool{},
+		up:    map[string]map[string]bool{},
+		down:  map[string]map[string]bool{},
+	}
+}
+
+// AddNode adds an isolated term if not present.
+func (h *Hierarchy) AddNode(term string) {
+	if !h.nodes[term] {
+		h.nodes[term] = true
+		h.reach = nil
+	}
+}
+
+// HasNode reports whether the term is in the hierarchy.
+func (h *Hierarchy) HasNode(term string) bool { return h.nodes[term] }
+
+// AddEdge records child ≤ parent. It returns an error if the edge would
+// create a cycle (hierarchies are Hasse diagrams of partial orders, hence
+// acyclic). Self-loops are rejected; duplicate edges are no-ops.
+func (h *Hierarchy) AddEdge(child, parent string) error {
+	if child == parent {
+		return fmt.Errorf("ontology: self-loop on %q", child)
+	}
+	h.AddNode(child)
+	h.AddNode(parent)
+	if h.up[child][parent] {
+		return nil
+	}
+	// Adding child→parent creates a cycle iff parent already reaches child.
+	if h.Leq(parent, child) {
+		return fmt.Errorf("ontology: edge %q ≤ %q would create a cycle", child, parent)
+	}
+	addEdge(h.up, child, parent)
+	addEdge(h.down, parent, child)
+	h.reach = nil
+	return nil
+}
+
+// MustAddEdge is AddEdge but panics on error. Convenient for building fixed
+// ontologies in code.
+func (h *Hierarchy) MustAddEdge(child, parent string) {
+	if err := h.AddEdge(child, parent); err != nil {
+		panic(err)
+	}
+}
+
+func addEdge(m map[string]map[string]bool, from, to string) {
+	set := m[from]
+	if set == nil {
+		set = map[string]bool{}
+		m[from] = set
+	}
+	set[to] = true
+}
+
+// Nodes returns all terms in sorted order.
+func (h *Hierarchy) Nodes() []string {
+	out := make([]string, 0, len(h.nodes))
+	for n := range h.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NodeCount returns the number of terms.
+func (h *Hierarchy) NodeCount() int { return len(h.nodes) }
+
+// EdgeCount returns the number of edges.
+func (h *Hierarchy) EdgeCount() int {
+	n := 0
+	for _, set := range h.up {
+		n += len(set)
+	}
+	return n
+}
+
+// Edge is a single u ≤ v pair.
+type Edge struct{ Child, Parent string }
+
+// Edges returns all edges sorted by (child, parent).
+func (h *Hierarchy) Edges() []Edge {
+	var out []Edge
+	for c, ps := range h.up {
+		for p := range ps {
+			out = append(out, Edge{c, p})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Child != out[j].Child {
+			return out[i].Child < out[j].Child
+		}
+		return out[i].Parent < out[j].Parent
+	})
+	return out
+}
+
+// Parents returns the direct parents of term, sorted.
+func (h *Hierarchy) Parents(term string) []string { return sortedKeys(h.up[term]) }
+
+// Children returns the direct children of term, sorted.
+func (h *Hierarchy) Children(term string) []string { return sortedKeys(h.down[term]) }
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Leq reports u ≤ v: v is reachable from u following child→parent edges
+// (reflexively). Uses a memoized full reachability index, rebuilt after
+// mutations; see BuildReachability for eager construction.
+func (h *Hierarchy) Leq(u, v string) bool {
+	if u == v {
+		return h.nodes[u]
+	}
+	if !h.nodes[u] || !h.nodes[v] {
+		return false
+	}
+	if h.reach != nil {
+		return h.reach[u][v]
+	}
+	return h.leqDFS(u, v)
+}
+
+// leqDFS answers one reachability query without building the index; used
+// while the hierarchy is still being mutated (AddEdge cycle checks) and by
+// the reachability-index ablation benchmark.
+func (h *Hierarchy) leqDFS(u, v string) bool {
+	seen := map[string]bool{u: true}
+	stack := []string{u}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for p := range h.up[cur] {
+			if p == v {
+				return true
+			}
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return false
+}
+
+// LeqNoIndex answers u ≤ v by plain DFS, ignoring any reachability index.
+// It exists for the reachability ablation; Leq is the production path.
+func (h *Hierarchy) LeqNoIndex(u, v string) bool {
+	if u == v {
+		return h.nodes[u]
+	}
+	if !h.nodes[u] || !h.nodes[v] {
+		return false
+	}
+	return h.leqDFS(u, v)
+}
+
+// BuildReachability eagerly computes the ancestors-of index used by Leq.
+// It is called lazily by Below/Above; calling it explicitly lets benchmarks
+// separate index construction from query time.
+func (h *Hierarchy) BuildReachability() {
+	if h.reach != nil {
+		return
+	}
+	reach := make(map[string]map[string]bool, len(h.nodes))
+	// Process in reverse topological order so each node's ancestor set is a
+	// union of its parents' sets.
+	order := h.topoOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		set := map[string]bool{n: true}
+		for p := range h.up[n] {
+			for a := range reach[p] {
+				set[a] = true
+			}
+		}
+		reach[n] = set
+	}
+	h.reach = reach
+}
+
+// topoOrder returns the nodes so that parents appear before children.
+func (h *Hierarchy) topoOrder() []string {
+	state := map[string]int{} // 0 unvisited, 1 in-stack, 2 done
+	var order []string
+	var visit func(string)
+	visit = func(n string) {
+		if state[n] != 0 {
+			return
+		}
+		state[n] = 1
+		for p := range h.up[n] {
+			visit(p)
+		}
+		state[n] = 2
+		order = append(order, n)
+	}
+	for _, n := range h.Nodes() {
+		visit(n)
+	}
+	// order currently has parents before children already? visit pushes a
+	// node after its parents, so order is parents-first.
+	return reverse(order)
+}
+
+func reverse(s []string) []string {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+	return s
+}
+
+// Below returns all terms u with u ≤ term (including term itself), sorted.
+// This is the below_H set of Section 5 restricted to hierarchy members.
+func (h *Hierarchy) Below(term string) []string {
+	if !h.nodes[term] {
+		return nil
+	}
+	h.BuildReachability()
+	var out []string
+	for n, anc := range h.reach {
+		if anc[term] {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Above returns all terms v with term ≤ v (including term itself), sorted.
+func (h *Hierarchy) Above(term string) []string {
+	if !h.nodes[term] {
+		return nil
+	}
+	h.BuildReachability()
+	out := make([]string, 0, len(h.reach[term]))
+	for a := range h.reach[term] {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy.
+func (h *Hierarchy) Clone() *Hierarchy {
+	cp := NewHierarchy()
+	for n := range h.nodes {
+		cp.AddNode(n)
+	}
+	for c, ps := range h.up {
+		for p := range ps {
+			addEdge(cp.up, c, p)
+			addEdge(cp.down, p, c)
+		}
+	}
+	return cp
+}
+
+// TransitiveReduction removes every edge u→v for which another path u⇝v
+// exists, turning the DAG into a minimal Hasse diagram (the definition of a
+// hierarchy in Section 4.1).
+func (h *Hierarchy) TransitiveReduction() {
+	type edge struct{ c, p string }
+	var drop []edge
+	for c, ps := range h.up {
+		for p := range ps {
+			// Is p reachable from c without the direct edge?
+			if h.reachableAvoiding(c, p) {
+				drop = append(drop, edge{c, p})
+			}
+		}
+	}
+	for _, e := range drop {
+		delete(h.up[e.c], e.p)
+		delete(h.down[e.p], e.c)
+	}
+	if len(drop) > 0 {
+		h.reach = nil
+	}
+}
+
+// reachableAvoiding reports whether target is reachable from start following
+// up-edges without using the direct edge start→target.
+func (h *Hierarchy) reachableAvoiding(start, target string) bool {
+	seen := map[string]bool{start: true}
+	stack := []string{}
+	for p := range h.up[start] {
+		if p == target {
+			continue // skip the direct edge
+		}
+		stack = append(stack, p)
+		seen[p] = true
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == target {
+			return true
+		}
+		for p := range h.up[cur] {
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return false
+}
+
+// String renders the hierarchy as sorted "child <= parent" lines.
+func (h *Hierarchy) String() string {
+	var b strings.Builder
+	for _, e := range h.Edges() {
+		fmt.Fprintf(&b, "%s <= %s\n", e.Child, e.Parent)
+	}
+	return b.String()
+}
+
+// Ontology is a partial mapping from relation names (the strings of Σ, such
+// as "isa" and "part-of") to hierarchies (Definition 3).
+type Ontology struct {
+	Hierarchies map[string]*Hierarchy
+}
+
+// Relation names used throughout the system. The paper fixes Σ ⊇ {isa,
+// part-of} with Θ(isa) and Θ(part-of) always defined.
+const (
+	RelIsa    = "isa"
+	RelPartOf = "part-of"
+)
+
+// NewOntology returns an ontology with empty isa and part-of hierarchies.
+func NewOntology() *Ontology {
+	return &Ontology{Hierarchies: map[string]*Hierarchy{
+		RelIsa:    NewHierarchy(),
+		RelPartOf: NewHierarchy(),
+	}}
+}
+
+// Isa returns the isa hierarchy (never nil).
+func (o *Ontology) Isa() *Hierarchy { return o.relation(RelIsa) }
+
+// PartOf returns the part-of hierarchy (never nil).
+func (o *Ontology) PartOf() *Hierarchy { return o.relation(RelPartOf) }
+
+func (o *Ontology) relation(name string) *Hierarchy {
+	h := o.Hierarchies[name]
+	if h == nil {
+		h = NewHierarchy()
+		o.Hierarchies[name] = h
+	}
+	return h
+}
+
+// TermCount returns the total number of distinct terms over all hierarchies.
+func (o *Ontology) TermCount() int {
+	set := map[string]bool{}
+	for _, h := range o.Hierarchies {
+		for n := range h.nodes {
+			set[n] = true
+		}
+	}
+	return len(set)
+}

@@ -1,0 +1,252 @@
+package ontology
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeAndLeq(t *testing.T) {
+	h := NewHierarchy()
+	h.MustAddEdge("author", "article")
+	h.MustAddEdge("title", "article")
+	h.MustAddEdge("article", "publication")
+	if !h.Leq("author", "article") {
+		t.Error("author <= article should hold")
+	}
+	if !h.Leq("author", "publication") {
+		t.Error("transitive reachability failed")
+	}
+	if !h.Leq("author", "author") {
+		t.Error("Leq must be reflexive on members")
+	}
+	if h.Leq("article", "author") {
+		t.Error("Leq must not be symmetric")
+	}
+	if h.Leq("ghost", "article") || h.Leq("article", "ghost") {
+		t.Error("unknown terms are not ordered")
+	}
+	// Same answers after the index is built.
+	h.BuildReachability()
+	if !h.Leq("author", "publication") || h.Leq("publication", "author") {
+		t.Error("index answers differ from DFS answers")
+	}
+}
+
+func TestCycleRejection(t *testing.T) {
+	h := NewHierarchy()
+	h.MustAddEdge("a", "b")
+	h.MustAddEdge("b", "c")
+	if err := h.AddEdge("c", "a"); err == nil {
+		t.Fatal("closing a cycle should fail")
+	}
+	if err := h.AddEdge("a", "a"); err == nil {
+		t.Fatal("self-loop should fail")
+	}
+	// Duplicate edges are idempotent.
+	if err := h.AddEdge("a", "b"); err != nil {
+		t.Fatalf("duplicate edge: %v", err)
+	}
+	if h.EdgeCount() != 2 {
+		t.Errorf("EdgeCount = %d, want 2", h.EdgeCount())
+	}
+}
+
+func TestBelowAbove(t *testing.T) {
+	h := NewHierarchy()
+	h.MustAddEdge("index", "access method")
+	h.MustAddEdge("indexes", "index")
+	h.MustAddEdge("indices", "index")
+	below := h.Below("index")
+	if strings.Join(below, ",") != "index,indexes,indices" {
+		t.Errorf("Below = %v", below)
+	}
+	above := h.Above("indices")
+	if strings.Join(above, ",") != "access method,index,indices" {
+		t.Errorf("Above = %v", above)
+	}
+	if h.Below("nope") != nil {
+		t.Error("Below of unknown term should be nil")
+	}
+}
+
+func TestParentsChildren(t *testing.T) {
+	h := NewHierarchy()
+	h.MustAddEdge("a", "x")
+	h.MustAddEdge("a", "y")
+	h.MustAddEdge("b", "x")
+	if got := h.Parents("a"); strings.Join(got, ",") != "x,y" {
+		t.Errorf("Parents(a) = %v", got)
+	}
+	if got := h.Children("x"); strings.Join(got, ",") != "a,b" {
+		t.Errorf("Children(x) = %v", got)
+	}
+}
+
+func TestTransitiveReduction(t *testing.T) {
+	h := NewHierarchy()
+	h.MustAddEdge("a", "b")
+	h.MustAddEdge("b", "c")
+	h.MustAddEdge("a", "c") // redundant
+	h.TransitiveReduction()
+	if h.EdgeCount() != 2 {
+		t.Fatalf("EdgeCount after reduction = %d, want 2", h.EdgeCount())
+	}
+	if !h.Leq("a", "c") {
+		t.Fatal("reduction must preserve reachability")
+	}
+	// A diamond must be preserved entirely.
+	d := NewHierarchy()
+	d.MustAddEdge("a", "b")
+	d.MustAddEdge("a", "c")
+	d.MustAddEdge("b", "d")
+	d.MustAddEdge("c", "d")
+	d.TransitiveReduction()
+	if d.EdgeCount() != 4 {
+		t.Errorf("diamond reduced to %d edges, want 4", d.EdgeCount())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	h := NewHierarchy()
+	h.MustAddEdge("a", "b")
+	cp := h.Clone()
+	cp.MustAddEdge("b", "c")
+	if h.HasNode("c") {
+		t.Error("mutating clone affected original")
+	}
+	if !cp.Leq("a", "c") {
+		t.Error("clone lost structure")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	h := NewHierarchy()
+	h.MustAddEdge("author", "article")
+	if got := h.String(); got != "author <= article\n" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestOntologyAccessors(t *testing.T) {
+	o := NewOntology()
+	o.Isa().MustAddEdge("google", "company")
+	o.PartOf().MustAddEdge("author", "article")
+	if o.TermCount() != 4 {
+		t.Errorf("TermCount = %d, want 4", o.TermCount())
+	}
+	// Missing relation is materialised empty.
+	o2 := &Ontology{Hierarchies: map[string]*Hierarchy{}}
+	if o2.Isa() == nil || o2.PartOf() == nil {
+		t.Error("relation accessors must never return nil")
+	}
+}
+
+// randomHierarchy builds a random DAG by only adding edges low → high.
+func randomHierarchy(rng *rand.Rand, n int) *Hierarchy {
+	h := NewHierarchy()
+	names := make([]string, n)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+		h.AddNode(names[i])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(3) == 0 {
+				h.MustAddEdge(names[i], names[j])
+			}
+		}
+	}
+	return h
+}
+
+// TestQuickLeqMatchesDFS: the memoized reachability index agrees with plain
+// DFS on random DAGs.
+func TestQuickLeqMatchesDFS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomHierarchy(rng, 3+rng.Intn(10))
+		nodes := h.Nodes()
+		h.BuildReachability()
+		for i := 0; i < 30; i++ {
+			u := nodes[rng.Intn(len(nodes))]
+			v := nodes[rng.Intn(len(nodes))]
+			if h.Leq(u, v) != h.LeqNoIndex(u, v) {
+				t.Logf("seed %d: Leq(%s,%s) disagrees", seed, u, v)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTransitiveReductionPreservesOrder: reduction never changes Leq.
+func TestQuickTransitiveReductionPreservesOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomHierarchy(rng, 3+rng.Intn(8))
+		before := map[[2]string]bool{}
+		nodes := h.Nodes()
+		for _, u := range nodes {
+			for _, v := range nodes {
+				before[[2]string{u, v}] = h.Leq(u, v)
+			}
+		}
+		h.TransitiveReduction()
+		for _, u := range nodes {
+			for _, v := range nodes {
+				if h.Leq(u, v) != before[[2]string{u, v}] {
+					t.Logf("seed %d: reduction changed Leq(%s,%s)", seed, u, v)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	h := NewHierarchy()
+	h.MustAddEdge("author", "article")
+	h.MustAddEdge(`odd"name`, "article")
+	var b strings.Builder
+	if err := h.WriteDOT(&b, "my graph!"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"digraph my_graph_",
+		`"author" -> "article";`,
+		`\"name`, // quote escaped
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFusionWriteDOT(t *testing.T) {
+	sigmod, dblp := paperHierarchies()
+	f, err := Fuse([]*Hierarchy{sigmod, dblp}, []Constraint{Equal("author", 1, "author", 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := f.WriteDOT(&b, "fusion"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "author:1") || !strings.Contains(out, "author:2") {
+		t.Errorf("fused node label missing members:\n%s", out)
+	}
+	if !strings.Contains(out, "digraph fusion") {
+		t.Error("graph name missing")
+	}
+}

@@ -1,0 +1,43 @@
+package pattern_test
+
+import (
+	"fmt"
+
+	"repro/internal/pattern"
+)
+
+// Parsing a TOSS pattern: structure (pc/ad edges) and a selection condition
+// with a similarity and an isa atom.
+func ExampleParse() {
+	p, err := pattern.Parse(`#1 pc #2, #1 ad #3 :: ` +
+		`#1.tag = "inproceedings" & #2.tag = "author" & ` +
+		`#2.content ~ "J. Ullman" & #3.content isa "conference"`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.NodeCount())
+	fmt.Println(p.Node(3).EdgeIn)
+	fmt.Println(len(pattern.Atoms(p.Cond)))
+	// Output:
+	// 3
+	// ad
+	// 4
+}
+
+// Rewrite transforms conditions without mutating the original — here
+// degrading TOSS operators to their TAX baseline forms.
+func ExampleRewrite() {
+	c := pattern.MustParseCondition(`#1.content ~ "x" & #1.content isa "y"`)
+	baseline := pattern.Rewrite(c, func(a *pattern.Atomic) pattern.Condition {
+		switch a.Op {
+		case pattern.OpSim:
+			a.Op = pattern.OpEq
+		case pattern.OpIsa:
+			a.Op = pattern.OpContains
+		}
+		return a
+	})
+	fmt.Println(baseline)
+	// Output:
+	// (#1.content = "x") & (#1.content contains "y")
+}

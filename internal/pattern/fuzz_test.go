@@ -1,0 +1,60 @@
+package pattern
+
+import "testing"
+
+// FuzzParse checks that the pattern parser never panics and that whatever it
+// accepts re-parses to the same rendering (print/parse stability).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`#1`,
+		`#1 pc #2`,
+		`#1 pc #2, #1 ad #3 :: #1.tag = "inproceedings" & #2.content ~ "J. Ullman"`,
+		`#1 :: #1.content isa "person" | !(#1.tag != "x")`,
+		`#1 :: "3":int <= #1.content`,
+		`#1 pc #2 :: #1.tag = "a" and #2.tag = "b" or not #2.content = "c"`,
+		`#1 :: #1.content = "say \"hi\""`,
+		`#9999 pc #0 :: #0.tag contains "x"`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p1, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := p1.String()
+		p2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected own rendering %q: %v", src, rendered, err)
+		}
+		if p2.String() != rendered {
+			t.Fatalf("rendering unstable: %q -> %q", rendered, p2.String())
+		}
+	})
+}
+
+// FuzzParseCondition checks the condition parser in isolation.
+func FuzzParseCondition(f *testing.F) {
+	for _, seed := range []string{
+		`#1.tag = "x"`,
+		`#1.content ~ "a" & (#2.content isa "b" | !(#3.tag <= "c"))`,
+		`"v":int >= #4.content`,
+		`#1.content instance_of int`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseCondition(src)
+		if err != nil {
+			return
+		}
+		rendered := c.String()
+		c2, err := ParseCondition(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected own rendering %q: %v", src, rendered, err)
+		}
+		if c2.String() != rendered {
+			t.Fatalf("rendering unstable: %q -> %q", rendered, c2.String())
+		}
+	})
+}

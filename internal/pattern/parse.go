@@ -1,0 +1,429 @@
+package pattern
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses the textual pattern-tree syntax:
+//
+//	#1 pc #2, #1 ad #3 :: #1.tag = "inproceedings" & #2.tag = "title"
+//
+// Edges are comma-separated "#parent (pc|ad) #child" items; the first parent
+// mentioned becomes the root. A single-node pattern is written "#1". The
+// optional "::" clause gives the selection condition (see ParseCondition).
+func Parse(src string) (*Tree, error) {
+	structPart := src
+	condPart := ""
+	if i := strings.Index(src, "::"); i >= 0 {
+		structPart = src[:i]
+		condPart = src[i+2:]
+	}
+	t, err := parseStructure(structPart)
+	if err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(condPart) != "" {
+		cond, err := ParseCondition(condPart)
+		if err != nil {
+			return nil, err
+		}
+		t.Cond = cond
+	}
+	if err := t.validateCondLabels(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustParse is Parse but panics on error.
+func MustParse(src string) *Tree {
+	t, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *Tree) validateCondLabels() error {
+	if t.Cond == nil {
+		return nil
+	}
+	for _, l := range t.Cond.Labels(nil) {
+		if t.Node(l) == nil {
+			return fmt.Errorf("pattern: condition mentions unknown node #%d", l)
+		}
+	}
+	return nil
+}
+
+func parseStructure(src string) (*Tree, error) {
+	items := strings.Split(src, ",")
+	var t *Tree
+	for _, item := range items {
+		fields := strings.Fields(item)
+		switch len(fields) {
+		case 0:
+			continue
+		case 1:
+			label, err := parseLabelToken(fields[0])
+			if err != nil {
+				return nil, err
+			}
+			if t != nil {
+				return nil, fmt.Errorf("pattern: lone node %q after edges", fields[0])
+			}
+			t = New(label)
+		case 3:
+			p, err := parseLabelToken(fields[0])
+			if err != nil {
+				return nil, err
+			}
+			c, err := parseLabelToken(fields[2])
+			if err != nil {
+				return nil, err
+			}
+			var kind EdgeKind
+			switch fields[1] {
+			case "pc":
+				kind = PC
+			case "ad":
+				kind = AD
+			default:
+				return nil, fmt.Errorf("pattern: edge kind %q (want pc or ad)", fields[1])
+			}
+			if t == nil {
+				t = New(p)
+			}
+			if _, err := t.AddChild(p, c, kind); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("pattern: cannot parse edge %q", strings.TrimSpace(item))
+		}
+	}
+	if t == nil {
+		return nil, fmt.Errorf("pattern: empty pattern")
+	}
+	return t, nil
+}
+
+func parseLabelToken(tok string) (int, error) {
+	if !strings.HasPrefix(tok, "#") {
+		return 0, fmt.Errorf("pattern: node reference %q must start with #", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil {
+		return 0, fmt.Errorf("pattern: node reference %q: %v", tok, err)
+	}
+	return n, nil
+}
+
+// ---- condition lexer ----
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokNodeRef
+	tokString
+	tokIdent
+	tokOp
+	tokLParen
+	tokRParen
+	tokAnd
+	tokOr
+	tokNot
+	tokColon
+	tokDot
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		ch := l.src[l.pos]
+		switch {
+		case ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r':
+			l.pos++
+		case ch == '#':
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+			if l.pos == start+1 {
+				return nil, fmt.Errorf("pattern: bare # at offset %d", start)
+			}
+			l.emit(tokNodeRef, l.src[start:l.pos], start)
+		case ch == '"':
+			start := l.pos
+			l.pos++
+			var b strings.Builder
+			for l.pos < len(l.src) && l.src[l.pos] != '"' {
+				if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) {
+					l.pos++
+				}
+				b.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("pattern: unterminated string at offset %d", start)
+			}
+			l.pos++ // closing quote
+			l.emit(tokString, b.String(), start)
+		case ch == '(':
+			l.emit(tokLParen, "(", l.pos)
+			l.pos++
+		case ch == ')':
+			l.emit(tokRParen, ")", l.pos)
+			l.pos++
+		case ch == '&':
+			l.emit(tokAnd, "&", l.pos)
+			l.pos++
+		case ch == '|':
+			l.emit(tokOr, "|", l.pos)
+			l.pos++
+		case ch == '!':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				l.emit(tokOp, "!=", l.pos)
+				l.pos += 2
+			} else {
+				l.emit(tokNot, "!", l.pos)
+				l.pos++
+			}
+		case ch == ':':
+			l.emit(tokColon, ":", l.pos)
+			l.pos++
+		case ch == '.':
+			l.emit(tokDot, ".", l.pos)
+			l.pos++
+		case ch == '=' || ch == '~':
+			l.emit(tokOp, string(ch), l.pos)
+			l.pos++
+		case ch == '<' || ch == '>':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				l.emit(tokOp, l.src[l.pos:l.pos+2], l.pos)
+				l.pos += 2
+			} else {
+				l.emit(tokOp, string(ch), l.pos)
+				l.pos++
+			}
+		case isIdentStart(rune(ch)):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentRune(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			word := l.src[start:l.pos]
+			switch word {
+			case "isa", "part_of", "instance_of", "subtype_of", "above", "below", "contains":
+				l.emit(tokOp, word, start)
+			case "and", "AND":
+				l.emit(tokAnd, word, start)
+			case "or", "OR":
+				l.emit(tokOr, word, start)
+			case "not", "NOT":
+				l.emit(tokNot, word, start)
+			default:
+				l.emit(tokIdent, word, start)
+			}
+		default:
+			return nil, fmt.Errorf("pattern: unexpected character %q at offset %d", ch, l.pos)
+		}
+	}
+	l.emit(tokEOF, "", l.pos)
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: pos})
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || r == '*' || unicode.IsLetter(r)
+}
+
+func isIdentRune(r rune) bool {
+	return isIdentStart(r) || unicode.IsDigit(r) || r == '-'
+}
+
+// ---- condition parser (recursive descent) ----
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+// ParseCondition parses a selection condition such as
+//
+//	#1.tag = "inproceedings" & (#3.content ~ "J. Ullman" | #3.content isa "author")
+//
+// Operators: = != <= >= < > ~ isa part_of instance_of subtype_of above below
+// contains. Boolean connectives: & | ! (or the words and/or/not). Terms are
+// node attributes (#i.tag, #i.content), string literals (optionally typed,
+// "3":int), or bare identifiers naming types.
+func ParseCondition(src string) (Condition, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	c, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("pattern: trailing input at offset %d: %q", p.peek().pos, p.peek().text)
+	}
+	return c, nil
+}
+
+// MustParseCondition is ParseCondition but panics on error.
+func MustParseCondition(src string) Condition {
+	c, err := ParseCondition(src)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) parseOr() (Condition, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	conds := []Condition{left}
+	for p.peek().kind == tokOr {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, right)
+	}
+	if len(conds) == 1 {
+		return conds[0], nil
+	}
+	return &Or{Conds: conds}, nil
+}
+
+func (p *parser) parseAnd() (Condition, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	conds := []Condition{left}
+	for p.peek().kind == tokAnd {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, right)
+	}
+	if len(conds) == 1 {
+		return conds[0], nil
+	}
+	return &And{Conds: conds}, nil
+}
+
+func (p *parser) parseUnary() (Condition, error) {
+	switch p.peek().kind {
+	case tokNot:
+		p.next()
+		c, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{Cond: c}, nil
+	case tokLParen:
+		p.next()
+		c, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("pattern: expected ) at offset %d", p.peek().pos)
+		}
+		p.next()
+		return c, nil
+	default:
+		return p.parseAtomic()
+	}
+}
+
+func (p *parser) parseAtomic() (Condition, error) {
+	x, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	opTok := p.next()
+	if opTok.kind != tokOp {
+		return nil, fmt.Errorf("pattern: expected operator at offset %d, got %q", opTok.pos, opTok.text)
+	}
+	y, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	return &Atomic{X: x, Op: Op(opTok.text), Y: y}, nil
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNodeRef:
+		label, err := strconv.Atoi(t.text[1:])
+		if err != nil {
+			return Term{}, fmt.Errorf("pattern: bad node ref %q: %v", t.text, err)
+		}
+		if p.peek().kind != tokDot {
+			return Term{}, fmt.Errorf("pattern: expected .tag or .content after %s", t.text)
+		}
+		p.next()
+		attr := p.next()
+		if attr.kind != tokIdent || (attr.text != "tag" && attr.text != "content") {
+			return Term{}, fmt.Errorf("pattern: expected tag or content after %s., got %q", t.text, attr.text)
+		}
+		return Attr(label, attr.text), nil
+	case tokString:
+		term := Value(t.text)
+		if p.peek().kind == tokColon {
+			p.next()
+			typ := p.next()
+			if typ.kind != tokIdent {
+				return Term{}, fmt.Errorf("pattern: expected type name after : at offset %d", typ.pos)
+			}
+			term.Type = typ.text
+		}
+		return term, nil
+	case tokIdent:
+		return TypeTerm(t.text), nil
+	default:
+		return Term{}, fmt.Errorf("pattern: expected term at offset %d, got %q", t.pos, t.text)
+	}
+}

@@ -1,0 +1,344 @@
+// Package pattern implements TAX/TOSS pattern trees (Definition 2 of the
+// paper): object-labelled, edge-labelled trees whose edges are either
+// parent-child (pc) or ancestor-descendant (ad), together with a selection
+// condition — a boolean formula over atomic conditions "X op Y" where X and Y
+// are node attributes (#i.tag / #i.content), types, or typed values.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EdgeKind distinguishes parent-child from ancestor-descendant pattern edges.
+type EdgeKind int
+
+const (
+	// PC requires the image of the child node to be a direct child of the
+	// image of the parent node.
+	PC EdgeKind = iota
+	// AD requires the image of the child node to be a proper descendant of
+	// the image of the parent node.
+	AD
+)
+
+func (k EdgeKind) String() string {
+	if k == PC {
+		return "pc"
+	}
+	return "ad"
+}
+
+// PNode is a node of a pattern tree, identified by a distinct integer label.
+type PNode struct {
+	Label    int
+	Parent   *PNode
+	EdgeIn   EdgeKind // kind of the edge from Parent to this node
+	Children []*PNode
+}
+
+// Tree is a pattern tree: a labelled tree plus a selection condition F.
+type Tree struct {
+	Root    *PNode
+	Cond    Condition
+	byLabel map[int]*PNode
+}
+
+// New creates a pattern tree with a root node carrying the given label.
+func New(rootLabel int) *Tree {
+	root := &PNode{Label: rootLabel}
+	return &Tree{Root: root, byLabel: map[int]*PNode{rootLabel: root}}
+}
+
+// AddChild adds a node with the given label under the parent label, connected
+// by an edge of the given kind, and returns the new node.
+func (t *Tree) AddChild(parentLabel, label int, kind EdgeKind) (*PNode, error) {
+	p := t.Node(parentLabel)
+	if p == nil {
+		return nil, fmt.Errorf("pattern: unknown parent label %d", parentLabel)
+	}
+	if t.Node(label) != nil {
+		return nil, fmt.Errorf("pattern: duplicate label %d", label)
+	}
+	n := &PNode{Label: label, Parent: p, EdgeIn: kind}
+	p.Children = append(p.Children, n)
+	t.byLabel[label] = n
+	return n, nil
+}
+
+// MustAddChild is AddChild but panics on error; convenient in tests and
+// examples where labels are literals.
+func (t *Tree) MustAddChild(parentLabel, label int, kind EdgeKind) *PNode {
+	n, err := t.AddChild(parentLabel, label, kind)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Node returns the pattern node with the given label, or nil.
+func (t *Tree) Node(label int) *PNode {
+	return t.byLabel[label]
+}
+
+// Labels returns all node labels in ascending order.
+func (t *Tree) Labels() []int {
+	out := make([]int, 0, len(t.byLabel))
+	for l := range t.byLabel {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NodeCount returns the number of pattern nodes.
+func (t *Tree) NodeCount() int { return len(t.byLabel) }
+
+// Nodes returns all pattern nodes in preorder.
+func (t *Tree) Nodes() []*PNode {
+	var out []*PNode
+	var rec func(*PNode)
+	rec = func(n *PNode) {
+		out = append(out, n)
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	if t.Root != nil {
+		rec(t.Root)
+	}
+	return out
+}
+
+// String renders the pattern tree in the textual syntax accepted by Parse.
+func (t *Tree) String() string {
+	var edges []string
+	var rec func(*PNode)
+	rec = func(n *PNode) {
+		for _, c := range n.Children {
+			edges = append(edges, fmt.Sprintf("#%d %s #%d", n.Label, c.EdgeIn, c.Label))
+			rec(c)
+		}
+	}
+	rec(t.Root)
+	s := strings.Join(edges, ", ")
+	if len(edges) == 0 {
+		s = fmt.Sprintf("#%d", t.Root.Label)
+	}
+	if t.Cond != nil {
+		s += " :: " + t.Cond.String()
+	}
+	return s
+}
+
+// ---- Conditions ----
+
+// Op enumerates the operators of atomic conditions. The comparison and
+// similarity operators follow Section 5.1.1 of the paper.
+type Op string
+
+const (
+	OpEq         Op = "="
+	OpNe         Op = "!="
+	OpLe         Op = "<="
+	OpGe         Op = ">="
+	OpLt         Op = "<"
+	OpGt         Op = ">"
+	OpSim        Op = "~"           // similarTo: true iff an SEO node contains both operands
+	OpInstanceOf Op = "instance_of" // value is in dom of / below a type
+	OpIsa        Op = "isa"         // reachability in the isa hierarchy
+	OpPartOf     Op = "part_of"     // reachability in the part-of hierarchy
+	OpSubtypeOf  Op = "subtype_of"
+	OpAbove      Op = "above"
+	OpBelow      Op = "below"
+	// OpContains is the TAX-baseline substring operator the paper uses in
+	// place of isa conditions when running TAX ("for isa ... 'contains' ...
+	// used for TAX").
+	OpContains Op = "contains"
+)
+
+// TermKind says how a Term is to be resolved during evaluation.
+type TermKind int
+
+const (
+	// TermAttr refers to a pattern node attribute: #Label.Attr where Attr is
+	// "tag" or "content".
+	TermAttr TermKind = iota
+	// TermValue is a literal value, optionally typed ("3":int).
+	TermValue
+	// TermType names a type from the type system.
+	TermType
+)
+
+// Term is one operand of an atomic condition.
+type Term struct {
+	Kind  TermKind
+	Label int    // pattern node label (TermAttr)
+	Attr  string // "tag" or "content"    (TermAttr)
+	Value string // literal value          (TermValue)
+	Type  string // type name              (TermValue with annotation, TermType)
+}
+
+// Attr constructs a node-attribute term #label.attr.
+func Attr(label int, attr string) Term {
+	return Term{Kind: TermAttr, Label: label, Attr: attr}
+}
+
+// Value constructs an untyped literal term.
+func Value(v string) Term { return Term{Kind: TermValue, Value: v, Type: "string"} }
+
+// TypedValue constructs a typed literal term v:typ.
+func TypedValue(v, typ string) Term { return Term{Kind: TermValue, Value: v, Type: typ} }
+
+// TypeTerm constructs a term naming a type.
+func TypeTerm(name string) Term { return Term{Kind: TermType, Type: name} }
+
+func (t Term) String() string {
+	switch t.Kind {
+	case TermAttr:
+		return fmt.Sprintf("#%d.%s", t.Label, t.Attr)
+	case TermType:
+		return t.Type
+	default:
+		if t.Type != "" && t.Type != "string" {
+			return quoteValue(t.Value) + ":" + t.Type
+		}
+		return quoteValue(t.Value)
+	}
+}
+
+// quoteValue renders a string literal using the condition lexer's escape
+// rules (backslash escapes only " and \; all other bytes are literal), so
+// String output always re-parses to the same value.
+func quoteValue(v string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(v); i++ {
+		if v[i] == '"' || v[i] == '\\' {
+			b.WriteByte('\\')
+		}
+		b.WriteByte(v[i])
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// Condition is a selection condition: atomic conditions closed under
+// conjunction, disjunction and negation.
+type Condition interface {
+	String() string
+	// Labels appends the pattern-node labels mentioned by the condition.
+	Labels(dst []int) []int
+}
+
+// Atomic is a simple condition X op Y.
+type Atomic struct {
+	X  Term
+	Op Op
+	Y  Term
+}
+
+func (a *Atomic) String() string {
+	return fmt.Sprintf("%s %s %s", a.X, a.Op, a.Y)
+}
+
+func (a *Atomic) Labels(dst []int) []int {
+	if a.X.Kind == TermAttr {
+		dst = append(dst, a.X.Label)
+	}
+	if a.Y.Kind == TermAttr {
+		dst = append(dst, a.Y.Label)
+	}
+	return dst
+}
+
+// And is a conjunction of conditions.
+type And struct{ Conds []Condition }
+
+func (c *And) String() string { return joinConds(c.Conds, " & ") }
+func (c *And) Labels(dst []int) []int {
+	for _, s := range c.Conds {
+		dst = s.Labels(dst)
+	}
+	return dst
+}
+
+// Or is a disjunction of conditions.
+type Or struct{ Conds []Condition }
+
+func (c *Or) String() string { return joinConds(c.Conds, " | ") }
+func (c *Or) Labels(dst []int) []int {
+	for _, s := range c.Conds {
+		dst = s.Labels(dst)
+	}
+	return dst
+}
+
+// Not negates a condition.
+type Not struct{ Cond Condition }
+
+func (c *Not) String() string { return "!(" + c.Cond.String() + ")" }
+func (c *Not) Labels(dst []int) []int {
+	return c.Cond.Labels(dst)
+}
+
+func joinConds(cs []Condition, sep string) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = "(" + c.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}
+
+// Atoms returns every atomic condition in c, left to right.
+func Atoms(c Condition) []*Atomic {
+	var out []*Atomic
+	var rec func(Condition)
+	rec = func(c Condition) {
+		switch v := c.(type) {
+		case *Atomic:
+			out = append(out, v)
+		case *And:
+			for _, s := range v.Conds {
+				rec(s)
+			}
+		case *Or:
+			for _, s := range v.Conds {
+				rec(s)
+			}
+		case *Not:
+			rec(v.Cond)
+		}
+	}
+	if c != nil {
+		rec(c)
+	}
+	return out
+}
+
+// Rewrite returns a deep copy of c with every atomic condition replaced by
+// f(atom). f may return the atom unchanged (it is copied anyway).
+func Rewrite(c Condition, f func(*Atomic) Condition) Condition {
+	switch v := c.(type) {
+	case *Atomic:
+		cp := *v
+		return f(&cp)
+	case *And:
+		out := &And{Conds: make([]Condition, len(v.Conds))}
+		for i, s := range v.Conds {
+			out.Conds[i] = Rewrite(s, f)
+		}
+		return out
+	case *Or:
+		out := &Or{Conds: make([]Condition, len(v.Conds))}
+		for i, s := range v.Conds {
+			out.Conds[i] = Rewrite(s, f)
+		}
+		return out
+	case *Not:
+		return &Not{Cond: Rewrite(v.Cond, f)}
+	default:
+		return c
+	}
+}

@@ -1,0 +1,243 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildTree(t *testing.T) {
+	p := New(1)
+	if _, err := p.AddChild(1, 2, PC); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddChild(1, 3, AD); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddChild(3, 4, PC); err != nil {
+		t.Fatal(err)
+	}
+	if p.NodeCount() != 4 {
+		t.Errorf("NodeCount = %d, want 4", p.NodeCount())
+	}
+	if got := p.Labels(); len(got) != 4 || got[0] != 1 || got[3] != 4 {
+		t.Errorf("Labels = %v", got)
+	}
+	if p.Node(3).EdgeIn != AD {
+		t.Error("edge kind of node 3 should be ad")
+	}
+	if p.Node(4).Parent != p.Node(3) {
+		t.Error("parent wiring broken")
+	}
+	if len(p.Nodes()) != 4 {
+		t.Errorf("Nodes() length = %d", len(p.Nodes()))
+	}
+}
+
+func TestBuildTreeErrors(t *testing.T) {
+	p := New(1)
+	if _, err := p.AddChild(9, 2, PC); err == nil {
+		t.Error("unknown parent should fail")
+	}
+	p.MustAddChild(1, 2, PC)
+	if _, err := p.AddChild(1, 2, PC); err == nil {
+		t.Error("duplicate label should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddChild should panic on error")
+		}
+	}()
+	p.MustAddChild(1, 2, PC)
+}
+
+func TestParseStructure(t *testing.T) {
+	p, err := Parse(`#1 pc #2, #1 ad #3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Root.Label != 1 {
+		t.Errorf("root = %d", p.Root.Label)
+	}
+	if p.Node(2).EdgeIn != PC || p.Node(3).EdgeIn != AD {
+		t.Error("edge kinds wrong")
+	}
+	// Single node pattern.
+	p2, err := Parse(`#7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Root.Label != 7 || p2.NodeCount() != 1 {
+		t.Error("single-node pattern broken")
+	}
+}
+
+func TestParseStructureErrors(t *testing.T) {
+	for _, src := range []string{
+		``,
+		`1 pc 2`,                   // missing #
+		`#1 xx #2`,                 // bad edge kind
+		`#1 pc`,                    // incomplete
+		`#1 pc #2, #9`,             // lone node after edges
+		`#1 pc #2, #3 pc #2`,       // duplicate child label
+		`#1 pc #2 :: #5.tag = "x"`, // condition references unknown node
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseCondition(t *testing.T) {
+	c, err := ParseCondition(`#1.tag = "inproceedings" & (#2.content ~ "J. Ullman" | !(#2.content = "x")) & #3.content isa "person"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := c.(*And)
+	if !ok {
+		t.Fatalf("top level should be And, got %T", c)
+	}
+	if len(and.Conds) != 3 {
+		t.Fatalf("And arity = %d, want 3", len(and.Conds))
+	}
+	atoms := Atoms(c)
+	if len(atoms) != 4 {
+		t.Fatalf("Atoms = %d, want 4", len(atoms))
+	}
+	if atoms[0].Op != OpEq || atoms[1].Op != OpSim || atoms[3].Op != OpIsa {
+		t.Errorf("operators wrong: %v %v %v", atoms[0].Op, atoms[1].Op, atoms[3].Op)
+	}
+	labels := c.Labels(nil)
+	if len(labels) != 4 {
+		t.Errorf("Labels = %v", labels)
+	}
+}
+
+func TestParseConditionOperators(t *testing.T) {
+	ops := []string{"=", "!=", "<=", ">=", "<", ">", "~", "isa", "part_of",
+		"instance_of", "subtype_of", "above", "below", "contains"}
+	for _, op := range ops {
+		src := `#1.content ` + op + ` "v"`
+		c, err := ParseCondition(src)
+		if err != nil {
+			t.Errorf("ParseCondition(%q): %v", src, err)
+			continue
+		}
+		a := c.(*Atomic)
+		if string(a.Op) != op {
+			t.Errorf("op parsed as %q, want %q", a.Op, op)
+		}
+	}
+}
+
+func TestParseConditionTerms(t *testing.T) {
+	c := MustParseCondition(`"3":int <= #2.content`)
+	a := c.(*Atomic)
+	if a.X.Kind != TermValue || a.X.Type != "int" || a.X.Value != "3" {
+		t.Errorf("typed value term wrong: %+v", a.X)
+	}
+	if a.Y.Kind != TermAttr || a.Y.Label != 2 || a.Y.Attr != "content" {
+		t.Errorf("attr term wrong: %+v", a.Y)
+	}
+
+	c2 := MustParseCondition(`#1.content instance_of int`)
+	a2 := c2.(*Atomic)
+	if a2.Y.Kind != TermType || a2.Y.Type != "int" {
+		t.Errorf("type term wrong: %+v", a2.Y)
+	}
+}
+
+func TestParseConditionWordConnectives(t *testing.T) {
+	c, err := ParseCondition(`#1.tag = "a" and #1.content = "b" or not #1.content = "c"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.(*Or); !ok {
+		t.Fatalf("top level should be Or, got %T", c)
+	}
+}
+
+func TestParseConditionEscapes(t *testing.T) {
+	c := MustParseCondition(`#1.content = "say \"hi\""`)
+	a := c.(*Atomic)
+	if a.Y.Value != `say "hi"` {
+		t.Errorf("escaped string = %q", a.Y.Value)
+	}
+}
+
+func TestParseConditionErrors(t *testing.T) {
+	for _, src := range []string{
+		`#1.tag =`,              // missing rhs
+		`#1.tag "x"`,            // missing operator
+		`#1.badattr = "x"`,      // bad attribute
+		`#1.tag = "unclosed`,    // unterminated string
+		`(#1.tag = "x"`,         // missing paren
+		`#1.tag = "x" trailing`, // trailing garbage
+		`#.tag = "x"`,           // bare #
+		`# 1.tag = "x"`,         // split ref
+	} {
+		if _, err := ParseCondition(src); err == nil {
+			t.Errorf("ParseCondition(%q) should fail", src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		`#1 pc #2, #1 ad #3 :: #1.tag = "inproceedings" & #2.content ~ "J. Ullman"`,
+		`#1 :: #1.content isa "person"`,
+		`#1 pc #2 :: (#1.tag = "a") | !(#2.content <= "3":int)`,
+	}
+	for _, src := range srcs {
+		p1 := MustParse(src)
+		p2 := MustParse(p1.String())
+		if p1.String() != p2.String() {
+			t.Errorf("String round trip unstable:\n%s\nvs\n%s", p1.String(), p2.String())
+		}
+		if p1.NodeCount() != p2.NodeCount() {
+			t.Errorf("round trip changed node count for %q", src)
+		}
+	}
+}
+
+func TestRewrite(t *testing.T) {
+	c := MustParseCondition(`#1.tag = "a" & (#2.content ~ "b" | !(#3.content isa "c"))`)
+	// Replace every ~ with =.
+	out := Rewrite(c, func(a *Atomic) Condition {
+		if a.Op == OpSim {
+			a.Op = OpEq
+		}
+		return a
+	})
+	for _, a := range Atoms(out) {
+		if a.Op == OpSim {
+			t.Error("rewrite left a ~ atom")
+		}
+	}
+	// Original untouched.
+	found := false
+	for _, a := range Atoms(c) {
+		if a.Op == OpSim {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("rewrite mutated the original condition")
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := map[string]string{
+		Attr(3, "tag").String():         "#3.tag",
+		Value("x").String():             `"x"`,
+		TypedValue("3", "int").String(): `"3":int`,
+		TypeTerm("int").String():        "int",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("Term.String() = %q, want %q", got, want)
+		}
+	}
+	if !strings.Contains(MustParseCondition(`#1.tag != "x"`).String(), "!=") {
+		t.Error("condition String should include operator")
+	}
+}

@@ -1,0 +1,34 @@
+package seo_test
+
+import (
+	"fmt"
+
+	"repro/internal/ontology"
+	"repro/internal/seo"
+	"repro/internal/similarity"
+)
+
+// The paper's Example 11 (Figure 13): with Levenshtein and ε = 2, SEA merges
+// {relation, relational} and {model, models} while preserving the isa order.
+func ExampleEnhance() {
+	h := ontology.NewHierarchy()
+	h.MustAddEdge("relation", "data model")
+	h.MustAddEdge("relational", "data model")
+	h.MustAddEdge("data model", "abstraction")
+	h.MustAddEdge("model", "abstraction")
+	h.MustAddEdge("models", "abstraction")
+
+	s, err := seo.Enhance(h, similarity.Levenshtein{}, 2, seo.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s.Similar("relation", "relational"))
+	fmt.Println(s.Similar("relation", "model"))
+	fmt.Println(s.SimilarTo("model"))
+	fmt.Println(s.Leq("relational", "abstraction"))
+	// Output:
+	// true
+	// false
+	// [model models]
+	// true
+}

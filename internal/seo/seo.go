@@ -1,0 +1,439 @@
+// Package seo implements similarity enhanced ontologies (Section 4.3 of the
+// paper): the node similarity measure d over sets of strings (with the
+// Lemma 1 shortcut for strong measures), the SEA algorithm of Figure 12 that
+// clusters ε-similar hierarchy nodes into SEO nodes while preserving the
+// partial order, similarity-consistency checking (Definition 9), and the
+// structural-equivalence test behind Theorem 1.
+package seo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/ontology"
+	"repro/internal/similarity"
+)
+
+// SEO is a similarity enhancement (H', μ) of a hierarchy H. Its nodes are
+// clusters of H-nodes (each cluster a maximal set of pairwise ε-similar
+// nodes, per conditions (2)–(4) of Definition 8); its hierarchy lifts H's
+// partial order to clusters (condition (1)).
+type SEO struct {
+	// Hierarchy is H', a DAG over cluster names.
+	Hierarchy *ontology.Hierarchy
+	// Clusters maps a cluster name to the sorted H-node names it contains
+	// (= μ⁻¹ of the cluster).
+	Clusters map[string][]string
+	// Mu maps each H-node to the sorted cluster names containing it (μ).
+	Mu map[string][]string
+	// Epsilon and MeasureName record the parameters the SEO was built with.
+	Epsilon     float64
+	MeasureName string
+	// Dropped lists order edges that relaxed construction removed because
+	// the converse of condition (1) failed; empty for strict construction.
+	Dropped []DroppedEdge
+}
+
+// DroppedEdge records an H'-edge removed in relaxed mode, with one witness
+// pair of H-nodes whose order the edge would have fabricated.
+type DroppedEdge struct {
+	From, To           string
+	WitnessA, WitnessB string
+}
+
+// InconsistencyError reports similarity inconsistency (Definition 9): no
+// similarity enhancement of H exists for the given measure and ε.
+type InconsistencyError struct {
+	Reason string
+}
+
+func (e *InconsistencyError) Error() string {
+	return "seo: similarity inconsistent: " + e.Reason
+}
+
+// Options configures Enhance.
+type Options struct {
+	// Strings gives the set of strings contained in each H-node (fused
+	// nodes merge several source terms). Nil means every node contains
+	// exactly its own name.
+	Strings map[string][]string
+	// Relaxed makes construction drop (and record) H'-edges that violate
+	// the converse of condition (1) instead of failing. The paper's strict
+	// definition corresponds to Relaxed=false.
+	Relaxed bool
+	// CompatibilityFilter restricts clustering to order-compatible node
+	// pairs: A and B may share a cluster only when their ancestor sets and
+	// descendant sets in H coincide (ignoring one another). Under this
+	// filter a similarity enhancement always exists — every H'-edge's
+	// all-pairs order requirement holds by construction and no cycles can
+	// arise — so inconsistency failures disappear. Formally this evaluates
+	// SEA under the order-aware measure d'(A,B) = d(A,B) when A,B are
+	// order-compatible and ∞ otherwise; it is how the production TOSS
+	// pipeline avoids Definition 9 inconsistencies on real vocabularies
+	// (e.g. Levenshtein("date","name") = 3 must not merge a temporal and a
+	// naming concept).
+	CompatibilityFilter bool
+	// DisableLemma1 forces the full min-over-pairs node distance even for
+	// strong measures; used by the Lemma 1 ablation benchmark.
+	DisableLemma1 bool
+}
+
+// NodeDistance computes d(A, B) = min over cross pairs of contained strings
+// (Definition 7's node measure). For strong measures over single-string
+// nodes this is a single string comparison (Lemma 1).
+func NodeDistance(d similarity.Measure, sa, sb []string) float64 {
+	if len(sa) == 0 || len(sb) == 0 {
+		return math.Inf(1)
+	}
+	if d.Strong() && len(sa) == 1 && len(sb) == 1 {
+		return d.Distance(sa[0], sb[0])
+	}
+	best := math.Inf(1)
+	for _, x := range sa {
+		for _, y := range sb {
+			if v := d.Distance(x, y); v < best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// nodeWithin reports d(A,B) ≤ eps with lower-bound pruning.
+func nodeWithin(d similarity.Measure, sa, sb []string, eps float64, noLemma1 bool) bool {
+	if len(sa) == 0 || len(sb) == 0 {
+		return false
+	}
+	if !noLemma1 && d.Strong() && len(sa) == 1 && len(sb) == 1 {
+		return similarity.Within(d, sa[0], sb[0], eps)
+	}
+	for _, x := range sa {
+		for _, y := range sb {
+			if similarity.Within(d, x, y, eps) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Enhance runs the SEA algorithm on hierarchy h with measure d and threshold
+// eps. It returns the unique (up to renaming, Theorem 1) similarity
+// enhancement, or an *InconsistencyError when none exists and opts.Relaxed
+// is false.
+func Enhance(h *ontology.Hierarchy, d similarity.Measure, eps float64, opts Options) (*SEO, error) {
+	nodes := h.Nodes()
+	strs := func(n string) []string {
+		if opts.Strings != nil {
+			if s := opts.Strings[n]; len(s) > 0 {
+				return s
+			}
+		}
+		return []string{n}
+	}
+
+	// Similarity graph: undirected edge A—B iff d(A,B) ≤ eps.
+	idx := make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		idx[n] = i
+	}
+	adj := make([]map[int]bool, len(nodes))
+	for i := range adj {
+		adj[i] = map[int]bool{}
+	}
+	if opts.CompatibilityFilter {
+		h.BuildReachability()
+	}
+	for i := 0; i < len(nodes); i++ {
+		si := strs(nodes[i])
+		for j := i + 1; j < len(nodes); j++ {
+			if !nodeWithin(d, si, strs(nodes[j]), eps, opts.DisableLemma1) {
+				continue
+			}
+			if opts.CompatibilityFilter && !orderCompatible(h, nodes[i], nodes[j]) {
+				continue
+			}
+			adj[i][j] = true
+			adj[j][i] = true
+		}
+	}
+
+	// S'' = maximal cliques of the similarity graph (conditions (2)–(4)):
+	// every member pair is ≤ eps apart (2); every ≤-eps pair co-occurs in
+	// some clique (3); maximality rules out redundant subsets (4).
+	cliques := maximalCliques(adj)
+
+	s := &SEO{
+		Hierarchy:   ontology.NewHierarchy(),
+		Clusters:    map[string][]string{},
+		Mu:          map[string][]string{},
+		Epsilon:     eps,
+		MeasureName: d.Name(),
+	}
+	names := make([]string, len(cliques))
+	used := map[string]int{}
+	for ci, cl := range cliques {
+		members := make([]string, len(cl))
+		for k, i := range cl {
+			members[k] = nodes[i]
+		}
+		sort.Strings(members)
+		name := members[0]
+		if n := used[name]; n > 0 {
+			name = fmt.Sprintf("%s#%d", members[0], n)
+		}
+		used[members[0]]++
+		names[ci] = name
+		s.Clusters[name] = members
+		s.Hierarchy.AddNode(name)
+		for _, m := range members {
+			s.Mu[m] = append(s.Mu[m], name)
+		}
+	}
+	for _, v := range s.Mu {
+		sort.Strings(v)
+	}
+
+	// Order lifting (condition (1) forward direction): cluster C1 precedes
+	// C2 whenever some member of C1 precedes some member of C2 in H.
+	h.BuildReachability()
+	type edge struct{ from, to string }
+	var edges []edge
+	for i, ci := range names {
+		for j, cj := range names {
+			if i == j {
+				continue
+			}
+			if existsLeq(h, s.Clusters[ci], s.Clusters[cj]) {
+				edges = append(edges, edge{ci, cj})
+			}
+		}
+	}
+	// Acyclicity + converse of condition (1).
+	for _, e := range edges {
+		if a, b, ok := allLeq(h, s.Clusters[e.from], s.Clusters[e.to]); !ok {
+			if !opts.Relaxed {
+				return nil, &InconsistencyError{Reason: fmt.Sprintf(
+					"edge %s -> %s requires %s <= %s in the base hierarchy, which does not hold",
+					e.from, e.to, a, b)}
+			}
+			s.Dropped = append(s.Dropped, DroppedEdge{From: e.from, To: e.to, WitnessA: a, WitnessB: b})
+			continue
+		}
+		if err := s.Hierarchy.AddEdge(e.from, e.to); err != nil {
+			if !opts.Relaxed {
+				return nil, &InconsistencyError{Reason: fmt.Sprintf(
+					"enhanced hierarchy is cyclic: %v", err)}
+			}
+			s.Dropped = append(s.Dropped, DroppedEdge{From: e.from, To: e.to})
+		}
+	}
+	s.Hierarchy.TransitiveReduction()
+	return s, nil
+}
+
+// existsLeq reports whether some a ∈ as and b ∈ bs satisfy a ≤ b with a ≠ b.
+func existsLeq(h *ontology.Hierarchy, as, bs []string) bool {
+	for _, a := range as {
+		for _, b := range bs {
+			if a != b && h.Leq(a, b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// allLeq checks a ≤ b for every pair; on failure it returns the witness pair.
+func allLeq(h *ontology.Hierarchy, as, bs []string) (string, string, bool) {
+	for _, a := range as {
+		for _, b := range bs {
+			if !h.Leq(a, b) {
+				return a, b, false
+			}
+		}
+	}
+	return "", "", true
+}
+
+// Similar reports whether H-nodes a and b are deemed similar by this SEO:
+// per Definition 8 condition (3)/(2), iff some cluster contains both.
+func (s *SEO) Similar(a, b string) bool {
+	if a == b {
+		return len(s.Mu[a]) > 0
+	}
+	ca, cb := s.Mu[a], s.Mu[b]
+	// Both lists are sorted; intersect.
+	i, j := 0, 0
+	for i < len(ca) && j < len(cb) {
+		switch {
+		case ca[i] == cb[j]:
+			return true
+		case ca[i] < cb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// SimilarTo returns the sorted set of H-nodes sharing a cluster with a
+// (including a itself when present).
+func (s *SEO) SimilarTo(a string) []string {
+	set := map[string]bool{}
+	for _, c := range s.Mu[a] {
+		for _, m := range s.Clusters[c] {
+			set[m] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Leq reports whether every cluster of a precedes some... — more precisely,
+// it lifts the base order through the SEO: a ≤' b iff some cluster of a
+// reaches some cluster of b in H' (length ≥ 0). This is the reachability the
+// TOSS isa/below conditions consult.
+func (s *SEO) Leq(a, b string) bool {
+	for _, ca := range s.Mu[a] {
+		for _, cb := range s.Mu[b] {
+			if s.Hierarchy.Leq(ca, cb) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// NodeCount returns the number of SEO clusters.
+func (s *SEO) NodeCount() int { return len(s.Clusters) }
+
+// String renders cluster memberships and the lifted order.
+func (s *SEO) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Clusters))
+	for n := range s.Clusters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s = {%s}\n", n, strings.Join(s.Clusters[n], ", "))
+	}
+	b.WriteString(s.Hierarchy.String())
+	return b.String()
+}
+
+// maximalCliques enumerates all maximal cliques of the undirected graph
+// given by adj, using Bron–Kerbosch with pivoting. Vertices are 0..len-1.
+func maximalCliques(adj []map[int]bool) [][]int {
+	if len(adj) == 0 {
+		return nil
+	}
+	var out [][]int
+	all := make([]int, len(adj))
+	for i := range all {
+		all[i] = i
+	}
+	var bk func(r, p, x []int)
+	bk = func(r, p, x []int) {
+		if len(p) == 0 && len(x) == 0 {
+			clique := make([]int, len(r))
+			copy(clique, r)
+			out = append(out, clique)
+			return
+		}
+		// Pivot: vertex of P ∪ X with most neighbours in P.
+		pivot, best := -1, -1
+		for _, v := range p {
+			if n := countIn(adj[v], p); n > best {
+				best, pivot = n, v
+			}
+		}
+		for _, v := range x {
+			if n := countIn(adj[v], p); n > best {
+				best, pivot = n, v
+			}
+		}
+		cand := make([]int, 0, len(p))
+		for _, v := range p {
+			if pivot < 0 || !adj[pivot][v] {
+				cand = append(cand, v)
+			}
+		}
+		pSet := map[int]bool{}
+		for _, v := range p {
+			pSet[v] = true
+		}
+		xSet := map[int]bool{}
+		for _, v := range x {
+			xSet[v] = true
+		}
+		for _, v := range cand {
+			var p2, x2 []int
+			for n := range adj[v] {
+				if pSet[n] {
+					p2 = append(p2, n)
+				}
+				if xSet[n] {
+					x2 = append(x2, n)
+				}
+			}
+			sort.Ints(p2)
+			sort.Ints(x2)
+			bk(append(r, v), p2, x2)
+			delete(pSet, v)
+			xSet[v] = true
+		}
+	}
+	bk(nil, all, nil)
+	return out
+}
+
+func countIn(set map[int]bool, of []int) int {
+	n := 0
+	for _, v := range of {
+		if set[v] {
+			n++
+		}
+	}
+	return n
+}
+
+// orderCompatible reports whether a and b occupy the same position in H's
+// partial order: their ancestor sets and descendant sets agree once a and b
+// themselves are ignored. Clusters of pairwise order-compatible nodes can
+// never fabricate or lose order, which is what makes CompatibilityFilter
+// enhancement always consistent.
+func orderCompatible(h *ontology.Hierarchy, a, b string) bool {
+	return setsEqualIgnoring(h.Above(a), h.Above(b), a, b) &&
+		setsEqualIgnoring(h.Below(a), h.Below(b), a, b)
+}
+
+// setsEqualIgnoring compares two sorted string slices for equality after
+// removing x and y from both.
+func setsEqualIgnoring(s1, s2 []string, x, y string) bool {
+	i, j := 0, 0
+	for {
+		for i < len(s1) && (s1[i] == x || s1[i] == y) {
+			i++
+		}
+		for j < len(s2) && (s2[j] == x || s2[j] == y) {
+			j++
+		}
+		if i == len(s1) || j == len(s2) {
+			return i == len(s1) && j == len(s2)
+		}
+		if s1[i] != s2[j] {
+			return false
+		}
+		i++
+		j++
+	}
+}

@@ -1,0 +1,427 @@
+package seo
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ontology"
+	"repro/internal/similarity"
+)
+
+// fig13Hierarchy builds the toy isa ontology of the paper's Figure 13(a):
+// relation, relational ≤ data model; model, models, data model ≤
+// abstraction (schematically).
+func fig13Hierarchy() *ontology.Hierarchy {
+	h := ontology.NewHierarchy()
+	h.MustAddEdge("relation", "data model")
+	h.MustAddEdge("relational", "data model")
+	h.MustAddEdge("data model", "abstraction")
+	h.MustAddEdge("model", "abstraction")
+	h.MustAddEdge("models", "abstraction")
+	return h
+}
+
+// TestPaperFig13Example reproduces Example 11: with Levenshtein and ε = 2,
+// SEA merges {relation, relational} and {model, models}, removing the four
+// singleton nodes.
+func TestPaperFig13Example(t *testing.T) {
+	h := fig13Hierarchy()
+	s, err := Enhance(h, similarity.Levenshtein{}, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Similar("relation", "relational") {
+		t.Error("relation ~ relational expected (d=2)")
+	}
+	if !s.Similar("model", "models") {
+		t.Error("model ~ models expected (d=1)")
+	}
+	if s.Similar("relation", "model") {
+		t.Error("relation !~ model expected")
+	}
+	// Condition 4: no SEO node is a subset of another; the merged pairs
+	// replace their singletons.
+	if got := s.SimilarTo("relation"); !reflect.DeepEqual(got, []string{"relation", "relational"}) {
+		t.Errorf("SimilarTo(relation) = %v", got)
+	}
+	// μ maps unmerged nodes to themselves.
+	if mu := s.Mu["abstraction"]; len(mu) != 1 || s.Clusters[mu[0]][0] != "abstraction" {
+		t.Errorf("mu(abstraction) = %v", mu)
+	}
+	// Order lifted: the merged {relation, relational} node sits below
+	// data model, which sits below abstraction.
+	if !s.Leq("relation", "abstraction") {
+		t.Error("lifted order lost relation <= abstraction")
+	}
+	if !s.Leq("relational", "data model") {
+		t.Error("lifted order lost relational <= data model")
+	}
+	if s.Leq("abstraction", "relation") {
+		t.Error("order must not be inverted")
+	}
+	if s.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestEpsilonZeroIsIdentity(t *testing.T) {
+	h := fig13Hierarchy()
+	s, err := Enhance(h, similarity.Levenshtein{}, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NodeCount() != h.NodeCount() {
+		t.Errorf("eps=0 should keep %d singletons, got %d", h.NodeCount(), s.NodeCount())
+	}
+	for _, n := range h.Nodes() {
+		for _, m := range h.Nodes() {
+			if s.Similar(n, m) != (n == m) {
+				t.Errorf("eps=0 Similar(%s,%s) wrong", n, m)
+			}
+			if s.Leq(n, m) != h.Leq(n, m) {
+				t.Errorf("eps=0 Leq(%s,%s) changed", n, m)
+			}
+		}
+	}
+}
+
+// TestInconsistency builds the situation of Definition 9: merging two terms
+// whose order contexts differ fabricates order, so no strict enhancement
+// exists.
+func TestInconsistency(t *testing.T) {
+	h := ontology.NewHierarchy()
+	h.MustAddEdge("date", "time")                                // "date" has a parent
+	h.AddNode("name")                                            // "name" does not
+	h.MustAddEdge("cikm", "name")                                // and has a child
+	_, err := Enhance(h, similarity.Levenshtein{}, 3, Options{}) // d(date,name)=3
+	var inc *InconsistencyError
+	if !errors.As(err, &inc) {
+		t.Fatalf("expected InconsistencyError, got %v", err)
+	}
+	// Relaxed mode succeeds and records the dropped edges.
+	s, err := Enhance(h, similarity.Levenshtein{}, 3, Options{Relaxed: true})
+	if err != nil {
+		t.Fatalf("relaxed enhancement failed: %v", err)
+	}
+	if len(s.Dropped) == 0 {
+		t.Error("relaxed mode should record dropped edges")
+	}
+	// The compatibility filter avoids the merge entirely.
+	s2, err := Enhance(h, similarity.Levenshtein{}, 3, Options{CompatibilityFilter: true})
+	if err != nil {
+		t.Fatalf("filtered enhancement failed: %v", err)
+	}
+	if s2.Similar("date", "name") {
+		t.Error("filter must not merge order-incompatible terms")
+	}
+}
+
+func TestMultiClusterMembership(t *testing.T) {
+	// A at distance ≤ ε from both B and C, but d(B, C) > ε: per the
+	// discussion below Definition 8, A belongs to two clusters {A,B} and
+	// {A,C}.
+	h := ontology.NewHierarchy()
+	for _, n := range []string{"abc", "abd", "bbc"} { // d(abc,abd)=1, d(abc,bbc)=1, d(abd,bbc)=2
+		h.AddNode(n)
+	}
+	s, err := Enhance(h, similarity.Levenshtein{}, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Mu["abc"]); got != 2 {
+		t.Fatalf("mu(abc) has %d clusters, want 2 (%v)", got, s.Mu["abc"])
+	}
+	if !s.Similar("abc", "abd") || !s.Similar("abc", "bbc") {
+		t.Error("abc should be similar to both")
+	}
+	if s.Similar("abd", "bbc") {
+		t.Error("abd and bbc are 2 apart; not similar at eps=1")
+	}
+}
+
+func TestNodeDistanceMultiString(t *testing.T) {
+	d := similarity.Levenshtein{}
+	// Node distance is the min over cross pairs.
+	got := NodeDistance(d, []string{"booktitle", "conference"}, []string{"conferences"})
+	if got != 1 {
+		t.Errorf("NodeDistance = %g, want 1 (conference vs conferences)", got)
+	}
+	if NodeDistance(d, nil, []string{"x"}) != NodeDistance(d, []string{"x"}, nil) {
+		t.Error("empty-node distance should be symmetric (infinite)")
+	}
+	// Lemma 1 shortcut agrees with the full computation for single-string
+	// nodes under a strong measure.
+	a, b := []string{"model"}, []string{"models"}
+	if NodeDistance(d, a, b) != 1 {
+		t.Error("single-string node distance wrong")
+	}
+}
+
+func TestSimilarUnknownTerm(t *testing.T) {
+	h := fig13Hierarchy()
+	s, err := Enhance(h, similarity.Levenshtein{}, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Similar("ghost", "model") || s.Similar("ghost", "ghost") {
+		t.Error("unknown terms have no clusters")
+	}
+	if got := s.SimilarTo("ghost"); len(got) != 0 {
+		t.Errorf("SimilarTo(unknown) should be empty, got %v", got)
+	}
+}
+
+// TestTheorem1Equivalence: two enhancements of the same hierarchy are
+// isomorphic — here checked as equality of canonical cluster sets and of the
+// lifted order, with node insertion order shuffled via different hierarchies
+// built in different orders.
+func TestTheorem1Equivalence(t *testing.T) {
+	build := func(perm []int) *ontology.Hierarchy {
+		edges := [][2]string{
+			{"relation", "data model"},
+			{"relational", "data model"},
+			{"data model", "abstraction"},
+			{"model", "abstraction"},
+			{"models", "abstraction"},
+		}
+		h := ontology.NewHierarchy()
+		for _, i := range perm {
+			h.MustAddEdge(edges[i][0], edges[i][1])
+		}
+		return h
+	}
+	s1, err := Enhance(build([]int{0, 1, 2, 3, 4}), similarity.Levenshtein{}, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Enhance(build([]int{4, 2, 0, 3, 1}), similarity.Levenshtein{}, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equivalentSEOs(s1, s2) {
+		t.Fatalf("enhancements differ:\n%s\nvs\n%s", s1, s2)
+	}
+}
+
+// equivalentSEOs checks the Theorem 1 isomorphism via canonical cluster
+// signatures.
+func equivalentSEOs(a, b *SEO) bool {
+	sig := func(s *SEO) []string {
+		var out []string
+		for _, members := range s.Clusters {
+			out = append(out, strJoin(members))
+		}
+		sort.Strings(out)
+		return out
+	}
+	if !reflect.DeepEqual(sig(a), sig(b)) {
+		return false
+	}
+	// Lifted order agrees on all base-node pairs.
+	nodes := map[string]bool{}
+	for n := range a.Mu {
+		nodes[n] = true
+	}
+	for u := range nodes {
+		for v := range nodes {
+			if a.Leq(u, v) != b.Leq(u, v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func strJoin(s []string) string {
+	out := ""
+	for _, v := range s {
+		out += v + "|"
+	}
+	return out
+}
+
+// randomHierarchy builds a random DAG over short random strings so that
+// similarity collisions happen.
+func randomSEOHierarchy(rng *rand.Rand, n int) *ontology.Hierarchy {
+	h := ontology.NewHierarchy()
+	alphabet := "abx"
+	names := map[string]bool{}
+	var list []string
+	for len(list) < n {
+		k := 1 + rng.Intn(4)
+		b := make([]byte, k)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		s := string(b)
+		if !names[s] {
+			names[s] = true
+			list = append(list, s)
+		}
+	}
+	for _, s := range list {
+		h.AddNode(s)
+	}
+	for i := 0; i < len(list); i++ {
+		for j := i + 1; j < len(list); j++ {
+			if rng.Intn(4) == 0 {
+				h.MustAddEdge(list[i], list[j])
+			}
+		}
+	}
+	return h
+}
+
+// TestQuickDefinition8Conditions: whenever strict SEA succeeds, the output
+// satisfies conditions (2), (3) and (4) of Definition 8; whichever mode runs,
+// the enhanced hierarchy is acyclic (it is an ontology.Hierarchy, which
+// enforces acyclicity structurally).
+func TestQuickDefinition8Conditions(t *testing.T) {
+	d := similarity.Levenshtein{}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomSEOHierarchy(rng, 3+rng.Intn(8))
+		eps := float64(rng.Intn(3))
+		s, err := Enhance(h, d, eps, Options{})
+		if err != nil {
+			var inc *InconsistencyError
+			return errors.As(err, &inc) // failure is allowed, but only this one
+		}
+		nodes := h.Nodes()
+		for _, name := range nodes {
+			if len(s.Mu[name]) == 0 {
+				t.Logf("seed %d: node %q lost from mu", seed, name)
+				return false
+			}
+		}
+		// Condition (2): all cluster members pairwise within eps.
+		for _, members := range s.Clusters {
+			for i := 0; i < len(members); i++ {
+				for j := i + 1; j < len(members); j++ {
+					if d.Distance(members[i], members[j]) > eps {
+						t.Logf("seed %d: cluster pair %q %q beyond eps", seed, members[i], members[j])
+						return false
+					}
+				}
+			}
+		}
+		// Condition (3): every within-eps pair shares some cluster.
+		for i := 0; i < len(nodes); i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				if d.Distance(nodes[i], nodes[j]) <= eps && !s.Similar(nodes[i], nodes[j]) {
+					t.Logf("seed %d: %q %q within eps but no shared cluster", seed, nodes[i], nodes[j])
+					return false
+				}
+			}
+		}
+		// Condition (4): no cluster is a subset of another.
+		names := make([]string, 0, len(s.Clusters))
+		for n := range s.Clusters {
+			names = append(names, n)
+		}
+		for _, a := range names {
+			for _, b := range names {
+				if a != b && subset(s.Clusters[a], s.Clusters[b]) {
+					t.Logf("seed %d: cluster %q subset of %q", seed, a, b)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func subset(a, b []string) bool {
+	set := map[string]bool{}
+	for _, v := range b {
+		set[v] = true
+	}
+	for _, v := range a {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickCompatibilityFilterAlwaysConsistent: with the order-compatibility
+// filter, Enhance never reports inconsistency and preserves the base order
+// exactly (condition (1), both directions).
+func TestQuickCompatibilityFilterAlwaysConsistent(t *testing.T) {
+	d := similarity.Levenshtein{}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomSEOHierarchy(rng, 3+rng.Intn(8))
+		eps := float64(rng.Intn(4))
+		s, err := Enhance(h, d, eps, Options{CompatibilityFilter: true})
+		if err != nil {
+			t.Logf("seed %d: filtered enhancement failed: %v", seed, err)
+			return false
+		}
+		if len(s.Dropped) != 0 {
+			t.Logf("seed %d: filtered enhancement dropped edges", seed)
+			return false
+		}
+		// Order preservation (condition (1) forward): base Leq implies
+		// lifted Leq; and no fabricated strict order between unrelated,
+		// dissimilar nodes.
+		nodes := h.Nodes()
+		for _, u := range nodes {
+			for _, v := range nodes {
+				if h.Leq(u, v) && !s.Leq(u, v) {
+					t.Logf("seed %d: lost order %q <= %q", seed, u, v)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTheorem1OnRandom: strict SEA output is order-independent (the
+// uniqueness of Theorem 1) on random hierarchies.
+func TestQuickTheorem1OnRandom(t *testing.T) {
+	d := similarity.Levenshtein{}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomSEOHierarchy(rng, 3+rng.Intn(7))
+		eps := float64(rng.Intn(3))
+		s1, err1 := Enhance(h, d, eps, Options{})
+		// Rebuild the same hierarchy with a different node insertion order.
+		h2 := ontology.NewHierarchy()
+		nodes := h.Nodes()
+		for i := len(nodes) - 1; i >= 0; i-- {
+			h2.AddNode(nodes[i])
+		}
+		edges := h.Edges()
+		for i := len(edges) - 1; i >= 0; i-- {
+			h2.MustAddEdge(edges[i].Child, edges[i].Parent)
+		}
+		s2, err2 := Enhance(h2, d, eps, Options{})
+		if (err1 == nil) != (err2 == nil) {
+			t.Logf("seed %d: consistency verdict differs", seed)
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if !equivalentSEOs(s1, s2) {
+			t.Logf("seed %d: enhancements differ", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package seo
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/similarity"
+)
+
+func TestVerifyAcceptsSEAOutput(t *testing.T) {
+	h := fig13Hierarchy()
+	d := similarity.Levenshtein{}
+	s, err := Enhance(h, d, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(h, d, 2, s, nil); err != nil {
+		t.Fatalf("SEA output should verify: %v", err)
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	h := fig13Hierarchy()
+	d := similarity.Levenshtein{}
+
+	// Tampered cluster containing dissimilar terms violates condition (2).
+	s, err := Enhance(h, d, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, members := range s.Clusters {
+		if len(members) == 2 {
+			s.Clusters[name] = append(members, "abstraction")
+			s.Mu["abstraction"] = append(s.Mu["abstraction"], name)
+			break
+		}
+	}
+	if err := Verify(h, d, 2, s, nil); err == nil || !strings.Contains(err.Error(), "distance") {
+		t.Errorf("expected a condition (2) violation, got %v", err)
+	}
+
+	// Removing a node from μ violates coverage.
+	s2, _ := Enhance(h, d, 2, Options{})
+	delete(s2.Mu, "abstraction")
+	if err := Verify(h, d, 2, s2, nil); err == nil || !strings.Contains(err.Error(), "missing from mu") {
+		t.Errorf("expected a coverage violation, got %v", err)
+	}
+
+	// Claiming a smaller eps than the clusters were built with violates (2).
+	s3, _ := Enhance(h, d, 2, Options{})
+	if err := Verify(h, d, 0, s3, nil); err == nil {
+		t.Error("eps=0 should reject eps=2 clusters")
+	}
+}
+
+// TestQuickVerifyAcceptsEnhance: Verify accepts whatever Enhance produces,
+// in every construction mode, on random hierarchies.
+func TestQuickVerifyAcceptsEnhance(t *testing.T) {
+	d := similarity.Levenshtein{}
+	f := func(seed int64, filtered bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomSEOHierarchy(rng, 3+rng.Intn(8))
+		eps := float64(rng.Intn(3))
+		s, err := Enhance(h, d, eps, Options{CompatibilityFilter: filtered, Relaxed: !filtered})
+		if err != nil {
+			return true // strict-mode inconsistency is allowed
+		}
+		if err := Verify(h, d, eps, s, nil); err != nil {
+			t.Logf("seed %d filtered=%v: %v", seed, filtered, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInconsistencyErrorMessage(t *testing.T) {
+	err := &InconsistencyError{Reason: "because"}
+	if !strings.Contains(err.Error(), "because") || !strings.Contains(err.Error(), "inconsistent") {
+		t.Errorf("Error() = %q", err.Error())
+	}
+}
+
+func TestVerifyToleratesRelaxedDrops(t *testing.T) {
+	// Build the inconsistent hierarchy; relaxed mode drops edges; Verify
+	// must accept the result because the drops are recorded.
+	h := fig13Hierarchy()
+	h.MustAddEdge("cikm", "relation") // force order divergence for a merge
+	d := similarity.Levenshtein{}
+	s, err := Enhance(h, d, 2, Options{Relaxed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(h, d, 2, s, nil); err != nil {
+		t.Fatalf("relaxed SEO with recorded drops should verify: %v", err)
+	}
+}
+
+func TestNodeWithinMultiString(t *testing.T) {
+	d := similarity.Levenshtein{}
+	// Multi-string nodes take the min over pairs (no Lemma 1 shortcut).
+	if !nodeWithin(d, []string{"booktitle", "conference"}, []string{"conferences"}, 1, false) {
+		t.Error("min-over-pairs nodeWithin failed")
+	}
+	if nodeWithin(d, nil, []string{"x"}, 10, false) {
+		t.Error("empty node is never within")
+	}
+	if !nodeWithin(d, []string{"aa", "zz"}, []string{"zz"}, 0, true) {
+		t.Error("DisableLemma1 path failed")
+	}
+}

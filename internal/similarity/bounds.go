@@ -1,0 +1,37 @@
+package similarity
+
+// LowerBounder is an optional extension of Measure: a cheap lower bound on
+// Distance(x, y) that lets callers skip the full computation when the bound
+// already exceeds their threshold. The SEA algorithm uses it to prune the
+// quadratic pairwise-distance pass.
+type LowerBounder interface {
+	LowerBound(x, y string) float64
+}
+
+// LowerBound for Levenshtein: the length difference (every length-changing
+// edit is one operation).
+func (Levenshtein) LowerBound(x, y string) float64 {
+	return float64(absInt(len([]rune(x)) - len([]rune(y))))
+}
+
+// LowerBound for Damerau: same as Levenshtein (transpositions do not change
+// length).
+func (Damerau) LowerBound(x, y string) float64 {
+	return float64(absInt(len([]rune(x)) - len([]rune(y))))
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Within reports whether d.Distance(x, y) ≤ eps, using the measure's lower
+// bound (if it has one) to short-circuit.
+func Within(d Measure, x, y string, eps float64) bool {
+	if lb, ok := d.(LowerBounder); ok && lb.LowerBound(x, y) > eps {
+		return false
+	}
+	return d.Distance(x, y) <= eps
+}

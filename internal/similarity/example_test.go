@@ -1,0 +1,47 @@
+package similarity_test
+
+import (
+	"fmt"
+
+	"repro/internal/similarity"
+)
+
+// The rule-based name measure reproduces the paper's Section 2.2 intuition:
+// concatenation errors are very similar, same-surname near-miss first names
+// are quite similar, and unrelated given names are far apart.
+func ExampleNameRule() {
+	m := similarity.NameRule{}
+	fmt.Println(m.Distance("Gian Luigi Ferrari", "GianLuigi Ferrari"))
+	fmt.Println(m.Distance("Marco Ferrari", "Mauro Ferrari"))
+	fmt.Println(m.Distance("Jeffrey D. Ullman", "J. Ullman"))
+	// Output:
+	// 1
+	// 2
+	// 2
+}
+
+func ExampleLevenshtein() {
+	var m similarity.Levenshtein
+	fmt.Println(m.Distance("relation", "relational"))
+	fmt.Println(m.Distance("model", "models"))
+	fmt.Println(m.Strong())
+	// Output:
+	// 2
+	// 1
+	// true
+}
+
+func ExampleSoundexCode() {
+	fmt.Println(similarity.SoundexCode("Meier"))
+	fmt.Println(similarity.SoundexCode("Mayer"))
+	// Output:
+	// M600
+	// M600
+}
+
+func ExampleByName() {
+	m := similarity.ByName("jaccard")
+	fmt.Println(m.Name(), m.Distance("Securing XML Documents", "Securing XML Documents."))
+	// Output:
+	// jaccard 0
+}

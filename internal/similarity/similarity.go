@@ -1,0 +1,398 @@
+// Package similarity implements string similarity measures (Definition 7 of
+// the paper): non-negative symmetric distance functions with d(x,x)=0. A
+// measure is "strong" when it additionally satisfies the triangle inequality,
+// which lets the SEA algorithm use the single-representative shortcut of
+// Lemma 1 when comparing ontology nodes that contain several strings.
+//
+// The paper deliberately does not invent new measures; it plugs in standard
+// ones from the IR literature. This package provides Levenshtein,
+// Damerau-Levenshtein, Jaro, Jaro-Winkler, Monge-Elkan, Jaccard, cosine and a
+// rule-based person-name measure, all behind one Measure interface.
+package similarity
+
+import (
+	"math"
+	"strings"
+	"unicode"
+)
+
+// Measure is a string similarity measure d_s. Smaller is more similar;
+// Distance(x, x) must be 0 and Distance must be symmetric. Strong reports
+// whether the measure satisfies the triangle inequality.
+type Measure interface {
+	// Name identifies the measure (used by CLIs and experiment reports).
+	Name() string
+	// Distance returns the distance between two strings.
+	Distance(x, y string) float64
+	// Strong reports whether the triangle inequality holds.
+	Strong() bool
+}
+
+// ---- Levenshtein ----
+
+// Levenshtein is the classic edit distance with unit costs. It is strong (a
+// metric), as the paper notes in Section 4.3.
+type Levenshtein struct{}
+
+func (Levenshtein) Name() string { return "levenshtein" }
+func (Levenshtein) Strong() bool { return true }
+
+func (Levenshtein) Distance(x, y string) float64 {
+	return float64(editDistance([]rune(x), []rune(y), false))
+}
+
+// Damerau is the Damerau-Levenshtein distance (edit distance with adjacent
+// transposition). The restricted variant implemented here is still a metric.
+type Damerau struct{}
+
+func (Damerau) Name() string { return "damerau" }
+func (Damerau) Strong() bool { return true }
+
+func (Damerau) Distance(x, y string) float64 {
+	return float64(editDistance([]rune(x), []rune(y), true))
+}
+
+// editDistance computes Levenshtein (or, with transpose, restricted
+// Damerau-Levenshtein) distance with two or three rolling rows.
+func editDistance(a, b []rune, transpose bool) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev2 := make([]int, len(b)+1)
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := 0; j <= len(b); j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+			if transpose && i > 1 && j > 1 && a[i-1] == b[j-2] && a[i-2] == b[j-1] {
+				if t := prev2[j-2] + 1; t < m {
+					m = t
+				}
+			}
+			cur[j] = m
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// ---- Jaro and Jaro-Winkler ----
+
+// Jaro is the Jaro metric expressed as a distance: 1 - jaro similarity,
+// scaled by Scale so that thresholds are comparable with edit distances
+// (scale 10 means a Jaro similarity of 0.8 becomes distance 2.0). A zero
+// Scale means 1. Jaro is not strong (no triangle inequality).
+type Jaro struct {
+	Scale float64
+}
+
+func (Jaro) Name() string { return "jaro" }
+func (Jaro) Strong() bool { return false }
+
+func (j Jaro) Distance(x, y string) float64 {
+	s := j.Scale
+	if s == 0 {
+		s = 1
+	}
+	return s * (1 - jaroSim([]rune(x), []rune(y)))
+}
+
+// JaroWinkler boosts Jaro similarity for strings sharing a prefix.
+type JaroWinkler struct {
+	Scale        float64 // distance scale, like Jaro.Scale
+	PrefixWeight float64 // typically 0.1; 0 means 0.1
+}
+
+func (JaroWinkler) Name() string { return "jaro-winkler" }
+func (JaroWinkler) Strong() bool { return false }
+
+func (j JaroWinkler) Distance(x, y string) float64 {
+	s := j.Scale
+	if s == 0 {
+		s = 1
+	}
+	p := j.PrefixWeight
+	if p == 0 {
+		p = 0.1
+	}
+	rx, ry := []rune(x), []rune(y)
+	sim := jaroSim(rx, ry)
+	l := 0
+	for l < len(rx) && l < len(ry) && rx[l] == ry[l] && l < 4 {
+		l++
+	}
+	sim += float64(l) * p * (1 - sim)
+	return s * (1 - sim)
+}
+
+func jaroSim(a, b []rune) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	window := len(a)
+	if len(b) > window {
+		window = len(b)
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	aMatch := make([]bool, len(a))
+	bMatch := make([]bool, len(b))
+	matches := 0
+	for i := range a {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > len(b) {
+			hi = len(b)
+		}
+		for k := lo; k < hi; k++ {
+			if !bMatch[k] && a[i] == b[k] {
+				aMatch[i] = true
+				bMatch[k] = true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	transpositions := 0
+	k := 0
+	for i := range a {
+		if !aMatch[i] {
+			continue
+		}
+		for !bMatch[k] {
+			k++
+		}
+		if a[i] != b[k] {
+			transpositions++
+		}
+		k++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(len(a)) + m/float64(len(b)) + (m-t)/m) / 3
+}
+
+// ---- token measures ----
+
+// Tokenize lower-cases s and splits it into maximal runs of letters and
+// digits. Shared by the token-based measures and the xmldb term index.
+func Tokenize(s string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			out = append(out, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// Jaccard is 1 - |S∩T|/|S∪T| over token sets, scaled by Scale (0 means 1).
+// It is strong: the Jaccard distance is a metric.
+type Jaccard struct {
+	Scale float64
+}
+
+func (Jaccard) Name() string { return "jaccard" }
+func (Jaccard) Strong() bool { return true }
+
+func (j Jaccard) Distance(x, y string) float64 {
+	s := j.Scale
+	if s == 0 {
+		s = 1
+	}
+	sx := tokenSet(x)
+	sy := tokenSet(y)
+	if len(sx) == 0 && len(sy) == 0 {
+		return 0
+	}
+	inter := 0
+	for t := range sx {
+		if sy[t] {
+			inter++
+		}
+	}
+	union := len(sx) + len(sy) - inter
+	return s * (1 - float64(inter)/float64(union))
+}
+
+func tokenSet(s string) map[string]bool {
+	set := map[string]bool{}
+	for _, t := range Tokenize(s) {
+		set[t] = true
+	}
+	return set
+}
+
+// Cosine is 1 - cosine similarity of token term-frequency vectors, scaled by
+// Scale (0 means 1). Not strong.
+type Cosine struct {
+	Scale float64
+}
+
+func (Cosine) Name() string { return "cosine" }
+func (Cosine) Strong() bool { return false }
+
+func (c Cosine) Distance(x, y string) float64 {
+	s := c.Scale
+	if s == 0 {
+		s = 1
+	}
+	if x == y {
+		return 0
+	}
+	fx := termFreq(x)
+	fy := termFreq(y)
+	if len(fx) == 0 && len(fy) == 0 {
+		return 0
+	}
+	var dot, nx, ny float64
+	for t, v := range fx {
+		dot += v * fy[t]
+		nx += v * v
+	}
+	for _, v := range fy {
+		ny += v * v
+	}
+	if nx == 0 || ny == 0 {
+		return s
+	}
+	d := s * (1 - dot/(math.Sqrt(nx)*math.Sqrt(ny)))
+	if d < 0 {
+		return 0 // guard against floating-point overshoot
+	}
+	return d
+}
+
+func termFreq(s string) map[string]float64 {
+	f := map[string]float64{}
+	for _, t := range Tokenize(s) {
+		f[t]++
+	}
+	return f
+}
+
+// ---- Monge-Elkan ----
+
+// MongeElkan is the hybrid measure: for each token of x take the best
+// (smallest) inner distance to a token of y, average, and symmetrise by
+// taking the max of the two directions (so the result is a symmetric
+// distance). Inner defaults to Levenshtein. Not strong.
+type MongeElkan struct {
+	Inner Measure
+}
+
+func (MongeElkan) Name() string { return "monge-elkan" }
+func (MongeElkan) Strong() bool { return false }
+
+func (m MongeElkan) Distance(x, y string) float64 {
+	inner := m.Inner
+	if inner == nil {
+		inner = Levenshtein{}
+	}
+	tx := Tokenize(x)
+	ty := Tokenize(y)
+	if len(tx) == 0 && len(ty) == 0 {
+		return 0
+	}
+	d1 := mongeDir(inner, tx, ty)
+	d2 := mongeDir(inner, ty, tx)
+	if d2 > d1 {
+		return d2
+	}
+	return d1
+}
+
+func mongeDir(inner Measure, from, to []string) float64 {
+	if len(from) == 0 || len(to) == 0 {
+		return math.Inf(1)
+	}
+	sum := 0.0
+	for _, a := range from {
+		best := math.Inf(1)
+		for _, b := range to {
+			if d := inner.Distance(a, b); d < best {
+				best = d
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(from))
+}
+
+// ---- registry ----
+
+// ByName returns a measure by its Name, or nil if unknown. Scaled variants
+// use sensible defaults (Jaro/cosine scaled by 10 so thresholds line up with
+// edit-distance-style epsilons).
+func ByName(name string) Measure {
+	switch name {
+	case "levenshtein":
+		return Levenshtein{}
+	case "damerau":
+		return Damerau{}
+	case "jaro":
+		return Jaro{Scale: 10}
+	case "jaro-winkler":
+		return JaroWinkler{Scale: 10}
+	case "jaccard":
+		return Jaccard{Scale: 10}
+	case "cosine":
+		return Cosine{Scale: 10}
+	case "monge-elkan":
+		return MongeElkan{}
+	case "name-rule":
+		return NameRule{Fallback: Levenshtein{}}
+	case "soundex":
+		return Soundex{}
+	default:
+		return nil
+	}
+}
+
+// Names lists the registered measure names.
+func Names() []string {
+	return []string{"levenshtein", "damerau", "jaro", "jaro-winkler",
+		"jaccard", "cosine", "monge-elkan", "name-rule", "soundex"}
+}

@@ -1,0 +1,99 @@
+package similarity
+
+import "strings"
+
+// Soundex is a phonetic measure: two strings are at distance 0 when every
+// token of one shares its Soundex code with the positionally corresponding
+// token of the other, and otherwise pay 2 per mismatching token (capped at
+// 6). Phonetic matching catches transcription variants that edit distance
+// misses ("Meier" vs "Mayer") and is a staple of bibliographic name
+// cleaning. Not strong.
+type Soundex struct{}
+
+func (Soundex) Name() string { return "soundex" }
+func (Soundex) Strong() bool { return false }
+
+func (s Soundex) Distance(x, y string) float64 {
+	if x == y {
+		return 0
+	}
+	tx := Tokenize(x)
+	ty := Tokenize(y)
+	if len(tx) == 0 && len(ty) == 0 {
+		return 0
+	}
+	long, short := tx, ty
+	if len(ty) > len(tx) {
+		long, short = ty, tx
+	}
+	var d float64
+	for i, a := range long {
+		if i >= len(short) {
+			d += 1 // missing token
+			continue
+		}
+		if SoundexCode(a) != SoundexCode(short[i]) {
+			d += 2
+		}
+	}
+	if d > 6 {
+		return 6
+	}
+	return d
+}
+
+// SoundexCode computes the classic 4-character Soundex code of a word
+// (letters only; non-ASCII letters are ignored for coding purposes).
+func SoundexCode(word string) string {
+	word = strings.ToUpper(word)
+	var letters []byte
+	for i := 0; i < len(word); i++ {
+		if word[i] >= 'A' && word[i] <= 'Z' {
+			letters = append(letters, word[i])
+		}
+	}
+	if len(letters) == 0 {
+		return "0000"
+	}
+	code := []byte{letters[0]}
+	prev := soundexDigit(letters[0])
+	for _, ch := range letters[1:] {
+		d := soundexDigit(ch)
+		switch {
+		case d == 0:
+			// vowels and h/w/y reset or pass through
+			if ch != 'H' && ch != 'W' {
+				prev = 0
+			}
+		case d != prev:
+			code = append(code, '0'+d)
+			prev = d
+		}
+		if len(code) == 4 {
+			break
+		}
+	}
+	for len(code) < 4 {
+		code = append(code, '0')
+	}
+	return string(code)
+}
+
+func soundexDigit(ch byte) byte {
+	switch ch {
+	case 'B', 'F', 'P', 'V':
+		return 1
+	case 'C', 'G', 'J', 'K', 'Q', 'S', 'X', 'Z':
+		return 2
+	case 'D', 'T':
+		return 3
+	case 'L':
+		return 4
+	case 'M', 'N':
+		return 5
+	case 'R':
+		return 6
+	default:
+		return 0
+	}
+}

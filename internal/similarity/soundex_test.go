@@ -1,0 +1,53 @@
+package similarity
+
+import "testing"
+
+func TestSoundexCodes(t *testing.T) {
+	cases := map[string]string{
+		"Robert":   "R163",
+		"Rupert":   "R163",
+		"Ashcraft": "A261",
+		"Ashcroft": "A261",
+		"Tymczak":  "T522",
+		"Pfister":  "P236",
+		"Honeyman": "H555",
+		"Meier":    "M600",
+		"Mayer":    "M600",
+		"":         "0000",
+		"123":      "0000",
+	}
+	for word, want := range cases {
+		if got := SoundexCode(word); got != want {
+			t.Errorf("SoundexCode(%q) = %q, want %q", word, got, want)
+		}
+	}
+}
+
+func TestSoundexDistance(t *testing.T) {
+	var s Soundex
+	if d := s.Distance("Robert Meier", "Rupert Mayer"); d != 0 {
+		t.Errorf("phonetically identical names = %g, want 0", d)
+	}
+	if d := s.Distance("Robert Meier", "Robert Zhang"); d != 2 {
+		t.Errorf("one mismatching token = %g, want 2", d)
+	}
+	if d := s.Distance("Robert", "Robert Meier"); d != 1 {
+		t.Errorf("missing token = %g, want 1", d)
+	}
+	if d := s.Distance("a b c d", "w x y z"); d != 6 {
+		t.Errorf("cap = %g, want 6", d)
+	}
+	if s.Distance("x", "x") != 0 {
+		t.Error("identity")
+	}
+	if s.Distance("Meier", "Mayer") != s.Distance("Mayer", "Meier") {
+		t.Error("symmetry")
+	}
+}
+
+func TestSoundexRegistered(t *testing.T) {
+	m := ByName("soundex")
+	if m == nil || m.Name() != "soundex" || m.Strong() {
+		t.Fatalf("soundex registration broken: %v", m)
+	}
+}

@@ -1,0 +1,87 @@
+package similarity
+
+import (
+	"fmt"
+	"testing"
+)
+
+func corpusTFIDF() *TFIDF {
+	docs := []string{
+		"Efficient Relational Query Processing for Database Systems",
+		"Scalable XML Query Processing in Database Systems",
+		"Database Systems Architecture for Streaming Data",
+		"Secure Database Systems in Practice",
+		"A Rare Gemstone Cutting Technique",
+	}
+	return NewTFIDF(1, docs)
+}
+
+func TestTFIDFStatistics(t *testing.T) {
+	m := corpusTFIDF()
+	if m.DocCount() != 5 {
+		t.Fatalf("DocCount = %d", m.DocCount())
+	}
+	if m.DocFrequency("database") != 4 {
+		t.Errorf("df(database) = %d, want 4", m.DocFrequency("database"))
+	}
+	if m.DocFrequency("gemstone") != 1 {
+		t.Errorf("df(gemstone) = %d, want 1", m.DocFrequency("gemstone"))
+	}
+	if m.DocFrequency("unknown-token") != 0 {
+		t.Errorf("df(unknown) = %d", m.DocFrequency("unknown-token"))
+	}
+}
+
+func TestTFIDFWeighting(t *testing.T) {
+	m := corpusTFIDF()
+	// Sharing only ubiquitous tokens keeps strings far apart; sharing a
+	// rare token pulls them together.
+	common := m.Distance("Database Systems", "Database Systems Architecture")
+	rare := m.Distance("Gemstone Catalog", "Gemstone Inventory")
+	ubiquitousOnly := m.Distance("Database Systems Alpha", "Database Systems Beta")
+	if !(common < ubiquitousOnly) {
+		t.Errorf("extra unshared token should increase distance: %g vs %g", common, ubiquitousOnly)
+	}
+	if !(rare < ubiquitousOnly) {
+		t.Errorf("shared rare token (%g) should bind tighter than shared common tokens (%g)", rare, ubiquitousOnly)
+	}
+	if d := m.Distance("same title", "same title"); d != 0 {
+		t.Errorf("identity distance = %g", d)
+	}
+	if d := m.Distance("alpha beta", "gamma delta"); d != 1 {
+		t.Errorf("disjoint distance = %g, want 1", d)
+	}
+	// Symmetry.
+	if m.Distance("a b", "b c") != m.Distance("b c", "a b") {
+		t.Error("asymmetric")
+	}
+}
+
+func TestTFIDFEdgeCases(t *testing.T) {
+	empty := NewTFIDF(0, nil)
+	if d := empty.Distance("", ""); d != 0 {
+		t.Errorf("empty identity = %g", d)
+	}
+	if d := empty.Distance("x", ""); d != 1 {
+		t.Errorf("vs empty = %g", d)
+	}
+	if empty.Name() != "tfidf" || empty.Strong() {
+		t.Error("metadata wrong")
+	}
+	// Works as a Measure through the generic interface.
+	var m Measure = corpusTFIDF()
+	if m.Distance("Database Systems", "Database Systems") != 0 {
+		t.Error("interface use broken")
+	}
+}
+
+func TestTFIDFScaling(t *testing.T) {
+	docs := []string{"a b", "c d"}
+	m1 := NewTFIDF(1, docs)
+	m10 := NewTFIDF(10, docs)
+	d1 := m1.Distance("a x", "a y")
+	d10 := m10.Distance("a x", "a y")
+	if fmt.Sprintf("%.6f", d10) != fmt.Sprintf("%.6f", d1*10) {
+		t.Errorf("scaling broken: %g vs %g", d10, d1*10)
+	}
+}

@@ -1,0 +1,269 @@
+// Package tax implements the TAX tree algebra of Jagadish et al. that the
+// paper extends: pattern-tree embeddings and witness trees (Section 2.1.1),
+// and the operators selection, projection, product, join, union,
+// intersection and difference (Section 2.1.2). The algebra is parameterised
+// by a condition Evaluator so that plain TAX (exact/contains matching) and
+// TOSS (SEO-aware matching, internal/core) share the same machinery.
+package tax
+
+import (
+	"fmt"
+
+	"repro/internal/pattern"
+	"repro/internal/tree"
+)
+
+// Binding maps pattern-node labels to data nodes: one embedding h.
+type Binding struct {
+	nodes []*tree.Node
+	idx   map[int]int
+}
+
+// Get returns the data node bound to the pattern label, or nil.
+func (b Binding) Get(label int) *tree.Node {
+	i, ok := b.idx[label]
+	if !ok {
+		return nil
+	}
+	return b.nodes[i]
+}
+
+// Evaluator decides atomic selection conditions for a given embedding.
+// Implementations exist for plain TAX (Baseline) and for TOSS
+// (internal/core.Evaluator).
+type Evaluator interface {
+	// EvalAtomic evaluates one atomic condition under the binding.
+	EvalAtomic(a *pattern.Atomic, b Binding) (bool, error)
+}
+
+// Compiled is a pattern tree prepared for repeated embedding search: labels
+// are mapped to dense indices and node-local conjunctive atoms are extracted
+// for candidate pre-filtering.
+type Compiled struct {
+	P      *pattern.Tree
+	labels []int
+	idx    map[int]int
+	// local[label] lists atoms mentioning only that label which occur on
+	// the top-level conjunctive spine of the condition; they must hold for
+	// any embedding, so they pre-filter candidates.
+	local map[int][]*pattern.Atomic
+}
+
+// Compile prepares a pattern tree for embedding search.
+func Compile(p *pattern.Tree) *Compiled {
+	c := &Compiled{P: p, idx: map[int]int{}, local: map[int][]*pattern.Atomic{}}
+	for _, n := range p.Nodes() {
+		c.idx[n.Label] = len(c.labels)
+		c.labels = append(c.labels, n.Label)
+	}
+	for _, atom := range conjunctiveSpine(p.Cond) {
+		ls := atom.Labels(nil)
+		if len(ls) == 0 {
+			continue
+		}
+		same := true
+		for _, l := range ls[1:] {
+			if l != ls[0] {
+				same = false
+				break
+			}
+		}
+		if same {
+			c.local[ls[0]] = append(c.local[ls[0]], atom)
+		}
+	}
+	return c
+}
+
+// conjunctiveSpine returns the atoms that appear as direct conjuncts of the
+// condition (recursing through And only) — these are necessary conditions
+// for the whole formula.
+func conjunctiveSpine(c pattern.Condition) []*pattern.Atomic {
+	var out []*pattern.Atomic
+	var rec func(pattern.Condition)
+	rec = func(c pattern.Condition) {
+		switch v := c.(type) {
+		case *pattern.Atomic:
+			out = append(out, v)
+		case *pattern.And:
+			for _, s := range v.Conds {
+				rec(s)
+			}
+		}
+	}
+	if c != nil {
+		rec(c)
+	}
+	return out
+}
+
+func (c *Compiled) newBinding() Binding {
+	return Binding{nodes: make([]*tree.Node, len(c.labels)), idx: c.idx}
+}
+
+func (b Binding) clone() Binding {
+	nodes := make([]*tree.Node, len(b.nodes))
+	copy(nodes, b.nodes)
+	return Binding{nodes: nodes, idx: b.idx}
+}
+
+// Embeddings enumerates every embedding of the pattern into the data tree
+// whose witness satisfies the pattern's condition under ev. The bindings are
+// returned in lexicographic preorder of the images.
+func (c *Compiled) Embeddings(t *tree.Tree, ev Evaluator) ([]Binding, error) {
+	if t == nil || t.Root == nil {
+		return nil, nil
+	}
+	// Candidate sets per pattern node from node-local atoms.
+	cand := map[int][]*tree.Node{}
+	var firstErr error
+	for _, pn := range c.P.Nodes() {
+		atoms := c.local[pn.Label]
+		var nodes []*tree.Node
+		t.Walk(func(n *tree.Node) bool {
+			ok, err := c.nodeSatisfies(atoms, pn.Label, n, ev)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if ok {
+				nodes = append(nodes, n)
+			}
+			return true
+		})
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		if len(nodes) == 0 {
+			return nil, nil
+		}
+		cand[pn.Label] = nodes
+	}
+
+	var out []Binding
+	binding := c.newBinding()
+	var assign func(order []*pattern.PNode, k int) error
+	assign = func(order []*pattern.PNode, k int) error {
+		if k == len(order) {
+			ok := true
+			var err error
+			if c.P.Cond != nil {
+				ok, err = evalCondition(c.P.Cond, binding, ev)
+				if err != nil {
+					return err
+				}
+			}
+			if ok {
+				out = append(out, binding.clone())
+			}
+			return nil
+		}
+		pn := order[k]
+		var pool []*tree.Node
+		if pn.Parent == nil {
+			pool = cand[pn.Label]
+		} else {
+			parentImg := binding.Get(pn.Parent.Label)
+			pool = childPool(parentImg, pn.EdgeIn, cand[pn.Label])
+		}
+		for _, n := range pool {
+			binding.nodes[c.idx[pn.Label]] = n
+			if err := assign(order, k+1); err != nil {
+				return err
+			}
+		}
+		binding.nodes[c.idx[pn.Label]] = nil
+		return nil
+	}
+	if err := assign(c.P.Nodes(), 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// childPool restricts candidates to children (pc) or proper descendants (ad)
+// of the parent image.
+func childPool(parent *tree.Node, kind pattern.EdgeKind, cand []*tree.Node) []*tree.Node {
+	var out []*tree.Node
+	for _, n := range cand {
+		switch kind {
+		case pattern.PC:
+			if n.Parent == parent {
+				out = append(out, n)
+			}
+		case pattern.AD:
+			if n.IsDescendantOf(parent) {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// nodeSatisfies checks node-local atoms against a tentative assignment of
+// label → n.
+func (c *Compiled) nodeSatisfies(atoms []*pattern.Atomic, label int, n *tree.Node, ev Evaluator) (bool, error) {
+	if len(atoms) == 0 {
+		return true, nil
+	}
+	b := c.newBinding()
+	b.nodes[c.idx[label]] = n
+	for _, a := range atoms {
+		ok, err := ev.EvalAtomic(a, b)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// evalCondition evaluates a full boolean condition under a binding.
+func evalCondition(c pattern.Condition, b Binding, ev Evaluator) (bool, error) {
+	switch v := c.(type) {
+	case *pattern.Atomic:
+		return ev.EvalAtomic(v, b)
+	case *pattern.And:
+		for _, s := range v.Conds {
+			ok, err := evalCondition(s, b, ev)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
+	case *pattern.Or:
+		for _, s := range v.Conds {
+			ok, err := evalCondition(s, b, ev)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	case *pattern.Not:
+		ok, err := evalCondition(v.Cond, b, ev)
+		return !ok, err
+	default:
+		return false, fmt.Errorf("tax: unknown condition type %T", c)
+	}
+}
+
+// EvalCondition is the exported form used by other packages (e.g. the TOSS
+// query executor post-filter).
+func EvalCondition(c pattern.Condition, b Binding, ev Evaluator) (bool, error) {
+	return evalCondition(c, b, ev)
+}
+
+// BindingOf builds a one-off binding from explicit label→node pairs; useful
+// in tests.
+func BindingOf(pairs map[int]*tree.Node) Binding {
+	b := Binding{idx: map[int]int{}}
+	for l, n := range pairs {
+		b.idx[l] = len(b.nodes)
+		b.nodes = append(b.nodes, n)
+	}
+	return b
+}

@@ -1,0 +1,112 @@
+package tax
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/pattern"
+	"repro/internal/tree"
+)
+
+// Baseline is the plain-TAX condition evaluator: no ontology, no similarity.
+// Following the paper's experimental setup ("for isa and similarTo
+// conditions, 'contains' and exact match are used for TAX respectively"),
+// ontology operators degrade to substring containment and the similarity
+// operator to exact equality:
+//
+//	=, !=            exact string (or integer) comparison
+//	<=, >=, <, >     integer comparison when both sides parse, else string
+//	~                exact equality
+//	isa, part_of,
+//	below, above,
+//	instance_of,
+//	subtype_of       substring containment (above is reversed containment)
+//	contains         substring containment
+type Baseline struct{}
+
+// EvalAtomic implements Evaluator.
+func (Baseline) EvalAtomic(a *pattern.Atomic, b Binding) (bool, error) {
+	x, err := resolveTerm(a.X, b)
+	if err != nil {
+		return false, err
+	}
+	y, err := resolveTerm(a.Y, b)
+	if err != nil {
+		return false, err
+	}
+	switch a.Op {
+	case pattern.OpEq:
+		return x == y, nil
+	case pattern.OpNe:
+		return x != y, nil
+	case pattern.OpSim:
+		return x == y, nil
+	case pattern.OpLe:
+		return CompareValues(x, y) <= 0, nil
+	case pattern.OpGe:
+		return CompareValues(x, y) >= 0, nil
+	case pattern.OpLt:
+		return CompareValues(x, y) < 0, nil
+	case pattern.OpGt:
+		return CompareValues(x, y) > 0, nil
+	case pattern.OpContains, pattern.OpIsa, pattern.OpPartOf,
+		pattern.OpBelow, pattern.OpInstanceOf, pattern.OpSubtypeOf:
+		return containsFold(x, y), nil
+	case pattern.OpAbove:
+		return containsFold(y, x), nil
+	default:
+		return false, fmt.Errorf("tax: unsupported operator %q", a.Op)
+	}
+}
+
+// resolveTerm produces the term's value under the binding (the X^h mapping
+// of Section 5.1.1 restricted to what plain TAX can see).
+func resolveTerm(t pattern.Term, b Binding) (string, error) {
+	switch t.Kind {
+	case pattern.TermAttr:
+		n := b.Get(t.Label)
+		if n == nil {
+			return "", fmt.Errorf("tax: unbound pattern node #%d", t.Label)
+		}
+		return nodeAttr(n, t.Attr), nil
+	case pattern.TermValue:
+		return t.Value, nil
+	case pattern.TermType:
+		return t.Type, nil
+	default:
+		return "", fmt.Errorf("tax: unknown term kind %d", t.Kind)
+	}
+}
+
+func nodeAttr(n *tree.Node, attr string) string {
+	if attr == "tag" {
+		return n.Tag
+	}
+	return n.Content
+}
+
+// CompareValues compares as integers when both parse, else as strings. It
+// is the ordering plain TAX uses and the fallback ordering TOSS uses when no
+// least common supertype exists.
+func CompareValues(x, y string) int {
+	xi, errX := strconv.ParseInt(strings.TrimSpace(x), 10, 64)
+	yi, errY := strconv.ParseInt(strings.TrimSpace(y), 10, 64)
+	if errX == nil && errY == nil {
+		switch {
+		case xi < yi:
+			return -1
+		case xi > yi:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(x, y)
+}
+
+// containsFold is case-insensitive substring containment; the "contains"
+// operator the TAX baseline substitutes for ontology conditions.
+func containsFold(haystack, needle string) bool {
+	return strings.Contains(strings.ToLower(haystack), strings.ToLower(needle))
+}

@@ -1,0 +1,128 @@
+package tax
+
+import (
+	"repro/internal/pattern"
+	"repro/internal/tree"
+)
+
+// ProdRootTag is the tag of the fresh root node the product operator
+// introduces, named as in the paper's Figure 7.
+const ProdRootTag = "tax_prod_root"
+
+// Select implements TAX selection σ_{P,SL}: for every tree of db and every
+// embedding of p satisfying p's condition, emit the witness tree; pattern
+// labels in sl carry their full subtrees into the output.
+func Select(dst *tree.Collection, db []*tree.Tree, p *pattern.Tree, sl []int, ev Evaluator) ([]*tree.Tree, error) {
+	c := Compile(p)
+	var out []*tree.Tree
+	for _, t := range db {
+		bindings, err := c.Embeddings(t, ev)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range bindings {
+			if wt := c.WitnessTree(dst, t, b, sl); wt != nil {
+				out = append(out, wt)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Project implements TAX projection π_{P,PL}: per input tree, keep every
+// node that is the image of a PL-label under some satisfying embedding,
+// structured by the closest-ancestor relation. Each induced forest root
+// becomes one output tree (the paper's Figure 5 shows a collection).
+func Project(dst *tree.Collection, db []*tree.Tree, p *pattern.Tree, pl []int, ev Evaluator) ([]*tree.Tree, error) {
+	c := Compile(p)
+	var out []*tree.Tree
+	for _, t := range db {
+		bindings, err := c.Embeddings(t, ev)
+		if err != nil {
+			return nil, err
+		}
+		selected := map[*tree.Node]bool{}
+		for _, b := range bindings {
+			for _, l := range pl {
+				if img := b.Get(l); img != nil {
+					selected[img] = true
+				}
+			}
+		}
+		out = append(out, buildFromNodeSet(dst, t, selected, nil)...)
+	}
+	return out, nil
+}
+
+// Product implements the TAX cross product: one tree per pair, under a fresh
+// tax_prod_root node whose left child is the first tree's root and right
+// child the second's.
+func Product(dst *tree.Collection, a, b []*tree.Tree) []*tree.Tree {
+	out := make([]*tree.Tree, 0, len(a)*len(b))
+	for _, ta := range a {
+		for _, tb := range b {
+			root := dst.NewNode(ProdRootTag, "")
+			root.AddChild(ta.Root.CloneInto(dst))
+			root.AddChild(tb.Root.CloneInto(dst))
+			out = append(out, &tree.Tree{Root: root})
+		}
+	}
+	return out
+}
+
+// Join is condition join: product followed by selection (Section 2.1.2).
+func Join(dst *tree.Collection, a, b []*tree.Tree, p *pattern.Tree, sl []int, ev Evaluator) ([]*tree.Tree, error) {
+	return Select(dst, Product(dst, a, b), p, sl, ev)
+}
+
+// Union returns the set union of two tree collections under the value-based
+// tree equality of Section 5.1.2, preserving first-occurrence order.
+func Union(dst *tree.Collection, a, b []*tree.Tree) []*tree.Tree {
+	seen := map[string]bool{}
+	var out []*tree.Tree
+	for _, t := range append(append([]*tree.Tree{}, a...), b...) {
+		k := t.Canonical()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, t.CloneInto(dst))
+		}
+	}
+	return out
+}
+
+// Intersect returns trees of a that are equal to some tree of b,
+// deduplicated.
+func Intersect(dst *tree.Collection, a, b []*tree.Tree) []*tree.Tree {
+	inB := map[string]bool{}
+	for _, t := range b {
+		inB[t.Canonical()] = true
+	}
+	seen := map[string]bool{}
+	var out []*tree.Tree
+	for _, t := range a {
+		k := t.Canonical()
+		if inB[k] && !seen[k] {
+			seen[k] = true
+			out = append(out, t.CloneInto(dst))
+		}
+	}
+	return out
+}
+
+// Difference returns trees of a equal to no tree of b, deduplicated.
+func Difference(dst *tree.Collection, a, b []*tree.Tree) []*tree.Tree {
+	inB := map[string]bool{}
+	for _, t := range b {
+		inB[t.Canonical()] = true
+	}
+	seen := map[string]bool{}
+	var out []*tree.Tree
+	for _, t := range a {
+		k := t.Canonical()
+		if !inB[k] && !seen[k] {
+			seen[k] = true
+			out = append(out, t.CloneInto(dst))
+		}
+	}
+	return out
+}

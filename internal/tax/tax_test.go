@@ -1,0 +1,527 @@
+package tax
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pattern"
+	"repro/internal/tree"
+)
+
+// dblpXML is the flavour of the paper's Figure 1 sample.
+const dblpXML = `<dblp>
+  <inproceedings key="d1">
+    <author>Paolo Ciancarini</author>
+    <author>Robert Tolksdorf</author>
+    <title>Coordinating Multiagent Applications on the WWW</title>
+    <pages>362-366</pages>
+    <year>1999</year>
+    <booktitle>SIGMOD Conference</booktitle>
+  </inproceedings>
+  <inproceedings key="d2">
+    <author>Elisa Bertino</author>
+    <title>Securing XML Documents</title>
+    <pages>121-130</pages>
+    <year>2000</year>
+    <booktitle>SIGMOD Conference</booktitle>
+  </inproceedings>
+  <inproceedings key="d3">
+    <author>Sanjay Agrawal</author>
+    <title>Materialized View and Index Selection Tool for Microsoft SQL Server 2000</title>
+    <pages>608</pages>
+    <year>2001</year>
+    <booktitle>SIGMOD Conference</booktitle>
+  </inproceedings>
+</dblp>`
+
+const sigmodXML = `<ProceedingsPage>
+  <articles>
+    <article key="s1">
+      <title>Materialized View and Index Selection Tool for Microsoft SQL Server 2000</title>
+      <author>S. Agrawal</author>
+      <conference>International Conference on Management of Data</conference>
+      <confYear>2001</confYear>
+    </article>
+  </articles>
+</ProceedingsPage>`
+
+func loadDoc(t *testing.T, xml string) (*tree.Collection, *tree.Tree) {
+	t.Helper()
+	c := tree.NewCollection()
+	tr, err := c.ParseXMLString(xml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, tr
+}
+
+func TestEmbeddingsPC(t *testing.T) {
+	_, doc := loadDoc(t, dblpXML)
+	// Figure 3's pattern: inproceedings with a year child equal to 1999.
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "year" & #2.content = "1999"`)
+	c := Compile(p)
+	bindings, err := c.Embeddings(doc, Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bindings) != 1 {
+		t.Fatalf("embeddings = %d, want 1", len(bindings))
+	}
+	b := bindings[0]
+	if b.Get(1).Tag != "inproceedings" || b.Get(2).Content != "1999" {
+		t.Error("binding maps wrong nodes")
+	}
+	if b.Get(99) != nil {
+		t.Error("unknown label should be nil")
+	}
+}
+
+func TestEmbeddingsAD(t *testing.T) {
+	_, doc := loadDoc(t, dblpXML)
+	// ad edge: year anywhere below dblp.
+	p := pattern.MustParse(`#1 ad #2 :: #1.tag = "dblp" & #2.tag = "year"`)
+	c := Compile(p)
+	bindings, err := c.Embeddings(doc, Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bindings) != 3 {
+		t.Fatalf("ad embeddings = %d, want 3", len(bindings))
+	}
+	// pc edge from dblp to year must find nothing (year is a grandchild).
+	p2 := pattern.MustParse(`#1 pc #2 :: #1.tag = "dblp" & #2.tag = "year"`)
+	bindings2, err := Compile(p2).Embeddings(doc, Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bindings2) != 0 {
+		t.Fatalf("pc should not match grandchildren, got %d", len(bindings2))
+	}
+}
+
+func TestEmbeddingsMultiAuthor(t *testing.T) {
+	_, doc := loadDoc(t, dblpXML)
+	// d1 has two authors: two embeddings for an author pattern node.
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #1.tag != "x"`)
+	bindings, err := Compile(p).Embeddings(doc, Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bindings) != 4 {
+		t.Fatalf("embeddings = %d, want 4 (2+1+1)", len(bindings))
+	}
+}
+
+func TestEmbeddingsDisjunction(t *testing.T) {
+	_, doc := loadDoc(t, dblpXML)
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "year" & (#2.content = "1999" | #2.content = "2000")`)
+	bindings, err := Compile(p).Embeddings(doc, Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bindings) != 2 {
+		t.Fatalf("disjunction embeddings = %d, want 2", len(bindings))
+	}
+	// Negation.
+	p2 := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "year" & !(#2.content = "1999")`)
+	bindings2, err := Compile(p2).Embeddings(doc, Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bindings2) != 2 {
+		t.Fatalf("negation embeddings = %d, want 2", len(bindings2))
+	}
+}
+
+// TestSelectWitness reproduces the selection semantics of Example 3: the
+// witness tree contains the pattern images; SL labels carry full subtrees.
+func TestSelectWitness(t *testing.T) {
+	_, doc := loadDoc(t, dblpXML)
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "year" & #2.content = "1999"`)
+	dst := tree.NewCollection()
+
+	// Without SL: witness holds just the two matched nodes.
+	out, err := Select(dst, []*tree.Tree{doc}, p, nil, Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("selection returned %d trees", len(out))
+	}
+	if got := out[0].NodeCount(); got != 2 {
+		t.Errorf("witness without SL has %d nodes, want 2", got)
+	}
+	if out[0].Root.Tag != "inproceedings" {
+		t.Errorf("witness root = %q", out[0].Root.Tag)
+	}
+
+	// With SL = {1}: all descendants of the inproceedings node come along.
+	out2, err := Select(dst, []*tree.Tree{doc}, p, []int{1}, Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out2[0].NodeCount(); got != 8 {
+		t.Errorf("witness with SL has %d nodes, want 8 (@key+2 authors+title+pages+year+booktitle+root)", got)
+	}
+	if got := out2[0].Root.ChildContent("title"); got == "" {
+		t.Error("full subtree missing title")
+	}
+}
+
+// TestWitnessOrderPreserved: witness trees preserve the source preorder
+// (Section 2.1.1, third bullet).
+func TestWitnessOrderPreserved(t *testing.T) {
+	_, doc := loadDoc(t, dblpXML)
+	p := pattern.MustParse(`#1 pc #2, #1 pc #3 :: #1.tag = "inproceedings" & #2.tag = "year" & #3.tag = "author" & #3.content = "Paolo Ciancarini"`)
+	dst := tree.NewCollection()
+	out, err := Select(dst, []*tree.Tree{doc}, p, nil, Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("selection returned %d trees", len(out))
+	}
+	kids := out[0].Root.Children
+	if len(kids) != 2 || kids[0].Tag != "author" || kids[1].Tag != "year" {
+		t.Fatalf("witness children out of source order: %v %v", kids[0].Tag, kids[1].Tag)
+	}
+}
+
+// TestProject mirrors Example 5: project authors and titles of 1999 papers.
+func TestProject(t *testing.T) {
+	_, doc := loadDoc(t, dblpXML)
+	p := pattern.MustParse(`#1 pc #2, #1 pc #3 :: #1.tag = "inproceedings" & #2.tag = "year" & #2.content = "1999" & #3.tag = "author"`)
+	dst := tree.NewCollection()
+	out, err := Project(dst, []*tree.Tree{doc}, p, []int{1, 3}, Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("projection returned %d trees, want 1", len(out))
+	}
+	root := out[0].Root
+	if root.Tag != "inproceedings" {
+		t.Errorf("projection root = %q", root.Tag)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("projection kept %d children, want the 2 authors", len(root.Children))
+	}
+	for _, c := range root.Children {
+		if c.Tag != "author" {
+			t.Errorf("projected child = %q", c.Tag)
+		}
+	}
+	// PL without the ancestor: forest of authors, one output tree each.
+	out2, err := Project(dst, []*tree.Tree{doc}, p, []int{3}, Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out2) != 2 {
+		t.Fatalf("author-only projection returned %d trees, want 2", len(out2))
+	}
+}
+
+// TestProductAndJoin mirrors Example 6 / Figure 7: join DBLP and the SIGMOD
+// page on equal titles.
+func TestProductAndJoin(t *testing.T) {
+	_, dblp := loadDoc(t, dblpXML)
+	_, sigmod := loadDoc(t, sigmodXML)
+	dst := tree.NewCollection()
+	prod := Product(dst, []*tree.Tree{dblp}, []*tree.Tree{sigmod})
+	if len(prod) != 1 {
+		t.Fatalf("product size = %d", len(prod))
+	}
+	root := prod[0].Root
+	if root.Tag != ProdRootTag || len(root.Children) != 2 {
+		t.Fatalf("product root malformed: %q with %d children", root.Tag, len(root.Children))
+	}
+	if root.Children[0].Tag != "dblp" || root.Children[1].Tag != "ProceedingsPage" {
+		t.Error("product children order wrong")
+	}
+
+	p := pattern.MustParse(`#1 pc #2, #1 pc #3, #2 ad #4, #3 ad #5 :: ` +
+		`#1.tag = "tax_prod_root" & #2.tag = "dblp" & #3.tag = "ProceedingsPage" & ` +
+		`#4.tag = "title" & #5.tag = "title" & #4.content = #5.content`)
+	out, err := Join(dst, []*tree.Tree{dblp}, []*tree.Tree{sigmod}, p, nil, Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("join returned %d witnesses, want 1 (the Microsoft SQL Server paper)", len(out))
+	}
+	titles := out[0].FindTag("title")
+	if len(titles) != 2 {
+		t.Fatalf("join witness has %d titles", len(titles))
+	}
+	if titles[0].Content != titles[1].Content {
+		t.Error("joined titles differ")
+	}
+}
+
+func makeTrees(t *testing.T, contents ...string) (*tree.Collection, []*tree.Tree) {
+	t.Helper()
+	c := tree.NewCollection()
+	var out []*tree.Tree
+	for _, s := range contents {
+		tr, err := c.ParseXMLString(fmt.Sprintf("<item>%s</item>", s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, tr)
+	}
+	return c, out
+}
+
+func TestSetOperations(t *testing.T) {
+	_, ab := makeTrees(t, "a", "b")
+	_, bc := makeTrees(t, "b", "c")
+	dst := tree.NewCollection()
+
+	union := Union(dst, ab, bc)
+	if len(union) != 3 {
+		t.Errorf("union size = %d, want 3", len(union))
+	}
+	inter := Intersect(dst, ab, bc)
+	if len(inter) != 1 || inter[0].Root.Content != "b" {
+		t.Errorf("intersection wrong: %d", len(inter))
+	}
+	diff := Difference(dst, ab, bc)
+	if len(diff) != 1 || diff[0].Root.Content != "a" {
+		t.Errorf("difference wrong: %d", len(diff))
+	}
+	// Duplicates collapse.
+	_, dup := makeTrees(t, "x", "x", "x")
+	if got := Union(dst, dup, nil); len(got) != 1 {
+		t.Errorf("union should deduplicate, got %d", len(got))
+	}
+}
+
+func TestBaselineOperators(t *testing.T) {
+	c := tree.NewCollection()
+	n := c.NewNode("title", "Securing XML Documents")
+	b := BindingOf(map[int]*tree.Node{1: n})
+	cases := []struct {
+		cond string
+		want bool
+	}{
+		{`#1.content = "Securing XML Documents"`, true},
+		{`#1.content = "securing xml documents"`, false}, // = is case-sensitive
+		{`#1.content != "x"`, true},
+		{`#1.content ~ "Securing XML Documents"`, true}, // TAX ~ is exact
+		{`#1.content ~ "Securing XML Document"`, false},
+		{`#1.content contains "XML"`, true},
+		{`#1.content contains "xml"`, true}, // contains is case-insensitive
+		{`#1.content isa "xml"`, true},      // isa degrades to contains
+		{`#1.content below "xml"`, true},
+		// above reverses the containment: the longer string is the more
+		// specific term, which sits below the shorter one.
+		{`#1.content above "Securing XML Documents and more"`, true},
+		{`#1.content above "Unrelated"`, false},
+		{`#1.tag = "title"`, true},
+		{`#1.content part_of "XML"`, true},
+	}
+	for _, tc := range cases {
+		cond := pattern.MustParseCondition(tc.cond)
+		got, err := EvalCondition(cond, b, Baseline{})
+		if err != nil {
+			t.Errorf("%s: %v", tc.cond, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.cond, got, tc.want)
+		}
+	}
+}
+
+func TestBaselineNumericComparison(t *testing.T) {
+	c := tree.NewCollection()
+	n := c.NewNode("year", "1999")
+	b := BindingOf(map[int]*tree.Node{1: n})
+	cases := []struct {
+		cond string
+		want bool
+	}{
+		{`#1.content <= "2000"`, true},
+		{`#1.content >= "2000"`, false},
+		{`#1.content < "2000"`, true},
+		{`#1.content > "200"`, true}, // numeric, not lexicographic
+	}
+	for _, tc := range cases {
+		cond := pattern.MustParseCondition(tc.cond)
+		got, err := EvalCondition(cond, b, Baseline{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.cond, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.cond, got, tc.want)
+		}
+	}
+	if CompareValues("9", "10") >= 0 {
+		t.Error("numeric comparison broken")
+	}
+	if CompareValues("a", "b") >= 0 {
+		t.Error("string comparison broken")
+	}
+}
+
+func TestBaselineUnboundError(t *testing.T) {
+	b := BindingOf(nil)
+	cond := pattern.MustParseCondition(`#1.content = "x"`)
+	if _, err := EvalCondition(cond, b, Baseline{}); err == nil {
+		t.Error("unbound node must error")
+	}
+}
+
+// randomItems builds random single-node trees over a tiny alphabet so that
+// collisions occur.
+func randomItems(rng *rand.Rand, c *tree.Collection, n int) []*tree.Tree {
+	var out []*tree.Tree
+	for i := 0; i < n; i++ {
+		node := c.NewNode("item", string(rune('a'+rng.Intn(4))))
+		tr := &tree.Tree{Root: node}
+		c.Add(tr)
+		out = append(out, tr)
+	}
+	return out
+}
+
+// TestQuickSetOpIdentities: classical identities hold under tree value
+// equality: A∪B = B∪A (as sets), A∩B ⊆ A, A−A = ∅, (A−B)∩B = ∅.
+func TestQuickSetOpIdentities(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := tree.NewCollection()
+		a := randomItems(rng, c, rng.Intn(6))
+		b := randomItems(rng, c, rng.Intn(6))
+		dst := tree.NewCollection()
+		canon := func(ts []*tree.Tree) map[string]bool {
+			m := map[string]bool{}
+			for _, t := range ts {
+				m[t.Canonical()] = true
+			}
+			return m
+		}
+		eq := func(x, y map[string]bool) bool {
+			if len(x) != len(y) {
+				return false
+			}
+			for k := range x {
+				if !y[k] {
+					return false
+				}
+			}
+			return true
+		}
+		if !eq(canon(Union(dst, a, b)), canon(Union(dst, b, a))) {
+			return false
+		}
+		interSet := canon(Intersect(dst, a, b))
+		aSet := canon(a)
+		for k := range interSet {
+			if !aSet[k] {
+				return false
+			}
+		}
+		if len(Difference(dst, a, a)) != 0 {
+			return false
+		}
+		dmb := canon(Difference(dst, a, b))
+		bSet := canon(b)
+		for k := range dmb {
+			if bSet[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWitnessPreordersSource: for random embeddings, witness trees list
+// nodes in source preorder.
+func TestQuickWitnessPreordersSource(t *testing.T) {
+	_, doc := loadDoc(t, dblpXML)
+	p := pattern.MustParse(`#1 pc #2, #1 pc #3 :: #1.tag = "inproceedings" & #2.tag = "author" & #3.tag = "booktitle"`)
+	dst := tree.NewCollection()
+	out, err := Select(dst, []*tree.Tree{doc}, p, nil, Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range out {
+		kids := w.Root.Children
+		if len(kids) != 2 || kids[0].Tag != "author" || kids[1].Tag != "booktitle" {
+			t.Fatalf("witness order wrong: %v", kids)
+		}
+	}
+}
+
+// TestWitnessClosestAncestorCollapse: with ad edges, intermediate source
+// nodes are absent from the witness, so the witness parent is the closest
+// selected ancestor — dblp adopts year directly even though inproceedings
+// sits between them in the source.
+func TestWitnessClosestAncestorCollapse(t *testing.T) {
+	_, doc := loadDoc(t, dblpXML)
+	p := pattern.MustParse(`#1 ad #2 :: #1.tag = "dblp" & #2.tag = "year" & #2.content = "1999"`)
+	dst := tree.NewCollection()
+	out, err := Select(dst, []*tree.Tree{doc}, p, nil, Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("witnesses = %d", len(out))
+	}
+	w := out[0]
+	if w.Root.Tag != "dblp" {
+		t.Fatalf("witness root = %q", w.Root.Tag)
+	}
+	if len(w.Root.Children) != 1 || w.Root.Children[0].Tag != "year" {
+		t.Fatalf("witness should collapse to dblp -> year, got %v", w.Root.Children)
+	}
+	if w.NodeCount() != 2 {
+		t.Fatalf("witness nodes = %d, want 2", w.NodeCount())
+	}
+}
+
+// TestSelectMultipleSLLabels: several SL labels each carry their subtree.
+func TestSelectMultipleSLLabels(t *testing.T) {
+	_, doc := loadDoc(t, dblpXML)
+	p := pattern.MustParse(`#1 pc #2, #1 pc #3 :: #1.tag = "inproceedings" & #2.tag = "year" & #2.content = "1999" & #3.tag = "author" & #3.content = "Paolo Ciancarini"`)
+	dst := tree.NewCollection()
+	out, err := Select(dst, []*tree.Tree{doc}, p, []int{2, 3}, Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("witnesses = %d", len(out))
+	}
+	// year and author are leaves, so SL adds nothing beyond themselves; the
+	// witness holds root + 2 children.
+	if out[0].NodeCount() != 3 {
+		t.Errorf("witness nodes = %d, want 3", out[0].NodeCount())
+	}
+	// SL on the root carries everything.
+	out2, err := Select(dst, []*tree.Tree{doc}, p, []int{1}, Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2[0].NodeCount() != 8 {
+		t.Errorf("root-SL witness nodes = %d, want 8", out2[0].NodeCount())
+	}
+}
+
+// TestProjectNoMatches: projection over trees without matches yields nothing.
+func TestProjectNoMatches(t *testing.T) {
+	_, doc := loadDoc(t, dblpXML)
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "nonexistent"`)
+	out, err := Project(tree.NewCollection(), []*tree.Tree{doc}, p, []int{2}, Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("projection = %d trees, want 0", len(out))
+	}
+}

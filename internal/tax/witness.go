@@ -1,0 +1,123 @@
+package tax
+
+import (
+	"sort"
+
+	"repro/internal/tree"
+)
+
+// preorderIndex assigns each node of t its preorder position; witness trees
+// must preserve this order (Section 2.1.1).
+func preorderIndex(t *tree.Tree) map[*tree.Node]int {
+	idx := map[*tree.Node]int{}
+	i := 0
+	t.Walk(func(n *tree.Node) bool {
+		idx[n] = i
+		i++
+		return true
+	})
+	return idx
+}
+
+// buildFromNodeSet materialises the induced forest over a set of source
+// nodes: each selected node becomes a copy whose parent is the copy of its
+// closest selected ancestor; sibling order follows source preorder. Nodes
+// whose entire subtree should be included (selection's SL semantics) are
+// listed in fullSubtree. Returns the forest roots in source preorder.
+func buildFromNodeSet(dst *tree.Collection, t *tree.Tree, selected map[*tree.Node]bool, fullSubtree map[*tree.Node]bool) []*tree.Tree {
+	if len(selected) == 0 {
+		return nil
+	}
+	order := preorderIndex(t)
+	nodes := make([]*tree.Node, 0, len(selected))
+	for n := range selected {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return order[nodes[i]] < order[nodes[j]] })
+
+	copies := map[*tree.Node]*tree.Node{}
+	var roots []*tree.Tree
+	for _, n := range nodes {
+		var cp *tree.Node
+		if fullSubtree[n] {
+			cp = n.CloneInto(dst)
+		} else {
+			cp = dst.NewNode(n.Tag, n.Content)
+			cp.TagType = n.TagType
+			cp.ContentType = n.ContentType
+		}
+		copies[n] = cp
+		anc := closestSelectedAncestor(n, selected)
+		if anc == nil {
+			roots = append(roots, &tree.Tree{Root: cp})
+			continue
+		}
+		parentCp := copies[anc]
+		if fullSubtree[anc] {
+			// The ancestor was cloned with its whole subtree; n's copy is
+			// already inside it (n is a descendant of anc). Drop the
+			// standalone copy to avoid duplication.
+			continue
+		}
+		parentCp.AddChild(cp)
+	}
+	return roots
+}
+
+func closestSelectedAncestor(n *tree.Node, selected map[*tree.Node]bool) *tree.Node {
+	for p := n.Parent; p != nil; p = p.Parent {
+		if selected[p] {
+			return p
+		}
+	}
+	return nil
+}
+
+// WitnessTree materialises the witness tree of one embedding: the images of
+// all pattern nodes, structured by the closest-ancestor relation, preserving
+// source order. Pattern labels listed in slDescendants additionally carry
+// their full subtrees (the SL semantics of selection).
+func (c *Compiled) WitnessTree(dst *tree.Collection, t *tree.Tree, b Binding, slDescendants []int) *tree.Tree {
+	selected := map[*tree.Node]bool{}
+	full := map[*tree.Node]bool{}
+	for _, pn := range c.P.Nodes() {
+		img := b.Get(pn.Label)
+		if img != nil {
+			selected[img] = true
+		}
+	}
+	for _, l := range slDescendants {
+		if img := b.Get(l); img != nil {
+			full[img] = true
+		}
+	}
+	// Nodes inside a full subtree are covered by the clone; remove them from
+	// the explicit set so buildFromNodeSet does not duplicate them — except
+	// the subtree roots themselves.
+	for n := range selected {
+		if n2 := insideFullSubtree(n, full); n2 {
+			delete(selected, n)
+		}
+	}
+	for n := range full {
+		selected[n] = true
+	}
+	roots := buildFromNodeSet(dst, t, selected, full)
+	if len(roots) == 0 {
+		return nil
+	}
+	// The pattern root's image is an ancestor of every other image, so the
+	// forest has exactly one root.
+	return roots[0]
+}
+
+// insideFullSubtree reports whether n is a proper descendant of a node whose
+// full subtree is being cloned.
+func insideFullSubtree(n *tree.Node, full map[*tree.Node]bool) bool {
+	for p := n.Parent; p != nil; p = p.Parent {
+		if full[p] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,73 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func benchDoc(papers int) string {
+	var b strings.Builder
+	b.WriteString("<dblp>")
+	for i := 0; i < papers; i++ {
+		fmt.Fprintf(&b, `<inproceedings key="p%d"><author>Author %d</author><title>Title number %d</title><year>%d</year></inproceedings>`,
+			i, i, i, 1990+i%10)
+	}
+	b.WriteString("</dblp>")
+	return b.String()
+}
+
+func BenchmarkParseXML(b *testing.B) {
+	doc := benchDoc(500)
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := NewCollection()
+		if _, err := c.ParseXMLString(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteXML(b *testing.B) {
+	c := NewCollection()
+	t, err := c.ParseXMLString(benchDoc(500))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if t.XMLString() == "" {
+			b.Fatal("empty serialisation")
+		}
+	}
+}
+
+func BenchmarkCanonical(b *testing.B) {
+	c := NewCollection()
+	t, err := c.ParseXMLString(benchDoc(200))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if t.Canonical() == "" {
+			b.Fatal("empty canonical form")
+		}
+	}
+}
+
+func BenchmarkWalk(b *testing.B) {
+	c := NewCollection()
+	t, err := c.ParseXMLString(benchDoc(500))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		n := 0
+		t.Walk(func(*Node) bool { n++; return true })
+		if n == 0 {
+			b.Fatal("walk visited nothing")
+		}
+	}
+}

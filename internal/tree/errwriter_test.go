@@ -1,0 +1,42 @@
+package tree
+
+import (
+	"errors"
+	"testing"
+)
+
+// failWriter fails after n bytes, exercising serialisation error paths.
+type failWriter struct {
+	remaining int
+}
+
+var errBoom = errors.New("boom")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if len(p) > w.remaining {
+		n := w.remaining
+		w.remaining = 0
+		return n, errBoom
+	}
+	w.remaining -= len(p)
+	return len(p), nil
+}
+
+func TestWriteXMLPropagatesErrors(t *testing.T) {
+	c := NewCollection()
+	tr, err := c.ParseXMLString(`<a attr="v"><b>hello</b><c/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(tr.XMLString())
+	// Failing at every possible prefix length must surface the error, never
+	// panic, and never report success.
+	for budget := 0; budget < total; budget++ {
+		if err := tr.WriteXML(&failWriter{remaining: budget}); err == nil {
+			t.Fatalf("budget %d: expected write error", budget)
+		}
+	}
+	if err := tr.WriteXML(&failWriter{remaining: total}); err != nil {
+		t.Fatalf("full budget should succeed: %v", err)
+	}
+}

@@ -1,0 +1,33 @@
+package tree
+
+import "testing"
+
+// FuzzParseXML checks the XML reader never panics, and that whatever it
+// accepts serialises and re-parses to an equal tree.
+func FuzzParseXML(f *testing.F) {
+	for _, seed := range []string{
+		`<a/>`,
+		`<a>text</a>`,
+		`<dblp><inproceedings key="p1"><author>J. Ullman</author></inproceedings></dblp>`,
+		`<a>x<b/>y</a>`,
+		`<a attr="v&quot;w"><b>&lt;tag&gt;</b></a>`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c := NewCollection()
+		t1, err := c.ParseXMLString(src)
+		if err != nil {
+			return
+		}
+		out := t1.XMLString()
+		c2 := NewCollection()
+		t2, err := c2.ParseXMLString(out)
+		if err != nil {
+			t.Fatalf("serialised form of accepted input does not parse: %v\ninput: %q\noutput: %q", err, src, out)
+		}
+		if !Equal(t1, t2) {
+			t.Fatalf("round trip changed the tree:\ninput: %q\nfirst: %q\nsecond: %q", src, out, t2.XMLString())
+		}
+	})
+}

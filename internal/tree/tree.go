@@ -1,0 +1,283 @@
+// Package tree implements the ordered labelled tree data model that TAX and
+// TOSS operate over: the "semistructured instance" of Definition 1 in the
+// paper. A Node carries a tag (the label of the edge to its parent) and a
+// content string, each with an associated type name; a Tree is a single
+// rooted ordered tree; a Collection is a finite set of trees (a
+// "semistructured database").
+package tree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node uniquely within a Collection. IDs are assigned in
+// preorder when trees are built or parsed, so comparing IDs of two nodes in
+// the same tree compares their preorder positions.
+type NodeID int64
+
+// Node is a single object of a semistructured instance. Tag is the label of
+// the edge between the node and its parent; Content is the node's text
+// content (empty for pure element nodes). TagType and ContentType name the
+// types assigned by the instance's typing function t (Definition 1); they
+// default to "string".
+type Node struct {
+	ID          NodeID
+	Tag         string
+	Content     string
+	TagType     string
+	ContentType string
+	Parent      *Node
+	Children    []*Node
+}
+
+// Tree is a rooted ordered tree.
+type Tree struct {
+	Root *Node
+}
+
+// Collection is a finite ordered set of trees — a semistructured database.
+type Collection struct {
+	Trees  []*Tree
+	nextID NodeID
+}
+
+// NewCollection returns an empty collection.
+func NewCollection() *Collection {
+	return &Collection{}
+}
+
+// NewNode allocates a node with a fresh ID in this collection. Types default
+// to "string".
+func (c *Collection) NewNode(tag, content string) *Node {
+	c.nextID++
+	return &Node{
+		ID:          c.nextID,
+		Tag:         tag,
+		Content:     content,
+		TagType:     "string",
+		ContentType: "string",
+	}
+}
+
+// Add appends a tree to the collection.
+func (c *Collection) Add(t *Tree) {
+	c.Trees = append(c.Trees, t)
+}
+
+// Size returns the number of trees in the collection.
+func (c *Collection) Size() int { return len(c.Trees) }
+
+// NodeCount returns the total number of nodes over all trees.
+func (c *Collection) NodeCount() int {
+	n := 0
+	for _, t := range c.Trees {
+		t.Walk(func(*Node) bool { n++; return true })
+	}
+	return n
+}
+
+// AddChild appends child to parent, wiring the Parent pointer.
+func (n *Node) AddChild(child *Node) {
+	child.Parent = n
+	n.Children = append(n.Children, child)
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Depth returns the number of edges from the node to its root.
+func (n *Node) Depth() int {
+	d := 0
+	for p := n.Parent; p != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+// Root returns the root of the tree containing n.
+func (n *Node) Root() *Node {
+	r := n
+	for r.Parent != nil {
+		r = r.Parent
+	}
+	return r
+}
+
+// IsDescendantOf reports whether n is a proper descendant of anc.
+func (n *Node) IsDescendantOf(anc *Node) bool {
+	for p := n.Parent; p != nil; p = p.Parent {
+		if p == anc {
+			return true
+		}
+	}
+	return false
+}
+
+// Child returns the first child with the given tag, or nil.
+func (n *Node) Child(tag string) *Node {
+	for _, c := range n.Children {
+		if c.Tag == tag {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildContent returns the content of the first child with the given tag.
+func (n *Node) ChildContent(tag string) string {
+	if c := n.Child(tag); c != nil {
+		return c.Content
+	}
+	return ""
+}
+
+// Walk visits n and its descendants in preorder. The visitor returns false to
+// prune the subtree below the visited node (the node itself is still
+// visited).
+func (n *Node) Walk(visit func(*Node) bool) {
+	if n == nil {
+		return
+	}
+	if !visit(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(visit)
+	}
+}
+
+// Walk visits every node of the tree in preorder.
+func (t *Tree) Walk(visit func(*Node) bool) {
+	if t == nil {
+		return
+	}
+	t.Root.Walk(visit)
+}
+
+// Preorder returns all nodes of the tree in preorder.
+func (t *Tree) Preorder() []*Node {
+	var out []*Node
+	t.Walk(func(n *Node) bool { out = append(out, n); return true })
+	return out
+}
+
+// NodeCount returns the number of nodes in the tree.
+func (t *Tree) NodeCount() int {
+	n := 0
+	t.Walk(func(*Node) bool { n++; return true })
+	return n
+}
+
+// Find returns all nodes in the tree for which pred holds, in preorder.
+func (t *Tree) Find(pred func(*Node) bool) []*Node {
+	var out []*Node
+	t.Walk(func(n *Node) bool {
+		if pred(n) {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// FindTag returns all nodes with the given tag, in preorder.
+func (t *Tree) FindTag(tag string) []*Node {
+	return t.Find(func(n *Node) bool { return n.Tag == tag })
+}
+
+// CloneInto deep-copies the subtree rooted at n, assigning fresh IDs from
+// dst. The clone's Parent is nil.
+func (n *Node) CloneInto(dst *Collection) *Node {
+	cp := dst.NewNode(n.Tag, n.Content)
+	cp.TagType = n.TagType
+	cp.ContentType = n.ContentType
+	for _, c := range n.Children {
+		cp.AddChild(c.CloneInto(dst))
+	}
+	return cp
+}
+
+// CloneInto deep-copies the tree, assigning fresh IDs from dst.
+func (t *Tree) CloneInto(dst *Collection) *Tree {
+	return &Tree{Root: t.Root.CloneInto(dst)}
+}
+
+// Equal reports whether two trees are equal in the sense of Section 5.1.2 of
+// the paper: there is an order- and edge-preserving isomorphism between the
+// node sets under which tags, contents and types agree at corresponding
+// nodes.
+func Equal(a, b *Tree) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return nodeEqual(a.Root, b.Root)
+}
+
+func nodeEqual(a, b *Node) bool {
+	if a.Tag != b.Tag || a.Content != b.Content ||
+		a.TagType != b.TagType || a.ContentType != b.ContentType ||
+		len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !nodeEqual(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Canonical returns a canonical string encoding of the tree: equal trees (in
+// the Equal sense) have identical encodings. Used by the set-theoretic
+// algebra operators to deduplicate.
+func (t *Tree) Canonical() string {
+	var b strings.Builder
+	canonNode(&b, t.Root)
+	return b.String()
+}
+
+func canonNode(b *strings.Builder, n *Node) {
+	fmt.Fprintf(b, "(%q:%q:%q:%q", n.Tag, n.TagType, n.Content, n.ContentType)
+	for _, c := range n.Children {
+		canonNode(b, c)
+	}
+	b.WriteByte(')')
+}
+
+// Terms returns the sorted set of distinct tags and non-empty contents
+// appearing in the collection. This is the vocabulary the Ontology Maker
+// builds hierarchies over.
+func (c *Collection) Terms() []string {
+	set := map[string]bool{}
+	for _, t := range c.Trees {
+		t.Walk(func(n *Node) bool {
+			set[n.Tag] = true
+			if n.Content != "" {
+				set[n.Content] = true
+			}
+			return true
+		})
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tags returns the sorted set of distinct tags in the collection.
+func (c *Collection) Tags() []string {
+	set := map[string]bool{}
+	for _, t := range c.Trees {
+		t.Walk(func(n *Node) bool { set[n.Tag] = true; return true })
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,225 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildSample(t *testing.T) (*Collection, *Tree) {
+	t.Helper()
+	c := NewCollection()
+	root := c.NewNode("inproceedings", "")
+	a1 := c.NewNode("author", "Paolo Ciancarini")
+	a2 := c.NewNode("author", "Robert Tolksdorf")
+	title := c.NewNode("title", "Coordinating Multiagent Applications")
+	year := c.NewNode("year", "1999")
+	root.AddChild(a1)
+	root.AddChild(a2)
+	root.AddChild(title)
+	root.AddChild(year)
+	tr := &Tree{Root: root}
+	c.Add(tr)
+	return c, tr
+}
+
+func TestNodeBasics(t *testing.T) {
+	_, tr := buildSample(t)
+	root := tr.Root
+	if root.IsLeaf() {
+		t.Error("root should not be a leaf")
+	}
+	if !root.Children[0].IsLeaf() {
+		t.Error("author should be a leaf")
+	}
+	if got := root.Children[0].Depth(); got != 1 {
+		t.Errorf("Depth = %d, want 1", got)
+	}
+	if got := root.Depth(); got != 0 {
+		t.Errorf("root Depth = %d, want 0", got)
+	}
+	if root.Children[2].Root() != root {
+		t.Error("Root() did not return the tree root")
+	}
+	if !root.Children[1].IsDescendantOf(root) {
+		t.Error("child should be descendant of root")
+	}
+	if root.IsDescendantOf(root) {
+		t.Error("a node is not its own descendant")
+	}
+	if root.IsDescendantOf(root.Children[0]) {
+		t.Error("root is not a descendant of its child")
+	}
+}
+
+func TestChildLookup(t *testing.T) {
+	_, tr := buildSample(t)
+	if got := tr.Root.ChildContent("year"); got != "1999" {
+		t.Errorf("ChildContent(year) = %q, want 1999", got)
+	}
+	if got := tr.Root.ChildContent("author"); got != "Paolo Ciancarini" {
+		t.Errorf("ChildContent(author) = %q (want first author)", got)
+	}
+	if tr.Root.Child("missing") != nil {
+		t.Error("Child(missing) should be nil")
+	}
+	if tr.Root.ChildContent("missing") != "" {
+		t.Error("ChildContent(missing) should be empty")
+	}
+}
+
+func TestPreorderAndWalk(t *testing.T) {
+	_, tr := buildSample(t)
+	nodes := tr.Preorder()
+	if len(nodes) != 5 {
+		t.Fatalf("Preorder returned %d nodes, want 5", len(nodes))
+	}
+	wantTags := []string{"inproceedings", "author", "author", "title", "year"}
+	for i, n := range nodes {
+		if n.Tag != wantTags[i] {
+			t.Errorf("preorder[%d].Tag = %q, want %q", i, n.Tag, wantTags[i])
+		}
+	}
+	// IDs are assigned in creation order here, which matches preorder.
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i].ID <= nodes[i-1].ID {
+			t.Errorf("IDs not increasing at %d", i)
+		}
+	}
+	// Pruning: stop below the root.
+	count := 0
+	tr.Walk(func(n *Node) bool {
+		count++
+		return n.Tag != "inproceedings"
+	})
+	if count != 1 {
+		t.Errorf("pruned walk visited %d nodes, want 1", count)
+	}
+}
+
+func TestFind(t *testing.T) {
+	_, tr := buildSample(t)
+	authors := tr.FindTag("author")
+	if len(authors) != 2 {
+		t.Fatalf("FindTag(author) = %d nodes, want 2", len(authors))
+	}
+	old := tr.Find(func(n *Node) bool { return n.Content == "1999" })
+	if len(old) != 1 || old[0].Tag != "year" {
+		t.Fatalf("Find by content failed: %v", old)
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	c, tr := buildSample(t)
+	if got := tr.NodeCount(); got != 5 {
+		t.Errorf("tree NodeCount = %d, want 5", got)
+	}
+	if got := c.NodeCount(); got != 5 {
+		t.Errorf("collection NodeCount = %d, want 5", got)
+	}
+	if c.Size() != 1 {
+		t.Errorf("collection Size = %d, want 1", c.Size())
+	}
+}
+
+func TestCloneInto(t *testing.T) {
+	_, tr := buildSample(t)
+	dst := NewCollection()
+	cp := tr.CloneInto(dst)
+	if !Equal(tr, cp) {
+		t.Fatal("clone is not Equal to original")
+	}
+	// Fresh IDs, independent structure.
+	if cp.Root == tr.Root {
+		t.Fatal("clone shares root pointer")
+	}
+	cp.Root.Children[0].Content = "changed"
+	if tr.Root.Children[0].Content == "changed" {
+		t.Fatal("mutating clone affected original")
+	}
+	if cp.Root.Children[0].Parent != cp.Root {
+		t.Fatal("clone parent pointers not wired")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	c1, t1 := buildSample(t)
+	_, t2 := buildSample(t)
+	if !Equal(t1, t2) {
+		t.Fatal("identically built trees should be Equal")
+	}
+	if !Equal(nil, nil) {
+		t.Fatal("nil trees are Equal")
+	}
+	if Equal(t1, nil) {
+		t.Fatal("tree != nil")
+	}
+	// Content difference.
+	t2.Root.Children[3].Content = "2000"
+	if Equal(t1, t2) {
+		t.Fatal("differing content should break equality")
+	}
+	// Order matters.
+	_, t3 := buildSample(t)
+	t3.Root.Children[0], t3.Root.Children[1] = t3.Root.Children[1], t3.Root.Children[0]
+	if Equal(t1, t3) {
+		t.Fatal("sibling order must matter")
+	}
+	// Type difference.
+	_, t4 := buildSample(t)
+	t4.Root.Children[3].ContentType = "int"
+	if Equal(t1, t4) {
+		t.Fatal("type difference should break equality")
+	}
+	// Extra child.
+	_, t5 := buildSample(t)
+	t5.Root.AddChild(c1.NewNode("pages", "1-10"))
+	if Equal(t1, t5) {
+		t.Fatal("extra child should break equality")
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	_, t1 := buildSample(t)
+	_, t2 := buildSample(t)
+	if t1.Canonical() != t2.Canonical() {
+		t.Fatal("equal trees must have equal canonical forms")
+	}
+	t2.Root.Children[0].Content = "Other"
+	if t1.Canonical() == t2.Canonical() {
+		t.Fatal("different trees must have different canonical forms")
+	}
+	// Canonical must be injective w.r.t. structure: (a(b))(c) vs (a(b(c))).
+	c := NewCollection()
+	x1 := c.NewNode("a", "")
+	x1.AddChild(c.NewNode("b", ""))
+	flat := &Tree{Root: x1}
+	x2 := c.NewNode("a", "")
+	b2 := c.NewNode("b", "")
+	x2.AddChild(b2)
+	nested := &Tree{Root: x2}
+	b2.AddChild(c.NewNode("c", ""))
+	x1Sib := c.NewNode("c", "")
+	x1.AddChild(x1Sib)
+	if flat.Canonical() == nested.Canonical() {
+		t.Fatal("canonical form must distinguish nesting from siblings")
+	}
+}
+
+func TestTermsAndTags(t *testing.T) {
+	c, _ := buildSample(t)
+	tags := c.Tags()
+	want := []string{"author", "inproceedings", "title", "year"}
+	if strings.Join(tags, ",") != strings.Join(want, ",") {
+		t.Errorf("Tags = %v, want %v", tags, want)
+	}
+	terms := c.Terms()
+	found := map[string]bool{}
+	for _, term := range terms {
+		found[term] = true
+	}
+	for _, want := range []string{"author", "1999", "Paolo Ciancarini"} {
+		if !found[want] {
+			t.Errorf("Terms missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package tree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseXML reads one XML document from r and appends the resulting tree to
+// the collection. Element names become tags; character data directly inside
+// an element becomes that element's content (whitespace-trimmed). Attributes
+// are represented as child nodes whose tag is "@"+name, matching how the
+// paper treats every piece of data as a tree object.
+func (c *Collection) ParseXML(r io.Reader) (*Tree, error) {
+	dec := xml.NewDecoder(r)
+	var stack []*Node
+	var root *Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tree: parse xml: %w", err)
+		}
+		switch tk := tok.(type) {
+		case xml.StartElement:
+			n := c.NewNode(tk.Name.Local, "")
+			for _, a := range tk.Attr {
+				attr := c.NewNode("@"+a.Name.Local, a.Value)
+				n.AddChild(attr)
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("tree: multiple roots in document")
+				}
+				root = n
+			} else {
+				stack[len(stack)-1].AddChild(n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("tree: unbalanced end element %q", tk.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) == 0 {
+				continue
+			}
+			text := strings.TrimSpace(string(tk))
+			if text == "" {
+				continue
+			}
+			top := stack[len(stack)-1]
+			if top.Content == "" {
+				top.Content = text
+			} else {
+				top.Content += " " + text
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("tree: empty document")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("tree: unclosed element %q", stack[len(stack)-1].Tag)
+	}
+	t := &Tree{Root: root}
+	c.Add(t)
+	return t, nil
+}
+
+// ParseXMLString parses a document held in a string.
+func (c *Collection) ParseXMLString(s string) (*Tree, error) {
+	return c.ParseXML(strings.NewReader(s))
+}
+
+// WriteXML serialises the tree as XML to w. Attribute children ("@name") are
+// emitted as attributes; other children as nested elements; Content as
+// character data preceding the children.
+func (t *Tree) WriteXML(w io.Writer) error {
+	if err := writeNodeXML(w, t.Root, 0); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// XMLString returns the XML serialisation of the tree.
+func (t *Tree) XMLString() string {
+	var b strings.Builder
+	if err := t.WriteXML(&b); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+func writeNodeXML(w io.Writer, n *Node, depth int) error {
+	indent := strings.Repeat("  ", depth)
+	var attrs strings.Builder
+	var elems []*Node
+	for _, c := range n.Children {
+		if strings.HasPrefix(c.Tag, "@") {
+			fmt.Fprintf(&attrs, ` %s="%s"`, xmlName(c.Tag[1:]), escapeAttr(c.Content))
+		} else {
+			elems = append(elems, c)
+		}
+	}
+	if len(elems) == 0 && n.Content == "" {
+		_, err := fmt.Fprintf(w, "%s<%s%s/>", indent, xmlName(n.Tag), attrs.String())
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s<%s%s>", indent, xmlName(n.Tag), attrs.String()); err != nil {
+		return err
+	}
+	if n.Content != "" {
+		if _, err := io.WriteString(w, escapeXML(n.Content)); err != nil {
+			return err
+		}
+	}
+	if len(elems) > 0 {
+		for _, c := range elems {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+			if err := writeNodeXML(w, c, depth+1); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "\n%s", indent); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "</%s>", xmlName(n.Tag))
+	return err
+}
+
+// xmlName maps synthetic tags (like the TAX product root) to valid XML names.
+func xmlName(tag string) string {
+	if tag == "" {
+		return "node"
+	}
+	var b strings.Builder
+	for i, r := range tag {
+		ok := r == '_' || r == '-' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func escapeXML(s string) string {
+	var b strings.Builder
+	if err := xml.EscapeText(&b, []byte(s)); err != nil {
+		return s
+	}
+	return b.String()
+}
+
+// escapeAttr escapes text for use inside a double-quoted XML attribute.
+func escapeAttr(s string) string {
+	return strings.ReplaceAll(escapeXML(s), `"`, "&quot;")
+}
+
+// ByteSize returns the size in bytes of the XML serialisation of every tree
+// in the collection. The scalability experiments use this to report data
+// sizes the way the paper does (file bytes).
+func (c *Collection) ByteSize() int {
+	n := 0
+	for _, t := range c.Trees {
+		n += len(t.XMLString())
+	}
+	return n
+}

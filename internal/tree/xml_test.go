@@ -1,0 +1,172 @@
+package tree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseXMLBasic(t *testing.T) {
+	c := NewCollection()
+	tr, err := c.ParseXMLString(`<dblp>
+		<inproceedings key="x1">
+			<author>Jeffrey D. Ullman</author>
+			<title>Principles &amp; Practice</title>
+		</inproceedings>
+	</dblp>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root.Tag != "dblp" {
+		t.Errorf("root tag = %q", tr.Root.Tag)
+	}
+	inpro := tr.Root.Children[0]
+	if inpro.Tag != "inproceedings" {
+		t.Fatalf("child tag = %q", inpro.Tag)
+	}
+	if got := inpro.ChildContent("@key"); got != "x1" {
+		t.Errorf("@key = %q, want x1", got)
+	}
+	if got := inpro.ChildContent("author"); got != "Jeffrey D. Ullman" {
+		t.Errorf("author = %q", got)
+	}
+	if got := inpro.ChildContent("title"); got != "Principles & Practice" {
+		t.Errorf("title = %q (entity not decoded?)", got)
+	}
+	if c.Size() != 1 {
+		t.Errorf("collection holds %d trees, want 1", c.Size())
+	}
+}
+
+func TestParseXMLMixedWhitespace(t *testing.T) {
+	c := NewCollection()
+	tr, err := c.ParseXMLString("<a>\n  hello\n  <b/>\n  world\n</a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root.Content != "hello world" {
+		t.Errorf("content = %q, want %q", tr.Root.Content, "hello world")
+	}
+}
+
+func TestParseXMLErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"empty", ""},
+		{"unclosed", "<a><b></a>"},
+		{"text only", "just text"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewCollection()
+			if _, err := c.ParseXMLString(tc.src); err == nil {
+				t.Errorf("ParseXMLString(%q) should fail", tc.src)
+			}
+		})
+	}
+}
+
+func TestWriteXMLRoundTrip(t *testing.T) {
+	src := `<dblp><inproceedings key="x1"><author>A &amp; B</author><title>T</title><empty/></inproceedings></dblp>`
+	c := NewCollection()
+	t1, err := c.ParseXMLString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := t1.XMLString()
+	c2 := NewCollection()
+	t2, err := c2.ParseXMLString(out)
+	if err != nil {
+		t.Fatalf("re-parsing serialised output: %v\n%s", err, out)
+	}
+	if !Equal(t1, t2) {
+		t.Fatalf("round trip not equal:\nfirst:  %s\nsecond: %s", t1.XMLString(), t2.XMLString())
+	}
+}
+
+func TestXMLNameSanitisation(t *testing.T) {
+	c := NewCollection()
+	root := c.NewNode("tax prod root!", "")
+	root.AddChild(c.NewNode("1bad", "x"))
+	tr := &Tree{Root: root}
+	out := tr.XMLString()
+	c2 := NewCollection()
+	if _, err := c2.ParseXMLString(out); err != nil {
+		t.Fatalf("sanitised output should parse: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "tax_prod_root_") {
+		t.Errorf("expected sanitised tag in %q", out)
+	}
+}
+
+func TestByteSize(t *testing.T) {
+	c := NewCollection()
+	if c.ByteSize() != 0 {
+		t.Error("empty collection should have zero size")
+	}
+	if _, err := c.ParseXMLString("<a><b>hi</b></a>"); err != nil {
+		t.Fatal(err)
+	}
+	if c.ByteSize() <= 0 {
+		t.Error("ByteSize should be positive after adding a document")
+	}
+}
+
+// randomTree builds a random tree for the round-trip property test.
+func randomTree(c *Collection, rng *rand.Rand, depth int) *Node {
+	tags := []string{"a", "b", "c", "article", "author"}
+	contents := []string{"", "x", "hello world", "J. Ullman", "1999", "a<b&c>\"d\""}
+	n := c.NewNode(tags[rng.Intn(len(tags))], contents[rng.Intn(len(contents))])
+	if depth > 0 {
+		for i := 0; i < rng.Intn(4); i++ {
+			n.AddChild(randomTree(c, rng, depth-1))
+		}
+	}
+	return n
+}
+
+func TestQuickXMLRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCollection()
+		t1 := &Tree{Root: randomTree(c, rng, 4)}
+		out := t1.XMLString()
+		c2 := NewCollection()
+		t2, err := c2.ParseXMLString(out)
+		if err != nil {
+			t.Logf("seed %d: parse error %v in %q", seed, err, out)
+			return false
+		}
+		if !Equal(t1, t2) {
+			t.Logf("seed %d: round trip mismatch\n%s\nvs\n%s", seed, out, t2.XMLString())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCanonicalEquality(t *testing.T) {
+	// Canonical() agrees with Equal(): clones share canonical form;
+	// perturbed trees differ.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCollection()
+		t1 := &Tree{Root: randomTree(c, rng, 3)}
+		cp := t1.CloneInto(NewCollection())
+		if t1.Canonical() != cp.Canonical() {
+			return false
+		}
+		// Perturb one node's content.
+		nodes := cp.Preorder()
+		nodes[rng.Intn(len(nodes))].Content += "!"
+		return t1.Canonical() != cp.Canonical() && !Equal(t1, cp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

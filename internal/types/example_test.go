@@ -1,0 +1,27 @@
+package types_test
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Conversion functions compose automatically along the subtype hierarchy,
+// as the paper's closure conditions require.
+func ExampleSystem_Convert() {
+	s := types.NewSystem()
+	s.MustDeclareUnit("cm", "mm", 10)
+	mm, _ := s.Convert("2.5", "cm", "mm")
+	back, _ := s.Convert("25", "mm", "cm")
+	fmt.Println(mm, back)
+	// Output:
+	// 25 2.5
+}
+
+func ExampleSystem_LeastCommonSupertype() {
+	s := types.NewSystem()
+	lcs, ok := s.LeastCommonSupertype("int", "string")
+	fmt.Println(lcs, ok)
+	// Output:
+	// string true
+}

@@ -1,0 +1,304 @@
+// Package types implements the typed-value machinery of Section 5 of the
+// paper: a set T of types with domains, type hierarchies, and conversion
+// functions τ1→τ2 with the closure conditions the paper imposes (identity
+// conversions exist; conversions compose; a conversion exists along every
+// hierarchy edge).
+package types
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ontology"
+)
+
+// ConvFunc converts a value of one type into a value of another. Conversion
+// functions are total on the source domain; a value outside the domain
+// yields an error.
+type ConvFunc func(value string) (string, error)
+
+// Type describes one member of T.
+type Type struct {
+	Name string
+	// Contains reports domain membership, dom(τ). Nil means "any string".
+	Contains func(value string) bool
+	// Compare orders two values of the domain: negative/zero/positive like
+	// strings.Compare. Nil means lexicographic comparison.
+	Compare func(a, b string) int
+}
+
+// System is a set of types, a type hierarchy (subtype ordering), and a
+// registry of conversion functions closed under identity and composition.
+type System struct {
+	types map[string]*Type
+	conv  map[[2]string]ConvFunc
+	hier  *ontology.Hierarchy
+}
+
+// NewSystem returns a system pre-populated with the base types "string" and
+// "int" (int ≤ string via decimal rendering, so heterogeneous comparisons
+// have a least common supertype).
+func NewSystem() *System {
+	s := &System{
+		types: map[string]*Type{},
+		conv:  map[[2]string]ConvFunc{},
+		hier:  ontology.NewHierarchy(),
+	}
+	s.MustRegister(&Type{Name: "string"})
+	s.MustRegister(&Type{
+		Name:     "int",
+		Contains: isInt,
+		Compare:  compareInt,
+	})
+	if err := s.DeclareSubtype("int", "string", func(v string) (string, error) { return v, nil }); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func isInt(v string) bool {
+	_, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+	return err == nil
+}
+
+func compareInt(a, b string) int {
+	x, errA := strconv.ParseInt(strings.TrimSpace(a), 10, 64)
+	y, errB := strconv.ParseInt(strings.TrimSpace(b), 10, 64)
+	if errA != nil || errB != nil {
+		return strings.Compare(a, b)
+	}
+	switch {
+	case x < y:
+		return -1
+	case x > y:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Register adds a type. Registering a duplicate name is an error.
+func (s *System) Register(t *Type) error {
+	if t.Name == "" {
+		return fmt.Errorf("types: empty type name")
+	}
+	if _, dup := s.types[t.Name]; dup {
+		return fmt.Errorf("types: duplicate type %q", t.Name)
+	}
+	s.types[t.Name] = t
+	s.hier.AddNode(t.Name)
+	// Identity conversion, as required by the closure conditions.
+	s.conv[[2]string{t.Name, t.Name}] = func(v string) (string, error) { return v, nil }
+	return nil
+}
+
+// MustRegister is Register but panics on error.
+func (s *System) MustRegister(t *Type) {
+	if err := s.Register(t); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns a registered type, or nil.
+func (s *System) Lookup(name string) *Type { return s.types[name] }
+
+// Has reports whether the named type is registered.
+func (s *System) Has(name string) bool { return s.types[name] != nil }
+
+// Names lists the registered type names, sorted.
+func (s *System) Names() []string {
+	out := make([]string, 0, len(s.types))
+	for n := range s.types {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Hierarchy exposes the subtype hierarchy (read-only use intended).
+func (s *System) Hierarchy() *ontology.Hierarchy { return s.hier }
+
+// DeclareSubtype records sub ≤ sup in the type hierarchy together with the
+// mandatory conversion function sub→sup ("for all hierarchies H, if τ1 ≤_H
+// τ2 then there exists a conversion function τ1 2 τ2"). The transitive
+// compositions are added eagerly so that the closure conditions hold.
+func (s *System) DeclareSubtype(sub, sup string, f ConvFunc) error {
+	if s.types[sub] == nil || s.types[sup] == nil {
+		return fmt.Errorf("types: subtype declaration %s <= %s references unregistered type", sub, sup)
+	}
+	if f == nil {
+		return fmt.Errorf("types: subtype declaration %s <= %s requires a conversion function", sub, sup)
+	}
+	if err := s.hier.AddEdge(sub, sup); err != nil {
+		return err
+	}
+	s.setConv(sub, sup, f)
+	// Close under composition: everything below sub now converts to
+	// everything at or above sup, and sub itself converts to everything
+	// above sup.
+	for _, lo := range s.hier.Below(sub) {
+		loToSub := s.conv[[2]string{lo, sub}]
+		if loToSub == nil {
+			continue
+		}
+		for _, hi := range s.hier.Above(sup) {
+			supToHi := s.conv[[2]string{sup, hi}]
+			if supToHi == nil {
+				continue
+			}
+			if _, have := s.conv[[2]string{lo, hi}]; have && !(lo == sub && hi == sup) {
+				continue // keep the existing composition (assumed equivalent)
+			}
+			s.setConv(lo, hi, compose(loToSub, f, supToHi))
+		}
+	}
+	return nil
+}
+
+func (s *System) setConv(from, to string, f ConvFunc) {
+	s.conv[[2]string{from, to}] = f
+}
+
+func compose(fs ...ConvFunc) ConvFunc {
+	return func(v string) (string, error) {
+		var err error
+		for _, f := range fs {
+			v, err = f(v)
+			if err != nil {
+				return "", err
+			}
+		}
+		return v, nil
+	}
+}
+
+// Convert converts a value from one type to another, if a conversion
+// function exists.
+func (s *System) Convert(value, from, to string) (string, error) {
+	f := s.conv[[2]string{from, to}]
+	if f == nil {
+		return "", fmt.Errorf("types: no conversion %s -> %s", from, to)
+	}
+	return f(value)
+}
+
+// CanConvert reports whether a conversion function from→to exists.
+func (s *System) CanConvert(from, to string) bool {
+	return s.conv[[2]string{from, to}] != nil
+}
+
+// Subtype reports sub ≤ sup in the type hierarchy (reflexive).
+func (s *System) Subtype(sub, sup string) bool { return s.hier.Leq(sub, sup) }
+
+// LeastCommonSupertype returns the least upper bound of a and b in the type
+// hierarchy, if one exists (Section 5.1.1: needed to well-type comparisons).
+func (s *System) LeastCommonSupertype(a, b string) (string, bool) {
+	if !s.Has(a) || !s.Has(b) {
+		return "", false
+	}
+	upA := s.hier.Above(a)
+	common := make([]string, 0, len(upA))
+	for _, t := range upA {
+		if s.hier.Leq(b, t) {
+			common = append(common, t)
+		}
+	}
+	if len(common) == 0 {
+		return "", false
+	}
+	// The least element of common: the one below all others.
+	for _, cand := range common {
+		least := true
+		for _, other := range common {
+			if !s.hier.Leq(cand, other) {
+				least = false
+				break
+			}
+		}
+		if least {
+			return cand, true
+		}
+	}
+	return "", false
+}
+
+// CompareAs compares two raw values after converting both to the given
+// common type, using that type's ordering.
+func (s *System) CompareAs(a, aType, b, bType, common string) (int, error) {
+	ca, err := s.Convert(a, aType, common)
+	if err != nil {
+		return 0, err
+	}
+	cb, err := s.Convert(b, bType, common)
+	if err != nil {
+		return 0, err
+	}
+	t := s.types[common]
+	if t == nil {
+		return 0, fmt.Errorf("types: unknown common type %q", common)
+	}
+	if t.Compare != nil {
+		return t.Compare(ca, cb), nil
+	}
+	return strings.Compare(ca, cb), nil
+}
+
+// InDomain reports whether value ∈ dom(typ).
+func (s *System) InDomain(value, typ string) bool {
+	t := s.types[typ]
+	if t == nil {
+		return false
+	}
+	if t.Contains == nil {
+		return true
+	}
+	return t.Contains(value)
+}
+
+// MustDeclareUnit registers a numeric unit type (a scaled int) and its
+// conversions with a named base unit: 1 unit = factor base-units. Useful for
+// the paper's mm/cm and currency examples and exercised by tests.
+func (s *System) MustDeclareUnit(name, base string, factor float64) {
+	s.MustRegister(&Type{Name: name, Contains: isNumeric, Compare: compareNumeric})
+	if !s.Has(base) {
+		s.MustRegister(&Type{Name: base, Contains: isNumeric, Compare: compareNumeric})
+	}
+	mul := func(f float64) ConvFunc {
+		return func(v string) (string, error) {
+			x, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				return "", fmt.Errorf("types: %q is not numeric: %v", v, err)
+			}
+			return strconv.FormatFloat(x*f, 'f', -1, 64), nil
+		}
+	}
+	if err := s.DeclareSubtype(name, base, mul(factor)); err != nil {
+		panic(err)
+	}
+	// The reverse conversion exists too (units are interconvertible) even
+	// though the hierarchy records only name ≤ base.
+	s.setConv(base, name, mul(1/factor))
+}
+
+func isNumeric(v string) bool {
+	_, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+	return err == nil
+}
+
+func compareNumeric(a, b string) int {
+	x, errA := strconv.ParseFloat(strings.TrimSpace(a), 64)
+	y, errB := strconv.ParseFloat(strings.TrimSpace(b), 64)
+	if errA != nil || errB != nil {
+		return strings.Compare(a, b)
+	}
+	switch {
+	case x < y:
+		return -1
+	case x > y:
+		return 1
+	default:
+		return 0
+	}
+}

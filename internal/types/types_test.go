@@ -1,0 +1,219 @@
+package types
+
+import (
+	"testing"
+)
+
+func TestDefaults(t *testing.T) {
+	s := NewSystem()
+	if !s.Has("string") || !s.Has("int") {
+		t.Fatal("base types missing")
+	}
+	if !s.Subtype("int", "string") {
+		t.Error("int should be a subtype of string")
+	}
+	if s.Subtype("string", "int") {
+		t.Error("string is not a subtype of int")
+	}
+	if !s.Subtype("int", "int") {
+		t.Error("subtype is reflexive")
+	}
+	got, err := s.Convert("42", "int", "string")
+	if err != nil || got != "42" {
+		t.Errorf("int->string conversion: %q, %v", got, err)
+	}
+	// Identity conversions exist for every registered type.
+	got, err = s.Convert("x", "string", "string")
+	if err != nil || got != "x" {
+		t.Errorf("identity conversion: %q, %v", got, err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	s := NewSystem()
+	if err := s.Register(&Type{Name: ""}); err == nil {
+		t.Error("empty name must fail")
+	}
+	if err := s.Register(&Type{Name: "int"}); err == nil {
+		t.Error("duplicate must fail")
+	}
+	if err := s.DeclareSubtype("nope", "string", func(v string) (string, error) { return v, nil }); err == nil {
+		t.Error("unregistered subtype must fail")
+	}
+	s.MustRegister(&Type{Name: "year"})
+	if err := s.DeclareSubtype("year", "string", nil); err == nil {
+		t.Error("nil conversion function must fail")
+	}
+}
+
+func TestDomains(t *testing.T) {
+	s := NewSystem()
+	if !s.InDomain("42", "int") || s.InDomain("forty-two", "int") {
+		t.Error("int domain check wrong")
+	}
+	if !s.InDomain("anything", "string") {
+		t.Error("string domain is universal")
+	}
+	if s.InDomain("x", "nope") {
+		t.Error("unknown type has no domain")
+	}
+}
+
+func TestLeastCommonSupertype(t *testing.T) {
+	s := NewSystem()
+	if lcs, ok := s.LeastCommonSupertype("int", "string"); !ok || lcs != "string" {
+		t.Errorf("LCS(int,string) = %q, %v", lcs, ok)
+	}
+	if lcs, ok := s.LeastCommonSupertype("int", "int"); !ok || lcs != "int" {
+		t.Errorf("LCS(int,int) = %q, %v", lcs, ok)
+	}
+	s.MustRegister(&Type{Name: "island"})
+	if _, ok := s.LeastCommonSupertype("int", "island"); ok {
+		t.Error("disconnected types have no LCS")
+	}
+	if _, ok := s.LeastCommonSupertype("int", "ghost"); ok {
+		t.Error("unknown type has no LCS")
+	}
+}
+
+func TestCompareAs(t *testing.T) {
+	s := NewSystem()
+	// Integers compare numerically, not lexicographically.
+	cmp, err := s.CompareAs("9", "int", "10", "int", "int")
+	if err != nil || cmp >= 0 {
+		t.Errorf("9 < 10 as ints, got %d (%v)", cmp, err)
+	}
+	// As strings they compare lexicographically.
+	cmp, err = s.CompareAs("9", "string", "10", "string", "string")
+	if err != nil || cmp <= 0 {
+		t.Errorf("\"9\" > \"10\" as strings, got %d (%v)", cmp, err)
+	}
+	if _, err := s.CompareAs("a", "string", "b", "string", "ghost"); err == nil {
+		t.Error("unknown common type must fail")
+	}
+}
+
+func TestUnits(t *testing.T) {
+	s := NewSystem()
+	s.MustDeclareUnit("cm", "mm", 10)
+	got, err := s.Convert("2.5", "cm", "mm")
+	if err != nil || got != "25" {
+		t.Errorf("2.5cm = %q mm (%v)", got, err)
+	}
+	// Reverse conversion is registered even though the hierarchy only has
+	// cm <= mm.
+	got, err = s.Convert("25", "mm", "cm")
+	if err != nil || got != "2.5" {
+		t.Errorf("25mm = %q cm (%v)", got, err)
+	}
+	// Comparison through the common supertype (the paper's conversion
+	// function machinery): 2.5 cm == 25 mm.
+	lcs, ok := s.LeastCommonSupertype("cm", "mm")
+	if !ok || lcs != "mm" {
+		t.Fatalf("LCS(cm,mm) = %q, %v", lcs, ok)
+	}
+	cmp, err := s.CompareAs("2.5", "cm", "25", "mm", lcs)
+	if err != nil || cmp != 0 {
+		t.Errorf("2.5cm vs 25mm = %d (%v)", cmp, err)
+	}
+	if _, err := s.Convert("abc", "cm", "mm"); err == nil {
+		t.Error("non-numeric unit value must fail conversion")
+	}
+}
+
+func TestCompositionClosure(t *testing.T) {
+	// a <= b <= c must compose an a -> c conversion automatically.
+	s := NewSystem()
+	s.MustRegister(&Type{Name: "a"})
+	s.MustRegister(&Type{Name: "b"})
+	s.MustRegister(&Type{Name: "c"})
+	suffix := func(sfx string) ConvFunc {
+		return func(v string) (string, error) { return v + sfx, nil }
+	}
+	if err := s.DeclareSubtype("a", "b", suffix("-b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeclareSubtype("b", "c", suffix("-c")); err != nil {
+		t.Fatal(err)
+	}
+	if !s.CanConvert("a", "c") {
+		t.Fatal("composition a->c missing")
+	}
+	got, err := s.Convert("x", "a", "c")
+	if err != nil || got != "x-b-c" {
+		t.Errorf("composed conversion = %q (%v)", got, err)
+	}
+	// Declaring the edges in the other order also composes.
+	s2 := NewSystem()
+	s2.MustRegister(&Type{Name: "a"})
+	s2.MustRegister(&Type{Name: "b"})
+	s2.MustRegister(&Type{Name: "c"})
+	if err := s2.DeclareSubtype("b", "c", suffix("-c")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.DeclareSubtype("a", "b", suffix("-b")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s2.Convert("x", "a", "c"); err != nil || got != "x-b-c" {
+		t.Errorf("reverse-order composition = %q (%v)", got, err)
+	}
+}
+
+func TestSubtypeCycleRejected(t *testing.T) {
+	s := NewSystem()
+	s.MustRegister(&Type{Name: "a"})
+	s.MustRegister(&Type{Name: "b"})
+	id := func(v string) (string, error) { return v, nil }
+	if err := s.DeclareSubtype("a", "b", id); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeclareSubtype("b", "a", id); err == nil {
+		t.Error("subtype cycle must be rejected")
+	}
+}
+
+func TestNames(t *testing.T) {
+	s := NewSystem()
+	names := s.Names()
+	if len(names) != 2 || names[0] != "int" || names[1] != "string" {
+		t.Errorf("Names = %v", names)
+	}
+	if s.Lookup("int") == nil || s.Lookup("nope") != nil {
+		t.Error("Lookup broken")
+	}
+}
+
+func TestNumericDomainAndCompare(t *testing.T) {
+	s := NewSystem()
+	s.MustDeclareUnit("kg", "g", 1000)
+	if !s.InDomain("2.5", "kg") || s.InDomain("heavy", "kg") {
+		t.Error("numeric domain check broken")
+	}
+	cmp, err := s.CompareAs("1.5", "kg", "1600", "g", "g")
+	if err != nil || cmp >= 0 {
+		t.Errorf("1.5kg < 1600g expected, got %d (%v)", cmp, err)
+	}
+	// Non-numeric values degrade to string comparison inside numeric types.
+	cmp, err = s.CompareAs("a", "g", "b", "g", "g")
+	if err != nil || cmp >= 0 {
+		t.Errorf("string fallback compare = %d (%v)", cmp, err)
+	}
+	// Same for int comparison fallback.
+	cmp, err = s.CompareAs("x", "int", "y", "int", "int")
+	if err != nil || cmp >= 0 {
+		t.Errorf("int fallback compare = %d (%v)", cmp, err)
+	}
+	if s.Hierarchy() == nil || !s.Hierarchy().Leq("kg", "g") {
+		t.Error("type hierarchy accessor broken")
+	}
+}
+
+func TestMustRegisterPanics(t *testing.T) {
+	s := NewSystem()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRegister should panic on duplicates")
+		}
+	}()
+	s.MustRegister(&Type{Name: "int"})
+}

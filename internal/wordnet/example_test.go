@@ -1,0 +1,41 @@
+package wordnet_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/wordnet"
+)
+
+// The default lexicon answers the paper's Section 1 classifications.
+func ExampleDefault() {
+	l := wordnet.Default()
+	fmt.Println(l.PartOf("US Census Bureau", "US Government"))
+	fmt.Println(l.IsA("Google", "computer company"))
+	fmt.Println(l.Synonym("booktitle", "conference"))
+	// Output:
+	// true
+	// true
+	// true
+}
+
+// DBA rules extend the lexicon with the textual isa:/part:/syn: format.
+func ExampleLexicon_ParseRules() {
+	l := wordnet.New()
+	rules := `
+# custom vocabulary
+isa:  smartwatch < wearable
+part: strap < smartwatch
+syn:  watch = timepiece
+`
+	if err := l.ParseRules(strings.NewReader(rules)); err != nil {
+		panic(err)
+	}
+	fmt.Println(l.IsA("smartwatch", "wearable"))
+	fmt.Println(l.PartOf("strap", "smartwatch"))
+	fmt.Println(l.Synonym("watch", "timepiece"))
+	// Output:
+	// true
+	// true
+	// true
+}

@@ -1,0 +1,119 @@
+package wordnet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// ParseRules reads DBA rules from r and applies them to the lexicon. The
+// paper's Ontology Maker lets the database administrator "edit further and
+// refine" the automatically extracted relationships; this is the textual
+// format those edits take:
+//
+//	# comments and blank lines are ignored
+//	isa:  google < web search company
+//	part: us census bureau < us government
+//	syn:  booktitle = conference
+//
+// Terms are free text (trimmed, case-insensitive); '<' separates the more
+// specific term from the more general, '=' declares synonymy.
+func (l *Lexicon) ParseRules(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		kind, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return fmt.Errorf("wordnet: line %d: missing rule kind prefix (isa:/part:/syn:)", lineNo)
+		}
+		kind = strings.TrimSpace(strings.ToLower(kind))
+		rest = strings.TrimSpace(rest)
+		switch kind {
+		case "isa", "part":
+			a, b, ok := strings.Cut(rest, "<")
+			if !ok {
+				return fmt.Errorf("wordnet: line %d: %s rule needs 'a < b'", lineNo, kind)
+			}
+			a, b = strings.TrimSpace(a), strings.TrimSpace(b)
+			if a == "" || b == "" {
+				return fmt.Errorf("wordnet: line %d: empty term", lineNo)
+			}
+			if kind == "isa" {
+				l.AddHypernym(a, b)
+			} else {
+				l.AddHolonym(a, b)
+			}
+		case "syn":
+			a, b, ok := strings.Cut(rest, "=")
+			if !ok {
+				return fmt.Errorf("wordnet: line %d: syn rule needs 'a = b'", lineNo)
+			}
+			a, b = strings.TrimSpace(a), strings.TrimSpace(b)
+			if a == "" || b == "" {
+				return fmt.Errorf("wordnet: line %d: empty term", lineNo)
+			}
+			l.AddSynonym(a, b)
+		default:
+			return fmt.Errorf("wordnet: line %d: unknown rule kind %q", lineNo, kind)
+		}
+	}
+	return sc.Err()
+}
+
+// LoadRulesFile reads DBA rules from a file (see ParseRules).
+func (l *Lexicon) LoadRulesFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("wordnet: %w", err)
+	}
+	defer f.Close()
+	if err := l.ParseRules(f); err != nil {
+		return fmt.Errorf("%w (in %s)", err, path)
+	}
+	return nil
+}
+
+// WriteRules serialises the lexicon in the ParseRules format, sorted, so a
+// DBA can dump, edit and reload it.
+func (l *Lexicon) WriteRules(w io.Writer) error {
+	var lines []string
+	for term, sups := range l.hypernyms {
+		for sup := range sups {
+			lines = append(lines, fmt.Sprintf("isa: %s < %s", term, sup))
+		}
+	}
+	for term, wholes := range l.holonyms {
+		for whole := range wholes {
+			lines = append(lines, fmt.Sprintf("part: %s < %s", term, whole))
+		}
+	}
+	seen := map[string]bool{}
+	for a, bs := range l.synonyms {
+		for b := range bs {
+			lo, hi := a, b
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			key := lo + "\x00" + hi
+			if !seen[key] {
+				seen[key] = true
+				lines = append(lines, fmt.Sprintf("syn: %s = %s", lo, hi))
+			}
+		}
+	}
+	sort.Strings(lines)
+	for _, line := range lines {
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package wordnet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseRules(t *testing.T) {
+	l := New()
+	src := `
+# taxonomy of search companies
+isa:  google < web search company
+isa:  web search company < computer company
+part: us census bureau < us government
+syn:  booktitle = conference
+`
+	if err := l.ParseRules(strings.NewReader(src)); err != nil {
+		t.Fatal(err)
+	}
+	if !l.IsA("google", "computer company") {
+		t.Error("isa rules not applied")
+	}
+	if !l.PartOf("us census bureau", "us government") {
+		t.Error("part rules not applied")
+	}
+	if !l.Synonym("booktitle", "conference") {
+		t.Error("syn rules not applied")
+	}
+}
+
+func TestParseRulesErrors(t *testing.T) {
+	for _, src := range []string{
+		"no prefix here",
+		"isa: missing separator",
+		"part: < empty left",
+		"syn: a b",
+		"bogus: a < b",
+		"isa: a <",
+	} {
+		l := New()
+		if err := l.ParseRules(strings.NewReader(src)); err == nil {
+			t.Errorf("ParseRules(%q) should fail", src)
+		}
+	}
+}
+
+func TestRulesRoundTrip(t *testing.T) {
+	l := Default()
+	var b strings.Builder
+	if err := l.WriteRules(&b); err != nil {
+		t.Fatal(err)
+	}
+	l2 := New()
+	if err := l2.ParseRules(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("re-parsing dump: %v", err)
+	}
+	// Same relations survive the round trip.
+	for _, pair := range [][2]string{
+		{"google", "company"},
+		{"indices", "access method"},
+		{"inproceedings", "publication"},
+	} {
+		if !l2.IsA(pair[0], pair[1]) {
+			t.Errorf("round trip lost %s isa %s", pair[0], pair[1])
+		}
+	}
+	if !l2.PartOf("us census bureau", "us government") {
+		t.Error("round trip lost part-of")
+	}
+	if !l2.Synonym("booktitle", "conference") {
+		t.Error("round trip lost synonym")
+	}
+	if len(l2.Terms()) != len(l.Terms()) {
+		t.Errorf("term counts differ: %d vs %d", len(l2.Terms()), len(l.Terms()))
+	}
+}
+
+func TestLoadRulesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rules.txt")
+	if err := os.WriteFile(path, []byte("isa: a < b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := New()
+	if err := l.LoadRulesFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if !l.IsA("a", "b") {
+		t.Error("file rules not applied")
+	}
+	if err := l.LoadRulesFile("/missing-rules.txt"); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,273 @@
+// Package wordnet is the lexical substrate the TOSS Ontology Maker consults.
+// The paper uses WordNet to "automatically identify isa, equivalent, and
+// part-of relationships between terms in an SDB"; shipping WordNet is
+// impossible offline, so this package provides the same three relations over
+// a curated domain lexicon (bibliographic, organisational and geographic
+// nouns — the vocabulary of the paper's examples), plus an API for the
+// database administrator to add rules, exactly as the paper allows ("these
+// can be edited further and refined by a database administrator").
+package wordnet
+
+import (
+	"sort"
+	"strings"
+)
+
+// Lexicon holds synonym, hypernym (isa) and holonym (part-of) relations over
+// lower-cased terms.
+type Lexicon struct {
+	synonyms  map[string]map[string]bool
+	hypernyms map[string]map[string]bool // term -> its more general terms
+	holonyms  map[string]map[string]bool // term -> its wholes
+}
+
+// New returns an empty lexicon.
+func New() *Lexicon {
+	return &Lexicon{
+		synonyms:  map[string]map[string]bool{},
+		hypernyms: map[string]map[string]bool{},
+		holonyms:  map[string]map[string]bool{},
+	}
+}
+
+func norm(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+func addRel(m map[string]map[string]bool, from, to string) {
+	set := m[from]
+	if set == nil {
+		set = map[string]bool{}
+		m[from] = set
+	}
+	set[to] = true
+}
+
+// AddSynonym records that a and b name the same concept (symmetric).
+func (l *Lexicon) AddSynonym(a, b string) {
+	a, b = norm(a), norm(b)
+	if a == b {
+		return
+	}
+	addRel(l.synonyms, a, b)
+	addRel(l.synonyms, b, a)
+}
+
+// AddHypernym records sub isa sup.
+func (l *Lexicon) AddHypernym(sub, sup string) {
+	sub, sup = norm(sub), norm(sup)
+	if sub == sup {
+		return
+	}
+	addRel(l.hypernyms, sub, sup)
+}
+
+// AddHolonym records part part-of whole.
+func (l *Lexicon) AddHolonym(part, whole string) {
+	part, whole = norm(part), norm(whole)
+	if part == whole {
+		return
+	}
+	addRel(l.holonyms, part, whole)
+}
+
+// Synonyms returns the direct synonyms of term, sorted.
+func (l *Lexicon) Synonyms(term string) []string { return keysOf(l.synonyms[norm(term)]) }
+
+// Hypernyms returns the direct hypernyms of term, sorted.
+func (l *Lexicon) Hypernyms(term string) []string { return keysOf(l.hypernyms[norm(term)]) }
+
+// Holonyms returns the direct holonyms (wholes) of term, sorted.
+func (l *Lexicon) Holonyms(term string) []string { return keysOf(l.holonyms[norm(term)]) }
+
+func keysOf(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Synonym reports whether a and b are (directly) synonymous.
+func (l *Lexicon) Synonym(a, b string) bool {
+	a, b = norm(a), norm(b)
+	return a == b || l.synonyms[a][b]
+}
+
+// IsA reports whether sub reaches sup through hypernym edges (reflexive,
+// transitive, and tolerant of synonym hops at each step).
+func (l *Lexicon) IsA(sub, sup string) bool {
+	return l.reaches(l.hypernyms, norm(sub), norm(sup))
+}
+
+// PartOf reports whether part reaches whole through holonym edges
+// (reflexive, transitive, synonym-tolerant).
+func (l *Lexicon) PartOf(part, whole string) bool {
+	return l.reaches(l.holonyms, norm(part), norm(whole))
+}
+
+func (l *Lexicon) reaches(rel map[string]map[string]bool, from, to string) bool {
+	if from == to || l.synonyms[from][to] {
+		return true
+	}
+	seen := map[string]bool{from: true}
+	stack := []string{from}
+	expand := func(term string) []string {
+		var next []string
+		for t := range rel[term] {
+			next = append(next, t)
+		}
+		for t := range l.synonyms[term] {
+			next = append(next, t)
+		}
+		return next
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, n := range expand(cur) {
+			if n == to || l.synonyms[n][to] {
+				return true
+			}
+			if !seen[n] {
+				seen[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	return false
+}
+
+// Terms returns every term the lexicon knows, sorted.
+func (l *Lexicon) Terms() []string {
+	set := map[string]bool{}
+	for _, m := range []map[string]map[string]bool{l.synonyms, l.hypernyms, l.holonyms} {
+		for k, tos := range m {
+			set[k] = true
+			for t := range tos {
+				set[t] = true
+			}
+		}
+	}
+	return keysOf(set)
+}
+
+// Default returns a lexicon seeded with the bibliographic/organisation
+// vocabulary used throughout the paper's examples and our experiments.
+func Default() *Lexicon {
+	l := New()
+
+	// Publication taxonomy.
+	for _, pair := range [][2]string{
+		{"inproceedings", "article"},
+		{"incollection", "article"},
+		{"article", "publication"},
+		{"proceedings", "publication"},
+		{"book", "publication"},
+		{"journal", "periodical"},
+		{"periodical", "publication"},
+		{"publication", "document"},
+		{"thesis", "document"},
+		{"phdthesis", "thesis"},
+		{"mastersthesis", "thesis"},
+	} {
+		l.AddHypernym(pair[0], pair[1])
+	}
+	l.AddSynonym("paper", "article")
+
+	// People and venues.
+	for _, pair := range [][2]string{
+		{"author", "person"},
+		{"editor", "person"},
+		{"person", "entity"},
+		{"conference", "meeting"},
+		{"workshop", "meeting"},
+		{"symposium", "meeting"},
+		{"meeting", "event"},
+		{"title", "name"},
+		{"booktitle", "name"},
+	} {
+		l.AddHypernym(pair[0], pair[1])
+	}
+	l.AddSynonym("booktitle", "conference")
+
+	// Temporal terms.
+	for _, pair := range [][2]string{
+		{"year", "date"},
+		{"month", "date"},
+		{"day", "date"},
+		{"date", "time"},
+	} {
+		l.AddHypernym(pair[0], pair[1])
+	}
+	l.AddSynonym("confyear", "year")
+
+	// Organisations — the "US government" motivating example of Section 1.
+	for _, pair := range [][2]string{
+		{"us census bureau", "us department of commerce"},
+		{"nist", "us department of commerce"},
+		{"us department of commerce", "us government"},
+		{"us army", "us department of defense"},
+		{"us navy", "us department of defense"},
+		{"us air force", "us department of defense"},
+		{"us department of defense", "us government"},
+		{"nasa", "us government"},
+		{"national science foundation", "us government"},
+		{"army research lab", "us army"},
+		{"naval research laboratory", "us navy"},
+	} {
+		l.AddHolonym(pair[0], pair[1])
+	}
+	for _, pair := range [][2]string{
+		{"google", "web search company"},
+		{"web search company", "computer company"},
+		{"microsoft", "software company"},
+		{"ibm", "computer company"},
+		{"software company", "computer company"},
+		{"computer company", "company"},
+		{"company", "organization"},
+		{"us government", "organization"},
+		{"university", "educational institution"},
+		{"educational institution", "organization"},
+		{"stanford university", "university"},
+		{"university of maryland", "university"},
+	} {
+		l.AddHypernym(pair[0], pair[1])
+	}
+
+	// Data-management vocabulary (the Figure 13 toy ontology and the
+	// title-word isa conditions of the quality experiments). Inflected
+	// forms hang below their lemma (the WordNet lemmatisation step), and
+	// lemmas below broader concepts, giving the isa conditions two levels
+	// of reach.
+	for _, pair := range [][2]string{
+		// lemma families
+		{"indexes", "index"},
+		{"indices", "index"},
+		{"queries", "query"},
+		{"views", "view"},
+		{"joins", "join"},
+		{"transactions", "transaction"},
+		{"models", "model"},
+		{"databases", "database"},
+		{"relation", "relational"},
+		// concepts
+		{"relational", "data model"},
+		{"model", "abstraction"},
+		{"data model", "abstraction"},
+		{"database", "information system"},
+		{"dbms", "information system"},
+		{"xml", "markup language"},
+		{"sgml", "markup language"},
+		{"html", "markup language"},
+		{"markup language", "language"},
+		{"query", "request"},
+		{"index", "access method"},
+		{"view", "derived relation"},
+		{"transaction", "operation"},
+		{"optimization", "improvement"},
+		{"join", "operation"},
+	} {
+		l.AddHypernym(pair[0], pair[1])
+	}
+	return l
+}

@@ -1,0 +1,109 @@
+package wordnet
+
+import "testing"
+
+func TestRelations(t *testing.T) {
+	l := New()
+	l.AddHypernym("google", "Web Search Company")
+	l.AddHypernym("web search company", "computer company")
+	l.AddSynonym("Booktitle", "conference")
+	l.AddHolonym("author", "article")
+
+	if got := l.Hypernyms("Google"); len(got) != 1 || got[0] != "web search company" {
+		t.Errorf("Hypernyms = %v (case normalisation?)", got)
+	}
+	if !l.IsA("google", "computer company") {
+		t.Error("transitive IsA failed")
+	}
+	if !l.IsA("google", "google") {
+		t.Error("IsA must be reflexive")
+	}
+	if l.IsA("computer company", "google") {
+		t.Error("IsA must not be symmetric")
+	}
+	if !l.Synonym("booktitle", "CONFERENCE") {
+		t.Error("synonyms should be case-insensitive")
+	}
+	if !l.Synonym("x", "x") {
+		t.Error("Synonym reflexive")
+	}
+	if !l.PartOf("author", "article") {
+		t.Error("PartOf direct failed")
+	}
+	if l.PartOf("article", "author") {
+		t.Error("PartOf must not be symmetric")
+	}
+}
+
+func TestSynonymHopInReachability(t *testing.T) {
+	l := New()
+	l.AddSynonym("booktitle", "conference")
+	l.AddHypernym("conference", "meeting")
+	if !l.IsA("booktitle", "meeting") {
+		t.Error("IsA should hop through synonyms")
+	}
+	if !l.IsA("booktitle", "conference") {
+		t.Error("IsA should treat synonyms as equivalent")
+	}
+}
+
+func TestSelfRelationsIgnored(t *testing.T) {
+	l := New()
+	l.AddSynonym("a", "a")
+	l.AddHypernym("a", "a")
+	l.AddHolonym("a", "a")
+	if len(l.Terms()) != 0 {
+		t.Errorf("self relations should be ignored, got terms %v", l.Terms())
+	}
+}
+
+func TestDefaultLexicon(t *testing.T) {
+	l := Default()
+	cases := []struct {
+		a, b string
+		rel  string
+		want bool
+	}{
+		{"inproceedings", "publication", "isa", true},
+		{"indices", "access method", "isa", true},
+		{"indexes", "index", "isa", true},
+		{"relational", "abstraction", "isa", true},
+		{"google", "company", "isa", true},
+		{"booktitle", "meeting", "isa", true}, // via synonym conference
+		{"year", "time", "isa", true},
+		{"index", "operation", "isa", false},
+		{"us census bureau", "us government", "part-of", true},
+		{"army research lab", "us government", "part-of", true},
+		{"stanford university", "us government", "part-of", false},
+	}
+	for _, c := range cases {
+		var got bool
+		if c.rel == "isa" {
+			got = l.IsA(c.a, c.b)
+		} else {
+			got = l.PartOf(c.a, c.b)
+		}
+		if got != c.want {
+			t.Errorf("%s %s %s = %v, want %v", c.a, c.rel, c.b, got, c.want)
+		}
+	}
+	if !l.Synonym("paper", "article") {
+		t.Error("paper/article synonymy missing")
+	}
+	if len(l.Terms()) < 50 {
+		t.Errorf("default lexicon suspiciously small: %d terms", len(l.Terms()))
+	}
+}
+
+func TestHolonymsAndSynonymsAccessors(t *testing.T) {
+	l := Default()
+	if got := l.Holonyms("us census bureau"); len(got) != 1 || got[0] != "us department of commerce" {
+		t.Errorf("Holonyms = %v", got)
+	}
+	if got := l.Synonyms("booktitle"); len(got) != 1 || got[0] != "conference" {
+		t.Errorf("Synonyms = %v", got)
+	}
+	if l.Hypernyms("zzz") != nil && len(l.Hypernyms("zzz")) != 0 {
+		t.Error("unknown term should have no hypernyms")
+	}
+}

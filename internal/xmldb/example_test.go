@@ -1,0 +1,36 @@
+package xmldb_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xmldb"
+)
+
+// A collection behaves like a tiny Xindice: put XML documents, query with
+// XPath, respect the 5 MB size cap.
+func ExampleCollection_Query() {
+	db := xmldb.New()
+	col := db.CreateCollection("dblp")
+	_, err := col.PutXML("p1", strings.NewReader(
+		`<inproceedings><author>Jeffrey D. Ullman</author><year>1997</year></inproceedings>`))
+	if err != nil {
+		panic(err)
+	}
+	_, err = col.PutXML("p2", strings.NewReader(
+		`<inproceedings><author>Paolo Ciancarini</author><year>1999</year></inproceedings>`))
+	if err != nil {
+		panic(err)
+	}
+	nodes, err := col.Query(`//inproceedings[year='1999']/author`)
+	if err != nil {
+		panic(err)
+	}
+	for _, n := range nodes {
+		fmt.Println(n.Content)
+	}
+	fmt.Println(col.DocCount())
+	// Output:
+	// Paolo Ciancarini
+	// 2
+}

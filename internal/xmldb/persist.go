@@ -1,0 +1,139 @@
+package xmldb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SaveDir writes every document of the collection as an XML file under dir
+// (created if needed). File names are the document keys, sanitised and
+// suffixed ".xml"; an index file records the original keys in insertion
+// order so LoadDir restores them faithfully.
+func (c *Collection) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("xmldb: save %s: %w", c.name, err)
+	}
+	c.mu.RLock()
+	keys := append([]string{}, c.keys...)
+	c.mu.RUnlock()
+	var index strings.Builder
+	for i, key := range keys {
+		doc := c.Doc(key)
+		if doc == nil {
+			continue
+		}
+		file := fmt.Sprintf("%04d-%s.xml", i, sanitizeFileName(key))
+		if err := os.WriteFile(filepath.Join(dir, file), []byte(doc.XMLString()), 0o644); err != nil {
+			return fmt.Errorf("xmldb: save %s: %w", key, err)
+		}
+		fmt.Fprintf(&index, "%s\t%s\n", file, key)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "_index.tsv"), []byte(index.String()), 0o644); err != nil {
+		return fmt.Errorf("xmldb: save index: %w", err)
+	}
+	return nil
+}
+
+// LoadDir loads documents previously written by SaveDir into the collection
+// (replacing same-keyed documents). Without an index file it loads every
+// *.xml file with the file name (minus extension) as key, sorted.
+func (c *Collection) LoadDir(dir string) error {
+	indexPath := filepath.Join(dir, "_index.tsv")
+	data, err := os.ReadFile(indexPath)
+	if err == nil {
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			if line == "" {
+				continue
+			}
+			file, key, ok := strings.Cut(line, "\t")
+			if !ok {
+				return fmt.Errorf("xmldb: malformed index line %q", line)
+			}
+			if err := c.loadFile(filepath.Join(dir, file), key); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("xmldb: load %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".xml") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		key := strings.TrimSuffix(name, ".xml")
+		if err := c.loadFile(filepath.Join(dir, name), key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Collection) loadFile(path, key string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("xmldb: load %s: %w", path, err)
+	}
+	defer f.Close()
+	if _, err := c.PutXML(key, f); err != nil {
+		return fmt.Errorf("xmldb: load %s: %w", path, err)
+	}
+	return nil
+}
+
+// sanitizeFileName maps a document key to a safe file-name fragment.
+func sanitizeFileName(key string) string {
+	var b strings.Builder
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "doc"
+	}
+	return b.String()
+}
+
+// SaveDir writes every collection of the database under dir, one
+// subdirectory per collection.
+func (db *DB) SaveDir(dir string) error {
+	for _, name := range db.CollectionNames() {
+		if err := db.Collection(name).SaveDir(filepath.Join(dir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDir loads every collection subdirectory of dir into the database,
+// creating collections as needed.
+func (db *DB) LoadDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("xmldb: load %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		col := db.CreateCollection(e.Name())
+		if err := col.LoadDir(filepath.Join(dir, e.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}

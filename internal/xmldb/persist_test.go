@@ -1,0 +1,127 @@
+package xmldb
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db := New()
+	c := db.CreateCollection("dblp")
+	docs := map[string]string{
+		"p one":   paperXML("p1", "Ullman", "Databases", "1997"),
+		"p/two":   paperXML("p2", "Widom", "Streams", "2001"),
+		"p.three": paperXML("p3", "Bertino", "Security", "2000"),
+	}
+	for k, xml := range docs {
+		if _, err := c.PutXML(k, strings.NewReader(xml)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := New()
+	c2 := db2.CreateCollection("dblp")
+	if err := c2.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if c2.DocCount() != 3 {
+		t.Fatalf("loaded %d docs", c2.DocCount())
+	}
+	// Keys and order restored.
+	if strings.Join(c2.Keys(), "|") != strings.Join(c.Keys(), "|") {
+		t.Errorf("keys differ: %v vs %v", c2.Keys(), c.Keys())
+	}
+	for _, k := range c.Keys() {
+		if !tree.Equal(c.Doc(k), c2.Doc(k)) {
+			t.Errorf("document %q differs after round trip", k)
+		}
+	}
+}
+
+func TestLoadDirWithoutIndex(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "b.xml"), []byte("<b/>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a.xml"), []byte("<a/>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ignore.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db := New()
+	c := db.CreateCollection("x")
+	if err := c.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(c.Keys(), ","); got != "a,b" {
+		t.Errorf("keys = %q", got)
+	}
+}
+
+func TestDBSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	db := New()
+	a := db.CreateCollection("alpha")
+	if _, err := a.PutXML("d1", strings.NewReader("<x>1</x>")); err != nil {
+		t.Fatal(err)
+	}
+	b := db.CreateCollection("beta")
+	if _, err := b.PutXML("d2", strings.NewReader("<y>2</y>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	db2 := New()
+	if err := db2.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if len(db2.CollectionNames()) != 2 {
+		t.Fatalf("collections = %v", db2.CollectionNames())
+	}
+	if db2.Collection("alpha").DocCount() != 1 || db2.Collection("beta").DocCount() != 1 {
+		t.Error("documents missing after load")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	db := New()
+	c := db.CreateCollection("x")
+	if err := c.LoadDir("/nonexistent-path-xyz"); err == nil {
+		t.Error("missing dir must fail")
+	}
+	// Malformed index.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "_index.tsv"), []byte("no-tab-here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LoadDir(dir); err == nil {
+		t.Error("malformed index must fail")
+	}
+	// Index referencing a missing file.
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, "_index.tsv"), []byte("ghost.xml\tk\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LoadDir(dir2); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestSanitizeFileName(t *testing.T) {
+	if got := sanitizeFileName("a/b c!.xml"); got != "a_b_c_.xml" {
+		t.Errorf("sanitize = %q", got)
+	}
+	if got := sanitizeFileName(""); got != "doc" {
+		t.Errorf("sanitize empty = %q", got)
+	}
+}

@@ -1,0 +1,421 @@
+// Package xmldb is the XML database substrate TOSS runs on — the role Apache
+// Xindice plays in the paper's prototype. It stores named collections of XML
+// documents, executes XPath queries (via internal/xpath) over them with an
+// optional tag index for bottom-up evaluation, and enforces Xindice's
+// per-collection data-size limit (the paper truncated DBLP to 4,753,774
+// bytes "due to the 5MB maximum data size limitation of Xindice").
+package xmldb
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/similarity"
+	"repro/internal/tree"
+	"repro/internal/xpath"
+)
+
+// DefaultMaxCollectionBytes mirrors Xindice's 5 MB data-size limitation.
+const DefaultMaxCollectionBytes = 5 * 1024 * 1024
+
+// ErrCollectionFull is returned when adding a document would exceed the
+// collection's size limit.
+var ErrCollectionFull = fmt.Errorf("xmldb: collection size limit exceeded")
+
+// DB is a set of named collections.
+type DB struct {
+	mu          sync.RWMutex
+	collections map[string]*Collection
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{collections: map[string]*Collection{}}
+}
+
+// CreateCollection creates (or returns the existing) collection with the
+// given name, with the default size limit.
+func (db *DB) CreateCollection(name string) *Collection {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if c, ok := db.collections[name]; ok {
+		return c
+	}
+	c := &Collection{
+		name:     name,
+		col:      tree.NewCollection(),
+		docs:     map[string]*tree.Tree{},
+		maxBytes: DefaultMaxCollectionBytes,
+	}
+	db.collections[name] = c
+	return c
+}
+
+// Collection returns the named collection, or nil.
+func (db *DB) Collection(name string) *Collection {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.collections[name]
+}
+
+// DropCollection removes a collection.
+func (db *DB) DropCollection(name string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.collections, name)
+}
+
+// CollectionNames lists collection names, sorted.
+func (db *DB) CollectionNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.collections))
+	for n := range db.collections {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Collection is a named set of XML documents sharing a tree.Collection (so
+// node IDs are unique across documents).
+type Collection struct {
+	mu       sync.RWMutex
+	name     string
+	col      *tree.Collection
+	docs     map[string]*tree.Tree
+	keys     []string // insertion order
+	maxBytes int
+	curBytes int
+
+	tagIndex  map[string][]*tree.Node
+	termIndex map[string][]*tree.Node
+	// valueIndex maps tag + "\x00" + exact content to nodes, accelerating
+	// the [.='v'] equality predicates the TOSS rewriter emits. It is only
+	// consulted for tags in which every node's XPath string value equals its
+	// own content (mixedValueTag is false): a content-less interior node's
+	// string value joins its descendants' text and is not in the index.
+	valueIndex    map[string][]*tree.Node
+	mixedValueTag map[string]bool
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// SetMaxBytes overrides the size limit; v <= 0 disables the limit.
+func (c *Collection) SetMaxBytes(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxBytes = v
+}
+
+// ByteSize returns the stored XML bytes.
+func (c *Collection) ByteSize() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.curBytes
+}
+
+// DocCount returns the number of documents.
+func (c *Collection) DocCount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.docs)
+}
+
+// PutXML parses an XML document from r and stores it under key. It fails
+// with ErrCollectionFull if the document would push the collection past its
+// size limit, and replaces any existing document with the same key.
+func (c *Collection) PutXML(key string, r io.Reader) (*tree.Tree, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, err := c.col.ParseXML(r)
+	if err != nil {
+		return nil, err
+	}
+	// ParseXML appended the tree to c.col; undo on failure paths below.
+	if err := c.storeLocked(key, t); err != nil {
+		c.removeTree(t)
+		return nil, err
+	}
+	return t, nil
+}
+
+// PutTree stores an already-built tree under key. The tree must have been
+// created in this collection's tree.Collection (use NewDocument) or is
+// cloned in.
+func (c *Collection) PutTree(key string, t *tree.Tree) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.contains(t) {
+		t = t.CloneInto(c.col)
+		c.col.Add(t)
+	}
+	if err := c.storeLocked(key, t); err != nil {
+		c.removeTree(t)
+		return err
+	}
+	return nil
+}
+
+// storeLocked installs a tree (already present in c.col) under key,
+// enforcing the size limit. If the key is occupied, the old document is
+// replaced only when the new one fits.
+func (c *Collection) storeLocked(key string, t *tree.Tree) error {
+	size := len(t.XMLString())
+	oldSize := 0
+	old, replacing := c.docs[key]
+	if replacing {
+		oldSize = len(old.XMLString())
+	}
+	if c.maxBytes > 0 && c.curBytes-oldSize+size > c.maxBytes {
+		return fmt.Errorf("%w: %s at %d bytes, adding %d exceeds %d",
+			ErrCollectionFull, c.name, c.curBytes-oldSize, size, c.maxBytes)
+	}
+	if replacing {
+		c.curBytes -= oldSize
+		c.removeTree(old)
+		c.removeKey(key)
+	}
+	c.docs[key] = t
+	c.keys = append(c.keys, key)
+	c.curBytes += size
+	c.invalidateIndexes()
+	return nil
+}
+
+func (c *Collection) contains(t *tree.Tree) bool {
+	for _, existing := range c.col.Trees {
+		if existing == t {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Collection) removeTree(t *tree.Tree) {
+	for i, existing := range c.col.Trees {
+		if existing == t {
+			c.col.Trees = append(c.col.Trees[:i], c.col.Trees[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *Collection) removeKey(key string) {
+	for i, k := range c.keys {
+		if k == key {
+			c.keys = append(c.keys[:i], c.keys[i+1:]...)
+			return
+		}
+	}
+}
+
+// Delete removes the document stored under key.
+func (c *Collection) Delete(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.docs[key]
+	if !ok {
+		return false
+	}
+	c.curBytes -= len(t.XMLString())
+	delete(c.docs, key)
+	c.removeKey(key)
+	c.removeTree(t)
+	c.invalidateIndexes()
+	return true
+}
+
+// Doc returns the document stored under key, or nil.
+func (c *Collection) Doc(key string) *tree.Tree {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.docs[key]
+}
+
+// Keys returns document keys in insertion order.
+func (c *Collection) Keys() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, len(c.keys))
+	copy(out, c.keys)
+	return out
+}
+
+// Docs returns the documents in insertion order.
+func (c *Collection) Docs() []*tree.Tree {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*tree.Tree, 0, len(c.keys))
+	for _, k := range c.keys {
+		out = append(out, c.docs[k])
+	}
+	return out
+}
+
+// TreeCollection exposes the underlying tree.Collection (for algebra
+// operators that need to allocate nodes with fresh IDs).
+func (c *Collection) TreeCollection() *tree.Collection { return c.col }
+
+// ---- indexing ----
+
+func (c *Collection) invalidateIndexes() {
+	c.tagIndex = nil
+	c.termIndex = nil
+	c.valueIndex = nil
+}
+
+func valueKey(tag, content string) string { return tag + "\x00" + content }
+
+// BuildIndexes constructs the tag and content-term inverted indexes.
+func (c *Collection) BuildIndexes() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buildIndexesLocked()
+}
+
+func (c *Collection) buildIndexesLocked() {
+	if c.tagIndex != nil {
+		return
+	}
+	tagIdx := map[string][]*tree.Node{}
+	termIdx := map[string][]*tree.Node{}
+	valIdx := map[string][]*tree.Node{}
+	mixed := map[string]bool{}
+	for _, k := range c.keys {
+		c.docs[k].Walk(func(n *tree.Node) bool {
+			tagIdx[n.Tag] = append(tagIdx[n.Tag], n)
+			if n.Content != "" {
+				for _, tok := range similarity.Tokenize(n.Content) {
+					termIdx[tok] = append(termIdx[tok], n)
+				}
+				valIdx[valueKey(n.Tag, n.Content)] = append(valIdx[valueKey(n.Tag, n.Content)], n)
+			} else if subtreeHasContent(n) {
+				// XPath string value differs from (empty) own content:
+				// exclude the tag from value-index routing.
+				mixed[n.Tag] = true
+			}
+			return true
+		})
+	}
+	c.tagIndex = tagIdx
+	c.termIndex = termIdx
+	c.valueIndex = valIdx
+	c.mixedValueTag = mixed
+}
+
+// subtreeHasContent reports whether any proper descendant carries content.
+func subtreeHasContent(n *tree.Node) bool {
+	found := false
+	n.Walk(func(m *tree.Node) bool {
+		if found {
+			return false
+		}
+		if m != n && m.Content != "" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// NodesWithTag returns the indexed nodes carrying the given tag, in document
+// order (building indexes on demand).
+func (c *Collection) NodesWithTag(tag string) []*tree.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buildIndexesLocked()
+	return c.tagIndex[tag]
+}
+
+// NodesWithTerm returns the indexed nodes whose content contains the given
+// (lower-cased) token.
+func (c *Collection) NodesWithTerm(term string) []*tree.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buildIndexesLocked()
+	return c.termIndex[term]
+}
+
+// ---- querying ----
+
+// Query parses and evaluates an XPath expression over every document,
+// returning matching nodes in document order. When the expression's final
+// step names a concrete tag and no inner step carries predicates, the tag
+// index drives a bottom-up evaluation; otherwise each document is walked.
+func (c *Collection) Query(expr string) ([]*tree.Node, error) {
+	p, err := xpath.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	return c.QueryPath(p), nil
+}
+
+// QueryPath evaluates a parsed path (see Query).
+func (c *Collection) QueryPath(p *xpath.Path) []*tree.Node {
+	last := p.Steps[len(p.Steps)-1]
+	if last.Name != "*" && !p.HasInnerPredicates() {
+		return c.queryIndexed(p, last.Name)
+	}
+	return c.queryScan(p)
+}
+
+// QueryScan evaluates the path by walking every document; exported for the
+// index ablation benchmark.
+func (c *Collection) QueryScan(expr string) ([]*tree.Node, error) {
+	p, err := xpath.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	return c.queryScan(p), nil
+}
+
+func (c *Collection) queryScan(p *xpath.Path) []*tree.Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []*tree.Node
+	for _, k := range c.keys {
+		out = append(out, p.Eval(c.docs[k].Root)...)
+	}
+	return out
+}
+
+func (c *Collection) queryIndexed(p *xpath.Path, tag string) []*tree.Node {
+	c.mu.Lock()
+	c.buildIndexesLocked()
+	candidates := c.tagIndex[tag]
+	// Equality predicates on the final step route through the value index:
+	// [.='v'] (or a disjunction of them, the shape of rewritten ~
+	// conditions) narrows candidates to the exact-content postings.
+	last := p.Steps[len(p.Steps)-1]
+	if len(last.Preds) > 0 && !c.mixedValueTag[tag] {
+		if lits, ok := xpath.SelfEqualsAnyLiteral(last.Preds[0]); ok {
+			var narrowed []*tree.Node
+			usable := true
+			for _, lit := range lits {
+				if lit == "" {
+					// The index never holds empty values; nodes with empty
+					// string values would be missed.
+					usable = false
+					break
+				}
+				narrowed = append(narrowed, c.valueIndex[valueKey(tag, lit)]...)
+			}
+			if usable && len(narrowed) < len(candidates) {
+				candidates = narrowed
+			}
+		}
+	}
+	c.mu.Unlock()
+	var out []*tree.Node
+	for _, n := range candidates {
+		if p.MatchesUp(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,389 @@
+package xmldb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tree"
+)
+
+func paperXML(key, author, title, year string) string {
+	return fmt.Sprintf(`<inproceedings key=%q><author>%s</author><title>%s</title><year>%s</year></inproceedings>`,
+		key, author, title, year)
+}
+
+func TestCreateAndLookup(t *testing.T) {
+	db := New()
+	c1 := db.CreateCollection("dblp")
+	if c1 == nil || c1.Name() != "dblp" {
+		t.Fatal("CreateCollection failed")
+	}
+	if db.CreateCollection("dblp") != c1 {
+		t.Error("CreateCollection must be idempotent")
+	}
+	if db.Collection("dblp") != c1 {
+		t.Error("Collection lookup failed")
+	}
+	if db.Collection("nope") != nil {
+		t.Error("missing collection should be nil")
+	}
+	db.CreateCollection("sigmod")
+	names := db.CollectionNames()
+	if strings.Join(names, ",") != "dblp,sigmod" {
+		t.Errorf("CollectionNames = %v", names)
+	}
+	db.DropCollection("sigmod")
+	if db.Collection("sigmod") != nil {
+		t.Error("DropCollection failed")
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	db := New()
+	c := db.CreateCollection("dblp")
+	doc, err := c.PutXML("p1", strings.NewReader(paperXML("p1", "Ullman", "Databases", "1997")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DocCount() != 1 || c.Doc("p1") != doc {
+		t.Fatal("document not stored")
+	}
+	if c.ByteSize() <= 0 {
+		t.Error("ByteSize should grow")
+	}
+	// Replacement.
+	doc2, err := c.PutXML("p1", strings.NewReader(paperXML("p1", "Widom", "Streams", "2001")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DocCount() != 1 || c.Doc("p1") != doc2 {
+		t.Error("replacement failed")
+	}
+	if got := c.Doc("p1").Root.ChildContent("author"); got != "Widom" {
+		t.Errorf("replaced doc author = %q", got)
+	}
+	// Deletion.
+	if !c.Delete("p1") {
+		t.Error("Delete should succeed")
+	}
+	if c.Delete("p1") {
+		t.Error("second Delete should fail")
+	}
+	if c.DocCount() != 0 || c.ByteSize() != 0 {
+		t.Errorf("after delete: %d docs, %d bytes", c.DocCount(), c.ByteSize())
+	}
+}
+
+func TestKeysOrder(t *testing.T) {
+	db := New()
+	c := db.CreateCollection("dblp")
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("p%d", i)
+		if _, err := c.PutXML(key, strings.NewReader(paperXML(key, "A", "T", "2000"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := c.Keys()
+	for i, k := range keys {
+		if k != fmt.Sprintf("p%d", i) {
+			t.Fatalf("Keys order broken: %v", keys)
+		}
+	}
+	if len(c.Docs()) != 5 {
+		t.Errorf("Docs = %d", len(c.Docs()))
+	}
+}
+
+func TestSizeLimit(t *testing.T) {
+	db := New()
+	c := db.CreateCollection("dblp")
+	c.SetMaxBytes(300)
+	if _, err := c.PutXML("p1", strings.NewReader(paperXML("p1", "A", "T", "2000"))); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.PutXML("p2", strings.NewReader(paperXML("p2", strings.Repeat("B", 300), "T", "2000")))
+	if !errors.Is(err, ErrCollectionFull) {
+		t.Fatalf("expected ErrCollectionFull, got %v", err)
+	}
+	// The failed put must not corrupt the collection.
+	if c.DocCount() != 1 {
+		t.Errorf("failed put changed doc count: %d", c.DocCount())
+	}
+	if got, _ := c.Query(`//inproceedings`); len(got) != 1 {
+		t.Errorf("failed put left stray nodes: %d", len(got))
+	}
+	// A failed replacement keeps the old document.
+	_, err = c.PutXML("p1", strings.NewReader(paperXML("p1", strings.Repeat("C", 300), "T", "2000")))
+	if !errors.Is(err, ErrCollectionFull) {
+		t.Fatalf("expected ErrCollectionFull on replacement, got %v", err)
+	}
+	if c.Doc("p1") == nil || c.Doc("p1").Root.ChildContent("author") != "A" {
+		t.Error("failed replacement lost the original document")
+	}
+	// Disable the limit.
+	c.SetMaxBytes(0)
+	if _, err := c.PutXML("p3", strings.NewReader(paperXML("p3", strings.Repeat("D", 400), "T", "2000"))); err != nil {
+		t.Errorf("unlimited put failed: %v", err)
+	}
+}
+
+func TestDefaultLimitIsXindices5MB(t *testing.T) {
+	if DefaultMaxCollectionBytes != 5*1024*1024 {
+		t.Errorf("default limit = %d", DefaultMaxCollectionBytes)
+	}
+}
+
+func TestPutTree(t *testing.T) {
+	db := New()
+	c := db.CreateCollection("x")
+	// A tree built elsewhere is cloned in.
+	other := tree.NewCollection()
+	tr, err := other.ParseXMLString(`<a><b>hi</b></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutTree("k", tr); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Doc("k")
+	if got == tr {
+		t.Error("foreign tree should have been cloned")
+	}
+	if !tree.Equal(got, tr) {
+		t.Error("clone not equal")
+	}
+	// A tree from the collection's own tree.Collection is stored directly.
+	own, err := c.TreeCollection().ParseXMLString(`<c/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutTree("k2", own); err != nil {
+		t.Fatal(err)
+	}
+	if c.Doc("k2") != own {
+		t.Error("own tree should be stored as-is")
+	}
+}
+
+func TestQueryAndIndexes(t *testing.T) {
+	db := New()
+	c := db.CreateCollection("dblp")
+	for i := 0; i < 10; i++ {
+		year := "1997"
+		if i%2 == 0 {
+			year = "1999"
+		}
+		key := fmt.Sprintf("p%d", i)
+		if _, err := c.PutXML(key, strings.NewReader(paperXML(key, fmt.Sprintf("Author %d", i), "Databases and Indexes", year))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := c.Query(`//inproceedings[year='1999']`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Errorf("Query = %d nodes, want 5", len(got))
+	}
+	// Index-backed accessors.
+	if n := c.NodesWithTag("author"); len(n) != 10 {
+		t.Errorf("NodesWithTag(author) = %d", len(n))
+	}
+	if n := c.NodesWithTerm("databases"); len(n) != 10 {
+		t.Errorf("NodesWithTerm(databases) = %d", len(n))
+	}
+	if n := c.NodesWithTerm("nonexistent"); len(n) != 0 {
+		t.Errorf("NodesWithTerm(nonexistent) = %d", len(n))
+	}
+	// Index invalidation on mutation.
+	c.Delete("p0")
+	if n := c.NodesWithTag("author"); len(n) != 9 {
+		t.Errorf("index not invalidated: %d", len(n))
+	}
+	// Bad query surfaces a parse error.
+	if _, err := c.Query(`//[`); err == nil {
+		t.Error("bad query should fail")
+	}
+}
+
+func TestQueryIndexedVsScanAgreement(t *testing.T) {
+	db := New()
+	c := db.CreateCollection("dblp")
+	rng := rand.New(rand.NewSource(5))
+	years := []string{"1997", "1998", "1999"}
+	for i := 0; i < 30; i++ {
+		key := fmt.Sprintf("p%d", i)
+		xml := paperXML(key, fmt.Sprintf("A%d", rng.Intn(5)), fmt.Sprintf("T%d", rng.Intn(5)), years[rng.Intn(3)])
+		if _, err := c.PutXML(key, strings.NewReader(xml)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exprs := []string{
+		`//inproceedings`,
+		`//inproceedings/year`,
+		`//inproceedings[year='1999']`,
+		`//inproceedings[year='1999']/author`,
+		`//year[.='1998']`,
+		`//author[.='A3']`,
+		`//inproceedings[author='A1' and year='1997']`,
+		`//*[year='1999']`,              // wildcard final step: scan path
+		`//inproceedings[author]/title`, // inner predicate: scan path
+	}
+	for _, expr := range exprs {
+		indexed, err := c.Query(expr)
+		if err != nil {
+			t.Fatalf("Query(%q): %v", expr, err)
+		}
+		scanned, err := c.QueryScan(expr)
+		if err != nil {
+			t.Fatalf("QueryScan(%q): %v", expr, err)
+		}
+		if len(indexed) != len(scanned) {
+			t.Errorf("Query(%q): indexed %d vs scan %d", expr, len(indexed), len(scanned))
+			continue
+		}
+		in := map[*tree.Node]bool{}
+		for _, n := range indexed {
+			in[n] = true
+		}
+		for _, n := range scanned {
+			if !in[n] {
+				t.Errorf("Query(%q): node sets differ", expr)
+				break
+			}
+		}
+	}
+}
+
+// TestQuickIndexedVsScan: randomized queries agree between the indexed and
+// scanning evaluators.
+func TestQuickIndexedVsScan(t *testing.T) {
+	db := New()
+	c := db.CreateCollection("dblp")
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 40; i++ {
+		key := fmt.Sprintf("p%d", i)
+		xml := paperXML(key, fmt.Sprintf("A%d", rng.Intn(4)), fmt.Sprintf("T%d", rng.Intn(4)), fmt.Sprint(1995+rng.Intn(5)))
+		if _, err := c.PutXML(key, strings.NewReader(xml)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tags := []string{"inproceedings", "author", "title", "year"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tag := tags[r.Intn(len(tags))]
+		var expr string
+		switch r.Intn(3) {
+		case 0:
+			expr = "//" + tag
+		case 1:
+			expr = fmt.Sprintf("//inproceedings[year='%d']/%s", 1995+r.Intn(5), tag)
+		default:
+			expr = fmt.Sprintf("//inproceedings[author='A%d']", r.Intn(4))
+		}
+		indexed, err1 := c.Query(expr)
+		scanned, err2 := c.QueryScan(expr)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return len(indexed) == len(scanned)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentReads(t *testing.T) {
+	db := New()
+	c := db.CreateCollection("dblp")
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("p%d", i)
+		if _, err := c.PutXML(key, strings.NewReader(paperXML(key, "A", "T", "2000"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := c.Query(`//inproceedings[year='2000']`); err != nil {
+					t.Error(err)
+					return
+				}
+				c.Doc("p3")
+				c.Keys()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestParseErrorDoesNotPollute(t *testing.T) {
+	db := New()
+	c := db.CreateCollection("x")
+	if _, err := c.PutXML("bad", strings.NewReader("<a><b></a>")); err == nil {
+		t.Fatal("malformed XML should fail")
+	}
+	if c.DocCount() != 0 {
+		t.Error("failed parse should not store a document")
+	}
+}
+
+// TestValueIndexRouting: [.='v'] queries route through the value index on
+// leaf-only tags, agree with scans, and refuse unsafe cases (interior tags,
+// empty literals).
+func TestValueIndexRouting(t *testing.T) {
+	db := New()
+	c := db.CreateCollection("dblp")
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("p%d", i)
+		xml := paperXML(key, fmt.Sprintf("Author %d", i%4), "T", "2000")
+		if _, err := c.PutXML(key, strings.NewReader(xml)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An interior-node query (inproceedings has children): must not be
+	// narrowed away.
+	exprs := []string{
+		`//author[.='Author 1']`,
+		`//author[.='Author 1' or .='Author 3']`,
+		`//author[.='absent']`,
+		`//inproceedings[.='Author 1 T 2000']`, // TextValue of a mixed tag... paperXML key attr first
+	}
+	for _, expr := range exprs {
+		indexed, err := c.Query(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scanned, err := c.QueryScan(expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(indexed) != len(scanned) {
+			t.Errorf("%s: indexed %d vs scan %d", expr, len(indexed), len(scanned))
+		}
+	}
+	// Empty-literal equality must also agree (no unsafe narrowing).
+	emptyDoc := `<inproceedings key="pe"><author></author><title>T</title><year>2000</year></inproceedings>`
+	if _, err := c.PutXML("pe", strings.NewReader(emptyDoc)); err != nil {
+		t.Fatal(err)
+	}
+	i2, err := c.Query(`//author[.='']`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.QueryScan(`//author[.='']`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(i2) != len(s2) {
+		t.Errorf("empty literal: indexed %d vs scan %d", len(i2), len(s2))
+	}
+}

@@ -1,0 +1,70 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func benchRoot(b *testing.B, papers int) *tree.Node {
+	b.Helper()
+	var sb strings.Builder
+	sb.WriteString("<dblp>")
+	for i := 0; i < papers; i++ {
+		fmt.Fprintf(&sb, `<inproceedings><author>A%d</author><year>%d</year></inproceedings>`, i, 1990+i%10)
+	}
+	sb.WriteString("</dblp>")
+	c := tree.NewCollection()
+	t, err := c.ParseXMLString(sb.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t.Root
+}
+
+func BenchmarkParse(b *testing.B) {
+	const expr = `//inproceedings[year='1999' and not(author='A7')]/author`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(expr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEval(b *testing.B) {
+	root := benchRoot(b, 500)
+	p := MustParse(`//inproceedings[year='1999']/author`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(p.Eval(root)) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+func BenchmarkMatchesUp(b *testing.B) {
+	root := benchRoot(b, 500)
+	p := MustParse(`//inproceedings[year='1999']/author`)
+	var authors []*tree.Node
+	root.Walk(func(n *tree.Node) bool {
+		if n.Tag == "author" {
+			authors = append(authors, n)
+		}
+		return true
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hits := 0
+		for _, n := range authors {
+			if p.MatchesUp(n) {
+				hits++
+			}
+		}
+		if hits == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package xpath_test
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+	"repro/internal/xpath"
+)
+
+func ExampleParse() {
+	col := tree.NewCollection()
+	doc, _ := col.ParseXMLString(`<dblp>
+	  <inproceedings><author>Jeffrey D. Ullman</author><year>1997</year></inproceedings>
+	  <inproceedings><author>Paolo Ciancarini</author><year>1999</year></inproceedings>
+	</dblp>`)
+
+	p, err := xpath.Parse(`//inproceedings[year='1999']/author`)
+	if err != nil {
+		panic(err)
+	}
+	for _, n := range p.Eval(doc.Root) {
+		fmt.Println(n.Content)
+	}
+	// Output:
+	// Paolo Ciancarini
+}
+
+func ExampleTextValue() {
+	col := tree.NewCollection()
+	doc, _ := col.ParseXMLString(`<article><title>Securing XML</title><year>2001</year></article>`)
+	fmt.Println(xpath.TextValue(doc.Root))
+	// Output:
+	// Securing XML 2001
+}

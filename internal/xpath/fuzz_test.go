@@ -1,0 +1,52 @@
+package xpath
+
+import (
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// FuzzParse checks the XPath parser never panics, accepted expressions
+// render stably, and evaluation never panics on a fixed document.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`/dblp/inproceedings/author`,
+		`//inproceedings[year='1999' and not(booktitle='VLDB')]/title`,
+		`//a[contains(.,'x') or b='y']`,
+		`/a/*[.//c='d']`,
+		`//inproceedings[@key='p1']`,
+	} {
+		f.Add(seed)
+	}
+	col := tree.NewCollection()
+	doc, err := col.ParseXMLString(`<dblp><inproceedings key="p1"><author>A</author><year>1999</year></inproceedings></dblp>`)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := p.String()
+		p2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected own rendering %q: %v", src, rendered, err)
+		}
+		if p2.String() != rendered {
+			t.Fatalf("rendering unstable: %q -> %q", rendered, p2.String())
+		}
+		// Both evaluators must run without panicking and agree.
+		r1 := p.Eval(doc.Root)
+		n2 := 0
+		doc.Root.Walk(func(n *tree.Node) bool {
+			if p.MatchesUp(n) {
+				n2++
+			}
+			return true
+		})
+		if len(r1) != n2 {
+			t.Fatalf("Eval %d vs MatchesUp %d for %q", len(r1), n2, rendered)
+		}
+	})
+}

@@ -1,0 +1,317 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses an XPath expression in the subset documented at the top of
+// this package.
+func Parse(src string) (*Path, error) {
+	p := &pparser{src: src}
+	path, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return nil, fmt.Errorf("xpath: trailing input at offset %d: %q", p.pos, p.src[p.pos:])
+	}
+	return path, nil
+}
+
+// MustParse is Parse but panics on error.
+func MustParse(src string) *Path {
+	path, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return path
+}
+
+type pparser struct {
+	src string
+	pos int
+}
+
+func (p *pparser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *pparser) peekByte() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *pparser) hasPrefix(s string) bool {
+	return strings.HasPrefix(p.src[p.pos:], s)
+}
+
+func (p *pparser) parsePath() (*Path, error) {
+	p.skipSpace()
+	path := &Path{}
+	axis := AxisChild
+	switch {
+	case p.hasPrefix("//"):
+		path.Absolute = true
+		axis = AxisDescendant
+		p.pos += 2
+	case p.hasPrefix("/"):
+		path.Absolute = true
+		p.pos++
+	}
+	for {
+		step, err := p.parseStep(axis)
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, step)
+		if p.hasPrefix("//") {
+			axis = AxisDescendant
+			p.pos += 2
+		} else if p.hasPrefix("/") {
+			axis = AxisChild
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return path, nil
+}
+
+func (p *pparser) parseStep(axis Axis) (Step, error) {
+	name, err := p.parseName()
+	if err != nil {
+		return Step{}, err
+	}
+	step := Step{Axis: axis, Name: name}
+	for p.peekByte() == '[' {
+		p.pos++
+		pred, err := p.parseOrExpr()
+		if err != nil {
+			return Step{}, err
+		}
+		p.skipSpace()
+		if p.peekByte() != ']' {
+			return Step{}, fmt.Errorf("xpath: expected ] at offset %d", p.pos)
+		}
+		p.pos++
+		step.Preds = append(step.Preds, pred)
+	}
+	return step, nil
+}
+
+func (p *pparser) parseName() (string, error) {
+	p.skipSpace()
+	if p.peekByte() == '*' {
+		p.pos++
+		return "*", nil
+	}
+	start := p.pos
+	for p.pos < len(p.src) && isNameRune(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("xpath: expected name at offset %d", p.pos)
+	}
+	return p.src[start:p.pos], nil
+}
+
+func isNameRune(r rune) bool {
+	return r == '_' || r == '-' || r == '@' ||
+		unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (p *pparser) parseOrExpr() (Pred, error) {
+	left, err := p.parseAndExpr()
+	if err != nil {
+		return nil, err
+	}
+	subs := []Pred{left}
+	for {
+		p.skipSpace()
+		if !p.hasKeyword("or") {
+			break
+		}
+		p.pos += 2
+		right, err := p.parseAndExpr()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, right)
+	}
+	if len(subs) == 1 {
+		return subs[0], nil
+	}
+	return predOr{subs: subs}, nil
+}
+
+func (p *pparser) parseAndExpr() (Pred, error) {
+	left, err := p.parseUnaryPred()
+	if err != nil {
+		return nil, err
+	}
+	subs := []Pred{left}
+	for {
+		p.skipSpace()
+		if !p.hasKeyword("and") {
+			break
+		}
+		p.pos += 3
+		right, err := p.parseUnaryPred()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, right)
+	}
+	if len(subs) == 1 {
+		return subs[0], nil
+	}
+	return predAnd{subs: subs}, nil
+}
+
+// hasKeyword reports whether the given keyword occurs at the cursor,
+// followed by a non-name character (so "order" is not read as "or").
+func (p *pparser) hasKeyword(kw string) bool {
+	if !p.hasPrefix(kw) {
+		return false
+	}
+	after := p.pos + len(kw)
+	return after >= len(p.src) || !isNameRune(rune(p.src[after]))
+}
+
+func (p *pparser) parseUnaryPred() (Pred, error) {
+	p.skipSpace()
+	if p.hasKeyword("not") {
+		save := p.pos
+		p.pos += 3
+		p.skipSpace()
+		if p.peekByte() != '(' {
+			p.pos = save // a path element literally named "not..."? unlikely, but recover
+		} else {
+			p.pos++
+			inner, err := p.parseOrExpr()
+			if err != nil {
+				return nil, err
+			}
+			p.skipSpace()
+			if p.peekByte() != ')' {
+				return nil, fmt.Errorf("xpath: expected ) at offset %d", p.pos)
+			}
+			p.pos++
+			return predNot{sub: inner}, nil
+		}
+	}
+	if p.peekByte() == '(' {
+		p.pos++
+		inner, err := p.parseOrExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peekByte() != ')' {
+			return nil, fmt.Errorf("xpath: expected ) at offset %d", p.pos)
+		}
+		p.pos++
+		return inner, nil
+	}
+	if p.hasKeyword("contains") {
+		p.pos += len("contains")
+		p.skipSpace()
+		if p.peekByte() != '(' {
+			return nil, fmt.Errorf("xpath: expected ( after contains at offset %d", p.pos)
+		}
+		p.pos++
+		rel, err := p.parseRelPath()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peekByte() != ',' {
+			return nil, fmt.Errorf("xpath: expected , in contains() at offset %d", p.pos)
+		}
+		p.pos++
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peekByte() != ')' {
+			return nil, fmt.Errorf("xpath: expected ) at offset %d", p.pos)
+		}
+		p.pos++
+		return predContains{rel: rel, lit: lit}, nil
+	}
+	rel, err := p.parseRelPath()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	switch {
+	case p.hasPrefix("!="):
+		p.pos += 2
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return predCompare{rel: rel, neq: true, lit: lit}, nil
+	case p.peekByte() == '=':
+		p.pos++
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return predCompare{rel: rel, lit: lit}, nil
+	default:
+		return predExists{rel: rel}, nil
+	}
+}
+
+func (p *pparser) parseRelPath() (relPath, error) {
+	p.skipSpace()
+	var r relPath
+	if p.hasPrefix(".//") {
+		r.descendant = true
+		p.pos += 3
+	} else if p.peekByte() == '.' {
+		p.pos++
+		return relPath{self: true}, nil
+	}
+	for {
+		name, err := p.parseName()
+		if err != nil {
+			return relPath{}, err
+		}
+		r.names = append(r.names, name)
+		if p.peekByte() == '/' && !p.hasPrefix("//") {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return r, nil
+}
+
+func (p *pparser) parseLiteral() (string, error) {
+	p.skipSpace()
+	quote := p.peekByte()
+	if quote != '\'' && quote != '"' {
+		return "", fmt.Errorf("xpath: expected string literal at offset %d", p.pos)
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != quote {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return "", fmt.Errorf("xpath: unterminated literal starting at offset %d", start-1)
+	}
+	lit := p.src[start:p.pos]
+	p.pos++
+	return lit, nil
+}

@@ -1,0 +1,415 @@
+// Package xpath implements the XPath subset the TOSS Query Executor needs
+// when it rewrites pattern trees into XPath queries for the underlying XML
+// database (the role Xindice plays in the paper's implementation).
+//
+// Supported grammar:
+//
+//	path      := '/'? step ( '/' step | '//' step )*  |  '//' step ( ... )*
+//	step      := (name | '*') predicate*
+//	predicate := '[' orExpr ']'
+//	orExpr    := andExpr ('or' andExpr)*
+//	andExpr   := unary ('and' unary)*
+//	unary     := 'not' '(' orExpr ')' | '(' orExpr ')' | test
+//	test      := relpath
+//	           | relpath ('=' | '!=') literal
+//	           | 'contains' '(' relpath ',' literal ')'
+//	relpath   := '.' | ('.//')? (name|'*') ('/' (name|'*'))*
+//	literal   := '\'' ... '\''  |  '"' ... '"'
+//
+// A node's string value is its own content if non-empty, otherwise the
+// space-joined contents of its descendants in preorder.
+package xpath
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tree"
+)
+
+// Axis distinguishes /child steps from //descendant-or-self steps.
+type Axis int
+
+const (
+	// AxisChild selects children of the context node.
+	AxisChild Axis = iota
+	// AxisDescendant selects all descendants (the node set "//name" walks).
+	AxisDescendant
+)
+
+// Step is one location step.
+type Step struct {
+	Axis  Axis
+	Name  string // element name or "*"
+	Preds []Pred
+}
+
+// Path is a parsed XPath expression.
+type Path struct {
+	// Absolute paths start matching at the document root; relative ones at
+	// the context node's children.
+	Absolute bool
+	Steps    []Step
+}
+
+// Pred is a predicate inside [...].
+type Pred interface {
+	eval(n *tree.Node) bool
+	String() string
+}
+
+type predExists struct{ rel relPath }
+
+func (p predExists) eval(n *tree.Node) bool { return len(p.rel.nodes(n)) > 0 }
+func (p predExists) String() string         { return p.rel.String() }
+
+type predCompare struct {
+	rel relPath
+	neq bool
+	lit string
+}
+
+func (p predCompare) eval(n *tree.Node) bool {
+	for _, m := range p.rel.nodes(n) {
+		if (TextValue(m) == p.lit) != p.neq {
+			return true
+		}
+	}
+	return false
+}
+
+func (p predCompare) String() string {
+	op := "="
+	if p.neq {
+		op = "!="
+	}
+	return fmt.Sprintf("%s%s'%s'", p.rel, op, p.lit)
+}
+
+type predContains struct {
+	rel relPath
+	lit string
+}
+
+func (p predContains) eval(n *tree.Node) bool {
+	for _, m := range p.rel.nodes(n) {
+		if strings.Contains(TextValue(m), p.lit) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p predContains) String() string {
+	return fmt.Sprintf("contains(%s,'%s')", p.rel, p.lit)
+}
+
+type predAnd struct{ subs []Pred }
+
+func (p predAnd) eval(n *tree.Node) bool {
+	for _, s := range p.subs {
+		if !s.eval(n) {
+			return false
+		}
+	}
+	return true
+}
+func (p predAnd) String() string { return joinPreds(p.subs, " and ") }
+
+type predOr struct{ subs []Pred }
+
+func (p predOr) eval(n *tree.Node) bool {
+	for _, s := range p.subs {
+		if s.eval(n) {
+			return true
+		}
+	}
+	return false
+}
+func (p predOr) String() string { return joinPreds(p.subs, " or ") }
+
+type predNot struct{ sub Pred }
+
+func (p predNot) eval(n *tree.Node) bool { return !p.sub.eval(n) }
+func (p predNot) String() string         { return "not(" + p.sub.String() + ")" }
+
+func joinPreds(ps []Pred, sep string) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = "(" + p.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}
+
+// relPath is a relative path used inside predicates: "." or a descent
+// through named children, optionally starting with ".//".
+type relPath struct {
+	self       bool // "."
+	descendant bool // ".//" prefix
+	names      []string
+}
+
+func (r relPath) String() string {
+	if r.self {
+		return "."
+	}
+	prefix := ""
+	if r.descendant {
+		prefix = ".//"
+	}
+	return prefix + strings.Join(r.names, "/")
+}
+
+func (r relPath) nodes(n *tree.Node) []*tree.Node {
+	if r.self {
+		return []*tree.Node{n}
+	}
+	cur := []*tree.Node{}
+	if r.descendant {
+		n.Walk(func(m *tree.Node) bool {
+			if m != n && nameMatches(r.names[0], m.Tag) {
+				cur = append(cur, m)
+			}
+			return true
+		})
+	} else {
+		for _, c := range n.Children {
+			if nameMatches(r.names[0], c.Tag) {
+				cur = append(cur, c)
+			}
+		}
+	}
+	for _, name := range r.names[1:] {
+		var next []*tree.Node
+		for _, m := range cur {
+			for _, c := range m.Children {
+				if nameMatches(name, c.Tag) {
+					next = append(next, c)
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+func nameMatches(pattern, tag string) bool {
+	return pattern == "*" || pattern == tag
+}
+
+// TextValue returns the string value of a node: its own content when
+// non-empty, else the space-joined contents of its descendants in preorder.
+func TextValue(n *tree.Node) string {
+	if n.Content != "" {
+		return n.Content
+	}
+	var parts []string
+	n.Walk(func(m *tree.Node) bool {
+		if m != n && m.Content != "" {
+			parts = append(parts, m.Content)
+		}
+		return true
+	})
+	return strings.Join(parts, " ")
+}
+
+// String renders the path back in XPath syntax.
+func (p *Path) String() string {
+	var b strings.Builder
+	for i, s := range p.Steps {
+		switch {
+		case i == 0 && !p.Absolute && s.Axis == AxisChild:
+			// relative first step: no leading slash
+		case s.Axis == AxisDescendant:
+			b.WriteString("//")
+		default:
+			b.WriteString("/")
+		}
+		b.WriteString(s.Name)
+		for _, pr := range s.Preds {
+			b.WriteString("[" + pr.String() + "]")
+		}
+	}
+	return b.String()
+}
+
+// Eval evaluates the path against a document whose root element is root.
+// For absolute paths the first step is matched against the root element
+// itself (the document node's only child), as in standard XPath.
+func (p *Path) Eval(root *tree.Node) []*tree.Node {
+	if len(p.Steps) == 0 || root == nil {
+		return nil
+	}
+	// Context for the first step.
+	var cur []*tree.Node
+	first := p.Steps[0]
+	switch first.Axis {
+	case AxisChild:
+		if nameMatches(first.Name, root.Tag) && evalPreds(first.Preds, root) {
+			cur = append(cur, root)
+		}
+	case AxisDescendant:
+		root.Walk(func(m *tree.Node) bool {
+			if nameMatches(first.Name, m.Tag) && evalPreds(first.Preds, m) {
+				cur = append(cur, m)
+			}
+			return true
+		})
+	}
+	for _, step := range p.Steps[1:] {
+		var next []*tree.Node
+		seen := map[*tree.Node]bool{}
+		add := func(m *tree.Node) {
+			if !seen[m] {
+				seen[m] = true
+				next = append(next, m)
+			}
+		}
+		for _, ctx := range cur {
+			switch step.Axis {
+			case AxisChild:
+				for _, c := range ctx.Children {
+					if nameMatches(step.Name, c.Tag) && evalPreds(step.Preds, c) {
+						add(c)
+					}
+				}
+			case AxisDescendant:
+				ctx.Walk(func(m *tree.Node) bool {
+					if m != ctx && nameMatches(step.Name, m.Tag) && evalPreds(step.Preds, m) {
+						add(m)
+					}
+					return true
+				})
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+func evalPreds(ps []Pred, n *tree.Node) bool {
+	for _, p := range ps {
+		if !p.eval(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// HasInnerPredicates reports whether any step other than the last carries
+// predicates. The indexed bottom-up evaluator in xmldb only handles
+// last-step predicates and falls back to Eval otherwise.
+func (p *Path) HasInnerPredicates() bool {
+	for i := 0; i < len(p.Steps)-1; i++ {
+		if len(p.Steps[i].Preds) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchesUp reports whether node n matches this path by walking ancestors:
+// n must match the last step, and the remaining steps must be consumable
+// along n's ancestor chain respecting child/descendant axes. Predicates on
+// all steps are honoured. Used by the indexed evaluator.
+func (p *Path) MatchesUp(n *tree.Node) bool {
+	return matchUp(p, len(p.Steps)-1, n)
+}
+
+func matchUp(p *Path, i int, n *tree.Node) bool {
+	step := p.Steps[i]
+	if !nameMatches(step.Name, n.Tag) || !evalPreds(step.Preds, n) {
+		return false
+	}
+	if i == 0 {
+		// First step: a child-axis first step matches against the document
+		// node's children — i.e. the root element only (this mirrors Eval,
+		// which also evaluates relative paths from the document node); a
+		// descendant first step may sit anywhere.
+		if step.Axis == AxisChild {
+			return n.Parent == nil
+		}
+		return true
+	}
+	prev := p.Steps[i] // current step's axis governs the hop to its parent
+	switch prev.Axis {
+	case AxisChild:
+		if n.Parent == nil {
+			return false
+		}
+		return matchUp(p, i-1, n.Parent)
+	default: // AxisDescendant: some ancestor must match the previous steps
+		for a := n.Parent; a != nil; a = a.Parent {
+			if matchUp(p, i-1, a) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// ---- programmatic predicate constructors (used by the TOSS query rewriter) ----
+
+// EqualsSelf builds the predicate [.='lit'].
+func EqualsSelf(lit string) Pred {
+	return predCompare{rel: relPath{self: true}, lit: lit}
+}
+
+// ContainsSelf builds the predicate [contains(.,'lit')].
+func ContainsSelf(lit string) Pred {
+	return predContains{rel: relPath{self: true}, lit: lit}
+}
+
+// AnyEqualsSelf builds [.='a' or .='b' or ...].
+func AnyEqualsSelf(lits []string) Pred {
+	if len(lits) == 1 {
+		return EqualsSelf(lits[0])
+	}
+	subs := make([]Pred, len(lits))
+	for i, l := range lits {
+		subs[i] = EqualsSelf(l)
+	}
+	return predOr{subs: subs}
+}
+
+// EqualsChild builds [name='lit'].
+func EqualsChild(name, lit string) Pred {
+	return predCompare{rel: relPath{names: []string{name}}, lit: lit}
+}
+
+// ContainsChild builds [contains(name,'lit')].
+func ContainsChild(name, lit string) Pred {
+	return predContains{rel: relPath{names: []string{name}}, lit: lit}
+}
+
+// SelfEqualsLiteral inspects a predicate: if it is exactly [.='lit'], the
+// literal is returned. Storage engines use this to route equality lookups to
+// value indexes.
+func SelfEqualsLiteral(p Pred) (string, bool) {
+	pc, ok := p.(predCompare)
+	if !ok || pc.neq || !pc.rel.self {
+		return "", false
+	}
+	return pc.lit, true
+}
+
+// SelfEqualsAnyLiteral additionally recognises [.='a' or .='b' or ...]
+// disjunctions of self-equality tests, returning all literals.
+func SelfEqualsAnyLiteral(p Pred) ([]string, bool) {
+	if lit, ok := SelfEqualsLiteral(p); ok {
+		return []string{lit}, true
+	}
+	or, ok := p.(predOr)
+	if !ok {
+		return nil, false
+	}
+	var lits []string
+	for _, sub := range or.subs {
+		lit, ok := SelfEqualsLiteral(sub)
+		if !ok {
+			return nil, false
+		}
+		lits = append(lits, lit)
+	}
+	return lits, true
+}

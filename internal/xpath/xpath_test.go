@@ -1,0 +1,249 @@
+package xpath
+
+import (
+	"testing"
+
+	"repro/internal/tree"
+)
+
+const docXML = `<dblp>
+  <inproceedings key="p1">
+    <author>Jeffrey D. Ullman</author>
+    <author>Jennifer Widom</author>
+    <title>First Course in Database Systems</title>
+    <year>1997</year>
+    <booktitle>SIGMOD Conference</booktitle>
+  </inproceedings>
+  <inproceedings key="p2">
+    <author>Paolo Ciancarini</author>
+    <title>Coordination Models</title>
+    <year>1999</year>
+    <booktitle>VLDB</booktitle>
+  </inproceedings>
+  <proceedings>
+    <editor>Serge Abiteboul</editor>
+    <title>Proceedings 1999</title>
+    <inner>
+      <title>Nested Title</title>
+    </inner>
+  </proceedings>
+</dblp>`
+
+func parseDoc(t *testing.T) *tree.Node {
+	t.Helper()
+	c := tree.NewCollection()
+	tr, err := c.ParseXMLString(docXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.Root
+}
+
+func evalAll(t *testing.T, root *tree.Node, expr string) []*tree.Node {
+	t.Helper()
+	p, err := Parse(expr)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", expr, err)
+	}
+	return p.Eval(root)
+}
+
+func TestEvalBasicPaths(t *testing.T) {
+	root := parseDoc(t)
+	cases := []struct {
+		expr string
+		want int
+	}{
+		{`/dblp`, 1},
+		{`/dblp/inproceedings`, 2},
+		{`/dblp/inproceedings/author`, 3},
+		{`//author`, 3},
+		{`//title`, 4},
+		{`/dblp//title`, 4},
+		{`/dblp/*`, 3},
+		{`/dblp/inproceedings/*`, 11}, // 2×(@key)+3 authors+2 titles+2 years+2 booktitles
+		{`/wrong`, 0},
+		{`//inproceedings//author`, 3},
+		{`/dblp/title`, 0},         // titles are not direct children of dblp
+		{`//proceedings/title`, 1}, // not the nested one
+	}
+	for _, c := range cases {
+		got := evalAll(t, root, c.expr)
+		if len(got) != c.want {
+			t.Errorf("Eval(%q) = %d nodes, want %d", c.expr, len(got), c.want)
+		}
+	}
+}
+
+func TestEvalPredicates(t *testing.T) {
+	root := parseDoc(t)
+	cases := []struct {
+		expr string
+		want int
+	}{
+		{`//inproceedings[year='1999']`, 1},
+		{`//inproceedings[year!='1999']`, 1},
+		{`//inproceedings[author='Jennifer Widom']`, 1},
+		{`//inproceedings[author]`, 2},
+		{`//inproceedings[editor]`, 0},
+		{`//inproceedings[contains(title,'Database')]`, 1},
+		{`//inproceedings[contains(.,'Coordination')]`, 1},
+		{`//year[.='1999']`, 1},
+		{`//inproceedings[year='1999' and booktitle='VLDB']`, 1},
+		{`//inproceedings[year='1999' and booktitle='PODS']`, 0},
+		{`//inproceedings[year='1999' or year='1997']`, 2},
+		{`//inproceedings[not(year='1999')]`, 1},
+		{`//inproceedings[(year='1999' or year='1997') and author]`, 2},
+		{`//inproceedings[@key='p2']`, 1},
+		{`/dblp[.//title='Nested Title']`, 1},
+		{`//proceedings[inner/title='Nested Title']`, 1},
+		{`//proceedings[title='Nested Title']`, 0},
+	}
+	for _, c := range cases {
+		got := evalAll(t, root, c.expr)
+		if len(got) != c.want {
+			t.Errorf("Eval(%q) = %d nodes, want %d", c.expr, len(got), c.want)
+		}
+	}
+}
+
+func TestTextValue(t *testing.T) {
+	root := parseDoc(t)
+	p := MustParse(`//inproceedings[@key='p2']`)
+	nodes := p.Eval(root)
+	if len(nodes) != 1 {
+		t.Fatal("setup failed")
+	}
+	// Element with no own content: concatenated descendant text.
+	got := TextValue(nodes[0])
+	want := "p2 Paolo Ciancarini Coordination Models 1999 VLDB"
+	if got != want {
+		t.Errorf("TextValue = %q, want %q", got, want)
+	}
+	// Leaf: own content.
+	year := nodes[0].Child("year")
+	if TextValue(year) != "1999" {
+		t.Errorf("leaf TextValue = %q", TextValue(year))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, expr := range []string{
+		``,
+		`//`,
+		`/a[`,
+		`/a[b=']`,
+		`/a[b='x'`,
+		`/a[contains(b)]`,
+		`/a[contains(b,'x']`,
+		`/a[not(b]`,
+		`/a]`,
+	} {
+		if _, err := Parse(expr); err == nil {
+			t.Errorf("Parse(%q) should fail", expr)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	exprs := []string{
+		`/dblp/inproceedings[year='1999']/author`,
+		`//inproceedings[contains(title,'Database') and (year='1997' or not(booktitle='VLDB'))]`,
+		`//inproceedings[.//author='X']`,
+		`/dblp/*[.='x']`,
+	}
+	root := parseDoc(t)
+	for _, expr := range exprs {
+		p1 := MustParse(expr)
+		p2, err := Parse(p1.String())
+		if err != nil {
+			t.Errorf("re-parsing %q (from %q): %v", p1.String(), expr, err)
+			continue
+		}
+		// Semantically identical: same results on the test doc.
+		r1 := p1.Eval(root)
+		r2 := p2.Eval(root)
+		if len(r1) != len(r2) {
+			t.Errorf("round trip changed semantics for %q", expr)
+		}
+	}
+}
+
+func TestMatchesUpAgreesWithEval(t *testing.T) {
+	root := parseDoc(t)
+	exprs := []string{
+		`/dblp/inproceedings/author`,
+		`//author`,
+		`//inproceedings[year='1999']`,
+		`/dblp//title`,
+		`//inproceedings/title`,
+		`//proceedings/inner/title`,
+		`/dblp/inproceedings[booktitle='VLDB']/year`,
+	}
+	for _, expr := range exprs {
+		p := MustParse(expr)
+		want := map[*tree.Node]bool{}
+		for _, n := range p.Eval(root) {
+			want[n] = true
+		}
+		got := map[*tree.Node]bool{}
+		root.Walk(func(n *tree.Node) bool {
+			if p.MatchesUp(n) {
+				got[n] = true
+			}
+			return true
+		})
+		if len(got) != len(want) {
+			t.Errorf("MatchesUp/%q: %d vs Eval %d", expr, len(got), len(want))
+			continue
+		}
+		for n := range want {
+			if !got[n] {
+				t.Errorf("MatchesUp/%q missed a node Eval found", expr)
+			}
+		}
+	}
+}
+
+func TestHasInnerPredicates(t *testing.T) {
+	if MustParse(`/a/b[c='1']`).HasInnerPredicates() {
+		t.Error("last-step predicate is not inner")
+	}
+	if !MustParse(`/a[x]/b`).HasInnerPredicates() {
+		t.Error("first-step predicate is inner")
+	}
+}
+
+func TestPredicateConstructors(t *testing.T) {
+	root := parseDoc(t)
+	p := &Path{Absolute: true, Steps: []Step{
+		{Axis: AxisDescendant, Name: "booktitle", Preds: []Pred{AnyEqualsSelf([]string{"VLDB", "PODS"})}},
+	}}
+	if got := p.Eval(root); len(got) != 1 {
+		t.Errorf("AnyEqualsSelf eval = %d nodes", len(got))
+	}
+	p2 := &Path{Absolute: true, Steps: []Step{
+		{Axis: AxisDescendant, Name: "title", Preds: []Pred{ContainsSelf("Coordination")}},
+	}}
+	if got := p2.Eval(root); len(got) != 1 {
+		t.Errorf("ContainsSelf eval = %d nodes", len(got))
+	}
+	p3 := &Path{Absolute: true, Steps: []Step{
+		{Axis: AxisDescendant, Name: "inproceedings", Preds: []Pred{EqualsChild("year", "1997")}},
+	}}
+	if got := p3.Eval(root); len(got) != 1 {
+		t.Errorf("EqualsChild eval = %d nodes", len(got))
+	}
+	p4 := &Path{Absolute: true, Steps: []Step{
+		{Axis: AxisDescendant, Name: "inproceedings", Preds: []Pred{ContainsChild("title", "Course")}},
+	}}
+	if got := p4.Eval(root); len(got) != 1 {
+		t.Errorf("ContainsChild eval = %d nodes", len(got))
+	}
+	// Constructors must render parseable strings.
+	for _, p := range []*Path{p, p2, p3, p4} {
+		if _, err := Parse(p.String()); err != nil {
+			t.Errorf("constructed path %q does not re-parse: %v", p.String(), err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package toss is a from-scratch Go implementation of TOSS — the extension
+// of the TAX tree algebra for XML databases with ontologies and similarity
+// queries (Hung, Deng, Subrahmanian, SIGMOD 2004).
+//
+// A TOSS deployment is built in three steps mirroring the paper's
+// architecture:
+//
+//  1. load XML instances into a System (each becomes a collection in the
+//     embedded XML database);
+//  2. Build the system: the Ontology Maker extracts per-instance isa and
+//     part-of hierarchies (WordNet-lite lexicon + structural analysis +
+//     DBA rules), derives interoperation constraints, fuses the hierarchies
+//     canonically, and the Similarity Enhancer runs the SEA algorithm to
+//     precompute the similarity enhanced ontology (SEO);
+//  3. run TOSS-algebra queries (selection, projection, product, join, set
+//     operations) whose conditions may use ~, isa, part_of, instance_of,
+//     subtype_of, above and below alongside the classical comparisons.
+//
+// Quick start:
+//
+//	sys := toss.New()
+//	inst, _ := sys.AddInstance("dblp")
+//	inst.Col.PutXML("dblp-1", file)
+//	_ = sys.Build(toss.MeasureByName("name-rule"), 3)
+//	p := toss.MustParsePattern(`#1 pc #2 :: #1.tag = "inproceedings" &
+//	    #2.tag = "author" & #2.content ~ "J. Ullman"`)
+//	answers, _ := sys.Select("dblp", p, []int{1})
+//
+// The sub-packages under internal/ implement every substrate the paper
+// depends on: the ordered tree data model, the TAX algebra baseline, the
+// ontology fusion machinery, the SEA similarity enhancer, a library of
+// string similarity measures, an XPath-subset engine and a Xindice-like XML
+// collection store, plus the experiment harnesses that regenerate the
+// paper's Figures 15 and 16.
+package toss
+
+import (
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/similarity"
+	"repro/internal/tree"
+)
+
+// System is a TOSS deployment; see the package documentation.
+type System = core.System
+
+// Instance is an ontology extended semistructured instance registered with
+// a System.
+type Instance = core.Instance
+
+// Pattern is a TAX/TOSS pattern tree.
+type Pattern = pattern.Tree
+
+// Tree is an ordered labelled data tree (a query answer or document).
+type Tree = tree.Tree
+
+// Measure is a string similarity measure usable as the SEA input.
+type Measure = similarity.Measure
+
+// New creates an empty TOSS system with the default type system and
+// lexicon.
+func New() *System { return core.NewSystem() }
+
+// ParsePattern parses the textual pattern-tree syntax, e.g.
+//
+//	#1 pc #2, #1 ad #3 :: #1.tag = "inproceedings" & #3.content ~ "J. Ullman"
+func ParsePattern(src string) (*Pattern, error) { return pattern.Parse(src) }
+
+// MustParsePattern is ParsePattern but panics on error.
+func MustParsePattern(src string) *Pattern { return pattern.MustParse(src) }
+
+// MeasureByName returns a similarity measure by name: levenshtein, damerau,
+// jaro, jaro-winkler, jaccard, cosine, monge-elkan, name-rule, soundex. Nil
+// if unknown.
+func MeasureByName(name string) Measure { return similarity.ByName(name) }
+
+// MeasureNames lists the available similarity measures.
+func MeasureNames() []string { return similarity.Names() }
+
+// Expr is a composable TOSS algebra expression (selection, projection,
+// product, join, set operations over instances and sub-expressions).
+type Expr = core.Expr
+
+// RankedAnswer is a similarity-scored query answer returned by
+// System.SelectRanked.
+type RankedAnswer = core.RankedAnswer
+
+// ParseExpr parses the textual algebra-expression syntax, e.g.
+//
+//	select[#1 pc #2 :: #1.tag = "inproceedings" & #2.content ~ "J. Ullman"; 1](dblp)
+//	union(select[...](dblp), select[...](sigmod))
+func ParseExpr(src string) (Expr, error) { return core.ParseExpr(src) }
+
+// MustParseExpr is ParseExpr but panics on error.
+func MustParseExpr(src string) Expr { return core.MustParseExpr(src) }

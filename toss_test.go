@@ -1,0 +1,84 @@
+package toss
+
+import (
+	"strings"
+	"testing"
+)
+
+const facadeXML = `<dblp>
+  <inproceedings key="u1">
+    <author>Jeffrey D. Ullman</author>
+    <title>Principles of Database Systems</title>
+    <booktitle>PODS</booktitle>
+    <year>1997</year>
+  </inproceedings>
+  <inproceedings key="u2">
+    <author>J. Ullman</author>
+    <title>Database Systems Implementation</title>
+    <booktitle>SIGMOD Conference</booktitle>
+    <year>1999</year>
+  </inproceedings>
+</dblp>`
+
+// TestFacadeQuickstart exercises the public API end to end, mirroring the
+// package documentation example.
+func TestFacadeQuickstart(t *testing.T) {
+	sys := New()
+	inst, err := sys.AddInstance("dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Col.PutXML("dblp.xml", strings.NewReader(facadeXML)); err != nil {
+		t.Fatal(err)
+	}
+	m := MeasureByName("name-rule")
+	if m == nil {
+		t.Fatal("name-rule measure missing")
+	}
+	if err := sys.Build(m, 3); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParsePattern(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ "Jeffrey D. Ullman"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := sys.Select("dblp", p, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 2 {
+		t.Fatalf("similarity selection returned %d answers, want 2", len(answers))
+	}
+	for _, a := range answers {
+		if a.Root.Tag != "inproceedings" {
+			t.Errorf("answer root = %q", a.Root.Tag)
+		}
+	}
+}
+
+func TestFacadeMeasures(t *testing.T) {
+	names := MeasureNames()
+	if len(names) < 6 {
+		t.Fatalf("only %d measures", len(names))
+	}
+	for _, n := range names {
+		if MeasureByName(n) == nil {
+			t.Errorf("MeasureByName(%q) = nil", n)
+		}
+	}
+	if MeasureByName("bogus") != nil {
+		t.Error("unknown measure should be nil")
+	}
+}
+
+func TestFacadeParseErrors(t *testing.T) {
+	if _, err := ParsePattern("not a pattern"); err == nil {
+		t.Error("bad pattern should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParsePattern should panic")
+		}
+	}()
+	MustParsePattern("also not a pattern")
+}
