@@ -56,6 +56,7 @@ func main() {
 	join := flag.Bool("join", false, "join the first two instances instead of selecting from the first")
 	algebra := flag.Bool("algebra", false, "treat the argument as a full algebra expression, e.g. select[...; 1](dblp) or union(e1, e2)")
 	explain := flag.Bool("explain", false, "print the rewritten XPath queries before executing")
+	analyze := flag.Bool("analyze", false, "EXPLAIN ANALYZE: run the query and print the plan annotated with actual routing decisions, candidate counts and per-stage timings")
 	rules := flag.String("rules", "", "DBA rule file to merge into the lexicon (isa:/part:/syn: lines)")
 	ranked := flag.Bool("ranked", false, "order selection answers by similarity score (sum of ~ distances, best first)")
 	stats := flag.Bool("stats", false, "print system statistics after building")
@@ -143,6 +144,42 @@ func main() {
 		for _, line := range strings.Split(strings.TrimRight(plan.String(), "\n"), "\n") {
 			log.Printf("plan: %s", line)
 		}
+	}
+
+	if *analyze {
+		if pat == nil || *taxMode || *ranked {
+			log.Fatal("-analyze applies to TOSS selections and joins only")
+		}
+		var ap *core.AnalyzedPlan
+		var answers []*tree.Tree
+		var aerr error
+		if *join {
+			if len(names) < 2 {
+				log.Fatal("-join needs two -instance specs")
+			}
+			ap, answers, aerr = sys.ExplainAnalyzeJoin(names[0], names[1], pat, sl)
+		} else {
+			ap, answers, aerr = sys.ExplainAnalyze(names[0], pat, sl)
+		}
+		if aerr != nil {
+			log.Fatalf("executing query: %v", aerr)
+		}
+		for _, line := range strings.Split(strings.TrimRight(ap.String(), "\n"), "\n") {
+			log.Printf("analyze: %s", line)
+		}
+		for _, name := range names {
+			c := sys.Instance(name).Col.Counters()
+			log.Printf("counters[%s]: queries=%d indexed=%d scans=%d value-index=%d docs-walked=%d nodes-tested=%d matched=%d",
+				name, c.Queries, c.IndexedQueries, c.ScanQueries, c.ValueIndexHits,
+				c.DocsWalked, c.NodesTested, c.NodesMatched)
+		}
+		log.Printf("%d answer tree(s)", len(answers))
+		for _, t := range answers {
+			if err := t.WriteXML(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
 	}
 
 	if *ranked {

@@ -183,3 +183,73 @@ func TestCLIRanked(t *testing.T) {
 		t.Errorf("-ranked -join should fail:\n%s", out)
 	}
 }
+
+func TestCLIAnalyzeSelect(t *testing.T) {
+	bin := buildCLI(t)
+	dblp := writeFixture(t, "dblp.xml", fixtureDBLP)
+	cmd := exec.Command(bin,
+		"-instance", "dblp="+dblp,
+		"-analyze",
+		`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ "Jeffrey D. Ullman"`)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("tossql -analyze failed: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"analyze: EXPLAIN ANALYZE: select on dblp",
+		"route=index(", // index-vs-scan routing decision
+		"candidates=",  // per-path candidate counts
+		"selectivity",  // pre-filter selectivity
+		"rewrite  [",   // per-stage timings
+		"pre-filter  [",
+		"eval  [",
+		"counters[dblp]:",
+		"2 answer tree(s)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("-analyze output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCLIAnalyzeJoin(t *testing.T) {
+	bin := buildCLI(t)
+	dblp := writeFixture(t, "dblp.xml", fixtureDBLP)
+	sigmod := writeFixture(t, "sigmod.xml", fixtureSIGMOD)
+	cmd := exec.Command(bin,
+		"-instance", "dblp="+dblp,
+		"-instance", "sigmod="+sigmod,
+		"-join", "-analyze",
+		`#1 pc #2, #1 pc #3, #2 ad #4, #3 ad #5 :: #1.tag = "tax_prod_root" & #2.tag = "dblp" & #3.tag = "ProceedingsPage" & #4.tag = "title" & #5.tag = "title" & #4.content ~ #5.content`)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("tossql -join -analyze failed: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"analyze: EXPLAIN ANALYZE: join on dblp",
+		"route=",
+		"pairs tried",
+		"pair selectivity",
+		"counters[dblp]:",
+		"counters[sigmod]:",
+		"1 answer tree(s)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("-join -analyze output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCLIAnalyzeRejectsIncompatibleModes(t *testing.T) {
+	bin := buildCLI(t)
+	dblp := writeFixture(t, "dblp.xml", fixtureDBLP)
+	for _, extra := range [][]string{{"-tax"}, {"-ranked"}} {
+		args := append([]string{"-instance", "dblp=" + dblp, "-analyze"}, extra...)
+		args = append(args, `#1 :: #1.tag = "dblp"`)
+		if out, err := exec.Command(bin, args...).CombinedOutput(); err == nil {
+			t.Errorf("-analyze %v should fail:\n%s", extra, out)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/pattern"
 	"repro/internal/tax"
@@ -25,6 +26,12 @@ const maxXPathExpansion = 64
 // compiled in; everything else is left to the algebra-level post-filter, so
 // the rewrite is always sound.
 func (s *System) RewritePattern(p *pattern.Tree) []*xpath.Path {
+	return s.rewritePattern(p, nil)
+}
+
+// rewritePattern is RewritePattern with an optional execution trace recording
+// path/predicate counts and the fate of every ~ expansion.
+func (s *System) rewritePattern(p *pattern.Tree, st *ExecStats) []*xpath.Path {
 	spine := map[int][]*pattern.Atomic{}
 	for _, atom := range pattern.Atoms(conjunctiveOnly(p.Cond)) {
 		labels := atom.Labels(nil)
@@ -61,7 +68,7 @@ func (s *System) RewritePattern(p *pattern.Tree) []*xpath.Path {
 			}
 			step := xpath.Step{Axis: axis, Name: tagOf(n.Label)}
 			if i == 0 {
-				step.Preds = s.contentPreds(step.Name, spine[n.Label])
+				step.Preds = s.contentPreds(step.Name, spine[n.Label], st)
 			}
 			path.Steps = append(path.Steps, step)
 		}
@@ -70,6 +77,14 @@ func (s *System) RewritePattern(p *pattern.Tree) []*xpath.Path {
 			continue
 		}
 		paths = append(paths, path)
+	}
+	if st != nil {
+		st.Rewrite.Paths = len(paths)
+		for _, p := range paths {
+			for _, step := range p.Steps {
+				st.Rewrite.Predicates += len(step.Preds)
+			}
+		}
 	}
 	return paths
 }
@@ -98,8 +113,9 @@ func conjunctiveOnly(c pattern.Condition) pattern.Condition {
 
 // contentPreds compiles a node's content atoms into XPath predicates. Only
 // predicates that are *necessary* for the atom are emitted, so the rewrite
-// never loses answers.
-func (s *System) contentPreds(tag string, atoms []*pattern.Atomic) []xpath.Pred {
+// never loses answers. When st is non-nil the fate of every ~ expansion is
+// recorded.
+func (s *System) contentPreds(tag string, atoms []*pattern.Atomic, st *ExecStats) []xpath.Pred {
 	var out []xpath.Pred
 	for _, a := range atoms {
 		// Normalise to attr-op-literal with the attribute on the left.
@@ -125,10 +141,19 @@ func (s *System) contentPreds(tag string, atoms []*pattern.Atomic) []xpath.Pred 
 			// values outside the expansion and the pre-filter would be
 			// unsound, so we emit nothing.
 			if !s.simRewriteSound(tag, lit) {
+				if st != nil {
+					st.recordExpansion(lit, len(s.SimilarStrings(lit)), ExpansionDroppedUnsound)
+				}
 				continue
 			}
 			vals := s.SimilarStrings(lit)
-			if len(vals) > 0 && len(vals) <= maxXPathExpansion {
+			switch {
+			case len(vals) == 0:
+				st.recordExpansion(lit, 0, ExpansionDroppedEmpty)
+			case len(vals) > maxXPathExpansion:
+				st.recordExpansion(lit, len(vals), ExpansionDroppedOverCap)
+			default:
+				st.recordExpansion(lit, len(vals), ExpansionEmitted)
 				out = append(out, xpath.AnyEqualsSelf(vals))
 			}
 		}
@@ -176,8 +201,21 @@ func pathIsTrivial(p *xpath.Path) bool {
 // CandidateDocs returns the documents of the collection that match every
 // rewritten XPath query — the candidate set the algebra then runs over.
 func (s *System) CandidateDocs(col *xmldb.Collection, paths []*xpath.Path) []*tree.Tree {
+	return s.candidateDocs(col, paths, nil)
+}
+
+// candidateDocs is CandidateDocs with an optional execution trace recording,
+// per path, the routing decision, candidate counts and timing, plus the
+// overall pre-filter selectivity.
+func (s *System) candidateDocs(col *xmldb.Collection, paths []*xpath.Path, st *ExecStats) []*tree.Tree {
 	docs := col.Docs()
+	if st != nil {
+		st.TotalDocs += len(docs)
+	}
 	if len(paths) == 0 {
+		if st != nil {
+			st.CandidateDocs += len(docs)
+		}
 		return docs
 	}
 	rootDoc := make(map[*tree.Node]*tree.Tree, len(docs))
@@ -187,10 +225,14 @@ func (s *System) CandidateDocs(col *xmldb.Collection, paths []*xpath.Path) []*tr
 	var surviving map[*tree.Tree]bool
 	for _, p := range paths {
 		hits := map[*tree.Tree]bool{}
-		for _, n := range col.QueryPath(p) {
+		nodes, qs := col.QueryPathTraced(p)
+		for _, n := range nodes {
 			if d := rootDoc[n.Root()]; d != nil {
 				hits[d] = true
 			}
+		}
+		if st != nil {
+			st.Paths = append(st.Paths, PathTrace{QueryStats: qs, DocsMatched: len(hits)})
 		}
 		if surviving == nil {
 			surviving = hits
@@ -211,6 +253,9 @@ func (s *System) CandidateDocs(col *xmldb.Collection, paths []*xpath.Path) []*tr
 			out = append(out, d)
 		}
 	}
+	if st != nil {
+		st.CandidateDocs += len(out)
+	}
 	return out
 }
 
@@ -223,7 +268,31 @@ func (s *System) Select(instance string, p *pattern.Tree, sl []int) ([]*tree.Tre
 		return nil, fmt.Errorf("core: unknown instance %q", instance)
 	}
 	cands := s.CandidateDocs(in.Col, s.RewritePattern(p))
-	return s.selectDocs(cands, p, sl)
+	return s.selectDocs(cands, p, sl, nil)
+}
+
+// SelectTraced runs TOSS selection and returns the per-query execution
+// trace alongside the answers: rewrite output, per-path pre-filter
+// selectivity and routing, parallel worker utilization, and stage timings.
+// Answers are identical to Select's.
+func (s *System) SelectTraced(instance string, p *pattern.Tree, sl []int) ([]*tree.Tree, *ExecStats, error) {
+	in := s.Instance(instance)
+	if in == nil {
+		return nil, nil, fmt.Errorf("core: unknown instance %q", instance)
+	}
+	st := newExecStats("select", instance)
+	t0 := time.Now()
+	paths := s.rewritePattern(p, st)
+	st.RewriteTime = time.Since(t0)
+	t1 := time.Now()
+	cands := s.candidateDocs(in.Col, paths, st)
+	st.PrefilterTime = time.Since(t1)
+	t2 := time.Now()
+	out, err := s.selectDocs(cands, p, sl, st)
+	st.EvalTime = time.Since(t2)
+	st.TotalTime = time.Since(t0)
+	st.Answers = len(out)
+	return out, st, err
 }
 
 // SelectN runs TOSS selection but stops after collecting limit answers
@@ -284,21 +353,58 @@ func (s *System) Product(a, b []*tree.Tree) []*tree.Tree {
 // similarity hash join pairs only documents sharing an SEO cluster key,
 // preserving the result while skipping hopeless pairs.
 func (s *System) Join(left, right string, p *pattern.Tree, sl []int) ([]*tree.Tree, error) {
+	out, _, err := s.join(left, right, p, sl, false)
+	return out, err
+}
+
+// JoinTraced runs a condition join and returns the execution trace: per-side
+// pre-filter stats, hash-join pairing counts and stage timings.
+func (s *System) JoinTraced(left, right string, p *pattern.Tree, sl []int) ([]*tree.Tree, *ExecStats, error) {
+	return s.join(left, right, p, sl, true)
+}
+
+func (s *System) join(left, right string, p *pattern.Tree, sl []int, traced bool) ([]*tree.Tree, *ExecStats, error) {
 	li := s.Instance(left)
 	ri := s.Instance(right)
 	if li == nil || ri == nil {
-		return nil, fmt.Errorf("core: unknown instance in join (%q, %q)", left, right)
+		return nil, nil, fmt.Errorf("core: unknown instance in join (%q, %q)", left, right)
 	}
+	var st *ExecStats
+	if traced {
+		st = newExecStats("join", left+"⨝"+right)
+	}
+	t0 := time.Now()
 	ldocs := li.Col.Docs()
 	rdocs := ri.Col.Docs()
 	// Side-aware pre-filtering: a product-rooted pattern splits into one
 	// sub-pattern per side, each a necessary condition for documents of
 	// that side, so hopeless documents never enter the pairing at all.
 	if lp, rp, ok := SplitJoinPattern(p); ok {
-		ldocs = s.CandidateDocs(li.Col, s.RewritePattern(lp))
-		rdocs = s.CandidateDocs(ri.Col, s.RewritePattern(rp))
+		t1 := time.Now()
+		lpaths := s.rewritePattern(lp, st)
+		rpaths := s.rewritePattern(rp, st)
+		if st != nil {
+			st.RewriteTime = time.Since(t1)
+		}
+		t2 := time.Now()
+		ldocs = s.candidateDocs(li.Col, lpaths, st)
+		rdocs = s.candidateDocs(ri.Col, rpaths, st)
+		if st != nil {
+			st.PrefilterTime = time.Since(t2)
+		}
+	} else if st != nil {
+		st.TotalDocs = len(ldocs) + len(rdocs)
+		st.CandidateDocs = st.TotalDocs
 	}
-	return s.JoinTrees(ldocs, rdocs, p, sl)
+	t3 := time.Now()
+	out, err := s.joinTrees(ldocs, rdocs, p, sl, st)
+	if st != nil {
+		st.EvalTime = time.Since(t3)
+		st.TotalTime = time.Since(t0)
+		st.Answers = len(out)
+		st.Workers = 1
+	}
+	return out, st, err
 }
 
 // SplitJoinPattern splits a product-rooted join pattern into its two side
@@ -365,15 +471,23 @@ func SplitJoinPattern(p *pattern.Tree) (left, right *pattern.Tree, ok bool) {
 
 // JoinTrees joins two explicit tree sets (see Join).
 func (s *System) JoinTrees(ldocs, rdocs []*tree.Tree, p *pattern.Tree, sl []int) ([]*tree.Tree, error) {
+	return s.joinTrees(ldocs, rdocs, p, sl, nil)
+}
+
+func (s *System) joinTrees(ldocs, rdocs []*tree.Tree, p *pattern.Tree, sl []int, st *ExecStats) ([]*tree.Tree, error) {
 	dst := tree.NewCollection()
-	pairs := s.joinPairs(ldocs, rdocs, p)
+	pairs := s.joinPairs(ldocs, rdocs, p, st)
 	ev := s.Evaluator()
 	var out []*tree.Tree
 	for _, pr := range pairs {
 		prod := tax.Product(dst, []*tree.Tree{pr[0]}, []*tree.Tree{pr[1]})
-		res, err := tax.Select(dst, prod, p, sl, ev)
+		res, ops, err := tax.SelectTraced(dst, prod, p, sl, ev)
 		if err != nil {
 			return nil, err
+		}
+		if st != nil {
+			st.DocsEvaluated++
+			st.Embeddings += ops.Embeddings
 		}
 		out = append(out, res...)
 	}
@@ -390,14 +504,22 @@ func (s *System) NestedLoopJoinTrees(ldocs, rdocs []*tree.Tree, p *pattern.Tree,
 
 // joinPairs picks the document pairs worth joining. With a usable cross atom
 // it hash-partitions both sides by SEO cluster keys; otherwise it returns
-// the full cross product of documents.
-func (s *System) joinPairs(ldocs, rdocs []*tree.Tree, p *pattern.Tree) [][2]*tree.Tree {
+// the full cross product of documents. When st is non-nil the pairing
+// decision and counts are recorded.
+func (s *System) joinPairs(ldocs, rdocs []*tree.Tree, p *pattern.Tree, st *ExecStats) [][2]*tree.Tree {
+	cross := len(ldocs) * len(rdocs)
 	atom := s.crossSimAtom(p)
 	if atom == nil {
-		out := make([][2]*tree.Tree, 0, len(ldocs)*len(rdocs))
+		out := make([][2]*tree.Tree, 0, cross)
 		for _, l := range ldocs {
 			for _, r := range rdocs {
 				out = append(out, [2]*tree.Tree{l, r})
+			}
+		}
+		if st != nil {
+			st.Join = &JoinTrace{
+				LeftDocs: len(ldocs), RightDocs: len(rdocs),
+				PairsTried: cross, CrossPairs: cross,
 			}
 		}
 		return out
@@ -423,8 +545,11 @@ func (s *System) joinPairs(ldocs, rdocs []*tree.Tree, p *pattern.Tree) [][2]*tre
 	}
 	lk := keyed(ldocs)
 	rk := keyed(rdocs)
+	// Collect index pairs and sort those — comparing ints directly instead of
+	// looking positions up with a linear scan per comparison keeps large
+	// joins at O(n log n) rather than O(n² log n).
 	pairSet := map[[2]int]bool{}
-	var out [][2]*tree.Tree
+	var pairs [][2]int
 	for k, ls := range lk {
 		rs := rk[k]
 		for _, li := range ls {
@@ -432,27 +557,29 @@ func (s *System) joinPairs(ldocs, rdocs []*tree.Tree, p *pattern.Tree) [][2]*tre
 				pr := [2]int{li, ri}
 				if !pairSet[pr] {
 					pairSet[pr] = true
-					out = append(out, [2]*tree.Tree{ldocs[li], rdocs[ri]})
+					pairs = append(pairs, pr)
 				}
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return indexOfTree(ldocs, out[i][0]) < indexOfTree(ldocs, out[j][0])
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
 		}
-		return indexOfTree(rdocs, out[i][1]) < indexOfTree(rdocs, out[j][1])
+		return pairs[i][1] < pairs[j][1]
 	})
-	return out
-}
-
-func indexOfTree(ts []*tree.Tree, t *tree.Tree) int {
-	for i, x := range ts {
-		if x == t {
-			return i
+	out := make([][2]*tree.Tree, len(pairs))
+	for i, pr := range pairs {
+		out[i] = [2]*tree.Tree{ldocs[pr[0]], rdocs[pr[1]]}
+	}
+	if st != nil {
+		st.Join = &JoinTrace{
+			LeftDocs: len(ldocs), RightDocs: len(rdocs),
+			HashJoin: true, LeftKeys: len(lk), RightKeys: len(rk),
+			PairsTried: len(out), CrossPairs: cross,
 		}
 	}
-	return -1
+	return out
 }
 
 // crossSimAtom finds a conjunctive-spine atom of the form

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/xmldb"
+)
+
+// ExecStats is the execution trace of one query: what the rewriter produced,
+// how selective each XPath pre-filter was and how it was routed, how the
+// join paired documents, how the parallel embedding stage spread its work,
+// and where the wall-clock time went. It is the observability seam every
+// stage of the Query Executor reports through — the statistics that drive
+// rewriting decisions in ontological query optimization.
+//
+// A nil *ExecStats disables collection, so the untraced entry points
+// (Select, Join, ...) pay nothing beyond a pointer check per stage.
+type ExecStats struct {
+	Op       string // "select" or "join"
+	Instance string // instance name ("left⨝right" for joins)
+
+	// Rewrite stage: pattern → XPath pre-filters.
+	Rewrite RewriteTrace
+
+	// Pre-filter stage: one entry per rewritten XPath query, in execution
+	// order (for joins, both sides' paths appear here).
+	Paths         []PathTrace
+	TotalDocs     int // documents in the collection(s)
+	CandidateDocs int // documents surviving every pre-filter
+
+	// Join pairing (nil for selections).
+	Join *JoinTrace
+
+	// Embedding-search stage.
+	Workers       int   // parallel workers used
+	WorkerDocs    []int // documents evaluated per worker (utilization)
+	DocsEvaluated int   // documents (or pairs, for joins) run through the algebra
+	Embeddings    int   // satisfying embeddings found
+	Answers       int   // witness trees returned
+
+	// Per-stage wall-clock timings.
+	RewriteTime   time.Duration
+	PrefilterTime time.Duration
+	EvalTime      time.Duration
+	TotalTime     time.Duration
+}
+
+// RewriteTrace records what the pattern→XPath rewriter produced.
+type RewriteTrace struct {
+	Paths      int // XPath pre-filter queries emitted
+	Predicates int // predicates across all emitted steps
+	// Expansions traces the fate of every ~ literal the rewriter considered.
+	Expansions []ExpansionTrace
+}
+
+// Expansion outcomes.
+const (
+	ExpansionEmitted        = "emitted"          // compiled into an XPath disjunction
+	ExpansionDroppedUnsound = "dropped-unsound"  // pre-filter would lose answers
+	ExpansionDroppedOverCap = "dropped-over-cap" // disjunction larger than maxXPathExpansion
+	ExpansionDroppedEmpty   = "dropped-empty"    // SEO knows no strings for the literal
+)
+
+// ExpansionTrace records the fate of one ~ literal during rewriting.
+type ExpansionTrace struct {
+	Literal string
+	Size    int    // SEO cluster strings the literal expands to
+	Outcome string // one of the Expansion* constants
+}
+
+// PathTrace couples one rewritten XPath pre-filter with its runtime actuals:
+// routing decision, candidate counts, pre-filter selectivity and cost.
+type PathTrace struct {
+	xmldb.QueryStats
+	DocsMatched int // documents containing at least one matching node
+}
+
+// JoinTrace records the pairing statistics of a join execution.
+type JoinTrace struct {
+	LeftDocs, RightDocs int
+	HashJoin            bool // similarity hash join vs full cross product
+	LeftKeys, RightKeys int  // distinct hash keys per side (hash join only)
+	PairsTried          int  // document pairs actually joined
+	CrossPairs          int  // size of the full cross product
+}
+
+// PairSelectivity is PairsTried/CrossPairs (1 when the cross product is
+// empty).
+func (j *JoinTrace) PairSelectivity() float64 {
+	if j.CrossPairs == 0 {
+		return 1
+	}
+	return float64(j.PairsTried) / float64(j.CrossPairs)
+}
+
+// Selectivity is CandidateDocs/TotalDocs — the fraction of documents the
+// XPath pre-filter let through (1 when the collection is empty).
+func (st *ExecStats) Selectivity() float64 {
+	if st.TotalDocs == 0 {
+		return 1
+	}
+	return float64(st.CandidateDocs) / float64(st.TotalDocs)
+}
+
+func newExecStats(op, instance string) *ExecStats {
+	return &ExecStats{Op: op, Instance: instance}
+}
+
+// recordExpansion appends an expansion trace (nil-safe).
+func (st *ExecStats) recordExpansion(lit string, size int, outcome string) {
+	if st == nil {
+		return
+	}
+	st.Rewrite.Expansions = append(st.Rewrite.Expansions, ExpansionTrace{
+		Literal: lit, Size: size, Outcome: outcome,
+	})
+}
+
+// String renders the trace as a compact multi-line report (the body of the
+// tossql EXPLAIN ANALYZE output).
+func (st *ExecStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "execution: %s on %s  [total %s]\n", st.Op, st.Instance, fmtDuration(st.TotalTime))
+	fmt.Fprintf(&b, "rewrite  [%s]: %d XPath path(s), %d predicate(s)\n",
+		fmtDuration(st.RewriteTime), st.Rewrite.Paths, st.Rewrite.Predicates)
+	for _, e := range st.Rewrite.Expansions {
+		fmt.Fprintf(&b, "  ~ %q -> %d cluster string(s) (%s)\n", e.Literal, e.Size, e.Outcome)
+	}
+	fmt.Fprintf(&b, "pre-filter  [%s]: %d of %d documents survive (selectivity %.2f)\n",
+		fmtDuration(st.PrefilterTime), st.CandidateDocs, st.TotalDocs, st.Selectivity())
+	for _, p := range st.Paths {
+		route := "scan"
+		detail := fmt.Sprintf("docs walked=%d", p.DocsWalked)
+		if p.Indexed {
+			route = "index(" + p.IndexTag + ")"
+			detail = fmt.Sprintf("candidates=%d", p.Candidates)
+			if p.ValueIndexUsed {
+				route += "+value-index"
+			}
+		}
+		fmt.Fprintf(&b, "  %s  route=%s %s matches=%d docs=%d  [%s]\n",
+			p.XPath, route, detail, p.Matches, p.DocsMatched, fmtDuration(p.Elapsed))
+	}
+	if j := st.Join; j != nil {
+		kind := "cross product"
+		if j.HashJoin {
+			kind = fmt.Sprintf("similarity hash join (%d/%d keys)", j.LeftKeys, j.RightKeys)
+		}
+		fmt.Fprintf(&b, "join: %s, %d of %d pairs tried (%dx%d docs, pair selectivity %.2f)\n",
+			kind, j.PairsTried, j.CrossPairs, j.LeftDocs, j.RightDocs, j.PairSelectivity())
+	}
+	fmt.Fprintf(&b, "eval  [%s]: workers=%d docs=%d embeddings=%d answers=%d\n",
+		fmtDuration(st.EvalTime), st.Workers, st.DocsEvaluated, st.Embeddings, st.Answers)
+	if len(st.WorkerDocs) > 1 {
+		parts := make([]string, len(st.WorkerDocs))
+		for i, n := range st.WorkerDocs {
+			parts[i] = fmt.Sprint(n)
+		}
+		fmt.Fprintf(&b, "  worker utilization (docs/worker): %s\n", strings.Join(parts, " "))
+	}
+	return b.String()
+}
+
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1e3)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+func simSelectPattern() *pattern.Tree {
+	return pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & ` +
+		`#2.content ~ "Jeffrey D. Ullman"`)
+}
+
+// TestSelectTraced: the traced selection returns the same answers as the
+// plain one and fills in every stage of the execution trace.
+func TestSelectTraced(t *testing.T) {
+	s := miniSystem(t, 3)
+	p := simSelectPattern()
+	plain, err := s.Select("dblp", p, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, st, err := s.SelectTraced("dblp", p, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced) != len(plain) {
+		t.Fatalf("traced %d answers vs plain %d", len(traced), len(plain))
+	}
+	for i := range traced {
+		if traced[i].XMLString() != plain[i].XMLString() {
+			t.Fatalf("answer %d differs between traced and plain runs", i)
+		}
+	}
+	if st.Op != "select" || st.Instance != "dblp" {
+		t.Errorf("trace identity = %q on %q", st.Op, st.Instance)
+	}
+	if st.Rewrite.Paths == 0 || len(st.Paths) != st.Rewrite.Paths {
+		t.Errorf("rewrite trace: %d paths declared, %d traced", st.Rewrite.Paths, len(st.Paths))
+	}
+	if st.TotalDocs != 1 || st.CandidateDocs != 1 || st.Selectivity() != 1 {
+		t.Errorf("pre-filter stats = %d/%d", st.CandidateDocs, st.TotalDocs)
+	}
+	for _, pt := range st.Paths {
+		if pt.XPath == "" {
+			t.Error("path trace missing XPath")
+		}
+		if !pt.Indexed && pt.DocsWalked == 0 {
+			t.Errorf("path %s: neither indexed nor walked", pt.XPath)
+		}
+	}
+	if st.Workers < 1 || st.DocsEvaluated != 1 || len(st.WorkerDocs) != st.Workers {
+		t.Errorf("eval stats = workers %d, docs %d, per-worker %v", st.Workers, st.DocsEvaluated, st.WorkerDocs)
+	}
+	if st.Answers != len(traced) || st.Embeddings < st.Answers {
+		t.Errorf("answers=%d embeddings=%d (returned %d)", st.Answers, st.Embeddings, len(traced))
+	}
+	if st.TotalTime <= 0 || st.EvalTime <= 0 {
+		t.Errorf("timings not recorded: total=%v eval=%v", st.TotalTime, st.EvalTime)
+	}
+	// The ~ literal must be traced as an emitted expansion.
+	foundEmitted := false
+	for _, e := range st.Rewrite.Expansions {
+		if e.Literal == "Jeffrey D. Ullman" && e.Outcome == ExpansionEmitted && e.Size >= 2 {
+			foundEmitted = true
+		}
+	}
+	if !foundEmitted {
+		t.Errorf("expansion trace missing emitted ~ literal: %+v", st.Rewrite.Expansions)
+	}
+	if st.Join != nil {
+		t.Error("selection trace must not carry a join trace")
+	}
+}
+
+// TestJoinTraced: the traced join matches the plain join and records
+// per-side pre-filter stats plus the pairing trace.
+func TestJoinTraced(t *testing.T) {
+	s := miniSystem(t, 3)
+	p := pattern.MustParse(`#1 pc #2, #1 pc #3, #2 ad #4, #3 ad #5 :: ` +
+		`#1.tag = "tax_prod_root" & #2.tag = "dblp" & #3.tag = "ProceedingsPage" & ` +
+		`#4.tag = "title" & #5.tag = "title" & #4.content ~ #5.content`)
+	plain, err := s.Join("dblp", "sigmod", p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, st, err := s.JoinTraced("dblp", "sigmod", p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced) != len(plain) || len(traced) != 1 {
+		t.Fatalf("traced %d answers vs plain %d (want 1)", len(traced), len(plain))
+	}
+	if st.Op != "join" || st.Instance != "dblp⨝sigmod" {
+		t.Errorf("trace identity = %q on %q", st.Op, st.Instance)
+	}
+	if st.Join == nil {
+		t.Fatal("join trace missing")
+	}
+	j := st.Join
+	if j.LeftDocs != 1 || j.RightDocs != 1 || j.CrossPairs != 1 {
+		t.Errorf("pairing sides = %dx%d cross=%d", j.LeftDocs, j.RightDocs, j.CrossPairs)
+	}
+	if j.PairsTried < 1 || j.PairsTried > j.CrossPairs {
+		t.Errorf("PairsTried = %d of %d", j.PairsTried, j.CrossPairs)
+	}
+	if sel := j.PairSelectivity(); sel <= 0 || sel > 1 {
+		t.Errorf("pair selectivity = %f", sel)
+	}
+	if st.Answers != 1 || st.TotalTime <= 0 {
+		t.Errorf("answers=%d total=%v", st.Answers, st.TotalTime)
+	}
+}
+
+// TestAnalyzedPlanRendering: EXPLAIN ANALYZE output carries the routing
+// decisions, candidate counts and per-stage timings the operator needs.
+func TestAnalyzedPlanRendering(t *testing.T) {
+	s := miniSystem(t, 3)
+	ap, answers, err := s.ExplainAnalyze("dblp", simSelectPattern(), []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) == 0 {
+		t.Fatal("analyzed selection returned no answers")
+	}
+	out := ap.String()
+	for _, want := range []string{
+		"EXPLAIN ANALYZE: select on dblp",
+		"rewrite  [",
+		"pre-filter  [",
+		"route=index(",
+		"selectivity",
+		"eval  [",
+		"workers=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyzed plan missing %q:\n%s", want, out)
+		}
+	}
+
+	apj, janswers, err := s.ExplainAnalyzeJoin("dblp", "sigmod", pattern.MustParse(
+		`#1 pc #2, #1 pc #3, #2 ad #4, #3 ad #5 :: `+
+			`#1.tag = "tax_prod_root" & #2.tag = "dblp" & #3.tag = "ProceedingsPage" & `+
+			`#4.tag = "title" & #5.tag = "title" & #4.content ~ #5.content`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(janswers) != 1 {
+		t.Fatalf("analyzed join returned %d answers", len(janswers))
+	}
+	jout := apj.String()
+	for _, want := range []string{
+		"EXPLAIN ANALYZE: join on dblp⨝sigmod",
+		"join: ",
+		"pairs tried",
+		"pair selectivity",
+	} {
+		if !strings.Contains(jout, want) {
+			t.Errorf("analyzed join plan missing %q:\n%s", want, jout)
+		}
+	}
+}
+
+// TestSelectTracedParallel: the parallel path records worker utilization and
+// returns the sequential path's answers.
+func TestSelectTracedParallel(t *testing.T) {
+	s := miniSystem(t, 3)
+	// Split the single mini document into per-paper documents so there is
+	// real fan-out.
+	col := s.Instance("dblp").Col
+	docs := col.Docs()
+	roots, err := col.Query(`//inproceedings`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 3 || len(docs) != 1 {
+		t.Fatalf("fixture shape changed: %d roots, %d docs", len(roots), len(docs))
+	}
+	seq, _, err := s.SelectTraced("dblp", simSelectPattern(), []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Parallelism = 4
+	defer func() { s.Parallelism = 1 }()
+	par, st, err := s.SelectTraced("dblp", simSelectPattern(), []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("parallel %d answers vs sequential %d", len(par), len(seq))
+	}
+	total := 0
+	for _, n := range st.WorkerDocs {
+		total += n
+	}
+	if total != st.DocsEvaluated {
+		t.Errorf("worker utilization %v does not sum to %d docs", st.WorkerDocs, st.DocsEvaluated)
+	}
+}

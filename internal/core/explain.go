@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/pattern"
+	"repro/internal/tree"
 )
 
 // Plan describes how the Query Executor will run a selection: the rewritten
@@ -33,18 +34,24 @@ func (s *System) Explain(instance string, p *pattern.Tree) (*Plan, error) {
 		return nil, fmt.Errorf("core: unknown instance %q", instance)
 	}
 	paths := s.RewritePattern(p)
-	plan := &Plan{
-		Instance:             instance,
-		Pattern:              p.String(),
-		TotalDocs:            in.Col.DocCount(),
-		SimilarityExpansions: map[string]int{},
-		TypeErrors:           s.CheckWellTyped(p),
-	}
+	plan := s.planSkeleton(instance, p)
+	plan.TotalDocs = in.Col.DocCount()
 	for _, path := range paths {
 		plan.XPaths = append(plan.XPaths, path.String())
 	}
 	plan.CandidateDocs = len(s.CandidateDocs(in.Col, paths))
+	return plan, nil
+}
 
+// planSkeleton fills the static (execution-free) parts of a plan: pattern
+// rendering, post-filter analysis, expansion sizes and type warnings.
+func (s *System) planSkeleton(instance string, p *pattern.Tree) *Plan {
+	plan := &Plan{
+		Instance:             instance,
+		Pattern:              p.String(),
+		SimilarityExpansions: map[string]int{},
+		TypeErrors:           s.CheckWellTyped(p),
+	}
 	compiled := map[string]bool{}
 	for _, a := range pattern.Atoms(conjunctiveOnly(p.Cond)) {
 		attr, lit, op, ok := normalizeAtom(a)
@@ -70,7 +77,66 @@ func (s *System) Explain(instance string, p *pattern.Tree) (*Plan, error) {
 			plan.PostFilterAtoms = append(plan.PostFilterAtoms, a.String())
 		}
 	}
-	return plan, nil
+	return plan
+}
+
+// AnalyzedPlan pairs the static plan with the actual execution statistics of
+// one run — the executor's EXPLAIN ANALYZE.
+type AnalyzedPlan struct {
+	Plan  *Plan
+	Stats *ExecStats
+}
+
+// ExplainAnalyze runs the selection and returns the plan annotated with
+// actuals (routing decisions, candidate counts, selectivity, timings)
+// alongside the answers.
+func (s *System) ExplainAnalyze(instance string, p *pattern.Tree, sl []int) (*AnalyzedPlan, []*tree.Tree, error) {
+	out, st, err := s.SelectTraced(instance, p, sl)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan := s.planSkeleton(instance, p)
+	plan.TotalDocs = st.TotalDocs
+	plan.CandidateDocs = st.CandidateDocs
+	for _, pt := range st.Paths {
+		plan.XPaths = append(plan.XPaths, pt.XPath)
+	}
+	return &AnalyzedPlan{Plan: plan, Stats: st}, out, nil
+}
+
+// ExplainAnalyzeJoin runs a condition join and returns the annotated plan
+// (per-side pre-filter stats, pairing counts, timings) alongside the answers.
+func (s *System) ExplainAnalyzeJoin(left, right string, p *pattern.Tree, sl []int) (*AnalyzedPlan, []*tree.Tree, error) {
+	out, st, err := s.JoinTraced(left, right, p, sl)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan := s.planSkeleton(left+"⨝"+right, p)
+	plan.TotalDocs = st.TotalDocs
+	plan.CandidateDocs = st.CandidateDocs
+	for _, pt := range st.Paths {
+		plan.XPaths = append(plan.XPaths, pt.XPath)
+	}
+	return &AnalyzedPlan{Plan: plan, Stats: st}, out, nil
+}
+
+// String renders the analyzed plan: the static plan context followed by the
+// execution trace with actual counts and per-stage timings.
+func (ap *AnalyzedPlan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "EXPLAIN ANALYZE: %s on %s\n", ap.Stats.Op, ap.Plan.Instance)
+	fmt.Fprintf(&b, "pattern: %s\n", ap.Plan.Pattern)
+	b.WriteString(ap.Stats.String())
+	if len(ap.Plan.PostFilterAtoms) > 0 {
+		b.WriteString("post-filtered conditions:\n")
+		for _, a := range ap.Plan.PostFilterAtoms {
+			fmt.Fprintf(&b, "  %s\n", a)
+		}
+	}
+	for _, e := range ap.Plan.TypeErrors {
+		fmt.Fprintf(&b, "type warning: %s\n", e)
+	}
+	return b.String()
 }
 
 // String renders the plan for humans.

@@ -11,10 +11,12 @@ import (
 
 // selectDocs evaluates a selection over candidate documents, fanning out
 // across s.Parallelism workers when that is set above 1. Each document gets
-// its own destination collection and its own evaluator (the evaluator's memo
-// tables are not safe for concurrent use); answers are concatenated in
-// document order, so results are identical to the sequential path.
-func (s *System) selectDocs(cands []*tree.Tree, p *pattern.Tree, sl []int) ([]*tree.Tree, error) {
+// its own destination collection, and each worker its own evaluator (the
+// evaluator's memo tables are not safe for concurrent use); answers are
+// concatenated in document order, so results are identical to the sequential
+// path. When st is non-nil the worker count, per-worker document counts
+// (utilization) and embedding totals are recorded.
+func (s *System) selectDocs(cands []*tree.Tree, p *pattern.Tree, sl []int, st *ExecStats) ([]*tree.Tree, error) {
 	workers := s.Parallelism
 	if workers <= 0 {
 		workers = 1
@@ -22,36 +24,67 @@ func (s *System) selectDocs(cands []*tree.Tree, p *pattern.Tree, sl []int) ([]*t
 	if workers > runtime.GOMAXPROCS(0) {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	if workers <= 1 || len(cands) <= 1 {
+		if st != nil {
+			st.Workers = 1
+			st.WorkerDocs = []int{len(cands)}
+			st.DocsEvaluated = len(cands)
+		}
 		dst := tree.NewCollection()
-		return tax.Select(dst, cands, p, sl, s.Evaluator())
+		out, ops, err := tax.SelectTraced(dst, cands, p, sl, s.Evaluator())
+		if st != nil {
+			st.Embeddings = ops.Embeddings
+		}
+		return out, err
 	}
 
 	type result struct {
-		trees []*tree.Tree
-		err   error
+		trees      []*tree.Tree
+		embeddings int
+		err        error
 	}
 	results := make([]result, len(cands))
+	workerDocs := make([]int, workers)
+	idx := make(chan int)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, doc := range cands {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int, doc *tree.Tree) {
+		go func(w int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			dst := tree.NewCollection()
-			trees, err := tax.Select(dst, []*tree.Tree{doc}, p, sl, s.Evaluator())
-			results[i] = result{trees: trees, err: err}
-		}(i, doc)
+			ev := s.Evaluator()
+			for i := range idx {
+				dst := tree.NewCollection()
+				trees, ops, err := tax.SelectTraced(dst, cands[i:i+1], p, sl, ev)
+				results[i] = result{trees: trees, embeddings: ops.Embeddings, err: err}
+				workerDocs[w]++
+			}
+		}(w)
 	}
+	for i := range cands {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	var out []*tree.Tree
+	embeddings := 0
 	for _, r := range results {
 		if r.err != nil {
 			return nil, r.err
 		}
+		embeddings += r.embeddings
 		out = append(out, r.trees...)
+	}
+	if st != nil {
+		st.Workers = workers
+		st.WorkerDocs = workerDocs
+		st.DocsEvaluated = len(cands)
+		st.Embeddings = embeddings
 	}
 	return out, nil
 }

@@ -47,17 +47,16 @@ func (r *QualityReport) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// WriteCSV emits the Figure 16(a) series: bytes on the x axis, one column
-// per curve.
+// WriteCSV emits the Figure 16(a) series: bytes on the x axis, latency and
+// pre-filter selectivity columns per curve.
 func (r *SelectionScalabilityReport) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{"papers", "bytes", "tax_ms"}
 	for i := range r.TOSS {
-		terms := 0
-		if len(r.TOSS[i]) > 0 {
-			terms = r.TOSS[i][len(r.TOSS[i])-1].OntoTerms
-		}
-		header = append(header, fmt.Sprintf("toss_%dterms_ms", terms))
+		terms := curveTerms(r.TOSS[i])
+		header = append(header,
+			fmt.Sprintf("toss_%dterms_ms", terms),
+			fmt.Sprintf("toss_%dterms_selectivity", terms))
 	}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -69,7 +68,9 @@ func (r *SelectionScalabilityReport) WriteCSV(w io.Writer) error {
 			fmt.Sprintf("%.3f", msOf(r.TAX[row])),
 		}
 		for i := range r.TOSS {
-			rec = append(rec, fmt.Sprintf("%.3f", msOf(r.TOSS[i][row])))
+			rec = append(rec,
+				fmt.Sprintf("%.3f", msOf(r.TOSS[i][row])),
+				fmt.Sprintf("%.4f", r.TOSS[i][row].Selectivity))
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -79,16 +80,16 @@ func (r *SelectionScalabilityReport) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// WriteCSV emits the Figure 16(b) series.
+// WriteCSV emits the Figure 16(b) series: latency and pair-selectivity
+// columns per curve (pairs tried over the full cross product).
 func (r *JoinScalabilityReport) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	header := []string{"papers", "bytes", "tax_ms"}
 	for i := range r.TOSS {
-		terms := 0
-		if len(r.TOSS[i]) > 0 {
-			terms = r.TOSS[i][len(r.TOSS[i])-1].OntoTerms
-		}
-		header = append(header, fmt.Sprintf("toss_%dterms_ms", terms))
+		terms := curveTerms(r.TOSS[i])
+		header = append(header,
+			fmt.Sprintf("toss_%dterms_ms", terms),
+			fmt.Sprintf("toss_%dterms_pair_selectivity", terms))
 	}
 	header = append(header, "results")
 	if err := cw.Write(header); err != nil {
@@ -101,7 +102,9 @@ func (r *JoinScalabilityReport) WriteCSV(w io.Writer) error {
 			fmt.Sprintf("%.3f", msOf(r.TAX[row])),
 		}
 		for i := range r.TOSS {
-			rec = append(rec, fmt.Sprintf("%.3f", msOf(r.TOSS[i][row])))
+			rec = append(rec,
+				fmt.Sprintf("%.3f", msOf(r.TOSS[i][row])),
+				fmt.Sprintf("%.4f", r.TOSS[i][row].Selectivity))
 		}
 		rec = append(rec, fmt.Sprint(r.Results[row]))
 		if err := cw.Write(rec); err != nil {
@@ -138,4 +141,13 @@ func (r *EpsilonReport) WriteCSV(w io.Writer) error {
 
 func msOf(p ScalabilityPoint) float64 {
 	return float64(p.Elapsed.Microseconds()) / 1000
+}
+
+// curveTerms labels a TOSS curve with its fused-ontology size (the last
+// point's, where the ontology is largest).
+func curveTerms(curve []ScalabilityPoint) int {
+	if len(curve) == 0 {
+		return 0
+	}
+	return curve[len(curve)-1].OntoTerms
 }

@@ -295,3 +295,81 @@ func checkCSV(t *testing.T, name string, emit func(io.Writer) error, wantRows in
 		}
 	}
 }
+
+// TestScalabilitySelectivityColumns: the scalability reports carry pre-filter
+// selectivity per point, and the CSV exports expose it as per-curve columns.
+func TestScalabilitySelectivityColumns(t *testing.T) {
+	scfg := DefaultSelectionScalabilityConfig()
+	scfg.PaperCounts = []int{80}
+	scfg.Repetitions = 1
+	srep, err := RunSelectionScalability(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range srep.TOSS {
+		for _, pt := range srep.TOSS[i] {
+			if pt.Total <= 0 || pt.Candidates < 0 || pt.Candidates > pt.Total {
+				t.Errorf("selection candidates = %d of %d", pt.Candidates, pt.Total)
+			}
+			if pt.Selectivity < 0 || pt.Selectivity > 1 {
+				t.Errorf("selection selectivity = %f", pt.Selectivity)
+			}
+		}
+	}
+	for _, pt := range srep.TAX {
+		if pt.Selectivity != 1 || pt.Candidates != pt.Total {
+			t.Errorf("TAX baseline must have selectivity 1, got %+v", pt)
+		}
+	}
+	var buf bytes.Buffer
+	if err := srep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	selCols := 0
+	for _, col := range records[0] {
+		if strings.HasSuffix(col, "_selectivity") {
+			selCols++
+		}
+	}
+	if selCols != len(srep.TOSS) {
+		t.Errorf("fig16a header has %d selectivity columns, want %d: %v", selCols, len(srep.TOSS), records[0])
+	}
+
+	jcfg := DefaultJoinScalabilityConfig()
+	jcfg.PaperCounts = []int{40}
+	jrep, err := RunJoinScalability(jcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jrep.TOSS {
+		for _, pt := range jrep.TOSS[i] {
+			if pt.Selectivity <= 0 || pt.Selectivity > 1 {
+				t.Errorf("join pair selectivity = %f", pt.Selectivity)
+			}
+			if pt.Candidates > pt.Total {
+				t.Errorf("join pairs tried %d > cross product %d", pt.Candidates, pt.Total)
+			}
+		}
+	}
+	buf.Reset()
+	if err := jrep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	jrecords, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jSelCols := 0
+	for _, col := range jrecords[0] {
+		if strings.HasSuffix(col, "_pair_selectivity") {
+			jSelCols++
+		}
+	}
+	if jSelCols != len(jrep.TOSS) {
+		t.Errorf("fig16b header has %d pair-selectivity columns, want %d: %v", jSelCols, len(jrep.TOSS), jrecords[0])
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/pattern"
 	"repro/internal/tax"
@@ -40,12 +41,20 @@ func DefaultSelectionScalabilityConfig() SelectionScalabilityConfig {
 	}
 }
 
-// ScalabilityPoint is one measured point of a time-vs-size curve.
+// ScalabilityPoint is one measured point of a time-vs-size curve, with the
+// pre-filter statistics of the run alongside the latency: for selections,
+// Candidates/Total are the documents surviving the XPath pre-filter out of
+// the collection; for joins they are the document pairs tried out of the
+// full cross product. Selectivity is their ratio (1 for the TAX baseline,
+// which has no pre-filter).
 type ScalabilityPoint struct {
-	Papers    int
-	Bytes     int
-	OntoTerms int           // fused ontology size (0 for the TAX baseline)
-	Elapsed   time.Duration // average over repetitions
+	Papers      int
+	Bytes       int
+	OntoTerms   int           // fused ontology size (0 for the TAX baseline)
+	Elapsed     time.Duration // average over repetitions
+	Candidates  int
+	Total       int
+	Selectivity float64
 }
 
 // SelectionScalabilityReport holds the Figure 16(a) series.
@@ -87,18 +96,24 @@ func RunSelectionScalability(cfg SelectionScalabilityConfig) (*SelectionScalabil
 			}
 			bytes := s.Instance("dblp").Col.ByteSize()
 			var total time.Duration
+			var stats *core.ExecStats
 			for r := 0; r < reps; r++ {
 				start := time.Now()
-				if _, err := s.Select("dblp", pat, []int{1}); err != nil {
+				_, st, err := s.SelectTraced("dblp", pat, []int{1})
+				if err != nil {
 					return nil, err
 				}
 				total += time.Since(start)
+				stats = st
 			}
 			rep.TOSS[i] = append(rep.TOSS[i], ScalabilityPoint{
-				Papers:    papers,
-				Bytes:     bytes,
-				OntoTerms: s.OntologyTermCount(),
-				Elapsed:   total / time.Duration(reps),
+				Papers:      papers,
+				Bytes:       bytes,
+				OntoTerms:   s.OntologyTermCount(),
+				Elapsed:     total / time.Duration(reps),
+				Candidates:  stats.CandidateDocs,
+				Total:       stats.TotalDocs,
+				Selectivity: stats.Selectivity(),
 			})
 		}
 
@@ -122,9 +137,12 @@ func RunSelectionScalability(cfg SelectionScalabilityConfig) (*SelectionScalabil
 			total += time.Since(start)
 		}
 		rep.TAX = append(rep.TAX, ScalabilityPoint{
-			Papers:  papers,
-			Bytes:   s.Instance("dblp").Col.ByteSize(),
-			Elapsed: total / time.Duration(reps),
+			Papers:      papers,
+			Bytes:       s.Instance("dblp").Col.ByteSize(),
+			Elapsed:     total / time.Duration(reps),
+			Candidates:  len(docs),
+			Total:       len(docs),
+			Selectivity: 1,
 		})
 	}
 	return rep, nil
@@ -236,21 +254,30 @@ func RunJoinScalability(cfg JoinScalabilityConfig) (*JoinScalabilityReport, erro
 			bytes := s.Instance("dblp").Col.ByteSize() + s.Instance("sigmod").Col.ByteSize()
 			var total time.Duration
 			var count int
+			var stats *core.ExecStats
 			for r := 0; r < reps; r++ {
 				start := time.Now()
-				res, err := s.Join("dblp", "sigmod", pat, nil)
+				res, st, err := s.JoinTraced("dblp", "sigmod", pat, nil)
 				if err != nil {
 					return nil, err
 				}
 				total += time.Since(start)
 				count = len(res)
+				stats = st
 			}
-			rep.TOSS[i] = append(rep.TOSS[i], ScalabilityPoint{
-				Papers:    papers,
-				Bytes:     bytes,
-				OntoTerms: s.OntologyTermCount(),
-				Elapsed:   total / time.Duration(reps),
-			})
+			pt := ScalabilityPoint{
+				Papers:      papers,
+				Bytes:       bytes,
+				OntoTerms:   s.OntologyTermCount(),
+				Elapsed:     total / time.Duration(reps),
+				Selectivity: 1,
+			}
+			if stats.Join != nil {
+				pt.Candidates = stats.Join.PairsTried
+				pt.Total = stats.Join.CrossPairs
+				pt.Selectivity = stats.Join.PairSelectivity()
+			}
+			rep.TOSS[i] = append(rep.TOSS[i], pt)
 			if i == len(cfg.OntologyCaps)-1 {
 				rep.Results = append(rep.Results, count)
 			}
@@ -283,9 +310,12 @@ func RunJoinScalability(cfg JoinScalabilityConfig) (*JoinScalabilityReport, erro
 			total += time.Since(start)
 		}
 		rep.TAX = append(rep.TAX, ScalabilityPoint{
-			Papers:  papers,
-			Bytes:   s.Instance("dblp").Col.ByteSize() + s.Instance("sigmod").Col.ByteSize(),
-			Elapsed: total / time.Duration(reps),
+			Papers:      papers,
+			Bytes:       s.Instance("dblp").Col.ByteSize() + s.Instance("sigmod").Col.ByteSize(),
+			Elapsed:     total / time.Duration(reps),
+			Candidates:  len(ldocs) * len(rdocs),
+			Total:       len(ldocs) * len(rdocs),
+			Selectivity: 1,
 		})
 	}
 	return rep, nil

@@ -9,24 +9,50 @@ import (
 // introduces, named as in the paper's Figure 7.
 const ProdRootTag = "tax_prod_root"
 
+// OpStats counts the work one algebra operator performed — the per-operator
+// hook the executor's trace layer aggregates into query-level statistics.
+type OpStats struct {
+	TreesIn    int // input trees examined
+	Embeddings int // satisfying embeddings found
+	Witnesses  int // witness trees emitted
+}
+
+// Add accumulates another operator's counts.
+func (s *OpStats) Add(o OpStats) {
+	s.TreesIn += o.TreesIn
+	s.Embeddings += o.Embeddings
+	s.Witnesses += o.Witnesses
+}
+
 // Select implements TAX selection σ_{P,SL}: for every tree of db and every
 // embedding of p satisfying p's condition, emit the witness tree; pattern
 // labels in sl carry their full subtrees into the output.
 func Select(dst *tree.Collection, db []*tree.Tree, p *pattern.Tree, sl []int, ev Evaluator) ([]*tree.Tree, error) {
+	out, _, err := SelectTraced(dst, db, p, sl, ev)
+	return out, err
+}
+
+// SelectTraced is Select plus operator statistics: how many trees were
+// examined, how many satisfying embeddings were found and how many witness
+// trees were emitted.
+func SelectTraced(dst *tree.Collection, db []*tree.Tree, p *pattern.Tree, sl []int, ev Evaluator) ([]*tree.Tree, OpStats, error) {
 	c := Compile(p)
+	st := OpStats{TreesIn: len(db)}
 	var out []*tree.Tree
 	for _, t := range db {
 		bindings, err := c.Embeddings(t, ev)
 		if err != nil {
-			return nil, err
+			return nil, st, err
 		}
+		st.Embeddings += len(bindings)
 		for _, b := range bindings {
 			if wt := c.WitnessTree(dst, t, b, sl); wt != nil {
 				out = append(out, wt)
 			}
 		}
 	}
-	return out, nil
+	st.Witnesses = len(out)
+	return out, st, nil
 }
 
 // Project implements TAX projection π_{P,PL}: per input tree, keep every

@@ -525,3 +525,34 @@ func TestProjectNoMatches(t *testing.T) {
 		t.Errorf("projection = %d trees, want 0", len(out))
 	}
 }
+
+// TestSelectTracedStats: the traced selection agrees with Select and counts
+// trees, embeddings and witnesses; OpStats accumulate with Add.
+func TestSelectTracedStats(t *testing.T) {
+	dst, doc := loadDoc(t, dblpXML)
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author"`)
+	plain, err := Select(dst, []*tree.Tree{doc}, p, nil, Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, st, err := SelectTraced(dst, []*tree.Tree{doc}, p, nil, Baseline{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced) != len(plain) {
+		t.Fatalf("traced %d vs plain %d answers", len(traced), len(plain))
+	}
+	if st.TreesIn != 1 {
+		t.Errorf("TreesIn = %d", st.TreesIn)
+	}
+	// d1 has two authors: 4 embeddings across the document's 3 papers.
+	if st.Embeddings != 4 || st.Witnesses != 4 || st.Witnesses != len(traced) {
+		t.Errorf("stats = %+v for %d answers", st, len(traced))
+	}
+	var acc OpStats
+	acc.Add(st)
+	acc.Add(st)
+	if acc.TreesIn != 2 || acc.Embeddings != 8 || acc.Witnesses != 8 {
+		t.Errorf("Add accumulated %+v", acc)
+	}
+}

@@ -1,0 +1,233 @@
+package xmldb
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/xpath"
+)
+
+// TestPutTreeRejectionPreservesExistingTree: a tree that already belongs to
+// the collection (stored under another key) must survive a size-rejected
+// PutTree — the failure path may only undo membership changes it made itself.
+func TestPutTreeRejectionPreservesExistingTree(t *testing.T) {
+	db := New()
+	c := db.CreateCollection("x")
+	if _, err := c.PutXML("k1", strings.NewReader(`<a><b>hi</b></a>`)); err != nil {
+		t.Fatal(err)
+	}
+	existing := c.Doc("k1")
+	// Cap the limit so storing the same tree under a second key is rejected
+	// (the second copy would double the byte count).
+	c.SetMaxBytes(c.ByteSize())
+	if err := c.PutTree("k2", existing); !errors.Is(err, ErrCollectionFull) {
+		t.Fatalf("expected ErrCollectionFull, got %v", err)
+	}
+	if c.Doc("k1") != existing {
+		t.Fatal("rejected PutTree dropped the k1 document")
+	}
+	found := false
+	for _, tr := range c.TreeCollection().Trees {
+		if tr == existing {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("rejected PutTree removed a pre-existing tree from the collection")
+	}
+	if got, _ := c.Query(`//b`); len(got) != 1 {
+		t.Errorf("query after rejected PutTree = %d nodes, want 1", len(got))
+	}
+}
+
+// TestReplaceKeepsInsertionOrder: replacing a document must keep its key at
+// the original position in insertion order, not migrate it to the end.
+func TestReplaceKeepsInsertionOrder(t *testing.T) {
+	db := New()
+	c := db.CreateCollection("dblp")
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("p%d", i)
+		if _, err := c.PutXML(key, strings.NewReader(paperXML(key, "A", "T", "2000"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.PutXML("p2", strings.NewReader(paperXML("p2", "B", "T2", "2001"))); err != nil {
+		t.Fatal(err)
+	}
+	keys := c.Keys()
+	for i, k := range keys {
+		if k != fmt.Sprintf("p%d", i) {
+			t.Fatalf("replacement changed insertion order: %v", keys)
+		}
+	}
+	docs := c.Docs()
+	if len(docs) != 5 || docs[2] != c.Doc("p2") {
+		t.Error("Docs() order does not follow Keys() after replacement")
+	}
+	if got := c.Doc("p2").Root.ChildContent("author"); got != "B" {
+		t.Errorf("replacement did not take effect: author=%q", got)
+	}
+}
+
+// TestQueryPathTracedStats: the per-query trace reports the routing decision,
+// candidate counts, and value-index narrowing.
+func TestQueryPathTracedStats(t *testing.T) {
+	db := New()
+	c := db.CreateCollection("dblp")
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("p%d", i)
+		if _, err := c.PutXML(key, strings.NewReader(paperXML(key, fmt.Sprintf("A%d", i%2), "T", "2000"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	p := mustPath(t, `//author`)
+	nodes, st := c.QueryPathTraced(p)
+	if !st.Indexed || st.IndexTag != "author" {
+		t.Errorf("expected index route on author, got %+v", st)
+	}
+	if st.Candidates != 10 || st.Matches != len(nodes) || len(nodes) != 10 {
+		t.Errorf("indexed stats = %+v (%d nodes)", st, len(nodes))
+	}
+	if st.XPath == "" || st.Elapsed < 0 {
+		t.Errorf("missing trace fields: %+v", st)
+	}
+
+	nodes, st = c.QueryPathTraced(mustPath(t, `//author[.='A1']`))
+	if !st.Indexed || !st.ValueIndexUsed {
+		t.Errorf("expected value-index narrowing, got %+v", st)
+	}
+	if st.Candidates != 5 || len(nodes) != 5 {
+		t.Errorf("value-index stats = %+v (%d nodes)", st, len(nodes))
+	}
+
+	nodes, st = c.QueryPathTraced(mustPath(t, `//*[year='2000']`))
+	if st.Indexed || st.DocsWalked != 10 {
+		t.Errorf("expected scan route over 10 docs, got %+v", st)
+	}
+	if len(nodes) != 10 {
+		t.Errorf("scan matches = %d", len(nodes))
+	}
+}
+
+// TestCounters: cumulative collection counters reflect routing and reset.
+func TestCounters(t *testing.T) {
+	db := New()
+	c := db.CreateCollection("dblp")
+	for i := 0; i < 6; i++ {
+		key := fmt.Sprintf("p%d", i)
+		if _, err := c.PutXML(key, strings.NewReader(paperXML(key, fmt.Sprintf("A%d", i%2), "T", "2000"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.QueryPath(mustPath(t, `//author`))         // indexed
+	c.QueryPath(mustPath(t, `//author[.='A1']`)) // indexed + value index (3 of 6)
+	c.QueryPath(mustPath(t, `//*[year='2000']`)) // scan
+
+	got := c.Counters()
+	if got.Queries != 3 || got.IndexedQueries != 2 || got.ScanQueries != 1 {
+		t.Errorf("routing counters = %+v", got)
+	}
+	if got.ValueIndexHits != 1 {
+		t.Errorf("ValueIndexHits = %d", got.ValueIndexHits)
+	}
+	if got.DocsWalked != 6 {
+		t.Errorf("DocsWalked = %d", got.DocsWalked)
+	}
+	if got.NodesTested != 6+3 {
+		t.Errorf("NodesTested = %d, want 9", got.NodesTested)
+	}
+	if got.NodesMatched != 6+3+6 {
+		t.Errorf("NodesMatched = %d, want 15", got.NodesMatched)
+	}
+	c.ResetCounters()
+	if c.Counters() != (Counters{}) {
+		t.Errorf("ResetCounters left %+v", c.Counters())
+	}
+}
+
+// TestConcurrentQueryMutate stresses the RLock-escalation read path: indexed
+// queries, scans, index-backed accessors, puts, replacements, tree puts and
+// deletes all interleave. Run under -race; the seed code serialized readers
+// behind an exclusive lock and destroyed shared trees on rejected puts.
+func TestConcurrentQueryMutate(t *testing.T) {
+	db := New()
+	c := db.CreateCollection("dblp")
+	for i := 0; i < 16; i++ {
+		key := fmt.Sprintf("p%d", i)
+		if _, err := c.PutXML(key, strings.NewReader(paperXML(key, fmt.Sprintf("A%d", i%4), "T", "2000"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const iters = 60
+	var wg sync.WaitGroup
+	// Readers: indexed route, value-index route, scan route, accessors.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.QueryPath(mustPath(t, `//author`))
+				c.QueryPath(mustPath(t, `//author[.='A1']`))
+				c.QueryPath(mustPath(t, `//*[year='2000']`))
+				c.NodesWithTag("title")
+				c.NodesWithTerm("t")
+				c.Keys()
+				c.Docs()
+				c.Counters()
+			}
+		}(g)
+	}
+	// Writers: puts (inserts + replacements), tree puts, deletes.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				key := fmt.Sprintf("w%d-%d", g, i%8)
+				xml := paperXML(key, fmt.Sprintf("A%d", i%4), "T", "2001")
+				if _, err := c.PutXML(key, strings.NewReader(xml)); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%3 == 0 {
+					c.Delete(key)
+				}
+				if i%5 == 0 {
+					// Replace a stable key (exercises the in-place order path).
+					stable := fmt.Sprintf("p%d", i%16)
+					if _, err := c.PutXML(stable, strings.NewReader(paperXML(stable, "R", "T", "2002"))); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// The 16 stable keys must all still be present, in insertion order.
+	keys := c.Keys()
+	if len(keys) < 16 {
+		t.Fatalf("lost documents: %d keys", len(keys))
+	}
+	for i := 0; i < 16; i++ {
+		if keys[i] != fmt.Sprintf("p%d", i) {
+			t.Fatalf("stable key order broken: %v", keys[:16])
+		}
+	}
+	if got, _ := c.Query(`//inproceedings`); len(got) != c.DocCount() {
+		t.Errorf("index inconsistent: %d roots vs %d docs", len(got), c.DocCount())
+	}
+}
+
+func mustPath(t *testing.T, expr string) *xpath.Path {
+	t.Helper()
+	p, err := xpath.Parse(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -11,6 +11,8 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/similarity"
 	"repro/internal/tree"
@@ -99,6 +101,66 @@ type Collection struct {
 	// string value joins its descendants' text and is not in the index.
 	valueIndex    map[string][]*tree.Node
 	mixedValueTag map[string]bool
+
+	// Cumulative query counters, updated atomically so the read path never
+	// contends on mu for bookkeeping. Snapshot with Counters().
+	nQueries        atomic.Uint64
+	nIndexed        atomic.Uint64
+	nScans          atomic.Uint64
+	nValueIndexHits atomic.Uint64
+	nDocsWalked     atomic.Uint64
+	nNodesTested    atomic.Uint64
+	nNodesMatched   atomic.Uint64
+}
+
+// Counters is a snapshot of a collection's cumulative query statistics.
+type Counters struct {
+	Queries        uint64 // path queries served (indexed + scans)
+	IndexedQueries uint64 // routed bottom-up through the tag index
+	ScanQueries    uint64 // answered by walking every document
+	ValueIndexHits uint64 // queries narrowed via the value index
+	DocsWalked     uint64 // documents traversed by scanning queries
+	NodesTested    uint64 // candidate nodes tested on the indexed path
+	NodesMatched   uint64 // nodes returned across all queries
+}
+
+// Counters returns the collection's cumulative query counters.
+func (c *Collection) Counters() Counters {
+	return Counters{
+		Queries:        c.nQueries.Load(),
+		IndexedQueries: c.nIndexed.Load(),
+		ScanQueries:    c.nScans.Load(),
+		ValueIndexHits: c.nValueIndexHits.Load(),
+		DocsWalked:     c.nDocsWalked.Load(),
+		NodesTested:    c.nNodesTested.Load(),
+		NodesMatched:   c.nNodesMatched.Load(),
+	}
+}
+
+// ResetCounters zeroes the cumulative query counters (benchmark harnesses
+// reset between runs).
+func (c *Collection) ResetCounters() {
+	c.nQueries.Store(0)
+	c.nIndexed.Store(0)
+	c.nScans.Store(0)
+	c.nValueIndexHits.Store(0)
+	c.nDocsWalked.Store(0)
+	c.nNodesTested.Store(0)
+	c.nNodesMatched.Store(0)
+}
+
+// QueryStats traces how one QueryPath execution was answered: the routing
+// decision (tag index vs full scan), how many candidate nodes were
+// considered, whether the value index narrowed them, and the wall-clock cost.
+type QueryStats struct {
+	XPath          string
+	Indexed        bool   // routed through the tag index
+	IndexTag       string // final-step tag driving the index lookup
+	ValueIndexUsed bool   // candidates narrowed by the value index
+	Candidates     int    // nodes tested against the path (indexed route)
+	DocsWalked     int    // documents traversed (scan route)
+	Matches        int    // nodes returned
+	Elapsed        time.Duration
 }
 
 // Name returns the collection name.
@@ -149,12 +211,19 @@ func (c *Collection) PutXML(key string, r io.Reader) (*tree.Tree, error) {
 func (c *Collection) PutTree(key string, t *tree.Tree) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	added := false
 	if !c.contains(t) {
 		t = t.CloneInto(c.col)
 		c.col.Add(t)
+		added = true
 	}
 	if err := c.storeLocked(key, t); err != nil {
-		c.removeTree(t)
+		// Undo only our own membership change: a tree that already belonged
+		// to c.col before the call (e.g. one stored under another key) must
+		// survive a rejected put.
+		if added {
+			c.removeTree(t)
+		}
 		return err
 	}
 	return nil
@@ -175,12 +244,15 @@ func (c *Collection) storeLocked(key string, t *tree.Tree) error {
 			ErrCollectionFull, c.name, c.curBytes-oldSize, size, c.maxBytes)
 	}
 	if replacing {
+		// Keep the key at its original position in insertion order: a
+		// replaced document must not migrate to the end of Docs()/Keys()
+		// (and thereby change answer order).
 		c.curBytes -= oldSize
 		c.removeTree(old)
-		c.removeKey(key)
+	} else {
+		c.keys = append(c.keys, key)
 	}
 	c.docs[key] = t
-	c.keys = append(c.keys, key)
 	c.curBytes += size
 	c.invalidateIndexes()
 	return nil
@@ -324,21 +396,35 @@ func subtreeHasContent(n *tree.Node) bool {
 }
 
 // NodesWithTag returns the indexed nodes carrying the given tag, in document
-// order (building indexes on demand).
+// order (building indexes on demand). The returned slice is a copy, safe to
+// hold across concurrent mutations.
 func (c *Collection) NodesWithTag(tag string) []*tree.Node {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.buildIndexesLocked()
-	return c.tagIndex[tag]
+	return c.indexLookup(func() []*tree.Node { return c.tagIndex[tag] })
 }
 
 // NodesWithTerm returns the indexed nodes whose content contains the given
-// (lower-cased) token.
+// (lower-cased) token. The returned slice is a copy.
 func (c *Collection) NodesWithTerm(term string) []*tree.Node {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.buildIndexesLocked()
-	return c.termIndex[term]
+	return c.indexLookup(func() []*tree.Node { return c.termIndex[term] })
+}
+
+// indexLookup runs a read against the inverted indexes under the shared lock,
+// escalating to the exclusive lock only to (re)build them, and returns a copy
+// of the posting list.
+func (c *Collection) indexLookup(get func() []*tree.Node) []*tree.Node {
+	c.mu.RLock()
+	for c.tagIndex == nil {
+		c.mu.RUnlock()
+		c.mu.Lock()
+		c.buildIndexesLocked()
+		c.mu.Unlock()
+		c.mu.RLock()
+	}
+	postings := get()
+	out := make([]*tree.Node, len(postings))
+	copy(out, postings)
+	c.mu.RUnlock()
+	return out
 }
 
 // ---- querying ----
@@ -357,11 +443,36 @@ func (c *Collection) Query(expr string) ([]*tree.Node, error) {
 
 // QueryPath evaluates a parsed path (see Query).
 func (c *Collection) QueryPath(p *xpath.Path) []*tree.Node {
+	out, _ := c.QueryPathTraced(p)
+	return out
+}
+
+// QueryPathTraced evaluates a parsed path and reports how it was answered:
+// the index-vs-scan routing decision, candidate counts and timing. The
+// cumulative collection counters are updated either way.
+func (c *Collection) QueryPathTraced(p *xpath.Path) ([]*tree.Node, QueryStats) {
+	start := time.Now()
+	var out []*tree.Node
+	var st QueryStats
 	last := p.Steps[len(p.Steps)-1]
 	if last.Name != "*" && !p.HasInnerPredicates() {
-		return c.queryIndexed(p, last.Name)
+		out, st = c.queryIndexed(p, last.Name)
+		c.nIndexed.Add(1)
+		c.nNodesTested.Add(uint64(st.Candidates))
+		if st.ValueIndexUsed {
+			c.nValueIndexHits.Add(1)
+		}
+	} else {
+		out, st = c.queryScan(p)
+		c.nScans.Add(1)
+		c.nDocsWalked.Add(uint64(st.DocsWalked))
 	}
-	return c.queryScan(p)
+	st.XPath = p.String()
+	st.Matches = len(out)
+	st.Elapsed = time.Since(start)
+	c.nQueries.Add(1)
+	c.nNodesMatched.Add(uint64(len(out)))
+	return out, st
 }
 
 // QueryScan evaluates the path by walking every document; exported for the
@@ -371,22 +482,33 @@ func (c *Collection) QueryScan(expr string) ([]*tree.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.queryScan(p), nil
+	out, _ := c.queryScan(p)
+	return out, nil
 }
 
-func (c *Collection) queryScan(p *xpath.Path) []*tree.Node {
+func (c *Collection) queryScan(p *xpath.Path) ([]*tree.Node, QueryStats) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	var out []*tree.Node
 	for _, k := range c.keys {
 		out = append(out, p.Eval(c.docs[k].Root)...)
 	}
-	return out
+	return out, QueryStats{DocsWalked: len(c.keys)}
 }
 
-func (c *Collection) queryIndexed(p *xpath.Path, tag string) []*tree.Node {
-	c.mu.Lock()
-	c.buildIndexesLocked()
+func (c *Collection) queryIndexed(p *xpath.Path, tag string) ([]*tree.Node, QueryStats) {
+	st := QueryStats{Indexed: true, IndexTag: tag}
+	// Readers share the lock: escalate to the exclusive lock only to build
+	// missing indexes, then downgrade. The loop re-checks because a writer
+	// may invalidate the indexes between the two lock acquisitions.
+	c.mu.RLock()
+	for c.tagIndex == nil {
+		c.mu.RUnlock()
+		c.mu.Lock()
+		c.buildIndexesLocked()
+		c.mu.Unlock()
+		c.mu.RLock()
+	}
 	candidates := c.tagIndex[tag]
 	// Equality predicates on the final step route through the value index:
 	// [.='v'] (or a disjunction of them, the shape of rewritten ~
@@ -407,15 +529,21 @@ func (c *Collection) queryIndexed(p *xpath.Path, tag string) []*tree.Node {
 			}
 			if usable && len(narrowed) < len(candidates) {
 				candidates = narrowed
+				st.ValueIndexUsed = true
 			}
 		}
 	}
-	c.mu.Unlock()
+	// Copy before unlocking: a concurrent Put/Delete invalidates and rebuilds
+	// the index maps, and MatchesUp below runs outside the lock.
+	cands := make([]*tree.Node, len(candidates))
+	copy(cands, candidates)
+	c.mu.RUnlock()
+	st.Candidates = len(cands)
 	var out []*tree.Node
-	for _, n := range candidates {
+	for _, n := range cands {
 		if p.MatchesUp(n) {
 			out = append(out, n)
 		}
 	}
-	return out
+	return out, st
 }
