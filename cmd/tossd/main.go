@@ -1,0 +1,161 @@
+// Command tossd serves TOSS queries over HTTP. Unlike tossql, which rebuilds
+// the lexicon, fused ontology and SEO on every invocation, tossd builds them
+// once at startup and answers queries from the long-lived structures.
+//
+// Usage:
+//
+//	tossd -instance dblp=file1.xml[,file2.xml] [-instance sigmod=...] \
+//	      [-addr :8080] [-measure name-rule] [-eps 3] [-rules file] \
+//	      [-max-inflight 4] [-max-queue 8] [-timeout 30s] [-max-timeout 2m] \
+//	      [-cache-size 256] [-parallelism N]
+//
+// Endpoints: POST /query (see docs/SERVER.md), GET /healthz, /statz,
+// /metrics. SIGINT/SIGTERM drains in-flight queries before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/similarity"
+)
+
+type instanceFlag struct {
+	specs []string
+}
+
+func (f *instanceFlag) String() string { return strings.Join(f.specs, " ") }
+func (f *instanceFlag) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want name=file1.xml[,file2.xml], got %q", v)
+	}
+	f.specs = append(f.specs, v)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tossd: ")
+	var instances instanceFlag
+	flag.Var(&instances, "instance", "instance spec name=file1.xml[,file2.xml] (repeatable)")
+	addr := flag.String("addr", ":8080", "listen address")
+	measureName := flag.String("measure", "name-rule", "similarity measure: "+strings.Join(similarity.Names(), ", "))
+	eps := flag.Float64("eps", 3, "similarity threshold epsilon")
+	rules := flag.String("rules", "", "DBA rule file to merge into the lexicon (isa:/part:/syn: lines)")
+	parallelism := flag.Int("parallelism", 0, "embedding-search worker count per query (0 = GOMAXPROCS)")
+	maxInFlight := flag.Int("max-inflight", 4, "maximum concurrently executing queries")
+	maxQueue := flag.Int("max-queue", -1, "maximum queries waiting for a slot before 429 (-1 = 2×max-inflight)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-query deadline")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on per-request timeout_ms")
+	cacheSize := flag.Int("cache-size", 256, "result-cache capacity in entries (0 disables)")
+	flag.Parse()
+
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: tossd [flags]")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(instances.specs) == 0 {
+		log.Fatal("at least one -instance is required")
+	}
+	measure := similarity.ByName(*measureName)
+	if measure == nil {
+		log.Fatalf("unknown measure %q (want one of %s)", *measureName, strings.Join(similarity.Names(), ", "))
+	}
+
+	sys := core.NewSystem()
+	if *parallelism > 0 {
+		sys.Parallelism = *parallelism
+	}
+	if *rules != "" {
+		if err := sys.Lexicon.LoadRulesFile(*rules); err != nil {
+			log.Fatal(err)
+		}
+	}
+	start := time.Now()
+	for _, spec := range instances.specs {
+		name, files, _ := strings.Cut(spec, "=")
+		in, err := sys.AddInstance(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, file := range strings.Split(files, ",") {
+			f, err := os.Open(file)
+			if err != nil {
+				log.Fatal(err)
+			}
+			_, err = in.Col.PutXML(file, f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("loading %s: %v", file, err)
+			}
+		}
+		log.Printf("instance %s: %d doc(s), %d bytes", name, in.Col.DocCount(), in.Col.ByteSize())
+	}
+	if err := sys.Build(measure, *eps); err != nil {
+		log.Fatalf("building SEO: %v", err)
+	}
+	// Build the inverted indexes eagerly so the first query pays no
+	// index-construction latency.
+	for _, in := range sys.Instances {
+		in.Col.BuildIndexes()
+	}
+	log.Printf("built in %s: fused ontology %d terms, SEO %d nodes (measure=%s eps=%g)",
+		time.Since(start).Round(time.Millisecond), sys.OntologyTermCount(), sys.SEO.NodeCount(), *measureName, *eps)
+
+	cfg := server.Config{
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		CacheSize:      *cacheSize,
+		Logger:         log.Default(),
+	}
+	if *maxQueue < 0 {
+		cfg.MaxQueue = 2 * *maxInFlight
+	}
+	if *cacheSize == 0 {
+		cfg.CacheSize = -1
+	}
+	srv, err := server.New(sys, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	// Graceful drain: stop accepting, let in-flight queries (bounded by
+	// max-timeout) finish, then exit.
+	log.Printf("shutting down: draining %d in-flight, %d queued", srv.Limiter().InFlight(), srv.Limiter().Queued())
+	shCtx, cancel := context.WithTimeout(context.Background(), *maxTimeout+5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Printf("drained, bye")
+}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -60,6 +61,7 @@ func main() {
 	rules := flag.String("rules", "", "DBA rule file to merge into the lexicon (isa:/part:/syn: lines)")
 	ranked := flag.Bool("ranked", false, "order selection answers by similarity score (sum of ~ distances, best first)")
 	stats := flag.Bool("stats", false, "print system statistics after building")
+	timeout := flag.Duration("timeout", 0, "abort query execution after this duration, e.g. 500ms (0 = no deadline; TOSS paths only)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -136,6 +138,16 @@ func main() {
 		}
 	}
 
+	// The deadline covers query execution only, not the build: context is
+	// threaded into core's scan loops, so an expired deadline aborts the scan
+	// mid-flight instead of after the fact.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *explain && pat != nil && !*join {
 		plan, perr := sys.Explain(names[0], pat)
 		if perr != nil {
@@ -157,9 +169,9 @@ func main() {
 			if len(names) < 2 {
 				log.Fatal("-join needs two -instance specs")
 			}
-			ap, answers, aerr = sys.ExplainAnalyzeJoin(names[0], names[1], pat, sl)
+			ap, answers, aerr = sys.ExplainAnalyzeJoinContext(ctx, names[0], names[1], pat, sl)
 		} else {
-			ap, answers, aerr = sys.ExplainAnalyze(names[0], pat, sl)
+			ap, answers, aerr = sys.ExplainAnalyzeContext(ctx, names[0], pat, sl)
 		}
 		if aerr != nil {
 			log.Fatalf("executing query: %v", aerr)
@@ -186,7 +198,7 @@ func main() {
 		if pat == nil || *join {
 			log.Fatal("-ranked applies to plain selections only")
 		}
-		rankedAnswers, rerr := sys.SelectRanked(names[0], pat, sl)
+		rankedAnswers, rerr := sys.SelectRankedContext(ctx, names[0], pat, sl)
 		if rerr != nil {
 			log.Fatalf("executing query: %v", rerr)
 		}
@@ -203,7 +215,7 @@ func main() {
 	var answers []*tree.Tree
 	switch {
 	case expr != nil:
-		answers, err = expr.Eval(sys)
+		answers, err = expr.EvalContext(ctx, sys)
 	case *join:
 		if len(names) < 2 {
 			log.Fatal("-join needs two -instance specs")
@@ -214,7 +226,7 @@ func main() {
 			dst := tree.NewCollection()
 			answers, err = tax.Select(dst, tax.Product(dst, ldocs, rdocs), pat, sl, tax.Baseline{})
 		} else {
-			answers, err = sys.Join(names[0], names[1], pat, sl)
+			answers, err = sys.JoinContext(ctx, names[0], names[1], pat, sl)
 		}
 	case *taxMode:
 		docs, terr := sys.Trees(names[0])
@@ -223,7 +235,7 @@ func main() {
 		}
 		answers, err = tax.Select(tree.NewCollection(), docs, pat, sl, tax.Baseline{})
 	default:
-		answers, err = sys.Select(names[0], pat, sl)
+		answers, err = sys.SelectContext(ctx, names[0], pat, sl)
 	}
 	if err != nil {
 		log.Fatalf("executing query: %v", err)

@@ -253,3 +253,35 @@ func TestCLIAnalyzeRejectsIncompatibleModes(t *testing.T) {
 		}
 	}
 }
+
+func TestCLITimeout(t *testing.T) {
+	bin := buildCLI(t)
+	dblp := writeFixture(t, "dblp.xml", fixtureDBLP)
+
+	// An already-expired deadline must abort the query with a deadline error
+	// (the build itself is not covered by -timeout).
+	cmd := exec.Command(bin,
+		"-instance", "dblp="+dblp,
+		"-timeout", "1ns",
+		`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author"`)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("expired deadline must fail:\n%s", out)
+	}
+	if !strings.Contains(string(out), "deadline") {
+		t.Errorf("error should name the deadline:\n%s", out)
+	}
+
+	// A generous deadline must not change the result.
+	cmd = exec.Command(bin,
+		"-instance", "dblp="+dblp,
+		"-timeout", "1m",
+		`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ "Jeffrey D. Ullman"`)
+	out, err = cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("tossql -timeout 1m failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "2 answer tree(s)") {
+		t.Errorf("expected 2 answers:\n%s", out)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -12,10 +13,14 @@ import (
 // Expr is a TOSS algebra expression (the inductive [Exp]_F of Section
 // 5.1.2): an instance reference, a selection, a projection, a cross product,
 // a condition join, or a set operation over sub-expressions. Expressions are
-// evaluated against a built System with Eval.
+// evaluated against a built System with Eval (or EvalContext when the caller
+// needs cancellation, e.g. a server enforcing per-request deadlines).
 type Expr interface {
 	// Eval produces the expression's tree collection.
 	Eval(s *System) ([]*tree.Tree, error)
+	// EvalContext is Eval with cancellation: evaluation checks ctx between
+	// operators and inside the selection/join scan loops.
+	EvalContext(ctx context.Context, s *System) ([]*tree.Tree, error)
 	// String renders the expression in the syntax accepted by ParseExpr.
 	String() string
 }
@@ -32,6 +37,14 @@ func (e *InstanceExpr) Eval(s *System) ([]*tree.Tree, error) {
 	return s.Trees(e.Name)
 }
 
+// EvalContext implements Expr.
+func (e *InstanceExpr) EvalContext(ctx context.Context, s *System) ([]*tree.Tree, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.Trees(e.Name)
+}
+
 func (e *InstanceExpr) String() string { return e.Name }
 
 // SelectExpr is σ_{P,SL}(Sub).
@@ -45,14 +58,19 @@ type SelectExpr struct {
 // reference, the XPath candidate pre-filter applies; otherwise the selection
 // runs over the materialised sub-result.
 func (e *SelectExpr) Eval(s *System) ([]*tree.Tree, error) {
+	return e.EvalContext(context.Background(), s)
+}
+
+// EvalContext implements Expr.
+func (e *SelectExpr) EvalContext(ctx context.Context, s *System) ([]*tree.Tree, error) {
 	if in, ok := e.Sub.(*InstanceExpr); ok {
-		return s.Select(in.Name, e.Pattern, e.SL)
+		return s.SelectContext(ctx, in.Name, e.Pattern, e.SL)
 	}
-	sub, err := e.Sub.Eval(s)
+	sub, err := e.Sub.EvalContext(ctx, s)
 	if err != nil {
 		return nil, err
 	}
-	return s.SelectTrees(sub, e.Pattern, e.SL)
+	return s.SelectTreesContext(ctx, sub, e.Pattern, e.SL)
 }
 
 func (e *SelectExpr) String() string {
@@ -68,14 +86,19 @@ type ProjectExpr struct {
 
 // Eval implements Expr.
 func (e *ProjectExpr) Eval(s *System) ([]*tree.Tree, error) {
+	return e.EvalContext(context.Background(), s)
+}
+
+// EvalContext implements Expr.
+func (e *ProjectExpr) EvalContext(ctx context.Context, s *System) ([]*tree.Tree, error) {
 	if in, ok := e.Sub.(*InstanceExpr); ok {
-		return s.Project(in.Name, e.Pattern, e.PL)
+		return s.ProjectContext(ctx, in.Name, e.Pattern, e.PL)
 	}
-	sub, err := e.Sub.Eval(s)
+	sub, err := e.Sub.EvalContext(ctx, s)
 	if err != nil {
 		return nil, err
 	}
-	return s.ProjectTrees(sub, e.Pattern, e.PL)
+	return s.ProjectTreesContext(ctx, sub, e.Pattern, e.PL)
 }
 
 func (e *ProjectExpr) String() string {
@@ -89,12 +112,20 @@ type ProductExpr struct {
 
 // Eval implements Expr.
 func (e *ProductExpr) Eval(s *System) ([]*tree.Tree, error) {
-	l, err := e.Left.Eval(s)
+	return e.EvalContext(context.Background(), s)
+}
+
+// EvalContext implements Expr.
+func (e *ProductExpr) EvalContext(ctx context.Context, s *System) ([]*tree.Tree, error) {
+	l, err := e.Left.EvalContext(ctx, s)
 	if err != nil {
 		return nil, err
 	}
-	r, err := e.Right.Eval(s)
+	r, err := e.Right.EvalContext(ctx, s)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return s.Product(l, r), nil
@@ -114,15 +145,20 @@ type JoinExpr struct {
 
 // Eval implements Expr.
 func (e *JoinExpr) Eval(s *System) ([]*tree.Tree, error) {
-	l, err := e.Left.Eval(s)
+	return e.EvalContext(context.Background(), s)
+}
+
+// EvalContext implements Expr.
+func (e *JoinExpr) EvalContext(ctx context.Context, s *System) ([]*tree.Tree, error) {
+	l, err := e.Left.EvalContext(ctx, s)
 	if err != nil {
 		return nil, err
 	}
-	r, err := e.Right.Eval(s)
+	r, err := e.Right.EvalContext(ctx, s)
 	if err != nil {
 		return nil, err
 	}
-	return s.JoinTrees(l, r, e.Pattern, e.SL)
+	return s.JoinTreesContext(ctx, l, r, e.Pattern, e.SL)
 }
 
 func (e *JoinExpr) String() string {
@@ -137,12 +173,20 @@ type SetExpr struct {
 
 // Eval implements Expr.
 func (e *SetExpr) Eval(s *System) ([]*tree.Tree, error) {
-	l, err := e.Left.Eval(s)
+	return e.EvalContext(context.Background(), s)
+}
+
+// EvalContext implements Expr.
+func (e *SetExpr) EvalContext(ctx context.Context, s *System) ([]*tree.Tree, error) {
+	l, err := e.Left.EvalContext(ctx, s)
 	if err != nil {
 		return nil, err
 	}
-	r, err := e.Right.Eval(s)
+	r, err := e.Right.EvalContext(ctx, s)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	switch e.Op {
@@ -171,8 +215,26 @@ func intsString(xs []int) string {
 
 // ProjectTrees runs TOSS projection over an explicit tree set.
 func (s *System) ProjectTrees(db []*tree.Tree, p *pattern.Tree, pl []int) ([]*tree.Tree, error) {
+	return s.ProjectTreesContext(context.Background(), db, p, pl)
+}
+
+// ProjectTreesContext is ProjectTrees with cancellation, checking the
+// context between input trees.
+func (s *System) ProjectTreesContext(ctx context.Context, db []*tree.Tree, p *pattern.Tree, pl []int) ([]*tree.Tree, error) {
 	dst := tree.NewCollection()
-	return tax.Project(dst, db, p, pl, s.Evaluator())
+	ev := s.Evaluator()
+	var out []*tree.Tree
+	for _, doc := range db {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := tax.Project(dst, []*tree.Tree{doc}, p, pl, ev)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res...)
+	}
+	return out, nil
 }
 
 // ---- expression parser ----

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pattern"
+)
+
+// TestContextPreCancelled: every context-taking entry point must notice an
+// already-expired context and return its error instead of running the query.
+func TestContextPreCancelled(t *testing.T) {
+	s := miniSystem(t, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := simSelectPattern()
+
+	if _, err := s.SelectContext(ctx, "dblp", p, []int{1}); !errors.Is(err, context.Canceled) {
+		t.Errorf("SelectContext: err = %v, want context.Canceled", err)
+	}
+	if _, _, err := s.SelectTracedContext(ctx, "dblp", p, []int{1}); !errors.Is(err, context.Canceled) {
+		t.Errorf("SelectTracedContext: err = %v, want context.Canceled", err)
+	}
+	if _, err := s.SelectNContext(ctx, "dblp", p, []int{1}, 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("SelectNContext: err = %v, want context.Canceled", err)
+	}
+	if _, err := s.SelectRankedContext(ctx, "dblp", p, []int{1}); !errors.Is(err, context.Canceled) {
+		t.Errorf("SelectRankedContext: err = %v, want context.Canceled", err)
+	}
+	jp := pattern.MustParse(`#1 pc #2, #1 pc #3, #2 ad #4, #3 ad #5 :: ` +
+		`#1.tag = "tax_prod_root" & #2.tag = "dblp" & #3.tag = "ProceedingsPage" & ` +
+		`#4.tag = "title" & #5.tag = "title" & #4.content ~ #5.content`)
+	if _, err := s.JoinContext(ctx, "dblp", "sigmod", jp, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("JoinContext: err = %v, want context.Canceled", err)
+	}
+	expr, err := ParseExpr(`select[#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author"; 1](dblp)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := expr.EvalContext(ctx, s); !errors.Is(err, context.Canceled) {
+		t.Errorf("EvalContext: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestContextUncancelledMatchesPlain: passing Background through the context
+// variants must not change results.
+func TestContextUncancelledMatchesPlain(t *testing.T) {
+	s := miniSystem(t, 3)
+	p := simSelectPattern()
+	plain, err := s.Select("dblp", p, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCtx, err := s.SelectContext(context.Background(), "dblp", p, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(viaCtx) {
+		t.Fatalf("plain %d answers, ctx %d", len(plain), len(viaCtx))
+	}
+	for i := range plain {
+		if plain[i].XMLString() != viaCtx[i].XMLString() {
+			t.Fatalf("answer %d differs", i)
+		}
+	}
+}
+
+// TestDeadlineAbortsScan: a deadline expiring mid-scan must cancel the work
+// inside core — the query returns well before full-scan time, not after
+// finishing the scan anyway. This is the acceptance test for cancellation
+// plumbing reaching the per-document evaluation loop.
+func TestDeadlineAbortsScan(t *testing.T) {
+	s := miniSystem(t, 3)
+	// Inflate the scan after Build: dynamic ~ evaluation needs no rebuilt
+	// ontology, so the new documents are full-weight embedding-search work.
+	col := s.Instance("dblp").Col
+	for i := 0; i < 400; i++ {
+		doc := fmt.Sprintf(`<dblp><inproceedings key="f%d">
+			<author>Filler Author Number %d With A Longish Name</author>
+			<title>Filler Title %d On Query Processing And Optimization Of Tree Pattern Matching</title>
+			<year>%d</year>
+			<booktitle>Workshop %d</booktitle>
+		</inproceedings></dblp>`, i, i, i, 1990+i%30, i)
+		if _, err := col.PutXML(fmt.Sprintf("f%d", i), strings.NewReader(doc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Disjunctive conditions cannot be compiled into the XPath pre-filter,
+	// so every document is a candidate and gets full embedding search —
+	// the worst case the deadline has to be able to interrupt.
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & ` +
+		`(#2.content ~ "Jeffrey D. Ullman" | #2.content = "no such content")`)
+
+	start := time.Now()
+	if _, err := s.SelectContext(context.Background(), "dblp", p, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(start)
+
+	timeout := full / 20
+	if timeout < time.Millisecond {
+		timeout = time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	start = time.Now()
+	_, err := s.SelectContext(ctx, "dblp", p, []int{1})
+	aborted := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if aborted >= full/2 {
+		t.Errorf("cancelled scan took %v, full scan %v: cancellation did not cut the scan short", aborted, full)
+	}
+}
+
+// TestDeadlineAbortsParallelScan: same acceptance through the parallel
+// evaluation stage (workers and feeder both watch the context).
+func TestDeadlineAbortsParallelScan(t *testing.T) {
+	s := miniSystem(t, 3)
+	s.Parallelism = 4
+	col := s.Instance("dblp").Col
+	for i := 0; i < 400; i++ {
+		doc := fmt.Sprintf(`<dblp><inproceedings key="p%d">
+			<author>Parallel Filler Author %d</author>
+			<title>Parallel Filler Title %d About Similarity Enhanced Ontologies</title>
+		</inproceedings></dblp>`, i, i, i)
+		if _, err := col.PutXML(fmt.Sprintf("p%d", i), strings.NewReader(doc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := simSelectPattern()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.SelectContext(ctx, "dblp", p, []int{1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel SelectContext: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSelectNRecordsTruncation: the early-exit selection must report the
+// requested cap and whether it fired, so traces distinguish "3 answers
+// exist" from "stopped after 3".
+func TestSelectNRecordsTruncation(t *testing.T) {
+	s := miniSystem(t, 3)
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author"`)
+
+	out, st, err := s.SelectNTracedContext(context.Background(), "dblp", p, []int{1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d answers, want 2", len(out))
+	}
+	if st.Limit != 2 || !st.LimitHit {
+		t.Errorf("trace limit=%d hit=%t, want limit=2 hit=true", st.Limit, st.LimitHit)
+	}
+	if !strings.Contains(st.String(), "early exit") {
+		t.Errorf("trace rendering missing early-exit note:\n%s", st.String())
+	}
+
+	// A limit the answer count never reaches must record LimitHit=false.
+	out, st, err = s.SelectNTracedContext(context.Background(), "dblp", p, []int{1}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 || st.LimitHit {
+		t.Errorf("limit=100: %d answers, hit=%t, want answers>0 hit=false", len(out), st.LimitHit)
+	}
+	if st.Limit != 100 {
+		t.Errorf("trace limit=%d, want 100", st.Limit)
+	}
+}

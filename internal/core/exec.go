@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -201,13 +202,15 @@ func pathIsTrivial(p *xpath.Path) bool {
 // CandidateDocs returns the documents of the collection that match every
 // rewritten XPath query — the candidate set the algebra then runs over.
 func (s *System) CandidateDocs(col *xmldb.Collection, paths []*xpath.Path) []*tree.Tree {
-	return s.candidateDocs(col, paths, nil)
+	out, _ := s.candidateDocs(context.Background(), col, paths, nil)
+	return out
 }
 
 // candidateDocs is CandidateDocs with an optional execution trace recording,
 // per path, the routing decision, candidate counts and timing, plus the
-// overall pre-filter selectivity.
-func (s *System) candidateDocs(col *xmldb.Collection, paths []*xpath.Path, st *ExecStats) []*tree.Tree {
+// overall pre-filter selectivity. The context is checked between XPath
+// queries, so a cancelled request stops pre-filtering early.
+func (s *System) candidateDocs(ctx context.Context, col *xmldb.Collection, paths []*xpath.Path, st *ExecStats) ([]*tree.Tree, error) {
 	docs := col.Docs()
 	if st != nil {
 		st.TotalDocs += len(docs)
@@ -216,7 +219,7 @@ func (s *System) candidateDocs(col *xmldb.Collection, paths []*xpath.Path, st *E
 		if st != nil {
 			st.CandidateDocs += len(docs)
 		}
-		return docs
+		return docs, nil
 	}
 	rootDoc := make(map[*tree.Node]*tree.Tree, len(docs))
 	for _, d := range docs {
@@ -224,6 +227,9 @@ func (s *System) candidateDocs(col *xmldb.Collection, paths []*xpath.Path, st *E
 	}
 	var surviving map[*tree.Tree]bool
 	for _, p := range paths {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		hits := map[*tree.Tree]bool{}
 		nodes, qs := col.QueryPathTraced(p)
 		for _, n := range nodes {
@@ -244,7 +250,7 @@ func (s *System) candidateDocs(col *xmldb.Collection, paths []*xpath.Path, st *E
 			}
 		}
 		if len(surviving) == 0 {
-			return nil
+			return nil, nil
 		}
 	}
 	var out []*tree.Tree
@@ -256,19 +262,30 @@ func (s *System) candidateDocs(col *xmldb.Collection, paths []*xpath.Path, st *E
 	if st != nil {
 		st.CandidateDocs += len(out)
 	}
-	return out
+	return out, nil
 }
 
 // Select executes TOSS selection σ_{P,SL} against the named instance:
 // rewrite to XPath, fetch candidate documents, run the embedding search
 // with the TOSS evaluator, and materialise witness trees.
 func (s *System) Select(instance string, p *pattern.Tree, sl []int) ([]*tree.Tree, error) {
+	return s.SelectContext(context.Background(), instance, p, sl)
+}
+
+// SelectContext is Select with cancellation: the pre-filter stage checks the
+// context between XPath queries and the embedding stage between candidate
+// documents, so a cancelled or expired context stops the query promptly with
+// ctx.Err() instead of scanning to completion.
+func (s *System) SelectContext(ctx context.Context, instance string, p *pattern.Tree, sl []int) ([]*tree.Tree, error) {
 	in := s.Instance(instance)
 	if in == nil {
 		return nil, fmt.Errorf("core: unknown instance %q", instance)
 	}
-	cands := s.CandidateDocs(in.Col, s.RewritePattern(p))
-	return s.selectDocs(cands, p, sl, nil)
+	cands, err := s.candidateDocs(ctx, in.Col, s.RewritePattern(p), nil)
+	if err != nil {
+		return nil, err
+	}
+	return s.selectDocs(ctx, cands, p, sl, nil)
 }
 
 // SelectTraced runs TOSS selection and returns the per-query execution
@@ -276,6 +293,11 @@ func (s *System) Select(instance string, p *pattern.Tree, sl []int) ([]*tree.Tre
 // selectivity and routing, parallel worker utilization, and stage timings.
 // Answers are identical to Select's.
 func (s *System) SelectTraced(instance string, p *pattern.Tree, sl []int) ([]*tree.Tree, *ExecStats, error) {
+	return s.SelectTracedContext(context.Background(), instance, p, sl)
+}
+
+// SelectTracedContext is SelectTraced with cancellation (see SelectContext).
+func (s *System) SelectTracedContext(ctx context.Context, instance string, p *pattern.Tree, sl []int) ([]*tree.Tree, *ExecStats, error) {
 	in := s.Instance(instance)
 	if in == nil {
 		return nil, nil, fmt.Errorf("core: unknown instance %q", instance)
@@ -285,10 +307,13 @@ func (s *System) SelectTraced(instance string, p *pattern.Tree, sl []int) ([]*tr
 	paths := s.rewritePattern(p, st)
 	st.RewriteTime = time.Since(t0)
 	t1 := time.Now()
-	cands := s.candidateDocs(in.Col, paths, st)
+	cands, err := s.candidateDocs(ctx, in.Col, paths, st)
+	if err != nil {
+		return nil, nil, err
+	}
 	st.PrefilterTime = time.Since(t1)
 	t2 := time.Now()
-	out, err := s.selectDocs(cands, p, sl, st)
+	out, err := s.selectDocs(ctx, cands, p, sl, st)
 	st.EvalTime = time.Since(t2)
 	st.TotalTime = time.Since(t0)
 	st.Answers = len(out)
@@ -299,46 +324,128 @@ func (s *System) SelectTraced(instance string, p *pattern.Tree, sl []int) ([]*tr
 // (limit ≤ 0 means no limit). Documents are processed in order, so the
 // answers are a prefix of what Select would return.
 func (s *System) SelectN(instance string, p *pattern.Tree, sl []int, limit int) ([]*tree.Tree, error) {
+	return s.SelectNContext(context.Background(), instance, p, sl, limit)
+}
+
+// SelectNContext is SelectN with cancellation (see SelectContext).
+func (s *System) SelectNContext(ctx context.Context, instance string, p *pattern.Tree, sl []int, limit int) ([]*tree.Tree, error) {
 	if limit <= 0 {
-		return s.Select(instance, p, sl)
+		return s.SelectContext(ctx, instance, p, sl)
 	}
+	out, _, err := s.selectN(ctx, instance, p, sl, limit, nil)
+	return out, err
+}
+
+// SelectNTracedContext is SelectNContext with an execution trace. When the
+// limit fires before every candidate was evaluated, the trace records the
+// truncation (Limit/LimitHit, DocsEvaluated < CandidateDocs) so EXPLAIN
+// ANALYZE does not report the full candidate set as evaluated work.
+func (s *System) SelectNTracedContext(ctx context.Context, instance string, p *pattern.Tree, sl []int, limit int) ([]*tree.Tree, *ExecStats, error) {
+	if limit <= 0 {
+		return s.SelectTracedContext(ctx, instance, p, sl)
+	}
+	st := newExecStats("select", instance)
+	out, st, err := s.selectN(ctx, instance, p, sl, limit, st)
+	return out, st, err
+}
+
+func (s *System) selectN(ctx context.Context, instance string, p *pattern.Tree, sl []int, limit int, st *ExecStats) ([]*tree.Tree, *ExecStats, error) {
 	in := s.Instance(instance)
 	if in == nil {
-		return nil, fmt.Errorf("core: unknown instance %q", instance)
+		return nil, nil, fmt.Errorf("core: unknown instance %q", instance)
 	}
-	cands := s.CandidateDocs(in.Col, s.RewritePattern(p))
+	t0 := time.Now()
+	paths := s.rewritePattern(p, st)
+	if st != nil {
+		st.RewriteTime = time.Since(t0)
+		st.Limit = limit
+	}
+	t1 := time.Now()
+	cands, err := s.candidateDocs(ctx, in.Col, paths, st)
+	if err != nil {
+		return nil, nil, err
+	}
+	if st != nil {
+		st.PrefilterTime = time.Since(t1)
+	}
+	t2 := time.Now()
 	dst := tree.NewCollection()
 	ev := s.Evaluator()
 	var out []*tree.Tree
+	evaluated, embeddings := 0, 0
 	for _, doc := range cands {
-		res, err := tax.Select(dst, []*tree.Tree{doc}, p, sl, ev)
-		if err != nil {
-			return nil, err
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
 		}
+		res, ops, err := tax.SelectTraced(dst, []*tree.Tree{doc}, p, sl, ev)
+		if err != nil {
+			return nil, nil, err
+		}
+		evaluated++
+		embeddings += ops.Embeddings
 		out = append(out, res...)
 		if len(out) >= limit {
-			return out[:limit], nil
+			out = out[:limit]
+			if st != nil {
+				st.LimitHit = true
+			}
+			break
 		}
 	}
-	return out, nil
+	if st != nil {
+		st.Workers = 1
+		st.WorkerDocs = []int{evaluated}
+		st.DocsEvaluated = evaluated
+		st.Embeddings = embeddings
+		st.EvalTime = time.Since(t2)
+		st.TotalTime = time.Since(t0)
+		st.Answers = len(out)
+	}
+	return out, st, nil
 }
 
 // SelectTrees runs TOSS selection over an explicit tree set (used for
 // composed algebra expressions whose inputs are intermediate results).
 func (s *System) SelectTrees(db []*tree.Tree, p *pattern.Tree, sl []int) ([]*tree.Tree, error) {
+	return s.SelectTreesContext(context.Background(), db, p, sl)
+}
+
+// SelectTreesContext is SelectTrees with cancellation, checking the context
+// between input trees.
+func (s *System) SelectTreesContext(ctx context.Context, db []*tree.Tree, p *pattern.Tree, sl []int) ([]*tree.Tree, error) {
 	dst := tree.NewCollection()
-	return tax.Select(dst, db, p, sl, s.Evaluator())
+	ev := s.Evaluator()
+	var out []*tree.Tree
+	for _, doc := range db {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := tax.Select(dst, []*tree.Tree{doc}, p, sl, ev)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res...)
+	}
+	return out, nil
 }
 
 // Project executes TOSS projection π_{P,PL} against the named instance.
 func (s *System) Project(instance string, p *pattern.Tree, pl []int) ([]*tree.Tree, error) {
+	return s.ProjectContext(context.Background(), instance, p, pl)
+}
+
+// ProjectContext is Project with cancellation, checking the context between
+// candidate documents.
+func (s *System) ProjectContext(ctx context.Context, instance string, p *pattern.Tree, pl []int) ([]*tree.Tree, error) {
 	in := s.Instance(instance)
 	if in == nil {
 		return nil, fmt.Errorf("core: unknown instance %q", instance)
 	}
-	cands := s.CandidateDocs(in.Col, s.RewritePattern(p))
-	dst := tree.NewCollection()
-	return tax.Project(dst, cands, p, pl, s.Evaluator())
+	cands, err := s.candidateDocs(ctx, in.Col, s.RewritePattern(p), nil)
+	if err != nil {
+		return nil, err
+	}
+	return s.ProjectTreesContext(ctx, cands, p, pl)
 }
 
 // Product returns the TOSS cross product of two tree sets.
@@ -353,17 +460,29 @@ func (s *System) Product(a, b []*tree.Tree) []*tree.Tree {
 // similarity hash join pairs only documents sharing an SEO cluster key,
 // preserving the result while skipping hopeless pairs.
 func (s *System) Join(left, right string, p *pattern.Tree, sl []int) ([]*tree.Tree, error) {
-	out, _, err := s.join(left, right, p, sl, false)
+	out, _, err := s.join(context.Background(), left, right, p, sl, false)
+	return out, err
+}
+
+// JoinContext is Join with cancellation: the context is checked between
+// pre-filter queries and between document pairs (see SelectContext).
+func (s *System) JoinContext(ctx context.Context, left, right string, p *pattern.Tree, sl []int) ([]*tree.Tree, error) {
+	out, _, err := s.join(ctx, left, right, p, sl, false)
 	return out, err
 }
 
 // JoinTraced runs a condition join and returns the execution trace: per-side
 // pre-filter stats, hash-join pairing counts and stage timings.
 func (s *System) JoinTraced(left, right string, p *pattern.Tree, sl []int) ([]*tree.Tree, *ExecStats, error) {
-	return s.join(left, right, p, sl, true)
+	return s.join(context.Background(), left, right, p, sl, true)
 }
 
-func (s *System) join(left, right string, p *pattern.Tree, sl []int, traced bool) ([]*tree.Tree, *ExecStats, error) {
+// JoinTracedContext is JoinTraced with cancellation (see JoinContext).
+func (s *System) JoinTracedContext(ctx context.Context, left, right string, p *pattern.Tree, sl []int) ([]*tree.Tree, *ExecStats, error) {
+	return s.join(ctx, left, right, p, sl, true)
+}
+
+func (s *System) join(ctx context.Context, left, right string, p *pattern.Tree, sl []int, traced bool) ([]*tree.Tree, *ExecStats, error) {
 	li := s.Instance(left)
 	ri := s.Instance(right)
 	if li == nil || ri == nil {
@@ -387,8 +506,15 @@ func (s *System) join(left, right string, p *pattern.Tree, sl []int, traced bool
 			st.RewriteTime = time.Since(t1)
 		}
 		t2 := time.Now()
-		ldocs = s.candidateDocs(li.Col, lpaths, st)
-		rdocs = s.candidateDocs(ri.Col, rpaths, st)
+		var lerr, rerr error
+		ldocs, lerr = s.candidateDocs(ctx, li.Col, lpaths, st)
+		if lerr != nil {
+			return nil, nil, lerr
+		}
+		rdocs, rerr = s.candidateDocs(ctx, ri.Col, rpaths, st)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
 		if st != nil {
 			st.PrefilterTime = time.Since(t2)
 		}
@@ -397,7 +523,7 @@ func (s *System) join(left, right string, p *pattern.Tree, sl []int, traced bool
 		st.CandidateDocs = st.TotalDocs
 	}
 	t3 := time.Now()
-	out, err := s.joinTrees(ldocs, rdocs, p, sl, st)
+	out, err := s.joinTrees(ctx, ldocs, rdocs, p, sl, st)
 	if st != nil {
 		st.EvalTime = time.Since(t3)
 		st.TotalTime = time.Since(t0)
@@ -471,15 +597,24 @@ func SplitJoinPattern(p *pattern.Tree) (left, right *pattern.Tree, ok bool) {
 
 // JoinTrees joins two explicit tree sets (see Join).
 func (s *System) JoinTrees(ldocs, rdocs []*tree.Tree, p *pattern.Tree, sl []int) ([]*tree.Tree, error) {
-	return s.joinTrees(ldocs, rdocs, p, sl, nil)
+	return s.joinTrees(context.Background(), ldocs, rdocs, p, sl, nil)
 }
 
-func (s *System) joinTrees(ldocs, rdocs []*tree.Tree, p *pattern.Tree, sl []int, st *ExecStats) ([]*tree.Tree, error) {
+// JoinTreesContext is JoinTrees with cancellation, checking the context
+// between document pairs.
+func (s *System) JoinTreesContext(ctx context.Context, ldocs, rdocs []*tree.Tree, p *pattern.Tree, sl []int) ([]*tree.Tree, error) {
+	return s.joinTrees(ctx, ldocs, rdocs, p, sl, nil)
+}
+
+func (s *System) joinTrees(ctx context.Context, ldocs, rdocs []*tree.Tree, p *pattern.Tree, sl []int, st *ExecStats) ([]*tree.Tree, error) {
 	dst := tree.NewCollection()
 	pairs := s.joinPairs(ldocs, rdocs, p, st)
 	ev := s.Evaluator()
 	var out []*tree.Tree
 	for _, pr := range pairs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		prod := tax.Product(dst, []*tree.Tree{pr[0]}, []*tree.Tree{pr[1]})
 		res, ops, err := tax.SelectTraced(dst, prod, p, sl, ev)
 		if err != nil {

@@ -40,6 +40,12 @@ type ExecStats struct {
 	Embeddings    int   // satisfying embeddings found
 	Answers       int   // witness trees returned
 
+	// Early-exit selections (SelectN): the requested answer cap, and whether
+	// it fired before every candidate document was evaluated. When LimitHit
+	// is set, DocsEvaluated < CandidateDocs is expected, not a discrepancy.
+	Limit    int
+	LimitHit bool
+
 	// Per-stage wall-clock timings.
 	RewriteTime   time.Duration
 	PrefilterTime time.Duration
@@ -153,6 +159,14 @@ func (st *ExecStats) String() string {
 	}
 	fmt.Fprintf(&b, "eval  [%s]: workers=%d docs=%d embeddings=%d answers=%d\n",
 		fmtDuration(st.EvalTime), st.Workers, st.DocsEvaluated, st.Embeddings, st.Answers)
+	if st.Limit > 0 {
+		if st.LimitHit {
+			fmt.Fprintf(&b, "  limit %d hit after %d of %d candidate doc(s) (early exit)\n",
+				st.Limit, st.DocsEvaluated, st.CandidateDocs)
+		} else {
+			fmt.Fprintf(&b, "  limit %d not reached\n", st.Limit)
+		}
+	}
 	if len(st.WorkerDocs) > 1 {
 		parts := make([]string, len(st.WorkerDocs))
 		for i, n := range st.WorkerDocs {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -91,7 +92,13 @@ type AnalyzedPlan struct {
 // actuals (routing decisions, candidate counts, selectivity, timings)
 // alongside the answers.
 func (s *System) ExplainAnalyze(instance string, p *pattern.Tree, sl []int) (*AnalyzedPlan, []*tree.Tree, error) {
-	out, st, err := s.SelectTraced(instance, p, sl)
+	return s.ExplainAnalyzeContext(context.Background(), instance, p, sl)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze with cancellation (see
+// SelectContext).
+func (s *System) ExplainAnalyzeContext(ctx context.Context, instance string, p *pattern.Tree, sl []int) (*AnalyzedPlan, []*tree.Tree, error) {
+	out, st, err := s.SelectTracedContext(ctx, instance, p, sl)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -107,7 +114,13 @@ func (s *System) ExplainAnalyze(instance string, p *pattern.Tree, sl []int) (*An
 // ExplainAnalyzeJoin runs a condition join and returns the annotated plan
 // (per-side pre-filter stats, pairing counts, timings) alongside the answers.
 func (s *System) ExplainAnalyzeJoin(left, right string, p *pattern.Tree, sl []int) (*AnalyzedPlan, []*tree.Tree, error) {
-	out, st, err := s.JoinTraced(left, right, p, sl)
+	return s.ExplainAnalyzeJoinContext(context.Background(), left, right, p, sl)
+}
+
+// ExplainAnalyzeJoinContext is ExplainAnalyzeJoin with cancellation (see
+// JoinContext).
+func (s *System) ExplainAnalyzeJoinContext(ctx context.Context, left, right string, p *pattern.Tree, sl []int) (*AnalyzedPlan, []*tree.Tree, error) {
+	out, st, err := s.JoinTracedContext(ctx, left, right, p, sl)
 	if err != nil {
 		return nil, nil, err
 	}

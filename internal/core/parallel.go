@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -14,9 +15,11 @@ import (
 // its own destination collection, and each worker its own evaluator (the
 // evaluator's memo tables are not safe for concurrent use); answers are
 // concatenated in document order, so results are identical to the sequential
-// path. When st is non-nil the worker count, per-worker document counts
+// path. The context is checked between documents (and inside every worker),
+// so a cancelled request stops scanning promptly and returns ctx.Err().
+// When st is non-nil the worker count, per-worker document counts
 // (utilization) and embedding totals are recorded.
-func (s *System) selectDocs(cands []*tree.Tree, p *pattern.Tree, sl []int, st *ExecStats) ([]*tree.Tree, error) {
+func (s *System) selectDocs(ctx context.Context, cands []*tree.Tree, p *pattern.Tree, sl []int, st *ExecStats) ([]*tree.Tree, error) {
 	workers := s.Parallelism
 	if workers <= 0 {
 		workers = 1
@@ -37,11 +40,24 @@ func (s *System) selectDocs(cands []*tree.Tree, p *pattern.Tree, sl []int, st *E
 			st.DocsEvaluated = len(cands)
 		}
 		dst := tree.NewCollection()
-		out, ops, err := tax.SelectTraced(dst, cands, p, sl, s.Evaluator())
-		if st != nil {
-			st.Embeddings = ops.Embeddings
+		ev := s.Evaluator()
+		var out []*tree.Tree
+		embeddings := 0
+		for _, doc := range cands {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			res, ops, err := tax.SelectTraced(dst, []*tree.Tree{doc}, p, sl, ev)
+			if err != nil {
+				return nil, err
+			}
+			embeddings += ops.Embeddings
+			out = append(out, res...)
 		}
-		return out, err
+		if st != nil {
+			st.Embeddings = embeddings
+		}
+		return out, nil
 	}
 
 	type result struct {
@@ -59,6 +75,10 @@ func (s *System) selectDocs(cands []*tree.Tree, p *pattern.Tree, sl []int, st *E
 			defer wg.Done()
 			ev := s.Evaluator()
 			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					results[i] = result{err: err}
+					continue // drain the channel so the feeder never blocks
+				}
 				dst := tree.NewCollection()
 				trees, ops, err := tax.SelectTraced(dst, cands[i:i+1], p, sl, ev)
 				results[i] = result{trees: trees, embeddings: ops.Embeddings, err: err}
@@ -66,11 +86,19 @@ func (s *System) selectDocs(cands []*tree.Tree, p *pattern.Tree, sl []int, st *E
 			}
 		}(w)
 	}
+feed:
 	for i := range cands {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var out []*tree.Tree
 	embeddings := 0
 	for _, r := range results {

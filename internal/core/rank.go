@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -28,6 +29,12 @@ type RankedAnswer struct {
 // distances of its ~ conditions, returning answers ordered most-similar
 // first (ties broken by discovery order, i.e. document order).
 func (s *System) SelectRanked(instance string, p *pattern.Tree, sl []int) ([]RankedAnswer, error) {
+	return s.SelectRankedContext(context.Background(), instance, p, sl)
+}
+
+// SelectRankedContext is SelectRanked with cancellation, checking the
+// context between candidate documents.
+func (s *System) SelectRankedContext(ctx context.Context, instance string, p *pattern.Tree, sl []int) ([]RankedAnswer, error) {
 	in := s.Instance(instance)
 	if in == nil {
 		return nil, fmt.Errorf("core: unknown instance %q", instance)
@@ -35,7 +42,10 @@ func (s *System) SelectRanked(instance string, p *pattern.Tree, sl []int) ([]Ran
 	if s.Measure == nil {
 		return nil, fmt.Errorf("core: system not built; no similarity measure")
 	}
-	cands := s.CandidateDocs(in.Col, s.RewritePattern(p))
+	cands, err := s.candidateDocs(ctx, in.Col, s.RewritePattern(p), nil)
+	if err != nil {
+		return nil, err
+	}
 	dst := tree.NewCollection()
 	c := tax.Compile(p)
 	ev := s.Evaluator()
@@ -43,6 +53,9 @@ func (s *System) SelectRanked(instance string, p *pattern.Tree, sl []int) ([]Ran
 
 	var out []RankedAnswer
 	for _, doc := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bindings, err := c.Embeddings(doc, ev)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,218 @@
+// Package promtext is a dependency-free Prometheus text-exposition helper:
+// counters, gauges and histograms backed by atomics, plus func-backed
+// metrics that sample external state (e.g. xmldb collection counters) at
+// scrape time. A Registry renders everything in the Prometheus text format
+// (version 0.0.4), which is all /metrics needs — no client library required.
+package promtext
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for Prometheus semantics).
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram of float64 observations
+// (latency in seconds, by convention).
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf is implicit
+	counts []atomic.Uint64
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+// DefBuckets mirrors the Prometheus client default latency buckets.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+		}
+	}
+	h.sum.add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// atomicFloat accumulates a float64 with a CAS loop.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Sample is one exposition line of a func-backed metric: an optional label
+// set and a value.
+type Sample struct {
+	Labels map[string]string
+	Value  float64
+}
+
+// Registry holds metrics in registration order and renders them.
+type Registry struct {
+	mu      sync.Mutex
+	entries []entry
+}
+
+type entry struct {
+	name, help, typ string
+	write           func(w io.Writer, name string)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) register(name, help, typ string, write func(io.Writer, string)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries = append(r.entries, entry{name: name, help: help, typ: typ, write: write})
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %d\n", n, c.Value())
+	})
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %d\n", n, g.Value())
+	})
+	return g
+}
+
+// NewHistogram registers and returns a histogram with the given ascending
+// upper bounds (DefBuckets when nil).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
+	r.register(name, help, "histogram", func(w io.Writer, n string) {
+		for i, b := range h.bounds {
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, formatFloat(b), h.counts[i].Load())
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.count.Load())
+		fmt.Fprintf(w, "%s_sum %s\n", n, formatFloat(h.sum.load()))
+		fmt.Fprintf(w, "%s_count %d\n", n, h.count.Load())
+	})
+	return h
+}
+
+// GaugeFunc registers a gauge whose samples are produced at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() []Sample) {
+	r.registerFunc(name, help, "gauge", fn)
+}
+
+// CounterFunc registers a counter whose samples are produced at scrape time
+// (the sampled source must be monotonic, e.g. cumulative query counters).
+func (r *Registry) CounterFunc(name, help string, fn func() []Sample) {
+	r.registerFunc(name, help, "counter", fn)
+}
+
+func (r *Registry) registerFunc(name, help, typ string, fn func() []Sample) {
+	r.register(name, help, typ, func(w io.Writer, n string) {
+		for _, s := range fn() {
+			fmt.Fprintf(w, "%s%s %s\n", n, formatLabels(s.Labels), formatFloat(s.Value))
+		}
+	})
+}
+
+// WriteText renders every registered metric in the Prometheus text format.
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.Lock()
+	entries := append([]entry{}, r.entries...)
+	r.mu.Unlock()
+	for _, e := range entries {
+		if e.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.typ)
+		e.write(w, e.name)
+	}
+}
+
+// String renders the registry (convenience for tests).
+func (r *Registry) String() string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}
+
+func formatLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,112 @@
+package promtext
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("reqs_total", "requests")
+	g := r.NewGauge("depth", "queue depth")
+	c.Inc()
+	c.Add(2)
+	g.Set(5)
+	g.Add(-2)
+
+	out := r.String()
+	for _, want := range []string{
+		"# HELP reqs_total requests",
+		"# TYPE reqs_total counter",
+		"reqs_total 3",
+		"# TYPE depth gauge",
+		"depth 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05) // both buckets
+	h.Observe(0.5)  // le=1 only
+	h.Observe(3)    // +Inf only
+
+	out := r.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 3.55",
+		"lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram exposition missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 3 {
+		t.Errorf("Count = %d", h.Count())
+	}
+}
+
+func TestFuncMetricsAndLabels(t *testing.T) {
+	r := NewRegistry()
+	val := 7.0
+	r.GaugeFunc("col_docs", "docs per collection", func() []Sample {
+		return []Sample{
+			{Labels: map[string]string{"collection": "dblp", "zone": "a"}, Value: val},
+			{Labels: map[string]string{"collection": "sigmod"}, Value: 1},
+		}
+	})
+	out := r.String()
+	// Labels render sorted by name, values escaped and quoted.
+	if !strings.Contains(out, `col_docs{collection="dblp",zone="a"} 7`) {
+		t.Errorf("labeled sample wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `col_docs{collection="sigmod"} 1`) {
+		t.Errorf("second sample missing:\n%s", out)
+	}
+	// Func metrics sample current state at scrape time.
+	val = 9
+	if !strings.Contains(r.String(), `zone="a"} 9`) {
+		t.Error("func gauge did not re-sample")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	got := formatLabels(map[string]string{"k": "a\"b\\c\nd"})
+	if got != `{k="a\"b\\c\nd"}` {
+		t.Errorf("escaping = %s", got)
+	}
+	if formatLabels(nil) != "" {
+		t.Error("empty labels must render nothing")
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("n", "")
+	h := r.NewHistogram("h", "", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d", h.Count())
+	}
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// cachedResult is the format-independent materialisation of one query's
+// answers: each witness tree serialised to XML once, plus the similarity
+// scores for ranked selections. Both the JSON and the XML renderers build
+// their response from it, so one entry serves every format.
+type cachedResult struct {
+	XMLs   []string
+	Scores []float64 // non-nil only for ranked selections, aligned with XMLs
+}
+
+// Cache is a fixed-capacity LRU of query results. Invalidation is by key
+// construction, not callbacks: every key embeds the generation counters of
+// the collections the query touched (see cacheKey), so a mutation makes all
+// prior keys unreachable and their entries age out through LRU eviction.
+type Cache struct {
+	mu        sync.Mutex
+	max       int
+	ll        *list.List // front = most recent
+	items     map[string]*list.Element
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type cacheEntry struct {
+	key string
+	val *cachedResult
+}
+
+// NewCache returns an LRU cache holding up to max entries; max < 1 returns a
+// disabled cache on which Get always misses and Put is a no-op.
+func NewCache(max int) *Cache {
+	return &Cache{max: max, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the cached result for key, marking it most recently used.
+func (c *Cache) Get(key string) (*cachedResult, bool) {
+	if c.max < 1 {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores a result under key, evicting the least recently used entry when
+// the cache is full.
+func (c *Cache) Put(key string, val *cachedResult) {
+	if c.max < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Hits returns the cumulative hit count.
+func (c *Cache) Hits() uint64 { return c.hits.Load() }
+
+// Misses returns the cumulative miss count.
+func (c *Cache) Misses() uint64 { return c.misses.Load() }
+
+// Evictions returns the cumulative eviction count.
+func (c *Cache) Evictions() uint64 { return c.evictions.Load() }

@@ -1,0 +1,441 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/tree"
+	"repro/internal/xmldb"
+)
+
+// maxRequestBody bounds the /query request body.
+const maxRequestBody = 1 << 20
+
+// QueryRequest is the POST /query body. Exactly one of Pattern or Expr must
+// be set: Pattern runs a selection against Instance (or a condition join
+// when Right is set), Expr runs a full algebra expression.
+type QueryRequest struct {
+	Instance string `json:"instance,omitempty"` // selection target / join left side (default: first instance)
+	Right    string `json:"right,omitempty"`    // join right side; presence selects the join path
+	Pattern  string `json:"pattern,omitempty"`  // tossql pattern syntax
+	Expr     string `json:"expr,omitempty"`     // tossql algebra-expression syntax
+
+	SL      []int    `json:"sl,omitempty"`      // pattern labels whose subtrees are kept
+	Limit   int      `json:"limit,omitempty"`   // answer cap; selections stop scanning early
+	Ranked  bool     `json:"ranked,omitempty"`  // order selection answers by similarity score
+	Analyze bool     `json:"analyze,omitempty"` // attach the EXPLAIN ANALYZE report (bypasses the cache)
+	Measure string   `json:"measure,omitempty"` // similarity measure override (SEO variant built once, reused)
+	Eps     *float64 `json:"eps,omitempty"`     // epsilon override
+
+	TimeoutMS int    `json:"timeout_ms,omitempty"` // per-request deadline (default/max from server config)
+	Format    string `json:"format,omitempty"`     // "json" (default) or "xml"
+}
+
+// QueryResponse is the JSON answer shape; the XML format carries the same
+// fields as attributes/elements of <answers>.
+type QueryResponse struct {
+	Op        string   `json:"op"`
+	Instance  string   `json:"instance,omitempty"`
+	Count     int      `json:"count"`
+	Cached    bool     `json:"cached"`
+	ElapsedMS float64  `json:"elapsed_ms"`
+	Answers   []Answer `json:"answers"`
+	Analyze   string   `json:"analyze,omitempty"`
+}
+
+// Answer is one witness tree, serialised as XML, with its similarity score
+// for ranked selections.
+type Answer struct {
+	XML   string   `json:"xml"`
+	Score *float64 `json:"score,omitempty"`
+}
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func httpErrorf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ok instances=%d seo_nodes=%d\n", len(s.sys.Instances), s.sys.SEO.NodeCount())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteText(w)
+}
+
+// collectionStatz is the /statz entry for one collection.
+type collectionStatz struct {
+	Docs       int            `json:"docs"`
+	Bytes      int            `json:"bytes"`
+	Generation uint64         `json:"generation"`
+	Counters   xmldb.Counters `json:"counters"`
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	cols := map[string]collectionStatz{}
+	for _, in := range s.sys.Instances {
+		cols[in.Name] = collectionStatz{
+			Docs:       in.Col.DocCount(),
+			Bytes:      in.Col.ByteSize(),
+			Generation: in.Col.Generation(),
+			Counters:   in.Col.Counters(),
+		}
+	}
+	body := map[string]any{
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"system":         s.sys.Stats(),
+		"server": map[string]any{
+			"requests":        s.mRequests.Value(),
+			"errors":          s.mErrors.Value(),
+			"rejected":        s.mRejected.Value(),
+			"timeouts":        s.mTimeouts.Value(),
+			"panics":          s.mPanics.Value(),
+			"in_flight":       s.limiter.InFlight(),
+			"queue_depth":     s.limiter.Queued(),
+			"cache_entries":   s.cache.Len(),
+			"cache_hits":      s.cache.Hits(),
+			"cache_misses":    s.cache.Misses(),
+			"cache_evictions": s.cache.Evictions(),
+		},
+		"collections": cols,
+		"ops":         s.aggregates(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.serveQuery(w, r, &req); err != nil {
+		var he *httpError
+		if errors.As(err, &he) {
+			if he.status == http.StatusTooManyRequests {
+				s.mRejected.Inc()
+				w.Header().Set("Retry-After", "1")
+			}
+			http.Error(w, he.msg, he.status)
+			return
+		}
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.mTimeouts.Inc()
+			http.Error(w, "query deadline exceeded", http.StatusGatewayTimeout)
+		case errors.Is(err, context.Canceled):
+			http.Error(w, "request cancelled", 499) // nginx convention: client closed request
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+}
+
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, req *QueryRequest) error {
+	start := time.Now()
+
+	// Validate and parse before spending an admission slot.
+	if (req.Pattern == "") == (req.Expr == "") {
+		return httpErrorf(http.StatusBadRequest, "exactly one of pattern or expr is required")
+	}
+	format := strings.ToLower(req.Format)
+	switch format {
+	case "":
+		format = "json"
+		if strings.Contains(r.Header.Get("Accept"), "application/xml") {
+			format = "xml"
+		}
+	case "json", "xml":
+	default:
+		return httpErrorf(http.StatusBadRequest, "unknown format %q (want json or xml)", req.Format)
+	}
+	sys, err := s.systemFor(req.Measure, req.Eps)
+	if err != nil {
+		return httpErrorf(http.StatusBadRequest, "%v", err)
+	}
+
+	var pat *pattern.Tree
+	var expr core.Expr
+	op := "select"
+	if req.Pattern != "" {
+		if pat, err = pattern.Parse(req.Pattern); err != nil {
+			return httpErrorf(http.StatusBadRequest, "parsing pattern: %v", err)
+		}
+		if req.Right != "" {
+			op = "join"
+		} else if req.Ranked {
+			op = "ranked"
+		}
+	} else {
+		if expr, err = core.ParseExpr(req.Expr); err != nil {
+			return httpErrorf(http.StatusBadRequest, "parsing expr: %v", err)
+		}
+		op = "algebra"
+	}
+	if req.Analyze && (op == "ranked" || op == "algebra") {
+		return httpErrorf(http.StatusBadRequest, "analyze applies to selections and joins only")
+	}
+	if req.Ranked && op != "ranked" {
+		return httpErrorf(http.StatusBadRequest, "ranked applies to plain selections only")
+	}
+
+	instance := req.Instance
+	if instance == "" && len(sys.Instances) > 0 {
+		instance = sys.Instances[0].Name
+	}
+	involved, err := s.involvedInstances(sys, op, instance, req.Right, expr)
+	if err != nil {
+		return err
+	}
+
+	// Per-request deadline: requested, capped; default otherwise. The
+	// context also ends if the client disconnects.
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Cache lookup happens before admission: hits cost no slot.
+	key := s.cacheKey(sys, op, req, pat, expr, involved)
+	if !req.Analyze {
+		if res, ok := s.cache.Get(key); ok {
+			s.aggregate(op, true, time.Since(start), nil)
+			return s.render(w, format, op, instance, req, res, true, time.Since(start), "")
+		}
+	}
+
+	release, err := s.limiter.Acquire(ctx)
+	if err != nil {
+		if errors.Is(err, ErrSaturated) {
+			return httpErrorf(http.StatusTooManyRequests, "server saturated: %d executing, %d queued", s.limiter.InFlight(), s.limiter.Queued())
+		}
+		return err
+	}
+	defer release()
+	if s.testHookAdmitted != nil {
+		s.testHookAdmitted(r)
+	}
+
+	res, st, analyze, err := s.execute(ctx, sys, op, instance, req, pat, expr)
+	if err != nil {
+		return err
+	}
+	if !req.Analyze {
+		s.cache.Put(key, res)
+	}
+	elapsed := time.Since(start)
+	s.aggregate(op, false, elapsed, st)
+	return s.render(w, format, op, instance, req, res, false, elapsed, analyze)
+}
+
+// involvedInstances resolves which collections a query touches (for cache
+// keying) and 404s unknown names. Algebra expressions conservatively touch
+// every instance.
+func (s *Server) involvedInstances(sys *core.System, op, instance, right string, expr core.Expr) ([]*core.Instance, error) {
+	if op == "algebra" {
+		return sys.Instances, nil
+	}
+	names := []string{instance}
+	if op == "join" {
+		names = append(names, right)
+	}
+	var out []*core.Instance
+	for _, n := range names {
+		in := sys.Instance(n)
+		if in == nil {
+			return nil, httpErrorf(http.StatusNotFound, "unknown instance %q", n)
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// cacheKey builds the result-cache key: operation, normalized pattern or
+// expression (both re-rendered from the parse tree, so textual variants of
+// the same query share an entry), options, measure/eps, and the name plus
+// mutation generation of every involved collection. Embedding generations
+// makes every write invalidate all affected entries by construction.
+func (s *Server) cacheKey(sys *core.System, op string, req *QueryRequest, pat *pattern.Tree, expr core.Expr, involved []*core.Instance) string {
+	var b strings.Builder
+	b.WriteString(op)
+	b.WriteByte('\x00')
+	if pat != nil {
+		b.WriteString(pat.String())
+	} else {
+		b.WriteString(expr.String())
+	}
+	fmt.Fprintf(&b, "\x00sl=%v\x00limit=%d\x00ranked=%t", req.SL, req.Limit, req.Ranked)
+	fmt.Fprintf(&b, "\x00measure=%s\x00eps=%g", sys.Measure.Name(), sys.Epsilon)
+	names := make([]string, 0, len(involved))
+	gens := map[string]uint64{}
+	for _, in := range involved {
+		names = append(names, in.Name)
+		gens[in.Name] = in.Col.Generation()
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "\x00%s@%d", n, gens[n])
+	}
+	return b.String()
+}
+
+// execute runs the query under ctx and materialises the answers.
+func (s *Server) execute(ctx context.Context, sys *core.System, op, instance string, req *QueryRequest, pat *pattern.Tree, expr core.Expr) (*cachedResult, *core.ExecStats, string, error) {
+	var (
+		answers []*tree.Tree
+		st      *core.ExecStats
+		analyze string
+		err     error
+	)
+	switch op {
+	case "select":
+		if req.Analyze {
+			var ap *core.AnalyzedPlan
+			ap, answers, err = sys.ExplainAnalyzeContext(ctx, instance, pat, req.SL)
+			if err == nil {
+				analyze = ap.String()
+				st = ap.Stats
+			}
+		} else if req.Limit > 0 {
+			answers, st, err = sys.SelectNTracedContext(ctx, instance, pat, req.SL, req.Limit)
+		} else {
+			answers, st, err = sys.SelectTracedContext(ctx, instance, pat, req.SL)
+		}
+	case "join":
+		if req.Analyze {
+			var ap *core.AnalyzedPlan
+			ap, answers, err = sys.ExplainAnalyzeJoinContext(ctx, instance, req.Right, pat, req.SL)
+			if err == nil {
+				analyze = ap.String()
+				st = ap.Stats
+			}
+		} else {
+			answers, st, err = sys.JoinTracedContext(ctx, instance, req.Right, pat, req.SL)
+		}
+		if err == nil && req.Limit > 0 && len(answers) > req.Limit {
+			answers = answers[:req.Limit]
+		}
+	case "ranked":
+		var ranked []core.RankedAnswer
+		ranked, err = sys.SelectRankedContext(ctx, instance, pat, req.SL)
+		if err != nil {
+			break
+		}
+		if req.Limit > 0 && len(ranked) > req.Limit {
+			ranked = ranked[:req.Limit]
+		}
+		res := &cachedResult{
+			XMLs:   make([]string, len(ranked)),
+			Scores: make([]float64, len(ranked)),
+		}
+		for i, ra := range ranked {
+			res.XMLs[i] = ra.Tree.XMLString()
+			res.Scores[i] = ra.Score
+		}
+		return res, nil, "", nil
+	case "algebra":
+		answers, err = expr.EvalContext(ctx, sys)
+		if err == nil && req.Limit > 0 && len(answers) > req.Limit {
+			answers = answers[:req.Limit]
+		}
+	default:
+		err = httpErrorf(http.StatusBadRequest, "unknown op %q", op)
+	}
+	if err != nil {
+		return nil, nil, "", err
+	}
+	res := &cachedResult{XMLs: make([]string, len(answers))}
+	for i, t := range answers {
+		res.XMLs[i] = t.XMLString()
+	}
+	return res, st, analyze, nil
+}
+
+func (s *Server) render(w http.ResponseWriter, format, op, instance string, req *QueryRequest, res *cachedResult, cached bool, elapsed time.Duration, analyze string) error {
+	if op == "join" {
+		instance = instance + "⨝" + req.Right
+	}
+	switch format {
+	case "xml":
+		return renderXML(w, op, instance, res, cached, elapsed, analyze)
+	default:
+		resp := QueryResponse{
+			Op:        op,
+			Instance:  instance,
+			Count:     len(res.XMLs),
+			Cached:    cached,
+			ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
+			Answers:   make([]Answer, len(res.XMLs)),
+			Analyze:   analyze,
+		}
+		for i, x := range res.XMLs {
+			resp.Answers[i] = Answer{XML: x}
+			if res.Scores != nil {
+				score := res.Scores[i]
+				resp.Answers[i].Score = &score
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		return json.NewEncoder(w).Encode(resp)
+	}
+}
+
+func renderXML(w http.ResponseWriter, op, instance string, res *cachedResult, cached bool, elapsed time.Duration, analyze string) error {
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	var b strings.Builder
+	fmt.Fprintf(&b, "<answers op=%q instance=%q count=\"%d\" cached=\"%t\" elapsedMs=\"%.3f\">\n",
+		op, instance, len(res.XMLs), cached, float64(elapsed.Microseconds())/1e3)
+	for i, x := range res.XMLs {
+		if res.Scores != nil {
+			fmt.Fprintf(&b, "<answer score=\"%g\">\n", res.Scores[i])
+		} else {
+			b.WriteString("<answer>\n")
+		}
+		b.WriteString(strings.TrimRight(x, "\n"))
+		b.WriteString("\n</answer>\n")
+	}
+	if analyze != "" {
+		b.WriteString("<analyze>")
+		xml.EscapeText(&stringsWriter{&b}, []byte(analyze))
+		b.WriteString("</analyze>\n")
+	}
+	b.WriteString("</answers>\n")
+	_, err := w.Write([]byte(b.String()))
+	return err
+}
+
+// stringsWriter adapts strings.Builder to io.Writer for xml.EscapeText.
+type stringsWriter struct{ b *strings.Builder }
+
+func (w *stringsWriter) Write(p []byte) (int, error) { return w.b.Write(p) }

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrSaturated is returned by Limiter.Acquire when both the execution slots
+// and the wait queue are full; the HTTP layer maps it to 429.
+var ErrSaturated = errors.New("server: saturated, admission queue full")
+
+// Limiter is the admission controller: at most maxInFlight queries execute
+// concurrently, at most maxQueue more wait for a slot, and anything beyond
+// that is rejected immediately rather than piling up goroutines — overload
+// shows up as fast 429s instead of unbounded latency.
+type Limiter struct {
+	slots    chan struct{} // capacity maxInFlight: held while executing
+	tickets  chan struct{} // capacity maxInFlight+maxQueue: held while queued or executing
+	inFlight atomic.Int64
+	queued   atomic.Int64
+}
+
+// NewLimiter returns a limiter with the given execution and queue capacity.
+// maxInFlight below 1 is raised to 1; negative maxQueue is treated as 0.
+func NewLimiter(maxInFlight, maxQueue int) *Limiter {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Limiter{
+		slots:   make(chan struct{}, maxInFlight),
+		tickets: make(chan struct{}, maxInFlight+maxQueue),
+	}
+}
+
+// Acquire admits the caller, blocking in the bounded wait queue if all slots
+// are busy. It fails fast with ErrSaturated when the queue is already full,
+// and with ctx.Err() if the caller's deadline expires while waiting. On
+// success the returned release function must be called exactly once.
+func (l *Limiter) Acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case l.tickets <- struct{}{}:
+	default:
+		return nil, ErrSaturated
+	}
+	l.queued.Add(1)
+	select {
+	case l.slots <- struct{}{}:
+		l.queued.Add(-1)
+		l.inFlight.Add(1)
+		return func() {
+			<-l.slots
+			<-l.tickets
+			l.inFlight.Add(-1)
+		}, nil
+	case <-ctx.Done():
+		l.queued.Add(-1)
+		<-l.tickets
+		return nil, ctx.Err()
+	}
+}
+
+// InFlight returns the number of queries currently executing.
+func (l *Limiter) InFlight() int { return int(l.inFlight.Load()) }
+
+// Queued returns the number of queries waiting for a slot.
+func (l *Limiter) Queued() int { return int(l.queued.Load()) }

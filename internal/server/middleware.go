@@ -1,0 +1,67 @@
+package server
+
+import (
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusRecorder captures the status code a handler writes so the metrics
+// middleware can classify the response after the fact.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(p)
+}
+
+// withMetrics counts every request, observes its latency, and classifies 5xx
+// responses as errors; with a configured logger it also emits one access-log
+// line per request.
+func (s *Server) withMetrics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		s.mRequests.Inc()
+		s.hLatency.Observe(elapsed.Seconds())
+		if rec.status >= 500 {
+			s.mErrors.Inc()
+		}
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Printf("%s %s %d %s", r.Method, r.URL.Path, rec.status, elapsed)
+		}
+	})
+}
+
+// withRecovery converts a handler panic into a 500 instead of killing the
+// connection (and, pre-Go1.8-style servers, the process). The stack goes to
+// the configured logger so the failure stays diagnosable.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.mPanics.Inc()
+				if s.cfg.Logger != nil {
+					s.cfg.Logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				}
+				http.Error(w, "internal error", http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,300 @@
+// Package server is tossd's HTTP query service over a built core.System.
+// The paper's prototype (and the tossql CLI) rebuilds the lexicon, fused
+// ontology and SEO for every query; the server builds them once at startup
+// and amortises that cost across the query stream, which is where
+// ontological query answering pays off. Around the executor it adds the
+// production behaviors a long-lived process needs: admission control with a
+// bounded wait queue (429 on overflow), per-request deadlines threaded into
+// core's scan loops, an LRU result cache invalidated by collection
+// generation counters, panic recovery, and /healthz, /statz and /metrics
+// endpoints.
+package server
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/promtext"
+	"repro/internal/similarity"
+	"repro/internal/xmldb"
+)
+
+// Config tunes the server; zero values select the documented defaults.
+type Config struct {
+	// MaxInFlight caps concurrently executing queries (default 4).
+	MaxInFlight int
+	// MaxQueue caps queries waiting for an execution slot before new
+	// arrivals are rejected with 429 (default 2×MaxInFlight).
+	MaxQueue int
+	// DefaultTimeout applies when a request names no timeout_ms (default
+	// 30s). MaxTimeout (default 2m) caps what a request may ask for.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// CacheSize is the result-cache capacity in entries; negative disables
+	// caching (default 256).
+	CacheSize int
+	// Logger receives one line per request when set.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 4
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 2 * c.MaxInFlight
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	return c
+}
+
+// Server serves TOSS queries over HTTP. Construct with New around a built
+// core.System; the System's precomputed structures (lexicon, fused
+// ontologies, SEO, indexes) are shared by every request.
+type Server struct {
+	sys     *core.System
+	cfg     Config
+	limiter *Limiter
+	cache   *Cache
+	reg     *promtext.Registry
+	start   time.Time
+	mux     http.Handler
+
+	mRequests *promtext.Counter
+	mErrors   *promtext.Counter
+	mRejected *promtext.Counter
+	mTimeouts *promtext.Counter
+	mPanics   *promtext.Counter
+	hLatency  *promtext.Histogram
+
+	aggMu sync.Mutex
+	agg   map[string]*OpAggregate
+
+	// variants caches SEO re-enhancements for queries that override the
+	// measure or epsilon: built once per distinct (measure, eps), reused.
+	varMu    sync.Mutex
+	variants map[string]*seoVariant
+
+	// testHookAdmitted, when set, runs after admission control and before
+	// query execution (test seam for saturation/deadline behavior).
+	testHookAdmitted func(r *http.Request)
+}
+
+type seoVariant struct {
+	once sync.Once
+	sys  *core.System
+	err  error
+}
+
+// OpAggregate accumulates execution statistics per operation kind, the
+// /statz counterpart of the per-query EXPLAIN ANALYZE trace.
+type OpAggregate struct {
+	Queries       uint64  `json:"queries"`
+	CacheHits     uint64  `json:"cache_hits"`
+	Answers       uint64  `json:"answers"`
+	TotalDocs     uint64  `json:"total_docs"`
+	CandidateDocs uint64  `json:"candidate_docs"`
+	DocsEvaluated uint64  `json:"docs_evaluated"`
+	Embeddings    uint64  `json:"embeddings"`
+	TotalSeconds  float64 `json:"total_seconds"`
+}
+
+// New returns a server around a built system (Build must have been called:
+// queries need the SEO and measure).
+func New(sys *core.System, cfg Config) (*Server, error) {
+	if sys == nil || sys.SEO == nil || sys.Measure == nil {
+		return nil, fmt.Errorf("server: system not built (run Build before New)")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		sys:      sys,
+		cfg:      cfg,
+		limiter:  NewLimiter(cfg.MaxInFlight, cfg.MaxQueue),
+		cache:    NewCache(cfg.CacheSize),
+		reg:      promtext.NewRegistry(),
+		start:    time.Now(),
+		agg:      map[string]*OpAggregate{},
+		variants: map[string]*seoVariant{},
+	}
+	s.registerMetrics()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statz", s.handleStatz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux = s.withRecovery(s.withMetrics(mux))
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler (recovery and metrics
+// middleware included), ready for http.Server or httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Limiter exposes the admission controller (observability and tests).
+func (s *Server) Limiter() *Limiter { return s.limiter }
+
+// Cache exposes the result cache (observability and tests).
+func (s *Server) Cache() *Cache { return s.cache }
+
+func (s *Server) registerMetrics() {
+	r := s.reg
+	s.mRequests = r.NewCounter("tossd_requests_total", "HTTP requests served")
+	s.mErrors = r.NewCounter("tossd_request_errors_total", "requests answered with a 5xx status")
+	s.mRejected = r.NewCounter("tossd_rejected_total", "queries rejected with 429 by admission control")
+	s.mTimeouts = r.NewCounter("tossd_timeouts_total", "queries cancelled by their deadline")
+	s.mPanics = r.NewCounter("tossd_panics_total", "handler panics recovered")
+	s.hLatency = r.NewHistogram("tossd_request_seconds", "request latency in seconds", nil)
+	r.GaugeFunc("tossd_in_flight", "queries currently executing", func() []promtext.Sample {
+		return []promtext.Sample{{Value: float64(s.limiter.InFlight())}}
+	})
+	r.GaugeFunc("tossd_queue_depth", "queries waiting for an execution slot", func() []promtext.Sample {
+		return []promtext.Sample{{Value: float64(s.limiter.Queued())}}
+	})
+	r.CounterFunc("tossd_cache_hits_total", "result-cache hits", func() []promtext.Sample {
+		return []promtext.Sample{{Value: float64(s.cache.Hits())}}
+	})
+	r.CounterFunc("tossd_cache_misses_total", "result-cache misses", func() []promtext.Sample {
+		return []promtext.Sample{{Value: float64(s.cache.Misses())}}
+	})
+	r.CounterFunc("tossd_cache_evictions_total", "result-cache evictions", func() []promtext.Sample {
+		return []promtext.Sample{{Value: float64(s.cache.Evictions())}}
+	})
+	r.GaugeFunc("tossd_cache_entries", "result-cache live entries", func() []promtext.Sample {
+		return []promtext.Sample{{Value: float64(s.cache.Len())}}
+	})
+	r.GaugeFunc("tossd_uptime_seconds", "seconds since server start", func() []promtext.Sample {
+		return []promtext.Sample{{Value: time.Since(s.start).Seconds()}}
+	})
+
+	// Per-collection gauges and the cumulative atomic query counters the
+	// xmldb substrate already maintains, exposed with a collection label.
+	r.GaugeFunc("xmldb_collection_docs", "documents per collection", s.collectionGauge(func(in *core.Instance) float64 {
+		return float64(in.Col.DocCount())
+	}))
+	r.GaugeFunc("xmldb_collection_bytes", "stored XML bytes per collection", s.collectionGauge(func(in *core.Instance) float64 {
+		return float64(in.Col.ByteSize())
+	}))
+	r.CounterFunc("xmldb_collection_generation", "mutation generation counter per collection", s.collectionGauge(func(in *core.Instance) float64 {
+		return float64(in.Col.Generation())
+	}))
+	r.CounterFunc("xmldb_queries_total", "path queries served per collection", s.counterSamples(func(cs xmldb.Counters) float64 { return float64(cs.Queries) }))
+	r.CounterFunc("xmldb_indexed_queries_total", "queries routed through the tag index", s.counterSamples(func(cs xmldb.Counters) float64 { return float64(cs.IndexedQueries) }))
+	r.CounterFunc("xmldb_scan_queries_total", "queries answered by full document walks", s.counterSamples(func(cs xmldb.Counters) float64 { return float64(cs.ScanQueries) }))
+	r.CounterFunc("xmldb_value_index_hits_total", "queries narrowed by the value index", s.counterSamples(func(cs xmldb.Counters) float64 { return float64(cs.ValueIndexHits) }))
+	r.CounterFunc("xmldb_docs_walked_total", "documents traversed by scan queries", s.counterSamples(func(cs xmldb.Counters) float64 { return float64(cs.DocsWalked) }))
+	r.CounterFunc("xmldb_nodes_tested_total", "candidate nodes tested on the indexed path", s.counterSamples(func(cs xmldb.Counters) float64 { return float64(cs.NodesTested) }))
+	r.CounterFunc("xmldb_nodes_matched_total", "nodes returned across all queries", s.counterSamples(func(cs xmldb.Counters) float64 { return float64(cs.NodesMatched) }))
+}
+
+func (s *Server) collectionGauge(pick func(*core.Instance) float64) func() []promtext.Sample {
+	return func() []promtext.Sample {
+		out := make([]promtext.Sample, 0, len(s.sys.Instances))
+		for _, in := range s.sys.Instances {
+			out = append(out, promtext.Sample{
+				Labels: map[string]string{"collection": in.Name},
+				Value:  pick(in),
+			})
+		}
+		return out
+	}
+}
+
+func (s *Server) counterSamples(pick func(xmldb.Counters) float64) func() []promtext.Sample {
+	return func() []promtext.Sample {
+		out := make([]promtext.Sample, 0, len(s.sys.Instances))
+		for _, in := range s.sys.Instances {
+			out = append(out, promtext.Sample{
+				Labels: map[string]string{"collection": in.Name},
+				Value:  pick(in.Col.Counters()),
+			})
+		}
+		return out
+	}
+}
+
+// systemFor resolves the system variant a request's measure/eps overrides
+// select: the base system when they match the startup build, otherwise a
+// shallow clone whose SEO was re-enhanced once for that (measure, eps) pair
+// and cached for reuse — the expensive structures are never rebuilt per
+// query.
+func (s *Server) systemFor(measureName string, eps *float64) (*core.System, error) {
+	base := s.sys
+	name := base.Measure.Name()
+	e := base.Epsilon
+	if measureName != "" {
+		name = measureName
+	}
+	if eps != nil {
+		e = *eps
+	}
+	if name == base.Measure.Name() && e == base.Epsilon {
+		return base, nil
+	}
+	key := fmt.Sprintf("%s|%g", name, e)
+	s.varMu.Lock()
+	v, ok := s.variants[key]
+	if !ok {
+		v = &seoVariant{}
+		s.variants[key] = v
+	}
+	s.varMu.Unlock()
+	v.once.Do(func() {
+		m := similarity.ByName(name)
+		if m == nil {
+			v.err = fmt.Errorf("unknown measure %q", name)
+			return
+		}
+		clone := *base // shallow: Enhance replaces only Measure, Epsilon, SEO
+		if err := clone.Enhance(m, e); err != nil {
+			v.err = err
+			return
+		}
+		v.sys = &clone
+	})
+	return v.sys, v.err
+}
+
+func (s *Server) aggregate(op string, hit bool, elapsed time.Duration, st *core.ExecStats) {
+	s.aggMu.Lock()
+	defer s.aggMu.Unlock()
+	a, ok := s.agg[op]
+	if !ok {
+		a = &OpAggregate{}
+		s.agg[op] = a
+	}
+	a.Queries++
+	if hit {
+		a.CacheHits++
+	}
+	a.TotalSeconds += elapsed.Seconds()
+	if st != nil {
+		a.Answers += uint64(st.Answers)
+		a.TotalDocs += uint64(st.TotalDocs)
+		a.CandidateDocs += uint64(st.CandidateDocs)
+		a.DocsEvaluated += uint64(st.DocsEvaluated)
+		a.Embeddings += uint64(st.Embeddings)
+	}
+}
+
+func (s *Server) aggregates() map[string]OpAggregate {
+	s.aggMu.Lock()
+	defer s.aggMu.Unlock()
+	out := make(map[string]OpAggregate, len(s.agg))
+	for k, v := range s.agg {
+		out[k] = *v
+	}
+	return out
+}

@@ -1,0 +1,594 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/similarity"
+	"repro/internal/tree"
+)
+
+const testDBLP = `<dblp>
+  <inproceedings key="d1">
+    <author>Jeffrey D. Ullman</author>
+    <title>Relational Query Optimization</title>
+    <year>1997</year>
+    <booktitle>SIGMOD Conference</booktitle>
+  </inproceedings>
+  <inproceedings key="d2">
+    <author>J. Ullman</author>
+    <title>Index Structures for Databases</title>
+    <year>1999</year>
+    <booktitle>VLDB</booktitle>
+  </inproceedings>
+  <inproceedings key="d3">
+    <author>Elisa Bertino</author>
+    <title>Securing XML Documents</title>
+    <year>2000</year>
+    <booktitle>SIGMOD Conference</booktitle>
+  </inproceedings>
+</dblp>`
+
+const testSIGMOD = `<ProceedingsPage>
+  <articles>
+    <article key="s1">
+      <title>Securing XML Documents.</title>
+      <author>E. Bertino</author>
+      <conference>International Conference on Management of Data</conference>
+      <confYear>2000</confYear>
+    </article>
+  </articles>
+</ProceedingsPage>`
+
+const selectPattern = `#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ "Jeffrey D. Ullman"`
+
+const joinPattern = `#1 pc #2, #1 pc #3, #2 ad #4, #3 ad #5 :: ` +
+	`#1.tag = "tax_prod_root" & #2.tag = "dblp" & #3.tag = "ProceedingsPage" & ` +
+	`#4.tag = "title" & #5.tag = "title" & #4.content ~ #5.content`
+
+func testSystem(t *testing.T) *core.System {
+	t.Helper()
+	s := core.NewSystem()
+	dblp, err := s.AddInstance("dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dblp.Col.PutXML("d", strings.NewReader(testDBLP)); err != nil {
+		t.Fatal(err)
+	}
+	sig, err := s.AddInstance("sigmod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sig.Col.PutXML("s", strings.NewReader(testSIGMOD)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Build(similarity.NameRule{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(testSystem(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postQuery(t *testing.T, ts *httptest.Server, req QueryRequest) (*http.Response, []byte) {
+	t.Helper()
+	resp, body, err := tryPostQuery(ts, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// tryPostQuery is postQuery without t.Fatal, safe to call from goroutines.
+func tryPostQuery(ts *httptest.Server, req QueryRequest) (*http.Response, []byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes(), nil
+}
+
+func decodeResponse(t *testing.T, body []byte) QueryResponse {
+	t.Helper()
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatalf("decoding response %s: %v", body, err)
+	}
+	return qr
+}
+
+func TestSelectRoundTrip(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, body := postQuery(t, ts, QueryRequest{Instance: "dblp", Pattern: selectPattern, SL: []int{1}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	qr := decodeResponse(t, body)
+	if qr.Op != "select" || qr.Count == 0 || len(qr.Answers) != qr.Count {
+		t.Fatalf("bad response: op=%q count=%d answers=%d", qr.Op, qr.Count, len(qr.Answers))
+	}
+	// The ~ literal matches both spellings of the author via the SEO.
+	all := ""
+	for _, a := range qr.Answers {
+		all += a.XML
+	}
+	if !strings.Contains(all, "Jeffrey D. Ullman") || !strings.Contains(all, "J. Ullman") {
+		t.Errorf("similarity answers incomplete:\n%s", all)
+	}
+	if qr.Cached {
+		t.Error("first query must not be served from cache")
+	}
+}
+
+func TestSelectXMLFormat(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, body := postQuery(t, ts, QueryRequest{Instance: "dblp", Pattern: selectPattern, SL: []int{1}, Format: "xml"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/xml") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	s := string(body)
+	if !strings.Contains(s, `<answers op="select"`) || !strings.Contains(s, "<answer>") {
+		t.Errorf("bad XML envelope:\n%s", s)
+	}
+}
+
+func TestJoinRoundTrip(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, body := postQuery(t, ts, QueryRequest{Instance: "dblp", Right: "sigmod", Pattern: joinPattern})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	qr := decodeResponse(t, body)
+	if qr.Op != "join" || qr.Count == 0 {
+		t.Fatalf("join returned op=%q count=%d", qr.Op, qr.Count)
+	}
+	if !strings.Contains(qr.Answers[0].XML, "Securing XML Documents") {
+		t.Errorf("join witness missing the matching title:\n%s", qr.Answers[0].XML)
+	}
+}
+
+func TestAlgebraRoundTrip(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	expr := `select[#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author"; 1](dblp)`
+	resp, body := postQuery(t, ts, QueryRequest{Expr: expr})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	qr := decodeResponse(t, body)
+	if qr.Op != "algebra" || qr.Count == 0 {
+		t.Fatalf("algebra returned op=%q count=%d", qr.Op, qr.Count)
+	}
+}
+
+func TestRankedScores(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, body := postQuery(t, ts, QueryRequest{Instance: "dblp", Pattern: selectPattern, SL: []int{1}, Ranked: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	qr := decodeResponse(t, body)
+	if qr.Op != "ranked" || qr.Count == 0 {
+		t.Fatalf("ranked returned op=%q count=%d", qr.Op, qr.Count)
+	}
+	prev := -1.0
+	for i, a := range qr.Answers {
+		if a.Score == nil {
+			t.Fatalf("answer %d missing score", i)
+		}
+		if *a.Score < prev {
+			t.Errorf("scores not ascending: %g after %g", *a.Score, prev)
+		}
+		prev = *a.Score
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	cases := []struct {
+		name string
+		req  QueryRequest
+		want int
+	}{
+		{"neither pattern nor expr", QueryRequest{}, http.StatusBadRequest},
+		{"both pattern and expr", QueryRequest{Pattern: selectPattern, Expr: "dblp"}, http.StatusBadRequest},
+		{"bad pattern", QueryRequest{Pattern: ":::"}, http.StatusBadRequest},
+		{"unknown instance", QueryRequest{Instance: "ghost", Pattern: selectPattern}, http.StatusNotFound},
+		{"unknown measure", QueryRequest{Pattern: selectPattern, Measure: "nope"}, http.StatusBadRequest},
+		{"bad format", QueryRequest{Pattern: selectPattern, Format: "yaml"}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, body := postQuery(t, ts, c.req)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, resp.StatusCode, c.want, body)
+		}
+	}
+}
+
+// TestSaturationReturns429: with one execution slot and no queue, a second
+// concurrent query must be rejected immediately with 429, not pile up.
+func TestSaturationReturns429(t *testing.T) {
+	srv, ts := testServer(t, Config{MaxInFlight: 1, MaxQueue: -1, CacheSize: -1})
+	admitted := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+	srv.testHookAdmitted = func(*http.Request) {
+		if calls.Add(1) == 1 {
+			close(admitted)
+			<-release
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, body, err := tryPostQuery(ts, QueryRequest{Instance: "dblp", Pattern: selectPattern})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("blocked query finished with %d: %s", resp.StatusCode, body)
+		}
+	}()
+	<-admitted // first query holds the only slot
+
+	resp, body := postQuery(t, ts, QueryRequest{Instance: "dblp", Pattern: selectPattern})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server answered %d, want 429 (%s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After")
+	}
+
+	close(release)
+	wg.Wait()
+	if got := srv.Limiter().InFlight(); got != 0 {
+		t.Errorf("in-flight after drain = %d", got)
+	}
+}
+
+// TestDeadlineReturns504Promptly: a query whose deadline expires must come
+// back as 504 without waiting for the work it would have done.
+func TestDeadlineReturns504Promptly(t *testing.T) {
+	srv, ts := testServer(t, Config{CacheSize: -1})
+	srv.testHookAdmitted = func(*http.Request) {
+		time.Sleep(80 * time.Millisecond) // outlive the 10ms deadline below
+	}
+	start := time.Now()
+	resp, body := postQuery(t, ts, QueryRequest{Instance: "dblp", Pattern: selectPattern, TimeoutMS: 10})
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (%s)", resp.StatusCode, body)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("deadline response took %v", elapsed)
+	}
+}
+
+// TestQueuedRequestHonoursDeadline: a query stuck in the admission queue past
+// its deadline must give up with 504 instead of waiting for a slot forever.
+func TestQueuedRequestHonoursDeadline(t *testing.T) {
+	srv, ts := testServer(t, Config{MaxInFlight: 1, MaxQueue: 1, CacheSize: -1})
+	admitted := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+	srv.testHookAdmitted = func(*http.Request) {
+		if calls.Add(1) == 1 {
+			close(admitted)
+			<-release
+		}
+	}
+	defer close(release)
+
+	go tryPostQuery(ts, QueryRequest{Instance: "dblp", Pattern: selectPattern})
+	<-admitted
+
+	resp, body := postQuery(t, ts, QueryRequest{Instance: "dblp", Pattern: selectPattern, TimeoutMS: 20})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("queued-past-deadline query answered %d, want 504 (%s)", resp.StatusCode, body)
+	}
+	if srv.Limiter().Queued() != 0 {
+		t.Errorf("queue depth after timeout = %d", srv.Limiter().Queued())
+	}
+}
+
+// TestCacheHitAndInvalidation: the second identical query is served from the
+// cache; a collection mutation makes the next one miss again.
+func TestCacheHitAndInvalidation(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	req := QueryRequest{Instance: "dblp", Pattern: selectPattern, SL: []int{1}}
+
+	_, body := postQuery(t, ts, req)
+	first := decodeResponse(t, body)
+	if first.Cached {
+		t.Fatal("cold query reported cached")
+	}
+
+	_, body = postQuery(t, ts, req)
+	warm := decodeResponse(t, body)
+	if !warm.Cached {
+		t.Fatal("repeat query not served from cache")
+	}
+	if warm.Count != first.Count {
+		t.Fatalf("cached count %d != fresh count %d", warm.Count, first.Count)
+	}
+	if srv.Cache().Hits() == 0 {
+		t.Error("cache hit counter not incremented")
+	}
+
+	// Mutate the collection: the generation counter bumps, so the same
+	// query text now builds a different cache key.
+	col := srv.sys.Instance("dblp").Col
+	doc, err := tree.NewCollection().ParseXMLString(
+		`<dblp><inproceedings key="d4"><author>Jeff Ullman</author><title>New Paper</title></inproceedings></dblp>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.PutTree("d4", doc); err != nil {
+		t.Fatal(err)
+	}
+
+	_, body = postQuery(t, ts, req)
+	after := decodeResponse(t, body)
+	if after.Cached {
+		t.Fatal("query after mutation still served from stale cache entry")
+	}
+}
+
+// TestMeasureEpsOverride: per-query measure/eps overrides are served from a
+// cached SEO variant, and distinct overrides get distinct cache entries.
+func TestMeasureEpsOverride(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	eps := 0.0
+	resp, body := postQuery(t, ts, QueryRequest{Instance: "dblp", Pattern: selectPattern, SL: []int{1}, Eps: &eps})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("eps override status %d: %s", resp.StatusCode, body)
+	}
+	strict := decodeResponse(t, body)
+	resp, body = postQuery(t, ts, QueryRequest{Instance: "dblp", Pattern: selectPattern, SL: []int{1}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default status %d: %s", resp.StatusCode, body)
+	}
+	loose := decodeResponse(t, body)
+	// eps=0 keeps only exact-name matches; the default eps also pulls in the
+	// abbreviated spelling, so it must see at least as many answers.
+	if strict.Count > loose.Count {
+		t.Errorf("eps=0 returned %d answers, default eps %d", strict.Count, loose.Count)
+	}
+	if strict.Cached || loose.Cached {
+		t.Error("distinct (measure,eps) keys must not share cache entries")
+	}
+}
+
+func TestLimitTruncatesAnswers(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, body := postQuery(t, ts, QueryRequest{
+		Instance: "dblp",
+		Pattern:  `#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author"`,
+		Limit:    1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	qr := decodeResponse(t, body)
+	if qr.Count != 1 || len(qr.Answers) != 1 {
+		t.Fatalf("limit=1 returned %d answers", qr.Count)
+	}
+}
+
+func TestAnalyzeReport(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, body := postQuery(t, ts, QueryRequest{Instance: "dblp", Pattern: selectPattern, SL: []int{1}, Analyze: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	qr := decodeResponse(t, body)
+	if !strings.Contains(qr.Analyze, "EXPLAIN ANALYZE") {
+		t.Errorf("analyze report missing:\n%s", qr.Analyze)
+	}
+	if qr.Cached {
+		t.Error("analyze runs must bypass the cache")
+	}
+}
+
+func TestEndpoints(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	postQuery(t, ts, QueryRequest{Instance: "dblp", Pattern: selectPattern}) // warm counters
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var statz map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&statz); err != nil {
+		t.Fatalf("/statz not JSON: %v", err)
+	}
+	resp.Body.Close()
+	for _, key := range []string{"uptime_seconds", "system", "server", "collections", "ops"} {
+		if _, ok := statz[key]; !ok {
+			t.Errorf("/statz missing %q", key)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	metrics := buf.String()
+	for _, want := range []string{
+		"tossd_requests_total", "tossd_cache_hits_total", "tossd_cache_misses_total",
+		"tossd_in_flight", "tossd_queue_depth", "tossd_request_seconds_bucket",
+		`xmldb_collection_docs{collection="dblp"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// TestPanicRecovery: a handler panic becomes a 500, not a dead connection,
+// and is counted.
+func TestPanicRecovery(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	var calls atomic.Int64
+	srv.testHookAdmitted = func(*http.Request) {
+		if calls.Add(1) == 1 {
+			panic("boom")
+		}
+	}
+	resp, _ := postQuery(t, ts, QueryRequest{Instance: "dblp", Pattern: selectPattern})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler answered %d, want 500", resp.StatusCode)
+	}
+	if srv.mPanics.Value() != 1 {
+		t.Errorf("panic counter = %v, want 1", srv.mPanics.Value())
+	}
+	// The slot must have been released despite the panic.
+	resp, body := postQuery(t, ts, QueryRequest{Instance: "dblp", Pattern: selectPattern})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("server wedged after panic: %d (%s)", resp.StatusCode, body)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	_, ts := testServer(t, Config{MaxInFlight: 4, MaxQueue: 16})
+	patterns := []string{
+		selectPattern,
+		`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author"`,
+		`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "title"`,
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body, err := tryPostQuery(ts, QueryRequest{Instance: "dblp", Pattern: patterns[i%len(patterns)]})
+			if err != nil {
+				t.Errorf("concurrent query %d: %v", i, err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+				t.Errorf("concurrent query %d: status %d (%s)", i, resp.StatusCode, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestLimiterUnit(t *testing.T) {
+	ctx := context.Background()
+	l := NewLimiter(2, 1)
+	r1, err := l.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := l.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.InFlight() != 2 {
+		t.Fatalf("in-flight = %d", l.InFlight())
+	}
+	// Third caller queues; fourth is rejected.
+	done := make(chan error, 1)
+	go func() {
+		r3, err := l.Acquire(ctx)
+		if err == nil {
+			r3()
+		}
+		done <- err
+	}()
+	waitFor(t, func() bool { return l.Queued() == 1 })
+	if _, err := l.Acquire(ctx); err != ErrSaturated {
+		t.Fatalf("overflow Acquire err = %v, want ErrSaturated", err)
+	}
+	r1()
+	if err := <-done; err != nil {
+		t.Fatalf("queued Acquire err = %v", err)
+	}
+	r2()
+	waitFor(t, func() bool { return l.InFlight() == 0 && l.Queued() == 0 })
+}
+
+func TestCacheUnit(t *testing.T) {
+	c := NewCache(2)
+	a, b, d := &cachedResult{}, &cachedResult{}, &cachedResult{}
+	c.Put("a", a)
+	c.Put("b", b)
+	if got, ok := c.Get("a"); !ok || got != a {
+		t.Fatal("miss on live entry")
+	}
+	c.Put("d", d) // evicts b (a was just touched)
+	if _, ok := c.Get("b"); ok {
+		t.Error("LRU kept the stale entry")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("LRU evicted the recently used entry")
+	}
+	if c.Evictions() != 1 {
+		t.Errorf("evictions = %d", c.Evictions())
+	}
+
+	off := NewCache(-1)
+	off.Put("x", a)
+	if _, ok := off.Get("x"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if off.Len() != 0 {
+		t.Error("disabled cache stored an entry")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 2s")
+}

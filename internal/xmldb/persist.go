@@ -6,35 +6,70 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/tree"
 )
 
 // SaveDir writes every document of the collection as an XML file under dir
 // (created if needed). File names are the document keys, sanitised and
 // suffixed ".xml"; an index file records the original keys in insertion
 // order so LoadDir restores them faithfully.
+//
+// The snapshot of keys and documents is taken under one read lock, so a save
+// concurrent with mutations captures a single consistent state (never an
+// index entry whose document was replaced mid-save). Every file, including
+// the index, is written to a temp file and renamed into place, so a crash
+// mid-save leaves the previous save intact rather than a torn file.
 func (c *Collection) SaveDir(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("xmldb: save %s: %w", c.name, err)
 	}
 	c.mu.RLock()
 	keys := append([]string{}, c.keys...)
+	docs := make([]*tree.Tree, len(keys))
+	for i, k := range keys {
+		docs[i] = c.docs[k]
+	}
 	c.mu.RUnlock()
 	var index strings.Builder
 	for i, key := range keys {
-		doc := c.Doc(key)
-		if doc == nil {
+		if docs[i] == nil {
 			continue
 		}
 		file := fmt.Sprintf("%04d-%s.xml", i, sanitizeFileName(key))
-		if err := os.WriteFile(filepath.Join(dir, file), []byte(doc.XMLString()), 0o644); err != nil {
+		if err := writeFileAtomic(filepath.Join(dir, file), []byte(docs[i].XMLString())); err != nil {
 			return fmt.Errorf("xmldb: save %s: %w", key, err)
 		}
 		fmt.Fprintf(&index, "%s\t%s\n", file, key)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "_index.tsv"), []byte(index.String()), 0o644); err != nil {
+	if err := writeFileAtomic(filepath.Join(dir, "_index.tsv"), []byte(index.String())); err != nil {
 		return fmt.Errorf("xmldb: save index: %w", err)
 	}
 	return nil
+}
+
+// writeFileAtomic writes data to a temp file in path's directory and renames
+// it over path, so readers (and post-crash loads) see either the old or the
+// new content, never a partial write.
+func writeFileAtomic(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // LoadDir loads documents previously written by SaveDir into the collection

@@ -102,6 +102,12 @@ type Collection struct {
 	valueIndex    map[string][]*tree.Node
 	mixedValueTag map[string]bool
 
+	// generation counts mutations (Put/Delete, including replacements). It
+	// lets caches key results on collection state: any entry keyed under an
+	// older generation can never be served again, which is how the tossd
+	// query-result cache invalidates on writes without a callback seam.
+	generation atomic.Uint64
+
 	// Cumulative query counters, updated atomically so the read path never
 	// contends on mu for bookkeeping. Snapshot with Counters().
 	nQueries        atomic.Uint64
@@ -255,8 +261,15 @@ func (c *Collection) storeLocked(key string, t *tree.Tree) error {
 	c.docs[key] = t
 	c.curBytes += size
 	c.invalidateIndexes()
+	c.generation.Add(1)
 	return nil
 }
+
+// Generation returns the collection's mutation counter: it increments on
+// every successful Put/Delete (replacements included), never decrements, and
+// is safe to read concurrently. Two reads returning the same value bracket a
+// window with no writes.
+func (c *Collection) Generation() uint64 { return c.generation.Load() }
 
 func (c *Collection) contains(t *tree.Tree) bool {
 	for _, existing := range c.col.Trees {
@@ -298,6 +311,7 @@ func (c *Collection) Delete(key string) bool {
 	c.removeKey(key)
 	c.removeTree(t)
 	c.invalidateIndexes()
+	c.generation.Add(1)
 	return true
 }
 
