@@ -1,0 +1,180 @@
+package toss
+
+// Planner ablation benchmarks (benchstat-friendly): the same queries on the
+// same skewed corpus, once with the cost-based planner (default) and once
+// with it disabled (the pre-planner heuristics: rewrite-order intersections,
+// always-index routing, key-both-sides hash join). Answer sets are identical
+// by construction (see internal/core/planner_prop_test.go); only the work
+// differs. TestWriteBenchPlannerJSON re-runs the comparison with
+// testing.Benchmark and writes BENCH_planner.json.
+//
+//	go test -run NONE -bench 'BenchmarkPlanner' -count 10 | benchstat -
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/pattern"
+	"repro/internal/tax"
+)
+
+// plannerBenchSystem builds a corpus with document-level skew: one paper per
+// document, so a selective author condition isolates a handful of documents
+// out of many, and intersection order matters.
+func plannerBenchSystem(b testing.TB, papers int) (*core.System, *datagen.Corpus) {
+	b.Helper()
+	gen := datagen.DefaultConfig(papers)
+	gen.Seed = 11
+	corpus := datagen.Generate(gen)
+	s := core.NewSystem()
+	dblp, err := s.AddInstance("dblp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dblp.Col.SetMaxBytes(0)
+	for i, p := range corpus.Papers {
+		key := fmt.Sprintf("dblp-%05d", i)
+		if _, err := dblp.Col.PutXML(key, strings.NewReader(corpus.DBLPString(corpus.Papers[i:i+1]))); err != nil {
+			b.Fatal(err)
+		}
+		_ = p
+	}
+	if err := s.Build(experiments.DefaultMeasure(), 3); err != nil {
+		b.Fatal(err)
+	}
+	return s, corpus
+}
+
+// plannerBenchPattern puts the unselective conditions first in rewrite
+// order (the root and a contains-constrained title, which rewrites to a
+// bare //inproceedings/title path matching every document) and the highly
+// selective author equality last — exactly the shape where the heuristic
+// rewrite-order intersection does maximal wasted work and the planner's
+// most-selective-first order plus restricted survivor scans pay off.
+func plannerBenchPattern(author string) *pattern.Tree {
+	return pattern.MustParse(fmt.Sprintf(
+		`#1 pc #2, #1 pc #3 :: #1.tag = "inproceedings" & #2.tag = "title" & #3.tag = "author" & #2.content contains "a" & #3.content = %q`,
+		author))
+}
+
+func benchmarkPlannerSelect(b *testing.B, planned bool) {
+	s, corpus := plannerBenchSystem(b, 600)
+	if !planned {
+		s.Planner = nil
+	}
+	pat := plannerBenchPattern(corpus.Authors[0].Canonical())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Select("dblp", pat, []int{1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlannerSelect(b *testing.B) {
+	b.Run("planned", func(b *testing.B) { benchmarkPlannerSelect(b, true) })
+	b.Run("heuristic", func(b *testing.B) { benchmarkPlannerSelect(b, false) })
+}
+
+func joinBenchSystem(b testing.TB, papers int) (*core.System, *pattern.Tree) {
+	s, corpus := plannerBenchSystem(b, papers)
+	proc, err := s.AddInstance("proc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	proc.Col.SetMaxBytes(0)
+	// A small second side: the planner builds the hash table here and
+	// streams the large side through it.
+	for i := 0; i < papers/20; i++ {
+		title := corpus.Papers[(i*7)%len(corpus.Papers)].Title
+		xml := fmt.Sprintf(`<ProceedingsPage><title>%s</title><note>N%d</note></ProceedingsPage>`, title, i)
+		if _, err := proc.Col.PutXML(fmt.Sprintf("pp-%04d", i), strings.NewReader(xml)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s.DynamicSimilarity = false // hash join needs complete cluster keys
+	if err := s.Build(experiments.DefaultMeasure(), 3); err != nil {
+		b.Fatal(err)
+	}
+	pat := pattern.MustParse(fmt.Sprintf(
+		`#1 pc #2, #1 pc #3, #2 ad #4, #3 ad #5 :: #1.tag = %q & #2.tag = "dblp" & #3.tag = "ProceedingsPage" & #4.tag = "title" & #5.tag = "title" & #4.content ~ #5.content`,
+		tax.ProdRootTag))
+	return s, pat
+}
+
+func benchmarkPlannerJoin(b *testing.B, planned bool) {
+	s, pat := joinBenchSystem(b, 240)
+	if !planned {
+		s.Planner = nil
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Join("dblp", "proc", pat, []int{2, 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlannerJoin(b *testing.B) {
+	b.Run("planned", func(b *testing.B) { benchmarkPlannerJoin(b, true) })
+	b.Run("heuristic", func(b *testing.B) { benchmarkPlannerJoin(b, false) })
+}
+
+// TestWriteBenchPlannerJSON runs the planned-vs-heuristic comparison once
+// and records it in BENCH_planner.json (ns/op per variant plus the ratio),
+// so CI and later sessions can diff planner performance without re-running
+// benchstat by hand.
+func TestWriteBenchPlannerJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark emission skipped in -short mode")
+	}
+	type entry struct {
+		NsPerOp  int64   `json:"ns_per_op"`
+		AllocsOp int64   `json:"allocs_per_op"`
+		N        int     `json:"n"`
+		Speedup  float64 `json:"speedup_vs_heuristic,omitempty"`
+	}
+	out := map[string]map[string]entry{}
+	record := func(group string, run func(b *testing.B, planned bool)) {
+		variants := map[string]entry{}
+		var ns [2]int64
+		for i, planned := range []bool{true, false} {
+			r := testing.Benchmark(func(b *testing.B) { run(b, planned) })
+			name := "planned"
+			if !planned {
+				name = "heuristic"
+			}
+			e := entry{NsPerOp: r.NsPerOp(), AllocsOp: r.AllocsPerOp(), N: r.N}
+			ns[i] = r.NsPerOp()
+			variants[name] = e
+		}
+		if ns[0] > 0 {
+			e := variants["planned"]
+			e.Speedup = float64(ns[1]) / float64(ns[0])
+			variants["planned"] = e
+		}
+		out[group] = variants
+	}
+	record("select_skewed", benchmarkPlannerSelect)
+	record("join_sides", benchmarkPlannerJoin)
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_planner.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sel := out["select_skewed"]["planned"].Speedup
+	t.Logf("planner speedup: select_skewed %.2fx, join_sides %.2fx",
+		sel, out["join_sides"]["planned"].Speedup)
+	if sel < 1.0 {
+		t.Logf("warning: planned selection slower than heuristic on this machine (%.2fx)", sel)
+	}
+}

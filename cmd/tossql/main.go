@@ -62,6 +62,7 @@ func main() {
 	ranked := flag.Bool("ranked", false, "order selection answers by similarity score (sum of ~ distances, best first)")
 	stats := flag.Bool("stats", false, "print system statistics after building")
 	timeout := flag.Duration("timeout", 0, "abort query execution after this duration, e.g. 500ms (0 = no deadline; TOSS paths only)")
+	noPlanner := flag.Bool("no-planner", false, "disable the cost-based planner and use the fixed execution heuristics (answers are identical either way)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -102,6 +103,9 @@ func main() {
 	}
 
 	sys := core.NewSystem()
+	if *noPlanner {
+		sys.Planner = nil
+	}
 	if *rules != "" {
 		if err := sys.Lexicon.LoadRulesFile(*rules); err != nil {
 			log.Fatal(err)

@@ -77,8 +77,11 @@ func TestDeadlineAbortsScan(t *testing.T) {
 	s := miniSystem(t, 3)
 	// Inflate the scan after Build: dynamic ~ evaluation needs no rebuilt
 	// ontology, so the new documents are full-weight embedding-search work.
+	// The corpus must be big enough that the full scan takes far longer than
+	// the platform's timer resolution — virtualized hosts can take 15-20ms to
+	// observe a context deadline, and the planner keeps making scans faster.
 	col := s.Instance("dblp").Col
-	for i := 0; i < 400; i++ {
+	for i := 0; i < 2000; i++ {
 		doc := fmt.Sprintf(`<dblp><inproceedings key="f%d">
 			<author>Filler Author Number %d With A Longish Name</author>
 			<title>Filler Title %d On Query Processing And Optimization Of Tree Pattern Matching</title>
@@ -102,8 +105,8 @@ func TestDeadlineAbortsScan(t *testing.T) {
 	full := time.Since(start)
 
 	timeout := full / 20
-	if timeout < time.Millisecond {
-		timeout = time.Millisecond
+	if timeout < 5*time.Millisecond {
+		timeout = 5 * time.Millisecond
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/ontology"
+	"repro/internal/planner"
 	"repro/internal/seo"
 	"repro/internal/similarity"
 	"repro/internal/tree"
@@ -63,6 +64,13 @@ type System struct {
 	// Results are identical either way (document order is preserved).
 	Parallelism int
 
+	// Planner drives cost-based execution decisions (candidate-intersection
+	// order, index-vs-scan routing, join build side) from collection
+	// statistics. On by default; set to nil to fall back to the fixed
+	// heuristics (rewrite order, always-index, key-both-sides). Either way
+	// the answer set is identical — the planner only reorders work.
+	Planner *planner.Planner
+
 	// DynamicSimilarity allows the ~ operator to fall back to a direct
 	// measure comparison for terms the ontology does not know. It keeps the
 	// operator total on ad-hoc strings (default), at the cost of disabling
@@ -88,6 +96,7 @@ func NewSystem() *System {
 		ExtraConstraints:  map[string][]ontology.Constraint{},
 		MakerConfig:       DefaultMakerConfig(),
 		DynamicSimilarity: true,
+		Planner:           planner.New(0),
 		valueTags:         map[string]bool{},
 	}
 }

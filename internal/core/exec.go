@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/pattern"
+	"repro/internal/planner"
 	"repro/internal/tax"
 	"repro/internal/tree"
 	"repro/internal/xmldb"
@@ -225,17 +226,86 @@ func (s *System) candidateDocs(ctx context.Context, col *xmldb.Collection, paths
 	for _, d := range docs {
 		rootDoc[d.Root] = d
 	}
+
+	// Cost-based planning: order the intersection most-selective-first and
+	// let the plan route each path (index / value index / full scan). The
+	// final intersection is order-independent and the output loop below
+	// iterates in document order, so planning can never change the answer
+	// set — only the work done to reach it.
+	var plan *planner.SelectPlan
+	var planTrace *PlanTrace
+	order := make([]int, len(paths))
+	for i := range order {
+		order[i] = i
+	}
+	if s.Planner != nil {
+		var hit bool
+		plan, hit = s.Planner.PlanSelect(col, paths)
+		order = plan.Order
+		planTrace = &PlanTrace{
+			Collection:    col.Name(),
+			CacheHit:      hit,
+			Reordered:     plan.Reordered,
+			EstCandidates: plan.EstCandidates,
+		}
+		if st != nil {
+			st.Plans = append(st.Plans, planTrace)
+		}
+	}
+
 	var surviving map[*tree.Tree]bool
-	for _, p := range paths {
+	for k, idx := range order {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		p := paths[idx]
+		var est planner.PathEstimate
+		if plan != nil {
+			est = plan.Paths[k]
+		}
 		hits := map[*tree.Tree]bool{}
-		nodes, qs := col.QueryPathTraced(p)
-		for _, n := range nodes {
-			if d := rootDoc[n.Root()]; d != nil {
-				hits[d] = true
+		var qs xmldb.QueryStats
+		step := PlanStep{XPath: p.String(), Access: est.Access, EstDocs: est.EstDocs, EstNodes: est.EstNodes}
+		if plan != nil && surviving != nil && plan.ShouldRestrict(k, len(surviving)) {
+			// Few enough survivors that walking just those documents beats
+			// querying the whole collection for this path.
+			t0 := time.Now()
+			matched := 0
+			for _, d := range docs {
+				if !surviving[d] {
+					continue
+				}
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				if m := len(p.Eval(d.Root)); m > 0 {
+					hits[d] = true
+					matched += m
+				}
 			}
+			qs = xmldb.QueryStats{
+				XPath: p.String(), DocsWalked: len(surviving),
+				Matches: matched, Elapsed: time.Since(t0),
+			}
+			step.Access = planner.AccessRestricted
+			step.TestedDocs = len(surviving)
+			step.ActualNodes = matched
+		} else {
+			var nodes []*tree.Node
+			nodes, qs = col.QueryPathForced(p, plan != nil && est.Access == planner.AccessScan)
+			for _, n := range nodes {
+				if d := rootDoc[n.Root()]; d != nil {
+					hits[d] = true
+				}
+			}
+			step.ActualNodes = len(nodes)
+			if plan != nil {
+				s.Planner.Observe(est.EstDocs, float64(len(hits)))
+			}
+		}
+		step.ActualDocs = len(hits)
+		if planTrace != nil {
+			planTrace.Steps = append(planTrace.Steps, step)
 		}
 		if st != nil {
 			st.Paths = append(st.Paths, PathTrace{QueryStats: qs, DocsMatched: len(hits)})
@@ -258,6 +328,9 @@ func (s *System) candidateDocs(ctx context.Context, col *xmldb.Collection, paths
 		if surviving[d] {
 			out = append(out, d)
 		}
+	}
+	if planTrace != nil {
+		planTrace.ActualCandidates = len(out)
 	}
 	if st != nil {
 		st.CandidateDocs += len(out)
@@ -522,8 +595,16 @@ func (s *System) join(ctx context.Context, left, right string, p *pattern.Tree, 
 		st.TotalDocs = len(ldocs) + len(rdocs)
 		st.CandidateDocs = st.TotalDocs
 	}
+	// Cost-based build-side choice: the side with fewer estimated hash
+	// entries builds the table, the other probes. Pair output is sorted by
+	// (left, right) document index either way, so the choice cannot change
+	// the answer set.
+	var jp *planner.JoinPlan
+	if s.Planner != nil {
+		jp = planner.PlanJoinSides(li.Col.Stats(), ri.Col.Stats(), len(ldocs), len(rdocs))
+	}
 	t3 := time.Now()
-	out, err := s.joinTrees(ctx, ldocs, rdocs, p, sl, st)
+	out, err := s.joinTreesPlanned(ctx, ldocs, rdocs, p, sl, st, jp)
 	if st != nil {
 		st.EvalTime = time.Since(t3)
 		st.TotalTime = time.Since(t0)
@@ -607,8 +688,12 @@ func (s *System) JoinTreesContext(ctx context.Context, ldocs, rdocs []*tree.Tree
 }
 
 func (s *System) joinTrees(ctx context.Context, ldocs, rdocs []*tree.Tree, p *pattern.Tree, sl []int, st *ExecStats) ([]*tree.Tree, error) {
+	return s.joinTreesPlanned(ctx, ldocs, rdocs, p, sl, st, nil)
+}
+
+func (s *System) joinTreesPlanned(ctx context.Context, ldocs, rdocs []*tree.Tree, p *pattern.Tree, sl []int, st *ExecStats, jp *planner.JoinPlan) ([]*tree.Tree, error) {
 	dst := tree.NewCollection()
-	pairs := s.joinPairs(ldocs, rdocs, p, st)
+	pairs := s.joinPairs(ldocs, rdocs, p, st, jp)
 	ev := s.Evaluator()
 	var out []*tree.Tree
 	for _, pr := range pairs {
@@ -638,10 +723,13 @@ func (s *System) NestedLoopJoinTrees(ldocs, rdocs []*tree.Tree, p *pattern.Tree,
 }
 
 // joinPairs picks the document pairs worth joining. With a usable cross atom
-// it hash-partitions both sides by SEO cluster keys; otherwise it returns
-// the full cross product of documents. When st is non-nil the pairing
-// decision and counts are recorded.
-func (s *System) joinPairs(ldocs, rdocs []*tree.Tree, p *pattern.Tree, st *ExecStats) [][2]*tree.Tree {
+// it hash-partitions by SEO cluster keys: when a join plan is supplied, the
+// side it chose builds the hash table and the other probes it; without a
+// plan both sides are keyed (the pre-planner heuristic). Pairs come out
+// sorted by (left, right) document index regardless, so both strategies —
+// and either build side — produce the identical pair list. When st is
+// non-nil the pairing decision and counts are recorded.
+func (s *System) joinPairs(ldocs, rdocs []*tree.Tree, p *pattern.Tree, st *ExecStats, jp *planner.JoinPlan) [][2]*tree.Tree {
 	cross := len(ldocs) * len(rdocs)
 	atom := s.crossSimAtom(p)
 	if atom == nil {
@@ -659,43 +747,87 @@ func (s *System) joinPairs(ldocs, rdocs []*tree.Tree, p *pattern.Tree, st *ExecS
 		}
 		return out
 	}
+	docKeys := func(d *tree.Tree) []string {
+		seen := map[string]bool{}
+		var out []string
+		d.Walk(func(n *tree.Node) bool {
+			if n.Content == "" {
+				return true
+			}
+			for _, k := range s.simKeys(n.Content, atom.Op) {
+				if !seen[k] {
+					seen[k] = true
+					out = append(out, k)
+				}
+			}
+			return true
+		})
+		return out
+	}
 	keyed := func(docs []*tree.Tree) map[string][]int {
 		m := map[string][]int{}
 		for i, d := range docs {
-			seen := map[string]bool{}
-			d.Walk(func(n *tree.Node) bool {
-				if n.Content == "" {
-					return true
-				}
-				for _, k := range s.simKeys(n.Content, atom.Op) {
-					if !seen[k] {
-						seen[k] = true
-						m[k] = append(m[k], i)
-					}
-				}
-				return true
-			})
+			for _, k := range docKeys(d) {
+				m[k] = append(m[k], i)
+			}
 		}
 		return m
 	}
-	lk := keyed(ldocs)
-	rk := keyed(rdocs)
 	// Collect index pairs and sort those — comparing ints directly instead of
 	// looking positions up with a linear scan per comparison keeps large
 	// joins at O(n log n) rather than O(n² log n).
 	pairSet := map[[2]int]bool{}
 	var pairs [][2]int
-	for k, ls := range lk {
-		rs := rk[k]
-		for _, li := range ls {
-			for _, ri := range rs {
-				pr := [2]int{li, ri}
-				if !pairSet[pr] {
-					pairSet[pr] = true
-					pairs = append(pairs, pr)
+	addPair := func(li, ri int) {
+		pr := [2]int{li, ri}
+		if !pairSet[pr] {
+			pairSet[pr] = true
+			pairs = append(pairs, pr)
+		}
+	}
+	trace := &JoinTrace{
+		LeftDocs: len(ldocs), RightDocs: len(rdocs),
+		HashJoin: true, CrossPairs: cross,
+	}
+	if jp != nil {
+		// Planned: build a hash table on the cheaper side only; the other
+		// side streams its keys through the table.
+		build, probe := ldocs, rdocs
+		if !jp.BuildLeft {
+			build, probe = rdocs, ldocs
+		}
+		bk := keyed(build)
+		probeKeys := map[string]bool{}
+		for j, d := range probe {
+			for _, k := range docKeys(d) {
+				probeKeys[k] = true
+				for _, bi := range bk[k] {
+					if jp.BuildLeft {
+						addPair(bi, j)
+					} else {
+						addPair(j, bi)
+					}
 				}
 			}
 		}
+		trace.BuildSide, trace.EstLeft, trace.EstRight = "left", jp.EstLeft, jp.EstRight
+		trace.LeftKeys, trace.RightKeys = len(bk), len(probeKeys)
+		if !jp.BuildLeft {
+			trace.BuildSide = "right"
+			trace.LeftKeys, trace.RightKeys = len(probeKeys), len(bk)
+		}
+	} else {
+		lk := keyed(ldocs)
+		rk := keyed(rdocs)
+		for k, ls := range lk {
+			rs := rk[k]
+			for _, li := range ls {
+				for _, ri := range rs {
+					addPair(li, ri)
+				}
+			}
+		}
+		trace.LeftKeys, trace.RightKeys = len(lk), len(rk)
 	}
 	sort.Slice(pairs, func(i, j int) bool {
 		if pairs[i][0] != pairs[j][0] {
@@ -707,12 +839,9 @@ func (s *System) joinPairs(ldocs, rdocs []*tree.Tree, p *pattern.Tree, st *ExecS
 	for i, pr := range pairs {
 		out[i] = [2]*tree.Tree{ldocs[pr[0]], rdocs[pr[1]]}
 	}
+	trace.PairsTried = len(out)
 	if st != nil {
-		st.Join = &JoinTrace{
-			LeftDocs: len(ldocs), RightDocs: len(rdocs),
-			HashJoin: true, LeftKeys: len(lk), RightKeys: len(rk),
-			PairsTried: len(out), CrossPairs: cross,
-		}
+		st.Join = trace
 	}
 	return out
 }

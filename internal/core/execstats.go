@@ -30,6 +30,11 @@ type ExecStats struct {
 	TotalDocs     int // documents in the collection(s)
 	CandidateDocs int // documents surviving every pre-filter
 
+	// Planner decisions: one entry per planned pre-filter (selections have
+	// one, joins one per side). Empty when the planner is disabled or the
+	// pattern rewrote to no pre-filter paths.
+	Plans []*PlanTrace
+
 	// Join pairing (nil for selections).
 	Join *JoinTrace
 
@@ -83,6 +88,31 @@ type PathTrace struct {
 	DocsMatched int // documents containing at least one matching node
 }
 
+// PlanTrace records the planner's decisions for one candidate-document
+// pre-filter: the chosen intersection order with estimated versus actual
+// cardinalities per step.
+type PlanTrace struct {
+	Collection       string
+	CacheHit         bool // plan came from the plan cache
+	Reordered        bool // chosen order differs from rewrite order
+	EstCandidates    float64
+	ActualCandidates int
+	Steps            []PlanStep
+}
+
+// PlanStep is one planned path execution, in the order the plan ran it.
+type PlanStep struct {
+	XPath       string
+	Access      string // planner access method (index, index+value, scan, restricted)
+	EstDocs     float64
+	EstNodes    float64
+	ActualDocs  int
+	ActualNodes int
+	// TestedDocs is set on restricted steps: how many surviving documents
+	// were evaluated per-document instead of querying the collection.
+	TestedDocs int
+}
+
 // JoinTrace records the pairing statistics of a join execution.
 type JoinTrace struct {
 	LeftDocs, RightDocs int
@@ -90,6 +120,10 @@ type JoinTrace struct {
 	LeftKeys, RightKeys int  // distinct hash keys per side (hash join only)
 	PairsTried          int  // document pairs actually joined
 	CrossPairs          int  // size of the full cross product
+	// Planner build-side choice ("left" or "right"; empty when the planner
+	// was off and both sides were keyed as before).
+	BuildSide         string
+	EstLeft, EstRight float64 // estimated hash entries per side
 }
 
 // PairSelectivity is PairsTried/CrossPairs (1 when the cross product is
@@ -149,6 +183,23 @@ func (st *ExecStats) String() string {
 		fmt.Fprintf(&b, "  %s  route=%s %s matches=%d docs=%d  [%s]\n",
 			p.XPath, route, detail, p.Matches, p.DocsMatched, fmtDuration(p.Elapsed))
 	}
+	for _, pt := range st.Plans {
+		cache := "miss"
+		if pt.CacheHit {
+			cache = "hit"
+		}
+		fmt.Fprintf(&b, "plan: %s: %d step(s) reordered=%v cache=%s estimated candidates=%.1f actual=%d\n",
+			pt.Collection, len(pt.Steps), pt.Reordered, cache, pt.EstCandidates, pt.ActualCandidates)
+		for i, ps := range pt.Steps {
+			if ps.TestedDocs > 0 {
+				fmt.Fprintf(&b, "plan:   [%d] %s access=%s estimated=%.1f docs actual=%d of %d survivor(s)\n",
+					i+1, ps.XPath, ps.Access, ps.EstDocs, ps.ActualDocs, ps.TestedDocs)
+			} else {
+				fmt.Fprintf(&b, "plan:   [%d] %s access=%s estimated=%.1f docs (%.1f nodes) actual=%d docs (%d nodes)\n",
+					i+1, ps.XPath, ps.Access, ps.EstDocs, ps.EstNodes, ps.ActualDocs, ps.ActualNodes)
+			}
+		}
+	}
 	if j := st.Join; j != nil {
 		kind := "cross product"
 		if j.HashJoin {
@@ -156,6 +207,14 @@ func (st *ExecStats) String() string {
 		}
 		fmt.Fprintf(&b, "join: %s, %d of %d pairs tried (%dx%d docs, pair selectivity %.2f)\n",
 			kind, j.PairsTried, j.CrossPairs, j.LeftDocs, j.RightDocs, j.PairSelectivity())
+		if j.BuildSide != "" {
+			probe := "right"
+			if j.BuildSide == "right" {
+				probe = "left"
+			}
+			fmt.Fprintf(&b, "plan: join build=%s probe=%s (estimated hash entries left=%.1f right=%.1f)\n",
+				j.BuildSide, probe, j.EstLeft, j.EstRight)
+		}
 	}
 	fmt.Fprintf(&b, "eval  [%s]: workers=%d docs=%d embeddings=%d answers=%d\n",
 		fmtDuration(st.EvalTime), st.Workers, st.DocsEvaluated, st.Embeddings, st.Answers)

@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/pattern"
+	"repro/internal/planner"
 	"repro/internal/tree"
 )
 
@@ -24,6 +26,11 @@ type Plan struct {
 	// SimilarityExpansions maps each ~ literal that was expanded to the
 	// number of SEO-cluster strings it expanded into.
 	SimilarityExpansions map[string]int
+	// NodeEstimates maps each pattern-node label to the planner's estimate
+	// of how many stored nodes can be its image (tag atoms fix the tag,
+	// content conditions narrow it; ~ literals count their SEO cluster).
+	// Nil when the planner is off or the instance is unknown (joins).
+	NodeEstimates map[int]float64
 	// TypeErrors carries static well-typedness findings (advisory).
 	TypeErrors []TypeError
 }
@@ -36,6 +43,7 @@ func (s *System) Explain(instance string, p *pattern.Tree) (*Plan, error) {
 	}
 	paths := s.RewritePattern(p)
 	plan := s.planSkeleton(instance, p)
+	plan.NodeEstimates = s.estimatePatternNodes(in, p)
 	plan.TotalDocs = in.Col.DocCount()
 	for _, path := range paths {
 		plan.XPaths = append(plan.XPaths, path.String())
@@ -81,6 +89,67 @@ func (s *System) planSkeleton(instance string, p *pattern.Tree) *Plan {
 	return plan
 }
 
+// estimatePatternNodes runs the planner's per-condition cardinality
+// estimator over the pattern's conjunctive spine: each labelled node starts
+// at the node count of its tag (every node for an unconstrained label) and
+// content conditions narrow it via planner.CondEstimate — with ~ literals
+// expanded to their SEO clusters first, so the cluster size drives the
+// estimate. Returns nil when the planner is off.
+func (s *System) estimatePatternNodes(in *Instance, p *pattern.Tree) map[int]float64 {
+	if s.Planner == nil || in == nil {
+		return nil
+	}
+	st := in.Col.Stats()
+	tags := map[int]string{}
+	labels := p.Labels()
+	for _, l := range labels {
+		tags[l] = "*"
+	}
+	type contentCond struct {
+		label int
+		op    pattern.Op
+		lit   string
+	}
+	var conds []contentCond
+	for _, a := range pattern.Atoms(conjunctiveOnly(p.Cond)) {
+		attr, lit, op, ok := normalizeAtom(a)
+		if !ok || a.X.Kind != pattern.TermAttr {
+			continue
+		}
+		switch attr {
+		case "tag":
+			if op == pattern.OpEq {
+				tags[a.X.Label] = lit
+			}
+		case "content":
+			conds = append(conds, contentCond{a.X.Label, op, lit})
+		}
+	}
+	out := make(map[int]float64, len(labels))
+	for _, l := range labels {
+		tag := tags[l]
+		base := float64(st.Nodes)
+		if tag != "*" {
+			base = float64(st.TagEstimate(tag).Nodes)
+		}
+		out[l] = base
+	}
+	for _, c := range conds {
+		tag := tags[c.label]
+		lits := []string{c.lit}
+		if c.op == pattern.OpSim {
+			if exp := s.SimilarStrings(c.lit); len(exp) > 0 {
+				lits = exp
+			}
+		}
+		est := planner.CondEstimate(st, tag, string(c.op), lits)
+		if est < out[c.label] {
+			out[c.label] = est
+		}
+	}
+	return out
+}
+
 // AnalyzedPlan pairs the static plan with the actual execution statistics of
 // one run — the executor's EXPLAIN ANALYZE.
 type AnalyzedPlan struct {
@@ -103,6 +172,9 @@ func (s *System) ExplainAnalyzeContext(ctx context.Context, instance string, p *
 		return nil, nil, err
 	}
 	plan := s.planSkeleton(instance, p)
+	if in := s.Instance(instance); in != nil {
+		plan.NodeEstimates = s.estimatePatternNodes(in, p)
+	}
 	plan.TotalDocs = st.TotalDocs
 	plan.CandidateDocs = st.CandidateDocs
 	for _, pt := range st.Paths {
@@ -139,6 +211,7 @@ func (ap *AnalyzedPlan) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "EXPLAIN ANALYZE: %s on %s\n", ap.Stats.Op, ap.Plan.Instance)
 	fmt.Fprintf(&b, "pattern: %s\n", ap.Plan.Pattern)
+	writeNodeEstimates(&b, ap.Plan.NodeEstimates)
 	b.WriteString(ap.Stats.String())
 	if len(ap.Plan.PostFilterAtoms) > 0 {
 		b.WriteString("post-filtered conditions:\n")
@@ -150,6 +223,24 @@ func (ap *AnalyzedPlan) String() string {
 		fmt.Fprintf(&b, "type warning: %s\n", e)
 	}
 	return b.String()
+}
+
+// writeNodeEstimates renders the per-pattern-node cardinality estimates as
+// "plan:" lines (one per label, sorted).
+func writeNodeEstimates(b *strings.Builder, est map[int]float64) {
+	if len(est) == 0 {
+		return
+	}
+	labels := make([]int, 0, len(est))
+	for l := range est {
+		labels = append(labels, l)
+	}
+	sort.Ints(labels)
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = fmt.Sprintf("#%d≈%.1f", l, est[l])
+	}
+	fmt.Fprintf(b, "plan: node estimates (matching nodes): %s\n", strings.Join(parts, " "))
 }
 
 // String renders the plan for humans.
@@ -166,6 +257,7 @@ func (p *Plan) String() string {
 		}
 	}
 	fmt.Fprintf(&b, "candidate documents: %d of %d\n", p.CandidateDocs, p.TotalDocs)
+	writeNodeEstimates(&b, p.NodeEstimates)
 	if len(p.SimilarityExpansions) > 0 {
 		b.WriteString("similarity expansions:\n")
 		for lit, n := range p.SimilarityExpansions {

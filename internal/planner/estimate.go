@@ -1,0 +1,213 @@
+// Package planner is the cost-based query planner for the TOSS algebra. It
+// consumes the per-collection statistics xmldb maintains (tag and value
+// frequencies, document counts, mutation generations) and turns them into
+// execution decisions the Query Executor previously made by fixed heuristics:
+// the order candidate-set intersections run in, index-scan versus full-scan
+// routing per rewritten XPath path, whether a later intersection stage should
+// be evaluated per-document over the current survivors, and which side of a
+// similarity hash join builds the hash table. Plans are cached per
+// (collection generation, rewritten paths) and estimated-versus-actual
+// cardinalities are recorded so the estimation error is observable.
+package planner
+
+import (
+	"math"
+
+	"repro/internal/xmldb"
+	"repro/internal/xpath"
+)
+
+// Cost model constants, in abstract units of "one node visited during a
+// document walk". They only need to be right relative to each other.
+const (
+	// CostScanNode is the cost of visiting one node during a full scan.
+	CostScanNode = 1.0
+	// CostIndexProbe is the cost of testing one tag-index candidate with
+	// MatchesUp (an ancestor-chain walk plus predicate evaluation) — several
+	// times a plain scan visit.
+	CostIndexProbe = 4.0
+	// MinParallelDocs is the candidate-document count below which forking
+	// parallel evaluation workers costs more than it saves.
+	MinParallelDocs = 4
+)
+
+// Default selectivities for conditions the estimator cannot decompose.
+const (
+	// DefaultPredSelectivity is assumed for an XPath predicate that is not a
+	// self-equality (or disjunction of them) the value sketch can estimate.
+	DefaultPredSelectivity = 1.0 / 3
+	// DefaultOntologySelectivity is assumed for isa/part_of/below/above
+	// conditions, whose reachable term sets are not enumerated.
+	DefaultOntologySelectivity = 0.25
+	// DefaultContainsSelectivity is assumed for substring containment.
+	DefaultContainsSelectivity = 0.1
+)
+
+// Access methods a plan can choose per path.
+const (
+	AccessIndex      = "index"       // bottom-up through the tag index
+	AccessValueIndex = "index+value" // tag index narrowed by the value index
+	AccessScan       = "scan"        // full document walk
+	AccessRestricted = "restricted"  // per-document eval over current survivors
+)
+
+// PathEstimate is the planner's verdict on one rewritten XPath path: the
+// access method chosen by cost, the estimated matching cardinalities, and
+// the estimated evaluation cost.
+type PathEstimate struct {
+	XPath    string
+	Tag      string  // driving tag of the final step ("" when wildcard)
+	Access   string  // chosen access method (AccessIndex, AccessValueIndex, AccessScan)
+	EstNodes float64 // estimated matching nodes
+	EstDocs  float64 // estimated documents containing a match
+	Cost     float64 // estimated evaluation cost (model units)
+}
+
+// EstimatePath estimates one rewritten XPath path against a statistics
+// snapshot, choosing the cheaper of index probing and full scanning.
+func EstimatePath(st *xmldb.Stats, p *xpath.Path) PathEstimate {
+	est := PathEstimate{XPath: p.String()}
+	last := p.Steps[len(p.Steps)-1]
+	scanCost := float64(st.Nodes) * CostScanNode
+
+	if last.Name == "*" || p.HasInnerPredicates() {
+		// The indexed evaluator cannot route this shape; it always scans.
+		est.Access = AccessScan
+		est.Cost = scanCost
+		if last.Name != "*" {
+			ts := st.TagEstimate(last.Name)
+			est.Tag = last.Name
+			est.EstNodes = predSelectivity(ts, last.Preds) * float64(ts.Nodes)
+			est.EstDocs = DocsFromNodes(est.EstNodes, ts.Docs)
+		} else {
+			est.EstNodes = float64(st.Nodes) * DefaultPredSelectivity
+			est.EstDocs = float64(st.Docs) * DefaultPredSelectivity
+		}
+		return est
+	}
+
+	ts := st.TagEstimate(last.Name)
+	est.Tag = last.Name
+	est.Access = AccessIndex
+	probes := float64(ts.Nodes) // candidates tested by MatchesUp
+
+	preds := last.Preds
+	matching := float64(ts.Nodes)
+	if len(preds) > 0 {
+		if lits, ok := xpath.SelfEqualsAnyLiteral(preds[0]); ok {
+			matching = 0
+			usable := !ts.Mixed
+			for _, lit := range lits {
+				if lit == "" {
+					usable = false
+				}
+				matching += ts.ValueCount(lit)
+			}
+			if matching > float64(ts.Nodes) {
+				matching = float64(ts.Nodes)
+			}
+			// The executor narrows candidates through the value index under
+			// the same conditions (non-mixed tag, non-empty literals).
+			if usable && matching < probes {
+				probes = matching
+				est.Access = AccessValueIndex
+			}
+			preds = preds[1:]
+		}
+		for range preds {
+			matching *= DefaultPredSelectivity
+		}
+	}
+	est.EstNodes = matching
+	est.EstDocs = DocsFromNodes(matching, ts.Docs)
+	// When every node of the tag matches, the per-tag doc count is exact —
+	// no need for the balls-in-bins approximation.
+	if matching >= float64(ts.Nodes) {
+		est.EstDocs = float64(ts.Docs)
+	}
+	est.Cost = probes * CostIndexProbe
+	// A huge posting list can cost more to probe than one walk over every
+	// document; route such paths through the scan evaluator.
+	if est.Cost > scanCost {
+		est.Access = AccessScan
+		est.Cost = scanCost
+	}
+	return est
+}
+
+func predSelectivity(ts xmldb.TagStats, preds []xpath.Pred) float64 {
+	sel := 1.0
+	for range preds {
+		sel *= DefaultPredSelectivity
+	}
+	return sel
+}
+
+// DocsFromNodes converts an estimated matching-node count into an estimated
+// matching-document count with the classic balls-in-bins expectation:
+// matches spread uniformly over the docs that contain the tag.
+func DocsFromNodes(nodes float64, docs int) float64 {
+	if docs <= 0 || nodes <= 0 {
+		return 0
+	}
+	d := float64(docs)
+	est := d * (1 - math.Pow(1-1/d, nodes))
+	if est > d {
+		est = d
+	}
+	return est
+}
+
+// CondEstimate estimates how many nodes carrying the given tag satisfy a
+// single condition. op is the pattern operator spelling ("=", "!=", "~",
+// "contains", "isa", "part_of", "below", "above"); literals carries the
+// value operand — for ~ and isa conditions the caller passes the full SEO
+// cluster expansion, so the cluster size drives the estimate. A tag of "*"
+// estimates over every node.
+func CondEstimate(st *xmldb.Stats, tag, op string, literals []string) float64 {
+	var ts xmldb.TagStats
+	if tag == "*" {
+		// Synthesize an aggregate "any tag" view.
+		for _, t := range st.Tags {
+			ts.Nodes += t.Nodes
+			ts.ValueNodes += t.ValueNodes
+			ts.DistinctValues += t.DistinctValues
+		}
+		ts.Mixed = true
+	} else {
+		ts = st.TagEstimate(tag)
+	}
+	nodes := float64(ts.Nodes)
+	switch op {
+	case "=", "~":
+		if len(literals) == 0 || ts.Mixed {
+			return nodes * DefaultPredSelectivity
+		}
+		var sum float64
+		for _, lit := range literals {
+			sum += ts.ValueCount(lit)
+		}
+		if sum > nodes {
+			sum = nodes
+		}
+		return sum
+	case "!=":
+		if len(literals) == 0 || ts.Mixed {
+			return nodes
+		}
+		var sum float64
+		for _, lit := range literals {
+			sum += ts.ValueCount(lit)
+		}
+		if sum > nodes {
+			sum = nodes
+		}
+		return nodes - sum
+	case "contains":
+		return nodes * DefaultContainsSelectivity
+	case "isa", "part_of", "below", "above", "instance_of", "subtype_of":
+		return nodes * DefaultOntologySelectivity
+	default:
+		return nodes * DefaultPredSelectivity
+	}
+}

@@ -1,0 +1,285 @@
+package planner
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/xmldb"
+	"repro/internal/xpath"
+)
+
+// SelectPlan is the chosen execution strategy for one candidate-document
+// pre-filter: the rewritten paths with their estimates, in the order the
+// intersection should run (most selective first). Plans are immutable once
+// built and safe to share across queries (they are cached).
+type SelectPlan struct {
+	Collection  string
+	Generation  uint64
+	TotalDocs   int
+	AvgDocNodes float64
+	// Paths holds the per-path estimates in chosen execution order;
+	// Order[k] is the index of Paths[k] in the original rewrite order.
+	Paths []PathEstimate
+	Order []int
+	// Reordered reports whether the chosen order differs from rewrite order.
+	Reordered bool
+	// EstCandidates is the estimated size of the final intersection, under
+	// the usual attribute-independence assumption.
+	EstCandidates float64
+}
+
+// BuildSelectPlan estimates every rewritten path against the statistics
+// snapshot and orders the intersection most-selective-first.
+func BuildSelectPlan(collection string, st *xmldb.Stats, paths []*xpath.Path) *SelectPlan {
+	plan := &SelectPlan{
+		Collection:  collection,
+		Generation:  st.Generation,
+		TotalDocs:   st.Docs,
+		AvgDocNodes: st.AvgNodesPerDoc(),
+	}
+	ests := make([]PathEstimate, len(paths))
+	for i, p := range paths {
+		ests[i] = EstimatePath(st, p)
+	}
+	order := make([]int, len(paths))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ea, eb := ests[order[a]], ests[order[b]]
+		if ea.EstDocs != eb.EstDocs {
+			return ea.EstDocs < eb.EstDocs
+		}
+		return ea.Cost < eb.Cost
+	})
+	plan.Order = order
+	plan.Paths = make([]PathEstimate, len(order))
+	sel := 1.0
+	docs := float64(st.Docs)
+	for k, idx := range order {
+		plan.Paths[k] = ests[idx]
+		if idx != k {
+			plan.Reordered = true
+		}
+		if docs > 0 {
+			sel *= ests[idx].EstDocs / docs
+		}
+	}
+	if docs > 0 {
+		plan.EstCandidates = sel * docs
+	}
+	return plan
+}
+
+// RestrictedCost estimates evaluating one path directly over the surviving
+// documents (a per-document walk) instead of querying the whole collection.
+func (pl *SelectPlan) RestrictedCost(survivors int) float64 {
+	return float64(survivors) * pl.AvgDocNodes * CostScanNode
+}
+
+// ShouldRestrict reports whether the k-th planned path is estimated cheaper
+// to evaluate per-document over the current survivors than via its chosen
+// collection-wide access method. Only meaningful for k > 0.
+func (pl *SelectPlan) ShouldRestrict(k, survivors int) bool {
+	if k <= 0 || k >= len(pl.Paths) {
+		return false
+	}
+	return pl.RestrictedCost(survivors) < pl.Paths[k].Cost
+}
+
+// JoinPlan is the chosen strategy for one similarity hash join: which side
+// builds the hash table (the side with fewer estimated key entries) and the
+// estimates that drove the choice.
+type JoinPlan struct {
+	BuildLeft bool
+	EstLeft   float64 // estimated hash entries if the left side builds
+	EstRight  float64 // estimated hash entries if the right side builds
+	LeftDocs  int
+	RightDocs int
+}
+
+// PlanJoinSides chooses the build side of a hash join from the candidate
+// document counts and the per-collection average of content-bearing nodes
+// per document (each content node contributes hash keys).
+func PlanJoinSides(lst, rst *xmldb.Stats, ldocs, rdocs int) *JoinPlan {
+	jp := &JoinPlan{
+		EstLeft:   hashEntries(lst, ldocs),
+		EstRight:  hashEntries(rst, rdocs),
+		LeftDocs:  ldocs,
+		RightDocs: rdocs,
+	}
+	jp.BuildLeft = jp.EstLeft <= jp.EstRight
+	return jp
+}
+
+func hashEntries(st *xmldb.Stats, docs int) float64 {
+	if st == nil || st.Docs == 0 {
+		return float64(docs)
+	}
+	valueNodes := 0
+	for _, ts := range st.Tags {
+		valueNodes += ts.ValueNodes
+	}
+	return float64(docs) * float64(valueNodes) / float64(st.Docs)
+}
+
+// Counters is a point-in-time snapshot of the planner's activity, exported
+// on /statz and /metrics.
+type Counters struct {
+	PlansBuilt   uint64 `json:"plans_built"`
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	CacheSize    int    `json:"cache_size"`
+	Observations uint64 `json:"observations"`
+	// Relative estimation-error quantiles (|est-actual| / max(actual,1))
+	// over a sliding window of recent observations.
+	ErrP50 float64 `json:"err_p50"`
+	ErrP90 float64 `json:"err_p90"`
+	ErrMax float64 `json:"err_max"`
+}
+
+// Planner builds, caches, and scores query plans. Safe for concurrent use;
+// one Planner is shared by every instance of a core.System.
+type Planner struct {
+	plansBuilt atomic.Uint64
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+
+	mu    sync.Mutex
+	cache map[string]*list.Element
+	order *list.List // front = most recently used
+	cap   int
+
+	errs errorWindow
+}
+
+type cacheEntry struct {
+	key  string
+	plan *SelectPlan
+}
+
+// DefaultCacheSize bounds the plan cache when New is given size <= 0.
+const DefaultCacheSize = 256
+
+// New returns a Planner with an LRU plan cache of the given capacity.
+func New(cacheSize int) *Planner {
+	if cacheSize <= 0 {
+		cacheSize = DefaultCacheSize
+	}
+	return &Planner{
+		cache: make(map[string]*list.Element, cacheSize),
+		order: list.New(),
+		cap:   cacheSize,
+	}
+}
+
+// PlanSelect returns the plan for intersecting the given rewritten paths on
+// the collection, consulting the plan cache first. The cache key is the
+// canonical path strings (deterministically derived from the normalized
+// pattern) plus the collection's mutation generation, so plans invalidate by
+// key construction exactly like the server's result cache. The second return
+// reports whether the plan came from the cache.
+func (pl *Planner) PlanSelect(col *xmldb.Collection, paths []*xpath.Path) (*SelectPlan, bool) {
+	st := col.Stats()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s@%d", col.Name(), st.Generation)
+	for _, p := range paths {
+		sb.WriteByte(0)
+		sb.WriteString(p.String())
+	}
+	key := sb.String()
+
+	pl.mu.Lock()
+	if el, ok := pl.cache[key]; ok {
+		pl.order.MoveToFront(el)
+		plan := el.Value.(*cacheEntry).plan
+		pl.mu.Unlock()
+		pl.hits.Add(1)
+		return plan, true
+	}
+	pl.mu.Unlock()
+	pl.misses.Add(1)
+
+	plan := BuildSelectPlan(col.Name(), st, paths)
+	pl.plansBuilt.Add(1)
+
+	pl.mu.Lock()
+	if _, ok := pl.cache[key]; !ok {
+		pl.cache[key] = pl.order.PushFront(&cacheEntry{key: key, plan: plan})
+		for pl.order.Len() > pl.cap {
+			old := pl.order.Back()
+			pl.order.Remove(old)
+			delete(pl.cache, old.Value.(*cacheEntry).key)
+		}
+	}
+	pl.mu.Unlock()
+	return plan, false
+}
+
+// Observe records one estimated-versus-actual cardinality pair, feeding the
+// estimation-error quantiles.
+func (pl *Planner) Observe(est, actual float64) {
+	denom := actual
+	if denom < 1 {
+		denom = 1
+	}
+	pl.errs.record(math.Abs(est-actual) / denom)
+}
+
+// Counters snapshots the planner's activity.
+func (pl *Planner) Counters() Counters {
+	c := Counters{
+		PlansBuilt:  pl.plansBuilt.Load(),
+		CacheHits:   pl.hits.Load(),
+		CacheMisses: pl.misses.Load(),
+	}
+	pl.mu.Lock()
+	c.CacheSize = pl.order.Len()
+	pl.mu.Unlock()
+	c.Observations, c.ErrP50, c.ErrP90, c.ErrMax = pl.errs.quantiles()
+	return c
+}
+
+// errorWindow keeps the last errWindowSize relative errors in a ring and
+// reports quantiles over the window.
+const errWindowSize = 512
+
+type errorWindow struct {
+	mu    sync.Mutex
+	ring  [errWindowSize]float64
+	next  int
+	count uint64
+}
+
+func (w *errorWindow) record(err float64) {
+	w.mu.Lock()
+	w.ring[w.next] = err
+	w.next = (w.next + 1) % errWindowSize
+	w.count++
+	w.mu.Unlock()
+}
+
+func (w *errorWindow) quantiles() (count uint64, p50, p90, max float64) {
+	w.mu.Lock()
+	count = w.count
+	n := int(count)
+	if n > errWindowSize {
+		n = errWindowSize
+	}
+	buf := make([]float64, n)
+	copy(buf, w.ring[:n])
+	w.mu.Unlock()
+	if n == 0 {
+		return count, 0, 0, 0
+	}
+	sort.Float64s(buf)
+	p50 = buf[(n-1)*50/100]
+	p90 = buf[(n-1)*90/100]
+	max = buf[n-1]
+	return count, p50, p90, max
+}

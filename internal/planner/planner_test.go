@@ -1,0 +1,204 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/xmldb"
+	"repro/internal/xpath"
+)
+
+// skewedCollection holds many "common" papers and few "rare" ones, so path
+// selectivities differ by an order of magnitude.
+func skewedCollection(t testing.TB) *xmldb.Collection {
+	t.Helper()
+	db := xmldb.New()
+	c := db.CreateCollection("skew")
+	for i := 0; i < 40; i++ {
+		author := "Common"
+		if i < 2 {
+			author = "Rare"
+		}
+		key := fmt.Sprintf("p%d", i)
+		xml := fmt.Sprintf(`<paper><author>%s</author><title>T%d</title><year>2000</year></paper>`, author, i)
+		if _, err := c.PutXML(key, strings.NewReader(xml)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestEstimatePathValueSelectivity(t *testing.T) {
+	c := skewedCollection(t)
+	st := c.Stats()
+
+	rare := EstimatePath(st, xpath.MustParse(`//author[.="Rare"]`))
+	common := EstimatePath(st, xpath.MustParse(`//author[.="Common"]`))
+	if rare.EstDocs >= common.EstDocs {
+		t.Fatalf("rare (%v docs) should estimate below common (%v docs)", rare.EstDocs, common.EstDocs)
+	}
+	if rare.Access != AccessValueIndex {
+		t.Fatalf("rare value lookup should route through the value index, got %q", rare.Access)
+	}
+	if rare.EstNodes != 2 {
+		t.Fatalf("rare EstNodes = %v, want exact sketch count 2", rare.EstNodes)
+	}
+	// An unconstrained frequent tag costs more to probe than to scan once
+	// the posting list dominates: //paper covers 1/4 of all nodes (4 tags),
+	// so index probing at 4x per candidate ties the scan; a plain tag query
+	// stays on the index only while cheaper.
+	bare := EstimatePath(st, xpath.MustParse(`//author`))
+	if bare.Access == AccessValueIndex {
+		t.Fatalf("no predicate, value index cannot apply: %q", bare.Access)
+	}
+	if bare.EstDocs != float64(st.Docs) {
+		t.Fatalf("bare tag should match every doc, est %v", bare.EstDocs)
+	}
+}
+
+func TestEstimatePathUnknownTagIsZero(t *testing.T) {
+	c := skewedCollection(t)
+	est := EstimatePath(c.Stats(), xpath.MustParse(`//nosuchtag`))
+	if est.EstNodes != 0 || est.EstDocs != 0 {
+		t.Fatalf("unknown tag: est %+v, want zero cardinality", est)
+	}
+}
+
+func TestBuildSelectPlanOrdersMostSelectiveFirst(t *testing.T) {
+	c := skewedCollection(t)
+	paths := []*xpath.Path{
+		xpath.MustParse(`//author`),           // matches all 40 docs
+		xpath.MustParse(`//author[.="Rare"]`), // matches 2 docs
+	}
+	plan := BuildSelectPlan(c.Name(), c.Stats(), paths)
+	if !plan.Reordered {
+		t.Fatal("plan should reorder: rare path must run first")
+	}
+	if plan.Order[0] != 1 || plan.Order[1] != 0 {
+		t.Fatalf("Order = %v, want [1 0]", plan.Order)
+	}
+	if plan.Paths[0].EstDocs > plan.Paths[1].EstDocs {
+		t.Fatal("plan.Paths must be in chosen execution order")
+	}
+	if plan.EstCandidates <= 0 || plan.EstCandidates > 40 {
+		t.Fatalf("EstCandidates = %v out of range", plan.EstCandidates)
+	}
+	// After the rare path leaves ~2 survivors, evaluating //author over the
+	// survivors (2 docs × ~5 nodes) must beat a 40-candidate index probe.
+	if !plan.ShouldRestrict(1, 2) {
+		t.Fatalf("ShouldRestrict(1, 2) = false; restricted cost %v vs path cost %v",
+			plan.RestrictedCost(2), plan.Paths[1].Cost)
+	}
+	if plan.ShouldRestrict(0, 2) {
+		t.Fatal("first step can never be restricted")
+	}
+}
+
+func TestPlanSelectCache(t *testing.T) {
+	c := skewedCollection(t)
+	pl := New(0)
+	paths := []*xpath.Path{xpath.MustParse(`//author[.="Rare"]`)}
+
+	p1, hit1 := pl.PlanSelect(c, paths)
+	if hit1 {
+		t.Fatal("first plan cannot be a cache hit")
+	}
+	p2, hit2 := pl.PlanSelect(c, paths)
+	if !hit2 || p2 != p1 {
+		t.Fatal("second identical plan should hit the cache")
+	}
+	// A mutation bumps the generation and must miss.
+	if _, err := c.PutXML("new", strings.NewReader(`<paper><author>Rare</author></paper>`)); err != nil {
+		t.Fatal(err)
+	}
+	_, hit3 := pl.PlanSelect(c, paths)
+	if hit3 {
+		t.Fatal("plan for a new generation must miss the cache")
+	}
+	ctr := pl.Counters()
+	if ctr.PlansBuilt != 2 || ctr.CacheHits != 1 || ctr.CacheMisses != 2 {
+		t.Fatalf("counters = %+v", ctr)
+	}
+	if ctr.CacheSize != 2 {
+		t.Fatalf("cache size = %d, want 2", ctr.CacheSize)
+	}
+}
+
+func TestPlanCacheEviction(t *testing.T) {
+	c := skewedCollection(t)
+	pl := New(2)
+	for i := 0; i < 4; i++ {
+		paths := []*xpath.Path{xpath.MustParse(fmt.Sprintf(`//author[.="A%d"]`, i))}
+		pl.PlanSelect(c, paths)
+	}
+	if got := pl.Counters().CacheSize; got != 2 {
+		t.Fatalf("cache size = %d, want capacity 2", got)
+	}
+}
+
+func TestPlanJoinSides(t *testing.T) {
+	small := skewedCollection(t)
+	jp := PlanJoinSides(small.Stats(), small.Stats(), 5, 30)
+	if !jp.BuildLeft {
+		t.Fatal("fewer left docs on equal stats: left should build")
+	}
+	jp = PlanJoinSides(small.Stats(), small.Stats(), 30, 5)
+	if jp.BuildLeft {
+		t.Fatal("fewer right docs on equal stats: right should build")
+	}
+}
+
+func TestCondEstimate(t *testing.T) {
+	c := skewedCollection(t)
+	st := c.Stats()
+	if got := CondEstimate(st, "author", "=", []string{"Rare"}); got != 2 {
+		t.Fatalf(`= "Rare": %v, want 2`, got)
+	}
+	// A ~ condition over a cluster of both values counts the whole cluster.
+	if got := CondEstimate(st, "author", "~", []string{"Rare", "Common"}); got != 40 {
+		t.Fatalf(`~ cluster: %v, want 40`, got)
+	}
+	if got := CondEstimate(st, "author", "!=", []string{"Rare"}); got != 38 {
+		t.Fatalf(`!= "Rare": %v, want 38`, got)
+	}
+	contains := CondEstimate(st, "author", "contains", []string{"are"})
+	if contains <= 0 || contains >= 40 {
+		t.Fatalf("contains estimate %v out of (0, 40)", contains)
+	}
+	isa := CondEstimate(st, "author", "isa", nil)
+	if isa != 40*DefaultOntologySelectivity {
+		t.Fatalf("isa estimate %v, want default selectivity", isa)
+	}
+}
+
+func TestObserveQuantiles(t *testing.T) {
+	pl := New(0)
+	for i := 0; i < 100; i++ {
+		pl.Observe(float64(i), float64(i)) // perfect
+	}
+	pl.Observe(30, 10) // error 2.0
+	ctr := pl.Counters()
+	if ctr.Observations != 101 {
+		t.Fatalf("observations = %d", ctr.Observations)
+	}
+	if ctr.ErrP50 != 0 {
+		t.Fatalf("p50 = %v, want 0", ctr.ErrP50)
+	}
+	if ctr.ErrMax != 2 {
+		t.Fatalf("max = %v, want 2", ctr.ErrMax)
+	}
+}
+
+func TestDocsFromNodes(t *testing.T) {
+	if got := DocsFromNodes(0, 10); got != 0 {
+		t.Fatalf("0 nodes → %v docs", got)
+	}
+	if got := DocsFromNodes(1000, 10); got > 10 {
+		t.Fatalf("estimate %v exceeds doc count", got)
+	}
+	few := DocsFromNodes(2, 100)
+	if few < 1 || few > 2 {
+		t.Fatalf("2 nodes over 100 docs → %v, want ≈2", few)
+	}
+}

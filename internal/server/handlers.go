@@ -117,6 +117,9 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		"collections": cols,
 		"ops":         s.aggregates(),
 	}
+	if s.sys.Planner != nil {
+		body["planner"] = s.sys.Planner.Counters()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/planner"
 	"repro/internal/promtext"
 	"repro/internal/similarity"
 	"repro/internal/xmldb"
@@ -179,6 +180,35 @@ func (s *Server) registerMetrics() {
 		return []promtext.Sample{{Value: time.Since(s.start).Seconds()}}
 	})
 
+	// Query-planner activity (the Planner is shared by every SEO variant of
+	// the system, so one set of counters covers all queries).
+	r.CounterFunc("toss_planner_plans_built_total", "query plans built (plan-cache misses that completed)", s.plannerSample(func(c planner.Counters) float64 {
+		return float64(c.PlansBuilt)
+	}))
+	r.CounterFunc("toss_planner_cache_hits_total", "plan-cache hits", s.plannerSample(func(c planner.Counters) float64 {
+		return float64(c.CacheHits)
+	}))
+	r.CounterFunc("toss_planner_cache_misses_total", "plan-cache misses", s.plannerSample(func(c planner.Counters) float64 {
+		return float64(c.CacheMisses)
+	}))
+	r.GaugeFunc("toss_planner_cache_entries", "plan-cache live entries", s.plannerSample(func(c planner.Counters) float64 {
+		return float64(c.CacheSize)
+	}))
+	r.CounterFunc("toss_planner_observations_total", "estimated-vs-actual cardinality observations", s.plannerSample(func(c planner.Counters) float64 {
+		return float64(c.Observations)
+	}))
+	r.GaugeFunc("toss_planner_estimation_error", "relative cardinality estimation error quantiles over the recent window", func() []promtext.Sample {
+		if s.sys.Planner == nil {
+			return nil
+		}
+		c := s.sys.Planner.Counters()
+		return []promtext.Sample{
+			{Labels: map[string]string{"quantile": "0.5"}, Value: c.ErrP50},
+			{Labels: map[string]string{"quantile": "0.9"}, Value: c.ErrP90},
+			{Labels: map[string]string{"quantile": "1.0"}, Value: c.ErrMax},
+		}
+	})
+
 	// Per-collection gauges and the cumulative atomic query counters the
 	// xmldb substrate already maintains, exposed with a collection label.
 	r.GaugeFunc("xmldb_collection_docs", "documents per collection", s.collectionGauge(func(in *core.Instance) float64 {
@@ -197,6 +227,15 @@ func (s *Server) registerMetrics() {
 	r.CounterFunc("xmldb_docs_walked_total", "documents traversed by scan queries", s.counterSamples(func(cs xmldb.Counters) float64 { return float64(cs.DocsWalked) }))
 	r.CounterFunc("xmldb_nodes_tested_total", "candidate nodes tested on the indexed path", s.counterSamples(func(cs xmldb.Counters) float64 { return float64(cs.NodesTested) }))
 	r.CounterFunc("xmldb_nodes_matched_total", "nodes returned across all queries", s.counterSamples(func(cs xmldb.Counters) float64 { return float64(cs.NodesMatched) }))
+}
+
+func (s *Server) plannerSample(pick func(planner.Counters) float64) func() []promtext.Sample {
+	return func() []promtext.Sample {
+		if s.sys.Planner == nil {
+			return nil
+		}
+		return []promtext.Sample{{Value: pick(s.sys.Planner.Counters())}}
+	}
 }
 
 func (s *Server) collectionGauge(pick func(*core.Instance) float64) func() []promtext.Sample {

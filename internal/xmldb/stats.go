@@ -1,0 +1,187 @@
+package xmldb
+
+import (
+	"sort"
+
+	"repro/internal/tree"
+)
+
+// TopValueCount caps the per-tag frequent-value sketch kept in TagStats: the
+// TopValueCount most frequent exact content values are stored with exact node
+// counts, everything rarer is summarised by DistinctValues/ValueNodes.
+const TopValueCount = 8
+
+// TagStats summarises one element tag for the query planner.
+type TagStats struct {
+	// Nodes is the number of nodes carrying the tag.
+	Nodes int
+	// Docs is the number of documents containing at least one such node.
+	Docs int
+	// ValueNodes counts the tag's nodes with non-empty content — the
+	// population the value index (and value-equality estimates) draws from.
+	ValueNodes int
+	// DistinctValues is the number of distinct non-empty content values.
+	DistinctValues int
+	// TopValues maps the TopValueCount most frequent content values to their
+	// exact node counts; values outside the sketch are estimated as the mean
+	// of the remainder.
+	TopValues map[string]int
+	// Mixed mirrors the collection's mixedValueTag gate: when set, the tag
+	// has content-less interior nodes whose XPath string value differs from
+	// their own content, so value-index routing (and exact value estimates)
+	// are unavailable.
+	Mixed bool
+}
+
+// Stats is a point-in-time statistical summary of a collection, derived from
+// the inverted indexes and cached per mutation generation: two calls under
+// the same Generation() return the same snapshot without rebuilding.
+// It is the planner's input for cardinality estimation.
+type Stats struct {
+	// Generation is the mutation counter the snapshot was taken at.
+	Generation uint64
+	// Docs and Nodes size the collection.
+	Docs  int
+	Nodes int
+	// DistinctTerms is the number of distinct content tokens in the term
+	// index (contains/~ estimates key off it).
+	DistinctTerms int
+	// Tags maps each element tag to its statistics.
+	Tags map[string]TagStats
+}
+
+// TagEstimate returns the stats for a tag, zero-valued when the tag never
+// occurs (the estimate for an unknown tag is exactly zero rows).
+func (s *Stats) TagEstimate(tag string) TagStats { return s.Tags[tag] }
+
+// AvgNodesPerDoc is the mean document size in nodes (1 minimum, so cost
+// formulas never divide by zero).
+func (s *Stats) AvgNodesPerDoc() float64 {
+	if s.Docs == 0 {
+		return 1
+	}
+	v := float64(s.Nodes) / float64(s.Docs)
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// ValueCount estimates how many nodes with this tag hold exactly the given
+// content value. Values inside the TopValues sketch are exact; the remainder
+// is estimated as the mean count of the non-sketched values; when the sketch
+// covers every distinct value, unseen values estimate to zero.
+func (t TagStats) ValueCount(value string) float64 {
+	if n, ok := t.TopValues[value]; ok {
+		return float64(n)
+	}
+	rest := t.DistinctValues - len(t.TopValues)
+	if rest <= 0 {
+		return 0
+	}
+	sketched := 0
+	for _, n := range t.TopValues {
+		sketched += n
+	}
+	return float64(t.ValueNodes-sketched) / float64(rest)
+}
+
+// Stats returns the collection's statistics snapshot, building the inverted
+// indexes on demand and caching the result until the next mutation (keyed on
+// the Generation counter, so a stale snapshot can never be returned).
+func (c *Collection) Stats() *Stats {
+	gen := c.Generation()
+	c.statsMu.Lock()
+	if c.statsCache != nil && c.statsCache.Generation == gen {
+		st := c.statsCache
+		c.statsMu.Unlock()
+		return st
+	}
+	c.statsMu.Unlock()
+
+	st := c.buildStats()
+	c.statsMu.Lock()
+	if c.statsCache == nil || c.statsCache.Generation < st.Generation {
+		c.statsCache = st
+	}
+	st = c.statsCache
+	c.statsMu.Unlock()
+	return st
+}
+
+// buildStats computes a snapshot from the inverted indexes under the shared
+// lock (escalating only to build missing indexes, like indexLookup).
+func (c *Collection) buildStats() *Stats {
+	c.mu.RLock()
+	for c.tagIndex == nil {
+		c.mu.RUnlock()
+		c.mu.Lock()
+		c.buildIndexesLocked()
+		c.mu.Unlock()
+		c.mu.RLock()
+	}
+	defer c.mu.RUnlock()
+
+	st := &Stats{
+		Generation:    c.generation.Load(),
+		Docs:          len(c.docs),
+		DistinctTerms: len(c.termIndex),
+		Tags:          make(map[string]TagStats, len(c.tagIndex)),
+	}
+	type valueCount struct {
+		value string
+		count int
+	}
+	perTagValues := map[string][]valueCount{}
+	for key, nodes := range c.valueIndex {
+		tag, value, _ := cutValueKey(key)
+		perTagValues[tag] = append(perTagValues[tag], valueCount{value, len(nodes)})
+	}
+	for tag, nodes := range c.tagIndex {
+		ts := TagStats{Nodes: len(nodes), Mixed: c.mixedValueTag[tag]}
+		st.Nodes += len(nodes)
+		// Document count: distinct roots across the posting list.
+		seen := make(map[*tree.Node]bool, 4)
+		for _, n := range nodes {
+			r := n.Root()
+			if !seen[r] {
+				seen[r] = true
+				ts.Docs++
+			}
+		}
+		st.Tags[tag] = ts
+	}
+	for tag, vals := range perTagValues {
+		ts := st.Tags[tag]
+		ts.DistinctValues = len(vals)
+		for _, v := range vals {
+			ts.ValueNodes += v.count
+		}
+		sort.Slice(vals, func(i, j int) bool {
+			if vals[i].count != vals[j].count {
+				return vals[i].count > vals[j].count
+			}
+			return vals[i].value < vals[j].value
+		})
+		top := vals
+		if len(top) > TopValueCount {
+			top = top[:TopValueCount]
+		}
+		ts.TopValues = make(map[string]int, len(top))
+		for _, v := range top {
+			ts.TopValues[v.value] = v.count
+		}
+		st.Tags[tag] = ts
+	}
+	return st
+}
+
+// cutValueKey splits a valueIndex key back into tag and content.
+func cutValueKey(key string) (tag, value string, ok bool) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == 0 {
+			return key[:i], key[i+1:], true
+		}
+	}
+	return key, "", false
+}

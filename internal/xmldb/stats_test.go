@@ -1,0 +1,242 @@
+package xmldb
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/tree"
+	"repro/internal/xpath"
+)
+
+func statPaper(key, author, title, year string) string {
+	return fmt.Sprintf(`<paper key=%q><author>%s</author><title>%s</title><year>%s</year></paper>`,
+		key, author, title, year)
+}
+
+func fillStatCollection(t *testing.T, c *Collection) {
+	t.Helper()
+	authors := []string{"Ullman", "Ullman", "Ullman", "Widom", "Garcia"}
+	for i, a := range authors {
+		key := fmt.Sprintf("p%d", i)
+		if _, err := c.PutXML(key, strings.NewReader(statPaper(key, a, "Title "+key, "2000"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	db := New()
+	c := db.CreateCollection("s")
+	fillStatCollection(t, c)
+
+	st := c.Stats()
+	if st.Docs != 5 {
+		t.Fatalf("Docs = %d, want 5", st.Docs)
+	}
+	// Each document: paper + key attribute + author + title + year = 5 nodes.
+	if st.Nodes != 25 {
+		t.Fatalf("Nodes = %d, want 25", st.Nodes)
+	}
+	au := st.TagEstimate("author")
+	if au.Nodes != 5 || au.Docs != 5 || au.ValueNodes != 5 {
+		t.Fatalf("author stats = %+v", au)
+	}
+	if au.DistinctValues != 3 {
+		t.Fatalf("author DistinctValues = %d, want 3", au.DistinctValues)
+	}
+	if got := au.ValueCount("Ullman"); got != 3 {
+		t.Fatalf(`ValueCount("Ullman") = %v, want 3 (exact, in sketch)`, got)
+	}
+	// Sketch covers all 3 distinct values, so an unseen value estimates to 0.
+	if got := au.ValueCount("Nobody"); got != 0 {
+		t.Fatalf(`ValueCount("Nobody") = %v, want 0`, got)
+	}
+	if missing := st.TagEstimate("nosuchtag"); missing.Nodes != 0 {
+		t.Fatalf("unknown tag stats = %+v, want zero", missing)
+	}
+	// paper has no own content but content-bearing children → mixed.
+	if !st.TagEstimate("paper").Mixed {
+		t.Fatal("paper should be a mixed-value tag")
+	}
+	if st.TagEstimate("author").Mixed {
+		t.Fatal("author should not be mixed")
+	}
+}
+
+func TestStatsCachedPerGeneration(t *testing.T) {
+	db := New()
+	c := db.CreateCollection("s")
+	fillStatCollection(t, c)
+
+	s1 := c.Stats()
+	s2 := c.Stats()
+	if s1 != s2 {
+		t.Fatal("same generation should return the identical snapshot")
+	}
+	if _, err := c.PutXML("p9", strings.NewReader(statPaper("p9", "New", "T", "2001"))); err != nil {
+		t.Fatal(err)
+	}
+	s3 := c.Stats()
+	if s3 == s1 {
+		t.Fatal("mutation must invalidate the stats snapshot")
+	}
+	if s3.Docs != 6 {
+		t.Fatalf("Docs after insert = %d, want 6", s3.Docs)
+	}
+	if s3.Generation <= s1.Generation {
+		t.Fatalf("generation did not advance: %d -> %d", s1.Generation, s3.Generation)
+	}
+}
+
+func TestValueCountRemainderEstimate(t *testing.T) {
+	db := New()
+	c := db.CreateCollection("s")
+	// 12 distinct authors (> TopValueCount), one frequent.
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("f%d", i)
+		if _, err := c.PutXML(key, strings.NewReader(statPaper(key, "Frequent", "T", "2000"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 11; i++ {
+		key := fmt.Sprintf("r%d", i)
+		if _, err := c.PutXML(key, strings.NewReader(statPaper(key, fmt.Sprintf("Rare%d", i), "T", "2000"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	au := c.Stats().TagEstimate("author")
+	if au.DistinctValues != 12 {
+		t.Fatalf("DistinctValues = %d, want 12", au.DistinctValues)
+	}
+	if len(au.TopValues) != TopValueCount {
+		t.Fatalf("sketch size = %d, want %d", len(au.TopValues), TopValueCount)
+	}
+	if got := au.ValueCount("Frequent"); got != 4 {
+		t.Fatalf(`ValueCount("Frequent") = %v, want 4`, got)
+	}
+	// A value outside the sketch estimates to the mean of the remainder:
+	// 15 value nodes, 4+7 sketched as singles... remainder = (15-11)/4 = 1.
+	est := au.ValueCount("Rare999")
+	if est <= 0 || est > 2 {
+		t.Fatalf("remainder estimate = %v, want ≈1", est)
+	}
+}
+
+// indexSnapshot flattens the inverted indexes into a comparable form using
+// node IDs (pointer identity differs across rebuilds of the same documents,
+// node IDs within one collection do not).
+func indexSnapshot(c *Collection) map[string][]tree.NodeID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := map[string][]tree.NodeID{}
+	for tag, nodes := range c.tagIndex {
+		for _, n := range nodes {
+			out["tag\x00"+tag] = append(out["tag\x00"+tag], n.ID)
+		}
+	}
+	for term, nodes := range c.termIndex {
+		for _, n := range nodes {
+			out["term\x00"+term] = append(out["term\x00"+term], n.ID)
+		}
+	}
+	for val, nodes := range c.valueIndex {
+		for _, n := range nodes {
+			out["val\x00"+val] = append(out["val\x00"+val], n.ID)
+		}
+	}
+	return out
+}
+
+// rebuiltSnapshot drops the incrementally maintained indexes and rebuilds
+// them from scratch, returning the snapshot (restoring nothing: the rebuild
+// IS the new state, which must equal the incremental one).
+func rebuiltSnapshot(c *Collection) map[string][]tree.NodeID {
+	c.mu.Lock()
+	c.invalidateIndexes()
+	c.buildIndexesLocked()
+	c.mu.Unlock()
+	return indexSnapshot(c)
+}
+
+func TestIncrementalIndexMatchesRebuildAfterInsert(t *testing.T) {
+	db := New()
+	c := db.CreateCollection("inc")
+	fillStatCollection(t, c)
+	c.BuildIndexes() // build, then mutate incrementally
+
+	for i := 5; i < 9; i++ {
+		key := fmt.Sprintf("p%d", i)
+		if _, err := c.PutXML(key, strings.NewReader(statPaper(key, "Late", "Late Title", "2010"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	incremental := indexSnapshot(c)
+	if len(incremental) == 0 {
+		t.Fatal("incremental index snapshot is empty — insert dropped the indexes")
+	}
+	rebuilt := rebuiltSnapshot(c)
+	if !reflect.DeepEqual(incremental, rebuilt) {
+		t.Fatalf("incremental insert maintenance diverged from full rebuild\nincremental: %v\nrebuilt: %v",
+			summarize(incremental), summarize(rebuilt))
+	}
+}
+
+func TestIncrementalIndexMatchesRebuildAfterDelete(t *testing.T) {
+	db := New()
+	c := db.CreateCollection("inc")
+	fillStatCollection(t, c)
+	c.BuildIndexes()
+
+	if !c.Delete("p1") || !c.Delete("p3") {
+		t.Fatal("deletes failed")
+	}
+	incremental := indexSnapshot(c)
+	if len(incremental) == 0 {
+		t.Fatal("incremental index snapshot is empty — delete dropped the indexes")
+	}
+	rebuilt := rebuiltSnapshot(c)
+	if !reflect.DeepEqual(incremental, rebuilt) {
+		t.Fatalf("incremental delete maintenance diverged from full rebuild\nincremental: %v\nrebuilt: %v",
+			summarize(incremental), summarize(rebuilt))
+	}
+}
+
+func TestReplacementFallsBackToRebuild(t *testing.T) {
+	db := New()
+	c := db.CreateCollection("inc")
+	fillStatCollection(t, c)
+	c.BuildIndexes()
+
+	// Replace p2 under the same key: indexes must be dropped (rebuild on
+	// next query) rather than corrupted.
+	if _, err := c.PutXML("p2", strings.NewReader(statPaper("p2", "Replaced", "New", "2020"))); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.RLock()
+	dropped := c.tagIndex == nil
+	c.mu.RUnlock()
+	if !dropped {
+		t.Fatal("replacement should invalidate the indexes")
+	}
+	// And the rebuilt index serves correct queries.
+	nodes := c.QueryPath(xpath.MustParse(`//author[.="Replaced"]`))
+	if len(nodes) != 1 {
+		t.Fatalf("query after replacement rebuild: %d matches, want 1", len(nodes))
+	}
+}
+
+func summarize(m map[string][]tree.NodeID) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%q:%v ", strings.ReplaceAll(k, "\x00", "/"), m[k])
+	}
+	return b.String()
+}

@@ -102,6 +102,12 @@ type Collection struct {
 	valueIndex    map[string][]*tree.Node
 	mixedValueTag map[string]bool
 
+	// statsCache holds the planner statistics snapshot for the generation it
+	// was built at (see Stats); statsMu guards it separately from mu so a
+	// stats read never contends with query traffic.
+	statsMu    sync.Mutex
+	statsCache *Stats
+
 	// generation counts mutations (Put/Delete, including replacements). It
 	// lets caches key results on collection state: any entry keyed under an
 	// older generation can never be served again, which is how the tossd
@@ -252,15 +258,23 @@ func (c *Collection) storeLocked(key string, t *tree.Tree) error {
 	if replacing {
 		// Keep the key at its original position in insertion order: a
 		// replaced document must not migrate to the end of Docs()/Keys()
-		// (and thereby change answer order).
+		// (and thereby change answer order). Replacement is the one mutation
+		// that cannot be folded into the indexes incrementally (the old
+		// document's postings sit interleaved with its neighbours'), so it
+		// falls back to a full rebuild on the next query.
 		c.curBytes -= oldSize
 		c.removeTree(old)
+		c.invalidateIndexes()
 	} else {
 		c.keys = append(c.keys, key)
+		// A fresh key lands at the end of insertion order, so appending its
+		// nodes to the posting lists reproduces exactly what a full rebuild
+		// would produce — the indexes (and the planner statistics derived
+		// from them) stay warm under insert load.
+		c.indexTreeLocked(t)
 	}
 	c.docs[key] = t
 	c.curBytes += size
-	c.invalidateIndexes()
 	c.generation.Add(1)
 	return nil
 }
@@ -310,7 +324,7 @@ func (c *Collection) Delete(key string) bool {
 	delete(c.docs, key)
 	c.removeKey(key)
 	c.removeTree(t)
-	c.invalidateIndexes()
+	c.unindexTreeLocked(t)
 	c.generation.Add(1)
 	return true
 }
@@ -393,6 +407,75 @@ func (c *Collection) buildIndexesLocked() {
 	c.mixedValueTag = mixed
 }
 
+// indexTreeLocked folds a newly inserted tree (appended at the end of
+// insertion order) into existing indexes. A no-op when the indexes are not
+// built: the next query rebuilds them from scratch anyway.
+func (c *Collection) indexTreeLocked(t *tree.Tree) {
+	if c.tagIndex == nil {
+		return
+	}
+	t.Walk(func(n *tree.Node) bool {
+		c.tagIndex[n.Tag] = append(c.tagIndex[n.Tag], n)
+		if n.Content != "" {
+			for _, tok := range similarity.Tokenize(n.Content) {
+				c.termIndex[tok] = append(c.termIndex[tok], n)
+			}
+			c.valueIndex[valueKey(n.Tag, n.Content)] = append(c.valueIndex[valueKey(n.Tag, n.Content)], n)
+		} else if subtreeHasContent(n) {
+			c.mixedValueTag[n.Tag] = true
+		}
+		return true
+	})
+}
+
+// unindexTreeLocked removes a deleted tree's nodes from the indexes,
+// touching only the posting lists the tree contributed to. mixedValueTag is
+// left as-is: a deletion can only make a "mixed" verdict stale in the
+// conservative direction (value-index routing stays disabled for the tag),
+// never unsound.
+func (c *Collection) unindexTreeLocked(t *tree.Tree) {
+	if c.tagIndex == nil {
+		return
+	}
+	gone := map[*tree.Node]bool{}
+	tags := map[string]bool{}
+	terms := map[string]bool{}
+	vals := map[string]bool{}
+	t.Walk(func(n *tree.Node) bool {
+		gone[n] = true
+		tags[n.Tag] = true
+		if n.Content != "" {
+			for _, tok := range similarity.Tokenize(n.Content) {
+				terms[tok] = true
+			}
+			vals[valueKey(n.Tag, n.Content)] = true
+		}
+		return true
+	})
+	prune := func(idx map[string][]*tree.Node, key string) {
+		kept := idx[key][:0]
+		for _, n := range idx[key] {
+			if !gone[n] {
+				kept = append(kept, n)
+			}
+		}
+		if len(kept) == 0 {
+			delete(idx, key)
+		} else {
+			idx[key] = kept
+		}
+	}
+	for tag := range tags {
+		prune(c.tagIndex, tag)
+	}
+	for term := range terms {
+		prune(c.termIndex, term)
+	}
+	for val := range vals {
+		prune(c.valueIndex, val)
+	}
+}
+
 // subtreeHasContent reports whether any proper descendant carries content.
 func subtreeHasContent(n *tree.Node) bool {
 	found := false
@@ -465,11 +548,20 @@ func (c *Collection) QueryPath(p *xpath.Path) []*tree.Node {
 // the index-vs-scan routing decision, candidate counts and timing. The
 // cumulative collection counters are updated either way.
 func (c *Collection) QueryPathTraced(p *xpath.Path) ([]*tree.Node, QueryStats) {
+	return c.QueryPathForced(p, false)
+}
+
+// QueryPathForced is QueryPathTraced with the routing decision overridable:
+// forceScan routes an index-eligible path through the full document walk
+// instead. The cost-based planner uses it when the tag's posting list is so
+// large that per-candidate ancestor matching would cost more than walking
+// every document once.
+func (c *Collection) QueryPathForced(p *xpath.Path, forceScan bool) ([]*tree.Node, QueryStats) {
 	start := time.Now()
 	var out []*tree.Node
 	var st QueryStats
 	last := p.Steps[len(p.Steps)-1]
-	if last.Name != "*" && !p.HasInnerPredicates() {
+	if !forceScan && last.Name != "*" && !p.HasInnerPredicates() {
 		out, st = c.queryIndexed(p, last.Name)
 		c.nIndexed.Add(1)
 		c.nNodesTested.Add(uint64(st.Candidates))
