@@ -1,0 +1,135 @@
+package toss
+
+// Shard ablation benchmarks (benchstat-friendly): the same unselective scan
+// query on the same corpus at different shard counts. Answers are identical
+// at every count (see internal/core/shards_query_test.go and
+// internal/xmldb/shards_test.go); only the scatter width differs. The scan
+// fans out one worker per shard, so the speedup is bounded by
+// min(shards, GOMAXPROCS) — on a single-CPU runner the scatter serialises
+// and the ratio stays near 1.0 by construction, which is why
+// TestWriteBenchShardsJSON records gomaxprocs alongside the timings.
+//
+//	go test -run NONE -bench 'BenchmarkShard' -count 10 | benchstat -
+//	GOMAXPROCS=8 go test -run TestWriteBenchShardsJSON -v
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/pattern"
+)
+
+// shardBenchSystem is plannerBenchSystem with a configurable shard count:
+// one paper per document so the hash partitioning has documents to spread
+// and every shard owns a slice of the scan work.
+func shardBenchSystem(b testing.TB, papers, shards int) (*core.System, *datagen.Corpus) {
+	b.Helper()
+	gen := datagen.DefaultConfig(papers)
+	gen.Seed = 11
+	corpus := datagen.Generate(gen)
+	s := core.NewSystem()
+	s.DB.SetDefaultShards(shards)
+	dblp, err := s.AddInstance("dblp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dblp.Col.SetMaxBytes(0)
+	for i := range corpus.Papers {
+		key := fmt.Sprintf("dblp-%05d", i)
+		if _, err := dblp.Col.PutXML(key, strings.NewReader(corpus.DBLPString(corpus.Papers[i:i+1]))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Build(experiments.DefaultMeasure(), 3); err != nil {
+		b.Fatal(err)
+	}
+	return s, corpus
+}
+
+// shardBenchPattern is deliberately unselective: contains "a" rewrites to a
+// title path matching nearly every document, so evaluation walks the whole
+// collection and the per-shard scatter is the dominant cost.
+func shardBenchPattern() *pattern.Tree {
+	return pattern.MustParse(
+		`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "title" & #2.content contains "a"`)
+}
+
+func benchmarkShardSelect(b *testing.B, shards int) {
+	s, _ := shardBenchSystem(b, 400, shards)
+	pat := shardBenchPattern()
+	ctx := context.Background()
+	req := core.QueryRequest{Pattern: pat, Instance: "dblp", Adorn: []int{1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShardSelect(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) { benchmarkShardSelect(b, n) })
+	}
+}
+
+// TestWriteBenchShardsJSON runs the 1-vs-N shard ablation once and records
+// it in BENCH_shards.json (ns/op per shard count plus the ratio against the
+// unsharded layout), so CI and later sessions can diff scatter-gather
+// performance without re-running benchstat by hand. The file also records
+// GOMAXPROCS: the scan speedup is bounded by min(shards, GOMAXPROCS), so a
+// near-1.0 ratio on a single-CPU runner is expected, not a regression.
+func TestWriteBenchShardsJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark emission skipped in -short mode")
+	}
+	type entry struct {
+		NsPerOp  int64   `json:"ns_per_op"`
+		AllocsOp int64   `json:"allocs_per_op"`
+		N        int     `json:"n"`
+		Speedup  float64 `json:"speedup_vs_1shard,omitempty"`
+	}
+	procs := runtime.GOMAXPROCS(0)
+	report := struct {
+		GOMAXPROCS int              `json:"gomaxprocs"`
+		Note       string           `json:"note,omitempty"`
+		ScanSelect map[string]entry `json:"scan_select"`
+	}{GOMAXPROCS: procs, ScanSelect: map[string]entry{}}
+	if procs < 4 {
+		report.Note = fmt.Sprintf(
+			"scan speedup is bounded by min(shards, GOMAXPROCS)=%d on this runner; re-run on a multi-core machine for the parallel ratio", procs)
+	}
+
+	var base int64
+	for _, n := range []int{1, 4} {
+		r := testing.Benchmark(func(b *testing.B) { benchmarkShardSelect(b, n) })
+		e := entry{NsPerOp: r.NsPerOp(), AllocsOp: r.AllocsPerOp(), N: r.N}
+		if n == 1 {
+			base = r.NsPerOp()
+		} else if e.NsPerOp > 0 {
+			e.Speedup = float64(base) / float64(e.NsPerOp)
+		}
+		report.ScanSelect[fmt.Sprintf("shards=%d", n)] = e
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_shards.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sp := report.ScanSelect["shards=4"].Speedup
+	t.Logf("shard scan speedup at 4 shards: %.2fx (GOMAXPROCS=%d)", sp, procs)
+	if procs >= 4 && sp < 2.0 {
+		t.Logf("warning: expected >=2x at 4 shards with %d procs, got %.2fx", procs, sp)
+	}
+}

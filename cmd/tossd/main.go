@@ -7,10 +7,11 @@
 //	tossd -instance dblp=file1.xml[,file2.xml] [-instance sigmod=...] \
 //	      [-addr :8080] [-measure name-rule] [-eps 3] [-rules file] \
 //	      [-max-inflight 4] [-max-queue 8] [-timeout 30s] [-max-timeout 2m] \
-//	      [-cache-size 256] [-parallelism N]
+//	      [-cache-size 256] [-parallelism N] [-shards N]
 //
-// Endpoints: POST /query (see docs/SERVER.md), GET /healthz, /statz,
-// /metrics. SIGINT/SIGTERM drains in-flight queries before exiting.
+// Endpoints: POST /v1/query (and its legacy alias /query, see
+// docs/SERVER.md), GET /healthz, /statz, /metrics. SIGINT/SIGTERM drains
+// in-flight queries before exiting.
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -53,7 +55,8 @@ func main() {
 	measureName := flag.String("measure", "name-rule", "similarity measure: "+strings.Join(similarity.Names(), ", "))
 	eps := flag.Float64("eps", 3, "similarity threshold epsilon")
 	rules := flag.String("rules", "", "DBA rule file to merge into the lexicon (isa:/part:/syn: lines)")
-	parallelism := flag.Int("parallelism", 0, "embedding-search worker count per query (0 = GOMAXPROCS)")
+	parallelism := flag.Int("parallelism", 0, "embedding-search worker count per query (0 = one per shard)")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "hash-partitioned shards per collection (1 reproduces the unsharded layout; answers are identical at any count)")
 	maxInFlight := flag.Int("max-inflight", 4, "maximum concurrently executing queries")
 	maxQueue := flag.Int("max-queue", -1, "maximum queries waiting for a slot before 429 (-1 = 2×max-inflight)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query deadline")
@@ -78,6 +81,7 @@ func main() {
 	if *parallelism > 0 {
 		sys.Parallelism = *parallelism
 	}
+	sys.DB.SetDefaultShards(*shards)
 	if *rules != "" {
 		if err := sys.Lexicon.LoadRulesFile(*rules); err != nil {
 			log.Fatal(err)
@@ -101,7 +105,7 @@ func main() {
 				log.Fatalf("loading %s: %v", file, err)
 			}
 		}
-		log.Printf("instance %s: %d doc(s), %d bytes", name, in.Col.DocCount(), in.Col.ByteSize())
+		log.Printf("instance %s: %d doc(s), %d bytes, %d shard(s)", name, in.Col.DocCount(), in.Col.ByteSize(), in.Col.ShardCount())
 	}
 	if err := sys.Build(measure, *eps); err != nil {
 		log.Fatalf("building SEO: %v", err)

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -63,6 +64,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print system statistics after building")
 	timeout := flag.Duration("timeout", 0, "abort query execution after this duration, e.g. 500ms (0 = no deadline; TOSS paths only)")
 	noPlanner := flag.Bool("no-planner", false, "disable the cost-based planner and use the fixed execution heuristics (answers are identical either way)")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "hash-partitioned shards per collection (1 reproduces the unsharded layout; answers are identical at any count)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -106,6 +108,7 @@ func main() {
 	if *noPlanner {
 		sys.Planner = nil
 	}
+	sys.DB.SetDefaultShards(*shards)
 	if *rules != "" {
 		if err := sys.Lexicon.LoadRulesFile(*rules); err != nil {
 			log.Fatal(err)
@@ -166,20 +169,19 @@ func main() {
 		if pat == nil || *taxMode || *ranked {
 			log.Fatal("-analyze applies to TOSS selections and joins only")
 		}
-		var ap *core.AnalyzedPlan
-		var answers []*tree.Tree
-		var aerr error
+		qreq := core.QueryRequest{Pattern: pat, Instance: names[0], Adorn: sl, Analyze: true}
 		if *join {
 			if len(names) < 2 {
 				log.Fatal("-join needs two -instance specs")
 			}
-			ap, answers, aerr = sys.ExplainAnalyzeJoinContext(ctx, names[0], names[1], pat, sl)
-		} else {
-			ap, answers, aerr = sys.ExplainAnalyzeContext(ctx, names[0], pat, sl)
+			qreq.Right = names[1]
 		}
+		res, aerr := sys.Query(ctx, qreq)
 		if aerr != nil {
 			log.Fatalf("executing query: %v", aerr)
 		}
+		answers := res.Answers
+		ap := &core.AnalyzedPlan{Plan: res.Plan, Stats: res.Stats}
 		for _, line := range strings.Split(strings.TrimRight(ap.String(), "\n"), "\n") {
 			log.Printf("analyze: %s", line)
 		}
@@ -202,10 +204,11 @@ func main() {
 		if pat == nil || *join {
 			log.Fatal("-ranked applies to plain selections only")
 		}
-		rankedAnswers, rerr := sys.SelectRankedContext(ctx, names[0], pat, sl)
+		res, rerr := sys.Query(ctx, core.QueryRequest{Pattern: pat, Instance: names[0], Adorn: sl, Ranked: true})
 		if rerr != nil {
 			log.Fatalf("executing query: %v", rerr)
 		}
+		rankedAnswers := res.Ranked
 		log.Printf("%d answer tree(s), best first", len(rankedAnswers))
 		for _, ra := range rankedAnswers {
 			log.Printf("score %.2f", ra.Score)
@@ -230,7 +233,11 @@ func main() {
 			dst := tree.NewCollection()
 			answers, err = tax.Select(dst, tax.Product(dst, ldocs, rdocs), pat, sl, tax.Baseline{})
 		} else {
-			answers, err = sys.JoinContext(ctx, names[0], names[1], pat, sl)
+			var res *core.QueryResult
+			res, err = sys.Query(ctx, core.QueryRequest{Pattern: pat, Instance: names[0], Right: names[1], Adorn: sl})
+			if err == nil {
+				answers = res.Answers
+			}
 		}
 	case *taxMode:
 		docs, terr := sys.Trees(names[0])
@@ -239,7 +246,11 @@ func main() {
 		}
 		answers, err = tax.Select(tree.NewCollection(), docs, pat, sl, tax.Baseline{})
 	default:
-		answers, err = sys.SelectContext(ctx, names[0], pat, sl)
+		var res *core.QueryResult
+		res, err = sys.Query(ctx, core.QueryRequest{Pattern: pat, Instance: names[0], Adorn: sl})
+		if err == nil {
+			answers = res.Answers
+		}
 	}
 	if err != nil {
 		log.Fatalf("executing query: %v", err)

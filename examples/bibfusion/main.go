@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -108,10 +109,12 @@ func main() {
 	p := toss.MustParsePattern(`#1 pc #2, #1 pc #3, #2 ad #4, #3 ad #5 :: ` +
 		`#1.tag = "tax_prod_root" & #2.tag = "dblp" & #3.tag = "ProceedingsPage" & ` +
 		`#4.tag = "title" & #5.tag = "title" & #4.content ~ #5.content`)
-	answers, err := sys.Join("dblp", "sigmod", p, nil)
+	jres, err := sys.Query(context.Background(),
+		toss.QueryRequest{Pattern: p, Instance: "dblp", Right: "sigmod"})
 	if err != nil {
 		log.Fatal(err)
 	}
+	answers := jres.Answers
 	fmt.Printf("join on similar titles: %d match(es)\n", len(answers))
 	for _, t := range answers {
 		titles := t.FindTag("title")
@@ -130,10 +133,11 @@ func main() {
 	} {
 		p := toss.MustParsePattern(fmt.Sprintf(
 			`#1 :: #1.tag = "dblp" & %q ~ %q`, pair[0], pair[1]))
-		res, err := sys.Select("dblp", p, nil)
+		res, err := sys.Query(context.Background(),
+			toss.QueryRequest{Pattern: p, Instance: "dblp"})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%q ~ %q : %v\n", pair[0], pair[1], len(res) > 0)
+		fmt.Printf("%q ~ %q : %v\n", pair[0], pair[1], len(res.Answers) > 0)
 	}
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -64,10 +65,12 @@ func main() {
 
 	run := func(label, src string) {
 		p := toss.MustParsePattern(src)
-		answers, err := sys.Select("papers", p, []int{1})
+		res, err := sys.Query(context.Background(),
+			toss.QueryRequest{Pattern: p, Instance: "papers", Adorn: []int{1}})
 		if err != nil {
 			log.Fatal(err)
 		}
+		answers := res.Answers
 		fmt.Printf("%s -> %d paper(s)\n", label, len(answers))
 		for _, t := range answers {
 			if err := t.WriteXML(os.Stdout); err != nil {

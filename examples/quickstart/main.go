@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -66,10 +67,12 @@ func main() {
 	// 3. Query: all papers with an author similar to "Jeffrey D. Ullman".
 	p := toss.MustParsePattern(`#1 pc #2 :: #1.tag = "inproceedings" & ` +
 		`#2.tag = "author" & #2.content ~ "Jeffrey D. Ullman"`)
-	answers, err := sys.Select("dblp", p, []int{1})
+	res, err := sys.Query(context.Background(),
+		toss.QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}})
 	if err != nil {
 		log.Fatal(err)
 	}
+	answers := res.Answers
 	fmt.Printf("TOSS finds %d papers (exact match would find 1):\n\n", len(answers))
 	for _, t := range answers {
 		if err := t.WriteXML(os.Stdout); err != nil {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -58,11 +59,12 @@ func main() {
 		if err := sys.Build(toss.MeasureByName("name-rule"), eps); err != nil {
 			log.Fatal(err)
 		}
-		answers, err := sys.Select("dblp", query, []int{1})
+		res, err := sys.Query(context.Background(),
+			toss.QueryRequest{Pattern: query, Instance: "dblp", Adorn: []int{1}})
 		if err != nil {
 			log.Fatal(err)
 		}
-		ids := paperIDs(answers)
+		ids := paperIDs(res.Answers)
 		correct := 0
 		for _, id := range ids {
 			if truth[id] {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -64,10 +65,12 @@ func main() {
 	if errs := sys.CheckWellTyped(p); len(errs) != 0 {
 		log.Fatalf("query is ill-typed: %v", errs)
 	}
-	res, err := sys.Select("catalog", p, []int{1})
+	qres, err := sys.Query(context.Background(),
+		toss.QueryRequest{Pattern: p, Instance: "catalog", Adorn: []int{1}})
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := qres.Answers
 	fmt.Printf("width = 2.5cm matches %d part(s):\n", len(res))
 	for _, t := range res {
 		fmt.Printf("  %s (%s mm)\n", t.Root.ChildContent("name"), t.Root.ChildContent("width"))
@@ -75,19 +78,21 @@ func main() {
 
 	// Range queries convert too: parts wider than 3 cm.
 	q2 := `#1 pc #2 :: #1.tag = "part" & #2.tag = "width" & #2.content > "3":cm`
-	res2, err := sys.Select("catalog", toss.MustParsePattern(q2), []int{1})
+	res2, err := sys.Query(context.Background(),
+		toss.QueryRequest{Pattern: toss.MustParsePattern(q2), Instance: "catalog", Adorn: []int{1}})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("width > 3cm matches %d part(s)\n", len(res2))
+	fmt.Printf("width > 3cm matches %d part(s)\n", len(res2.Answers))
 
 	// instance_of consults the type domain.
 	q3 := `#1 pc #2 :: #1.tag = "part" & #2.tag = "width" & #2.content instance_of mm`
-	res3, err := sys.Select("catalog", toss.MustParsePattern(q3), []int{1})
+	res3, err := sys.Query(context.Background(),
+		toss.QueryRequest{Pattern: toss.MustParsePattern(q3), Instance: "catalog", Adorn: []int{1}})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("width instance_of mm matches %d part(s)\n", len(res3))
+	fmt.Printf("width instance_of mm matches %d part(s)\n", len(res3.Answers))
 
 	// The static type checker rejects comparisons with no common supertype.
 	sys.Types.MustRegister(&types.Type{Name: "colour"})

@@ -265,7 +265,10 @@ func (s *System) candidateDocs(ctx context.Context, col *xmldb.Collection, paths
 		}
 		hits := map[*tree.Tree]bool{}
 		var qs xmldb.QueryStats
-		step := PlanStep{XPath: p.String(), Access: est.Access, EstDocs: est.EstDocs, EstNodes: est.EstNodes}
+		step := PlanStep{
+			XPath: p.String(), Access: est.Access,
+			EstDocs: est.EstDocs, EstNodes: est.EstNodes, EstShards: est.EstShards,
+		}
 		if plan != nil && surviving != nil && plan.ShouldRestrict(k, len(surviving)) {
 			// Few enough survivors that walking just those documents beats
 			// querying the whole collection for this path.
@@ -299,6 +302,7 @@ func (s *System) candidateDocs(ctx context.Context, col *xmldb.Collection, paths
 				}
 			}
 			step.ActualNodes = len(nodes)
+			step.ActualShards = qs.ShardsTouched
 			if plan != nil {
 				s.Planner.Observe(est.EstDocs, float64(len(hits)))
 			}
@@ -338,88 +342,70 @@ func (s *System) candidateDocs(ctx context.Context, col *xmldb.Collection, paths
 	return out, nil
 }
 
-// Select executes TOSS selection σ_{P,SL} against the named instance:
-// rewrite to XPath, fetch candidate documents, run the embedding search
-// with the TOSS evaluator, and materialise witness trees.
+// Select executes TOSS selection σ_{P,SL} against the named instance.
+//
+// Deprecated: use Query with QueryRequest{Pattern, Instance, Adorn}.
 func (s *System) Select(instance string, p *pattern.Tree, sl []int) ([]*tree.Tree, error) {
 	return s.SelectContext(context.Background(), instance, p, sl)
 }
 
-// SelectContext is Select with cancellation: the pre-filter stage checks the
-// context between XPath queries and the embedding stage between candidate
-// documents, so a cancelled or expired context stops the query promptly with
-// ctx.Err() instead of scanning to completion.
+// SelectContext is Select with cancellation.
+//
+// Deprecated: use Query with QueryRequest{Pattern, Instance, Adorn}.
 func (s *System) SelectContext(ctx context.Context, instance string, p *pattern.Tree, sl []int) ([]*tree.Tree, error) {
-	in := s.Instance(instance)
-	if in == nil {
-		return nil, fmt.Errorf("core: unknown instance %q", instance)
-	}
-	cands, err := s.candidateDocs(ctx, in.Col, s.RewritePattern(p), nil)
+	res, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: instance, Adorn: sl})
 	if err != nil {
 		return nil, err
 	}
-	return s.selectDocs(ctx, cands, p, sl, nil)
+	return res.Answers, nil
 }
 
-// SelectTraced runs TOSS selection and returns the per-query execution
-// trace alongside the answers: rewrite output, per-path pre-filter
-// selectivity and routing, parallel worker utilization, and stage timings.
-// Answers are identical to Select's.
+// SelectTraced runs TOSS selection with an execution trace.
+//
+// Deprecated: use Query with Trace set.
 func (s *System) SelectTraced(instance string, p *pattern.Tree, sl []int) ([]*tree.Tree, *ExecStats, error) {
 	return s.SelectTracedContext(context.Background(), instance, p, sl)
 }
 
-// SelectTracedContext is SelectTraced with cancellation (see SelectContext).
+// SelectTracedContext is SelectTraced with cancellation.
+//
+// Deprecated: use Query with Trace set.
 func (s *System) SelectTracedContext(ctx context.Context, instance string, p *pattern.Tree, sl []int) ([]*tree.Tree, *ExecStats, error) {
-	in := s.Instance(instance)
-	if in == nil {
-		return nil, nil, fmt.Errorf("core: unknown instance %q", instance)
-	}
-	st := newExecStats("select", instance)
-	t0 := time.Now()
-	paths := s.rewritePattern(p, st)
-	st.RewriteTime = time.Since(t0)
-	t1 := time.Now()
-	cands, err := s.candidateDocs(ctx, in.Col, paths, st)
+	res, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: instance, Adorn: sl, Trace: true})
 	if err != nil {
 		return nil, nil, err
 	}
-	st.PrefilterTime = time.Since(t1)
-	t2 := time.Now()
-	out, err := s.selectDocs(ctx, cands, p, sl, st)
-	st.EvalTime = time.Since(t2)
-	st.TotalTime = time.Since(t0)
-	st.Answers = len(out)
-	return out, st, err
+	return res.Answers, res.Stats, nil
 }
 
 // SelectN runs TOSS selection but stops after collecting limit answers
-// (limit ≤ 0 means no limit). Documents are processed in order, so the
-// answers are a prefix of what Select would return.
+// (limit ≤ 0 means no limit).
+//
+// Deprecated: use Query with Limit set.
 func (s *System) SelectN(instance string, p *pattern.Tree, sl []int, limit int) ([]*tree.Tree, error) {
 	return s.SelectNContext(context.Background(), instance, p, sl, limit)
 }
 
-// SelectNContext is SelectN with cancellation (see SelectContext).
+// SelectNContext is SelectN with cancellation.
+//
+// Deprecated: use Query with Limit set.
 func (s *System) SelectNContext(ctx context.Context, instance string, p *pattern.Tree, sl []int, limit int) ([]*tree.Tree, error) {
-	if limit <= 0 {
-		return s.SelectContext(ctx, instance, p, sl)
+	res, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: instance, Adorn: sl, Limit: limit})
+	if err != nil {
+		return nil, err
 	}
-	out, _, err := s.selectN(ctx, instance, p, sl, limit, nil)
-	return out, err
+	return res.Answers, nil
 }
 
-// SelectNTracedContext is SelectNContext with an execution trace. When the
-// limit fires before every candidate was evaluated, the trace records the
-// truncation (Limit/LimitHit, DocsEvaluated < CandidateDocs) so EXPLAIN
-// ANALYZE does not report the full candidate set as evaluated work.
+// SelectNTracedContext is SelectNContext with an execution trace.
+//
+// Deprecated: use Query with Limit and Trace set.
 func (s *System) SelectNTracedContext(ctx context.Context, instance string, p *pattern.Tree, sl []int, limit int) ([]*tree.Tree, *ExecStats, error) {
-	if limit <= 0 {
-		return s.SelectTracedContext(ctx, instance, p, sl)
+	res, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: instance, Adorn: sl, Limit: limit, Trace: true})
+	if err != nil {
+		return nil, nil, err
 	}
-	st := newExecStats("select", instance)
-	out, st, err := s.selectN(ctx, instance, p, sl, limit, st)
-	return out, st, err
+	return res.Answers, res.Stats, nil
 }
 
 func (s *System) selectN(ctx context.Context, instance string, p *pattern.Tree, sl []int, limit int, st *ExecStats) ([]*tree.Tree, *ExecStats, error) {
@@ -532,27 +518,39 @@ func (s *System) Product(a, b []*tree.Tree) []*tree.Tree {
 // When the join condition contains a cross-tree ~ or = atom on content, a
 // similarity hash join pairs only documents sharing an SEO cluster key,
 // preserving the result while skipping hopeless pairs.
+//
+// Deprecated: use Query with QueryRequest{Pattern, Instance, Right, Adorn}.
 func (s *System) Join(left, right string, p *pattern.Tree, sl []int) ([]*tree.Tree, error) {
-	out, _, err := s.join(context.Background(), left, right, p, sl, false)
-	return out, err
+	return s.JoinContext(context.Background(), left, right, p, sl)
 }
 
-// JoinContext is Join with cancellation: the context is checked between
-// pre-filter queries and between document pairs (see SelectContext).
+// JoinContext is Join with cancellation.
+//
+// Deprecated: use Query with QueryRequest{Pattern, Instance, Right, Adorn}.
 func (s *System) JoinContext(ctx context.Context, left, right string, p *pattern.Tree, sl []int) ([]*tree.Tree, error) {
-	out, _, err := s.join(ctx, left, right, p, sl, false)
-	return out, err
+	res, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: left, Right: right, Adorn: sl})
+	if err != nil {
+		return nil, err
+	}
+	return res.Answers, nil
 }
 
-// JoinTraced runs a condition join and returns the execution trace: per-side
-// pre-filter stats, hash-join pairing counts and stage timings.
+// JoinTraced runs a condition join with an execution trace.
+//
+// Deprecated: use Query with Right and Trace set.
 func (s *System) JoinTraced(left, right string, p *pattern.Tree, sl []int) ([]*tree.Tree, *ExecStats, error) {
-	return s.join(context.Background(), left, right, p, sl, true)
+	return s.JoinTracedContext(context.Background(), left, right, p, sl)
 }
 
-// JoinTracedContext is JoinTraced with cancellation (see JoinContext).
+// JoinTracedContext is JoinTraced with cancellation.
+//
+// Deprecated: use Query with Right and Trace set.
 func (s *System) JoinTracedContext(ctx context.Context, left, right string, p *pattern.Tree, sl []int) ([]*tree.Tree, *ExecStats, error) {
-	return s.join(ctx, left, right, p, sl, true)
+	res, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: left, Right: right, Adorn: sl, Trace: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Answers, res.Stats, nil
 }
 
 func (s *System) join(ctx context.Context, left, right string, p *pattern.Tree, sl []int, traced bool) ([]*tree.Tree, *ExecStats, error) {
@@ -604,7 +602,8 @@ func (s *System) join(ctx context.Context, left, right string, p *pattern.Tree, 
 		jp = planner.PlanJoinSides(li.Col.Stats(), ri.Col.Stats(), len(ldocs), len(rdocs))
 	}
 	t3 := time.Now()
-	out, err := s.joinTreesPlanned(ctx, ldocs, rdocs, p, sl, st, jp)
+	out, err := s.joinTreesPlanned(ctx, ldocs, rdocs, p, sl, st, jp,
+		li.Col.ShardCount(), ri.Col.ShardCount())
 	if st != nil {
 		st.EvalTime = time.Since(t3)
 		st.TotalTime = time.Since(t0)
@@ -688,12 +687,12 @@ func (s *System) JoinTreesContext(ctx context.Context, ldocs, rdocs []*tree.Tree
 }
 
 func (s *System) joinTrees(ctx context.Context, ldocs, rdocs []*tree.Tree, p *pattern.Tree, sl []int, st *ExecStats) ([]*tree.Tree, error) {
-	return s.joinTreesPlanned(ctx, ldocs, rdocs, p, sl, st, nil)
+	return s.joinTreesPlanned(ctx, ldocs, rdocs, p, sl, st, nil, 1, 1)
 }
 
-func (s *System) joinTreesPlanned(ctx context.Context, ldocs, rdocs []*tree.Tree, p *pattern.Tree, sl []int, st *ExecStats, jp *planner.JoinPlan) ([]*tree.Tree, error) {
+func (s *System) joinTreesPlanned(ctx context.Context, ldocs, rdocs []*tree.Tree, p *pattern.Tree, sl []int, st *ExecStats, jp *planner.JoinPlan, lFan, rFan int) ([]*tree.Tree, error) {
 	dst := tree.NewCollection()
-	pairs := s.joinPairs(ldocs, rdocs, p, st, jp)
+	pairs := s.joinPairs(ldocs, rdocs, p, st, jp, lFan, rFan)
 	ev := s.Evaluator()
 	var out []*tree.Tree
 	for _, pr := range pairs {
@@ -725,11 +724,13 @@ func (s *System) NestedLoopJoinTrees(ldocs, rdocs []*tree.Tree, p *pattern.Tree,
 // joinPairs picks the document pairs worth joining. With a usable cross atom
 // it hash-partitions by SEO cluster keys: when a join plan is supplied, the
 // side it chose builds the hash table and the other probes it; without a
-// plan both sides are keyed (the pre-planner heuristic). Pairs come out
-// sorted by (left, right) document index regardless, so both strategies —
-// and either build side — produce the identical pair list. When st is
-// non-nil the pairing decision and counts are recorded.
-func (s *System) joinPairs(ldocs, rdocs []*tree.Tree, p *pattern.Tree, st *ExecStats, jp *planner.JoinPlan) [][2]*tree.Tree {
+// plan both sides are keyed (the pre-planner heuristic). Each side's document
+// keys are extracted on a worker pool fanned out to that side's shard count
+// (lFan/rFan), which is pure per-document work, so pairing is unaffected.
+// Pairs come out sorted by (left, right) document index regardless, so both
+// strategies — and either build side — produce the identical pair list. When
+// st is non-nil the pairing decision and counts are recorded.
+func (s *System) joinPairs(ldocs, rdocs []*tree.Tree, p *pattern.Tree, st *ExecStats, jp *planner.JoinPlan, lFan, rFan int) [][2]*tree.Tree {
 	cross := len(ldocs) * len(rdocs)
 	atom := s.crossSimAtom(p)
 	if atom == nil {
@@ -764,10 +765,12 @@ func (s *System) joinPairs(ldocs, rdocs []*tree.Tree, p *pattern.Tree, st *ExecS
 		})
 		return out
 	}
-	keyed := func(docs []*tree.Tree) map[string][]int {
+	lkeys := parallelDocKeys(ldocs, docKeys, lFan)
+	rkeys := parallelDocKeys(rdocs, docKeys, rFan)
+	keyed := func(keys [][]string) map[string][]int {
 		m := map[string][]int{}
-		for i, d := range docs {
-			for _, k := range docKeys(d) {
+		for i, ks := range keys {
+			for _, k := range ks {
 				m[k] = append(m[k], i)
 			}
 		}
@@ -792,14 +795,14 @@ func (s *System) joinPairs(ldocs, rdocs []*tree.Tree, p *pattern.Tree, st *ExecS
 	if jp != nil {
 		// Planned: build a hash table on the cheaper side only; the other
 		// side streams its keys through the table.
-		build, probe := ldocs, rdocs
+		build, probe := lkeys, rkeys
 		if !jp.BuildLeft {
-			build, probe = rdocs, ldocs
+			build, probe = rkeys, lkeys
 		}
 		bk := keyed(build)
 		probeKeys := map[string]bool{}
-		for j, d := range probe {
-			for _, k := range docKeys(d) {
+		for j, ks := range probe {
+			for _, k := range ks {
 				probeKeys[k] = true
 				for _, bi := range bk[k] {
 					if jp.BuildLeft {
@@ -817,8 +820,8 @@ func (s *System) joinPairs(ldocs, rdocs []*tree.Tree, p *pattern.Tree, st *ExecS
 			trace.LeftKeys, trace.RightKeys = len(probeKeys), len(bk)
 		}
 	} else {
-		lk := keyed(ldocs)
-		rk := keyed(rdocs)
+		lk := keyed(lkeys)
+		rk := keyed(rkeys)
 		for k, ls := range lk {
 			rs := rk[k]
 			for _, li := range ls {

@@ -108,6 +108,13 @@ type PlanStep struct {
 	EstNodes    float64
 	ActualDocs  int
 	ActualNodes int
+	// EstShards/ActualShards report the scatter footprint on sharded
+	// collections: how many shards the planner expected to hold matches
+	// versus how many the gather actually touched. Both stay at their zero
+	// values on unsharded collections (and ActualShards on restricted steps),
+	// and the trace omits them then, keeping unsharded output unchanged.
+	EstShards    float64
+	ActualShards int
 	// TestedDocs is set on restricted steps: how many surviving documents
 	// were evaluated per-document instead of querying the collection.
 	TestedDocs int
@@ -180,6 +187,9 @@ func (st *ExecStats) String() string {
 				route += "+value-index"
 			}
 		}
+		if p.ShardsTouched > 1 {
+			detail += fmt.Sprintf(" shards=%d", p.ShardsTouched)
+		}
 		fmt.Fprintf(&b, "  %s  route=%s %s matches=%d docs=%d  [%s]\n",
 			p.XPath, route, detail, p.Matches, p.DocsMatched, fmtDuration(p.Elapsed))
 	}
@@ -195,8 +205,14 @@ func (st *ExecStats) String() string {
 				fmt.Fprintf(&b, "plan:   [%d] %s access=%s estimated=%.1f docs actual=%d of %d survivor(s)\n",
 					i+1, ps.XPath, ps.Access, ps.EstDocs, ps.ActualDocs, ps.TestedDocs)
 			} else {
-				fmt.Fprintf(&b, "plan:   [%d] %s access=%s estimated=%.1f docs (%.1f nodes) actual=%d docs (%d nodes)\n",
+				fmt.Fprintf(&b, "plan:   [%d] %s access=%s estimated=%.1f docs (%.1f nodes) actual=%d docs (%d nodes)",
 					i+1, ps.XPath, ps.Access, ps.EstDocs, ps.EstNodes, ps.ActualDocs, ps.ActualNodes)
+				// Scatter footprint, shown only when sharding is in play so
+				// unsharded traces render exactly as before.
+				if ps.EstShards > 1 || ps.ActualShards > 1 {
+					fmt.Fprintf(&b, " shards est=%.1f actual=%d", ps.EstShards, ps.ActualShards)
+				}
+				b.WriteByte('\n')
 			}
 		}
 	}

@@ -160,49 +160,40 @@ type AnalyzedPlan struct {
 // ExplainAnalyze runs the selection and returns the plan annotated with
 // actuals (routing decisions, candidate counts, selectivity, timings)
 // alongside the answers.
+//
+// Deprecated: use Query with Analyze set.
 func (s *System) ExplainAnalyze(instance string, p *pattern.Tree, sl []int) (*AnalyzedPlan, []*tree.Tree, error) {
 	return s.ExplainAnalyzeContext(context.Background(), instance, p, sl)
 }
 
-// ExplainAnalyzeContext is ExplainAnalyze with cancellation (see
-// SelectContext).
+// ExplainAnalyzeContext is ExplainAnalyze with cancellation.
+//
+// Deprecated: use Query with Analyze set.
 func (s *System) ExplainAnalyzeContext(ctx context.Context, instance string, p *pattern.Tree, sl []int) (*AnalyzedPlan, []*tree.Tree, error) {
-	out, st, err := s.SelectTracedContext(ctx, instance, p, sl)
+	res, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: instance, Adorn: sl, Analyze: true})
 	if err != nil {
 		return nil, nil, err
 	}
-	plan := s.planSkeleton(instance, p)
-	if in := s.Instance(instance); in != nil {
-		plan.NodeEstimates = s.estimatePatternNodes(in, p)
-	}
-	plan.TotalDocs = st.TotalDocs
-	plan.CandidateDocs = st.CandidateDocs
-	for _, pt := range st.Paths {
-		plan.XPaths = append(plan.XPaths, pt.XPath)
-	}
-	return &AnalyzedPlan{Plan: plan, Stats: st}, out, nil
+	return &AnalyzedPlan{Plan: res.Plan, Stats: res.Stats}, res.Answers, nil
 }
 
 // ExplainAnalyzeJoin runs a condition join and returns the annotated plan
 // (per-side pre-filter stats, pairing counts, timings) alongside the answers.
+//
+// Deprecated: use Query with Right and Analyze set.
 func (s *System) ExplainAnalyzeJoin(left, right string, p *pattern.Tree, sl []int) (*AnalyzedPlan, []*tree.Tree, error) {
 	return s.ExplainAnalyzeJoinContext(context.Background(), left, right, p, sl)
 }
 
-// ExplainAnalyzeJoinContext is ExplainAnalyzeJoin with cancellation (see
-// JoinContext).
+// ExplainAnalyzeJoinContext is ExplainAnalyzeJoin with cancellation.
+//
+// Deprecated: use Query with Right and Analyze set.
 func (s *System) ExplainAnalyzeJoinContext(ctx context.Context, left, right string, p *pattern.Tree, sl []int) (*AnalyzedPlan, []*tree.Tree, error) {
-	out, st, err := s.JoinTracedContext(ctx, left, right, p, sl)
+	res, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: left, Right: right, Adorn: sl, Analyze: true})
 	if err != nil {
 		return nil, nil, err
 	}
-	plan := s.planSkeleton(left+"⨝"+right, p)
-	plan.TotalDocs = st.TotalDocs
-	plan.CandidateDocs = st.CandidateDocs
-	for _, pt := range st.Paths {
-		plan.XPaths = append(plan.XPaths, pt.XPath)
-	}
-	return &AnalyzedPlan{Plan: plan, Stats: st}, out, nil
+	return &AnalyzedPlan{Plan: res.Plan, Stats: res.Stats}, res.Answers, nil
 }
 
 // String renders the analyzed plan: the static plan context followed by the

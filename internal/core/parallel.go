@@ -12,7 +12,9 @@ import (
 )
 
 // selectDocs evaluates a selection over candidate documents, fanning out
-// across s.Parallelism workers when that is set above 1. Each document gets
+// across a worker pool: s.Parallelism workers when that is set above 1,
+// otherwise one worker per shard of the queried collection (scatter-gather —
+// an unsharded collection keeps today's sequential path). Each document gets
 // its own destination collection, and each worker its own evaluator (the
 // evaluator's memo tables are not safe for concurrent use); answers are
 // concatenated in document order, so results are identical to the sequential
@@ -20,9 +22,12 @@ import (
 // so a cancelled request stops scanning promptly and returns ctx.Err().
 // When st is non-nil the worker count, per-worker document counts
 // (utilization) and embedding totals are recorded.
-func (s *System) selectDocs(ctx context.Context, cands []*tree.Tree, p *pattern.Tree, sl []int, st *ExecStats) ([]*tree.Tree, error) {
+func (s *System) selectDocs(ctx context.Context, cands []*tree.Tree, p *pattern.Tree, sl []int, st *ExecStats, shards int) ([]*tree.Tree, error) {
 	workers := s.Parallelism
 	if workers <= 0 {
+		workers = shards
+	}
+	if workers < 1 {
 		workers = 1
 	}
 	if workers > runtime.GOMAXPROCS(0) {
@@ -121,4 +126,41 @@ feed:
 		st.Embeddings = embeddings
 	}
 	return out, nil
+}
+
+// parallelDocKeys computes every document's hash-join keys on a worker pool
+// fanned out to the owning collection's shard count (capped by GOMAXPROCS and
+// the document count). docKeys must be pure per-document work; results land
+// in input order, so callers see the same key lists as a sequential loop.
+func parallelDocKeys(docs []*tree.Tree, docKeys func(*tree.Tree) []string, fan int) [][]string {
+	out := make([][]string, len(docs))
+	if fan > runtime.GOMAXPROCS(0) {
+		fan = runtime.GOMAXPROCS(0)
+	}
+	if fan > len(docs) {
+		fan = len(docs)
+	}
+	if fan <= 1 {
+		for i, d := range docs {
+			out[i] = docKeys(d)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < fan; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = docKeys(docs[i])
+			}
+		}()
+	}
+	for i := range docs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
 }

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/pattern"
+	"repro/internal/tree"
+)
+
+// QueryRequest describes one TOSS algebra query for System.Query — the single
+// entry point that subsumes the historical Select*/Join*/SelectRanked*/
+// ExplainAnalyze* method matrix. The zero value of every optional field means
+// "off", so a plain selection is just {Pattern, Instance}.
+type QueryRequest struct {
+	// Pattern is the TOSS pattern tree (required).
+	Pattern *pattern.Tree
+	// Instance names the instance to query (the left side for joins).
+	Instance string
+	// Right, when non-empty, makes the query a condition join of Instance
+	// and Right (product followed by selection, Section 5.1.2).
+	Right string
+	// Adorn lists the pattern-node labels kept in witness trees (the SL
+	// adornment of σ_{P,SL}).
+	Adorn []int
+	// Limit truncates the answer list; ≤ 0 means no limit. Selections stop
+	// evaluating once the limit is reached (answers are a prefix of the
+	// unlimited result); joins and ranked queries truncate after the fact.
+	Limit int
+	// Ranked scores each witness by the summed ~ distances and orders
+	// answers most-similar first. Incompatible with Right and Analyze.
+	Ranked bool
+	// Trace attaches the per-query execution trace to the result.
+	Trace bool
+	// Analyze additionally attaches the static plan (EXPLAIN ANALYZE);
+	// implies Trace.
+	Analyze bool
+	// NoPlanner disables cost-based planning for this query only (the
+	// ablation switch previously spelled "clone the System, nil the
+	// Planner").
+	NoPlanner bool
+}
+
+// QueryResult is the uniform answer envelope of System.Query. Exactly one of
+// Answers or Ranked is populated (Ranked iff the request was ranked); Stats
+// and Plan are present only when requested via Trace/Analyze.
+type QueryResult struct {
+	// Answers holds the witness trees in document order.
+	Answers []*tree.Tree
+	// Ranked holds scored answers, most similar first.
+	Ranked []RankedAnswer
+	// Stats is the execution trace (Trace or Analyze requests).
+	Stats *ExecStats
+	// Plan is the static plan skeleton with actuals filled in (Analyze
+	// requests).
+	Plan *Plan
+	// Limit echoes the request's limit; LimitHit reports whether it
+	// actually truncated the answer list.
+	Limit    int
+	LimitHit bool
+}
+
+// Query executes one TOSS algebra query described by req. It is the unified
+// replacement for the Select*/Join*/SelectRanked*/ExplainAnalyze* variants,
+// which survive as thin deprecated wrappers around it. The context is checked
+// between pre-filter queries and between candidate documents, so a cancelled
+// or expired context stops the query promptly with ctx.Err().
+func (s *System) Query(ctx context.Context, req QueryRequest) (*QueryResult, error) {
+	if req.Pattern == nil {
+		return nil, fmt.Errorf("core: query has no pattern")
+	}
+	if req.NoPlanner && s.Planner != nil {
+		clone := *s
+		clone.Planner = nil
+		s = &clone
+	}
+	switch {
+	case req.Ranked:
+		return s.queryRanked(ctx, req)
+	case req.Right != "":
+		return s.queryJoin(ctx, req)
+	default:
+		return s.querySelect(ctx, req)
+	}
+}
+
+func (s *System) querySelect(ctx context.Context, req QueryRequest) (*QueryResult, error) {
+	traced := req.Trace || req.Analyze
+	var st *ExecStats
+	// A limited selection always runs with a trace internally: LimitHit is
+	// part of the result envelope even when the caller did not ask for stats.
+	if traced || req.Limit > 0 {
+		st = newExecStats("select", req.Instance)
+	}
+	var out []*tree.Tree
+	var err error
+	if req.Limit > 0 {
+		out, st, err = s.selectN(ctx, req.Instance, req.Pattern, req.Adorn, req.Limit, st)
+	} else {
+		out, err = s.runSelect(ctx, req.Instance, req.Pattern, req.Adorn, st)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := &QueryResult{Answers: out, Limit: req.Limit}
+	if st != nil {
+		res.LimitHit = st.LimitHit
+	}
+	if traced {
+		res.Stats = st
+	}
+	if req.Analyze {
+		res.Plan = s.analyzePlan(req.Instance, req.Pattern, st, true)
+	}
+	return res, nil
+}
+
+func (s *System) queryJoin(ctx context.Context, req QueryRequest) (*QueryResult, error) {
+	traced := req.Trace || req.Analyze
+	out, st, err := s.join(ctx, req.Instance, req.Right, req.Pattern, req.Adorn, traced)
+	if err != nil {
+		return nil, err
+	}
+	res := &QueryResult{Answers: out, Stats: st, Limit: req.Limit}
+	if req.Limit > 0 && len(out) > req.Limit {
+		res.Answers = out[:req.Limit]
+		res.LimitHit = true
+		if st != nil {
+			st.Limit, st.LimitHit = req.Limit, true
+		}
+	}
+	if req.Analyze {
+		res.Plan = s.analyzePlan(req.Instance+"⨝"+req.Right, req.Pattern, st, false)
+	}
+	return res, nil
+}
+
+func (s *System) queryRanked(ctx context.Context, req QueryRequest) (*QueryResult, error) {
+	if req.Right != "" {
+		return nil, fmt.Errorf("core: ranked queries join no second instance")
+	}
+	if req.Analyze {
+		return nil, fmt.Errorf("core: ranked queries do not support analyze")
+	}
+	ranked, err := s.runSelectRanked(ctx, req.Instance, req.Pattern, req.Adorn)
+	if err != nil {
+		return nil, err
+	}
+	res := &QueryResult{Ranked: ranked, Limit: req.Limit}
+	if req.Limit > 0 && len(ranked) > req.Limit {
+		res.Ranked = ranked[:req.Limit]
+		res.LimitHit = true
+	}
+	return res, nil
+}
+
+// runSelect is the one selection pipeline behind Query: rewrite to XPath,
+// scatter the pre-filter across the collection's shards, evaluate surviving
+// candidates on a worker pool sized to the shard count, and gather answers in
+// document order. A nil st skips all bookkeeping (the untraced fast path).
+func (s *System) runSelect(ctx context.Context, instance string, p *pattern.Tree, sl []int, st *ExecStats) ([]*tree.Tree, error) {
+	in := s.Instance(instance)
+	if in == nil {
+		return nil, fmt.Errorf("core: unknown instance %q", instance)
+	}
+	t0 := time.Now()
+	paths := s.rewritePattern(p, st)
+	if st != nil {
+		st.RewriteTime = time.Since(t0)
+	}
+	t1 := time.Now()
+	cands, err := s.candidateDocs(ctx, in.Col, paths, st)
+	if err != nil {
+		return nil, err
+	}
+	if st != nil {
+		st.PrefilterTime = time.Since(t1)
+	}
+	t2 := time.Now()
+	out, err := s.selectDocs(ctx, cands, p, sl, st, in.Col.ShardCount())
+	if st != nil {
+		st.EvalTime = time.Since(t2)
+		st.TotalTime = time.Since(t0)
+		st.Answers = len(out)
+	}
+	return out, err
+}
+
+// analyzePlan builds the static plan skeleton and fills in the actuals
+// recorded by the execution trace (EXPLAIN ANALYZE's plan half).
+func (s *System) analyzePlan(instance string, p *pattern.Tree, st *ExecStats, selection bool) *Plan {
+	plan := s.planSkeleton(instance, p)
+	if selection {
+		if in := s.Instance(instance); in != nil {
+			plan.NodeEstimates = s.estimatePatternNodes(in, p)
+		}
+	}
+	if st != nil {
+		plan.TotalDocs = st.TotalDocs
+		plan.CandidateDocs = st.CandidateDocs
+		for _, pt := range st.Paths {
+			plan.XPaths = append(plan.XPaths, pt.XPath)
+		}
+	}
+	return plan
+}

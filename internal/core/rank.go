@@ -28,13 +28,26 @@ type RankedAnswer struct {
 // SelectRanked runs TOSS selection and scores each witness by the summed
 // distances of its ~ conditions, returning answers ordered most-similar
 // first (ties broken by discovery order, i.e. document order).
+//
+// Deprecated: use Query with Ranked set.
 func (s *System) SelectRanked(instance string, p *pattern.Tree, sl []int) ([]RankedAnswer, error) {
 	return s.SelectRankedContext(context.Background(), instance, p, sl)
 }
 
-// SelectRankedContext is SelectRanked with cancellation, checking the
-// context between candidate documents.
+// SelectRankedContext is SelectRanked with cancellation.
+//
+// Deprecated: use Query with Ranked set.
 func (s *System) SelectRankedContext(ctx context.Context, instance string, p *pattern.Tree, sl []int) ([]RankedAnswer, error) {
+	res, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: instance, Adorn: sl, Ranked: true})
+	if err != nil {
+		return nil, err
+	}
+	return res.Ranked, nil
+}
+
+// runSelectRanked is the ranked-selection pipeline behind Query, checking the
+// context between candidate documents.
+func (s *System) runSelectRanked(ctx context.Context, instance string, p *pattern.Tree, sl []int) ([]RankedAnswer, error) {
 	in := s.Instance(instance)
 	if in == nil {
 		return nil, fmt.Errorf("core: unknown instance %q", instance)

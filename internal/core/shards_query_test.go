@@ -1,0 +1,268 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datagen"
+	"repro/internal/pattern"
+	"repro/internal/similarity"
+	"repro/internal/tax"
+)
+
+// buildShardedJoinSystem is buildCorpusSystem with a configurable shard
+// count plus a second "proc" instance so the same system can exercise both
+// the selection scatter-gather and the sharded hash-join key extraction.
+// The corpus generator is seeded, so every call with the same paper count
+// yields byte-identical documents regardless of the shard count.
+func buildShardedJoinSystem(t *testing.T, papers, chunk, shards int) (*System, *datagen.Corpus) {
+	t.Helper()
+	corpus := datagen.Generate(datagen.DefaultConfig(papers))
+	s := NewSystem()
+	s.DB.SetDefaultShards(shards)
+	dblp, err := s.AddInstance("dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(corpus.Papers); i += chunk {
+		end := i + chunk
+		if end > len(corpus.Papers) {
+			end = len(corpus.Papers)
+		}
+		key := fmt.Sprintf("dblp-%03d", i/chunk)
+		if _, err := dblp.Col.PutXML(key, strings.NewReader(corpus.DBLPString(corpus.Papers[i:end]))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	proc, err := s.AddInstance("proc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		title := corpus.Papers[i*3].Title
+		xml := fmt.Sprintf(`<ProceedingsPage><title>%s</title><note>N%d</note></ProceedingsPage>`, title, i)
+		if _, err := proc.Col.PutXML(fmt.Sprintf("pp-%d", i), strings.NewReader(xml)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Complete cluster keys so the similarity hash join has no dynamic
+	// measure fallback, like the existing hash-join tests.
+	s.DynamicSimilarity = false
+	if err := s.Build(similarity.NameRule{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	return s, corpus
+}
+
+// TestQueryShardCountInvariance is the end-to-end counterpart of the
+// xmldb-level invariance tests: the full Query pipeline (rewriting,
+// planning, scatter-gather, joins) must return identical answers in
+// identical order at every shard count, with and without the planner.
+func TestQueryShardCountInvariance(t *testing.T) {
+	shardCounts := []int{1, 2, 7}
+	systems := make([]*System, len(shardCounts))
+	var corpus *datagen.Corpus
+	for i, n := range shardCounts {
+		systems[i], corpus = buildShardedJoinSystem(t, 40, 2, n)
+		if got := systems[i].Instance("dblp").Col.ShardCount(); got != n {
+			t.Fatalf("system %d: ShardCount = %d, want %d", i, got, n)
+		}
+	}
+
+	author := corpus.Authors[0].Canonical()
+	author2 := corpus.Authors[1%len(corpus.Authors)].Canonical()
+	selections := []string{
+		fmt.Sprintf(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content = %q`, author),
+		fmt.Sprintf(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ %q`, author),
+		`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "title" & #2.content isa "operation"`,
+		// Two value literals on different paths: exercises the per-literal
+		// gather with a global narrowing decision.
+		fmt.Sprintf(`#1 pc #2, #1 pc #3 :: #1.tag = "inproceedings" & #2.tag = "author" & #3.tag = "year" & #2.content = %q & #3.content = "2000"`, author2),
+		// Unselective scan path: every shard participates.
+		`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "title"`,
+	}
+	ctx := context.Background()
+	for _, src := range selections {
+		p := pattern.MustParse(src)
+		ref, err := systems[0].Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}})
+		if err != nil {
+			t.Fatalf("%s: reference query: %v", src, err)
+		}
+		for i, s := range systems {
+			for _, noPlanner := range []bool{false, true} {
+				res, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, NoPlanner: noPlanner})
+				if err != nil {
+					t.Fatalf("%s: shards=%d noPlanner=%t: %v", src, shardCounts[i], noPlanner, err)
+				}
+				if !sameTrees(ref.Answers, res.Answers) {
+					t.Errorf("%s: shards=%d noPlanner=%t: %d answers differ from 1-shard reference (%d)",
+						src, shardCounts[i], noPlanner, len(res.Answers), len(ref.Answers))
+				}
+			}
+		}
+	}
+
+	joinSrc := fmt.Sprintf(
+		`#1 pc #2, #1 pc #3, #2 ad #4, #3 ad #5 :: #1.tag = %q & #2.tag = "dblp" & #3.tag = "ProceedingsPage" & #4.tag = "title" & #5.tag = "title" & #4.content ~ #5.content`,
+		tax.ProdRootTag)
+	jp := pattern.MustParse(joinSrc)
+	jref, err := systems[0].Query(ctx, QueryRequest{Pattern: jp, Instance: "dblp", Right: "proc", Adorn: []int{2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jref.Answers) == 0 {
+		t.Fatal("join matched nothing — test corpus broken")
+	}
+	for i, s := range systems {
+		for _, noPlanner := range []bool{false, true} {
+			res, err := s.Query(ctx, QueryRequest{Pattern: jp, Instance: "dblp", Right: "proc", Adorn: []int{2, 3}, NoPlanner: noPlanner})
+			if err != nil {
+				t.Fatalf("join shards=%d noPlanner=%t: %v", shardCounts[i], noPlanner, err)
+			}
+			if !sameTrees(jref.Answers, res.Answers) {
+				t.Errorf("join shards=%d noPlanner=%t: %d answers differ from 1-shard reference (%d)",
+					shardCounts[i], noPlanner, len(res.Answers), len(jref.Answers))
+			}
+		}
+	}
+}
+
+// TestQueryShardInvarianceQuick drives the same invariance property with
+// randomly generated patterns under testing/quick, across shard counts
+// 1, 2 and 7 and both planner modes.
+func TestQueryShardInvarianceQuick(t *testing.T) {
+	shardCounts := []int{1, 2, 7}
+	systems := make([]*System, len(shardCounts))
+	var corpus *datagen.Corpus
+	for i, n := range shardCounts {
+		systems[i], corpus = buildShardedJoinSystem(t, 30, 2, n)
+	}
+	authors := make([]string, 0, len(corpus.Authors))
+	for _, a := range corpus.Authors {
+		authors = append(authors, a.Canonical())
+	}
+	years := []string{"1999", "2000", "2001", "2002", "2003"}
+	ctx := context.Background()
+
+	f := func(aIdx, yIdx, opSel, shape uint8) bool {
+		author := authors[int(aIdx)%len(authors)]
+		year := years[int(yIdx)%len(years)]
+		ops := []string{"=", "~", "contains"}
+		op := ops[int(opSel)%len(ops)]
+
+		var src string
+		switch shape % 3 {
+		case 0:
+			src = fmt.Sprintf(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content %s %q`, op, author)
+		case 1:
+			src = fmt.Sprintf(`#1 pc #2, #1 pc #3 :: #1.tag = "inproceedings" & #2.tag = "author" & #3.tag = "year" & #2.content %s %q & #3.content = %q`, op, author, year)
+		default:
+			src = fmt.Sprintf(`#1 pc #2, #1 pc #3, #1 pc #4 :: #1.tag = "inproceedings" & #2.tag = "author" & #3.tag = "year" & #4.tag = "title" & #2.content %s %q & #3.content = %q`, op, author, year)
+		}
+		p, perr := pattern.Parse(src)
+		if perr != nil {
+			t.Fatalf("bad generated pattern %q: %v", src, perr)
+		}
+
+		ref, err := systems[0].Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}})
+		if err != nil {
+			t.Fatalf("%s: reference: %v", src, err)
+		}
+		for i, s := range systems {
+			for _, noPlanner := range []bool{false, true} {
+				res, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, NoPlanner: noPlanner})
+				if err != nil {
+					t.Fatalf("%s: shards=%d noPlanner=%t: %v", src, shardCounts[i], noPlanner, err)
+				}
+				if !sameTrees(ref.Answers, res.Answers) {
+					t.Logf("%s: shards=%d noPlanner=%t: %d answers vs reference %d",
+						src, shardCounts[i], noPlanner, len(res.Answers), len(ref.Answers))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 30,
+		Rand:     rand.New(rand.NewSource(41)),
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryRequestValidation pins the request-combination rules of the
+// unified Query entry point.
+func TestQueryRequestValidation(t *testing.T) {
+	s := miniSystem(t, 3)
+	ctx := context.Background()
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ "J. Ullman"`)
+
+	if _, err := s.Query(ctx, QueryRequest{Instance: "dblp"}); err == nil {
+		t.Error("Query without a pattern must fail")
+	}
+	if _, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "ghost"}); err == nil {
+		t.Error("Query against an unknown instance must fail")
+	}
+	if _, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Ranked: true, Right: "sigmod"}); err == nil {
+		t.Error("Ranked joins are unsupported and must fail")
+	}
+	if _, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Ranked: true, Analyze: true}); err == nil {
+		t.Error("Ranked + Analyze must fail")
+	}
+
+	// Limit truncates and reports LimitHit; the untraced result carries no
+	// stats.
+	full, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Answers) < 2 {
+		t.Fatalf("want >= 2 Ullman answers, got %d", len(full.Answers))
+	}
+	if full.Stats != nil {
+		t.Error("untraced query must not expose stats")
+	}
+	lim, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lim.Answers) != 1 || !lim.LimitHit {
+		t.Errorf("Limit=1: got %d answers, LimitHit=%t", len(lim.Answers), lim.LimitHit)
+	}
+
+	// Trace and Analyze populate Stats (and Plan for Analyze).
+	tr, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats == nil || tr.Stats.TotalDocs == 0 {
+		t.Error("traced query must expose populated stats")
+	}
+	an, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, Analyze: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Plan == nil || an.Stats == nil {
+		t.Error("analyzed query must expose plan and stats")
+	}
+
+	// Ranked queries return scored answers, best first.
+	rk, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, Ranked: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rk.Ranked) != len(full.Answers) {
+		t.Errorf("ranked: %d answers, want %d", len(rk.Ranked), len(full.Answers))
+	}
+	for i := 1; i < len(rk.Ranked); i++ {
+		if rk.Ranked[i-1].Score > rk.Ranked[i].Score {
+			t.Error("ranked answers not sorted best (lowest distance) first")
+		}
+	}
+}

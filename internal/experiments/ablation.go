@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -87,13 +88,13 @@ func RunAblations(cfg AblationConfig) (*AblationReport, error) {
 		return nil, err
 	}
 	if err := timeIt("seo-precompute", "precomputed", func() error {
-		_, err := withSEO.Select("dblp", simPat, []int{1})
+		_, err := withSEO.Query(context.Background(), core.QueryRequest{Pattern: simPat, Instance: "dblp", Adorn: []int{1}})
 		return err
 	}); err != nil {
 		return nil, err
 	}
 	if err := timeIt("seo-precompute", "on-the-fly", func() error {
-		_, err := dynamic.Select("dblp", simPat, []int{1})
+		_, err := dynamic.Query(context.Background(), core.QueryRequest{Pattern: simPat, Instance: "dblp", Adorn: []int{1}})
 		return err
 	}); err != nil {
 		return nil, err

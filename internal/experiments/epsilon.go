@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/pattern"
 )
@@ -91,7 +93,7 @@ func RunEpsilon(cfg EpsilonConfig) (*EpsilonReport, error) {
 		var selTotal time.Duration
 		for r := 0; r < reps; r++ {
 			start := time.Now()
-			if _, err := sysSel.Select("dblp", sq, []int{1}); err != nil {
+			if _, err := sysSel.Query(context.Background(), core.QueryRequest{Pattern: sq, Instance: "dblp", Adorn: []int{1}}); err != nil {
 				return nil, err
 			}
 			selTotal += time.Since(start)
@@ -107,7 +109,7 @@ func RunEpsilon(cfg EpsilonConfig) (*EpsilonReport, error) {
 		var joinTotal time.Duration
 		for r := 0; r < reps; r++ {
 			start := time.Now()
-			if _, err := sysJoin.Join("dblp", "sigmod", jq, nil); err != nil {
+			if _, err := sysJoin.Query(context.Background(), core.QueryRequest{Pattern: jq, Instance: "dblp", Right: "sigmod"}); err != nil {
 				return nil, err
 			}
 			joinTotal += time.Since(start)

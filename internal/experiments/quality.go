@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -226,11 +227,11 @@ func RunQuality(cfg QualityConfig) (*QualityReport, error) {
 			q.TAX = metrics.Score(PaperIDs(taxRes), q.truth)
 
 			for _, eps := range cfg.Epsilons {
-				res, err := systems[eps].Select("dblp", q.pat, []int{1})
+				res, err := systems[eps].Query(context.Background(), core.QueryRequest{Pattern: q.pat, Instance: "dblp", Adorn: []int{1}})
 				if err != nil {
 					return nil, fmt.Errorf("toss select eps %g: %w", eps, err)
 				}
-				q.TOSS[eps] = metrics.Score(PaperIDs(res), q.truth)
+				q.TOSS[eps] = metrics.Score(PaperIDs(res.Answers), q.truth)
 			}
 			report.Outcomes = append(report.Outcomes, *q)
 		}

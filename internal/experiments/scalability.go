@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -99,12 +100,14 @@ func RunSelectionScalability(cfg SelectionScalabilityConfig) (*SelectionScalabil
 			var stats *core.ExecStats
 			for r := 0; r < reps; r++ {
 				start := time.Now()
-				_, st, err := s.SelectTraced("dblp", pat, []int{1})
+				res, err := s.Query(context.Background(), core.QueryRequest{
+					Pattern: pat, Instance: "dblp", Adorn: []int{1}, Trace: true,
+				})
 				if err != nil {
 					return nil, err
 				}
 				total += time.Since(start)
-				stats = st
+				stats = res.Stats
 			}
 			rep.TOSS[i] = append(rep.TOSS[i], ScalabilityPoint{
 				Papers:      papers,
@@ -257,13 +260,15 @@ func RunJoinScalability(cfg JoinScalabilityConfig) (*JoinScalabilityReport, erro
 			var stats *core.ExecStats
 			for r := 0; r < reps; r++ {
 				start := time.Now()
-				res, st, err := s.JoinTraced("dblp", "sigmod", pat, nil)
+				res, err := s.Query(context.Background(), core.QueryRequest{
+					Pattern: pat, Instance: "dblp", Right: "sigmod", Trace: true,
+				})
 				if err != nil {
 					return nil, err
 				}
 				total += time.Since(start)
-				count = len(res)
-				stats = st
+				count = len(res.Answers)
+				stats = res.Stats
 			}
 			pt := ScalabilityPoint{
 				Papers:      papers,

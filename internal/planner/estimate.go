@@ -60,7 +60,12 @@ type PathEstimate struct {
 	Access   string  // chosen access method (AccessIndex, AccessValueIndex, AccessScan)
 	EstNodes float64 // estimated matching nodes
 	EstDocs  float64 // estimated documents containing a match
-	Cost     float64 // estimated evaluation cost (model units)
+	// EstShards is the estimated number of shards holding at least one
+	// matching document (1 on unsharded collections). Highly selective paths
+	// estimate close to 1: the gather stage expects to touch only the owning
+	// shard(s) of the few matching documents.
+	EstShards float64
+	Cost      float64 // estimated evaluation cost (model units)
 }
 
 // EstimatePath estimates one rewritten XPath path against a statistics
@@ -83,6 +88,7 @@ func EstimatePath(st *xmldb.Stats, p *xpath.Path) PathEstimate {
 			est.EstNodes = float64(st.Nodes) * DefaultPredSelectivity
 			est.EstDocs = float64(st.Docs) * DefaultPredSelectivity
 		}
+		est.EstShards = ShardsFromDocs(est.EstDocs, st.Shards)
 		return est
 	}
 
@@ -131,6 +137,27 @@ func EstimatePath(st *xmldb.Stats, p *xpath.Path) PathEstimate {
 	if est.Cost > scanCost {
 		est.Access = AccessScan
 		est.Cost = scanCost
+	}
+	est.EstShards = ShardsFromDocs(est.EstDocs, st.Shards)
+	return est
+}
+
+// ShardsFromDocs estimates how many of a collection's shards hold at least
+// one of the estimated matching documents — balls-in-bins again, with
+// documents as balls and shards as bins (keys hash uniformly). A selective
+// plan estimating ~1 shard tells the executor the scatter stage will gather
+// from the owning shard only; an unsharded collection always estimates 1.
+func ShardsFromDocs(docs float64, shards int) float64 {
+	if shards <= 1 {
+		return 1
+	}
+	if docs <= 0 {
+		return 0
+	}
+	s := float64(shards)
+	est := s * (1 - math.Pow(1-1/s, docs))
+	if est > s {
+		est = s
 	}
 	return est
 }

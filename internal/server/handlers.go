@@ -29,12 +29,13 @@ type QueryRequest struct {
 	Pattern  string `json:"pattern,omitempty"`  // tossql pattern syntax
 	Expr     string `json:"expr,omitempty"`     // tossql algebra-expression syntax
 
-	SL      []int    `json:"sl,omitempty"`      // pattern labels whose subtrees are kept
-	Limit   int      `json:"limit,omitempty"`   // answer cap; selections stop scanning early
-	Ranked  bool     `json:"ranked,omitempty"`  // order selection answers by similarity score
-	Analyze bool     `json:"analyze,omitempty"` // attach the EXPLAIN ANALYZE report (bypasses the cache)
-	Measure string   `json:"measure,omitempty"` // similarity measure override (SEO variant built once, reused)
-	Eps     *float64 `json:"eps,omitempty"`     // epsilon override
+	SL        []int    `json:"sl,omitempty"`         // pattern labels whose subtrees are kept
+	Limit     int      `json:"limit,omitempty"`      // answer cap; selections stop scanning early
+	Ranked    bool     `json:"ranked,omitempty"`     // order selection answers by similarity score
+	Analyze   bool     `json:"analyze,omitempty"`    // attach the EXPLAIN ANALYZE report (bypasses the cache)
+	NoPlanner bool     `json:"no_planner,omitempty"` // disable cost-based planning for this query
+	Measure   string   `json:"measure,omitempty"`    // similarity measure override (SEO variant built once, reused)
+	Eps       *float64 `json:"eps,omitempty"`        // epsilon override
 
 	TimeoutMS int    `json:"timeout_ms,omitempty"` // per-request deadline (default/max from server config)
 	Format    string `json:"format,omitempty"`     // "json" (default) or "xml"
@@ -82,21 +83,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // collectionStatz is the /statz entry for one collection.
 type collectionStatz struct {
-	Docs       int            `json:"docs"`
-	Bytes      int            `json:"bytes"`
-	Generation uint64         `json:"generation"`
-	Counters   xmldb.Counters `json:"counters"`
+	Docs       int               `json:"docs"`
+	Bytes      int               `json:"bytes"`
+	Generation uint64            `json:"generation"`
+	Counters   xmldb.Counters    `json:"counters"`
+	ShardCount int               `json:"shard_count"`
+	Shards     []xmldb.ShardInfo `json:"shards,omitempty"`
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	cols := map[string]collectionStatz{}
 	for _, in := range s.sys.Instances {
-		cols[in.Name] = collectionStatz{
+		cs := collectionStatz{
 			Docs:       in.Col.DocCount(),
 			Bytes:      in.Col.ByteSize(),
 			Generation: in.Col.Generation(),
 			Counters:   in.Col.Counters(),
+			ShardCount: in.Col.ShardCount(),
 		}
+		// Per-shard breakdowns only say something new on sharded collections.
+		if cs.ShardCount > 1 {
+			cs.Shards = in.Col.ShardInfos()
+		}
+		cols[in.Name] = cs
 	}
 	body := map[string]any{
 		"uptime_seconds": time.Since(s.start).Seconds(),
@@ -298,7 +307,7 @@ func (s *Server) cacheKey(sys *core.System, op string, req *QueryRequest, pat *p
 	} else {
 		b.WriteString(expr.String())
 	}
-	fmt.Fprintf(&b, "\x00sl=%v\x00limit=%d\x00ranked=%t", req.SL, req.Limit, req.Ranked)
+	fmt.Fprintf(&b, "\x00sl=%v\x00limit=%d\x00ranked=%t\x00noplanner=%t", req.SL, req.Limit, req.Ranked, req.NoPlanner)
 	fmt.Fprintf(&b, "\x00measure=%s\x00eps=%g", sys.Measure.Name(), sys.Epsilon)
 	names := make([]string, 0, len(involved))
 	gens := map[string]uint64{}
@@ -322,51 +331,40 @@ func (s *Server) execute(ctx context.Context, sys *core.System, op, instance str
 		err     error
 	)
 	switch op {
-	case "select":
-		if req.Analyze {
-			var ap *core.AnalyzedPlan
-			ap, answers, err = sys.ExplainAnalyzeContext(ctx, instance, pat, req.SL)
-			if err == nil {
-				analyze = ap.String()
-				st = ap.Stats
-			}
-		} else if req.Limit > 0 {
-			answers, st, err = sys.SelectNTracedContext(ctx, instance, pat, req.SL, req.Limit)
-		} else {
-			answers, st, err = sys.SelectTracedContext(ctx, instance, pat, req.SL)
+	case "select", "join", "ranked":
+		qreq := core.QueryRequest{
+			Pattern:   pat,
+			Instance:  instance,
+			Adorn:     req.SL,
+			Limit:     req.Limit,
+			Ranked:    op == "ranked",
+			Trace:     true,
+			Analyze:   req.Analyze,
+			NoPlanner: req.NoPlanner,
 		}
-	case "join":
-		if req.Analyze {
-			var ap *core.AnalyzedPlan
-			ap, answers, err = sys.ExplainAnalyzeJoinContext(ctx, instance, req.Right, pat, req.SL)
-			if err == nil {
-				analyze = ap.String()
-				st = ap.Stats
-			}
-		} else {
-			answers, st, err = sys.JoinTracedContext(ctx, instance, req.Right, pat, req.SL)
+		if op == "join" {
+			qreq.Right = req.Right
 		}
-		if err == nil && req.Limit > 0 && len(answers) > req.Limit {
-			answers = answers[:req.Limit]
-		}
-	case "ranked":
-		var ranked []core.RankedAnswer
-		ranked, err = sys.SelectRankedContext(ctx, instance, pat, req.SL)
+		var res *core.QueryResult
+		res, err = sys.Query(ctx, qreq)
 		if err != nil {
 			break
 		}
-		if req.Limit > 0 && len(ranked) > req.Limit {
-			ranked = ranked[:req.Limit]
+		if op == "ranked" {
+			out := &cachedResult{
+				XMLs:   make([]string, len(res.Ranked)),
+				Scores: make([]float64, len(res.Ranked)),
+			}
+			for i, ra := range res.Ranked {
+				out.XMLs[i] = ra.Tree.XMLString()
+				out.Scores[i] = ra.Score
+			}
+			return out, nil, "", nil
 		}
-		res := &cachedResult{
-			XMLs:   make([]string, len(ranked)),
-			Scores: make([]float64, len(ranked)),
+		answers, st = res.Answers, res.Stats
+		if req.Analyze {
+			analyze = (&core.AnalyzedPlan{Plan: res.Plan, Stats: res.Stats}).String()
 		}
-		for i, ra := range ranked {
-			res.XMLs[i] = ra.Tree.XMLString()
-			res.Scores[i] = ra.Score
-		}
-		return res, nil, "", nil
 	case "algebra":
 		answers, err = expr.EvalContext(ctx, sys)
 		if err == nil && req.Limit > 0 && len(answers) > req.Limit {

@@ -132,7 +132,8 @@ func New(sys *core.System, cfg Config) (*Server, error) {
 	s.registerMetrics()
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/query", s.handleQuery) // legacy alias for /v1/query
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statz", s.handleStatz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -227,6 +228,17 @@ func (s *Server) registerMetrics() {
 	r.CounterFunc("xmldb_docs_walked_total", "documents traversed by scan queries", s.counterSamples(func(cs xmldb.Counters) float64 { return float64(cs.DocsWalked) }))
 	r.CounterFunc("xmldb_nodes_tested_total", "candidate nodes tested on the indexed path", s.counterSamples(func(cs xmldb.Counters) float64 { return float64(cs.NodesTested) }))
 	r.CounterFunc("xmldb_nodes_matched_total", "nodes returned across all queries", s.counterSamples(func(cs xmldb.Counters) float64 { return float64(cs.NodesMatched) }))
+
+	// Per-shard counters of every sharded collection, labelled
+	// {collection, shard}; unsharded collections export their single shard 0,
+	// so the series exist at any -shards setting.
+	r.GaugeFunc("toss_shard_docs", "documents per shard", s.shardSamples(func(si xmldb.ShardInfo) float64 { return float64(si.Docs) }))
+	r.GaugeFunc("toss_shard_bytes", "stored XML bytes per shard", s.shardSamples(func(si xmldb.ShardInfo) float64 { return float64(si.Bytes) }))
+	r.CounterFunc("toss_shard_generation", "mutation generation counter per shard", s.shardSamples(func(si xmldb.ShardInfo) float64 { return float64(si.Generation) }))
+	r.CounterFunc("toss_shard_queries_total", "scatter-gather queries that touched the shard", s.shardSamples(func(si xmldb.ShardInfo) float64 { return float64(si.Queries) }))
+	r.CounterFunc("toss_shard_docs_walked_total", "documents the shard walked for scan queries", s.shardSamples(func(si xmldb.ShardInfo) float64 { return float64(si.DocsWalked) }))
+	r.CounterFunc("toss_shard_nodes_tested_total", "candidate nodes the shard tested on the indexed path", s.shardSamples(func(si xmldb.ShardInfo) float64 { return float64(si.NodesTested) }))
+	r.CounterFunc("toss_shard_nodes_matched_total", "nodes the shard contributed to query answers", s.shardSamples(func(si xmldb.ShardInfo) float64 { return float64(si.NodesMatched) }))
 }
 
 func (s *Server) plannerSample(pick func(planner.Counters) float64) func() []promtext.Sample {
@@ -246,6 +258,24 @@ func (s *Server) collectionGauge(pick func(*core.Instance) float64) func() []pro
 				Labels: map[string]string{"collection": in.Name},
 				Value:  pick(in),
 			})
+		}
+		return out
+	}
+}
+
+func (s *Server) shardSamples(pick func(xmldb.ShardInfo) float64) func() []promtext.Sample {
+	return func() []promtext.Sample {
+		var out []promtext.Sample
+		for _, in := range s.sys.Instances {
+			for _, si := range in.Col.ShardInfos() {
+				out = append(out, promtext.Sample{
+					Labels: map[string]string{
+						"collection": in.Name,
+						"shard":      fmt.Sprint(si.Shard),
+					},
+					Value: pick(si),
+				})
+			}
 		}
 		return out
 	}

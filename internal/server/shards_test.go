@@ -1,0 +1,177 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/similarity"
+)
+
+// shardedTestServer is testServer with the system's collections split into
+// the given number of hash shards.
+func shardedTestServer(t *testing.T, shards int, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := core.NewSystem()
+	s.DB.SetDefaultShards(shards)
+	dblp, err := s.AddInstance("dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One document per paper key so the shards actually spread.
+	for _, doc := range strings.SplitAfter(testDBLP, "</inproceedings>") {
+		doc = strings.TrimSpace(strings.TrimPrefix(strings.TrimSuffix(doc, "</dblp>"), "<dblp>"))
+		if doc == "" {
+			continue
+		}
+		key := doc[strings.Index(doc, `key="`)+5:]
+		key = key[:strings.Index(key, `"`)]
+		if _, err := dblp.Col.PutXML(key, strings.NewReader("<dblp>"+doc+"</dblp>")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Build(similarity.NameRule{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postTo(t *testing.T, ts *httptest.Server, path string, req QueryRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// TestV1QueryLegacyAliasEquivalence pins the versioned endpoint contract:
+// POST /v1/query and the legacy alias /query accept the same JSON and
+// return the same answers.
+func TestV1QueryLegacyAliasEquivalence(t *testing.T) {
+	_, ts := testServer(t, Config{CacheSize: -1})
+	req := QueryRequest{Instance: "dblp", Pattern: selectPattern, SL: []int{1}}
+
+	respV1, bodyV1 := postTo(t, ts, "/v1/query", req)
+	respLegacy, bodyLegacy := postTo(t, ts, "/query", req)
+	if respV1.StatusCode != http.StatusOK || respLegacy.StatusCode != http.StatusOK {
+		t.Fatalf("status v1=%d legacy=%d", respV1.StatusCode, respLegacy.StatusCode)
+	}
+	v1 := decodeResponse(t, bodyV1)
+	legacy := decodeResponse(t, bodyLegacy)
+	if v1.Op != legacy.Op || v1.Count != legacy.Count || len(v1.Answers) != len(legacy.Answers) {
+		t.Fatalf("v1 op=%q count=%d answers=%d vs legacy op=%q count=%d answers=%d",
+			v1.Op, v1.Count, len(v1.Answers), legacy.Op, legacy.Count, len(legacy.Answers))
+	}
+	for i := range v1.Answers {
+		if v1.Answers[i].XML != legacy.Answers[i].XML {
+			t.Fatalf("answer %d differs between /v1/query and /query", i)
+		}
+	}
+}
+
+// TestNoPlannerRequestField: the no_planner flag bypasses the cost-based
+// planner without changing the answer set, and is part of the cache key so
+// the two modes never alias.
+func TestNoPlannerRequestField(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	planned, bodyP := postTo(t, ts, "/v1/query", QueryRequest{Instance: "dblp", Pattern: selectPattern, SL: []int{1}})
+	heuristic, bodyH := postTo(t, ts, "/v1/query", QueryRequest{Instance: "dblp", Pattern: selectPattern, SL: []int{1}, NoPlanner: true})
+	if planned.StatusCode != http.StatusOK || heuristic.StatusCode != http.StatusOK {
+		t.Fatalf("status planned=%d heuristic=%d", planned.StatusCode, heuristic.StatusCode)
+	}
+	p, h := decodeResponse(t, bodyP), decodeResponse(t, bodyH)
+	if p.Count != h.Count {
+		t.Fatalf("planned %d answers vs no_planner %d", p.Count, h.Count)
+	}
+	if h.Cached {
+		t.Error("no_planner run must not hit the planned run's cache entry")
+	}
+}
+
+// TestShardObservability: a sharded system exports per-shard metrics with
+// {collection, shard} labels and a per-shard breakdown in /statz, and
+// queries return the same answers as the unsharded server.
+func TestShardObservability(t *testing.T) {
+	_, sharded := shardedTestServer(t, 4, Config{})
+	_, plain := testServer(t, Config{})
+
+	req := QueryRequest{Instance: "dblp", Pattern: selectPattern, SL: []int{1}}
+	_, shardedBody := postTo(t, sharded, "/v1/query", req)
+	_, plainBody := postTo(t, plain, "/v1/query", req)
+	sq, pq := decodeResponse(t, shardedBody), decodeResponse(t, plainBody)
+	if sq.Count != pq.Count {
+		t.Fatalf("sharded server %d answers vs unsharded %d", sq.Count, pq.Count)
+	}
+
+	resp, err := http.Get(sharded.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	metrics := buf.String()
+	for _, want := range []string{
+		`toss_shard_docs{collection="dblp",shard="0"}`,
+		`toss_shard_bytes{collection="dblp",shard="3"}`,
+		`toss_shard_generation{collection="dblp",shard="1"}`,
+		`toss_shard_queries_total{collection="dblp",shard="2"}`,
+		`toss_shard_docs_walked_total{collection="dblp",shard="0"}`,
+		`toss_shard_nodes_tested_total{collection="dblp",shard="0"}`,
+		`toss_shard_nodes_matched_total{collection="dblp",shard="0"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	resp, err = http.Get(sharded.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var statz struct {
+		Collections map[string]struct {
+			ShardCount int `json:"shard_count"`
+			Shards     []struct {
+				Shard int `json:"shard"`
+				Docs  int `json:"docs"`
+			} `json:"shards"`
+		} `json:"collections"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&statz); err != nil {
+		t.Fatalf("/statz not JSON: %v", err)
+	}
+	resp.Body.Close()
+	c, ok := statz.Collections["dblp"]
+	if !ok {
+		t.Fatal("/statz missing dblp collection")
+	}
+	if c.ShardCount != 4 || len(c.Shards) != 4 {
+		t.Errorf("dblp shard_count=%d shards=%d, want 4/4", c.ShardCount, len(c.Shards))
+	}
+	docs := 0
+	for _, si := range c.Shards {
+		docs += si.Docs
+	}
+	if docs != 3 {
+		t.Errorf("per-shard docs sum to %d, want 3", docs)
+	}
+}

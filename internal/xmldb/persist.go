@@ -5,48 +5,76 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
-
-	"repro/internal/tree"
 )
 
+// shardManifestFile marks a sharded on-disk layout: it records the shard
+// count the collection was saved at, and its presence tells LoadDir to read
+// shard-NNN subdirectories instead of the flat legacy layout.
+const shardManifestFile = "_shards.tsv"
+
 // SaveDir writes every document of the collection as an XML file under dir
-// (created if needed). File names are the document keys, sanitised and
-// suffixed ".xml"; an index file records the original keys in insertion
-// order so LoadDir restores them faithfully.
-//
-// The snapshot of keys and documents is taken under one read lock, so a save
-// concurrent with mutations captures a single consistent state (never an
-// index entry whose document was replaced mid-save). Every file, including
-// the index, is written to a temp file and renamed into place, so a crash
+// (created if needed). An unsharded collection writes the flat legacy layout:
+// file names are the document keys, sanitised and suffixed ".xml", plus an
+// index file recording the original keys in insertion order. A sharded
+// collection writes one shard-NNN subdirectory per shard, each with its own
+// index file, plus a _shards.tsv manifest; file names carry the document's
+// global insertion position so a later load — at any shard count — replays
+// the exact insertion order. Every file, including the indexes and the
+// manifest, is written to a temp file and renamed into place, so a crash
 // mid-save leaves the previous save intact rather than a torn file.
 func (c *Collection) SaveDir(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("xmldb: save %s: %w", c.name, err)
 	}
-	c.mu.RLock()
-	keys := append([]string{}, c.keys...)
-	docs := make([]*tree.Tree, len(keys))
-	for i, k := range keys {
-		docs[i] = c.docs[k]
+	entries := c.snapshotEntries()
+	if len(c.shards) == 1 {
+		var index strings.Builder
+		for i, e := range entries {
+			file := fmt.Sprintf("%04d-%s.xml", i, sanitizeFileName(e.key))
+			if err := writeFileAtomic(filepath.Join(dir, file), []byte(e.tree.XMLString())); err != nil {
+				return fmt.Errorf("xmldb: save %s: %w", e.key, err)
+			}
+			fmt.Fprintf(&index, "%s\t%s\n", file, e.key)
+		}
+		if err := writeFileAtomic(filepath.Join(dir, "_index.tsv"), []byte(index.String())); err != nil {
+			return fmt.Errorf("xmldb: save index: %w", err)
+		}
+		return nil
 	}
-	c.mu.RUnlock()
-	var index strings.Builder
-	for i, key := range keys {
-		if docs[i] == nil {
+	indexes := make([]strings.Builder, len(c.shards))
+	for pos, e := range entries {
+		si := c.shardIndex(e.key)
+		sdir := filepath.Join(dir, shardDirName(si))
+		if indexes[si].Len() == 0 {
+			if err := os.MkdirAll(sdir, 0o755); err != nil {
+				return fmt.Errorf("xmldb: save %s: %w", c.name, err)
+			}
+		}
+		file := fmt.Sprintf("%08d-%s.xml", pos, sanitizeFileName(e.key))
+		if err := writeFileAtomic(filepath.Join(sdir, file), []byte(e.tree.XMLString())); err != nil {
+			return fmt.Errorf("xmldb: save %s: %w", e.key, err)
+		}
+		fmt.Fprintf(&indexes[si], "%s\t%s\n", file, e.key)
+	}
+	for si := range indexes {
+		if indexes[si].Len() == 0 {
 			continue
 		}
-		file := fmt.Sprintf("%04d-%s.xml", i, sanitizeFileName(key))
-		if err := writeFileAtomic(filepath.Join(dir, file), []byte(docs[i].XMLString())); err != nil {
-			return fmt.Errorf("xmldb: save %s: %w", key, err)
+		path := filepath.Join(dir, shardDirName(si), "_index.tsv")
+		if err := writeFileAtomic(path, []byte(indexes[si].String())); err != nil {
+			return fmt.Errorf("xmldb: save shard index: %w", err)
 		}
-		fmt.Fprintf(&index, "%s\t%s\n", file, key)
 	}
-	if err := writeFileAtomic(filepath.Join(dir, "_index.tsv"), []byte(index.String())); err != nil {
-		return fmt.Errorf("xmldb: save index: %w", err)
+	manifest := fmt.Sprintf("shards\t%d\n", len(c.shards))
+	if err := writeFileAtomic(filepath.Join(dir, shardManifestFile), []byte(manifest)); err != nil {
+		return fmt.Errorf("xmldb: save manifest: %w", err)
 	}
 	return nil
 }
+
+func shardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
 
 // writeFileAtomic writes data to a temp file in path's directory and renames
 // it over path, so readers (and post-crash loads) see either the old or the
@@ -73,9 +101,15 @@ func writeFileAtomic(path string, data []byte) error {
 }
 
 // LoadDir loads documents previously written by SaveDir into the collection
-// (replacing same-keyed documents). Without an index file it loads every
-// *.xml file with the file name (minus extension) as key, sorted.
+// (replacing same-keyed documents). Either layout — flat legacy or sharded —
+// loads into a collection of any shard count: documents re-hash to their new
+// owning shards on Put, in the saved insertion order. Without an index file
+// it loads every *.xml file with the file name (minus extension) as key,
+// sorted.
 func (c *Collection) LoadDir(dir string) error {
+	if _, err := os.Stat(filepath.Join(dir, shardManifestFile)); err == nil {
+		return c.loadShardedDir(dir)
+	}
 	indexPath := filepath.Join(dir, "_index.tsv")
 	data, err := os.ReadFile(indexPath)
 	if err == nil {
@@ -107,6 +141,54 @@ func (c *Collection) LoadDir(dir string) error {
 	for _, name := range names {
 		key := strings.TrimSuffix(name, ".xml")
 		if err := c.loadFile(filepath.Join(dir, name), key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadShardedDir reads every shard-NNN subdirectory's index, sorts all
+// documents by the global insertion position embedded in their file names,
+// and re-puts them in that order.
+func (c *Collection) loadShardedDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("xmldb: load %s: %w", dir, err)
+	}
+	type posFile struct {
+		pos  int
+		path string
+		key  string
+	}
+	var files []posFile
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "shard-") {
+			continue
+		}
+		sdir := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(filepath.Join(sdir, "_index.tsv"))
+		if err != nil {
+			return fmt.Errorf("xmldb: load %s: %w", sdir, err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			if line == "" {
+				continue
+			}
+			file, key, ok := strings.Cut(line, "\t")
+			if !ok {
+				return fmt.Errorf("xmldb: malformed index line %q", line)
+			}
+			prefix, _, _ := strings.Cut(file, "-")
+			pos, err := strconv.Atoi(prefix)
+			if err != nil {
+				return fmt.Errorf("xmldb: malformed shard file name %q", file)
+			}
+			files = append(files, posFile{pos: pos, path: filepath.Join(sdir, file), key: key})
+		}
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].pos < files[j].pos })
+	for _, f := range files {
+		if err := c.loadFile(f.path, f.key); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,316 @@
+package xmldb
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tree"
+	"repro/internal/xpath"
+)
+
+// shardPaper builds a small paper document with enough value variety to
+// exercise the tag, term and value indexes.
+func shardPaper(key string, i int) string {
+	return fmt.Sprintf(
+		`<inproceedings key=%q><author>A%d</author><author>B%d</author><title>Title %d words</title><year>%d</year></inproceedings>`,
+		key, i%4, i%3, i, 1995+i%7)
+}
+
+func newShardedCollection(t testing.TB, shards, docs int) *Collection {
+	t.Helper()
+	db := New()
+	db.SetDefaultShards(shards)
+	c := db.CreateCollection(fmt.Sprintf("c%d", shards))
+	if got := c.ShardCount(); got != shards {
+		t.Fatalf("ShardCount = %d, want %d", got, shards)
+	}
+	for i := 0; i < docs; i++ {
+		key := fmt.Sprintf("doc-%03d", i)
+		if _, err := c.PutXML(key, strings.NewReader(shardPaper(key, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// shardInvarianceExprs covers every routing route: indexed, value-narrowed
+// (single and multi literal, i.e. literal-major order), wildcard scans and
+// inner-predicate scans.
+var shardInvarianceExprs = []string{
+	`//author`,
+	`//inproceedings/author`,
+	`//author[.='A1']`,
+	`//author[.='A1' or .='A3' or .='B0']`,
+	`//year[.='1999']`,
+	`//*[year='1999']`,
+	`//inproceedings[author='A2']/title`,
+	`//title`,
+	`//nosuchtag`,
+	`//author[.='NoSuchAuthor']`,
+}
+
+// nodeIDs projects a result list onto node IDs. Documents are inserted in
+// the same order at every shard count and share one tree.Collection ID
+// space, so equal ID sequences mean equal nodes in equal order.
+func nodeIDs(nodes []*tree.Node) []tree.NodeID {
+	out := make([]tree.NodeID, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.ID
+	}
+	return out
+}
+
+// TestShardCountInvariance pins the tentpole guarantee: results — including
+// order — are identical at any shard count, for every routing route.
+func TestShardCountInvariance(t *testing.T) {
+	const docs = 40
+	base := newShardedCollection(t, 1, docs)
+	for _, shards := range []int{2, 4, 7} {
+		c := newShardedCollection(t, shards, docs)
+		for _, expr := range shardInvarianceExprs {
+			want, err := base.Query(expr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Query(expr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(nodeIDs(got), nodeIDs(want)) {
+				t.Errorf("shards=%d %s: got %v, want %v", shards, expr, nodeIDs(got), nodeIDs(want))
+			}
+		}
+		if !reflect.DeepEqual(c.Keys(), base.Keys()) {
+			t.Errorf("shards=%d: Keys() order diverged", shards)
+		}
+	}
+}
+
+// TestShardCountInvarianceQuick drives randomized (expr, mutation) sequences
+// through 1-vs-5 shard collections under testing/quick.
+func TestShardCountInvarianceQuick(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		docs := 10 + rng.Intn(30)
+		a := newShardedCollection(t, 1, docs)
+		b := newShardedCollection(t, 5, docs)
+		for i := 0; i < 8; i++ {
+			switch rng.Intn(4) {
+			case 0: // delete a random key from both
+				key := fmt.Sprintf("doc-%03d", rng.Intn(docs))
+				if a.Delete(key) != b.Delete(key) {
+					return false
+				}
+			case 1: // replace a random key in both
+				key := fmt.Sprintf("doc-%03d", rng.Intn(docs))
+				x := shardPaper(key, 100+rng.Intn(50))
+				if _, err := a.PutXML(key, strings.NewReader(x)); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := b.PutXML(key, strings.NewReader(x)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			expr := shardInvarianceExprs[rng.Intn(len(shardInvarianceExprs))]
+			ra, err := a.Query(expr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := b.Query(expr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(nodeIDs(ra), nodeIDs(rb)) {
+				t.Logf("seed %d expr %s: %v vs %v", seed, expr, nodeIDs(ra), nodeIDs(rb))
+				return false
+			}
+		}
+		return reflect.DeepEqual(a.Keys(), b.Keys())
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardStatsMerge checks the merged snapshot's additive fields against
+// the unsharded collection (distinct counts are documented overestimates).
+func TestShardStatsMerge(t *testing.T) {
+	base := newShardedCollection(t, 1, 30).Stats()
+	st := newShardedCollection(t, 4, 30).Stats()
+	if st.Shards != 4 {
+		t.Fatalf("Shards = %d, want 4", st.Shards)
+	}
+	if st.Docs != base.Docs || st.Nodes != base.Nodes {
+		t.Fatalf("merged Docs/Nodes = %d/%d, want %d/%d", st.Docs, st.Nodes, base.Docs, base.Nodes)
+	}
+	for tag, want := range base.Tags {
+		got := st.Tags[tag]
+		if got.Nodes != want.Nodes || got.Docs != want.Docs || got.ValueNodes != want.ValueNodes {
+			t.Errorf("tag %s: merged %+v, unsharded %+v", tag, got, want)
+		}
+		if got.Mixed != want.Mixed {
+			t.Errorf("tag %s: merged Mixed = %v, want %v", tag, got.Mixed, want.Mixed)
+		}
+		if got.DistinctValues < want.DistinctValues {
+			t.Errorf("tag %s: merged DistinctValues = %d undercounts %d", tag, got.DistinctValues, want.DistinctValues)
+		}
+	}
+	if st.DistinctTerms < base.DistinctTerms {
+		t.Errorf("merged DistinctTerms = %d undercounts %d", st.DistinctTerms, base.DistinctTerms)
+	}
+}
+
+// TestShardPersistenceRoundTrip saves a sharded collection and loads it back
+// at several shard counts; insertion order and query results must survive.
+func TestShardPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	src := newShardedCollection(t, 4, 25)
+	if err := src.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, shardManifestFile)); err != nil {
+		t.Fatalf("sharded save is missing the manifest: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "shard-000", "_index.tsv")); err != nil {
+		t.Fatalf("sharded save is missing per-shard indexes: %v", err)
+	}
+	for _, shards := range []int{1, 3, 4} {
+		db := New()
+		db.SetDefaultShards(shards)
+		dst := db.CreateCollection("loaded")
+		if err := dst.LoadDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(dst.Keys(), src.Keys()) {
+			t.Fatalf("load at %d shards: keys %v, want %v", shards, dst.Keys(), src.Keys())
+		}
+		for _, expr := range shardInvarianceExprs {
+			want, _ := src.Query(expr)
+			got, _ := dst.Query(expr)
+			if !reflect.DeepEqual(nodeIDs(got), nodeIDs(want)) {
+				t.Fatalf("load at %d shards: %s diverged", shards, expr)
+			}
+		}
+	}
+	// Legacy (unsharded) saves load into sharded collections too.
+	legacyDir := t.TempDir()
+	if err := newShardedCollection(t, 1, 25).SaveDir(legacyDir); err != nil {
+		t.Fatal(err)
+	}
+	db := New()
+	db.SetDefaultShards(6)
+	dst := db.CreateCollection("legacy")
+	if err := dst.LoadDir(legacyDir); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dst.Keys(), src.Keys()) {
+		t.Fatalf("legacy load: keys %v, want %v", dst.Keys(), src.Keys())
+	}
+}
+
+// TestShardInfos checks that per-shard snapshots sum to the collection
+// totals and that counters attribute work to the owning shards.
+func TestShardInfos(t *testing.T) {
+	c := newShardedCollection(t, 4, 20)
+	infos := c.ShardInfos()
+	if len(infos) != 4 {
+		t.Fatalf("ShardInfos length = %d, want 4", len(infos))
+	}
+	docs, bytes := 0, 0
+	for _, si := range infos {
+		docs += si.Docs
+		bytes += si.Bytes
+	}
+	if docs != c.DocCount() || bytes != c.ByteSize() {
+		t.Fatalf("shard sums docs=%d bytes=%d, want %d/%d", docs, bytes, c.DocCount(), c.ByteSize())
+	}
+	if _, st := c.QueryPathTraced(xpath.MustParse(`//author`)); st.ShardsTouched == 0 {
+		t.Fatal("indexed query touched no shards")
+	}
+	if _, st := c.QueryPathTraced(xpath.MustParse(`//*[year='1999']`)); st.ShardsTouched == 0 {
+		t.Fatal("scan query touched no shards")
+	}
+	var q uint64
+	for _, si := range c.ShardInfos() {
+		q += si.Queries
+	}
+	if q == 0 {
+		t.Fatal("per-shard query counters did not advance")
+	}
+	if key := "doc-007"; c.ShardFor(key) != c.ShardFor(key) {
+		t.Fatal("ShardFor must be deterministic")
+	}
+}
+
+// TestShardConcurrentQueryMutate stress-tests scatter-gather queries racing
+// concurrent Put/Delete/replacement on a sharded collection (run with -race).
+func TestShardConcurrentQueryMutate(t *testing.T) {
+	c := newShardedCollection(t, 8, 16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("tmp-%d-%03d", w, i%10)
+				switch i % 3 {
+				case 0:
+					if _, err := c.PutXML(key, strings.NewReader(shardPaper(key, i))); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					c.Delete(key)
+				default: // replace a stable key in place
+					stable := fmt.Sprintf("doc-%03d", i%16)
+					if _, err := c.PutXML(stable, strings.NewReader(shardPaper(stable, i%16))); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				expr := shardInvarianceExprs[(r+i)%len(shardInvarianceExprs)]
+				if _, err := c.Query(expr); err != nil {
+					t.Error(err)
+					return
+				}
+				c.NodesWithTag("author")
+				c.NodesWithTerm("title")
+				_ = c.Stats()
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	// The 16 stable keys survive, in insertion order, at the front.
+	keys := c.Keys()
+	if len(keys) < 16 {
+		t.Fatalf("only %d keys survived", len(keys))
+	}
+	for i := 0; i < 16; i++ {
+		if want := fmt.Sprintf("doc-%03d", i); keys[i] != want {
+			t.Fatalf("keys[%d] = %q, want %q", i, keys[i], want)
+		}
+	}
+	nodes, err := c.Query(`//inproceedings`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != c.DocCount() {
+		t.Fatalf("final query found %d docs, DocCount says %d", len(nodes), c.DocCount())
+	}
+}

@@ -21,6 +21,8 @@ type TagStats struct {
 	// population the value index (and value-equality estimates) draws from.
 	ValueNodes int
 	// DistinctValues is the number of distinct non-empty content values.
+	// Merged across shards it is a sum and can overcount values present in
+	// several shards; exact on an unsharded collection.
 	DistinctValues int
 	// TopValues maps the TopValueCount most frequent content values to their
 	// exact node counts; values outside the sketch are estimated as the mean
@@ -36,10 +38,17 @@ type TagStats struct {
 // Stats is a point-in-time statistical summary of a collection, derived from
 // the inverted indexes and cached per mutation generation: two calls under
 // the same Generation() return the same snapshot without rebuilding.
-// It is the planner's input for cardinality estimation.
+// It is the planner's input for cardinality estimation. On a sharded
+// collection the snapshot merges per-shard statistics (each cached on its
+// shard's own generation): additive fields sum exactly; DistinctTerms and
+// per-tag DistinctValues are summed too, a documented overestimate when the
+// same term or value occurs in several shards.
 type Stats struct {
 	// Generation is the mutation counter the snapshot was taken at.
 	Generation uint64
+	// Shards is the shard count of the collection the snapshot describes
+	// (1 for per-shard and unsharded snapshots).
+	Shards int
 	// Docs and Nodes size the collection.
 	Docs  int
 	Nodes int
@@ -99,7 +108,13 @@ func (c *Collection) Stats() *Stats {
 	}
 	c.statsMu.Unlock()
 
-	st := c.buildStats()
+	per := make([]*Stats, len(c.shards))
+	for i, sh := range c.shards {
+		per[i] = sh.stats()
+	}
+	st := mergeStats(per)
+	st.Generation = gen
+	st.Shards = len(c.shards)
 	c.statsMu.Lock()
 	if c.statsCache == nil || c.statsCache.Generation < st.Generation {
 		c.statsCache = st
@@ -109,53 +124,137 @@ func (c *Collection) Stats() *Stats {
 	return st
 }
 
-// buildStats computes a snapshot from the inverted indexes under the shared
-// lock (escalating only to build missing indexes, like indexLookup).
-func (c *Collection) buildStats() *Stats {
-	c.mu.RLock()
-	for c.tagIndex == nil {
-		c.mu.RUnlock()
-		c.mu.Lock()
-		c.buildIndexesLocked()
-		c.mu.Unlock()
-		c.mu.RLock()
+// stats returns the shard's statistics snapshot, cached per shard generation.
+func (sh *shard) stats() *Stats {
+	gen := sh.generation.Load()
+	sh.statsMu.Lock()
+	if sh.statsCache != nil && sh.statsCache.Generation == gen {
+		st := sh.statsCache
+		sh.statsMu.Unlock()
+		return st
 	}
-	defer c.mu.RUnlock()
+	sh.statsMu.Unlock()
 
-	st := &Stats{
-		Generation:    c.generation.Load(),
-		Docs:          len(c.docs),
-		DistinctTerms: len(c.termIndex),
-		Tags:          make(map[string]TagStats, len(c.tagIndex)),
+	st := sh.buildStats()
+	sh.statsMu.Lock()
+	if sh.statsCache == nil || sh.statsCache.Generation < st.Generation {
+		sh.statsCache = st
+	}
+	st = sh.statsCache
+	sh.statsMu.Unlock()
+	return st
+}
+
+// buildStats computes a snapshot from the shard's inverted indexes under the
+// shared lock (escalating only to build missing indexes, like withIndexes).
+func (sh *shard) buildStats() *Stats {
+	var st *Stats
+	sh.withIndexes(func() {
+		st = &Stats{
+			Generation:    sh.generation.Load(),
+			Shards:        1,
+			Docs:          len(sh.docs),
+			DistinctTerms: len(sh.termIndex),
+			Tags:          make(map[string]TagStats, len(sh.tagIndex)),
+		}
+		type valueCount struct {
+			value string
+			count int
+		}
+		perTagValues := map[string][]valueCount{}
+		for key, nodes := range sh.valueIndex {
+			tag, value, _ := cutValueKey(key)
+			perTagValues[tag] = append(perTagValues[tag], valueCount{value, len(nodes)})
+		}
+		for tag, nodes := range sh.tagIndex {
+			ts := TagStats{Nodes: len(nodes), Mixed: sh.mixedValueTag[tag]}
+			st.Nodes += len(nodes)
+			// Document count: distinct roots across the posting list.
+			seen := make(map[*tree.Node]bool, 4)
+			for _, n := range nodes {
+				r := n.Root()
+				if !seen[r] {
+					seen[r] = true
+					ts.Docs++
+				}
+			}
+			st.Tags[tag] = ts
+		}
+		for tag, vals := range perTagValues {
+			ts := st.Tags[tag]
+			ts.DistinctValues = len(vals)
+			for _, v := range vals {
+				ts.ValueNodes += v.count
+			}
+			sort.Slice(vals, func(i, j int) bool {
+				if vals[i].count != vals[j].count {
+					return vals[i].count > vals[j].count
+				}
+				return vals[i].value < vals[j].value
+			})
+			top := vals
+			if len(top) > TopValueCount {
+				top = top[:TopValueCount]
+			}
+			ts.TopValues = make(map[string]int, len(top))
+			for _, v := range top {
+				ts.TopValues[v.value] = v.count
+			}
+			st.Tags[tag] = ts
+		}
+	})
+	return st
+}
+
+// mergeStats combines per-shard snapshots into one collection-wide snapshot.
+// Additive fields sum exactly. DistinctTerms and DistinctValues are summed,
+// overcounting terms/values that occur in several shards (exact at one
+// shard). Mixed is OR-ed: one shard's mixed verdict disables value routing
+// everywhere, matching the global routing decision in queryIndexed. The
+// merged TopValues sketch sums per-shard sketch counts and keeps the
+// TopValueCount most frequent (count desc, value asc — the per-shard cut
+// order).
+func mergeStats(per []*Stats) *Stats {
+	if len(per) == 1 {
+		// Shallow copy: snapshots are immutable, so the Tags map is shared,
+		// but Generation/Shards are overwritten by the caller.
+		s := *per[0]
+		return &s
+	}
+	out := &Stats{Tags: map[string]TagStats{}}
+	topSums := map[string]map[string]int{}
+	for _, p := range per {
+		out.Docs += p.Docs
+		out.Nodes += p.Nodes
+		out.DistinctTerms += p.DistinctTerms
+		for tag, ts := range p.Tags {
+			m := out.Tags[tag]
+			m.Nodes += ts.Nodes
+			m.Docs += ts.Docs
+			m.ValueNodes += ts.ValueNodes
+			m.DistinctValues += ts.DistinctValues
+			m.Mixed = m.Mixed || ts.Mixed
+			out.Tags[tag] = m
+			if len(ts.TopValues) > 0 {
+				tm := topSums[tag]
+				if tm == nil {
+					tm = map[string]int{}
+					topSums[tag] = tm
+				}
+				for v, n := range ts.TopValues {
+					tm[v] += n
+				}
+			}
+		}
 	}
 	type valueCount struct {
 		value string
 		count int
 	}
-	perTagValues := map[string][]valueCount{}
-	for key, nodes := range c.valueIndex {
-		tag, value, _ := cutValueKey(key)
-		perTagValues[tag] = append(perTagValues[tag], valueCount{value, len(nodes)})
-	}
-	for tag, nodes := range c.tagIndex {
-		ts := TagStats{Nodes: len(nodes), Mixed: c.mixedValueTag[tag]}
-		st.Nodes += len(nodes)
-		// Document count: distinct roots across the posting list.
-		seen := make(map[*tree.Node]bool, 4)
-		for _, n := range nodes {
-			r := n.Root()
-			if !seen[r] {
-				seen[r] = true
-				ts.Docs++
-			}
-		}
-		st.Tags[tag] = ts
-	}
-	for tag, vals := range perTagValues {
-		ts := st.Tags[tag]
-		ts.DistinctValues = len(vals)
-		for _, v := range vals {
-			ts.ValueNodes += v.count
+	for tag, tm := range topSums {
+		vals := make([]valueCount, 0, len(tm))
+		for v, n := range tm {
+			vals = append(vals, valueCount{v, n})
 		}
 		sort.Slice(vals, func(i, j int) bool {
 			if vals[i].count != vals[j].count {
@@ -163,17 +262,17 @@ func (c *Collection) buildStats() *Stats {
 			}
 			return vals[i].value < vals[j].value
 		})
-		top := vals
-		if len(top) > TopValueCount {
-			top = top[:TopValueCount]
+		if len(vals) > TopValueCount {
+			vals = vals[:TopValueCount]
 		}
-		ts.TopValues = make(map[string]int, len(top))
-		for _, v := range top {
+		ts := out.Tags[tag]
+		ts.TopValues = make(map[string]int, len(vals))
+		for _, v := range vals {
 			ts.TopValues[v.value] = v.count
 		}
-		st.Tags[tag] = ts
+		out.Tags[tag] = ts
 	}
-	return st
+	return out
 }
 
 // cutValueKey splits a valueIndex key back into tag and content.

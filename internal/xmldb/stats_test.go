@@ -125,39 +125,44 @@ func TestValueCountRemainderEstimate(t *testing.T) {
 	}
 }
 
-// indexSnapshot flattens the inverted indexes into a comparable form using
-// node IDs (pointer identity differs across rebuilds of the same documents,
-// node IDs within one collection do not).
+// indexSnapshot flattens the inverted indexes of every shard into a
+// comparable form using node IDs (pointer identity differs across rebuilds
+// of the same documents, node IDs within one collection do not).
 func indexSnapshot(c *Collection) map[string][]tree.NodeID {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	out := map[string][]tree.NodeID{}
-	for tag, nodes := range c.tagIndex {
-		for _, n := range nodes {
-			out["tag\x00"+tag] = append(out["tag\x00"+tag], n.ID)
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		for tag, nodes := range sh.tagIndex {
+			for _, n := range nodes {
+				out["tag\x00"+tag] = append(out["tag\x00"+tag], n.ID)
+			}
 		}
-	}
-	for term, nodes := range c.termIndex {
-		for _, n := range nodes {
-			out["term\x00"+term] = append(out["term\x00"+term], n.ID)
+		for term, nodes := range sh.termIndex {
+			for _, n := range nodes {
+				out["term\x00"+term] = append(out["term\x00"+term], n.ID)
+			}
 		}
-	}
-	for val, nodes := range c.valueIndex {
-		for _, n := range nodes {
-			out["val\x00"+val] = append(out["val\x00"+val], n.ID)
+		for val, nodes := range sh.valueIndex {
+			for _, n := range nodes {
+				out["val\x00"+val] = append(out["val\x00"+val], n.ID)
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
 
 // rebuiltSnapshot drops the incrementally maintained indexes and rebuilds
-// them from scratch, returning the snapshot (restoring nothing: the rebuild
-// IS the new state, which must equal the incremental one).
+// them from scratch on every shard, returning the snapshot (restoring
+// nothing: the rebuild IS the new state, which must equal the incremental
+// one).
 func rebuiltSnapshot(c *Collection) map[string][]tree.NodeID {
-	c.mu.Lock()
-	c.invalidateIndexes()
-	c.buildIndexesLocked()
-	c.mu.Unlock()
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		sh.invalidateIndexes()
+		sh.buildIndexesLocked()
+		sh.mu.Unlock()
+	}
 	return indexSnapshot(c)
 }
 
@@ -215,9 +220,10 @@ func TestReplacementFallsBackToRebuild(t *testing.T) {
 	if _, err := c.PutXML("p2", strings.NewReader(statPaper("p2", "Replaced", "New", "2020"))); err != nil {
 		t.Fatal(err)
 	}
-	c.mu.RLock()
-	dropped := c.tagIndex == nil
-	c.mu.RUnlock()
+	sh := c.shardFor("p2")
+	sh.mu.RLock()
+	dropped := sh.tagIndex == nil
+	sh.mu.RUnlock()
 	if !dropped {
 		t.Fatal("replacement should invalidate the indexes")
 	}

@@ -4,17 +4,26 @@
 // optional tag index for bottom-up evaluation, and enforces Xindice's
 // per-collection data-size limit (the paper truncated DBLP to 4,753,774
 // bytes "due to the 5MB maximum data size limitation of Xindice").
+//
+// A collection is hash-partitioned into N shards by document key. Each shard
+// carries its own RWMutex, inverted indexes, generation counter, statistics
+// snapshot and query counters; queries scatter across shards on a bounded
+// worker pool and gather with an order-stable merge keyed on global insertion
+// sequence numbers, so results are byte-identical at any shard count
+// (N=1 reproduces the original single-lock layout exactly). See
+// docs/SHARDING.md for the design.
 package xmldb
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/similarity"
 	"repro/internal/tree"
 	"repro/internal/xpath"
 )
@@ -28,29 +37,38 @@ var ErrCollectionFull = fmt.Errorf("xmldb: collection size limit exceeded")
 
 // DB is a set of named collections.
 type DB struct {
-	mu          sync.RWMutex
-	collections map[string]*Collection
+	mu            sync.RWMutex
+	collections   map[string]*Collection
+	defaultShards int
 }
 
-// New returns an empty database.
+// New returns an empty database. Collections are unsharded (one shard) until
+// SetDefaultShards raises the default.
 func New() *DB {
-	return &DB{collections: map[string]*Collection{}}
+	return &DB{collections: map[string]*Collection{}, defaultShards: 1}
+}
+
+// SetDefaultShards sets the shard count CreateCollection uses for collections
+// created after the call; existing collections keep their layout. Values
+// below 1 are clamped to 1 (the unsharded layout).
+func (db *DB) SetDefaultShards(n int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	db.defaultShards = n
 }
 
 // CreateCollection creates (or returns the existing) collection with the
-// given name, with the default size limit.
+// given name, with the default size limit and shard count.
 func (db *DB) CreateCollection(name string) *Collection {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if c, ok := db.collections[name]; ok {
 		return c
 	}
-	c := &Collection{
-		name:     name,
-		col:      tree.NewCollection(),
-		docs:     map[string]*tree.Tree{},
-		maxBytes: DefaultMaxCollectionBytes,
-	}
+	c := newCollection(name, db.defaultShards)
 	db.collections[name] = c
 	return c
 }
@@ -82,29 +100,26 @@ func (db *DB) CollectionNames() []string {
 }
 
 // Collection is a named set of XML documents sharing a tree.Collection (so
-// node IDs are unique across documents).
+// node IDs are unique across documents), hash-partitioned into shards by
+// document key.
 type Collection struct {
-	mu       sync.RWMutex
-	name     string
+	name   string
+	shards []*shard
+
+	// writeMu serializes every mutation. It guards the shared tree.Collection
+	// (node-ID allocation and Trees membership), the byte accounting for the
+	// collection-wide size cap, and the insertion-sequence counter. Readers
+	// never take it: queries synchronize only on the shard locks, so scatter
+	// reads across shards proceed concurrently with each other.
+	writeMu  sync.Mutex
 	col      *tree.Collection
-	docs     map[string]*tree.Tree
-	keys     []string // insertion order
 	maxBytes int
 	curBytes int
+	nextSeq  uint64
 
-	tagIndex  map[string][]*tree.Node
-	termIndex map[string][]*tree.Node
-	// valueIndex maps tag + "\x00" + exact content to nodes, accelerating
-	// the [.='v'] equality predicates the TOSS rewriter emits. It is only
-	// consulted for tags in which every node's XPath string value equals its
-	// own content (mixedValueTag is false): a content-less interior node's
-	// string value joins its descendants' text and is not in the index.
-	valueIndex    map[string][]*tree.Node
-	mixedValueTag map[string]bool
-
-	// statsCache holds the planner statistics snapshot for the generation it
-	// was built at (see Stats); statsMu guards it separately from mu so a
-	// stats read never contends with query traffic.
+	// statsCache holds the merged planner statistics snapshot for the
+	// generation it was built at (see Stats); per-shard snapshots are cached
+	// on the shards themselves.
 	statsMu    sync.Mutex
 	statsCache *Stats
 
@@ -114,8 +129,9 @@ type Collection struct {
 	// query-result cache invalidates on writes without a callback seam.
 	generation atomic.Uint64
 
-	// Cumulative query counters, updated atomically so the read path never
-	// contends on mu for bookkeeping. Snapshot with Counters().
+	// Cumulative collection-wide query counters, updated atomically so the
+	// read path never contends on a lock for bookkeeping. Snapshot with
+	// Counters(). Per-shard counters live on the shards (ShardInfos).
 	nQueries        atomic.Uint64
 	nIndexed        atomic.Uint64
 	nScans          atomic.Uint64
@@ -123,6 +139,72 @@ type Collection struct {
 	nDocsWalked     atomic.Uint64
 	nNodesTested    atomic.Uint64
 	nNodesMatched   atomic.Uint64
+}
+
+func newCollection(name string, shards int) *Collection {
+	if shards < 1 {
+		shards = 1
+	}
+	c := &Collection{
+		name:     name,
+		col:      tree.NewCollection(),
+		maxBytes: DefaultMaxCollectionBytes,
+	}
+	for i := 0; i < shards; i++ {
+		c.shards = append(c.shards, newShard())
+	}
+	return c
+}
+
+// ShardCount returns the number of hash partitions.
+func (c *Collection) ShardCount() int { return len(c.shards) }
+
+// ShardFor returns the index of the shard owning the given document key.
+func (c *Collection) ShardFor(key string) int { return c.shardIndex(key) }
+
+func (c *Collection) shardIndex(key string) int {
+	if len(c.shards) == 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(c.shards)))
+}
+
+func (c *Collection) shardFor(key string) *shard { return c.shards[c.shardIndex(key)] }
+
+// ShardInfo is a point-in-time snapshot of one shard, for observability (the
+// server's /statz block and toss_shard_* metrics).
+type ShardInfo struct {
+	Shard        int    `json:"shard"`
+	Docs         int    `json:"docs"`
+	Bytes        int    `json:"bytes"`
+	Generation   uint64 `json:"generation"`
+	Queries      uint64 `json:"queries"`
+	DocsWalked   uint64 `json:"docs_walked"`
+	NodesTested  uint64 `json:"nodes_tested"`
+	NodesMatched uint64 `json:"nodes_matched"`
+}
+
+// ShardInfos snapshots every shard's size and counters.
+func (c *Collection) ShardInfos() []ShardInfo {
+	out := make([]ShardInfo, len(c.shards))
+	for i, sh := range c.shards {
+		sh.mu.RLock()
+		docs, bytes := len(sh.docs), sh.bytes
+		sh.mu.RUnlock()
+		out[i] = ShardInfo{
+			Shard:        i,
+			Docs:         docs,
+			Bytes:        bytes,
+			Generation:   sh.generation.Load(),
+			Queries:      sh.nQueries.Load(),
+			DocsWalked:   sh.nDocsWalked.Load(),
+			NodesTested:  sh.nNodesTested.Load(),
+			NodesMatched: sh.nNodesMatched.Load(),
+		}
+	}
+	return out
 }
 
 // Counters is a snapshot of a collection's cumulative query statistics.
@@ -149,8 +231,8 @@ func (c *Collection) Counters() Counters {
 	}
 }
 
-// ResetCounters zeroes the cumulative query counters (benchmark harnesses
-// reset between runs).
+// ResetCounters zeroes the cumulative query counters, collection-wide and
+// per-shard (benchmark harnesses reset between runs).
 func (c *Collection) ResetCounters() {
 	c.nQueries.Store(0)
 	c.nIndexed.Store(0)
@@ -159,6 +241,9 @@ func (c *Collection) ResetCounters() {
 	c.nDocsWalked.Store(0)
 	c.nNodesTested.Store(0)
 	c.nNodesMatched.Store(0)
+	for _, sh := range c.shards {
+		sh.resetCounters()
+	}
 }
 
 // QueryStats traces how one QueryPath execution was answered: the routing
@@ -172,39 +257,44 @@ type QueryStats struct {
 	Candidates     int    // nodes tested against the path (indexed route)
 	DocsWalked     int    // documents traversed (scan route)
 	Matches        int    // nodes returned
+	ShardsTouched  int    // shards that contributed candidates or walked docs
 	Elapsed        time.Duration
 }
 
 // Name returns the collection name.
 func (c *Collection) Name() string { return c.name }
 
-// SetMaxBytes overrides the size limit; v <= 0 disables the limit.
+// SetMaxBytes overrides the collection-wide size limit; v <= 0 disables it.
 func (c *Collection) SetMaxBytes(v int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
 	c.maxBytes = v
 }
 
-// ByteSize returns the stored XML bytes.
+// ByteSize returns the stored XML bytes across all shards.
 func (c *Collection) ByteSize() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
 	return c.curBytes
 }
 
 // DocCount returns the number of documents.
 func (c *Collection) DocCount() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.docs)
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		n += len(sh.docs)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // PutXML parses an XML document from r and stores it under key. It fails
 // with ErrCollectionFull if the document would push the collection past its
 // size limit, and replaces any existing document with the same key.
 func (c *Collection) PutXML(key string, r io.Reader) (*tree.Tree, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
 	t, err := c.col.ParseXML(r)
 	if err != nil {
 		return nil, err
@@ -221,8 +311,8 @@ func (c *Collection) PutXML(key string, r io.Reader) (*tree.Tree, error) {
 // created in this collection's tree.Collection (use NewDocument) or is
 // cloned in.
 func (c *Collection) PutTree(key string, t *tree.Tree) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
 	added := false
 	if !c.contains(t) {
 		t = t.CloneInto(c.col)
@@ -241,40 +331,54 @@ func (c *Collection) PutTree(key string, t *tree.Tree) error {
 	return nil
 }
 
-// storeLocked installs a tree (already present in c.col) under key,
-// enforcing the size limit. If the key is occupied, the old document is
-// replaced only when the new one fits.
+// storeLocked installs a tree (already present in c.col) under key in the
+// owning shard, enforcing the collection-wide size limit. If the key is
+// occupied, the old document is replaced only when the new one fits. Caller
+// holds writeMu.
 func (c *Collection) storeLocked(key string, t *tree.Tree) error {
 	size := len(t.XMLString())
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	oldSize := 0
-	old, replacing := c.docs[key]
+	old, replacing := sh.docs[key]
 	if replacing {
-		oldSize = len(old.XMLString())
+		oldSize = old.size
 	}
 	if c.maxBytes > 0 && c.curBytes-oldSize+size > c.maxBytes {
 		return fmt.Errorf("%w: %s at %d bytes, adding %d exceeds %d",
 			ErrCollectionFull, c.name, c.curBytes-oldSize, size, c.maxBytes)
 	}
 	if replacing {
-		// Keep the key at its original position in insertion order: a
-		// replaced document must not migrate to the end of Docs()/Keys()
-		// (and thereby change answer order). Replacement is the one mutation
-		// that cannot be folded into the indexes incrementally (the old
-		// document's postings sit interleaved with its neighbours'), so it
-		// falls back to a full rebuild on the next query.
+		// Keep the entry (and its seq) in place: a replaced document must not
+		// migrate to the end of Docs()/Keys() (and thereby change answer
+		// order). Replacement is the one mutation that cannot be folded into
+		// the shard's indexes incrementally (the old document's postings sit
+		// interleaved with its neighbours'), so the shard falls back to a
+		// full rebuild on its next query.
 		c.curBytes -= oldSize
-		c.removeTree(old)
-		c.invalidateIndexes()
+		sh.bytes -= oldSize
+		c.removeTree(old.tree)
+		delete(sh.byRoot, old.tree.Root)
+		sh.invalidateIndexes()
+		old.tree = t
+		old.size = size
+		sh.byRoot[t.Root] = old
 	} else {
-		c.keys = append(c.keys, key)
+		e := &docEntry{key: key, seq: c.nextSeq, tree: t, size: size}
+		c.nextSeq++
+		sh.docs[key] = e
+		sh.entries = append(sh.entries, e)
+		sh.byRoot[t.Root] = e
 		// A fresh key lands at the end of insertion order, so appending its
 		// nodes to the posting lists reproduces exactly what a full rebuild
 		// would produce — the indexes (and the planner statistics derived
 		// from them) stay warm under insert load.
-		c.indexTreeLocked(t)
+		sh.indexTreeLocked(t)
 	}
-	c.docs[key] = t
 	c.curBytes += size
+	sh.bytes += size
+	sh.generation.Add(1)
 	c.generation.Add(1)
 	return nil
 }
@@ -285,6 +389,8 @@ func (c *Collection) storeLocked(key string, t *tree.Tree) error {
 // window with no writes.
 func (c *Collection) Generation() uint64 { return c.generation.Load() }
 
+// contains and removeTree mutate the shared tree.Collection; callers hold
+// writeMu.
 func (c *Collection) contains(t *tree.Tree) bool {
 	for _, existing := range c.col.Trees {
 		if existing == t {
@@ -303,55 +409,93 @@ func (c *Collection) removeTree(t *tree.Tree) {
 	}
 }
 
-func (c *Collection) removeKey(key string) {
-	for i, k := range c.keys {
-		if k == key {
-			c.keys = append(c.keys[:i], c.keys[i+1:]...)
-			return
-		}
-	}
-}
-
 // Delete removes the document stored under key.
 func (c *Collection) Delete(key string) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	t, ok := c.docs[key]
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.docs[key]
 	if !ok {
 		return false
 	}
-	c.curBytes -= len(t.XMLString())
-	delete(c.docs, key)
-	c.removeKey(key)
-	c.removeTree(t)
-	c.unindexTreeLocked(t)
+	c.curBytes -= e.size
+	sh.bytes -= e.size
+	delete(sh.docs, key)
+	delete(sh.byRoot, e.tree.Root)
+	for i, se := range sh.entries {
+		if se == e {
+			sh.entries = append(sh.entries[:i], sh.entries[i+1:]...)
+			break
+		}
+	}
+	c.removeTree(e.tree)
+	sh.unindexTreeLocked(e.tree)
+	sh.generation.Add(1)
 	c.generation.Add(1)
 	return true
 }
 
 // Doc returns the document stored under key, or nil.
 func (c *Collection) Doc(key string) *tree.Tree {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.docs[key]
+	sh := c.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if e := sh.docs[key]; e != nil {
+		return e.tree
+	}
+	return nil
+}
+
+// keyDoc is a consistent (key, document) snapshot entry in insertion order.
+type keyDoc struct {
+	seq  uint64
+	key  string
+	tree *tree.Tree
+}
+
+// snapshotEntries copies every shard's entries under all shard read locks
+// held simultaneously (one consistent cut) and returns them merged in global
+// insertion order. Writers hold writeMu plus one shard lock, so acquiring
+// the read locks in shard order cannot deadlock.
+func (c *Collection) snapshotEntries() []keyDoc {
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+	}
+	n := 0
+	for _, sh := range c.shards {
+		n += len(sh.entries)
+	}
+	all := make([]keyDoc, 0, n)
+	for _, sh := range c.shards {
+		for _, e := range sh.entries {
+			all = append(all, keyDoc{seq: e.seq, key: e.key, tree: e.tree})
+		}
+	}
+	for _, sh := range c.shards {
+		sh.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	return all
 }
 
 // Keys returns document keys in insertion order.
 func (c *Collection) Keys() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]string, len(c.keys))
-	copy(out, c.keys)
+	entries := c.snapshotEntries()
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.key
+	}
 	return out
 }
 
 // Docs returns the documents in insertion order.
 func (c *Collection) Docs() []*tree.Tree {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]*tree.Tree, 0, len(c.keys))
-	for _, k := range c.keys {
-		out = append(out, c.docs[k])
+	entries := c.snapshotEntries()
+	out := make([]*tree.Tree, len(entries))
+	for i, e := range entries {
+		out[i] = e.tree
 	}
 	return out
 }
@@ -362,117 +506,15 @@ func (c *Collection) TreeCollection() *tree.Collection { return c.col }
 
 // ---- indexing ----
 
-func (c *Collection) invalidateIndexes() {
-	c.tagIndex = nil
-	c.termIndex = nil
-	c.valueIndex = nil
-}
-
 func valueKey(tag, content string) string { return tag + "\x00" + content }
 
-// BuildIndexes constructs the tag and content-term inverted indexes.
+// BuildIndexes constructs the tag and content-term inverted indexes on every
+// shard.
 func (c *Collection) BuildIndexes() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.buildIndexesLocked()
-}
-
-func (c *Collection) buildIndexesLocked() {
-	if c.tagIndex != nil {
-		return
-	}
-	tagIdx := map[string][]*tree.Node{}
-	termIdx := map[string][]*tree.Node{}
-	valIdx := map[string][]*tree.Node{}
-	mixed := map[string]bool{}
-	for _, k := range c.keys {
-		c.docs[k].Walk(func(n *tree.Node) bool {
-			tagIdx[n.Tag] = append(tagIdx[n.Tag], n)
-			if n.Content != "" {
-				for _, tok := range similarity.Tokenize(n.Content) {
-					termIdx[tok] = append(termIdx[tok], n)
-				}
-				valIdx[valueKey(n.Tag, n.Content)] = append(valIdx[valueKey(n.Tag, n.Content)], n)
-			} else if subtreeHasContent(n) {
-				// XPath string value differs from (empty) own content:
-				// exclude the tag from value-index routing.
-				mixed[n.Tag] = true
-			}
-			return true
-		})
-	}
-	c.tagIndex = tagIdx
-	c.termIndex = termIdx
-	c.valueIndex = valIdx
-	c.mixedValueTag = mixed
-}
-
-// indexTreeLocked folds a newly inserted tree (appended at the end of
-// insertion order) into existing indexes. A no-op when the indexes are not
-// built: the next query rebuilds them from scratch anyway.
-func (c *Collection) indexTreeLocked(t *tree.Tree) {
-	if c.tagIndex == nil {
-		return
-	}
-	t.Walk(func(n *tree.Node) bool {
-		c.tagIndex[n.Tag] = append(c.tagIndex[n.Tag], n)
-		if n.Content != "" {
-			for _, tok := range similarity.Tokenize(n.Content) {
-				c.termIndex[tok] = append(c.termIndex[tok], n)
-			}
-			c.valueIndex[valueKey(n.Tag, n.Content)] = append(c.valueIndex[valueKey(n.Tag, n.Content)], n)
-		} else if subtreeHasContent(n) {
-			c.mixedValueTag[n.Tag] = true
-		}
-		return true
-	})
-}
-
-// unindexTreeLocked removes a deleted tree's nodes from the indexes,
-// touching only the posting lists the tree contributed to. mixedValueTag is
-// left as-is: a deletion can only make a "mixed" verdict stale in the
-// conservative direction (value-index routing stays disabled for the tag),
-// never unsound.
-func (c *Collection) unindexTreeLocked(t *tree.Tree) {
-	if c.tagIndex == nil {
-		return
-	}
-	gone := map[*tree.Node]bool{}
-	tags := map[string]bool{}
-	terms := map[string]bool{}
-	vals := map[string]bool{}
-	t.Walk(func(n *tree.Node) bool {
-		gone[n] = true
-		tags[n.Tag] = true
-		if n.Content != "" {
-			for _, tok := range similarity.Tokenize(n.Content) {
-				terms[tok] = true
-			}
-			vals[valueKey(n.Tag, n.Content)] = true
-		}
-		return true
-	})
-	prune := func(idx map[string][]*tree.Node, key string) {
-		kept := idx[key][:0]
-		for _, n := range idx[key] {
-			if !gone[n] {
-				kept = append(kept, n)
-			}
-		}
-		if len(kept) == 0 {
-			delete(idx, key)
-		} else {
-			idx[key] = kept
-		}
-	}
-	for tag := range tags {
-		prune(c.tagIndex, tag)
-	}
-	for term := range terms {
-		prune(c.termIndex, term)
-	}
-	for val := range vals {
-		prune(c.valueIndex, val)
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		sh.buildIndexesLocked()
+		sh.mu.Unlock()
 	}
 }
 
@@ -496,35 +538,69 @@ func subtreeHasContent(n *tree.Node) bool {
 // order (building indexes on demand). The returned slice is a copy, safe to
 // hold across concurrent mutations.
 func (c *Collection) NodesWithTag(tag string) []*tree.Node {
-	return c.indexLookup(func() []*tree.Node { return c.tagIndex[tag] })
+	return c.indexLookup(func(sh *shard) []*tree.Node { return sh.tagIndex[tag] })
 }
 
 // NodesWithTerm returns the indexed nodes whose content contains the given
 // (lower-cased) token. The returned slice is a copy.
 func (c *Collection) NodesWithTerm(term string) []*tree.Node {
-	return c.indexLookup(func() []*tree.Node { return c.termIndex[term] })
+	return c.indexLookup(func(sh *shard) []*tree.Node { return sh.termIndex[term] })
 }
 
-// indexLookup runs a read against the inverted indexes under the shared lock,
-// escalating to the exclusive lock only to (re)build them, and returns a copy
-// of the posting list.
-func (c *Collection) indexLookup(get func() []*tree.Node) []*tree.Node {
-	c.mu.RLock()
-	for c.tagIndex == nil {
-		c.mu.RUnlock()
-		c.mu.Lock()
-		c.buildIndexesLocked()
-		c.mu.Unlock()
-		c.mu.RLock()
+// indexLookup gathers one posting list from every shard (building missing
+// indexes on demand) and merges the copies in insertion order.
+func (c *Collection) indexLookup(get func(*shard) []*tree.Node) []*tree.Node {
+	if len(c.shards) == 1 {
+		sh := c.shards[0]
+		var out []*tree.Node
+		sh.withIndexes(func() {
+			postings := get(sh)
+			out = make([]*tree.Node, len(postings))
+			copy(out, postings)
+		})
+		return out
 	}
-	postings := get()
-	out := make([]*tree.Node, len(postings))
-	copy(out, postings)
-	c.mu.RUnlock()
-	return out
+	lists := make([][]seqGroup, len(c.shards))
+	for i, sh := range c.shards {
+		sh.withIndexes(func() { lists[i] = sh.groupPostingsLocked(get(sh)) })
+	}
+	return mergeGroups(lists)
 }
 
 // ---- querying ----
+
+// scatter runs fn(i) for every shard index on a bounded worker pool: at most
+// GOMAXPROCS workers, and never more than the shard count. With one shard or
+// one worker it runs inline on the caller's goroutine — the unsharded layout
+// spawns nothing.
+func (c *Collection) scatter(n int, fn func(int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
 
 // Query parses and evaluates an XPath expression over every document,
 // returning matching nodes in document order. When the expression's final
@@ -592,64 +668,181 @@ func (c *Collection) QueryScan(expr string) ([]*tree.Node, error) {
 	return out, nil
 }
 
+// docSnap is a document captured for lock-free evaluation: trees are
+// immutable once stored, so holding (seq, root) outlives the shard lock.
+type docSnap struct {
+	seq  uint64
+	root *tree.Node
+}
+
 func (c *Collection) queryScan(p *xpath.Path) ([]*tree.Node, QueryStats) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	var out []*tree.Node
-	for _, k := range c.keys {
-		out = append(out, p.Eval(c.docs[k].Root)...)
+	// Snapshot each shard's documents under its read lock, then evaluate
+	// outside any lock: path evaluation only reads the (immutable) trees, and
+	// a replaced document's old tree stays valid for in-flight snapshots.
+	snaps := make([][]docSnap, len(c.shards))
+	total := 0
+	for i, sh := range c.shards {
+		sh.mu.RLock()
+		s := make([]docSnap, len(sh.entries))
+		for j, e := range sh.entries {
+			s[j] = docSnap{seq: e.seq, root: e.tree.Root}
+		}
+		sh.mu.RUnlock()
+		snaps[i] = s
+		total += len(s)
 	}
-	return out, QueryStats{DocsWalked: len(c.keys)}
+	lists := make([][]seqGroup, len(c.shards))
+	c.scatter(len(c.shards), func(i int) {
+		snap := snaps[i]
+		if len(snap) == 0 {
+			return
+		}
+		sh := c.shards[i]
+		groups := make([]seqGroup, 0, len(snap))
+		matched := 0
+		for _, d := range snap {
+			if nodes := p.Eval(d.root); len(nodes) > 0 {
+				groups = append(groups, seqGroup{seq: d.seq, nodes: nodes})
+				matched += len(nodes)
+			}
+		}
+		lists[i] = groups
+		sh.nQueries.Add(1)
+		sh.nDocsWalked.Add(uint64(len(snap)))
+		sh.nNodesMatched.Add(uint64(matched))
+	})
+	touched := 0
+	for _, s := range snaps {
+		if len(s) > 0 {
+			touched++
+		}
+	}
+	return mergeGroups(lists), QueryStats{DocsWalked: total, ShardsTouched: touched}
 }
 
 func (c *Collection) queryIndexed(p *xpath.Path, tag string) ([]*tree.Node, QueryStats) {
 	st := QueryStats{Indexed: true, IndexTag: tag}
-	// Readers share the lock: escalate to the exclusive lock only to build
-	// missing indexes, then downgrade. The loop re-checks because a writer
-	// may invalidate the indexes between the two lock acquisitions.
-	c.mu.RLock()
-	for c.tagIndex == nil {
-		c.mu.RUnlock()
-		c.mu.Lock()
-		c.buildIndexesLocked()
-		c.mu.Unlock()
-		c.mu.RLock()
-	}
-	candidates := c.tagIndex[tag]
-	// Equality predicates on the final step route through the value index:
-	// [.='v'] (or a disjunction of them, the shape of rewritten ~
+	// Equality predicates on the final step can route through the value
+	// index: [.='v'] (or a disjunction of them, the shape of rewritten ~
 	// conditions) narrows candidates to the exact-content postings.
+	var lits []string
+	narrowable := false
 	last := p.Steps[len(p.Steps)-1]
-	if len(last.Preds) > 0 && !c.mixedValueTag[tag] {
-		if lits, ok := xpath.SelfEqualsAnyLiteral(last.Preds[0]); ok {
-			var narrowed []*tree.Node
-			usable := true
-			for _, lit := range lits {
+	if len(last.Preds) > 0 {
+		if ls, ok := xpath.SelfEqualsAnyLiteral(last.Preds[0]); ok {
+			narrowable = true
+			lits = ls
+			for _, lit := range ls {
 				if lit == "" {
 					// The index never holds empty values; nodes with empty
 					// string values would be missed.
-					usable = false
+					narrowable = false
 					break
 				}
-				narrowed = append(narrowed, c.valueIndex[valueKey(tag, lit)]...)
-			}
-			if usable && len(narrowed) < len(candidates) {
-				candidates = narrowed
-				st.ValueIndexUsed = true
 			}
 		}
 	}
-	// Copy before unlocking: a concurrent Put/Delete invalidates and rebuilds
-	// the index maps, and MatchesUp below runs outside the lock.
-	cands := make([]*tree.Node, len(candidates))
-	copy(cands, candidates)
-	c.mu.RUnlock()
-	st.Candidates = len(cands)
+
+	// Phase 1: snapshot per-shard candidates under the shard read locks.
+	// The narrow-or-not decision is made globally from the summed posting
+	// sizes — every shard must take the same route, or the merged result
+	// order would depend on the partitioning.
+	tagGroups := make([][]seqGroup, len(c.shards))
+	litGroups := make([][][]seqGroup, len(c.shards)) // [shard][literal]
+	tagTotal, litTotal := 0, 0
+	mixed := false
+	for i, sh := range c.shards {
+		sh.withIndexes(func() {
+			tagGroups[i] = sh.groupPostingsLocked(sh.tagIndex[tag])
+			tagTotal += len(sh.tagIndex[tag])
+			if sh.mixedValueTag[tag] {
+				mixed = true
+			}
+			if narrowable {
+				per := make([][]seqGroup, len(lits))
+				for li, lit := range lits {
+					postings := sh.valueIndex[valueKey(tag, lit)]
+					per[li] = sh.groupPostingsLocked(postings)
+					litTotal += len(postings)
+				}
+				litGroups[i] = per
+			}
+		})
+	}
+	useValue := narrowable && !mixed && litTotal < tagTotal
+
+	// Phase 2: test candidates against the path outside any lock (the groups
+	// hold copied node slices), scattering shards over the worker pool, then
+	// gather with the order-stable merge.
+	tested := make([]int, len(c.shards))
+	matched := make([]int, len(c.shards))
 	var out []*tree.Node
-	for _, n := range cands {
-		if p.MatchesUp(n) {
-			out = append(out, n)
+	if useValue {
+		st.ValueIndexUsed = true
+		st.Candidates = litTotal
+		c.scatter(len(c.shards), func(i int) {
+			for li := range litGroups[i] {
+				var t, m int
+				litGroups[i][li], t, m = filterGroups(p, litGroups[i][li])
+				tested[i] += t
+				matched[i] += m
+			}
+		})
+		// Narrowed queries answer in literal-major order (the concatenation
+		// of per-literal posting lists, each in insertion order) — merge per
+		// literal across shards, then concatenate, reproducing the
+		// single-shard order exactly.
+		for li := range lits {
+			lists := make([][]seqGroup, len(c.shards))
+			for i := range c.shards {
+				if litGroups[i] != nil {
+					lists[i] = litGroups[i][li]
+				}
+			}
+			out = append(out, mergeGroups(lists)...)
 		}
+	} else {
+		st.Candidates = tagTotal
+		c.scatter(len(c.shards), func(i int) {
+			var t, m int
+			tagGroups[i], t, m = filterGroups(p, tagGroups[i])
+			tested[i] += t
+			matched[i] += m
+		})
+		out = mergeGroups(tagGroups)
+	}
+	for i, sh := range c.shards {
+		if tested[i] == 0 {
+			continue
+		}
+		st.ShardsTouched++
+		sh.nQueries.Add(1)
+		sh.nNodesTested.Add(uint64(tested[i]))
+		sh.nNodesMatched.Add(uint64(matched[i]))
 	}
 	return out, st
+}
+
+// filterGroups keeps the nodes matching the path, dropping emptied groups,
+// and returns the filtered groups plus tested/matched counts. It runs
+// outside any lock: groupPostingsLocked copied the node slices, and
+// MatchesUp only reads immutable trees.
+func filterGroups(p *xpath.Path, groups []seqGroup) ([]seqGroup, int, int) {
+	tested, matched := 0, 0
+	out := groups[:0]
+	for _, g := range groups {
+		tested += len(g.nodes)
+		kept := g.nodes[:0]
+		for _, n := range g.nodes {
+			if p.MatchesUp(n) {
+				kept = append(kept, n)
+			}
+		}
+		if len(kept) > 0 {
+			g.nodes = kept
+			out = append(out, g)
+			matched += len(kept)
+		}
+	}
+	return out, tested, matched
 }

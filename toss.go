@@ -24,7 +24,8 @@
 //	_ = sys.Build(toss.MeasureByName("name-rule"), 3)
 //	p := toss.MustParsePattern(`#1 pc #2 :: #1.tag = "inproceedings" &
 //	    #2.tag = "author" & #2.content ~ "J. Ullman"`)
-//	answers, _ := sys.Select("dblp", p, []int{1})
+//	res, _ := sys.Query(ctx, toss.QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}})
+//	answers := res.Answers
 //
 // The sub-packages under internal/ implement every substrate the paper
 // depends on: the ordered tree data model, the TAX algebra baseline, the
@@ -81,8 +82,15 @@ func MeasureNames() []string { return similarity.Names() }
 // product, join, set operations over instances and sub-expressions).
 type Expr = core.Expr
 
-// RankedAnswer is a similarity-scored query answer returned by
-// System.SelectRanked.
+// QueryRequest describes one TOSS query for System.Query — the unified
+// entry point for selections, joins, ranked queries and EXPLAIN ANALYZE.
+type QueryRequest = core.QueryRequest
+
+// QueryResult is the uniform answer envelope returned by System.Query.
+type QueryResult = core.QueryResult
+
+// RankedAnswer is a similarity-scored query answer returned by System.Query
+// with Ranked set.
 type RankedAnswer = core.RankedAnswer
 
 // ParseExpr parses the textual algebra-expression syntax, e.g.
