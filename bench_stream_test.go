@@ -1,0 +1,146 @@
+package toss
+
+// Limit-pushdown benchmarks: the same unselective limit-10 query over a
+// large generated collection, executed through the streaming scan (limit
+// pushed into the shard cursors, scan stops after the limit-th answer)
+// versus the materialize-then-truncate plan (pre-filter and evaluate the
+// whole collection, keep the first 10). The answers are identical — the
+// streamed result is a prefix of the materialized one by construction — so
+// the whole difference is how many documents each plan touches.
+//
+//	go test -run NONE -bench 'BenchmarkStreamLimit' -count 10 | benchstat -
+//	go test -run TestWriteBenchStreamJSON -v
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+)
+
+const (
+	streamBenchPapers = 600
+	streamBenchShards = 4
+	streamBenchLimit  = 10
+)
+
+func benchmarkStreamLimit(b *testing.B, pushdown bool) {
+	s, _ := shardBenchSystem(b, streamBenchPapers, streamBenchShards)
+	pat := shardBenchPattern()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := core.QueryRequest{Pattern: pat, Instance: "dblp", Adorn: []int{1}}
+		if pushdown {
+			req.Limit = streamBenchLimit
+		}
+		res, err := s.Query(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		answers := res.Answers
+		if !pushdown && len(answers) > streamBenchLimit {
+			answers = answers[:streamBenchLimit]
+		}
+		if len(answers) != streamBenchLimit {
+			b.Fatalf("%d answers, want %d", len(answers), streamBenchLimit)
+		}
+	}
+}
+
+func BenchmarkStreamLimit(b *testing.B) {
+	b.Run("mode=streamed", func(b *testing.B) { benchmarkStreamLimit(b, true) })
+	b.Run("mode=materialized", func(b *testing.B) { benchmarkStreamLimit(b, false) })
+}
+
+// TestWriteBenchStreamJSON measures what limit pushdown buys and records it
+// in BENCH_stream.json: documents scanned and ns/op + allocs for the
+// streamed limit-10 plan against the materialize-everything baseline on the
+// same corpus. CI asserts the reduction so a regression that silently turns
+// the streaming scan back into a full materialization fails the build.
+func TestWriteBenchStreamJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark emission skipped in -short mode")
+	}
+	s, _ := shardBenchSystem(t, streamBenchPapers, streamBenchShards)
+	pat := shardBenchPattern()
+	ctx := context.Background()
+
+	// Traced runs give the docs-touched counts for both plans.
+	streamRes, err := s.Query(ctx, core.QueryRequest{
+		Pattern: pat, Instance: "dblp", Adorn: []int{1}, Limit: streamBenchLimit, Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamRes.Stats.ScanMode != core.ScanModeStream {
+		t.Fatalf("limit-%d query did not engage the streaming scan (mode %q)",
+			streamBenchLimit, streamRes.Stats.ScanMode)
+	}
+	matRes, err := s.Query(ctx, core.QueryRequest{
+		Pattern: pat, Instance: "dblp", Adorn: []int{1}, Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type entry struct {
+		NsPerOp     int64 `json:"ns_per_op"`
+		AllocsOp    int64 `json:"allocs_per_op"`
+		N           int   `json:"n"`
+		DocsScanned int   `json:"docs_scanned"`
+	}
+	rs := testing.Benchmark(func(b *testing.B) { benchmarkStreamLimit(b, true) })
+	rm := testing.Benchmark(func(b *testing.B) { benchmarkStreamLimit(b, false) })
+	report := struct {
+		Papers       int     `json:"papers"`
+		Shards       int     `json:"shards"`
+		Limit        int     `json:"limit"`
+		TotalDocs    int     `json:"total_docs"`
+		Streamed     entry   `json:"streamed"`
+		Materialized entry   `json:"materialized"`
+		ScanReduct   float64 `json:"docs_scanned_reduction"`
+		Speedup      float64 `json:"speedup"`
+		AllocReduct  float64 `json:"allocs_reduction"`
+	}{
+		Papers:    streamBenchPapers,
+		Shards:    streamBenchShards,
+		Limit:     streamBenchLimit,
+		TotalDocs: streamRes.Stats.TotalDocs,
+		Streamed: entry{
+			NsPerOp: rs.NsPerOp(), AllocsOp: rs.AllocsPerOp(), N: rs.N,
+			DocsScanned: streamRes.Stats.DocsScanned,
+		},
+		Materialized: entry{
+			NsPerOp: rm.NsPerOp(), AllocsOp: rm.AllocsPerOp(), N: rm.N,
+			DocsScanned: matRes.Stats.DocsEvaluated,
+		},
+	}
+	if report.Streamed.DocsScanned > 0 {
+		report.ScanReduct = float64(report.Materialized.DocsScanned) / float64(report.Streamed.DocsScanned)
+	}
+	if rs.NsPerOp() > 0 {
+		report.Speedup = float64(rm.NsPerOp()) / float64(rs.NsPerOp())
+	}
+	if rs.AllocsPerOp() > 0 {
+		report.AllocReduct = float64(rm.AllocsPerOp()) / float64(rs.AllocsPerOp())
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_stream.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("limit-%d: streamed scans %d of %d docs, materialized evaluates %d (%.1fx fewer), speedup %.2fx, allocs %.2fx",
+		streamBenchLimit, report.Streamed.DocsScanned, report.TotalDocs,
+		report.Materialized.DocsScanned, report.ScanReduct, report.Speedup, report.AllocReduct)
+	if report.Streamed.DocsScanned >= report.Materialized.DocsScanned {
+		t.Errorf("streaming scan touched %d docs, materialized %d: limit pushdown bought nothing",
+			report.Streamed.DocsScanned, report.Materialized.DocsScanned)
+	}
+}

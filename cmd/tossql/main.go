@@ -6,7 +6,7 @@
 //
 //	tossql -instance dblp=file1.xml[,file2.xml] [-instance sigmod=...] \
 //	       [-measure name-rule] [-eps 3] [-sl 1] \
-//	       [-tax] [-explain] 'pattern'
+//	       [-limit n] [-stream] [-tax] [-explain] 'pattern'
 //
 // Example pattern:
 //
@@ -20,6 +20,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
@@ -65,6 +66,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort query execution after this duration, e.g. 500ms (0 = no deadline; TOSS paths only)")
 	noPlanner := flag.Bool("no-planner", false, "disable the cost-based planner and use the fixed execution heuristics (answers are identical either way)")
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "hash-partitioned shards per collection (1 reproduces the unsharded layout; answers are identical at any count)")
+	limit := flag.Int("limit", 0, "stop after this many answers (0 = all; selections stop scanning early via limit pushdown)")
+	stream := flag.Bool("stream", false, "print answers incrementally as the executor produces them (TOSS selections and joins only); the count prints last")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -74,6 +77,9 @@ func main() {
 	}
 	if len(instances.specs) == 0 {
 		log.Fatal("at least one -instance is required")
+	}
+	if *stream && (*taxMode || *algebra || *ranked || *analyze) {
+		log.Fatal("-stream applies to TOSS selections and joins only")
 	}
 	var pat *pattern.Tree
 	var expr core.Expr
@@ -169,7 +175,7 @@ func main() {
 		if pat == nil || *taxMode || *ranked {
 			log.Fatal("-analyze applies to TOSS selections and joins only")
 		}
-		qreq := core.QueryRequest{Pattern: pat, Instance: names[0], Adorn: sl, Analyze: true}
+		qreq := core.QueryRequest{Pattern: pat, Instance: names[0], Adorn: sl, Analyze: true, Limit: *limit}
 		if *join {
 			if len(names) < 2 {
 				log.Fatal("-join needs two -instance specs")
@@ -204,7 +210,7 @@ func main() {
 		if pat == nil || *join {
 			log.Fatal("-ranked applies to plain selections only")
 		}
-		res, rerr := sys.Query(ctx, core.QueryRequest{Pattern: pat, Instance: names[0], Adorn: sl, Ranked: true})
+		res, rerr := sys.Query(ctx, core.QueryRequest{Pattern: pat, Instance: names[0], Adorn: sl, Ranked: true, Limit: *limit})
 		if rerr != nil {
 			log.Fatalf("executing query: %v", rerr)
 		}
@@ -233,8 +239,13 @@ func main() {
 			dst := tree.NewCollection()
 			answers, err = tax.Select(dst, tax.Product(dst, ldocs, rdocs), pat, sl, tax.Baseline{})
 		} else {
+			qreq := core.QueryRequest{Pattern: pat, Instance: names[0], Right: names[1], Adorn: sl, Limit: *limit}
+			if *stream {
+				streamQuery(ctx, sys, qreq)
+				return
+			}
 			var res *core.QueryResult
-			res, err = sys.Query(ctx, core.QueryRequest{Pattern: pat, Instance: names[0], Right: names[1], Adorn: sl})
+			res, err = sys.Query(ctx, qreq)
 			if err == nil {
 				answers = res.Answers
 			}
@@ -246,14 +257,24 @@ func main() {
 		}
 		answers, err = tax.Select(tree.NewCollection(), docs, pat, sl, tax.Baseline{})
 	default:
+		qreq := core.QueryRequest{Pattern: pat, Instance: names[0], Adorn: sl, Limit: *limit}
+		if *stream {
+			streamQuery(ctx, sys, qreq)
+			return
+		}
 		var res *core.QueryResult
-		res, err = sys.Query(ctx, core.QueryRequest{Pattern: pat, Instance: names[0], Adorn: sl})
+		res, err = sys.Query(ctx, qreq)
 		if err == nil {
 			answers = res.Answers
 		}
 	}
 	if err != nil {
 		log.Fatalf("executing query: %v", err)
+	}
+	// TAX and algebra paths have no limit pushdown; truncate after the fact so
+	// -limit means the same thing everywhere.
+	if *limit > 0 && len(answers) > *limit {
+		answers = answers[:*limit]
 	}
 
 	log.Printf("%d answer tree(s)", len(answers))
@@ -262,4 +283,30 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// streamQuery runs req with Stream set and prints each answer the moment the
+// executor produces it; the answer count, unknown up front, prints last.
+func streamQuery(ctx context.Context, sys *core.System, req core.QueryRequest) {
+	req.Stream = true
+	res, err := sys.Query(ctx, req)
+	if err != nil {
+		log.Fatalf("executing query: %v", err)
+	}
+	defer res.Stream.Close()
+	n := 0
+	for {
+		t, serr := res.Stream.Next(ctx)
+		if serr == io.EOF {
+			break
+		}
+		if serr != nil {
+			log.Fatalf("streaming answers: %v", serr)
+		}
+		if err := t.WriteXML(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		n++
+	}
+	log.Printf("%d answer tree(s) (streamed)", n)
 }

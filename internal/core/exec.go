@@ -408,61 +408,6 @@ func (s *System) SelectNTracedContext(ctx context.Context, instance string, p *p
 	return res.Answers, res.Stats, nil
 }
 
-func (s *System) selectN(ctx context.Context, instance string, p *pattern.Tree, sl []int, limit int, st *ExecStats) ([]*tree.Tree, *ExecStats, error) {
-	in := s.Instance(instance)
-	if in == nil {
-		return nil, nil, fmt.Errorf("core: unknown instance %q", instance)
-	}
-	t0 := time.Now()
-	paths := s.rewritePattern(p, st)
-	if st != nil {
-		st.RewriteTime = time.Since(t0)
-		st.Limit = limit
-	}
-	t1 := time.Now()
-	cands, err := s.candidateDocs(ctx, in.Col, paths, st)
-	if err != nil {
-		return nil, nil, err
-	}
-	if st != nil {
-		st.PrefilterTime = time.Since(t1)
-	}
-	t2 := time.Now()
-	dst := tree.NewCollection()
-	ev := s.Evaluator()
-	var out []*tree.Tree
-	evaluated, embeddings := 0, 0
-	for _, doc := range cands {
-		if err := ctx.Err(); err != nil {
-			return nil, nil, err
-		}
-		res, ops, err := tax.SelectTraced(dst, []*tree.Tree{doc}, p, sl, ev)
-		if err != nil {
-			return nil, nil, err
-		}
-		evaluated++
-		embeddings += ops.Embeddings
-		out = append(out, res...)
-		if len(out) >= limit {
-			out = out[:limit]
-			if st != nil {
-				st.LimitHit = true
-			}
-			break
-		}
-	}
-	if st != nil {
-		st.Workers = 1
-		st.WorkerDocs = []int{evaluated}
-		st.DocsEvaluated = evaluated
-		st.Embeddings = embeddings
-		st.EvalTime = time.Since(t2)
-		st.TotalTime = time.Since(t0)
-		st.Answers = len(out)
-	}
-	return out, st, nil
-}
-
 // SelectTrees runs TOSS selection over an explicit tree set (used for
 // composed algebra expressions whose inputs are intermediate results).
 func (s *System) SelectTrees(db []*tree.Tree, p *pattern.Tree, sl []int) ([]*tree.Tree, error) {
@@ -692,7 +637,10 @@ func (s *System) joinTrees(ctx context.Context, ldocs, rdocs []*tree.Tree, p *pa
 
 func (s *System) joinTreesPlanned(ctx context.Context, ldocs, rdocs []*tree.Tree, p *pattern.Tree, sl []int, st *ExecStats, jp *planner.JoinPlan, lFan, rFan int) ([]*tree.Tree, error) {
 	dst := tree.NewCollection()
-	pairs := s.joinPairs(ldocs, rdocs, p, st, jp, lFan, rFan)
+	pairs, err := s.joinPairs(ctx, ldocs, rdocs, p, st, jp, lFan, rFan)
+	if err != nil {
+		return nil, err
+	}
 	ev := s.Evaluator()
 	var out []*tree.Tree
 	for _, pr := range pairs {
@@ -730,7 +678,7 @@ func (s *System) NestedLoopJoinTrees(ldocs, rdocs []*tree.Tree, p *pattern.Tree,
 // Pairs come out sorted by (left, right) document index regardless, so both
 // strategies — and either build side — produce the identical pair list. When
 // st is non-nil the pairing decision and counts are recorded.
-func (s *System) joinPairs(ldocs, rdocs []*tree.Tree, p *pattern.Tree, st *ExecStats, jp *planner.JoinPlan, lFan, rFan int) [][2]*tree.Tree {
+func (s *System) joinPairs(ctx context.Context, ldocs, rdocs []*tree.Tree, p *pattern.Tree, st *ExecStats, jp *planner.JoinPlan, lFan, rFan int) ([][2]*tree.Tree, error) {
 	cross := len(ldocs) * len(rdocs)
 	atom := s.crossSimAtom(p)
 	if atom == nil {
@@ -746,7 +694,7 @@ func (s *System) joinPairs(ldocs, rdocs []*tree.Tree, p *pattern.Tree, st *ExecS
 				PairsTried: cross, CrossPairs: cross,
 			}
 		}
-		return out
+		return out, nil
 	}
 	docKeys := func(d *tree.Tree) []string {
 		seen := map[string]bool{}
@@ -765,8 +713,14 @@ func (s *System) joinPairs(ldocs, rdocs []*tree.Tree, p *pattern.Tree, st *ExecS
 		})
 		return out
 	}
-	lkeys := parallelDocKeys(ldocs, docKeys, lFan)
-	rkeys := parallelDocKeys(rdocs, docKeys, rFan)
+	lkeys, err := parallelDocKeys(ctx, ldocs, docKeys, lFan)
+	if err != nil {
+		return nil, err
+	}
+	rkeys, err := parallelDocKeys(ctx, rdocs, docKeys, rFan)
+	if err != nil {
+		return nil, err
+	}
 	keyed := func(keys [][]string) map[string][]int {
 		m := map[string][]int{}
 		for i, ks := range keys {
@@ -846,7 +800,7 @@ func (s *System) joinPairs(ldocs, rdocs []*tree.Tree, p *pattern.Tree, st *ExecS
 	if st != nil {
 		st.Join = trace
 	}
-	return out
+	return out, nil
 }
 
 // crossSimAtom finds a conjunctive-spine atom of the form

@@ -51,11 +51,37 @@ type ExecStats struct {
 	Limit    int
 	LimitHit bool
 
+	// Streaming execution. ScanMode is "" for the materialized candidate
+	// pre-filter (every historical trace renders unchanged) and
+	// ScanModeStream when limit pushdown chose the streaming shard scan; in
+	// that mode DocsScanned counts documents pulled off the shard cursors
+	// before the pipeline stopped, CandidateDocs counts documents that
+	// passed the streaming filter, and Operators carries the per-operator
+	// estimated-vs-actual row counts. Streamed reports that the answers
+	// were delivered to the caller as a live stream.
+	ScanMode    string
+	DocsScanned int
+	Streamed    bool
+	Operators   []OperatorTrace
+
 	// Per-stage wall-clock timings.
 	RewriteTime   time.Duration
 	PrefilterTime time.Duration
 	EvalTime      time.Duration
 	TotalTime     time.Duration
+}
+
+// ScanModeStream marks a trace whose selection ran as a streaming shard
+// scan (limit pushdown) instead of the materialized candidate pre-filter.
+const ScanModeStream = "stream-scan"
+
+// OperatorTrace is one streaming operator's estimated-vs-actual row count:
+// how many rows the planner expected it to emit before the pipeline
+// stopped, and how many it actually emitted.
+type OperatorTrace struct {
+	Name   string
+	Est    float64
+	Actual int
 }
 
 // RewriteTrace records what the pattern→XPath rewriter produced.
@@ -177,6 +203,16 @@ func (st *ExecStats) String() string {
 	}
 	fmt.Fprintf(&b, "pre-filter  [%s]: %d of %d documents survive (selectivity %.2f)\n",
 		fmtDuration(st.PrefilterTime), st.CandidateDocs, st.TotalDocs, st.Selectivity())
+	// Streaming shard scan (limit pushdown): rendered only in stream-scan
+	// mode so every materialized trace stays exactly as before.
+	if st.ScanMode == ScanModeStream {
+		fmt.Fprintf(&b, "stream: mode=%s docs scanned=%d of %d (limit pushdown)\n",
+			st.ScanMode, st.DocsScanned, st.TotalDocs)
+		for i, op := range st.Operators {
+			fmt.Fprintf(&b, "stream:   [%d] %s estimated=%.1f rows actual=%d\n",
+				i+1, op.Name, op.Est, op.Actual)
+		}
+	}
 	for _, p := range st.Paths {
 		route := "scan"
 		detail := fmt.Sprintf("docs walked=%d", p.DocsWalked)

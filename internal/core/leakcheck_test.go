@@ -1,0 +1,38 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// checkGoroutineLeak is the hand-rolled goroutine-leak detector the operator
+// tests run under: call it before spawning any streams and invoke the
+// returned func (usually via defer) after closing them. It snapshots the
+// goroutine count up front and then requires the count to return to that
+// baseline within a grace period — long enough for workers to observe
+// cancellation, short enough that a genuinely leaked goroutine fails the
+// test rather than lingering silently.
+func checkGoroutineLeak(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		var now int
+		for {
+			runtime.GC()
+			now = runtime.NumGoroutine()
+			if now <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<16)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before, %d after grace period\n%s", before, now, buf[:n])
+	}
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"context"
+	"io"
+	"sort"
+
+	"repro/internal/pattern"
+	"repro/internal/tax"
+	"repro/internal/tree"
+	"repro/internal/xmldb"
+	"repro/internal/xpath"
+)
+
+// scanStream is the leaf operator of the streaming pipeline: a k-way merge
+// over per-shard cursors, yielding documents in global insertion order
+// (ascending sequence number) — exactly Docs() order — without ever
+// materializing the merged snapshot. The cursors were opened under one
+// consistent cut, so the stream sees a single collection state no matter how
+// slowly it is drained.
+type scanStream struct {
+	cursors []*xmldb.Cursor
+	heads   []xmldb.DocSnap // current head per cursor
+	live    []bool
+	st      *ExecStats
+}
+
+func newScanStream(cursors []*xmldb.Cursor, st *ExecStats) *scanStream {
+	s := &scanStream{
+		cursors: cursors,
+		heads:   make([]xmldb.DocSnap, len(cursors)),
+		live:    make([]bool, len(cursors)),
+		st:      st,
+	}
+	for i, c := range cursors {
+		s.heads[i], s.live[i] = c.Next()
+	}
+	return s
+}
+
+func (s *scanStream) Next(ctx context.Context) (*tree.Tree, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	min := -1
+	for i := range s.cursors {
+		if !s.live[i] {
+			continue
+		}
+		if min < 0 || s.heads[i].Seq < s.heads[min].Seq {
+			min = i
+		}
+	}
+	if min < 0 {
+		return nil, io.EOF
+	}
+	doc := s.heads[min].Doc
+	s.heads[min], s.live[min] = s.cursors[min].Next()
+	if s.st != nil {
+		s.st.DocsScanned++
+	}
+	return doc, nil
+}
+
+func (s *scanStream) Close() {}
+
+// filterStream is the streaming pattern pre-filter: a document passes iff
+// every rewritten XPath path matches at least one of its nodes — the same
+// membership test as the materialized candidate-set intersection
+// (candidateDocs), applied per document so the scan can stop early.
+type filterStream struct {
+	in     DocStream
+	paths  []*xpath.Path
+	passed int
+	st     *ExecStats
+}
+
+func newFilterStream(in DocStream, paths []*xpath.Path, st *ExecStats) *filterStream {
+	return &filterStream{in: in, paths: paths, st: st}
+}
+
+func (s *filterStream) Next(ctx context.Context) (*tree.Tree, error) {
+	for {
+		d, err := s.in.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		ok := true
+		for _, p := range s.paths {
+			if len(p.Eval(d.Root)) == 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		s.passed++
+		if s.st != nil {
+			s.st.CandidateDocs = s.passed
+		}
+		return d, nil
+	}
+}
+
+func (s *filterStream) Close() { s.in.Close() }
+
+// evalStream runs the pattern-embedding evaluation per candidate document,
+// emitting witness trees one at a time. A document's witnesses are produced
+// together (the algebra evaluates whole documents) and buffered, so limit
+// pushdown stops pulling candidates as soon as the limit-th witness is out —
+// the historical SelectN accounting: the document that produced it has been
+// evaluated in full, later candidates not at all.
+type evalStream struct {
+	in        DocStream
+	sys       *System
+	p         *pattern.Tree
+	sl        []int
+	dst       *tree.Collection
+	ev        *Evaluator
+	buf       []*tree.Tree
+	evaluated int
+	st        *ExecStats
+	closed    bool
+}
+
+func newEvalStream(in DocStream, sys *System, p *pattern.Tree, sl []int, st *ExecStats) *evalStream {
+	return &evalStream{
+		in: in, sys: sys, p: p, sl: sl,
+		dst: tree.NewCollection(), ev: sys.Evaluator(), st: st,
+	}
+}
+
+func (s *evalStream) Next(ctx context.Context) (*tree.Tree, error) {
+	for len(s.buf) == 0 {
+		doc, err := s.in.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		res, ops, err := tax.SelectTraced(s.dst, []*tree.Tree{doc}, s.p, s.sl, s.ev)
+		if err != nil {
+			return nil, err
+		}
+		s.evaluated++
+		if s.st != nil {
+			s.st.DocsEvaluated = s.evaluated
+			s.st.Embeddings += ops.Embeddings
+		}
+		s.buf = res
+	}
+	d := s.buf[0]
+	s.buf = s.buf[1:]
+	if s.st != nil {
+		s.st.Answers++
+	}
+	return d, nil
+}
+
+// Close finalizes the single-worker utilization trace — the same shape the
+// sequential limited path always reported (workers=1, all docs on it).
+func (s *evalStream) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.in.Close()
+	if s.st != nil {
+		s.st.Workers = 1
+		s.st.WorkerDocs = []int{s.evaluated}
+	}
+}
+
+// batchEvalStream is the materialized evaluation operator: on the first pull
+// it runs the full parallel embedding search (selectDocs — worker pool,
+// per-worker evaluators, answers gathered in document order) and then serves
+// the buffered answers. Full-result queries route through it so their
+// answers, traces, and parallelism are exactly the pre-streaming behaviour.
+type batchEvalStream struct {
+	sys    *System
+	cands  []*tree.Tree
+	p      *pattern.Tree
+	sl     []int
+	st     *ExecStats
+	shards int
+
+	ran bool
+	out *sliceStream
+}
+
+func newBatchEvalStream(sys *System, cands []*tree.Tree, p *pattern.Tree, sl []int, st *ExecStats, shards int) *batchEvalStream {
+	return &batchEvalStream{sys: sys, cands: cands, p: p, sl: sl, st: st, shards: shards}
+}
+
+func (s *batchEvalStream) Next(ctx context.Context) (*tree.Tree, error) {
+	if !s.ran {
+		s.ran = true
+		out, err := s.sys.selectDocs(ctx, s.cands, s.p, s.sl, s.st, s.shards)
+		if err != nil {
+			return nil, err
+		}
+		if s.st != nil {
+			s.st.Answers = len(out)
+		}
+		s.out = newSliceStream(out)
+	}
+	if s.out == nil {
+		return nil, io.EOF
+	}
+	return s.out.Next(ctx)
+}
+
+func (s *batchEvalStream) Close() {}
+
+// joinStream is the streaming condition join: the right side is built into
+// a hash table (or kept whole for the nested-loop fallback) up front, and
+// the left side is probed in document order. For each left document its
+// matching right partners come out sorted and deduplicated, so pairs are
+// emitted in ascending (left, right) index order — the exact order the
+// materialized join produced after its global sort — and a limited join's
+// answers are a strict prefix of the unlimited ones.
+type joinStream struct {
+	sys   *System
+	ldocs []*tree.Tree
+	rdocs []*tree.Tree
+	p     *pattern.Tree
+	sl    []int
+	st    *ExecStats
+
+	atom   *pattern.Atomic     // cross-side hash key atom; nil → nested loop
+	built  bool
+	table  map[string][]int    // right-side hash table (hash join only)
+	lkeys  [][]string          // left-side keys, computed lazily per doc
+	probed map[string]bool     // distinct probe keys seen (trace)
+	trace  *JoinTrace
+
+	dst    *tree.Collection
+	ev     *Evaluator
+	li     int
+	buf    []*tree.Tree
+	closed bool
+}
+
+func newJoinStream(sys *System, ldocs, rdocs []*tree.Tree, p *pattern.Tree, sl []int, st *ExecStats) *joinStream {
+	return &joinStream{
+		sys: sys, ldocs: ldocs, rdocs: rdocs, p: p, sl: sl, st: st,
+		dst: tree.NewCollection(), ev: sys.Evaluator(),
+	}
+}
+
+func (s *joinStream) build() {
+	s.built = true
+	s.atom = s.sys.crossSimAtom(s.p)
+	s.trace = &JoinTrace{
+		LeftDocs: len(s.ldocs), RightDocs: len(s.rdocs),
+		CrossPairs: len(s.ldocs) * len(s.rdocs),
+	}
+	if s.st != nil {
+		s.st.Join = s.trace
+	}
+	if s.atom == nil {
+		return // nested loop: every pair
+	}
+	s.trace.HashJoin = true
+	s.trace.BuildSide = "right"
+	s.table = map[string][]int{}
+	for i, d := range s.rdocs {
+		for _, k := range s.docJoinKeys(d) {
+			s.table[k] = append(s.table[k], i)
+		}
+	}
+	s.trace.RightKeys = len(s.table)
+	s.probed = map[string]bool{}
+}
+
+// docJoinKeys is the per-document key extraction of the hash join (the same
+// walk joinPairs uses).
+func (s *joinStream) docJoinKeys(d *tree.Tree) []string {
+	seen := map[string]bool{}
+	var out []string
+	d.Walk(func(n *tree.Node) bool {
+		if n.Content == "" {
+			return true
+		}
+		for _, k := range s.sys.simKeys(n.Content, s.atom.Op) {
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// partnersOf returns the right-side indices the given left document pairs
+// with, sorted ascending and deduplicated.
+func (s *joinStream) partnersOf(li int) []int {
+	if s.atom == nil {
+		out := make([]int, len(s.rdocs))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, k := range s.docJoinKeys(s.ldocs[li]) {
+		s.probed[k] = true
+		for _, ri := range s.table[k] {
+			if !seen[ri] {
+				seen[ri] = true
+				out = append(out, ri)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (s *joinStream) Next(ctx context.Context) (*tree.Tree, error) {
+	if !s.built {
+		s.build()
+	}
+	for len(s.buf) == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if s.li >= len(s.ldocs) {
+			return nil, io.EOF
+		}
+		li := s.li
+		s.li++
+		for _, ri := range s.partnersOf(li) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			prod := tax.Product(s.dst, s.ldocs[li:li+1], s.rdocs[ri:ri+1])
+			res, ops, err := tax.SelectTraced(s.dst, prod, s.p, s.sl, s.ev)
+			if err != nil {
+				return nil, err
+			}
+			s.trace.PairsTried++
+			if s.st != nil {
+				s.st.DocsEvaluated++
+				s.st.Embeddings += ops.Embeddings
+			}
+			s.buf = append(s.buf, res...)
+		}
+	}
+	d := s.buf[0]
+	s.buf = s.buf[1:]
+	if s.st != nil {
+		s.st.Answers++
+	}
+	return d, nil
+}
+
+func (s *joinStream) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.trace != nil && s.trace.HashJoin {
+		s.trace.LeftKeys = len(s.probed)
+	}
+	if s.st != nil {
+		s.st.Workers = 1
+	}
+}

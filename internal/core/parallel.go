@@ -87,8 +87,12 @@ func (s *System) selectDocs(ctx context.Context, cands []*tree.Tree, p *pattern.
 			ev := s.Evaluator()
 			for i := range idx {
 				if err := ctx.Err(); err != nil {
+					// Exit now rather than draining: the feeder selects on
+					// ctx.Done for every send, so no send can block on a
+					// departed worker, and the gather below reports ctx.Err()
+					// for the whole call.
 					results[i] = result{err: err}
-					continue // drain the channel so the feeder never blocks
+					return
 				}
 				dst := tree.NewCollection()
 				trees, ops, err := tax.SelectTraced(dst, cands[i:i+1], p, sl, ev)
@@ -132,7 +136,11 @@ feed:
 // fanned out to the owning collection's shard count (capped by GOMAXPROCS and
 // the document count). docKeys must be pure per-document work; results land
 // in input order, so callers see the same key lists as a sequential loop.
-func parallelDocKeys(docs []*tree.Tree, docKeys func(*tree.Tree) []string, fan int) [][]string {
+// On cancellation the feeder stops immediately (every send selects on
+// ctx.Done — never an unconditional send that could block on departed
+// workers), workers exit at their next pull, and the partial result is
+// returned with ctx.Err(); callers must discard it.
+func parallelDocKeys(ctx context.Context, docs []*tree.Tree, docKeys func(*tree.Tree) []string, fan int) ([][]string, error) {
 	out := make([][]string, len(docs))
 	if fan > runtime.GOMAXPROCS(0) {
 		fan = runtime.GOMAXPROCS(0)
@@ -142,9 +150,12 @@ func parallelDocKeys(docs []*tree.Tree, docKeys func(*tree.Tree) []string, fan i
 	}
 	if fan <= 1 {
 		for i, d := range docs {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
 			out[i] = docKeys(d)
 		}
-		return out
+		return out, nil
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -153,14 +164,22 @@ func parallelDocKeys(docs []*tree.Tree, docKeys func(*tree.Tree) []string, fan i
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if ctx.Err() != nil {
+					return // exit promptly; the feeder stops on ctx.Done
+				}
 				out[i] = docKeys(docs[i])
 			}
 		}()
 	}
+feed:
 	for i := range docs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
-	return out
+	return out, ctx.Err()
 }

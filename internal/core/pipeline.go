@@ -1,0 +1,168 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/planner"
+	"repro/internal/xmldb"
+	"repro/internal/xpath"
+)
+
+// streamBufferDocs is the prefetch depth between the scan/filter stage and
+// the evaluation stage of the streaming pipeline: deep enough to overlap
+// shard scanning with embedding search, shallow enough that a limit-10
+// query never scans far past its answer.
+const streamBufferDocs = 8
+
+// streamScanDecision asks the planner whether a limited selection should run
+// as a streaming shard scan (limit pushdown) instead of materializing the
+// candidate set. With the planner disabled the heuristic fallback applies.
+func (s *System) streamScanDecision(col *xmldb.Collection, paths []*xpath.Path, limit int) planner.StreamDecision {
+	if s.Planner != nil {
+		return planner.PlanStreamScan(col.Stats(), paths, limit)
+	}
+	d := planner.StreamDecision{Stream: planner.HeuristicStreamScan(col.DocCount(), limit)}
+	if d.Stream {
+		d.EstScanDocs = float64(limit)
+		d.EstCandidates = float64(limit)
+	}
+	return d
+}
+
+// buildSelectStream assembles the selection operator tree. Three shapes:
+//
+//   - stream-scan (limit pushdown): scan → filter → prefetch → eval → limit.
+//     Shard cursors are merged in insertion order and every stage pulls, so
+//     the scan stops as soon as the limit-th answer is out.
+//   - materialized limit: candidate pre-filter (index intersection), then a
+//     sequential eval → limit chain — the historical SelectN execution and
+//     trace, answer for answer.
+//   - full result: candidate pre-filter, then the parallel batch evaluator
+//     (selectDocs) behind a stream facade — byte-identical answers and
+//     traces to the pre-streaming engine. With Stream requested and no
+//     limit, a sequential eval stream delivers answers incrementally
+//     instead (same answers, same order).
+//
+// Rewrite and pre-filter timings are recorded here; the caller owns
+// EvalTime/TotalTime (they close over the drain).
+func (s *System) buildSelectStream(ctx context.Context, req QueryRequest, st *ExecStats) (DocStream, error) {
+	in := s.Instance(req.Instance)
+	if in == nil {
+		return nil, fmt.Errorf("core: unknown instance %q", req.Instance)
+	}
+	t0 := time.Now()
+	paths := s.rewritePattern(req.Pattern, st)
+	if st != nil {
+		st.RewriteTime = time.Since(t0)
+	}
+
+	if req.Limit > 0 {
+		if d := s.streamScanDecision(in.Col, paths, req.Limit); d.Stream {
+			cursors := in.Col.ShardCursors()
+			total := 0
+			for _, c := range cursors {
+				total += c.Len()
+			}
+			if st != nil {
+				st.ScanMode = ScanModeStream
+				st.TotalDocs = total
+				estRows := d.EstCandidates
+				if lim := float64(req.Limit); estRows > lim {
+					estRows = lim
+				}
+				st.Operators = []OperatorTrace{
+					{Name: "scan", Est: d.EstScanDocs},
+					{Name: "filter", Est: estRows},
+					{Name: "eval", Est: estRows},
+					{Name: "limit", Est: estRows},
+				}
+			}
+			var stream DocStream = newScanStream(cursors, st)
+			stream = newFilterStream(stream, paths, st)
+			stream = newAsyncStream(stream, streamBufferDocs)
+			stream = newEvalStream(stream, s, req.Pattern, req.Adorn, st)
+			return newLimitStream(stream, req.Limit, st), nil
+		}
+	}
+
+	t1 := time.Now()
+	cands, err := s.candidateDocs(ctx, in.Col, paths, st)
+	if err != nil {
+		return nil, err
+	}
+	if st != nil {
+		st.PrefilterTime = time.Since(t1)
+	}
+	if req.Limit > 0 {
+		stream := newEvalStream(newSliceStream(cands), s, req.Pattern, req.Adorn, st)
+		return newLimitStream(stream, req.Limit, st), nil
+	}
+	if req.Stream {
+		return newEvalStream(newSliceStream(cands), s, req.Pattern, req.Adorn, st), nil
+	}
+	return newBatchEvalStream(s, cands, req.Pattern, req.Adorn, st, in.Col.ShardCount()), nil
+}
+
+// buildJoinStream assembles the streaming join: side-aware pre-filter
+// (materialized — it is index work, not pair work), then the right side
+// built into a hash table and the left side probed in document order.
+// Emitted answers match the materialized join's order exactly, so a limit
+// takes a strict prefix.
+func (s *System) buildJoinStream(ctx context.Context, req QueryRequest, st *ExecStats) (DocStream, error) {
+	li := s.Instance(req.Instance)
+	ri := s.Instance(req.Right)
+	if li == nil || ri == nil {
+		return nil, fmt.Errorf("core: unknown instance in join (%q, %q)", req.Instance, req.Right)
+	}
+	ldocs := li.Col.Docs()
+	rdocs := ri.Col.Docs()
+	if lp, rp, ok := SplitJoinPattern(req.Pattern); ok {
+		t1 := time.Now()
+		lpaths := s.rewritePattern(lp, st)
+		rpaths := s.rewritePattern(rp, st)
+		if st != nil {
+			st.RewriteTime = time.Since(t1)
+		}
+		t2 := time.Now()
+		var lerr, rerr error
+		ldocs, lerr = s.candidateDocs(ctx, li.Col, lpaths, st)
+		if lerr != nil {
+			return nil, lerr
+		}
+		rdocs, rerr = s.candidateDocs(ctx, ri.Col, rpaths, st)
+		if rerr != nil {
+			return nil, rerr
+		}
+		if st != nil {
+			st.PrefilterTime = time.Since(t2)
+		}
+	} else if st != nil {
+		st.TotalDocs = len(ldocs) + len(rdocs)
+		st.CandidateDocs = st.TotalDocs
+	}
+	var stream DocStream = newJoinStream(s, ldocs, rdocs, req.Pattern, req.Adorn, st)
+	if req.Limit > 0 {
+		stream = newLimitStream(stream, req.Limit, st)
+	}
+	return stream, nil
+}
+
+// finalizeStreamTrace fills the per-operator actual row counts once the
+// pipeline has stopped (drained, limited out, or closed early).
+func finalizeStreamTrace(st *ExecStats) {
+	if st == nil || st.ScanMode != ScanModeStream {
+		return
+	}
+	for i := range st.Operators {
+		switch st.Operators[i].Name {
+		case "scan":
+			st.Operators[i].Actual = st.DocsScanned
+		case "filter":
+			st.Operators[i].Actual = st.CandidateDocs
+		case "eval", "limit":
+			st.Operators[i].Actual = st.Answers
+		}
+	}
+}

@@ -40,6 +40,13 @@ type QueryRequest struct {
 	// ablation switch previously spelled "clone the System, nil the
 	// Planner").
 	NoPlanner bool
+	// Stream asks for a live DocStream in the result instead of a
+	// materialized answer slice: the caller pulls answers one at a time and
+	// MUST Close the stream (see docs/EXECUTION.md for the lifecycle
+	// contract). Incompatible with Ranked and Analyze. When Trace is also
+	// set, the attached stats finish populating only once the stream is
+	// closed.
+	Stream bool
 }
 
 // QueryResult is the uniform answer envelope of System.Query. Exactly one of
@@ -56,9 +63,13 @@ type QueryResult struct {
 	// requests).
 	Plan *Plan
 	// Limit echoes the request's limit; LimitHit reports whether it
-	// actually truncated the answer list.
+	// actually truncated the answer list. For streamed results LimitHit is
+	// only meaningful after the stream is drained.
 	Limit    int
 	LimitHit bool
+	// Stream is the live answer stream of a Stream request (Answers is nil
+	// then). The caller owns it and must Close it exactly once.
+	Stream DocStream
 }
 
 // Query executes one TOSS algebra query described by req. It is the unified
@@ -75,6 +86,9 @@ func (s *System) Query(ctx context.Context, req QueryRequest) (*QueryResult, err
 		clone.Planner = nil
 		s = &clone
 	}
+	if req.Stream && (req.Ranked || req.Analyze) {
+		return nil, fmt.Errorf("core: ranked and analyze queries do not stream")
+	}
 	switch {
 	case req.Ranked:
 		return s.queryRanked(ctx, req)
@@ -85,6 +99,10 @@ func (s *System) Query(ctx context.Context, req QueryRequest) (*QueryResult, err
 	}
 }
 
+// querySelect drives the selection operator tree built by buildSelectStream:
+// it owns the drain (or hands the live stream to the caller) and the
+// end-to-end timings; everything else — scan strategy, pre-filtering,
+// parallelism, limit pushdown — lives in the operators.
 func (s *System) querySelect(ctx context.Context, req QueryRequest) (*QueryResult, error) {
 	traced := req.Trace || req.Analyze
 	var st *ExecStats
@@ -92,14 +110,31 @@ func (s *System) querySelect(ctx context.Context, req QueryRequest) (*QueryResul
 	// part of the result envelope even when the caller did not ask for stats.
 	if traced || req.Limit > 0 {
 		st = newExecStats("select", req.Instance)
+		st.Limit = req.Limit
+		st.Streamed = req.Stream
 	}
-	var out []*tree.Tree
-	var err error
-	if req.Limit > 0 {
-		out, st, err = s.selectN(ctx, req.Instance, req.Pattern, req.Adorn, req.Limit, st)
-	} else {
-		out, err = s.runSelect(ctx, req.Instance, req.Pattern, req.Adorn, st)
+	t0 := time.Now()
+	stream, err := s.buildSelectStream(ctx, req, st)
+	if err != nil {
+		return nil, err
 	}
+	tEval := time.Now()
+	finish := func() {
+		if st != nil {
+			st.EvalTime = time.Since(tEval)
+			st.TotalTime = time.Since(t0)
+			finalizeStreamTrace(st)
+		}
+	}
+	if req.Stream {
+		res := &QueryResult{Stream: &onCloseStream{in: stream, fn: finish}, Limit: req.Limit}
+		if traced {
+			res.Stats = st
+		}
+		return res, nil
+	}
+	out, err := drainStream(ctx, stream)
+	finish()
 	if err != nil {
 		return nil, err
 	}
@@ -118,18 +153,49 @@ func (s *System) querySelect(ctx context.Context, req QueryRequest) (*QueryResul
 
 func (s *System) queryJoin(ctx context.Context, req QueryRequest) (*QueryResult, error) {
 	traced := req.Trace || req.Analyze
+	if req.Limit > 0 || req.Stream {
+		// Streaming join: the probe side is consumed in document order and
+		// pair evaluation stops once the limit-th answer is out, instead of
+		// joining everything and truncating after the fact.
+		st := newExecStats("join", req.Instance+"⨝"+req.Right)
+		st.Limit = req.Limit
+		st.Streamed = req.Stream
+		t0 := time.Now()
+		stream, err := s.buildJoinStream(ctx, req, st)
+		if err != nil {
+			return nil, err
+		}
+		tEval := time.Now()
+		finish := func() {
+			st.EvalTime = time.Since(tEval)
+			st.TotalTime = time.Since(t0)
+		}
+		if req.Stream {
+			res := &QueryResult{Stream: &onCloseStream{in: stream, fn: finish}, Limit: req.Limit}
+			if traced {
+				res.Stats = st
+			}
+			return res, nil
+		}
+		out, err := drainStream(ctx, stream)
+		finish()
+		if err != nil {
+			return nil, err
+		}
+		res := &QueryResult{Answers: out, Limit: req.Limit, LimitHit: st.LimitHit}
+		if traced {
+			res.Stats = st
+		}
+		if req.Analyze {
+			res.Plan = s.analyzePlan(req.Instance+"⨝"+req.Right, req.Pattern, st, false)
+		}
+		return res, nil
+	}
 	out, st, err := s.join(ctx, req.Instance, req.Right, req.Pattern, req.Adorn, traced)
 	if err != nil {
 		return nil, err
 	}
 	res := &QueryResult{Answers: out, Stats: st, Limit: req.Limit}
-	if req.Limit > 0 && len(out) > req.Limit {
-		res.Answers = out[:req.Limit]
-		res.LimitHit = true
-		if st != nil {
-			st.Limit, st.LimitHit = req.Limit, true
-		}
-	}
 	if req.Analyze {
 		res.Plan = s.analyzePlan(req.Instance+"⨝"+req.Right, req.Pattern, st, false)
 	}
@@ -143,48 +209,15 @@ func (s *System) queryRanked(ctx context.Context, req QueryRequest) (*QueryResul
 	if req.Analyze {
 		return nil, fmt.Errorf("core: ranked queries do not support analyze")
 	}
-	ranked, err := s.runSelectRanked(ctx, req.Instance, req.Pattern, req.Adorn)
+	ranked, total, err := s.runSelectRanked(ctx, req.Instance, req.Pattern, req.Adorn, req.Limit)
 	if err != nil {
 		return nil, err
 	}
 	res := &QueryResult{Ranked: ranked, Limit: req.Limit}
-	if req.Limit > 0 && len(ranked) > req.Limit {
-		res.Ranked = ranked[:req.Limit]
+	if req.Limit > 0 && total > req.Limit {
 		res.LimitHit = true
 	}
 	return res, nil
-}
-
-// runSelect is the one selection pipeline behind Query: rewrite to XPath,
-// scatter the pre-filter across the collection's shards, evaluate surviving
-// candidates on a worker pool sized to the shard count, and gather answers in
-// document order. A nil st skips all bookkeeping (the untraced fast path).
-func (s *System) runSelect(ctx context.Context, instance string, p *pattern.Tree, sl []int, st *ExecStats) ([]*tree.Tree, error) {
-	in := s.Instance(instance)
-	if in == nil {
-		return nil, fmt.Errorf("core: unknown instance %q", instance)
-	}
-	t0 := time.Now()
-	paths := s.rewritePattern(p, st)
-	if st != nil {
-		st.RewriteTime = time.Since(t0)
-	}
-	t1 := time.Now()
-	cands, err := s.candidateDocs(ctx, in.Col, paths, st)
-	if err != nil {
-		return nil, err
-	}
-	if st != nil {
-		st.PrefilterTime = time.Since(t1)
-	}
-	t2 := time.Now()
-	out, err := s.selectDocs(ctx, cands, p, sl, st, in.Col.ShardCount())
-	if st != nil {
-		st.EvalTime = time.Since(t2)
-		st.TotalTime = time.Since(t0)
-		st.Answers = len(out)
-	}
-	return out, err
 }
 
 // analyzePlan builds the static plan skeleton and fills in the actuals

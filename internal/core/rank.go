@@ -46,32 +46,37 @@ func (s *System) SelectRankedContext(ctx context.Context, instance string, p *pa
 }
 
 // runSelectRanked is the ranked-selection pipeline behind Query, checking the
-// context between candidate documents.
-func (s *System) runSelectRanked(ctx context.Context, instance string, p *pattern.Tree, sl []int) ([]RankedAnswer, error) {
+// context between candidate documents. It returns the (possibly truncated)
+// ranking plus the total number of answers found. With limit > 0 a bounded
+// top-K heap keyed by (score, discovery order) replaces the full stable sort
+// — memory stays O(limit) however many answers exist, and the returned
+// prefix is exactly what stable-sorting everything and truncating produced.
+func (s *System) runSelectRanked(ctx context.Context, instance string, p *pattern.Tree, sl []int, limit int) ([]RankedAnswer, int, error) {
 	in := s.Instance(instance)
 	if in == nil {
-		return nil, fmt.Errorf("core: unknown instance %q", instance)
+		return nil, 0, fmt.Errorf("core: unknown instance %q", instance)
 	}
 	if s.Measure == nil {
-		return nil, fmt.Errorf("core: system not built; no similarity measure")
+		return nil, 0, fmt.Errorf("core: system not built; no similarity measure")
 	}
 	cands, err := s.candidateDocs(ctx, in.Col, s.RewritePattern(p), nil)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	dst := tree.NewCollection()
 	c := tax.Compile(p)
 	ev := s.Evaluator()
 	simAtoms := simAtomsOf(p)
 
-	var out []RankedAnswer
+	top := newTopK(limit)
+	total := 0
 	for _, doc := range cands {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		bindings, err := c.Embeddings(doc, ev)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		for _, b := range bindings {
 			wt := c.WitnessTree(dst, doc, b, sl)
@@ -80,13 +85,97 @@ func (s *System) runSelectRanked(ctx context.Context, instance string, p *patter
 			}
 			score, err := s.scoreBinding(simAtoms, b)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
-			out = append(out, RankedAnswer{Tree: wt, Score: score})
+			top.add(RankedAnswer{Tree: wt, Score: score}, total)
+			total++
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Score < out[j].Score })
-	return out, nil
+	return top.ranking(), total, nil
+}
+
+// topK accumulates ranked answers and produces the best k by ascending
+// (score, discovery index) — the order a stable sort on score gives. With
+// k <= 0 it keeps everything (the unlimited ranking). Internally a max-heap
+// of size k: the worst kept answer sits on top and is evicted as soon as a
+// better one arrives.
+type topK struct {
+	k     int
+	items []topKItem // heap-ordered when k > 0, insertion-ordered otherwise
+}
+
+type topKItem struct {
+	ans RankedAnswer
+	idx int // discovery index (stable-sort tie-break)
+}
+
+func newTopK(k int) *topK { return &topK{k: k} }
+
+// worse reports whether a ranks after b (larger score, later discovery).
+func (t *topK) worse(a, b topKItem) bool {
+	if a.ans.Score != b.ans.Score {
+		return a.ans.Score > b.ans.Score
+	}
+	return a.idx > b.idx
+}
+
+func (t *topK) add(a RankedAnswer, idx int) {
+	it := topKItem{ans: a, idx: idx}
+	if t.k <= 0 {
+		t.items = append(t.items, it)
+		return
+	}
+	if len(t.items) < t.k {
+		t.items = append(t.items, it)
+		t.up(len(t.items) - 1)
+		return
+	}
+	if !t.worse(it, t.items[0]) {
+		t.items[0] = it
+		t.down(0)
+	}
+}
+
+func (t *topK) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !t.worse(t.items[i], t.items[parent]) {
+			break
+		}
+		t.items[i], t.items[parent] = t.items[parent], t.items[i]
+		i = parent
+	}
+}
+
+func (t *topK) down(i int) {
+	for {
+		worst := i
+		for _, c := range []int{2*i + 1, 2*i + 2} {
+			if c < len(t.items) && t.worse(t.items[c], t.items[worst]) {
+				worst = c
+			}
+		}
+		if worst == i {
+			return
+		}
+		t.items[i], t.items[worst] = t.items[worst], t.items[i]
+		i = worst
+	}
+}
+
+// ranking returns the kept answers ordered most-similar first.
+func (t *topK) ranking() []RankedAnswer {
+	if len(t.items) == 0 {
+		return nil
+	}
+	items := make([]topKItem, len(t.items))
+	copy(items, t.items)
+	sort.Slice(items, func(i, j int) bool { return t.worse(items[j], items[i]) })
+	out := make([]RankedAnswer, len(items))
+	for i, it := range items {
+		out[i] = it.ans
+	}
+	return out
 }
 
 // simAtomsOf collects every ~ atom of the condition (not just the

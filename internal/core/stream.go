@@ -1,0 +1,206 @@
+package core
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/tree"
+)
+
+// DocStream is the pull-based (Volcano-style) iterator every execution
+// operator implements. Next returns the next answer tree, io.EOF once the
+// stream is exhausted, or the first error (including ctx.Err() on
+// cancellation); after a non-nil error the stream is dead and further Next
+// calls return the same error or io.EOF.
+//
+// Lifecycle contract: the consumer that received the stream owns it and
+// must call Close exactly once, whether or not it drained to io.EOF. Close
+// releases operator resources (prefetch goroutines, buffers) and is
+// idempotent. Cancelling the context passed to Next stops the pipeline at
+// the next operator boundary; Close must still be called afterwards.
+type DocStream interface {
+	Next(ctx context.Context) (*tree.Tree, error)
+	Close()
+}
+
+// sliceStream serves a materialized answer slice — the adapter between the
+// batch operators (which still produce []*tree.Tree) and the stream world.
+type sliceStream struct {
+	docs []*tree.Tree
+	pos  int
+}
+
+func newSliceStream(docs []*tree.Tree) *sliceStream { return &sliceStream{docs: docs} }
+
+func (s *sliceStream) Next(ctx context.Context) (*tree.Tree, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.pos >= len(s.docs) {
+		return nil, io.EOF
+	}
+	d := s.docs[s.pos]
+	s.pos++
+	return d, nil
+}
+
+func (s *sliceStream) Close() {}
+
+// errStream is a stream that fails immediately — it lets pipeline builders
+// defer error delivery to the first Next without a special error channel.
+type errStream struct{ err error }
+
+func (s *errStream) Next(context.Context) (*tree.Tree, error) { return nil, s.err }
+func (s *errStream) Close()                                   {}
+
+// limitStream passes through at most limit answers, then reports io.EOF
+// without pulling its input any further — the limit-pushdown operator. When
+// the limit-th answer is emitted it records LimitHit on the trace (the
+// historical SelectN semantics: the limit counts as hit exactly when the
+// limit-th answer exists, whether or not more would have followed).
+type limitStream struct {
+	in    DocStream
+	limit int
+	sent  int
+	st    *ExecStats
+}
+
+func newLimitStream(in DocStream, limit int, st *ExecStats) *limitStream {
+	return &limitStream{in: in, limit: limit, st: st}
+}
+
+func (s *limitStream) Next(ctx context.Context) (*tree.Tree, error) {
+	if s.sent >= s.limit {
+		return nil, io.EOF
+	}
+	d, err := s.in.Next(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.sent++
+	if s.sent == s.limit && s.st != nil {
+		s.st.LimitHit = true
+	}
+	return d, nil
+}
+
+func (s *limitStream) Close() { s.in.Close() }
+
+// onCloseStream runs fn once when the stream is closed — the hook drivers
+// use to finalize trace timings for streams handed to external consumers.
+type onCloseStream struct {
+	in     DocStream
+	fn     func()
+	closed bool
+}
+
+func (s *onCloseStream) Next(ctx context.Context) (*tree.Tree, error) { return s.in.Next(ctx) }
+
+func (s *onCloseStream) Close() {
+	if !s.closed {
+		s.closed = true
+		s.in.Close()
+		if s.fn != nil {
+			s.fn()
+		}
+	}
+}
+
+// drainStream pulls a stream to exhaustion, closes it, and returns the
+// answers — the adapter the materialized entry points (and the deprecated
+// wrappers behind them) use to keep returning slices.
+func drainStream(ctx context.Context, s DocStream) ([]*tree.Tree, error) {
+	defer s.Close()
+	var out []*tree.Tree
+	for {
+		d, err := s.Next(ctx)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+}
+
+// asyncStream prefetches from its input on a dedicated goroutine through a
+// bounded buffer, overlapping upstream work (shard scanning, filtering) with
+// downstream consumption. A single producer preserves order exactly. Close
+// cancels the producer and drains the buffer, so the goroutine always exits
+// — the lifecycle the leak-check tests pin down.
+type asyncStream struct {
+	ch     chan asyncItem
+	cancel context.CancelFunc
+	done   chan struct{}
+	closed bool
+	failed error
+}
+
+type asyncItem struct {
+	doc *tree.Tree
+	err error
+}
+
+func newAsyncStream(in DocStream, buffer int) *asyncStream {
+	if buffer < 1 {
+		buffer = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &asyncStream{
+		ch:     make(chan asyncItem, buffer),
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		defer close(s.ch)
+		defer in.Close()
+		for {
+			d, err := in.Next(ctx)
+			if err != nil {
+				select {
+				case s.ch <- asyncItem{err: err}:
+				case <-ctx.Done():
+				}
+				return
+			}
+			select {
+			case s.ch <- asyncItem{doc: d}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return s
+}
+
+func (s *asyncStream) Next(ctx context.Context) (*tree.Tree, error) {
+	if s.failed != nil {
+		return nil, s.failed
+	}
+	select {
+	case it, ok := <-s.ch:
+		if !ok {
+			return nil, io.EOF
+		}
+		if it.err != nil {
+			s.failed = it.err
+			return nil, it.err
+		}
+		return it.doc, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (s *asyncStream) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.cancel()
+	for range s.ch { // unblock the producer if it is mid-send
+	}
+	<-s.done
+}

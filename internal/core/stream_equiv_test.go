@@ -1,0 +1,353 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datagen"
+	"repro/internal/pattern"
+	"repro/internal/tax"
+	"repro/internal/tree"
+)
+
+// TestStreamedEqualsMaterializedQuick is the streaming-equivalence property:
+// for random patterns, at shard counts 1, 2 and 7, planner on and off, the
+// streamed execution must return the same documents in the same order as the
+// materialized path, and a limited query must return exactly the prefix of
+// the unlimited answer list (with LimitHit reporting whether the limit-th
+// answer exists). The corpora are large enough (40 documents) that limited
+// runs cross MinStreamScanDocs and actually exercise the stream-scan
+// pipeline, not just the materialized limit operator.
+func TestStreamedEqualsMaterializedQuick(t *testing.T) {
+	shardCounts := []int{1, 2, 7}
+	systems := make([]*System, len(shardCounts))
+	var corpus *datagen.Corpus
+	for i, n := range shardCounts {
+		systems[i], corpus = buildShardedJoinSystem(t, 40, 1, n)
+	}
+	authors := make([]string, 0, len(corpus.Authors))
+	for _, a := range corpus.Authors {
+		authors = append(authors, a.Canonical())
+	}
+	years := []string{"1999", "2000", "2001", "2002", "2003"}
+	ctx := context.Background()
+
+	f := func(aIdx, yIdx, opSel, shape, limSel uint8) bool {
+		author := authors[int(aIdx)%len(authors)]
+		year := years[int(yIdx)%len(years)]
+		ops := []string{"=", "~", "contains"}
+		op := ops[int(opSel)%len(ops)]
+
+		var src string
+		switch shape % 3 {
+		case 0:
+			src = fmt.Sprintf(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content %s %q`, op, author)
+		case 1:
+			src = fmt.Sprintf(`#1 pc #2, #1 pc #3 :: #1.tag = "inproceedings" & #2.tag = "author" & #3.tag = "year" & #2.content %s %q & #3.content = %q`, op, author, year)
+		default:
+			// Unselective: every document answers, so limit pushdown has a
+			// long prefix to cut.
+			src = `#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "title"`
+		}
+		p, perr := pattern.Parse(src)
+		if perr != nil {
+			t.Fatalf("bad generated pattern %q: %v", src, perr)
+		}
+
+		ref, err := systems[0].Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}})
+		if err != nil {
+			t.Fatalf("%s: reference: %v", src, err)
+		}
+		for i, s := range systems {
+			for _, noPlanner := range []bool{false, true} {
+				base := QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, NoPlanner: noPlanner}
+
+				// Streamed full result ≡ materialized full result.
+				streamReq := base
+				streamReq.Stream = true
+				res, err := s.Query(ctx, streamReq)
+				if err != nil {
+					t.Fatalf("%s: shards=%d noPlanner=%t stream: %v", src, shardCounts[i], noPlanner, err)
+				}
+				got, err := drainStream(ctx, res.Stream)
+				if err != nil {
+					t.Fatalf("%s: shards=%d noPlanner=%t drain: %v", src, shardCounts[i], noPlanner, err)
+				}
+				if !sameTrees(ref.Answers, got) {
+					t.Logf("%s: shards=%d noPlanner=%t: streamed %d answers vs materialized %d",
+						src, shardCounts[i], noPlanner, len(got), len(ref.Answers))
+					return false
+				}
+
+				// Limited ≡ prefix of unlimited, at a random limit.
+				limit := 1 + int(limSel)%(len(ref.Answers)+2)
+				limReq := base
+				limReq.Limit = limit
+				lres, err := s.Query(ctx, limReq)
+				if err != nil {
+					t.Fatalf("%s: shards=%d noPlanner=%t limit=%d: %v", src, shardCounts[i], noPlanner, limit, err)
+				}
+				want := ref.Answers
+				if limit < len(want) {
+					want = want[:limit]
+				}
+				if !sameTrees(want, lres.Answers) {
+					t.Logf("%s: shards=%d noPlanner=%t limit=%d: %d answers, want prefix of %d",
+						src, shardCounts[i], noPlanner, limit, len(lres.Answers), len(ref.Answers))
+					return false
+				}
+				if wantHit := len(ref.Answers) >= limit; lres.LimitHit != wantHit {
+					t.Logf("%s: shards=%d noPlanner=%t limit=%d: LimitHit=%t, want %t",
+						src, shardCounts[i], noPlanner, limit, lres.LimitHit, wantHit)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 25,
+		Rand:     rand.New(rand.NewSource(43)),
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamedJoinEqualsMaterialized drives the same property through the
+// join path: streamed (probe-side streaming, right side built) joins must
+// produce the materialized join's answers in its order, and a limited join
+// is a strict prefix.
+func TestStreamedJoinEqualsMaterialized(t *testing.T) {
+	shardCounts := []int{1, 2, 7}
+	joinSrc := fmt.Sprintf(
+		`#1 pc #2, #1 pc #3, #2 ad #4, #3 ad #5 :: #1.tag = %q & #2.tag = "dblp" & #3.tag = "ProceedingsPage" & #4.tag = "title" & #5.tag = "title" & #4.content ~ #5.content`,
+		tax.ProdRootTag)
+	jp := pattern.MustParse(joinSrc)
+	ctx := context.Background()
+
+	var ref []*tree.Tree
+	for _, n := range shardCounts {
+		s, _ := buildShardedJoinSystem(t, 40, 2, n)
+		full, err := s.Query(ctx, QueryRequest{Pattern: jp, Instance: "dblp", Right: "proc", Adorn: []int{2, 3}})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", n, err)
+		}
+		if len(full.Answers) == 0 {
+			t.Fatal("join matched nothing — test corpus broken")
+		}
+		if ref == nil {
+			ref = full.Answers
+		} else if !sameTrees(ref, full.Answers) {
+			t.Fatalf("shards=%d: materialized join differs from 1-shard reference", n)
+		}
+
+		for _, noPlanner := range []bool{false, true} {
+			sres, err := s.Query(ctx, QueryRequest{
+				Pattern: jp, Instance: "dblp", Right: "proc", Adorn: []int{2, 3},
+				NoPlanner: noPlanner, Stream: true,
+			})
+			if err != nil {
+				t.Fatalf("shards=%d noPlanner=%t stream: %v", n, noPlanner, err)
+			}
+			got, err := drainStream(ctx, sres.Stream)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameTrees(ref, got) {
+				t.Errorf("shards=%d noPlanner=%t: streamed join %d answers differ from materialized %d",
+					n, noPlanner, len(got), len(ref))
+			}
+
+			for _, limit := range []int{1, 2, len(ref), len(ref) + 3} {
+				lres, err := s.Query(ctx, QueryRequest{
+					Pattern: jp, Instance: "dblp", Right: "proc", Adorn: []int{2, 3},
+					NoPlanner: noPlanner, Limit: limit,
+				})
+				if err != nil {
+					t.Fatalf("shards=%d limit=%d: %v", n, limit, err)
+				}
+				want := ref
+				if limit < len(want) {
+					want = want[:limit]
+				}
+				if !sameTrees(want, lres.Answers) {
+					t.Errorf("shards=%d noPlanner=%t limit=%d: limited join is not a prefix (%d answers, ref %d)",
+						n, noPlanner, limit, len(lres.Answers), len(ref))
+				}
+				if wantHit := len(ref) >= limit; lres.LimitHit != wantHit {
+					t.Errorf("shards=%d noPlanner=%t limit=%d: LimitHit=%t want %t",
+						n, noPlanner, limit, lres.LimitHit, wantHit)
+				}
+			}
+		}
+	}
+}
+
+// TestRankedTopKEqualsFullSort: the bounded top-K heap must return exactly
+// the prefix of the full stable-sorted ranking — same trees, same scores,
+// same tie-breaks.
+func TestRankedTopKEqualsFullSort(t *testing.T) {
+	s, corpus := buildShardedJoinSystem(t, 40, 2, 4)
+	author := corpus.Authors[0].Canonical()
+	p := pattern.MustParse(fmt.Sprintf(
+		`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ %q`, author))
+	ctx := context.Background()
+
+	full, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, Ranked: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Ranked) < 2 {
+		t.Fatalf("want >= 2 ranked answers, got %d", len(full.Ranked))
+	}
+	for _, limit := range []int{1, 2, len(full.Ranked), len(full.Ranked) + 5} {
+		lim, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, Ranked: true, Limit: limit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := full.Ranked
+		if limit < len(want) {
+			want = want[:limit]
+		}
+		if len(lim.Ranked) != len(want) {
+			t.Fatalf("limit=%d: got %d ranked answers, want %d", limit, len(lim.Ranked), len(want))
+		}
+		for i := range want {
+			if lim.Ranked[i].Score != want[i].Score || !tree.Equal(lim.Ranked[i].Tree, want[i].Tree) {
+				t.Fatalf("limit=%d: rank %d differs (score %g vs %g)", limit, i, lim.Ranked[i].Score, want[i].Score)
+			}
+		}
+		if wantHit := len(full.Ranked) > limit; lim.LimitHit != wantHit {
+			t.Errorf("limit=%d: LimitHit=%t, want %t", limit, lim.LimitHit, wantHit)
+		}
+	}
+}
+
+// TestStreamScanEngagesAndScansFewerDocs pins the point of the whole
+// refactor: a limit-10 selection over a large collection must route through
+// the streaming shard scan, stop well short of the full collection, and
+// report per-operator estimated-vs-actual rows in the trace.
+func TestStreamScanEngagesAndScansFewerDocs(t *testing.T) {
+	s, _ := buildShardedJoinSystem(t, 60, 1, 4)
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "title"`)
+	ctx := context.Background()
+
+	for _, noPlanner := range []bool{false, true} {
+		res, err := s.Query(ctx, QueryRequest{
+			Pattern: p, Instance: "dblp", Adorn: []int{1},
+			Limit: 10, Trace: true, NoPlanner: noPlanner,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := res.Stats
+		if st.ScanMode != ScanModeStream {
+			t.Fatalf("noPlanner=%t: scan mode %q, want %q", noPlanner, st.ScanMode, ScanModeStream)
+		}
+		if len(res.Answers) != 10 || !res.LimitHit {
+			t.Fatalf("noPlanner=%t: %d answers, hit=%t", noPlanner, len(res.Answers), res.LimitHit)
+		}
+		if st.DocsScanned >= st.TotalDocs {
+			t.Errorf("noPlanner=%t: scanned %d of %d docs — limit pushdown did not cut the scan",
+				noPlanner, st.DocsScanned, st.TotalDocs)
+		}
+		if len(st.Operators) == 0 {
+			t.Error("stream-scan trace missing per-operator rows")
+		}
+		for _, op := range st.Operators {
+			if op.Name == "limit" && op.Actual != 10 {
+				t.Errorf("limit operator actual=%d, want 10", op.Actual)
+			}
+		}
+		rendered := st.String()
+		if !strings.Contains(rendered, "stream: mode=stream-scan") ||
+			!strings.Contains(rendered, "estimated=") {
+			t.Errorf("stream-scan trace rendering incomplete:\n%s", rendered)
+		}
+	}
+}
+
+// TestLimitTraceRendersIdentically pins the satellite requirement that the
+// materialized limit path (unsharded, small collection — below
+// MinStreamScanDocs) still renders the exact LimitHit trace the historical
+// SelectN produced: sequential evaluation on one worker, the same
+// per-counter values, the same "limit N hit" line, and no streaming lines.
+// The expected counters are recomputed by an inline reference implementation
+// of the old algorithm.
+func TestLimitTraceRendersIdentically(t *testing.T) {
+	s := NewSystem()
+	in, err := s.AddInstance("dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 single-paper documents (< MinStreamScanDocs), unsharded.
+	for i := 0; i < 10; i++ {
+		doc := fmt.Sprintf(`<dblp><inproceedings key="d%d"><author>Author %d</author><title>Title %d</title></inproceedings></dblp>`, i, i, i)
+		if _, err := in.Col.PutXML(fmt.Sprintf("d%d", i), strings.NewReader(doc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author"`)
+	const limit = 4
+	ctx := context.Background()
+
+	// Reference: the historical SelectN loop — sequential evaluation over the
+	// materialized candidate set, stopping at the limit.
+	paths := s.RewritePattern(p)
+	cands := s.CandidateDocs(in.Col, paths)
+	dst := tree.NewCollection()
+	ev := s.Evaluator()
+	wantEvaluated, wantEmbeddings, wantAnswers := 0, 0, 0
+	for _, doc := range cands {
+		res, ops, err := tax.SelectTraced(dst, []*tree.Tree{doc}, p, []int{1}, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantEvaluated++
+		wantEmbeddings += ops.Embeddings
+		wantAnswers += len(res)
+		if wantAnswers >= limit {
+			wantAnswers = limit
+			break
+		}
+	}
+
+	lres, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, Limit: limit, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := lres.Stats
+	if st.ScanMode != "" || st.DocsScanned != 0 {
+		t.Fatalf("small unsharded limit run must stay materialized, got mode=%q scanned=%d", st.ScanMode, st.DocsScanned)
+	}
+	if st.Workers != 1 || len(st.WorkerDocs) != 1 || st.WorkerDocs[0] != wantEvaluated {
+		t.Errorf("worker trace: workers=%d workerDocs=%v, want 1/[%d]", st.Workers, st.WorkerDocs, wantEvaluated)
+	}
+	if st.DocsEvaluated != wantEvaluated || st.Embeddings != wantEmbeddings || st.Answers != wantAnswers {
+		t.Errorf("counters: evaluated=%d embeddings=%d answers=%d, want %d/%d/%d",
+			st.DocsEvaluated, st.Embeddings, st.Answers, wantEvaluated, wantEmbeddings, wantAnswers)
+	}
+	if !st.LimitHit || !lres.LimitHit {
+		t.Error("limit must register as hit")
+	}
+
+	rendered := st.String()
+	wantLimitLine := fmt.Sprintf("  limit %d hit after %d of %d candidate doc(s) (early exit)\n",
+		limit, wantEvaluated, len(cands))
+	if !strings.Contains(rendered, wantLimitLine) {
+		t.Errorf("trace missing the historical limit line %q:\n%s", wantLimitLine, rendered)
+	}
+	wantEvalTail := fmt.Sprintf("workers=1 docs=%d embeddings=%d answers=%d\n",
+		wantEvaluated, wantEmbeddings, wantAnswers)
+	if !strings.Contains(rendered, wantEvalTail) {
+		t.Errorf("trace missing the historical eval line tail %q:\n%s", wantEvalTail, rendered)
+	}
+	if strings.Contains(rendered, "stream:") {
+		t.Errorf("materialized limit trace must not contain streaming lines:\n%s", rendered)
+	}
+}

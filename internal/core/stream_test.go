@@ -1,0 +1,301 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pattern"
+	"repro/internal/tree"
+)
+
+func namedTree(t *testing.T, tag string) *tree.Tree {
+	t.Helper()
+	tr, err := tree.NewCollection().ParseXMLString("<" + tag + "/>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func makeTrees(t *testing.T, n int) []*tree.Tree {
+	t.Helper()
+	out := make([]*tree.Tree, n)
+	for i := range out {
+		out[i] = namedTree(t, fmt.Sprintf("t%d", i))
+	}
+	return out
+}
+
+func TestSliceStreamAndDrain(t *testing.T) {
+	docs := makeTrees(t, 4)
+	got, err := drainStream(context.Background(), newSliceStream(docs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameTrees(docs, got) {
+		t.Fatal("drained slice stream differs from its input")
+	}
+	// Exhausted streams keep reporting io.EOF.
+	s := newSliceStream(nil)
+	for i := 0; i < 2; i++ {
+		if _, err := s.Next(context.Background()); err != io.EOF {
+			t.Fatalf("empty stream Next #%d: err=%v, want io.EOF", i, err)
+		}
+	}
+}
+
+func TestLimitStreamStopsPullingAndRecordsHit(t *testing.T) {
+	docs := makeTrees(t, 5)
+	st := newExecStats("select", "x")
+	inner := newSliceStream(docs)
+	lim := newLimitStream(inner, 2, st)
+	got, err := drainStream(context.Background(), lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !st.LimitHit {
+		t.Fatalf("limit stream: %d answers, hit=%t, want 2/true", len(got), st.LimitHit)
+	}
+	if inner.pos != 2 {
+		t.Fatalf("limit stream pulled %d docs from its input, want exactly 2 (pushdown)", inner.pos)
+	}
+
+	// A limit the input never reaches must not record a hit.
+	st2 := newExecStats("select", "x")
+	got, err = drainStream(context.Background(), newLimitStream(newSliceStream(docs), 9, st2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || st2.LimitHit {
+		t.Fatalf("unreached limit: %d answers, hit=%t, want 5/false", len(got), st2.LimitHit)
+	}
+
+	// Exactly-limit answers still count as a hit (historical SelectN
+	// semantics: the limit-th answer exists).
+	st3 := newExecStats("select", "x")
+	if _, err := drainStream(context.Background(), newLimitStream(newSliceStream(docs), 5, st3)); err != nil {
+		t.Fatal(err)
+	}
+	if !st3.LimitHit {
+		t.Fatal("limit == answer count must record LimitHit")
+	}
+}
+
+func TestScanStreamMergesShardsInInsertionOrder(t *testing.T) {
+	s := NewSystem()
+	s.DB.SetDefaultShards(5)
+	in, err := s.AddInstance("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 23; i++ {
+		xml := fmt.Sprintf("<doc><n>%d</n></doc>", i)
+		if _, err := in.Col.PutXML(fmt.Sprintf("k%02d", i), strings.NewReader(xml)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := newExecStats("select", "c")
+	got, err := drainStream(context.Background(), newScanStream(in.Col.ShardCursors(), st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameTrees(in.Col.Docs(), got) {
+		t.Fatal("scan stream order differs from Docs() insertion order")
+	}
+	if st.DocsScanned != 23 {
+		t.Fatalf("DocsScanned=%d, want 23", st.DocsScanned)
+	}
+}
+
+func TestFilterStreamMatchesCandidateDocs(t *testing.T) {
+	s := miniSystem(t, 3)
+	col := s.Instance("dblp").Col
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content = "J. Ullman"`)
+	paths := s.RewritePattern(p)
+	if len(paths) == 0 {
+		t.Fatal("pattern rewrote to no paths")
+	}
+	want := s.CandidateDocs(col, paths)
+	got, err := drainStream(context.Background(),
+		newFilterStream(newScanStream(col.ShardCursors(), nil), paths, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameTrees(want, got) {
+		t.Fatalf("filter stream passed %d docs, candidateDocs %d", len(got), len(want))
+	}
+}
+
+func TestAsyncStreamDeliversInOrderAndClosesClean(t *testing.T) {
+	defer checkGoroutineLeak(t)()
+	docs := makeTrees(t, 50)
+	got, err := drainStream(context.Background(), newAsyncStream(newSliceStream(docs), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameTrees(docs, got) {
+		t.Fatal("async stream reordered or dropped documents")
+	}
+}
+
+func TestAsyncStreamCloseMidStreamLeavesNoGoroutine(t *testing.T) {
+	defer checkGoroutineLeak(t)()
+	docs := makeTrees(t, 100)
+	s := newAsyncStream(newSliceStream(docs), 2)
+	if _, err := s.Next(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s.Close() // producer mid-flight: Close must cancel, drain, and join it
+	s.Close() // and closing twice is fine
+}
+
+func TestAsyncStreamPropagatesErrors(t *testing.T) {
+	defer checkGoroutineLeak(t)()
+	boom := errors.New("boom")
+	s := newAsyncStream(&errStream{err: boom}, 2)
+	defer s.Close()
+	if _, err := s.Next(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("err=%v, want boom", err)
+	}
+	if _, err := s.Next(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("second Next err=%v, want boom again", err)
+	}
+}
+
+func TestAsyncStreamConsumerCancellation(t *testing.T) {
+	defer checkGoroutineLeak(t)()
+	docs := makeTrees(t, 10)
+	s := newAsyncStream(newSliceStream(docs), 1)
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// The consumer's context governs its Next calls even while the producer
+	// is alive.
+	deadline := time.Now().Add(time.Second)
+	for {
+		if _, err := s.Next(ctx); errors.Is(err, context.Canceled) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled consumer never saw context.Canceled")
+		}
+	}
+}
+
+func TestEvalStreamFinalizesWorkerTrace(t *testing.T) {
+	s := miniSystem(t, 3)
+	col := s.Instance("dblp").Col
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author"`)
+	st := newExecStats("select", "dblp")
+	es := newEvalStream(newSliceStream(col.Docs()), s, p, []int{1}, st)
+	out, err := drainStream(context.Background(), es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("eval stream produced no answers")
+	}
+	if st.Workers != 1 || len(st.WorkerDocs) != 1 || st.WorkerDocs[0] != st.DocsEvaluated {
+		t.Fatalf("worker trace: workers=%d workerDocs=%v evaluated=%d",
+			st.Workers, st.WorkerDocs, st.DocsEvaluated)
+	}
+	if st.Answers != len(out) {
+		t.Fatalf("Answers=%d, want %d", st.Answers, len(out))
+	}
+}
+
+func TestSelectDocsWorkersExitOnCancel(t *testing.T) {
+	defer checkGoroutineLeak(t)()
+	s := miniSystem(t, 3)
+	s.Parallelism = 4
+	var docs []*tree.Tree
+	for i := 0; i < 64; i++ {
+		docs = append(docs, namedTree(t, "inproceedings"))
+	}
+	p := pattern.MustParse(`#1 :: #1.tag = "inproceedings"`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.selectDocs(ctx, docs, p, []int{1}, nil, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("selectDocs err=%v, want context.Canceled", err)
+	}
+}
+
+func TestParallelDocKeysCancellation(t *testing.T) {
+	defer checkGoroutineLeak(t)()
+	docs := makeTrees(t, 64)
+	keys := func(d *tree.Tree) []string { return []string{"k"} }
+
+	out, err := parallelDocKeys(context.Background(), docs, keys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ks := range out {
+		if len(ks) != 1 {
+			t.Fatalf("doc %d: keys=%v", i, ks)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := parallelDocKeys(ctx, docs, keys, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled parallelDocKeys err=%v, want context.Canceled", err)
+	}
+}
+
+func TestQueryStreamSelection(t *testing.T) {
+	defer checkGoroutineLeak(t)()
+	s := miniSystem(t, 3)
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author"`)
+	ctx := context.Background()
+
+	ref, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, Stream: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stream == nil || res.Answers != nil {
+		t.Fatal("Stream request must return a stream and no materialized answers")
+	}
+	got, err := drainStream(ctx, res.Stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameTrees(ref.Answers, got) {
+		t.Fatalf("streamed selection: %d answers differ from materialized %d", len(got), len(ref.Answers))
+	}
+
+	// Ranked and analyze refuse to stream.
+	if _, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Stream: true, Ranked: true}); err == nil {
+		t.Error("Stream+Ranked must fail")
+	}
+	if _, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Stream: true, Analyze: true}); err == nil {
+		t.Error("Stream+Analyze must fail")
+	}
+}
+
+func TestQueryStreamAbandonedEarly(t *testing.T) {
+	defer checkGoroutineLeak(t)()
+	s, _ := buildShardedJoinSystem(t, 40, 1, 4)
+	p := pattern.MustParse(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "title"`)
+	res, err := s.Query(context.Background(), QueryRequest{
+		Pattern: p, Instance: "dblp", Adorn: []int{1}, Limit: 30, Stream: true, Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Stream.Next(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	res.Stream.Close() // abandon after one answer: prefetcher must die
+	if res.Stats.TotalTime == 0 {
+		t.Error("closing the stream must finalize trace timings")
+	}
+}

@@ -1,0 +1,93 @@
+package planner
+
+import (
+	"repro/internal/xmldb"
+	"repro/internal/xpath"
+)
+
+// MinStreamScanDocs is the collection size below which limit pushdown never
+// switches to the streaming shard scan: on tiny collections the materialized
+// pre-filter is effectively free, and keeping the materialized path there
+// also keeps small-collection limit traces identical to the historical
+// SelectN output.
+const MinStreamScanDocs = 32
+
+// StreamDecision is the planner's verdict on executing a limited selection
+// through the streaming shard-scan pipeline (scan documents in insertion
+// order, filter each against the rewritten paths, stop once the limit is
+// satisfied) instead of materializing the full candidate set first.
+type StreamDecision struct {
+	// Stream reports whether the streaming scan is estimated cheaper.
+	Stream bool
+	// EstCandidates is the estimated size of the full candidate set (the
+	// usual attribute-independence product over the paths).
+	EstCandidates float64
+	// EstScanDocs is the estimated number of documents the streaming scan
+	// pulls before the limit is satisfied (candidates spread uniformly over
+	// insertion order).
+	EstScanDocs float64
+	// StreamCost and MaterializedCost are the competing estimates in the
+	// planner's abstract cost units.
+	StreamCost       float64
+	MaterializedCost float64
+}
+
+// PlanStreamScan decides whether a selection with the given answer limit
+// should run as a streaming shard scan. The streaming scan evaluates every
+// rewritten path per document by walking it, so its cost is the expected
+// scan prefix times the per-document walk cost; the materialized
+// alternative pays every path's chosen access method over the whole
+// collection before the first candidate is evaluated. Either way the
+// answers are a prefix of the unlimited result, so the decision can only
+// move work, never change it.
+func PlanStreamScan(st *xmldb.Stats, paths []*xpath.Path, limit int) StreamDecision {
+	d := StreamDecision{}
+	if limit <= 0 || st == nil || st.Docs < MinStreamScanDocs {
+		return d
+	}
+	docs := float64(st.Docs)
+	sel := 1.0
+	for _, p := range paths {
+		est := EstimatePath(st, p)
+		d.MaterializedCost += est.Cost
+		if docs > 0 {
+			sel *= est.EstDocs / docs
+		}
+	}
+	d.EstCandidates = sel * docs
+	if d.EstCandidates < 1 {
+		// Expecting no candidates at all: the streaming scan would walk the
+		// whole collection to find out; budget for that.
+		d.EstScanDocs = docs
+	} else {
+		d.EstScanDocs = float64(limit) / (d.EstCandidates / docs)
+		if d.EstScanDocs > docs {
+			d.EstScanDocs = docs
+		}
+	}
+	perDoc := st.AvgNodesPerDoc() * CostScanNode
+	nPaths := len(paths)
+	if nPaths == 0 {
+		nPaths = 1
+	}
+	d.StreamCost = d.EstScanDocs * perDoc * float64(nPaths)
+	// A pattern that rewrote to no pre-filter paths makes every document a
+	// candidate: the materialized path pays nothing up front, and streaming
+	// from cursors is equally free — prefer it, since it also skips the
+	// full-snapshot merge.
+	if len(paths) == 0 {
+		d.Stream = true
+		d.StreamCost = 0
+		return d
+	}
+	d.Stream = d.StreamCost < d.MaterializedCost
+	return d
+}
+
+// HeuristicStreamScan is the planner-off fallback: stream when a limit is
+// set and the collection is large enough that skipping the materialized
+// pre-filter can pay for the per-document walks. Answers are identical
+// either way.
+func HeuristicStreamScan(docCount, limit int) bool {
+	return limit > 0 && docCount >= MinStreamScanDocs
+}

@@ -1,0 +1,99 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/xmldb"
+	"repro/internal/xpath"
+)
+
+func streamTestStats(t *testing.T, docs int) *xmldb.Stats {
+	t.Helper()
+	db := xmldb.New()
+	col := db.CreateCollection("c")
+	for i := 0; i < docs; i++ {
+		tag := "common"
+		if i%50 == 0 {
+			tag = "rare"
+		}
+		xml := fmt.Sprintf("<paper><%s>v%d</%s></paper>", tag, i, tag)
+		if _, err := col.PutXML(fmt.Sprintf("d%04d", i), strings.NewReader(xml)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return col.Stats()
+}
+
+func mustPath(t *testing.T, expr string) *xpath.Path {
+	t.Helper()
+	p, err := xpath.Parse(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlanStreamScanNoLimit(t *testing.T) {
+	st := streamTestStats(t, 200)
+	d := PlanStreamScan(st, []*xpath.Path{mustPath(t, "//paper")}, 0)
+	if d.Stream {
+		t.Fatal("stream scan chosen without a limit")
+	}
+}
+
+func TestPlanStreamScanTinyCollection(t *testing.T) {
+	st := streamTestStats(t, MinStreamScanDocs-1)
+	d := PlanStreamScan(st, []*xpath.Path{mustPath(t, "//paper")}, 5)
+	if d.Stream {
+		t.Fatalf("stream scan chosen for %d docs, below MinStreamScanDocs=%d",
+			st.Docs, MinStreamScanDocs)
+	}
+}
+
+func TestPlanStreamScanSelectivePathPrefersStream(t *testing.T) {
+	// Every doc matches //paper, so a limit-5 scan should stop after ~5 docs
+	// while the materialized path pays the full index probe or scan.
+	st := streamTestStats(t, 500)
+	d := PlanStreamScan(st, []*xpath.Path{mustPath(t, "//paper")}, 5)
+	if !d.Stream {
+		t.Fatalf("expected stream scan for a match-everything path: %+v", d)
+	}
+	if d.EstScanDocs > 50 {
+		t.Fatalf("EstScanDocs=%.1f, expected a small scan prefix", d.EstScanDocs)
+	}
+}
+
+func TestPlanStreamScanRarePathPrefersMaterialized(t *testing.T) {
+	// Only 1 in 50 docs has <rare>, so the scan prefix before 5 answers is
+	// ~250 full-document walks; the tag index answers in a handful of probes.
+	st := streamTestStats(t, 500)
+	d := PlanStreamScan(st, []*xpath.Path{mustPath(t, "//rare")}, 5)
+	if d.Stream {
+		t.Fatalf("expected materialized path for a rare tag: %+v", d)
+	}
+	if d.EstScanDocs < 100 {
+		t.Fatalf("EstScanDocs=%.1f, expected a long scan prefix for a rare tag", d.EstScanDocs)
+	}
+}
+
+func TestPlanStreamScanNoPaths(t *testing.T) {
+	st := streamTestStats(t, 500)
+	d := PlanStreamScan(st, nil, 5)
+	if !d.Stream {
+		t.Fatal("pattern with no pre-filter paths should always stream under a limit")
+	}
+}
+
+func TestHeuristicStreamScan(t *testing.T) {
+	if HeuristicStreamScan(1000, 0) {
+		t.Fatal("heuristic streams without a limit")
+	}
+	if HeuristicStreamScan(MinStreamScanDocs-1, 5) {
+		t.Fatal("heuristic streams a tiny collection")
+	}
+	if !HeuristicStreamScan(MinStreamScanDocs, 5) {
+		t.Fatal("heuristic refuses a large limited query")
+	}
+}

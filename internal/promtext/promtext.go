@@ -69,6 +69,9 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
 // atomicFloat accumulates a float64 with a CAS loop.
 type atomicFloat struct {
 	bits atomic.Uint64

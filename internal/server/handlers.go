@@ -6,6 +6,7 @@ import (
 	"encoding/xml"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strings"
@@ -31,6 +32,7 @@ type QueryRequest struct {
 
 	SL        []int    `json:"sl,omitempty"`         // pattern labels whose subtrees are kept
 	Limit     int      `json:"limit,omitempty"`      // answer cap; selections stop scanning early
+	Stream    bool     `json:"stream,omitempty"`     // NDJSON response, one answer per line (also ?stream=1)
 	Ranked    bool     `json:"ranked,omitempty"`     // order selection answers by similarity score
 	Analyze   bool     `json:"analyze,omitempty"`    // attach the EXPLAIN ANALYZE report (bypasses the cache)
 	NoPlanner bool     `json:"no_planner,omitempty"` // disable cost-based planning for this query
@@ -122,6 +124,10 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 			"cache_hits":      s.cache.Hits(),
 			"cache_misses":    s.cache.Misses(),
 			"cache_evictions": s.cache.Evictions(),
+			"streamed_queries":         s.mStreamed.Value(),
+			"docs_scanned":             s.mDocsScanned.Value(),
+			"first_result_count":       s.hFirstResult.Count(),
+			"first_result_seconds_sum": s.hFirstResult.Sum(),
 		},
 		"collections": cols,
 		"ops":         s.aggregates(),
@@ -146,6 +152,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
 		return
+	}
+	if v := r.URL.Query().Get("stream"); v == "1" || v == "true" {
+		req.Stream = true
 	}
 	if err := s.serveQuery(w, r, &req); err != nil {
 		var he *httpError
@@ -216,6 +225,17 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, req *QueryRe
 	if req.Ranked && op != "ranked" {
 		return httpErrorf(http.StatusBadRequest, "ranked applies to plain selections only")
 	}
+	if req.Stream {
+		if op != "select" && op != "join" {
+			return httpErrorf(http.StatusBadRequest, "stream applies to selections and joins only")
+		}
+		if req.Analyze {
+			return httpErrorf(http.StatusBadRequest, "analyze does not stream")
+		}
+		if format != "json" {
+			return httpErrorf(http.StatusBadRequest, "stream responses are NDJSON; format must be json")
+		}
+	}
 
 	instance := req.Instance
 	if instance == "" && len(sys.Instances) > 0 {
@@ -238,9 +258,11 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, req *QueryRe
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	// Cache lookup happens before admission: hits cost no slot.
+	// Cache lookup happens before admission: hits cost no slot. Streamed
+	// responses bypass the cache entirely: answers go out as they are
+	// produced and are never materialised server-side.
 	key := s.cacheKey(sys, op, req, pat, expr, involved)
-	if !req.Analyze {
+	if !req.Analyze && !req.Stream {
 		if res, ok := s.cache.Get(key); ok {
 			s.aggregate(op, true, time.Since(start), nil)
 			return s.render(w, format, op, instance, req, res, true, time.Since(start), "")
@@ -259,6 +281,10 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, req *QueryRe
 		s.testHookAdmitted(r)
 	}
 
+	if req.Stream {
+		return s.executeStream(ctx, w, sys, op, instance, req, pat, start)
+	}
+
 	res, st, analyze, err := s.execute(ctx, sys, op, instance, req, pat, expr)
 	if err != nil {
 		return err
@@ -267,8 +293,93 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, req *QueryRe
 		s.cache.Put(key, res)
 	}
 	elapsed := time.Since(start)
+	s.hFirstResult.Observe(elapsed.Seconds())
+	s.observeScanned(st)
 	s.aggregate(op, false, elapsed, st)
 	return s.render(w, format, op, instance, req, res, false, elapsed, analyze)
+}
+
+// observeScanned feeds the docs-scanned-before-limit counter: on the
+// stream-scan path that is the number of documents pulled from shard
+// cursors; on materialized paths the documents actually evaluated stand in
+// (the pre-filter already pruned the rest).
+func (s *Server) observeScanned(st *core.ExecStats) {
+	if st == nil {
+		return
+	}
+	if st.ScanMode == core.ScanModeStream {
+		s.mDocsScanned.Add(uint64(st.DocsScanned))
+	} else {
+		s.mDocsScanned.Add(uint64(st.DocsEvaluated))
+	}
+}
+
+// executeStream answers a streamed query as NDJSON: one JSON object per
+// answer, flushed as produced, so the client sees the first answer at
+// first-result latency rather than total query latency. The line count of a
+// successful stream equals the non-streamed response's count field; there is
+// no trailer, and errors after the first line truncate the stream (the
+// status code is already on the wire).
+func (s *Server) executeStream(ctx context.Context, w http.ResponseWriter, sys *core.System, op, instance string, req *QueryRequest, pat *pattern.Tree, start time.Time) error {
+	qreq := core.QueryRequest{
+		Pattern:   pat,
+		Instance:  instance,
+		Adorn:     req.SL,
+		Limit:     req.Limit,
+		Trace:     true,
+		NoPlanner: req.NoPlanner,
+		Stream:    true,
+	}
+	if op == "join" {
+		qreq.Right = req.Right
+	}
+	res, err := sys.Query(ctx, qreq)
+	if err != nil {
+		return err
+	}
+	defer res.Stream.Close()
+	s.mStreamed.Inc()
+
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	lines := 0
+	for {
+		doc, err := res.Stream.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if lines == 0 {
+				return err // nothing sent yet: the caller can still set a status
+			}
+			if s.cfg.Logger != nil {
+				s.cfg.Logger.Printf("stream aborted after %d line(s): %v", lines, err)
+			}
+			return nil
+		}
+		if lines == 0 {
+			s.hFirstResult.Observe(time.Since(start).Seconds())
+			w.Header().Set("Content-Type", "application/x-ndjson")
+		}
+		if err := enc.Encode(Answer{XML: doc.XMLString()}); err != nil {
+			return nil // client went away mid-stream
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		lines++
+	}
+	if lines == 0 {
+		// An empty result still needs headers and a first-result sample: the
+		// "first result" is learning there are none.
+		s.hFirstResult.Observe(time.Since(start).Seconds())
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+	}
+	res.Stream.Close() // finalize trace counters before reading them
+	s.observeScanned(res.Stats)
+	s.aggregate(op, false, time.Since(start), res.Stats)
+	return nil
 }
 
 // involvedInstances resolves which collections a query touches (for cache

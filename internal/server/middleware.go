@@ -25,6 +25,14 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	return r.ResponseWriter.Write(p)
 }
 
+// Flush forwards to the underlying writer when it supports it, so NDJSON
+// streaming pushes each answer line through the metrics middleware.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // withMetrics counts every request, observes its latency, and classifies 5xx
 // responses as errors; with a configured logger it also emits one access-log
 // line per request.

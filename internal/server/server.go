@@ -73,12 +73,15 @@ type Server struct {
 	start   time.Time
 	mux     http.Handler
 
-	mRequests *promtext.Counter
-	mErrors   *promtext.Counter
-	mRejected *promtext.Counter
-	mTimeouts *promtext.Counter
-	mPanics   *promtext.Counter
-	hLatency  *promtext.Histogram
+	mRequests    *promtext.Counter
+	mErrors      *promtext.Counter
+	mRejected    *promtext.Counter
+	mTimeouts    *promtext.Counter
+	mPanics      *promtext.Counter
+	mStreamed    *promtext.Counter
+	mDocsScanned *promtext.Counter
+	hLatency     *promtext.Histogram
+	hFirstResult *promtext.Histogram
 
 	aggMu sync.Mutex
 	agg   map[string]*OpAggregate
@@ -107,6 +110,7 @@ type OpAggregate struct {
 	Answers       uint64  `json:"answers"`
 	TotalDocs     uint64  `json:"total_docs"`
 	CandidateDocs uint64  `json:"candidate_docs"`
+	DocsScanned   uint64  `json:"docs_scanned"`
 	DocsEvaluated uint64  `json:"docs_evaluated"`
 	Embeddings    uint64  `json:"embeddings"`
 	TotalSeconds  float64 `json:"total_seconds"`
@@ -159,6 +163,9 @@ func (s *Server) registerMetrics() {
 	s.mTimeouts = r.NewCounter("tossd_timeouts_total", "queries cancelled by their deadline")
 	s.mPanics = r.NewCounter("tossd_panics_total", "handler panics recovered")
 	s.hLatency = r.NewHistogram("tossd_request_seconds", "request latency in seconds", nil)
+	s.mStreamed = r.NewCounter("tossd_streamed_queries_total", "queries answered as NDJSON streams")
+	s.mDocsScanned = r.NewCounter("toss_query_docs_scanned_total", "documents a query read before its limit stopped the scan (stream-scan: documents pulled from shard cursors; otherwise: documents evaluated)")
+	s.hFirstResult = r.NewHistogram("toss_query_first_result_seconds", "seconds from request arrival to the first answer (streamed: first NDJSON line; materialized: execution complete)", nil)
 	r.GaugeFunc("tossd_in_flight", "queries currently executing", func() []promtext.Sample {
 		return []promtext.Sample{{Value: float64(s.limiter.InFlight())}}
 	})
@@ -353,6 +360,7 @@ func (s *Server) aggregate(op string, hit bool, elapsed time.Duration, st *core.
 		a.Answers += uint64(st.Answers)
 		a.TotalDocs += uint64(st.TotalDocs)
 		a.CandidateDocs += uint64(st.CandidateDocs)
+		a.DocsScanned += uint64(st.DocsScanned)
 		a.DocsEvaluated += uint64(st.DocsEvaluated)
 		a.Embeddings += uint64(st.Embeddings)
 	}

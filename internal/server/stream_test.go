@@ -1,0 +1,196 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// postStream posts a query with ?stream=1 and splits the NDJSON body into
+// its lines.
+func postStream(t *testing.T, url string, req QueryRequest) (*http.Response, []string) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/query?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	raw := strings.TrimRight(buf.String(), "\n")
+	if raw == "" {
+		return resp, nil
+	}
+	return resp, strings.Split(raw, "\n")
+}
+
+func TestStreamNDJSONMatchesMaterializedCount(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	req := QueryRequest{Instance: "dblp", Pattern: selectPattern, SL: []int{1}}
+
+	_, body := postQuery(t, ts, req)
+	ref := decodeResponse(t, body)
+	if ref.Count == 0 {
+		t.Fatal("reference query returned no answers")
+	}
+
+	resp, lines := postStream(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type %q, want application/x-ndjson", ct)
+	}
+	if len(lines) != ref.Count {
+		t.Fatalf("stream produced %d lines, materialized count %d", len(lines), ref.Count)
+	}
+	for i, line := range lines {
+		var a Answer
+		if err := json.Unmarshal([]byte(line), &a); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i, err, line)
+		}
+		if a.XML != ref.Answers[i].XML {
+			t.Fatalf("line %d XML differs from materialized answer %d", i, i)
+		}
+	}
+}
+
+func TestStreamBodyFieldAndJoin(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	req := QueryRequest{Instance: "dblp", Right: "sigmod", Pattern: joinPattern, Stream: true}
+
+	_, body := postQuery(t, ts, QueryRequest{Instance: "dblp", Right: "sigmod", Pattern: joinPattern})
+	ref := decodeResponse(t, body)
+
+	// The stream flag in the body (no query param) selects NDJSON too.
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	lines := 0
+	for _, l := range strings.Split(buf.String(), "\n") {
+		if strings.TrimSpace(l) != "" {
+			lines++
+		}
+	}
+	if resp.StatusCode != http.StatusOK || lines != ref.Count {
+		t.Fatalf("streamed join: status %d, %d lines, want 200 with %d", resp.StatusCode, lines, ref.Count)
+	}
+}
+
+func TestStreamEmptyResultIsOKWithZeroLines(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, lines := postStream(t, ts.URL, QueryRequest{
+		Instance: "dblp",
+		Pattern:  `#1 :: #1.tag = "nonexistent_tag"`,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("empty stream Content-Type %q", ct)
+	}
+	if len(lines) != 0 {
+		t.Fatalf("empty stream produced %d lines", len(lines))
+	}
+}
+
+func TestStreamRejectsRankedAnalyzeAlgebra(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	cases := []QueryRequest{
+		{Instance: "dblp", Pattern: selectPattern, Ranked: true},
+		{Instance: "dblp", Pattern: selectPattern, Analyze: true},
+		{Expr: `select("dblp", ` + "`#1 :: #1.tag = \"inproceedings\"`" + `)`},
+		{Instance: "dblp", Pattern: selectPattern, Format: "xml"},
+	}
+	for i, req := range cases {
+		resp, _ := postStream(t, ts.URL, req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+}
+
+func TestStreamBypassesResultCache(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	req := QueryRequest{Instance: "dblp", Pattern: selectPattern, SL: []int{1}}
+
+	// Populate the cache with the materialized form, then stream the same
+	// query twice: neither streamed run may consult the cache.
+	postQuery(t, ts, req)
+	hits := srv.Cache().Hits()
+	postStream(t, ts.URL, req)
+	postStream(t, ts.URL, req)
+	if got := srv.Cache().Hits(); got != hits {
+		t.Fatalf("streamed queries hit the result cache (%d -> %d hits)", hits, got)
+	}
+}
+
+func TestStreamMetricsAndStatz(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	req := QueryRequest{Instance: "dblp", Pattern: selectPattern, SL: []int{1}, Limit: 1}
+	resp, lines := postStream(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK || len(lines) != 1 {
+		t.Fatalf("limit-1 stream: status %d, %d lines", resp.StatusCode, len(lines))
+	}
+
+	if srv.hFirstResult.Count() == 0 {
+		t.Error("first-result histogram recorded no observations")
+	}
+	if srv.mStreamed.Value() != 1 {
+		t.Errorf("streamed counter = %d, want 1", srv.mStreamed.Value())
+	}
+	if srv.mDocsScanned.Value() == 0 {
+		t.Error("docs-scanned counter stayed at zero")
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	metrics := buf.String()
+	for _, want := range []string{
+		"toss_query_first_result_seconds_count",
+		"toss_query_docs_scanned_total",
+		"tossd_streamed_queries_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics is missing %s", want)
+		}
+	}
+
+	sresp, err := http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var statz struct {
+		Server struct {
+			StreamedQueries  uint64 `json:"streamed_queries"`
+			DocsScanned      uint64 `json:"docs_scanned"`
+			FirstResultCount uint64 `json:"first_result_count"`
+		} `json:"server"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&statz); err != nil {
+		t.Fatal(err)
+	}
+	if statz.Server.StreamedQueries != 1 || statz.Server.FirstResultCount == 0 || statz.Server.DocsScanned == 0 {
+		t.Errorf("/statz server section: %+v", statz.Server)
+	}
+}

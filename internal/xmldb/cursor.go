@@ -1,0 +1,65 @@
+package xmldb
+
+import "repro/internal/tree"
+
+// DocSnap is one stored document captured by a cursor: the document tree,
+// its key, and its global insertion sequence number. Trees are immutable
+// once stored (replacement installs a new tree and leaves the old one
+// valid), so a DocSnap outlives the shard lock it was taken under.
+type DocSnap struct {
+	Seq uint64
+	Key string
+	Doc *tree.Tree
+}
+
+// Cursor iterates one shard's documents in shard-local insertion order
+// (ascending Seq). A cursor is a snapshot: it sees exactly the documents
+// present when it was opened — mutations after ShardCursors returns are
+// invisible to it, and a replaced document keeps serving its old tree.
+// Cursors are single-consumer; wrap them yourself for concurrent use.
+type Cursor struct {
+	snaps []DocSnap
+	pos   int
+}
+
+// Next returns the next document snapshot, or ok=false when exhausted.
+func (c *Cursor) Next() (DocSnap, bool) {
+	if c.pos >= len(c.snaps) {
+		return DocSnap{}, false
+	}
+	s := c.snaps[c.pos]
+	c.pos++
+	return s, true
+}
+
+// Len is the total number of documents the cursor iterates (independent of
+// position).
+func (c *Cursor) Len() int { return len(c.snaps) }
+
+// Remaining is the number of documents not yet returned by Next.
+func (c *Cursor) Remaining() int { return len(c.snaps) - c.pos }
+
+// ShardCursors opens one cursor per shard over a single consistent cut of
+// the collection: every shard's read lock is held simultaneously while the
+// snapshots are taken (the same discipline as Docs/Keys), so the union of
+// the cursors is exactly one collection state, no matter how long the
+// consumer takes to drain them. Merging the cursors by ascending Seq
+// reproduces Docs() order exactly; the streaming executor does that merge
+// incrementally instead of materializing the sorted slice.
+func (c *Collection) ShardCursors() []*Cursor {
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+	}
+	out := make([]*Cursor, len(c.shards))
+	for i, sh := range c.shards {
+		snaps := make([]DocSnap, len(sh.entries))
+		for j, e := range sh.entries {
+			snaps[j] = DocSnap{Seq: e.seq, Key: e.key, Doc: e.tree}
+		}
+		out[i] = &Cursor{snaps: snaps}
+	}
+	for _, sh := range c.shards {
+		sh.mu.RUnlock()
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package xmldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func cursorTestCollection(t *testing.T, shards, docs int) *Collection {
+	t.Helper()
+	col := newCollection("c", shards)
+	for i := 0; i < docs; i++ {
+		key := fmt.Sprintf("doc-%03d", i)
+		xml := fmt.Sprintf("<paper><title>t%d</title></paper>", i)
+		if _, err := col.PutXML(key, strings.NewReader(xml)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return col
+}
+
+// drainMerged k-way merges the cursors by ascending seq, the way the
+// streaming executor consumes them.
+func drainMerged(cursors []*Cursor) []DocSnap {
+	var all []DocSnap
+	for _, c := range cursors {
+		for {
+			s, ok := c.Next()
+			if !ok {
+				break
+			}
+			all = append(all, s)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Seq < all[j].Seq })
+	return all
+}
+
+func TestShardCursorsReproduceDocsOrder(t *testing.T) {
+	for _, shards := range []int{1, 2, 7} {
+		col := cursorTestCollection(t, shards, 23)
+		docs := col.Docs()
+		keys := col.Keys()
+		merged := drainMerged(col.ShardCursors())
+		if len(merged) != len(docs) {
+			t.Fatalf("shards=%d: cursor yields %d docs, Docs() has %d", shards, len(merged), len(docs))
+		}
+		for i, s := range merged {
+			if s.Doc != docs[i] || s.Key != keys[i] {
+				t.Fatalf("shards=%d: position %d: cursor (%q) disagrees with Docs/Keys (%q)",
+					shards, i, s.Key, keys[i])
+			}
+		}
+	}
+}
+
+func TestShardCursorSnapshotIsolation(t *testing.T) {
+	col := cursorTestCollection(t, 4, 10)
+	cursors := col.ShardCursors()
+	total := 0
+	for _, c := range cursors {
+		total += c.Len()
+	}
+	if total != 10 {
+		t.Fatalf("cursors cover %d docs, want 10", total)
+	}
+
+	// Mutate after opening: insert, delete, and replace.
+	if _, err := col.PutXML("doc-999", strings.NewReader("<paper><title>new</title></paper>")); err != nil {
+		t.Fatal(err)
+	}
+	col.Delete("doc-003")
+	if _, err := col.PutXML("doc-005", strings.NewReader("<paper><title>replaced</title></paper>")); err != nil {
+		t.Fatal(err)
+	}
+
+	merged := drainMerged(cursors)
+	if len(merged) != 10 {
+		t.Fatalf("cursor sees %d docs after mutations, want the 10 snapshotted", len(merged))
+	}
+	for _, s := range merged {
+		if s.Key == "doc-999" {
+			t.Fatal("cursor sees a document inserted after it was opened")
+		}
+		if s.Key == "doc-005" && strings.Contains(s.Doc.XMLString(), "replaced") {
+			t.Fatal("cursor sees the replacement tree instead of the snapshotted one")
+		}
+	}
+}
+
+func TestCursorRemaining(t *testing.T) {
+	col := cursorTestCollection(t, 1, 3)
+	c := col.ShardCursors()[0]
+	if c.Len() != 3 || c.Remaining() != 3 {
+		t.Fatalf("fresh cursor: Len=%d Remaining=%d, want 3/3", c.Len(), c.Remaining())
+	}
+	c.Next()
+	if c.Len() != 3 || c.Remaining() != 2 {
+		t.Fatalf("after one Next: Len=%d Remaining=%d, want 3/2", c.Len(), c.Remaining())
+	}
+	c.Next()
+	c.Next()
+	if _, ok := c.Next(); ok {
+		t.Fatal("exhausted cursor still yields documents")
+	}
+	if c.Remaining() != 0 {
+		t.Fatalf("exhausted cursor Remaining=%d, want 0", c.Remaining())
+	}
+}

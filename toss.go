@@ -93,6 +93,11 @@ type QueryResult = core.QueryResult
 // with Ranked set.
 type RankedAnswer = core.RankedAnswer
 
+// DocStream is the pull iterator a Stream query returns in
+// QueryResult.Stream: Next yields answers until io.EOF, and the consumer
+// must Close it exactly once — see docs/EXECUTION.md.
+type DocStream = core.DocStream
+
 // ParseExpr parses the textual algebra-expression syntax, e.g.
 //
 //	select[#1 pc #2 :: #1.tag = "inproceedings" & #2.content ~ "J. Ullman"; 1](dblp)
