@@ -7,11 +7,18 @@
 //	tossd -instance dblp=file1.xml[,file2.xml] [-instance sigmod=...] \
 //	      [-addr :8080] [-measure name-rule] [-eps 3] [-rules file] \
 //	      [-max-inflight 4] [-max-queue 8] [-timeout 30s] [-max-timeout 2m] \
-//	      [-cache-size 256] [-parallelism N] [-shards N]
+//	      [-cache-size 256] [-parallelism N] [-shards N] \
+//	      [-data DIR] [-wal-sync interval] [-wal-max-bytes N]
 //
-// Endpoints: POST /v1/query (and its legacy alias /query, see
-// docs/SERVER.md), GET /healthz, /statz, /metrics. SIGINT/SIGTERM drains
-// in-flight queries before exiting.
+// With -data, each instance journals every mutation to a per-shard
+// write-ahead log under <data>/<name>/ and recovers from it on startup
+// (see docs/DURABILITY.md); seed files are skipped once the journal holds
+// state. An instance spec with an empty file list ("name=") declares a
+// collection fed only by ingestion and recovery.
+//
+// Endpoints: POST /v1/query (and its legacy alias /query), POST /v1/docs
+// (NDJSON bulk ingestion; see docs/SERVER.md), GET /healthz, /statz,
+// /metrics. SIGINT/SIGTERM drains in-flight queries before exiting.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"syscall"
@@ -31,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/server"
 	"repro/internal/similarity"
+	"repro/internal/xmldb"
 )
 
 type instanceFlag struct {
@@ -62,6 +71,9 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query deadline")
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on per-request timeout_ms")
 	cacheSize := flag.Int("cache-size", 256, "result-cache capacity in entries (0 disables)")
+	dataDir := flag.String("data", "", "durable data root: each instance journals to <data>/<name>/ and recovers from it on startup (empty = in-memory only)")
+	walSync := flag.String("wal-sync", "interval", "WAL fsync policy: always | interval | off")
+	walMaxBytes := flag.Int64("wal-max-bytes", 4<<20, "WAL size per collection that triggers background compaction (snapshot + segment rotation)")
 	flag.Parse()
 
 	if flag.NArg() != 0 {
@@ -87,6 +99,10 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	syncPolicy, err := xmldb.ParseSyncPolicy(*walSync)
+	if err != nil {
+		log.Fatal(err)
+	}
 	start := time.Now()
 	for _, spec := range instances.specs {
 		name, files, _ := strings.Cut(spec, "=")
@@ -94,7 +110,36 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		recovered := 0
+		if *dataDir != "" {
+			// Attach the WAL before seeding: recovery replays any previous
+			// state, and every mutation from here on is journaled.
+			walDir := filepath.Join(*dataDir, name)
+			opts := xmldb.WALOptions{
+				Sync:     syncPolicy,
+				MaxBytes: *walMaxBytes,
+				OnError:  func(err error) { log.Printf("wal %s: %v", name, err) },
+			}
+			if err := in.Col.OpenWAL(walDir, opts); err != nil {
+				log.Fatalf("opening wal for %s: %v", name, err)
+			}
+			recovered = in.Col.DocCount()
+			if st := in.Col.WALStats(); recovered > 0 {
+				log.Printf("instance %s: recovered %d doc(s) at generation %d (%d wal record(s) replayed) from %s",
+					name, recovered, st.RecoveredGeneration, st.ReplayedRecords, walDir)
+			}
+		}
 		for _, file := range strings.Split(files, ",") {
+			if file == "" {
+				continue // "name=" declares an instance fed only by ingestion/recovery
+			}
+			if recovered > 0 {
+				// The journal is authoritative once it holds state: seed files
+				// already live there (possibly mutated since) and reloading
+				// them would clobber ingested updates.
+				log.Printf("instance %s: skipping seed %s (recovered state is authoritative)", name, file)
+				continue
+			}
 			f, err := os.Open(file)
 			if err != nil {
 				log.Fatal(err)
@@ -160,6 +205,13 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("shutdown: %v", err)
+	}
+	// Close the journals last: the drain above guarantees no mutation is in
+	// flight, so the final fsync captures everything the server acknowledged.
+	for _, in := range sys.Instances {
+		if err := in.Col.CloseWAL(); err != nil {
+			log.Printf("closing wal for %s: %v", in.Name, err)
+		}
 	}
 	log.Printf("drained, bye")
 }

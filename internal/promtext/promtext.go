@@ -163,6 +163,17 @@ func (r *Registry) CounterFunc(name, help string, fn func() []Sample) {
 	r.registerFunc(name, help, "counter", fn)
 }
 
+// SummaryFunc registers a bucketless summary whose sum and count are sampled
+// at scrape time — the shape for pre-aggregated timings kept elsewhere (e.g.
+// cumulative fsync seconds and fsync count maintained by the WAL).
+func (r *Registry) SummaryFunc(name, help string, fn func() (sum float64, count uint64)) {
+	r.register(name, help, "summary", func(w io.Writer, n string) {
+		sum, count := fn()
+		fmt.Fprintf(w, "%s_sum %s\n", n, formatFloat(sum))
+		fmt.Fprintf(w, "%s_count %d\n", n, count)
+	})
+}
+
 func (r *Registry) registerFunc(name, help, typ string, fn func() []Sample) {
 	r.register(name, help, typ, func(w io.Writer, n string) {
 		for _, s := range fn() {

@@ -7,8 +7,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -73,6 +75,24 @@ func httpErrorf(status int, format string, args ...any) *httpError {
 	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
 }
 
+// retryAfter derives the Retry-After hint sent with 429 responses from the
+// limiter's configured maximum wait: a queued request holds its place for at
+// most the default per-request timeout, so within that horizon the queue is
+// guaranteed to have turned over and admission is worth retrying.
+func (s *Server) retryAfter() string {
+	secs := int(math.Ceil(s.cfg.DefaultTimeout.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// requestContext derives a request-scoped context carrying the default
+// per-request deadline (used by handlers without a timeout_ms field).
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.cfg.DefaultTimeout)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "ok instances=%d seo_nodes=%d\n", len(s.sys.Instances), s.sys.SEO.NodeCount())
@@ -91,6 +111,7 @@ type collectionStatz struct {
 	Counters   xmldb.Counters    `json:"counters"`
 	ShardCount int               `json:"shard_count"`
 	Shards     []xmldb.ShardInfo `json:"shards,omitempty"`
+	WAL        *xmldb.WALStats   `json:"wal,omitempty"`
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
@@ -107,27 +128,32 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		if cs.ShardCount > 1 {
 			cs.Shards = in.Col.ShardInfos()
 		}
+		if ws := in.Col.WALStats(); ws.Enabled {
+			cs.WAL = &ws
+		}
 		cols[in.Name] = cs
 	}
 	body := map[string]any{
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"system":         s.sys.Stats(),
 		"server": map[string]any{
-			"requests":        s.mRequests.Value(),
-			"errors":          s.mErrors.Value(),
-			"rejected":        s.mRejected.Value(),
-			"timeouts":        s.mTimeouts.Value(),
-			"panics":          s.mPanics.Value(),
-			"in_flight":       s.limiter.InFlight(),
-			"queue_depth":     s.limiter.Queued(),
-			"cache_entries":   s.cache.Len(),
-			"cache_hits":      s.cache.Hits(),
-			"cache_misses":    s.cache.Misses(),
-			"cache_evictions": s.cache.Evictions(),
+			"requests":                 s.mRequests.Value(),
+			"errors":                   s.mErrors.Value(),
+			"rejected":                 s.mRejected.Value(),
+			"timeouts":                 s.mTimeouts.Value(),
+			"panics":                   s.mPanics.Value(),
+			"in_flight":                s.limiter.InFlight(),
+			"queue_depth":              s.limiter.Queued(),
+			"cache_entries":            s.cache.Len(),
+			"cache_hits":               s.cache.Hits(),
+			"cache_misses":             s.cache.Misses(),
+			"cache_evictions":          s.cache.Evictions(),
 			"streamed_queries":         s.mStreamed.Value(),
 			"docs_scanned":             s.mDocsScanned.Value(),
 			"first_result_count":       s.hFirstResult.Count(),
 			"first_result_seconds_sum": s.hFirstResult.Sum(),
+			"ingested_docs":            s.mIngested.Value(),
+			"ingest_errors":            s.mIngestErrors.Value(),
 		},
 		"collections": cols,
 		"ops":         s.aggregates(),
@@ -161,7 +187,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &he) {
 			if he.status == http.StatusTooManyRequests {
 				s.mRejected.Inc()
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", s.retryAfter())
 			}
 			http.Error(w, he.msg, he.status)
 			return
@@ -314,12 +340,22 @@ func (s *Server) observeScanned(st *core.ExecStats) {
 	}
 }
 
+// streamError is the sentinel NDJSON line that terminates an aborted
+// stream: the status code is already on the wire when a mid-stream error
+// hits, so the error travels in-band as the final line. Successful streams
+// never emit it — a client seeing a line with an "error" member knows the
+// stream is truncated, not complete.
+type streamError struct {
+	Error string `json:"error"`
+}
+
 // executeStream answers a streamed query as NDJSON: one JSON object per
 // answer, flushed as produced, so the client sees the first answer at
 // first-result latency rather than total query latency. The line count of a
 // successful stream equals the non-streamed response's count field; there is
-// no trailer, and errors after the first line truncate the stream (the
-// status code is already on the wire).
+// no trailer on success. Errors after the first line append a final
+// {"error":"..."} sentinel so clients can distinguish truncation from
+// completion.
 func (s *Server) executeStream(ctx context.Context, w http.ResponseWriter, sys *core.System, op, instance string, req *QueryRequest, pat *pattern.Tree, start time.Time) error {
 	qreq := core.QueryRequest{
 		Pattern:   pat,
@@ -337,14 +373,18 @@ func (s *Server) executeStream(ctx context.Context, w http.ResponseWriter, sys *
 	if err != nil {
 		return err
 	}
-	defer res.Stream.Close()
+	stream := res.Stream
+	if s.testHookStream != nil {
+		stream = s.testHookStream(stream)
+	}
+	defer stream.Close()
 	s.mStreamed.Inc()
 
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	lines := 0
 	for {
-		doc, err := res.Stream.Next(ctx)
+		doc, err := stream.Next(ctx)
 		if err == io.EOF {
 			break
 		}
@@ -354,6 +394,10 @@ func (s *Server) executeStream(ctx context.Context, w http.ResponseWriter, sys *
 			}
 			if s.cfg.Logger != nil {
 				s.cfg.Logger.Printf("stream aborted after %d line(s): %v", lines, err)
+			}
+			enc.Encode(streamError{Error: err.Error()})
+			if flusher != nil {
+				flusher.Flush()
 			}
 			return nil
 		}
@@ -376,7 +420,7 @@ func (s *Server) executeStream(ctx context.Context, w http.ResponseWriter, sys *
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.WriteHeader(http.StatusOK)
 	}
-	res.Stream.Close() // finalize trace counters before reading them
+	stream.Close() // finalize trace counters before reading them
 	s.observeScanned(res.Stats)
 	s.aggregate(op, false, time.Since(start), res.Stats)
 	return nil

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// maxIngestLine bounds one NDJSON ingest line (JSON framing plus the XML
+// payload). Documents above the collection's own size limit are rejected
+// per-line by the store either way; this only caps the scanner buffer.
+const maxIngestLine = 16 << 20
+
+// maxReportedIngestErrors caps the per-line error detail echoed back in the
+// response body; the full count is always in ErrorCount.
+const maxReportedIngestErrors = 20
+
+// IngestLine is one line of a POST /v1/docs NDJSON body. Put lines carry
+// key+xml; delete lines carry key+delete:true.
+type IngestLine struct {
+	Key    string `json:"key"`
+	XML    string `json:"xml,omitempty"`
+	Delete bool   `json:"delete,omitempty"`
+}
+
+// IngestError reports one rejected line (1-based line number).
+type IngestError struct {
+	Line int    `json:"line"`
+	Key  string `json:"key,omitempty"`
+	Err  string `json:"error"`
+}
+
+// IngestResponse summarises a bulk ingest: processed counts, the
+// collection's generation after the batch (the version queries observe), and
+// up to maxReportedIngestErrors per-line failures.
+type IngestResponse struct {
+	Instance   string        `json:"instance"`
+	Ingested   int           `json:"ingested"`
+	Deleted    int           `json:"deleted"`
+	ErrorCount int           `json:"error_count"`
+	Errors     []IngestError `json:"errors,omitempty"`
+	Generation uint64        `json:"generation"`
+	ElapsedMS  float64       `json:"elapsed_ms"`
+}
+
+// handleDocs is POST /v1/docs: streaming NDJSON bulk ingestion. Each line is
+// one document put (or delete); lines are applied in order as they arrive,
+// so ingestion overlaps with the client still sending. Admission control
+// covers the whole batch with a single slot, the same way a query holds its
+// slot for its full execution: bulk writes compete with queries rather than
+// starving them. Per-line failures do not abort the batch — they are counted,
+// reported in the summary, and the rest of the stream proceeds.
+func (s *Server) handleDocs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	start := time.Now()
+	name := r.URL.Query().Get("instance")
+	if name == "" && len(s.sys.Instances) > 0 {
+		name = s.sys.Instances[0].Name
+	}
+	in := s.sys.Instance(name)
+	if in == nil {
+		http.Error(w, fmt.Sprintf("unknown instance %q", name), http.StatusNotFound)
+		return
+	}
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	release, err := s.limiter.Acquire(ctx)
+	if err != nil {
+		if errors.Is(err, ErrSaturated) {
+			s.mRejected.Inc()
+			w.Header().Set("Retry-After", s.retryAfter())
+			http.Error(w, fmt.Sprintf("server saturated: %d executing, %d queued", s.limiter.InFlight(), s.limiter.Queued()), http.StatusTooManyRequests)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer release()
+
+	resp := IngestResponse{Instance: in.Name}
+	lineErr := func(line int, key string, err error) {
+		resp.ErrorCount++
+		s.mIngestErrors.Inc()
+		if len(resp.Errors) < maxReportedIngestErrors {
+			resp.Errors = append(resp.Errors, IngestError{Line: line, Key: key, Err: err.Error()})
+		}
+	}
+
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64<<10), maxIngestLine)
+	lineNo := 0
+	for sc.Scan() {
+		if err := ctx.Err(); err != nil {
+			http.Error(w, "ingest deadline exceeded", http.StatusGatewayTimeout)
+			return
+		}
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var doc IngestLine
+		if err := json.Unmarshal([]byte(line), &doc); err != nil {
+			lineErr(lineNo, "", fmt.Errorf("bad json: %w", err))
+			continue
+		}
+		if doc.Key == "" {
+			lineErr(lineNo, "", errors.New("missing key"))
+			continue
+		}
+		switch {
+		case doc.Delete:
+			if doc.XML != "" {
+				lineErr(lineNo, doc.Key, errors.New("delete line must not carry xml"))
+				continue
+			}
+			if !in.Col.Delete(doc.Key) {
+				lineErr(lineNo, doc.Key, errors.New("key not found"))
+				continue
+			}
+			resp.Deleted++
+		case doc.XML == "":
+			lineErr(lineNo, doc.Key, errors.New("missing xml"))
+		default:
+			if _, err := in.Col.PutXML(doc.Key, strings.NewReader(doc.XML)); err != nil {
+				lineErr(lineNo, doc.Key, err)
+				continue
+			}
+			resp.Ingested++
+			s.mIngested.Inc()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// The body broke mid-stream (disconnect, oversized line). Everything
+		// up to the break is already applied and journaled; report what
+		// happened with the partial summary so the client can resume.
+		lineErr(lineNo+1, "", fmt.Errorf("reading body: %w", err))
+	}
+
+	resp.Generation = in.Col.Generation()
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf("ingest instance=%s ingested=%d deleted=%d errors=%d gen=%d in %s",
+			resp.Instance, resp.Ingested, resp.Deleted, resp.ErrorCount, resp.Generation, time.Since(start).Round(time.Millisecond))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}

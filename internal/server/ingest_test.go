@@ -1,0 +1,290 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/similarity"
+	"repro/internal/xmldb"
+)
+
+func postDocs(t *testing.T, ts *httptest.Server, instance, body string) (*http.Response, IngestResponse) {
+	t.Helper()
+	url := ts.URL + "/v1/docs"
+	if instance != "" {
+		url += "?instance=" + instance
+	}
+	resp, err := http.Post(url, "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ir IngestResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+			t.Fatalf("decoding ingest response: %v", err)
+		}
+	}
+	return resp, ir
+}
+
+func ingestLine(key, xml string) string {
+	b, _ := json.Marshal(IngestLine{Key: key, XML: xml})
+	return string(b) + "\n"
+}
+
+// TestIngest1kDocsAndQueryReflects is the acceptance criterion: a 1k-doc
+// NDJSON stream lands in one request, and a query sees the new documents
+// without a restart — the generation embedded in the cache key invalidates
+// the pre-ingest cached answer.
+func TestIngest1kDocsAndQueryReflects(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	query := QueryRequest{Instance: "dblp", Pattern: `#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ "Grace Hopper"`}
+
+	// Before ingestion: no such author, and the empty answer gets cached.
+	_, body := postQuery(t, ts, query)
+	if ref := decodeResponse(t, body); ref.Count != 0 {
+		t.Fatalf("pre-ingest count %d, want 0", ref.Count)
+	}
+
+	var b strings.Builder
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("bulk-%04d", i)
+		author := "Ada Lovelace"
+		if i%4 == 0 {
+			author = "Grace Hopper"
+		}
+		b.WriteString(ingestLine(key, fmt.Sprintf(
+			`<inproceedings key=%q><author>%s</author><title>Paper %d</title><year>2026</year></inproceedings>`,
+			key, author, i)))
+	}
+	resp, ir := postDocs(t, ts, "dblp", b.String())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	if ir.Ingested != 1000 || ir.ErrorCount != 0 {
+		t.Fatalf("ingested %d (errors %d), want 1000 ingested, 0 errors", ir.Ingested, ir.ErrorCount)
+	}
+	if ir.Generation == 0 {
+		t.Fatal("ingest response reports generation 0")
+	}
+
+	// Same query, no restart: the generation moved, so this is a cache miss
+	// that sees the ingested docs.
+	_, body = postQuery(t, ts, query)
+	if got := decodeResponse(t, body); got.Count != 250 {
+		t.Fatalf("post-ingest count %d, want 250", got.Count)
+	}
+}
+
+// TestIngestPerLineErrors: malformed lines are reported with their line
+// numbers and do not abort the rest of the batch.
+func TestIngestPerLineErrors(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	body := strings.Join([]string{
+		`{not json`,
+		`{"xml": "<a/>"}`,                  // missing key
+		`{"key": "nokey-xml"}`,             // missing xml
+		`{"key": "ghost", "delete": true}`, // delete of an unknown key
+		ingestLine("ok-1", `<doc><v>1</v></doc>`)[:len(ingestLine("ok-1", `<doc><v>1</v></doc>`))-1],
+		`{"key": "bad-xml", "xml": "<open"}`, // store rejects unparsable XML
+	}, "\n")
+	resp, ir := postDocs(t, ts, "dblp", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	if ir.Ingested != 1 {
+		t.Fatalf("ingested %d, want 1", ir.Ingested)
+	}
+	if ir.ErrorCount != 5 || len(ir.Errors) != 5 {
+		t.Fatalf("error count %d (%d reported), want 5: %+v", ir.ErrorCount, len(ir.Errors), ir.Errors)
+	}
+	wantLines := []int{1, 2, 3, 4, 6}
+	for i, e := range ir.Errors {
+		if e.Line != wantLines[i] {
+			t.Errorf("error %d on line %d, want %d (%+v)", i, e.Line, wantLines[i], e)
+		}
+	}
+	if got := srv.mIngestErrors.Value(); got != 5 {
+		t.Errorf("tossd_ingest_errors_total = %d, want 5", got)
+	}
+}
+
+// TestIngestDeleteLine: delete lines remove documents and report in the
+// Deleted count.
+func TestIngestDeleteLine(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	before := srv.sys.Instance("sigmod").Col.DocCount()
+	resp, ir := postDocs(t, ts, "sigmod", `{"key": "s", "delete": true}`+"\n")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	if ir.Deleted != 1 || ir.ErrorCount != 0 {
+		t.Fatalf("deleted %d (errors %+v), want 1", ir.Deleted, ir.Errors)
+	}
+	if got := srv.sys.Instance("sigmod").Col.DocCount(); got != before-1 {
+		t.Fatalf("doc count %d, want %d", got, before-1)
+	}
+}
+
+func TestIngestUnknownInstance404(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, _ := postDocs(t, ts, "nope", ingestLine("a", "<a/>"))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestIngestMethodNotAllowed(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestIngestSaturated429: bulk ingestion competes for the same admission
+// slots as queries; a saturated server rejects it with 429 and the derived
+// Retry-After.
+func TestIngestSaturated429(t *testing.T) {
+	srv, ts := testServer(t, Config{MaxInFlight: 1, MaxQueue: -1, CacheSize: -1, DefaultTimeout: 7 * time.Second})
+	admitted := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+	srv.testHookAdmitted = func(*http.Request) {
+		if calls.Add(1) == 1 {
+			close(admitted)
+			<-release
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tryPostQuery(ts, QueryRequest{Instance: "dblp", Pattern: selectPattern})
+	}()
+	<-admitted
+
+	resp, _ := postDocs(t, ts, "dblp", ingestLine("x", "<x/>"))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated ingest answered %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Errorf("Retry-After %q, want %q (ceil of the 7s configured max wait)", got, "7")
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestRetryAfterDerivedFromConfiguredWait covers the 429 hint derivation
+// directly: it follows the configured default timeout (the limiter's max
+// queue wait), not a hardcoded constant.
+func TestRetryAfterDerivedFromConfiguredWait(t *testing.T) {
+	for _, tc := range []struct {
+		timeout time.Duration
+		want    string
+	}{
+		{0, "30"}, // default config: 30s
+		{7 * time.Second, "7"},
+		{1500 * time.Millisecond, "2"},
+		{100 * time.Millisecond, "1"}, // floor at 1: zero means "never retry" to some clients
+	} {
+		srv, err := New(testSystem(t), Config{DefaultTimeout: tc.timeout})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := srv.retryAfter(); got != tc.want {
+			t.Errorf("retryAfter with timeout %v = %q, want %q", tc.timeout, got, tc.want)
+		}
+	}
+}
+
+// TestIngestJournaledAndWALMetricsExported: with a WAL attached, ingested
+// documents are journaled and the toss_wal_* series appear on /metrics and
+// the wal block in /statz.
+func TestIngestJournaledAndWALMetricsExported(t *testing.T) {
+	sys := core.NewSystem()
+	in, err := sys.AddInstance("dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Col.OpenWAL(t.TempDir(), xmldb.WALOptions{Sync: xmldb.SyncAlways}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Col.PutXML("d", strings.NewReader(testDBLP)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Build(similarity.NameRule{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(sys, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Col.CloseWAL()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, ir := postDocs(t, ts, "dblp", ingestLine("w1", `<doc><v>1</v></doc>`)+ingestLine("w2", `<doc><v>2</v></doc>`))
+	if resp.StatusCode != http.StatusOK || ir.Ingested != 2 {
+		t.Fatalf("ingest status %d, ingested %d", resp.StatusCode, ir.Ingested)
+	}
+	st := in.Col.WALStats()
+	if !st.Enabled || st.Appends != 3 { // seed put + 2 ingested
+		t.Fatalf("wal stats %+v, want 3 appends", st)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	metrics := buf.String()
+	for _, want := range []string{
+		`toss_wal_appends_total{collection="dblp"} 3`,
+		"# TYPE toss_wal_bytes gauge",
+		"# TYPE toss_wal_fsync_seconds summary",
+		"toss_wal_fsync_seconds_count",
+		"tossd_ingested_docs_total 2",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	sresp, err := http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	buf.ReadFrom(sresp.Body)
+	sresp.Body.Close()
+	var statz struct {
+		Collections map[string]struct {
+			WAL *struct {
+				Appends uint64 `json:"appends"`
+			} `json:"wal"`
+		} `json:"collections"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &statz); err != nil {
+		t.Fatal(err)
+	}
+	if w := statz.Collections["dblp"].WAL; w == nil || w.Appends != 3 {
+		t.Fatalf("/statz wal block = %+v, want 3 appends", statz.Collections["dblp"].WAL)
+	}
+}

@@ -73,15 +73,17 @@ type Server struct {
 	start   time.Time
 	mux     http.Handler
 
-	mRequests    *promtext.Counter
-	mErrors      *promtext.Counter
-	mRejected    *promtext.Counter
-	mTimeouts    *promtext.Counter
-	mPanics      *promtext.Counter
-	mStreamed    *promtext.Counter
-	mDocsScanned *promtext.Counter
-	hLatency     *promtext.Histogram
-	hFirstResult *promtext.Histogram
+	mRequests     *promtext.Counter
+	mErrors       *promtext.Counter
+	mRejected     *promtext.Counter
+	mTimeouts     *promtext.Counter
+	mPanics       *promtext.Counter
+	mStreamed     *promtext.Counter
+	mDocsScanned  *promtext.Counter
+	mIngested     *promtext.Counter
+	mIngestErrors *promtext.Counter
+	hLatency      *promtext.Histogram
+	hFirstResult  *promtext.Histogram
 
 	aggMu sync.Mutex
 	agg   map[string]*OpAggregate
@@ -94,6 +96,10 @@ type Server struct {
 	// testHookAdmitted, when set, runs after admission control and before
 	// query execution (test seam for saturation/deadline behavior).
 	testHookAdmitted func(r *http.Request)
+
+	// testHookStream, when set, wraps the DocStream a streamed query pulls
+	// from (test seam for mid-stream failure injection).
+	testHookStream func(core.DocStream) core.DocStream
 }
 
 type seoVariant struct {
@@ -138,6 +144,7 @@ func New(sys *core.System, cfg Config) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/query", s.handleQuery) // legacy alias for /v1/query
+	mux.HandleFunc("/v1/docs", s.handleDocs)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statz", s.handleStatz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -164,6 +171,8 @@ func (s *Server) registerMetrics() {
 	s.mPanics = r.NewCounter("tossd_panics_total", "handler panics recovered")
 	s.hLatency = r.NewHistogram("tossd_request_seconds", "request latency in seconds", nil)
 	s.mStreamed = r.NewCounter("tossd_streamed_queries_total", "queries answered as NDJSON streams")
+	s.mIngested = r.NewCounter("tossd_ingested_docs_total", "documents ingested via POST /v1/docs")
+	s.mIngestErrors = r.NewCounter("tossd_ingest_errors_total", "NDJSON ingest lines rejected")
 	s.mDocsScanned = r.NewCounter("toss_query_docs_scanned_total", "documents a query read before its limit stopped the scan (stream-scan: documents pulled from shard cursors; otherwise: documents evaluated)")
 	s.hFirstResult = r.NewHistogram("toss_query_first_result_seconds", "seconds from request arrival to the first answer (streamed: first NDJSON line; materialized: execution complete)", nil)
 	r.GaugeFunc("tossd_in_flight", "queries currently executing", func() []promtext.Sample {
@@ -246,6 +255,48 @@ func (s *Server) registerMetrics() {
 	r.CounterFunc("toss_shard_docs_walked_total", "documents the shard walked for scan queries", s.shardSamples(func(si xmldb.ShardInfo) float64 { return float64(si.DocsWalked) }))
 	r.CounterFunc("toss_shard_nodes_tested_total", "candidate nodes the shard tested on the indexed path", s.shardSamples(func(si xmldb.ShardInfo) float64 { return float64(si.NodesTested) }))
 	r.CounterFunc("toss_shard_nodes_matched_total", "nodes the shard contributed to query answers", s.shardSamples(func(si xmldb.ShardInfo) float64 { return float64(si.NodesMatched) }))
+
+	// Durable-write-path metrics, sampled per collection from the WAL
+	// counters; collections running without a WAL export no series.
+	r.CounterFunc("toss_wal_appends_total", "WAL records appended per collection", s.walSamples(func(st xmldb.WALStats) float64 { return float64(st.Appends) }))
+	r.CounterFunc("toss_wal_append_errors_total", "WAL appends that failed (and rolled back) per collection", s.walSamples(func(st xmldb.WALStats) float64 { return float64(st.AppendErrors) }))
+	r.GaugeFunc("toss_wal_bytes", "bytes in the current WAL segments per collection", s.walSamples(func(st xmldb.WALStats) float64 { return float64(st.Bytes) }))
+	r.CounterFunc("toss_wal_fsyncs_total", "WAL fsync calls per collection", s.walSamples(func(st xmldb.WALStats) float64 { return float64(st.Fsyncs) }))
+	r.CounterFunc("toss_wal_compactions_total", "WAL compactions (snapshot + segment rotation) per collection", s.walSamples(func(st xmldb.WALStats) float64 { return float64(st.Compactions) }))
+	r.CounterFunc("toss_wal_compaction_errors_total", "failed WAL compactions per collection", s.walSamples(func(st xmldb.WALStats) float64 { return float64(st.CompactionErrors) }))
+	r.CounterFunc("toss_wal_replayed_records_total", "WAL records replayed during the last recovery per collection", s.walSamples(func(st xmldb.WALStats) float64 { return float64(st.ReplayedRecords) }))
+	r.CounterFunc("toss_wal_truncations_total", "torn or corrupt WAL tails truncated during recovery per collection", s.walSamples(func(st xmldb.WALStats) float64 { return float64(st.Truncations) }))
+	r.SummaryFunc("toss_wal_fsync_seconds", "cumulative seconds spent in WAL fsync across all collections", func() (float64, uint64) {
+		var sum float64
+		var count uint64
+		for _, in := range s.sys.Instances {
+			st := in.Col.WALStats()
+			if st.Enabled {
+				sum += st.FsyncSeconds
+				count += st.Fsyncs
+			}
+		}
+		return sum, count
+	})
+}
+
+// walSamples adapts a WALStats field selector to a per-collection sample
+// producer, skipping collections that run without a WAL.
+func (s *Server) walSamples(pick func(xmldb.WALStats) float64) func() []promtext.Sample {
+	return func() []promtext.Sample {
+		var out []promtext.Sample
+		for _, in := range s.sys.Instances {
+			st := in.Col.WALStats()
+			if !st.Enabled {
+				continue
+			}
+			out = append(out, promtext.Sample{
+				Labels: map[string]string{"collection": in.Name},
+				Value:  pick(st),
+			})
+		}
+		return out
+	}
 }
 
 func (s *Server) plannerSample(pick func(planner.Counters) float64) func() []promtext.Sample {

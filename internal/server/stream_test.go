@@ -2,10 +2,15 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tree"
 )
 
 // postStream posts a query with ?stream=1 and splits the NDJSON body into
@@ -192,5 +197,71 @@ func TestStreamMetricsAndStatz(t *testing.T) {
 	}
 	if statz.Server.StreamedQueries != 1 || statz.Server.FirstResultCount == 0 || statz.Server.DocsScanned == 0 {
 		t.Errorf("/statz server section: %+v", statz.Server)
+	}
+}
+
+// failAfterStream passes through the first n documents, then fails: the
+// injected mid-stream error a live shard cursor could hit.
+type failAfterStream struct {
+	inner core.DocStream
+	after int
+	n     int
+	err   error
+}
+
+func (f *failAfterStream) Next(ctx context.Context) (*tree.Tree, error) {
+	if f.n >= f.after {
+		return nil, f.err
+	}
+	f.n++
+	return f.inner.Next(ctx)
+}
+
+func (f *failAfterStream) Close() { f.inner.Close() }
+
+// TestStreamAbortEmitsErrorSentinel: a mid-stream failure after the first
+// line must terminate the NDJSON body with a {"error":"..."} sentinel line,
+// so clients can tell a truncated stream from a complete one (the 200 is
+// already on the wire by then).
+func TestStreamAbortEmitsErrorSentinel(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	srv.testHookStream = func(ds core.DocStream) core.DocStream {
+		return &failAfterStream{inner: ds, after: 1, err: errors.New("injected cursor failure")}
+	}
+
+	resp, lines := postStream(t, ts.URL, QueryRequest{Instance: "dblp", Pattern: selectPattern, SL: []int{1}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 1 answer + 1 sentinel:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	var a Answer
+	if err := json.Unmarshal([]byte(lines[0]), &a); err != nil || a.XML == "" {
+		t.Fatalf("first line is not an answer: %v\n%s", err, lines[0])
+	}
+	var sentinel struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &sentinel); err != nil {
+		t.Fatalf("last line is not JSON: %v\n%s", err, lines[len(lines)-1])
+	}
+	if sentinel.Error != "injected cursor failure" {
+		t.Fatalf("sentinel error %q, want the injected failure", sentinel.Error)
+	}
+}
+
+// TestStreamSuccessHasNoSentinel guards the converse: complete streams end
+// without an error line.
+func TestStreamSuccessHasNoSentinel(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	resp, lines := postStream(t, ts.URL, QueryRequest{Instance: "dblp", Pattern: selectPattern, SL: []int{1}})
+	if resp.StatusCode != http.StatusOK || len(lines) == 0 {
+		t.Fatalf("stream status %d, %d lines", resp.StatusCode, len(lines))
+	}
+	for i, line := range lines {
+		if strings.Contains(line, `"error"`) {
+			t.Fatalf("line %d of a successful stream carries an error member: %s", i, line)
+		}
 	}
 }

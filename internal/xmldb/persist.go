@@ -22,46 +22,57 @@ const shardManifestFile = "_shards.tsv"
 // index file, plus a _shards.tsv manifest; file names carry the document's
 // global insertion position so a later load — at any shard count — replays
 // the exact insertion order. Every file, including the indexes and the
-// manifest, is written to a temp file and renamed into place, so a crash
-// mid-save leaves the previous save intact rather than a torn file.
+// manifest, is written to a temp file, fsynced and renamed into place, so a
+// crash mid-save leaves the previous save intact rather than a torn file.
+// Document and index files from an earlier, larger save that the fresh
+// indexes no longer reference are swept, so deletions shrink the on-disk
+// layout instead of leaving orphans a later load could resurrect.
 func (c *Collection) SaveDir(dir string) error {
+	return c.saveEntries(dir, c.snapshotEntries())
+}
+
+// saveEntries writes a captured (key, document) snapshot in SaveDir's
+// layout; the WAL compactor calls it with entries cut under writeMu.
+func (c *Collection) saveEntries(dir string, entries []keyDoc) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("xmldb: save %s: %w", c.name, err)
 	}
-	entries := c.snapshotEntries()
 	if len(c.shards) == 1 {
 		var index strings.Builder
+		written := map[string]bool{"_index.tsv": true}
 		for i, e := range entries {
 			file := fmt.Sprintf("%04d-%s.xml", i, sanitizeFileName(e.key))
 			if err := writeFileAtomic(filepath.Join(dir, file), []byte(e.tree.XMLString())); err != nil {
 				return fmt.Errorf("xmldb: save %s: %w", e.key, err)
 			}
+			written[file] = true
 			fmt.Fprintf(&index, "%s\t%s\n", file, e.key)
 		}
 		if err := writeFileAtomic(filepath.Join(dir, "_index.tsv"), []byte(index.String())); err != nil {
 			return fmt.Errorf("xmldb: save index: %w", err)
 		}
-		return nil
+		return sweepSaveDir(dir, []map[string]bool{written}, true)
 	}
 	indexes := make([]strings.Builder, len(c.shards))
+	writtenByShard := make([]map[string]bool, len(c.shards))
+	for si := range c.shards {
+		writtenByShard[si] = map[string]bool{"_index.tsv": true}
+		if err := os.MkdirAll(filepath.Join(dir, shardDirName(si)), 0o755); err != nil {
+			return fmt.Errorf("xmldb: save %s: %w", c.name, err)
+		}
+	}
 	for pos, e := range entries {
 		si := c.shardIndex(e.key)
-		sdir := filepath.Join(dir, shardDirName(si))
-		if indexes[si].Len() == 0 {
-			if err := os.MkdirAll(sdir, 0o755); err != nil {
-				return fmt.Errorf("xmldb: save %s: %w", c.name, err)
-			}
-		}
 		file := fmt.Sprintf("%08d-%s.xml", pos, sanitizeFileName(e.key))
-		if err := writeFileAtomic(filepath.Join(sdir, file), []byte(e.tree.XMLString())); err != nil {
+		if err := writeFileAtomic(filepath.Join(dir, shardDirName(si), file), []byte(e.tree.XMLString())); err != nil {
 			return fmt.Errorf("xmldb: save %s: %w", e.key, err)
 		}
+		writtenByShard[si][file] = true
 		fmt.Fprintf(&indexes[si], "%s\t%s\n", file, e.key)
 	}
+	// Every shard writes its index, even an empty one: a shard that lost all
+	// its documents must not keep serving the previous save's index.
 	for si := range indexes {
-		if indexes[si].Len() == 0 {
-			continue
-		}
 		path := filepath.Join(dir, shardDirName(si), "_index.tsv")
 		if err := writeFileAtomic(path, []byte(indexes[si].String())); err != nil {
 			return fmt.Errorf("xmldb: save shard index: %w", err)
@@ -71,14 +82,78 @@ func (c *Collection) SaveDir(dir string) error {
 	if err := writeFileAtomic(filepath.Join(dir, shardManifestFile), []byte(manifest)); err != nil {
 		return fmt.Errorf("xmldb: save manifest: %w", err)
 	}
-	return nil
+	return sweepSaveDir(dir, writtenByShard, false)
 }
 
 func shardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
 
-// writeFileAtomic writes data to a temp file in path's directory and renames
-// it over path, so readers (and post-crash loads) see either the old or the
-// new content, never a partial write.
+// sweepSaveDir removes layout files a just-completed save no longer
+// references: orphaned *.xml document files, a stale _shards.tsv after a
+// flat save, stale flat files after a sharded save, and shard-NNN
+// directories left from a save at a larger shard count. WAL segments
+// (wal*.log) and unrelated files are never touched; a stale shard dir is
+// removed only once it is empty.
+func sweepSaveDir(dir string, writtenByShard []map[string]bool, flat bool) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	sweepShardDir := func(sdir string, keep map[string]bool) error {
+		inner, err := os.ReadDir(sdir)
+		if err != nil {
+			return err
+		}
+		for _, e := range inner {
+			name := e.Name()
+			stale := !e.IsDir() &&
+				((strings.HasSuffix(name, ".xml") && (keep == nil || !keep[name])) ||
+					(keep == nil && name == "_index.tsv"))
+			if stale {
+				if err := os.Remove(filepath.Join(sdir, name)); err != nil {
+					return err
+				}
+			}
+		}
+		if keep == nil {
+			os.Remove(sdir) // fails while non-empty (e.g. wal.log present): fine
+		}
+		return nil
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() && strings.HasPrefix(name, "shard-") {
+			idx, aerr := strconv.Atoi(strings.TrimPrefix(name, "shard-"))
+			var keep map[string]bool // nil: the whole shard dir is stale
+			if aerr == nil && !flat && idx < len(writtenByShard) {
+				keep = writtenByShard[idx]
+			}
+			if err := sweepShardDir(filepath.Join(dir, name), keep); err != nil {
+				return err
+			}
+			continue
+		}
+		if e.IsDir() {
+			continue
+		}
+		switch {
+		case flat && strings.HasSuffix(name, ".xml") && !writtenByShard[0][name]:
+			fallthrough
+		case flat && name == shardManifestFile:
+			fallthrough
+		case !flat && (strings.HasSuffix(name, ".xml") || name == "_index.tsv"):
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeFileAtomic writes data to a temp file in path's directory, fsyncs
+// it, renames it over path, and fsyncs the directory, so readers (and
+// post-crash loads) see either the old or the new content, never a partial
+// write — and the rename itself survives a power failure. The directory
+// fsync is best-effort (not every filesystem supports it).
 func writeFileAtomic(path string, data []byte) error {
 	dir, base := filepath.Split(path)
 	tmp, err := os.CreateTemp(dir, base+".tmp-*")
@@ -94,10 +169,21 @@ func writeFileAtomic(path string, data []byte) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // LoadDir loads documents previously written by SaveDir into the collection
@@ -106,7 +192,16 @@ func writeFileAtomic(path string, data []byte) error {
 // owning shards on Put, in the saved insertion order. Without an index file
 // it loads every *.xml file with the file name (minus extension) as key,
 // sorted.
+//
+// A WAL-managed directory (a CURRENT pointer or shard-NNN/wal*.log
+// segments, see OpenWAL) takes the recovery path instead: load the last
+// snapshot, then replay the WAL tail past the snapshot's generation,
+// truncating torn trailing records. Recovery requires an empty collection —
+// it restores the generation counters to the recovered point.
 func (c *Collection) LoadDir(dir string) error {
+	if hasDurableLayout(dir) {
+		return c.recoverDurable(dir)
+	}
 	if _, err := os.Stat(filepath.Join(dir, shardManifestFile)); err == nil {
 		return c.loadShardedDir(dir)
 	}

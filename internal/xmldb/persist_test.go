@@ -1,8 +1,10 @@
 package xmldb
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -207,5 +209,136 @@ func TestSanitizeFileName(t *testing.T) {
 	}
 	if got := sanitizeFileName(""); got != "doc" {
 		t.Errorf("sanitize empty = %q", got)
+	}
+}
+
+// listFiles returns every regular file under dir, relative to it, sorted.
+func listFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.Walk(dir, func(p string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !fi.IsDir() {
+			rel, _ := filepath.Rel(dir, p)
+			out = append(out, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestSaveDirSweepsOrphans: a second, smaller save must remove the document
+// files the first save wrote for since-deleted keys, so the directory always
+// mirrors exactly the live collection.
+func TestSaveDirSweepsOrphans(t *testing.T) {
+	dir := t.TempDir()
+	c := New().CreateCollection("dblp")
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("doc-%d", i)
+		if _, err := c.PutXML(key, strings.NewReader(paperXML(key, "A", "T", "2000"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !c.Delete(fmt.Sprintf("doc-%d", i)) {
+			t.Fatal("delete failed")
+		}
+	}
+	if err := c.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	xmls := 0
+	for _, f := range listFiles(t, dir) {
+		if strings.HasSuffix(f, ".xml") {
+			xmls++
+		}
+	}
+	if xmls != 2 {
+		t.Fatalf("%d xml files on disk after shrinking save, want 2: %v", xmls, listFiles(t, dir))
+	}
+	c2 := New().CreateCollection("dblp")
+	if err := c2.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if c2.DocCount() != 2 {
+		t.Fatalf("reloaded %d docs, want 2", c2.DocCount())
+	}
+}
+
+// TestSaveDirSweepsStaleShardDirs: re-saving with fewer shards removes the
+// extra shard directories a wider layout left, and a flat save removes the
+// sharded manifest (and vice versa), so a reload never resurrects state
+// from the superseded layout.
+func TestSaveDirSweepsStaleShardDirs(t *testing.T) {
+	dir := t.TempDir()
+	docs := map[string]string{}
+	for i := 0; i < 12; i++ {
+		key := fmt.Sprintf("doc-%d", i)
+		docs[key] = paperXML(key, "A", "T", "2000")
+	}
+	wide := newCollection("dblp", 7)
+	for k, x := range docs {
+		if _, err := wide.PutXML(k, strings.NewReader(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wide.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	narrow := newCollection("dblp", 2)
+	for k, x := range docs {
+		if _, err := narrow.PutXML(k, strings.NewReader(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := narrow.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range listFiles(t, dir) {
+		for s := 2; s < 7; s++ {
+			if strings.HasPrefix(f, fmt.Sprintf("shard-%03d%c", s, filepath.Separator)) {
+				t.Fatalf("stale shard dir survived the narrower save: %s", f)
+			}
+		}
+	}
+	reload := newCollection("dblp", 2)
+	if err := reload.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if reload.DocCount() != 12 {
+		t.Fatalf("reloaded %d docs, want 12", reload.DocCount())
+	}
+
+	// Flat save over the sharded layout: manifest and shard dirs must go.
+	flat := newCollection("dblp", 1)
+	if _, err := flat.PutXML("only", strings.NewReader(paperXML("only", "B", "T", "2001"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := flat.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	files := listFiles(t, dir)
+	for _, f := range files {
+		if strings.HasPrefix(f, "shard-") || f == "_shards.tsv" {
+			t.Fatalf("sharded layout survived the flat save: %v", files)
+		}
+	}
+	reload2 := newCollection("dblp", 1)
+	if err := reload2.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if reload2.DocCount() != 1 {
+		t.Fatalf("reloaded %d docs after flat save, want 1", reload2.DocCount())
 	}
 }

@@ -1,0 +1,769 @@
+package xmldb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the durable mutation path: a per-shard write-ahead
+// log under shard-NNN/wal.log, crash recovery (snapshot load + WAL tail
+// replay), and background snapshot compaction. See docs/DURABILITY.md for
+// the on-disk layout, record format and recovery protocol.
+//
+// Layout of a WAL-managed ("durable") directory:
+//
+//	dir/
+//	  CURRENT                  pointer to the latest complete snapshot +
+//	                           the generation it was taken at (written last,
+//	                           atomically, so a crash mid-snapshot is invisible)
+//	  snap-<gen>/              full SaveDir layout of the snapshot
+//	  shard-NNN/wal.log        current WAL segment of shard NNN
+//	  shard-NNN/wal-<gen>.log  rotated segment awaiting post-snapshot deletion
+//
+// Every record carries the collection-wide generation of its mutation;
+// generations are assigned under writeMu, so sorting records across shard
+// logs by generation reproduces the exact global mutation order. Recovery
+// replays the longest contiguous generation run past the snapshot — a torn
+// or corrupt record ends one shard's readable log, and the contiguity rule
+// turns that into a consistent prefix of history rather than a hole.
+
+// walCurrentFile is the snapshot-pointer file of a durable directory; its
+// presence is what marks the layout as WAL-managed.
+const walCurrentFile = "CURRENT"
+
+// walFileName is the current (appendable) WAL segment inside a shard dir.
+const walFileName = "wal.log"
+
+// walHeaderSize is the fixed per-record header: uint32 payload length +
+// uint32 CRC32-C of the payload, both little-endian.
+const walHeaderSize = 8
+
+// walMaxRecord bounds a single record's payload; a length prefix beyond it
+// is treated as a torn tail rather than an allocation request.
+const walMaxRecord = 64 << 20
+
+// WAL record operations.
+const (
+	walOpPut    = byte(1)
+	walOpDelete = byte(2)
+)
+
+var walCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy selects when WAL appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncInterval (the default) fsyncs dirty WAL segments on a background
+	// ticker: bounded data loss on power failure, near-zero append latency.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs after every append, before the mutation is applied
+	// in memory: no acknowledged write is ever lost.
+	SyncAlways
+	// SyncOff never fsyncs; durability is whatever the OS page cache
+	// provides. Process crashes (SIGKILL) lose nothing, power failures may.
+	SyncOff
+)
+
+// ParseSyncPolicy maps the flag spellings to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("xmldb: unknown WAL sync policy %q (want always, interval or off)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncOff:
+		return "off"
+	default:
+		return "interval"
+	}
+}
+
+// WALOptions tunes the write-ahead log; zero values select the defaults.
+type WALOptions struct {
+	// Sync is the fsync policy (default SyncInterval).
+	Sync SyncPolicy
+	// SyncInterval is the background fsync period under SyncInterval
+	// (default 100ms).
+	SyncInterval time.Duration
+	// MaxBytes triggers background snapshot compaction once any shard's
+	// current wal.log exceeds it (default 4MB; negative disables the
+	// compactor).
+	MaxBytes int64
+	// OnError receives background compaction/sync errors and WAL append
+	// failures on the Delete path (which has no error return); nil drops
+	// them.
+	OnError func(error)
+}
+
+func (o WALOptions) withDefaults() WALOptions {
+	if o.SyncInterval == 0 {
+		o.SyncInterval = 100 * time.Millisecond
+	}
+	if o.MaxBytes == 0 {
+		o.MaxBytes = 4 << 20
+	}
+	return o
+}
+
+// walCounters are the cumulative WAL statistics, updated atomically on the
+// append/sync/compaction/recovery paths and snapshotted by WALStats.
+type walCounters struct {
+	appends          atomic.Uint64
+	appendErrors     atomic.Uint64
+	fsyncs           atomic.Uint64
+	fsyncNanos       atomic.Int64
+	compactions      atomic.Uint64
+	compactionErrors atomic.Uint64
+	replayed         atomic.Uint64
+	truncations      atomic.Uint64
+	recoveredGen     atomic.Uint64
+	lastCompactGen   atomic.Uint64
+}
+
+// WALStats is a point-in-time snapshot of the write-ahead log, for /statz
+// and the toss_wal_* metrics.
+type WALStats struct {
+	Enabled             bool    `json:"enabled"`
+	Appends             uint64  `json:"appends"`
+	AppendErrors        uint64  `json:"append_errors"`
+	Bytes               int64   `json:"bytes"` // current wal.log segments, all shards
+	Fsyncs              uint64  `json:"fsyncs"`
+	FsyncSeconds        float64 `json:"fsync_seconds"`
+	Compactions         uint64  `json:"compactions"`
+	CompactionErrors    uint64  `json:"compaction_errors"`
+	ReplayedRecords     uint64  `json:"replayed_records"`
+	Truncations         uint64  `json:"truncations"` // torn/stale tails cut at recovery or failed appends rolled back
+	RecoveredGeneration uint64  `json:"recovered_generation"`
+	LastCompactGen      uint64  `json:"last_compact_generation"`
+}
+
+// WALStats snapshots the collection's WAL counters. Enabled is false (with
+// recovery counters still populated) when no WAL is attached.
+func (c *Collection) WALStats() WALStats {
+	st := WALStats{
+		Appends:             c.walc.appends.Load(),
+		AppendErrors:        c.walc.appendErrors.Load(),
+		Fsyncs:              c.walc.fsyncs.Load(),
+		FsyncSeconds:        float64(c.walc.fsyncNanos.Load()) / 1e9,
+		Compactions:         c.walc.compactions.Load(),
+		CompactionErrors:    c.walc.compactionErrors.Load(),
+		ReplayedRecords:     c.walc.replayed.Load(),
+		Truncations:         c.walc.truncations.Load(),
+		RecoveredGeneration: c.walc.recoveredGen.Load(),
+		LastCompactGen:      c.walc.lastCompactGen.Load(),
+	}
+	c.writeMu.Lock()
+	if c.wal != nil {
+		st.Enabled = true
+		for _, w := range c.wal.writers {
+			st.Bytes += w.size.Load()
+		}
+	}
+	c.writeMu.Unlock()
+	return st
+}
+
+// walWriter is one shard's appendable WAL segment. Appends happen under the
+// collection's writeMu (mutations are serialized), but the background syncer
+// and the compactor's rotation touch the file concurrently, so the handle is
+// guarded by its own mutex.
+type walWriter struct {
+	mu    sync.Mutex
+	path  string // .../shard-NNN/wal.log
+	f     *os.File
+	size  atomic.Int64
+	dirty atomic.Bool // appended since the last fsync
+}
+
+func (w *walWriter) sync(st *walCounters) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked(st)
+}
+
+func (w *walWriter) syncLocked(st *walCounters) error {
+	if w.f == nil || !w.dirty.Swap(false) {
+		return nil
+	}
+	start := time.Now()
+	err := w.f.Sync()
+	st.fsyncs.Add(1)
+	st.fsyncNanos.Add(int64(time.Since(start)))
+	return err
+}
+
+// walSet is the live write-ahead log of a collection: one writer per shard
+// plus the background sync and compaction goroutines.
+type walSet struct {
+	dir     string
+	opts    WALOptions
+	writers []*walWriter
+	poke    chan struct{} // append crossed MaxBytes: wake the compactor
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	// compactMu serializes explicit CompactWAL calls with the background
+	// compactor (the cut itself is under writeMu; this keeps the
+	// snapshot-write phases from interleaving).
+	compactMu sync.Mutex
+}
+
+// encodeWALRecord renders one length-prefixed, CRC-checksummed record:
+//
+//	uint32 LE payload length | uint32 LE CRC32-C(payload) | payload
+//	payload = op(1) | generation(8 LE) | key length(4 LE) | key | xml
+func encodeWALRecord(op byte, gen uint64, key, xml string) []byte {
+	payloadLen := 1 + 8 + 4 + len(key) + len(xml)
+	buf := make([]byte, walHeaderSize+payloadLen)
+	payload := buf[walHeaderSize:]
+	payload[0] = op
+	binary.LittleEndian.PutUint64(payload[1:], gen)
+	binary.LittleEndian.PutUint32(payload[9:], uint32(len(key)))
+	copy(payload[13:], key)
+	copy(payload[13+len(key):], xml)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, walCRCTable))
+	return buf
+}
+
+// walRecord is one decoded record plus where it ends in its source file
+// (recovery truncates each current segment back to its last applied record).
+type walRecord struct {
+	op   byte
+	gen  uint64
+	key  string
+	xml  string
+	file string
+	end  int64
+}
+
+// parseWALFile reads records sequentially until EOF or the first torn or
+// corrupt record (short header, short payload, CRC mismatch, implausible
+// length); torn reports whether such a tear cut the scan short. IO errors
+// opening or reading the file are returned as err.
+func parseWALFile(path string) (recs []walRecord, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	off := 0
+	for off < len(data) {
+		if len(data)-off < walHeaderSize {
+			return recs, true, nil
+		}
+		payloadLen := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if payloadLen < 13 || payloadLen > walMaxRecord || off+walHeaderSize+payloadLen > len(data) {
+			return recs, true, nil
+		}
+		payload := data[off+walHeaderSize : off+walHeaderSize+payloadLen]
+		if crc32.Checksum(payload, walCRCTable) != crc {
+			return recs, true, nil
+		}
+		keyLen := int(binary.LittleEndian.Uint32(payload[9:]))
+		if keyLen < 0 || 13+keyLen > payloadLen {
+			return recs, true, nil
+		}
+		off += walHeaderSize + payloadLen
+		recs = append(recs, walRecord{
+			op:   payload[0],
+			gen:  binary.LittleEndian.Uint64(payload[1:]),
+			key:  string(payload[13 : 13+keyLen]),
+			xml:  string(payload[13+keyLen:]),
+			file: path,
+			end:  int64(off),
+		})
+	}
+	return recs, false, nil
+}
+
+// walMeta is the decoded CURRENT file: the latest complete snapshot and the
+// collection/shard generations it was taken at.
+type walMeta struct {
+	snap      string
+	gen       uint64
+	shardGens []uint64
+}
+
+func readWALMeta(dir string) (walMeta, error) {
+	var m walMeta
+	data, err := os.ReadFile(filepath.Join(dir, walCurrentFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return m, nil
+		}
+		return m, err
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		fields := strings.Split(line, "\t")
+		switch {
+		case len(fields) == 2 && fields[0] == "snap":
+			m.snap = fields[1]
+		case len(fields) == 2 && fields[0] == "gen":
+			if m.gen, err = strconv.ParseUint(fields[1], 10, 64); err != nil {
+				return m, fmt.Errorf("xmldb: malformed CURRENT gen line %q", line)
+			}
+		case len(fields) == 3 && fields[0] == "shardgen":
+			g, err := strconv.ParseUint(fields[2], 10, 64)
+			if err != nil {
+				return m, fmt.Errorf("xmldb: malformed CURRENT shardgen line %q", line)
+			}
+			m.shardGens = append(m.shardGens, g)
+		}
+	}
+	if m.snap != "" && (strings.ContainsAny(m.snap, "/\\") || !strings.HasPrefix(m.snap, "snap-")) {
+		return m, fmt.Errorf("xmldb: implausible CURRENT snapshot name %q", m.snap)
+	}
+	return m, nil
+}
+
+func writeWALMeta(dir string, snap string, gen uint64, shardGens []uint64) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "snap\t%s\ngen\t%d\n", snap, gen)
+	for i, g := range shardGens {
+		fmt.Fprintf(&b, "shardgen\t%d\t%d\n", i, g)
+	}
+	return writeFileAtomic(filepath.Join(dir, walCurrentFile), []byte(b.String()))
+}
+
+// hasDurableLayout reports whether dir is WAL-managed: a CURRENT pointer or
+// any shard WAL segment marks it (legacy SaveDir layouts have neither).
+func hasDurableLayout(dir string) bool {
+	if _, err := os.Stat(filepath.Join(dir, walCurrentFile)); err == nil {
+		return true
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "shard-*", "wal*.log"))
+	return len(matches) > 0
+}
+
+// recoverDurable rebuilds the collection from a WAL-managed directory: load
+// the CURRENT snapshot (if any), force the generation counters back to the
+// snapshot's cut, then replay the longest contiguous generation run found
+// across every shard's WAL segments. Current wal.log segments are truncated
+// back to their last applied record, so torn tails and post-gap records can
+// never collide with future appends. The collection must be empty.
+func (c *Collection) recoverDurable(dir string) error {
+	if c.DocCount() != 0 {
+		return fmt.Errorf("xmldb: WAL recovery into %s requires an empty collection (have %d docs)", c.name, c.DocCount())
+	}
+	meta, err := readWALMeta(dir)
+	if err != nil {
+		return err
+	}
+	if meta.snap != "" {
+		if err := c.LoadDir(filepath.Join(dir, meta.snap)); err != nil {
+			return fmt.Errorf("xmldb: loading snapshot %s: %w", meta.snap, err)
+		}
+	}
+	// The snapshot loader re-puts every document, bumping the counters; the
+	// recovered state must resume exactly at the snapshot's cut.
+	c.generation.Store(meta.gen)
+	if len(meta.shardGens) == len(c.shards) {
+		for i, g := range meta.shardGens {
+			c.shards[i].generation.Store(g)
+		}
+	}
+
+	segments, err := filepath.Glob(filepath.Join(dir, "shard-*", "wal*.log"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(segments)
+	var all []walRecord
+	for _, seg := range segments {
+		recs, torn, err := parseWALFile(seg)
+		if err != nil {
+			return fmt.Errorf("xmldb: reading WAL %s: %w", seg, err)
+		}
+		if torn {
+			c.walc.truncations.Add(1)
+		}
+		all = append(all, recs...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].gen < all[j].gen })
+
+	expected := meta.gen + 1
+	applied := uint64(0)
+	for _, r := range all {
+		if r.gen < expected {
+			continue // already reflected in the snapshot
+		}
+		if r.gen > expected {
+			break // gap: the rest of history is not a consistent prefix
+		}
+		switch r.op {
+		case walOpPut:
+			if _, err := c.PutXML(r.key, strings.NewReader(r.xml)); err != nil {
+				return fmt.Errorf("xmldb: replaying put %q at generation %d: %w", r.key, r.gen, err)
+			}
+		case walOpDelete:
+			c.Delete(r.key)
+		default:
+			return fmt.Errorf("xmldb: unknown WAL op %d at generation %d", r.op, r.gen)
+		}
+		expected++
+		applied++
+	}
+	lastGen := expected - 1
+	c.walc.replayed.Add(applied)
+	c.walc.recoveredGen.Store(lastGen)
+
+	// Truncate every current segment to its last record with gen <= lastGen:
+	// that removes torn tails and any readable records past a gap, which
+	// future appends (continuing at lastGen+1) would otherwise duplicate.
+	keep := map[string]int64{}
+	for _, r := range all {
+		if r.gen <= lastGen && r.end > keep[r.file] {
+			keep[r.file] = r.end
+		}
+	}
+	for _, seg := range segments {
+		if filepath.Base(seg) != walFileName {
+			continue // rotated segments are read-only until compaction deletes them
+		}
+		fi, err := os.Stat(seg)
+		if err != nil {
+			return err
+		}
+		if k := keep[seg]; k < fi.Size() {
+			if err := os.Truncate(seg, k); err != nil {
+				return fmt.Errorf("xmldb: truncating %s: %w", seg, err)
+			}
+			c.walc.truncations.Add(1)
+		}
+	}
+	return nil
+}
+
+// OpenWAL attaches a write-ahead log under dir: it first recovers any state
+// already there (snapshot + WAL replay, exactly LoadDir's durable path),
+// then opens per-shard wal.log segments and journals every subsequent
+// Put/Delete before it mutates in-memory state. Background goroutines
+// handle interval fsync and snapshot compaction per opts. The collection
+// must be empty (recovered state is the collection).
+func (c *Collection) OpenWAL(dir string, opts WALOptions) error {
+	opts = opts.withDefaults()
+	c.writeMu.Lock()
+	open := c.wal != nil
+	c.writeMu.Unlock()
+	if open {
+		return fmt.Errorf("xmldb: collection %s already has an open WAL", c.name)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("xmldb: open WAL %s: %w", dir, err)
+	}
+	if err := c.recoverDurable(dir); err != nil {
+		return err
+	}
+	ws := &walSet{
+		dir:  dir,
+		opts: opts,
+		poke: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+	}
+	for i := range c.shards {
+		sdir := filepath.Join(dir, shardDirName(i))
+		if err := os.MkdirAll(sdir, 0o755); err != nil {
+			return fmt.Errorf("xmldb: open WAL %s: %w", sdir, err)
+		}
+		path := filepath.Join(sdir, walFileName)
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("xmldb: open WAL %s: %w", path, err)
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return err
+		}
+		w := &walWriter{path: path, f: f}
+		w.size.Store(fi.Size())
+		ws.writers = append(ws.writers, w)
+	}
+	c.writeMu.Lock()
+	c.wal = ws
+	c.writeMu.Unlock()
+
+	if opts.Sync == SyncInterval {
+		ws.wg.Add(1)
+		go ws.syncLoop(c)
+	}
+	if opts.MaxBytes > 0 {
+		ws.wg.Add(1)
+		go ws.compactLoop(c)
+	}
+	return nil
+}
+
+// CloseWAL stops the background goroutines, fsyncs and closes every shard
+// segment, and detaches the log. Safe to call on a collection without one.
+func (c *Collection) CloseWAL() error {
+	c.writeMu.Lock()
+	ws := c.wal
+	c.writeMu.Unlock()
+	if ws == nil {
+		return nil
+	}
+	close(ws.stop)
+	ws.wg.Wait()
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	var firstErr error
+	for _, w := range ws.writers {
+		w.mu.Lock()
+		if w.f != nil {
+			w.dirty.Store(true) // force a final fsync regardless of policy
+			if err := w.syncLocked(&c.walc); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err := w.f.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			w.f = nil
+		}
+		w.mu.Unlock()
+	}
+	c.wal = nil
+	return firstErr
+}
+
+// append journals one mutation. Called under writeMu (and the owning
+// shard's lock), before the in-memory mutation: a failed append leaves
+// both the log (rolled back to its pre-append size) and the collection
+// unchanged. Under SyncAlways the record is on stable storage when append
+// returns.
+func (ws *walSet) append(st *walCounters, si int, op byte, gen uint64, key, xml string) error {
+	w := ws.writers[si]
+	rec := encodeWALRecord(op, gen, key, xml)
+	w.mu.Lock()
+	if w.f == nil {
+		w.mu.Unlock()
+		return fmt.Errorf("xmldb: WAL %s is closed", w.path)
+	}
+	prev := w.size.Load()
+	_, err := w.f.Write(rec)
+	if err != nil {
+		// Roll back a possibly partial write so the tail stays parseable.
+		if terr := w.f.Truncate(prev); terr == nil {
+			st.truncations.Add(1)
+		}
+		w.mu.Unlock()
+		st.appendErrors.Add(1)
+		return err
+	}
+	w.dirty.Store(true)
+	if ws.opts.Sync == SyncAlways {
+		if err := w.syncLocked(st); err != nil {
+			// The record may or may not be durable; roll it back so the log
+			// never holds a mutation the collection did not apply.
+			if terr := w.f.Truncate(prev); terr == nil {
+				st.truncations.Add(1)
+			}
+			w.mu.Unlock()
+			st.appendErrors.Add(1)
+			return err
+		}
+	}
+	size := w.size.Add(int64(len(rec)))
+	w.mu.Unlock()
+	st.appends.Add(1)
+	if ws.opts.MaxBytes > 0 && size > ws.opts.MaxBytes {
+		select {
+		case ws.poke <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+func (ws *walSet) syncLoop(c *Collection) {
+	defer ws.wg.Done()
+	tick := time.NewTicker(ws.opts.SyncInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ws.stop:
+			return
+		case <-tick.C:
+			for _, w := range ws.writers {
+				if err := w.sync(&c.walc); err != nil && ws.opts.OnError != nil {
+					ws.opts.OnError(err)
+				}
+			}
+		}
+	}
+}
+
+func (ws *walSet) compactLoop(c *Collection) {
+	defer ws.wg.Done()
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ws.stop:
+			return
+		case <-ws.poke:
+		case <-tick.C:
+		}
+		over := false
+		for _, w := range ws.writers {
+			if w.size.Load() > ws.opts.MaxBytes {
+				over = true
+				break
+			}
+		}
+		if !over {
+			continue
+		}
+		if err := c.CompactWAL(); err != nil && ws.opts.OnError != nil {
+			ws.opts.OnError(err)
+		}
+	}
+}
+
+// CompactWAL takes a consistent cut of the collection, rotates every
+// shard's wal.log out of the append path, writes a full snapshot of the cut
+// (SaveDir's atomic layout, in a fresh snap-<gen> directory), atomically
+// flips the CURRENT pointer to it, and deletes the rotated segments and
+// older snapshots the pointer no longer references. A crash at any point
+// leaves a recoverable state: until CURRENT lands, recovery uses the
+// previous snapshot plus the rotated segments.
+func (c *Collection) CompactWAL() error {
+	c.writeMu.Lock()
+	ws := c.wal
+	if ws == nil {
+		c.writeMu.Unlock()
+		return fmt.Errorf("xmldb: collection %s has no open WAL", c.name)
+	}
+	c.writeMu.Unlock()
+	ws.compactMu.Lock()
+	defer ws.compactMu.Unlock()
+
+	// Phase 1, under writeMu (no mutations in flight): capture the cut and
+	// rotate each shard's segment so post-cut appends land in fresh files.
+	c.writeMu.Lock()
+	gen := c.generation.Load()
+	if gen == c.walc.lastCompactGen.Load() && gen != 0 {
+		c.writeMu.Unlock()
+		return nil // nothing new since the last snapshot
+	}
+	entries := c.snapshotEntries()
+	shardGens := make([]uint64, len(c.shards))
+	for i, sh := range c.shards {
+		shardGens[i] = sh.generation.Load()
+	}
+	for _, w := range ws.writers {
+		w.mu.Lock()
+		if w.f == nil {
+			w.mu.Unlock()
+			continue
+		}
+		w.dirty.Store(true)
+		if err := w.syncLocked(&c.walc); err != nil {
+			w.mu.Unlock()
+			c.writeMu.Unlock()
+			c.walc.compactionErrors.Add(1)
+			return fmt.Errorf("xmldb: compact %s: %w", w.path, err)
+		}
+		if err := w.f.Close(); err != nil {
+			w.mu.Unlock()
+			c.writeMu.Unlock()
+			c.walc.compactionErrors.Add(1)
+			return err
+		}
+		rotated := filepath.Join(filepath.Dir(w.path), fmt.Sprintf("wal-%016d.log", gen))
+		if err := os.Rename(w.path, rotated); err != nil {
+			w.f = nil
+			w.mu.Unlock()
+			c.writeMu.Unlock()
+			c.walc.compactionErrors.Add(1)
+			return err
+		}
+		f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			w.f = nil
+			w.mu.Unlock()
+			c.writeMu.Unlock()
+			c.walc.compactionErrors.Add(1)
+			return err
+		}
+		w.f = f
+		w.size.Store(0)
+		w.mu.Unlock()
+	}
+	c.writeMu.Unlock()
+
+	// Phase 2, outside all locks (trees are immutable): write the snapshot,
+	// then flip CURRENT.
+	snapName := fmt.Sprintf("snap-%016d", gen)
+	if err := c.saveEntries(filepath.Join(ws.dir, snapName), entries); err != nil {
+		c.walc.compactionErrors.Add(1)
+		return fmt.Errorf("xmldb: compact snapshot: %w", err)
+	}
+	if err := writeWALMeta(ws.dir, snapName, gen, shardGens); err != nil {
+		c.walc.compactionErrors.Add(1)
+		return fmt.Errorf("xmldb: compact CURRENT: %w", err)
+	}
+
+	// Phase 3: garbage-collect everything the new CURRENT supersedes —
+	// rotated segments (their records are all <= gen), stale shard dirs
+	// from runs at a larger shard count, and older snapshots.
+	if segs, err := filepath.Glob(filepath.Join(ws.dir, "shard-*", "wal-*.log")); err == nil {
+		for _, seg := range segs {
+			os.Remove(seg)
+		}
+	}
+	if dirs, err := os.ReadDir(ws.dir); err == nil {
+		for _, e := range dirs {
+			name := e.Name()
+			if e.IsDir() && strings.HasPrefix(name, "snap-") && name != snapName {
+				os.RemoveAll(filepath.Join(ws.dir, name))
+			}
+			if e.IsDir() && strings.HasPrefix(name, "shard-") {
+				if idx, err := strconv.Atoi(strings.TrimPrefix(name, "shard-")); err == nil && idx >= len(c.shards) {
+					os.RemoveAll(filepath.Join(ws.dir, name))
+				}
+			}
+		}
+	}
+	c.walc.compactions.Add(1)
+	c.walc.lastCompactGen.Store(gen)
+	return nil
+}
+
+// SyncWAL forces an fsync of every shard segment (exposed for callers that
+// want a durability barrier under SyncInterval/SyncOff, e.g. bulk loaders).
+func (c *Collection) SyncWAL() error {
+	c.writeMu.Lock()
+	ws := c.wal
+	c.writeMu.Unlock()
+	if ws == nil {
+		return nil
+	}
+	var firstErr error
+	for _, w := range ws.writers {
+		if err := w.sync(&c.walc); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,451 @@
+package xmldb
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// walMutation is one step of a deterministic mixed workload: fresh puts,
+// same-key replacements and deletes, the three shapes the WAL journals.
+type walMutation struct {
+	op  byte
+	key string
+	xml string
+}
+
+func genMutations(n int) []walMutation {
+	rng := rand.New(rand.NewSource(42))
+	var live []string
+	muts := make([]walMutation, 0, n)
+	for i := 0; i < n; i++ {
+		r := rng.Float64()
+		switch {
+		case r < 0.6 || len(live) == 0: // fresh put
+			key := fmt.Sprintf("doc-%04d", i)
+			muts = append(muts, walMutation{walOpPut, key,
+				fmt.Sprintf("<doc id=%q><v>%d</v><body>payload %d</body></doc>", key, i, i)})
+			live = append(live, key)
+		case r < 0.8: // replacement
+			key := live[rng.Intn(len(live))]
+			muts = append(muts, walMutation{walOpPut, key,
+				fmt.Sprintf("<doc id=%q><v>replaced-%d</v></doc>", key, i)})
+		default: // delete
+			j := rng.Intn(len(live))
+			key := live[j]
+			live = append(live[:j], live[j+1:]...)
+			muts = append(muts, walMutation{walOpDelete, key, ""})
+		}
+	}
+	return muts
+}
+
+func applyMutations(t *testing.T, c *Collection, muts []walMutation) {
+	t.Helper()
+	for _, m := range muts {
+		switch m.op {
+		case walOpPut:
+			if _, err := c.PutXML(m.key, strings.NewReader(m.xml)); err != nil {
+				t.Fatalf("put %s: %v", m.key, err)
+			}
+		case walOpDelete:
+			if !c.Delete(m.key) {
+				t.Fatalf("delete %s: key missing", m.key)
+			}
+		}
+	}
+}
+
+// referenceCollection applies muts to a fresh, WAL-less collection — the
+// ground truth a recovered collection must match bit-for-bit.
+func referenceCollection(t *testing.T, shards int, muts []walMutation) *Collection {
+	t.Helper()
+	ref := newCollection("ref", shards)
+	applyMutations(t, ref, muts)
+	return ref
+}
+
+// assertSameState checks keys, insertion order, document content, byte size
+// and the generation counters (collection-wide, and per-shard when the
+// layouts agree) are identical.
+func assertSameState(t *testing.T, got, want *Collection) {
+	t.Helper()
+	assertSameContent(t, got, want)
+	if got.ShardCount() == want.ShardCount() {
+		gi, wi := got.ShardInfos(), want.ShardInfos()
+		for i := range wi {
+			if gi[i].Generation != wi[i].Generation {
+				t.Fatalf("shard %d generation %d, want %d", i, gi[i].Generation, wi[i].Generation)
+			}
+			if gi[i].Docs != wi[i].Docs {
+				t.Fatalf("shard %d has %d docs, want %d", i, gi[i].Docs, wi[i].Docs)
+			}
+		}
+	}
+}
+
+// assertSameContent checks the layout-independent state: keys, insertion
+// order, document content, byte size, and the collection-wide generation.
+func assertSameContent(t *testing.T, got, want *Collection) {
+	t.Helper()
+	gk, wk := got.Keys(), want.Keys()
+	if len(gk) != len(wk) {
+		t.Fatalf("recovered %d keys, want %d\n got: %v\nwant: %v", len(gk), len(wk), gk, wk)
+	}
+	for i := range wk {
+		if gk[i] != wk[i] {
+			t.Fatalf("key %d: got %q, want %q (insertion order diverged)", i, gk[i], wk[i])
+		}
+		g, w := got.Doc(gk[i]), want.Doc(wk[i])
+		if g.XMLString() != w.XMLString() {
+			t.Fatalf("doc %q content differs:\n got: %s\nwant: %s", gk[i], g.XMLString(), w.XMLString())
+		}
+	}
+	if got.Generation() != want.Generation() {
+		t.Fatalf("generation %d, want %d", got.Generation(), want.Generation())
+	}
+	if got.ByteSize() != want.ByteSize() {
+		t.Fatalf("byte size %d, want %d", got.ByteSize(), want.ByteSize())
+	}
+}
+
+// crashOpts disables the background goroutines so an abandoned collection
+// models a process killed at an arbitrary point: the on-disk bytes are
+// exactly what the appends wrote.
+func crashOpts() WALOptions {
+	return WALOptions{Sync: SyncOff, MaxBytes: -1}
+}
+
+func openWALCollection(t *testing.T, dir string, shards int, opts WALOptions) *Collection {
+	t.Helper()
+	c := newCollection("wal", shards)
+	if err := c.OpenWAL(dir, opts); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func forEachShardCount(t *testing.T, f func(t *testing.T, shards int)) {
+	for _, shards := range []int{1, 2, 7} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) { f(t, shards) })
+	}
+}
+
+// TestWALRecoveryAfterCrash kills the process (simulated: the collection is
+// abandoned without a clean close) after a compaction plus a WAL tail, and
+// asserts recovery reproduces the reference state exactly — the "kill
+// between WAL append and snapshot" case.
+func TestWALRecoveryAfterCrash(t *testing.T) {
+	forEachShardCount(t, func(t *testing.T, shards int) {
+		muts := genMutations(200)
+		dir := t.TempDir()
+
+		c1 := openWALCollection(t, dir, shards, crashOpts())
+		applyMutations(t, c1, muts[:120])
+		if err := c1.CompactWAL(); err != nil {
+			t.Fatal(err)
+		}
+		applyMutations(t, c1, muts[120:])
+		if err := c1.CloseWAL(); err != nil { // crash: disk state is final
+			t.Fatal(err)
+		}
+
+		ref := referenceCollection(t, shards, muts)
+		c2 := openWALCollection(t, dir, shards, crashOpts())
+		assertSameState(t, c2, ref)
+		st := c2.WALStats()
+		if st.RecoveredGeneration != uint64(len(muts)) {
+			t.Fatalf("recovered generation %d, want %d", st.RecoveredGeneration, len(muts))
+		}
+		if st.ReplayedRecords != uint64(len(muts)-120) {
+			t.Fatalf("replayed %d records, want %d", st.ReplayedRecords, len(muts)-120)
+		}
+		c2.CloseWAL()
+
+		// Read-only recovery: plain LoadDir on the durable dir reproduces
+		// the same state without attaching a WAL.
+		c3 := newCollection("ro", shards)
+		if err := c3.LoadDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		assertSameState(t, c3, ref)
+	})
+}
+
+// TestWALRecoveryWithoutSnapshot replays the entire history from the WAL
+// alone: no compaction ever ran, so there is no CURRENT pointer.
+func TestWALRecoveryWithoutSnapshot(t *testing.T) {
+	forEachShardCount(t, func(t *testing.T, shards int) {
+		muts := genMutations(80)
+		dir := t.TempDir()
+		c1 := openWALCollection(t, dir, shards, crashOpts())
+		applyMutations(t, c1, muts)
+		c1.CloseWAL()
+		if _, err := os.Stat(filepath.Join(dir, walCurrentFile)); !os.IsNotExist(err) {
+			t.Fatalf("CURRENT should not exist before the first compaction (err=%v)", err)
+		}
+		c2 := openWALCollection(t, dir, shards, crashOpts())
+		assertSameState(t, c2, referenceCollection(t, shards, muts))
+		c2.CloseWAL()
+	})
+}
+
+// largestWAL returns the current segment with the most bytes (guaranteed to
+// hold at least one record after a non-trivial workload).
+func largestWAL(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "shard-*", walFileName))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no wal segments under %s (err=%v)", dir, err)
+	}
+	best, bestSize := "", int64(-1)
+	for _, seg := range segs {
+		fi, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() > bestSize {
+			best, bestSize = seg, fi.Size()
+		}
+	}
+	if bestSize <= 0 {
+		t.Fatal("all wal segments empty")
+	}
+	return best
+}
+
+// assertConsistentPrefix recovers the damaged dir and asserts the result is
+// exactly the reference history truncated at the recovered generation — the
+// consistent-prefix contract for torn and corrupt logs. It returns the
+// recovered collection (WAL still open) and the prefix length.
+func assertConsistentPrefix(t *testing.T, dir string, shards int, muts []walMutation) (*Collection, int) {
+	t.Helper()
+	c := openWALCollection(t, dir, shards, crashOpts())
+	gen := int(c.Generation())
+	if gen >= len(muts) {
+		t.Fatalf("recovered generation %d, want a strict prefix of %d mutations", gen, len(muts))
+	}
+	assertSameState(t, c, referenceCollection(t, shards, muts[:gen]))
+	if st := c.WALStats(); st.Truncations == 0 {
+		t.Fatal("expected a truncation to be recorded")
+	}
+	return c, gen
+}
+
+// TestWALTornTailTruncated cuts the last bytes off one shard's wal.log —
+// the shape a crash mid-append leaves — and asserts recovery truncates the
+// tear, lands on a consistent prefix, and accepts new appends afterwards.
+func TestWALTornTailTruncated(t *testing.T) {
+	forEachShardCount(t, func(t *testing.T, shards int) {
+		muts := genMutations(100)
+		dir := t.TempDir()
+		c1 := openWALCollection(t, dir, shards, crashOpts())
+		applyMutations(t, c1, muts)
+		c1.CloseWAL()
+
+		seg := largestWAL(t, dir)
+		fi, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(seg, fi.Size()-3); err != nil {
+			t.Fatal(err)
+		}
+
+		c2, gen := assertConsistentPrefix(t, dir, shards, muts)
+		// The torn segment must have been cut back to parseable records.
+		if recs, torn, err := parseWALFile(seg); err != nil || torn {
+			t.Fatalf("segment still torn after recovery (records=%d, torn=%v, err=%v)", len(recs), torn, err)
+		}
+
+		// Life goes on: new mutations append past the recovered point and a
+		// further recovery sees them.
+		extra := []walMutation{
+			{walOpPut, "post-recovery", "<doc id=\"post-recovery\"><v>1</v></doc>"},
+		}
+		applyMutations(t, c2, extra)
+		c2.CloseWAL()
+		c3 := openWALCollection(t, dir, shards, crashOpts())
+		assertSameState(t, c3, referenceCollection(t, shards, append(append([]walMutation{}, muts[:gen]...), extra...)))
+		c3.CloseWAL()
+	})
+}
+
+// TestWALCorruptCRCTruncated flips a byte inside a mid-file record: the CRC
+// no longer matches, replay must stop at the record before it (and, via the
+// generation-contiguity rule, drop everything after the hole).
+func TestWALCorruptCRCTruncated(t *testing.T) {
+	forEachShardCount(t, func(t *testing.T, shards int) {
+		muts := genMutations(100)
+		dir := t.TempDir()
+		c1 := openWALCollection(t, dir, shards, crashOpts())
+		applyMutations(t, c1, muts)
+		c1.CloseWAL()
+
+		seg := largestWAL(t, dir)
+		recs, torn, err := parseWALFile(seg)
+		if err != nil || torn || len(recs) < 4 {
+			t.Fatalf("want a healthy segment with >=4 records, got %d (torn=%v, err=%v)", len(recs), torn, err)
+		}
+		victim := recs[len(recs)/2]
+		f, err := os.OpenFile(seg, os.O_RDWR, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt([]byte{0xff}, victim.end-2); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+
+		c2, _ := assertConsistentPrefix(t, dir, shards, muts)
+		// Recovery must stop strictly before the corrupt record's generation.
+		if got := c2.Generation(); got >= victim.gen {
+			t.Fatalf("recovered generation %d, want < corrupt record's %d", got, victim.gen)
+		}
+		c2.CloseWAL()
+	})
+}
+
+// TestWALBackgroundCompaction drives enough volume through a small MaxBytes
+// that the background compactor must fire, then recovers and compares.
+func TestWALBackgroundCompaction(t *testing.T) {
+	dir := t.TempDir()
+	c1 := openWALCollection(t, dir, 2, WALOptions{Sync: SyncInterval, SyncInterval: 5 * time.Millisecond, MaxBytes: 2048})
+	muts := genMutations(150)
+	applyMutations(t, c1, muts)
+	deadline := time.Now().Add(10 * time.Second)
+	for c1.WALStats().Compactions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("compactor never fired (wal bytes=%d)", c1.WALStats().Bytes)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := c1.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	c2 := openWALCollection(t, dir, 2, crashOpts())
+	assertSameState(t, c2, referenceCollection(t, 2, muts))
+	c2.CloseWAL()
+}
+
+// TestWALExplicitCompactionCleansUp asserts CompactWAL leaves exactly one
+// snapshot, a CURRENT pointer, and no rotated segments.
+func TestWALExplicitCompactionCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	c := openWALCollection(t, dir, 2, crashOpts())
+	muts := genMutations(60)
+	applyMutations(t, c, muts[:30])
+	if err := c.CompactWAL(); err != nil {
+		t.Fatal(err)
+	}
+	applyMutations(t, c, muts[30:])
+	if err := c.CompactWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if rot, _ := filepath.Glob(filepath.Join(dir, "shard-*", "wal-*.log")); len(rot) != 0 {
+		t.Fatalf("rotated segments not cleaned up: %v", rot)
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*"))
+	if len(snaps) != 1 {
+		t.Fatalf("want exactly one snapshot dir, got %v", snaps)
+	}
+	// A no-op compaction (no mutations since) must not churn.
+	before := c.WALStats().Compactions
+	if err := c.CompactWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.WALStats().Compactions; got != before {
+		t.Fatalf("no-op compaction ran (%d -> %d)", before, got)
+	}
+	c.CloseWAL()
+
+	c2 := openWALCollection(t, dir, 2, crashOpts())
+	assertSameState(t, c2, referenceCollection(t, 2, muts))
+	c2.CloseWAL()
+}
+
+// TestWALRecoveryAcrossShardCounts writes at one shard count and recovers
+// at another: records re-hash through the normal Put path, so keys, order
+// and content survive re-partitioning (per-shard generations are layout-
+// specific and not compared).
+func TestWALRecoveryAcrossShardCounts(t *testing.T) {
+	muts := genMutations(90)
+	dir := t.TempDir()
+	c1 := openWALCollection(t, dir, 7, crashOpts())
+	applyMutations(t, c1, muts[:50])
+	if err := c1.CompactWAL(); err != nil {
+		t.Fatal(err)
+	}
+	applyMutations(t, c1, muts[50:])
+	c1.CloseWAL()
+
+	c2 := openWALCollection(t, dir, 2, crashOpts())
+	assertSameContent(t, c2, referenceCollection(t, 2, muts))
+	c2.CloseWAL()
+}
+
+// TestWALConcurrentMutationsAndCompaction exercises the cut/rotation path
+// against live writers and readers under -race.
+func TestWALConcurrentMutationsAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	c := openWALCollection(t, dir, 4, WALOptions{Sync: SyncInterval, SyncInterval: time.Millisecond, MaxBytes: -1})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Keys()
+				c.Query("//v")
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // compactor
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := c.CompactWAL(); err != nil {
+					t.Error(err)
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	muts := genMutations(300)
+	applyMutations(t, c, muts)
+	close(stop)
+	wg.Wait()
+	if err := c.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+	c2 := openWALCollection(t, dir, 4, crashOpts())
+	assertSameState(t, c2, referenceCollection(t, 4, muts))
+	c2.CloseWAL()
+}
+
+// TestOpenWALRequiresEmptyCollection: recovery force-sets the generation
+// counters, which only makes sense starting from nothing.
+func TestOpenWALRequiresEmptyCollection(t *testing.T) {
+	c := newCollection("nonempty", 1)
+	if _, err := c.PutXML("a", strings.NewReader("<a/>")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.OpenWAL(t.TempDir(), crashOpts()); err == nil {
+		t.Fatal("OpenWAL on a non-empty collection must fail")
+	}
+}

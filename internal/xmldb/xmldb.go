@@ -126,8 +126,17 @@ type Collection struct {
 	// generation counts mutations (Put/Delete, including replacements). It
 	// lets caches key results on collection state: any entry keyed under an
 	// older generation can never be served again, which is how the tossd
-	// query-result cache invalidates on writes without a callback seam.
+	// query-result cache invalidates on writes without a callback seam. It
+	// is also the WAL's log-sequence number: every record carries the
+	// generation of its mutation, totally ordering records across the
+	// per-shard logs.
 	generation atomic.Uint64
+
+	// wal, when non-nil (OpenWAL), journals every mutation before it is
+	// applied; guarded by writeMu. walc holds the cumulative WAL counters
+	// (populated by recovery even when no WAL is attached).
+	wal  *walSet
+	walc walCounters
 
 	// Cumulative collection-wide query counters, updated atomically so the
 	// read path never contends on a lock for bookkeeping. Snapshot with
@@ -333,11 +342,15 @@ func (c *Collection) PutTree(key string, t *tree.Tree) error {
 
 // storeLocked installs a tree (already present in c.col) under key in the
 // owning shard, enforcing the collection-wide size limit. If the key is
-// occupied, the old document is replaced only when the new one fits. Caller
-// holds writeMu.
+// occupied, the old document is replaced only when the new one fits. With a
+// WAL attached the mutation is journaled after the size check and before
+// any in-memory state changes: a failed append rejects the put with the
+// collection untouched. Caller holds writeMu.
 func (c *Collection) storeLocked(key string, t *tree.Tree) error {
-	size := len(t.XMLString())
-	sh := c.shardFor(key)
+	xml := t.XMLString()
+	size := len(xml)
+	si := c.shardIndex(key)
+	sh := c.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	oldSize := 0
@@ -348,6 +361,11 @@ func (c *Collection) storeLocked(key string, t *tree.Tree) error {
 	if c.maxBytes > 0 && c.curBytes-oldSize+size > c.maxBytes {
 		return fmt.Errorf("%w: %s at %d bytes, adding %d exceeds %d",
 			ErrCollectionFull, c.name, c.curBytes-oldSize, size, c.maxBytes)
+	}
+	if c.wal != nil {
+		if err := c.wal.append(&c.walc, si, walOpPut, c.generation.Load()+1, key, xml); err != nil {
+			return fmt.Errorf("xmldb: wal append %s: %w", key, err)
+		}
 	}
 	if replacing {
 		// Keep the entry (and its seq) in place: a replaced document must not
@@ -409,16 +427,27 @@ func (c *Collection) removeTree(t *tree.Tree) {
 	}
 }
 
-// Delete removes the document stored under key.
+// Delete removes the document stored under key. With a WAL attached the
+// deletion is journaled first; if the append fails, the document stays (the
+// error reaches WALOptions.OnError) so the log never lags the collection.
 func (c *Collection) Delete(key string) bool {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	sh := c.shardFor(key)
+	si := c.shardIndex(key)
+	sh := c.shards[si]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	e, ok := sh.docs[key]
 	if !ok {
 		return false
+	}
+	if c.wal != nil {
+		if err := c.wal.append(&c.walc, si, walOpDelete, c.generation.Load()+1, key, ""); err != nil {
+			if c.wal.opts.OnError != nil {
+				c.wal.opts.OnError(fmt.Errorf("xmldb: wal append delete %s: %w", key, err))
+			}
+			return false
+		}
 	}
 	c.curBytes -= e.size
 	sh.bytes -= e.size
