@@ -17,8 +17,14 @@
 // collection fed only by ingestion and recovery.
 //
 // Endpoints: POST /v1/query (and its legacy alias /query), POST /v1/docs
-// (NDJSON bulk ingestion; see docs/SERVER.md), GET /healthz, /statz,
-// /metrics. SIGINT/SIGTERM drains in-flight queries before exiting.
+// (NDJSON bulk ingestion; see docs/SERVER.md), GET /healthz, /readyz,
+// /v1/stats-summary, /statz, /metrics. The listener binds before seed
+// loading and WAL recovery begin: /healthz answers ok (the process is
+// alive) while /readyz answers 503 "loading" until the system is built, so
+// routers and balancers can watch a node come up instead of getting
+// connection refused. SIGINT/SIGTERM flips /readyz to 503 "draining",
+// waits -drain-grace for probers to notice, then drains in-flight queries
+// before exiting.
 package main
 
 import (
@@ -27,12 +33,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -55,6 +63,12 @@ func (f *instanceFlag) Set(v string) error {
 	return nil
 }
 
+// handlerBox wraps the active handler so atomic.Value sees one concrete
+// type across the bootstrap-to-real swap.
+type handlerBox struct {
+	h http.Handler
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tossd: ")
@@ -74,6 +88,7 @@ func main() {
 	dataDir := flag.String("data", "", "durable data root: each instance journals to <data>/<name>/ and recovers from it on startup (empty = in-memory only)")
 	walSync := flag.String("wal-sync", "interval", "WAL fsync policy: always | interval | off")
 	walMaxBytes := flag.Int64("wal-max-bytes", 4<<20, "WAL size per collection that triggers background compaction (snapshot + segment rotation)")
+	drainGrace := flag.Duration("drain-grace", 0, "after SIGTERM, keep serving with /readyz=503 for this long before closing the listener")
 	flag.Parse()
 
 	if flag.NArg() != 0 {
@@ -88,6 +103,34 @@ func main() {
 	if measure == nil {
 		log.Fatalf("unknown measure %q (want one of %s)", *measureName, strings.Join(similarity.Names(), ", "))
 	}
+
+	// Bind the listener and start serving a bootstrap handler before any
+	// seed loading or WAL recovery: readiness (/readyz 503 "loading") is
+	// observable from the first instant, which is what lets tossrouter's
+	// prober distinguish "coming up" from "gone". The real handler is
+	// swapped in once the system is built.
+	var handler atomic.Value // holds handlerBox; atomic.Value needs one concrete type
+	boot := http.NewServeMux()
+	boot.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok loading")
+	})
+	boot.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "loading", http.StatusServiceUnavailable)
+	})
+	handler.Store(handlerBox{boot})
+	httpSrv := &http.Server{Addr: *addr, Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(handlerBox).h.ServeHTTP(w, r)
+	})}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- httpSrv.Serve(ln)
+	}()
+	log.Printf("listening on %s (loading)", *addr)
 
 	sys := core.NewSystem()
 	if *parallelism > 0 {
@@ -181,16 +224,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	handler.Store(handlerBox{srv.Handler()})
+	log.Printf("ready on %s", *addr)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-
-	errc := make(chan error, 1)
-	go func() {
-		log.Printf("listening on %s", *addr)
-		errc <- httpSrv.ListenAndServe()
-	}()
 
 	select {
 	case err := <-errc:
@@ -198,9 +236,15 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop()
-	// Graceful drain: stop accepting, let in-flight queries (bounded by
-	// max-timeout) finish, then exit.
-	log.Printf("shutting down: draining %d in-flight, %d queued", srv.Limiter().InFlight(), srv.Limiter().Queued())
+	// Graceful drain: /readyz flips to 503 immediately so routers and
+	// balancers take this node out of rotation, the grace window gives their
+	// probers time to notice while queries still execute, then the listener
+	// closes and in-flight queries (bounded by max-timeout) finish.
+	srv.StartDraining()
+	log.Printf("shutting down: draining %d in-flight, %d queued (grace %s)", srv.Limiter().InFlight(), srv.Limiter().Queued(), *drainGrace)
+	if *drainGrace > 0 {
+		time.Sleep(*drainGrace)
+	}
 	shCtx, cancel := context.WithTimeout(context.Background(), *maxTimeout+5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -14,10 +14,18 @@
 //
 // Selection runs against the first -instance; supply -join to run a
 // condition join between the first two instances instead.
+//
+// With -server <url>, tossql skips the local build entirely and sends the
+// query to a running tossd (or tossrouter) over POST /v1/query; -instance
+// then just names server-side collections (no files), and -stream prints
+// each NDJSON answer line the moment it arrives.
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,9 +34,12 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/pattern"
+	"repro/internal/router"
+	"repro/internal/server"
 	"repro/internal/similarity"
 	"repro/internal/tax"
 	"repro/internal/tree"
@@ -40,9 +51,9 @@ type instanceFlag struct {
 
 func (f *instanceFlag) String() string { return strings.Join(f.specs, " ") }
 func (f *instanceFlag) Set(v string) error {
-	if !strings.Contains(v, "=") {
-		return fmt.Errorf("want name=file1.xml[,file2.xml], got %q", v)
-	}
+	// Local mode wants name=file1.xml[,file2.xml]; remote mode (-server)
+	// wants just the collection name. Accept both shapes here and let each
+	// mode use the part it needs.
 	f.specs = append(f.specs, v)
 	return nil
 }
@@ -68,6 +79,7 @@ func main() {
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "hash-partitioned shards per collection (1 reproduces the unsharded layout; answers are identical at any count)")
 	limit := flag.Int("limit", 0, "stop after this many answers (0 = all; selections stop scanning early via limit pushdown)")
 	stream := flag.Bool("stream", false, "print answers incrementally as the executor produces them (TOSS selections and joins only); the count prints last")
+	serverURL := flag.String("server", "", "query a running tossd/tossrouter at this base URL over POST /v1/query instead of building locally; -instance then names server-side collections")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -75,11 +87,32 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if len(instances.specs) == 0 {
-		log.Fatal("at least one -instance is required")
+	if *serverURL == "" && len(instances.specs) == 0 {
+		log.Fatal("at least one -instance is required (or use -server)")
 	}
 	if *stream && (*taxMode || *algebra || *ranked || *analyze) {
 		log.Fatal("-stream applies to TOSS selections and joins only")
+	}
+	if *serverURL != "" {
+		if *taxMode || *explain || *stats || *rules != "" {
+			log.Fatal("-tax, -explain, -stats and -rules apply to local mode only (the server built its own structures)")
+		}
+		runRemote(*serverURL, remoteOptions{
+			instances: instances.specs,
+			arg:       flag.Arg(0),
+			slSpec:    *slFlag,
+			algebra:   *algebra,
+			join:      *join,
+			analyze:   *analyze,
+			ranked:    *ranked,
+			noPlanner: *noPlanner,
+			limit:     *limit,
+			stream:    *stream,
+			timeout:   *timeout,
+			measure:   *measureName,
+			eps:       *eps,
+		})
+		return
 	}
 	var pat *pattern.Tree
 	var expr core.Expr
@@ -99,16 +132,7 @@ func main() {
 	if measure == nil {
 		log.Fatalf("unknown measure %q (want one of %s)", *measureName, strings.Join(similarity.Names(), ", "))
 	}
-	var sl []int
-	if *slFlag != "" {
-		for _, part := range strings.Split(*slFlag, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil {
-				log.Fatalf("bad -sl entry %q: %v", part, err)
-			}
-			sl = append(sl, n)
-		}
-	}
+	sl := parseSL(*slFlag)
 
 	sys := core.NewSystem()
 	if *noPlanner {
@@ -282,6 +306,197 @@ func main() {
 		if err := t.WriteXML(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
+	}
+}
+
+func parseSL(spec string) []int {
+	var sl []int
+	if spec != "" {
+		for _, part := range strings.Split(spec, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				log.Fatalf("bad -sl entry %q: %v", part, err)
+			}
+			sl = append(sl, n)
+		}
+	}
+	return sl
+}
+
+type remoteOptions struct {
+	instances []string
+	arg       string
+	slSpec    string
+	algebra   bool
+	join      bool
+	analyze   bool
+	ranked    bool
+	noPlanner bool
+	limit     int
+	stream    bool
+	timeout   time.Duration
+	measure   string
+	eps       float64
+}
+
+// remoteLine is one NDJSON line of a streamed remote response: an answer,
+// or the in-band error sentinel tossd and tossrouter append when a stream
+// dies mid-flight (tossrouter's names the failing node).
+type remoteLine struct {
+	XML     string   `json:"xml"`
+	Seq     *uint64  `json:"seq,omitempty"`
+	Score   *float64 `json:"score,omitempty"`
+	Error   string   `json:"error,omitempty"`
+	Node    string   `json:"node,omitempty"`
+	Failed  []string `json:"failed_nodes,omitempty"`
+	Partial bool     `json:"partial,omitempty"`
+}
+
+// runRemote sends the query to a running tossd or tossrouter over POST
+// /v1/query and prints the answers the same way local mode does. It rides
+// the process-wide pooled HTTP client (router.SharedClient), so repeated
+// invocations inside one process — and the router the request may fan out
+// through — reuse connections.
+func runRemote(base string, o remoteOptions) {
+	base = strings.TrimRight(base, "/")
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	req := server.QueryRequest{
+		SL:        parseSL(o.slSpec),
+		Limit:     o.limit,
+		Stream:    o.stream,
+		Ranked:    o.ranked,
+		Analyze:   o.analyze,
+		NoPlanner: o.noPlanner,
+	}
+	if o.algebra {
+		req.Expr = o.arg
+	} else {
+		req.Pattern = o.arg
+	}
+	var names []string
+	for _, spec := range o.instances {
+		name, _, _ := strings.Cut(spec, "=")
+		names = append(names, name)
+	}
+	if len(names) > 0 {
+		req.Instance = names[0]
+	}
+	if o.join {
+		if len(names) < 2 {
+			log.Fatal("-join needs two -instance names")
+		}
+		req.Right = names[1]
+	}
+	// Measure and epsilon ride along only when explicitly set: the server's
+	// own build is the default, and naming it redundantly would force the
+	// server to resolve a variant for no reason.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "measure":
+			req.Measure = o.measure
+		case "eps":
+			eps := o.eps
+			req.Eps = &eps
+		}
+	})
+	if o.timeout > 0 {
+		req.TimeoutMS = int(o.timeout / time.Millisecond)
+	}
+
+	body, err := json.Marshal(&req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := router.SharedClient().Post(base+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatalf("querying %s: %v", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		log.Fatalf("server %s: %s: %s", base, resp.Status, strings.TrimSpace(string(msg)))
+	}
+
+	if o.stream {
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64<<10), 16<<20)
+		n := 0
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			var rl remoteLine
+			if err := json.Unmarshal([]byte(line), &rl); err != nil {
+				log.Fatalf("bad stream line: %v", err)
+			}
+			if rl.Error != "" {
+				// The stream is truncated, not complete: report what arrived
+				// and which node (if the router named one) took the rest down.
+				failed := strings.Join(rl.Failed, ", ")
+				if failed == "" {
+					failed = rl.Node
+				}
+				if failed != "" {
+					log.Printf("%d answer tree(s) before the stream aborted (failing node: %s)", n, failed)
+				} else {
+					log.Printf("%d answer tree(s) before the stream aborted", n)
+				}
+				log.Fatalf("stream error: %s", rl.Error)
+			}
+			printXML(rl.XML)
+			n++
+		}
+		if err := sc.Err(); err != nil {
+			log.Fatalf("reading stream: %v", err)
+		}
+		log.Printf("%d answer tree(s) (streamed)", n)
+		return
+	}
+
+	var qr struct {
+		server.QueryResponse
+		Nodes *struct {
+			Configured int      `json:"configured"`
+			Reached    int      `json:"reached"`
+			Failed     []string `json:"failed,omitempty"`
+			Partial    bool     `json:"partial"`
+		} `json:"nodes,omitempty"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		log.Fatalf("decoding response: %v", err)
+	}
+	if qr.Analyze != "" {
+		for _, line := range strings.Split(strings.TrimRight(qr.Analyze, "\n"), "\n") {
+			log.Printf("analyze: %s", line)
+		}
+	}
+	if qr.Nodes != nil && qr.Nodes.Partial {
+		log.Printf("PARTIAL result: %d/%d node(s) reached; missing: %s",
+			qr.Nodes.Reached, qr.Nodes.Configured, strings.Join(qr.Nodes.Failed, ", "))
+	}
+	if o.ranked {
+		log.Printf("%d answer tree(s), best first", qr.Count)
+		for _, a := range qr.Answers {
+			if a.Score != nil {
+				log.Printf("score %.2f", *a.Score)
+			}
+			printXML(a.XML)
+		}
+		return
+	}
+	log.Printf("%d answer tree(s)", qr.Count)
+	for _, a := range qr.Answers {
+		printXML(a.XML)
+	}
+}
+
+func printXML(x string) {
+	os.Stdout.WriteString(x)
+	if !strings.HasSuffix(x, "\n") {
+		os.Stdout.WriteString("\n")
 	}
 }
 

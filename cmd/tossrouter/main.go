@@ -1,0 +1,127 @@
+// Command tossrouter fronts a static cluster of tossd nodes: it scatters
+// queries over every node that can hold the target collection, merges the
+// per-node NDJSON answer streams back into global insertion-sequence order,
+// and consistent-hashes ingested documents across the cluster while
+// assigning the cluster-wide sequences that make that merge exact. Routed
+// answers are byte-equivalent to a single node holding every document.
+//
+// Usage:
+//
+//	tossrouter -node http://10.0.0.1:8080 -node http://10.0.0.2:8080 \
+//	           [-addr :9090] [-probe-interval 2s] [-summary-ttl 2s] \
+//	           [-retries 2] [-retry-backoff 50ms] \
+//	           [-max-inflight 16] [-max-queue 32] \
+//	           [-timeout 30s] [-max-timeout 2m] [-drain-grace 0s]
+//
+// Endpoints mirror tossd where the semantics carry over: POST /v1/query
+// (and /query), POST /v1/docs, GET /healthz, /readyz, /statz, /metrics.
+// See docs/CLUSTER.md for topology, partial-result and retry semantics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/router"
+)
+
+type nodeFlag struct {
+	urls []string
+}
+
+func (f *nodeFlag) String() string { return strings.Join(f.urls, " ") }
+func (f *nodeFlag) Set(v string) error {
+	if strings.TrimSpace(v) == "" {
+		return fmt.Errorf("empty node URL")
+	}
+	f.urls = append(f.urls, v)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tossrouter: ")
+	var nodes nodeFlag
+	flag.Var(&nodes, "node", "tossd base URL, e.g. http://10.0.0.1:8080 (repeatable; at least one required)")
+	addr := flag.String("addr", ":9090", "listen address")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "period of the background /readyz node prober (<0 disables)")
+	summaryTTL := flag.Duration("summary-ttl", 2*time.Second, "how long a node's /v1/stats-summary digest is reused before refetching")
+	retries := flag.Int("retries", 2, "upstream retries after a connect error, 429 or 5xx (<0 disables; never retries mid-stream)")
+	retryBackoff := flag.Duration("retry-backoff", 50*time.Millisecond, "first retry delay; doubles per attempt")
+	maxInFlight := flag.Int("max-inflight", 16, "maximum concurrently executing routed requests")
+	maxQueue := flag.Int("max-queue", -1, "maximum requests waiting for a slot before 429 (-1 = 2×max-inflight)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on per-request timeout_ms")
+	drainGrace := flag.Duration("drain-grace", 0, "after SIGTERM, keep serving with /readyz=503 for this long before closing the listener")
+	flag.Parse()
+
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: tossrouter [flags]")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(nodes.urls) == 0 {
+		log.Fatal("at least one -node is required")
+	}
+
+	cfg := router.Config{
+		Nodes:          nodes.urls,
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Retries:        *retries,
+		RetryBackoff:   *retryBackoff,
+		SummaryTTL:     *summaryTTL,
+		ProbeInterval:  *probeInterval,
+		Logger:         log.Default(),
+	}
+	if *maxQueue < 0 {
+		cfg.MaxQueue = 2 * *maxInFlight
+	}
+	rt, err := router.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: rt.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s, routing to %d node(s): %s", *addr, len(nodes.urls), strings.Join(rt.Nodes(), ", "))
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	// Drain: flip /readyz to 503 so balancers stop sending, give them the
+	// grace window to notice, then close the listener and let in-flight
+	// routed requests (bounded by max-timeout) finish.
+	rt.StartDraining()
+	log.Printf("shutting down: draining %d in-flight, %d queued (grace %s)", rt.Limiter().InFlight(), rt.Limiter().Queued(), *drainGrace)
+	if *drainGrace > 0 {
+		time.Sleep(*drainGrace)
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), *maxTimeout+5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Printf("drained, bye")
+}

@@ -1,0 +1,47 @@
+package router
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// NewClient builds an HTTP client tuned for fan-out against a small set of
+// long-lived tossd nodes: a pooled transport with generous per-host idle
+// connections (every routed query opens one stream per node, so the per-host
+// pool must cover the router's full admission width), keep-alives to hold
+// those connections across requests, and bounded dial/TLS handshakes so a
+// dead node fails fast enough for the retry loop to matter. There is no
+// client-level timeout: streamed responses legitimately outlive any fixed
+// bound, and per-request deadlines come from the request context instead.
+func NewClient() *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			DialContext: (&net.Dialer{
+				Timeout:   2 * time.Second,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			MaxIdleConns:          128,
+			MaxIdleConnsPerHost:   32,
+			IdleConnTimeout:       90 * time.Second,
+			TLSHandshakeTimeout:   5 * time.Second,
+			ExpectContinueTimeout: time.Second,
+		},
+	}
+}
+
+var (
+	sharedOnce   sync.Once
+	sharedClient *http.Client
+)
+
+// SharedClient returns the process-wide pooled client. Everything in this
+// process that talks to tossd nodes — router fan-out, health probes, summary
+// polls, the tossql remote mode and the CI smoke drivers — goes through this
+// one client, so connections are reused across all of them instead of each
+// call path keeping its own cold pool.
+func SharedClient() *http.Client {
+	sharedOnce.Do(func() { sharedClient = NewClient() })
+	return sharedClient
+}

@@ -1,0 +1,79 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/similarity"
+)
+
+// TestTransportReuse: the pooled client must reuse TCP connections across
+// the router's probe, summary, query and ingest traffic instead of opening
+// one per request — the whole point of sharing one http.Client.
+func TestTransportReuse(t *testing.T) {
+	var conns atomic.Int64
+	sys := core.NewSystem()
+	if _, err := sys.AddInstance("col"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Build(similarity.NameRule{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(sys, server.Config{CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ConnState must be installed before the listener starts accepting.
+	nodeTS := httptest.NewUnstartedServer(s.Handler())
+	nodeTS.Config.ConnState = func(c net.Conn, st http.ConnState) {
+		if st == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	nodeTS.Start()
+	t.Cleanup(nodeTS.Close)
+
+	rt, rerr := New(Config{
+		Nodes:         []string{nodeTS.URL},
+		SummaryTTL:    1, // nanosecond: every request refetches the digest
+		ProbeInterval: -1,
+		Client:        NewClient(),
+	})
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	t.Cleanup(rt.Close)
+
+	requests := 0
+	do := func(method, path, body string) {
+		req := httptest.NewRequest(method, path, strings.NewReader(body))
+		w := httptest.NewRecorder()
+		rt.Handler().ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s %s: %d %s", method, path, w.Code, w.Body)
+		}
+		requests++
+	}
+
+	do(http.MethodPost, "/v1/docs?instance=col", docLine(1)+"\n"+docLine(2)+"\n")
+	for i := 0; i < 5; i++ {
+		do(http.MethodPost, "/v1/query", fmt.Sprintf(`{"instance":"col","pattern":%q}`, allAuthors))
+		do(http.MethodPost, "/v1/query", fmt.Sprintf(`{"instance":"col","pattern":%q,"stream":true}`, allAuthors))
+	}
+	rt.ProbeOnce(context.Background())
+
+	// Every router request fans at least one upstream call (most fan two:
+	// digest + query). Sequential traffic over a pooled transport should
+	// ride a handful of connections, not one per upstream call.
+	if got := conns.Load(); got > 3 {
+		t.Fatalf("opened %d TCP connections for %d router requests; transport is not being reused", got, requests)
+	}
+}

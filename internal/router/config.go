@@ -1,0 +1,98 @@
+// Package router is tossrouter's stateless routing tier: it consistent-hashes
+// documents across a static set of tossd nodes, scatters /v1/query requests to
+// every node that can hold the target collection, and gathers the per-node
+// NDJSON streams back into one globally ordered answer stream. Remote answers
+// carry global insertion sequences (assigned by the router at ingest time), so
+// the k-way merge reproduces exactly the order a single node holding every
+// document would have produced — routed results are byte-equivalent to a
+// single-node run. See docs/CLUSTER.md for the wire contract.
+package router
+
+import (
+	"log"
+	"net/http"
+	"time"
+)
+
+// Config tunes the router; zero values select the documented defaults.
+type Config struct {
+	// Nodes lists the tossd base URLs forming the cluster (static topology;
+	// at least one is required). Order does not matter: placement comes from
+	// the consistent-hash ring, which depends only on the set of URLs.
+	Nodes []string
+
+	// MaxInFlight caps concurrently executing routed requests (default 16);
+	// MaxQueue caps requests waiting for a slot before new arrivals are
+	// rejected with 429 (default 2×MaxInFlight). Same admission discipline
+	// as tossd itself (internal/server.Limiter).
+	MaxInFlight int
+	MaxQueue    int
+
+	// DefaultTimeout applies when a request names no timeout_ms (default
+	// 30s). MaxTimeout (default 2m) caps what a request may ask for.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+
+	// Retries is how many times one upstream request is retried after a
+	// connect error, 429 or 5xx (default 2, so 3 attempts total).
+	// RetryBackoff is the first retry's delay; it doubles per attempt
+	// (default 50ms). Responses that already started streaming answers are
+	// never retried — a replay would duplicate answers downstream — they
+	// surface as partial results instead.
+	Retries      int
+	RetryBackoff time.Duration
+
+	// SummaryTTL bounds how long a node's /v1/stats-summary digest is reused
+	// before refetching (default 2s). The digest is advisory (fan-out
+	// ordering, empty-node skipping, seq seeding); staleness degrades
+	// planning, never correctness.
+	SummaryTTL time.Duration
+
+	// ProbeInterval is the period of the background /readyz prober
+	// (default 2s; negative disables probing). With probing disabled the
+	// router's own /readyz reports ready whenever it is not draining.
+	ProbeInterval time.Duration
+
+	// Logger receives one line per request and per node-failure when set.
+	Logger *log.Logger
+
+	// Client is the HTTP client used for every upstream call. Defaults to
+	// SharedClient(), the process-wide pooled client; tests substitute their
+	// own. Fan-out correctness relies on connection pooling — per-request
+	// clients would renegotiate TCP for every node stream.
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 16
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 2 * c.MaxInFlight
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.SummaryTTL == 0 {
+		c.SummaryTTL = 2 * time.Second
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = SharedClient()
+	}
+	return c
+}

@@ -1,0 +1,82 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// probeTimeout bounds one /readyz round-trip. Health is advisory — it drives
+// the router's own /readyz and the toss_router_node_healthy gauge, never
+// query fan-out (a draining node answers 503 on /readyz yet still serves
+// in-flight queries, and a flapping node is better handled by the retry
+// path than by racing the prober) — so a short, fixed bound is right.
+const probeTimeout = 2 * time.Second
+
+// ProbeOnce probes every node's /readyz concurrently, updates per-node
+// health state, and returns how many nodes reported ready. The background
+// loop calls this on its interval; tests call it directly.
+func (rt *Router) ProbeOnce(ctx context.Context) int {
+	var wg sync.WaitGroup
+	var healthyMu sync.Mutex
+	healthy := 0
+	for _, n := range rt.nodes {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			if err := rt.probeNode(ctx, n); err != nil {
+				n.setProbe(false, err.Error())
+				return
+			}
+			n.setProbe(true, "")
+			healthyMu.Lock()
+			healthy++
+			healthyMu.Unlock()
+		}(n)
+	}
+	wg.Wait()
+	rt.healthyCount.Store(int64(healthy))
+	return healthy
+}
+
+func (rt *Router) probeNode(ctx context.Context, n *node) error {
+	ctx, cancel := context.WithTimeout(ctx, probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.url+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("readyz %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// probeLoop runs ProbeOnce immediately (so the router's first /readyz answer
+// after startup already reflects the cluster) and then on every tick until
+// Close.
+func (rt *Router) probeLoop() {
+	defer close(rt.probeDone)
+	ctx := context.Background()
+	rt.ProbeOnce(ctx)
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stopProbe:
+			return
+		case <-t.C:
+			rt.ProbeOnce(ctx)
+		}
+	}
+}

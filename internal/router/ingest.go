@@ -1,0 +1,316 @@
+package router
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// maxIngestLine mirrors tossd's bound on one NDJSON ingest line.
+const maxIngestLine = 16 << 20
+
+// RoutedIngestResponse is tossd's IngestResponse plus the router's nodes
+// block. Generation is the maximum collection generation across reached
+// nodes (node generations are independent counters; the maximum is only a
+// freshness hint, not a cluster-wide version).
+type RoutedIngestResponse struct {
+	server.IngestResponse
+	Nodes NodesInfo `json:"nodes"`
+}
+
+// allocSeq hands out the next global sequence for a collection.
+func (rt *Router) allocSeq(collection string) uint64 {
+	rt.seqMu.Lock()
+	defer rt.seqMu.Unlock()
+	seq := rt.nextSeq[collection]
+	rt.nextSeq[collection] = seq + 1
+	return seq
+}
+
+// bumpSeq raises the collection's counter to at least next.
+func (rt *Router) bumpSeq(collection string, next uint64) {
+	rt.seqMu.Lock()
+	defer rt.seqMu.Unlock()
+	if next > rt.nextSeq[collection] {
+		rt.nextSeq[collection] = next
+	}
+}
+
+// seedSeq raises the router's counter to the cluster's: the maximum
+// next_seq any node reports for the collection. Re-seeding at every batch
+// start is what makes the router stateless — a restarted router (or a
+// second router in front of the same nodes) rejoins the sequence space
+// where the cluster actually is, not where its own memory says.
+func (rt *Router) seedSeq(collection string, sums map[string]*server.StatsSummary) {
+	var max uint64
+	for _, sum := range sums {
+		if sum == nil {
+			continue
+		}
+		if cs, ok := sum.Collections[collection]; ok && cs.NextSeq > max {
+			max = cs.NextSeq
+		}
+	}
+	rt.bumpSeq(collection, max)
+}
+
+// handleDocs scatters a POST /v1/docs NDJSON batch across the cluster. Each
+// line is decoded, given a global sequence (unless the client pinned one),
+// routed to its owner node by consistent hash of (collection, key), and
+// re-encoded into that node's sub-batch; sub-batches then ship in parallel.
+// Per-line node errors are mapped back to the client's original line
+// numbers. A node that cannot be reached fails all of its lines: they are
+// counted as errors and the response carries the partial flag with the node
+// named — the client re-sends the reported lines, and explicit sequences
+// make the retry idempotent (a replayed put lands at the same position).
+func (rt *Router) handleDocs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.MaxTimeout)
+	defer cancel()
+	release, err := rt.limiter.Acquire(ctx)
+	if err != nil {
+		if errors.Is(err, server.ErrSaturated) {
+			rt.mRejected.Inc()
+			http.Error(w, fmt.Sprintf("router saturated: %d executing, %d queued", rt.limiter.InFlight(), rt.limiter.Queued()), http.StatusTooManyRequests)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer release()
+
+	sums := rt.summaries(ctx)
+	collection := r.URL.Query().Get("instance")
+	if collection == "" {
+		// The single-node server defaults to its first instance; the router
+		// has no instance list of its own, so it resolves the default from
+		// the cluster: the lexicographically first collection any node
+		// reports. Deterministic, and identical on every router replica.
+		names := map[string]bool{}
+		for _, sum := range sums {
+			if sum == nil {
+				continue
+			}
+			for name := range sum.Collections {
+				names[name] = true
+			}
+		}
+		if len(names) == 0 {
+			http.Error(w, "no instance named and no node summary lists a collection", http.StatusBadRequest)
+			return
+		}
+		sorted := make([]string, 0, len(names))
+		for name := range names {
+			sorted = append(sorted, name)
+		}
+		sort.Strings(sorted)
+		collection = sorted[0]
+	}
+	rt.seedSeq(collection, sums)
+
+	// Partition the batch: per-node re-encoded sub-batches plus the mapping
+	// from each node's local line numbers back to the client's.
+	type nodeBatch struct {
+		buf   bytes.Buffer
+		lines []int // node-local line i (0-based) was client line lines[i]
+	}
+	batches := map[string]*nodeBatch{}
+	resp := RoutedIngestResponse{IngestResponse: server.IngestResponse{Instance: collection}}
+	lineErr := func(line int, key string, err error) {
+		resp.ErrorCount++
+		rt.mIngestErrors.Inc()
+		if len(resp.Errors) < 20 {
+			resp.Errors = append(resp.Errors, server.IngestError{Line: line, Key: key, Err: err.Error()})
+		}
+	}
+
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64<<10), maxIngestLine)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var doc server.IngestLine
+		if err := json.Unmarshal([]byte(line), &doc); err != nil {
+			lineErr(lineNo, "", fmt.Errorf("bad json: %v", err))
+			continue
+		}
+		if doc.Key == "" {
+			lineErr(lineNo, "", errors.New("missing key"))
+			continue
+		}
+		if doc.Seq != nil {
+			rt.bumpSeq(collection, *doc.Seq+1)
+		} else if !doc.Delete {
+			seq := rt.allocSeq(collection)
+			doc.Seq = &seq
+		}
+		owner := rt.ring.owner(collection, doc.Key)
+		nb := batches[owner]
+		if nb == nil {
+			nb = &nodeBatch{}
+			batches[owner] = nb
+		}
+		enc, err := json.Marshal(&doc)
+		if err != nil {
+			lineErr(lineNo, doc.Key, err)
+			continue
+		}
+		nb.buf.Write(enc)
+		nb.buf.WriteByte('\n')
+		nb.lines = append(nb.lines, lineNo)
+	}
+	if err := sc.Err(); err != nil {
+		lineErr(lineNo+1, "", fmt.Errorf("reading body: %v", err))
+	}
+
+	// Ship sub-batches in parallel. Whole sub-batch buffers (rather than
+	// streaming pipes) keep the upstream request retryable and the
+	// line-number mapping simple; explicit sequences keep any retry
+	// idempotent.
+	type nodeOutcome struct {
+		url  string
+		resp *server.IngestResponse
+		sent []int
+		err  error
+	}
+	outcomes := make([]*nodeOutcome, 0, len(batches))
+	var wg sync.WaitGroup
+	path := "/v1/docs?instance=" + url.QueryEscape(collection)
+	for owner, nb := range batches {
+		oc := &nodeOutcome{url: owner, sent: nb.lines}
+		outcomes = append(outcomes, oc)
+		wg.Add(1)
+		go func(oc *nodeOutcome, body []byte) {
+			defer wg.Done()
+			n := rt.nodeByURL(oc.url)
+			hresp, err := rt.doNode(ctx, n, path, body)
+			if err != nil {
+				oc.err = err
+				return
+			}
+			defer hresp.Body.Close()
+			if hresp.StatusCode != http.StatusOK {
+				oc.err = fmt.Errorf("status %d: %s", hresp.StatusCode, readSnippet(hresp.Body))
+				rt.nodeFailed(n)
+				return
+			}
+			var ir server.IngestResponse
+			if err := json.NewDecoder(hresp.Body).Decode(&ir); err != nil {
+				oc.err = fmt.Errorf("decoding response: %v", err)
+				rt.nodeFailed(n)
+				return
+			}
+			oc.resp = &ir
+		}(oc, nb.buf.Bytes())
+	}
+	wg.Wait()
+	// The digests this batch was planned with are now stale; drop them so a
+	// query landing inside the TTL window refetches instead of skipping a
+	// node whose pre-ingest digest said "empty".
+	shipped := make([]string, 0, len(batches))
+	for owner := range batches {
+		shipped = append(shipped, owner)
+	}
+	rt.invalidateSummaries(shipped)
+
+	sort.Slice(outcomes, func(i, j int) bool { return outcomes[i].url < outcomes[j].url })
+	info := NodesInfo{Configured: len(rt.nodes), Targeted: len(batches)}
+	for _, oc := range outcomes {
+		if oc.err != nil {
+			// Every line this node owned is lost; report them against the
+			// client's own line numbers so a resend targets exactly them.
+			info.Failed = append(info.Failed, oc.url)
+			resp.ErrorCount += len(oc.sent)
+			rt.mIngestErrors.Add(uint64(len(oc.sent)))
+			if len(resp.Errors) < 20 {
+				resp.Errors = append(resp.Errors, server.IngestError{
+					Line: oc.sent[0],
+					Err:  fmt.Sprintf("node %s unreachable, %d line(s) not applied (lines %s): %v", oc.url, len(oc.sent), lineRanges(oc.sent), oc.err),
+				})
+			}
+			continue
+		}
+		info.Reached++
+		resp.Ingested += oc.resp.Ingested
+		resp.Deleted += oc.resp.Deleted
+		resp.ErrorCount += oc.resp.ErrorCount
+		if oc.resp.Generation > resp.Generation {
+			resp.Generation = oc.resp.Generation
+		}
+		for _, e := range oc.resp.Errors {
+			if e.Line >= 1 && e.Line <= len(oc.sent) {
+				e.Line = oc.sent[e.Line-1]
+			}
+			if len(resp.Errors) < 20 {
+				resp.Errors = append(resp.Errors, e)
+			}
+		}
+	}
+	info.Partial = len(info.Failed) > 0
+	if info.Partial {
+		rt.mPartials.Inc()
+	}
+	rt.mIngested.Add(uint64(resp.Ingested))
+	resp.Nodes = info
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1e3
+	sort.Slice(resp.Errors, func(i, j int) bool { return resp.Errors[i].Line < resp.Errors[j].Line })
+	if rt.cfg.Logger != nil {
+		rt.cfg.Logger.Printf("ingest instance=%s ingested=%d deleted=%d errors=%d nodes=%d/%d",
+			collection, resp.Ingested, resp.Deleted, resp.ErrorCount, info.Reached, info.Targeted)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if info.Partial {
+		w.Header().Set("X-Toss-Partial", "1")
+	}
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (rt *Router) nodeByURL(u string) *node {
+	for _, n := range rt.nodes {
+		if n.url == u {
+			return n
+		}
+	}
+	return nil
+}
+
+// lineRanges compresses a sorted line-number list into "3-7,9,12-14" form
+// for the unreachable-node error message.
+func lineRanges(lines []int) string {
+	var b strings.Builder
+	for i := 0; i < len(lines); {
+		j := i
+		for j+1 < len(lines) && lines[j+1] == lines[j]+1 {
+			j++
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		if j > i {
+			fmt.Fprintf(&b, "%d-%d", lines[i], lines[j])
+		} else {
+			fmt.Fprintf(&b, "%d", lines[i])
+		}
+		i = j + 1
+	}
+	return b.String()
+}

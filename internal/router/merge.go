@@ -1,0 +1,164 @@
+package router
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// maxNodeLine bounds one NDJSON line read from a node stream; matches the
+// nodes' own ingest-line bound, which is the upper bound on any stored
+// document and therefore on any serialised answer.
+const maxNodeLine = 16 << 20
+
+// streamPrefetch is the per-node channel buffer: how many decoded answers a
+// node stream may run ahead of the merge. It pipelines the gather the same
+// way internal/core's asyncStream pipelines shard cursors — the merge never
+// waits on a node that already has answers decoded.
+const streamPrefetch = 16
+
+// wireLine is one NDJSON line of a node's streamed response: an answer
+// ({"xml":...,"seq":...}) or the in-band error trailer ({"error":...}) a
+// node emits when it fails after answers already went out.
+type wireLine struct {
+	XML   string   `json:"xml"`
+	Score *float64 `json:"score,omitempty"`
+	Seq   *uint64  `json:"seq,omitempty"`
+	Error string   `json:"error,omitempty"`
+}
+
+// mergeAnswer is one gathered answer with its global merge keys.
+type mergeAnswer struct {
+	XML      string
+	Seq      uint64
+	Score    float64
+	HasScore bool
+}
+
+// nodeStream is one node's contribution to a gather: a channel of decoded
+// answers pumped by its own goroutine. err is written (if at all) strictly
+// before the channel closes, so after draining ch the merge may read err
+// without further synchronisation.
+type nodeStream struct {
+	n   *node
+	ch  chan mergeAnswer
+	err error
+}
+
+// pump decodes body's NDJSON lines into ns.ch until the stream ends, the
+// node reports an in-band error, or ctx is cancelled. Every answer must
+// carry a seq — the router asked for them — so a missing one is a protocol
+// error, not a tolerable omission: merging an unpositioned answer would
+// silently break the global order contract.
+func (rt *Router) pump(ctx context.Context, ns *nodeStream, body io.ReadCloser) {
+	defer close(ns.ch)
+	defer body.Close()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64<<10), maxNodeLine)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var wl wireLine
+		if err := json.Unmarshal(line, &wl); err != nil {
+			ns.err = fmt.Errorf("bad stream line: %v", err)
+			rt.nodeFailed(ns.n)
+			return
+		}
+		if wl.Error != "" {
+			// The node's mid-stream failure sentinel (see internal/server's
+			// streamError): everything before it is valid, nothing after it
+			// will come. No retry — answers already merged downstream.
+			ns.err = errors.New(wl.Error)
+			rt.nodeFailed(ns.n)
+			return
+		}
+		if wl.Seq == nil {
+			ns.err = errors.New("node answer carried no seq")
+			rt.nodeFailed(ns.n)
+			return
+		}
+		ma := mergeAnswer{XML: wl.XML, Seq: *wl.Seq}
+		if wl.Score != nil {
+			ma.Score, ma.HasScore = *wl.Score, true
+		}
+		select {
+		case ns.ch <- ma:
+		case <-ctx.Done():
+			ns.err = ctx.Err()
+			return
+		}
+	}
+	if err := sc.Err(); err != nil {
+		ns.err = fmt.Errorf("reading node stream: %v", err)
+		rt.nodeFailed(ns.n)
+	}
+}
+
+func (rt *Router) nodeFailed(n *node) {
+	n.errors.Add(1)
+}
+
+// mergeBySeq k-way merges the streams by ascending global sequence, calling
+// emit for each answer in order; emit returning false stops the merge (the
+// caller cancels the fan-out context to release the pumps). A stream that
+// dies mid-merge simply stops contributing: the survivors keep merging, and
+// the caller reads the casualty's err afterwards to report a partial result.
+//
+// Order correctness rests on each node emitting its answers in ascending
+// seq (document order on the node, which PutXMLAt keeps sorted) and on seqs
+// being globally unique across nodes (the router assigns them at ingest).
+func mergeBySeq(streams []*nodeStream, emit func(mergeAnswer) bool) {
+	heads := make([]*mergeAnswer, len(streams))
+	refill := func(i int) {
+		if ma, ok := <-streams[i].ch; ok {
+			heads[i] = &ma
+		} else {
+			heads[i] = nil
+		}
+	}
+	for i := range streams {
+		refill(i)
+	}
+	for {
+		best := -1
+		for i, h := range heads {
+			if h != nil && (best == -1 || h.Seq < heads[best].Seq) {
+				best = i
+			}
+		}
+		if best == -1 {
+			return
+		}
+		if !emit(*heads[best]) {
+			return
+		}
+		refill(best)
+	}
+}
+
+// mergeRanked merges per-node ranked answer lists into the global ranking:
+// ascending score (the measures are distances — closer is more similar),
+// ties by global sequence. Each node list arrives sorted by (score, local
+// document order), and document order within a node is seq order, so the
+// global sort is a stable merge of sorted inputs; sort.SliceStable on the
+// concatenation keeps it simple at router fan-in sizes.
+func mergeRanked(lists [][]mergeAnswer) []mergeAnswer {
+	var all []mergeAnswer
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score < all[j].Score
+		}
+		return all[i].Seq < all[j].Seq
+	})
+	return all
+}

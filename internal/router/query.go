@@ -1,0 +1,656 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/pattern"
+	"repro/internal/server"
+)
+
+// maxRequestBody mirrors tossd's own query-body bound.
+const maxRequestBody = 1 << 20
+
+// NodesInfo reports a routed request's cluster footprint: how many nodes the
+// topology holds, how many the planner targeted (vs skipped as provably
+// empty for the collection), how many of the targeted were reached, and —
+// when some were not — which ones failed. Partial means answers from the
+// failed nodes are missing: the response is a correct subset, not a
+// complete one.
+type NodesInfo struct {
+	Configured int      `json:"configured"`
+	Targeted   int      `json:"targeted"`
+	Skipped    int      `json:"skipped"`
+	Reached    int      `json:"reached"`
+	Failed     []string `json:"failed,omitempty"`
+	Partial    bool     `json:"partial"`
+}
+
+// RoutedResponse is tossd's QueryResponse plus the router's nodes block.
+// The answers array is byte-identical to what one node holding every
+// document would return (global sequence order, same JSON encoding); only
+// the router-level envelope differs.
+type RoutedResponse struct {
+	server.QueryResponse
+	Nodes NodesInfo `json:"nodes"`
+}
+
+// streamTrailer is the router's mid-stream failure sentinel. Like tossd's
+// {"error":...} trailer it rides in-band as the final NDJSON line; the node
+// fields identify which upstream died so a client (or an upstream router)
+// can name the failing node rather than just "something broke".
+type streamTrailer struct {
+	Error   string   `json:"error"`
+	Node    string   `json:"node,omitempty"`
+	Failed  []string `json:"failed_nodes,omitempty"`
+	Partial bool     `json:"partial"`
+}
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func httpErrorf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req server.QueryRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if v := r.URL.Query().Get("stream"); v == "1" || v == "true" {
+		req.Stream = true
+	}
+	if err := rt.serveQuery(w, r, &req, body); err != nil {
+		var he *httpError
+		if errors.As(err, &he) {
+			if he.status == http.StatusTooManyRequests {
+				rt.mRejected.Inc()
+				w.Header().Set("Retry-After", strconv.Itoa(int(rt.cfg.DefaultTimeout.Seconds())+1))
+			}
+			http.Error(w, he.msg, he.status)
+			return
+		}
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			http.Error(w, "query deadline exceeded", http.StatusGatewayTimeout)
+		case errors.Is(err, context.Canceled):
+			http.Error(w, "request cancelled", 499)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+}
+
+func (rt *Router) serveQuery(w http.ResponseWriter, r *http.Request, req *server.QueryRequest, rawBody []byte) error {
+	start := time.Now()
+
+	if (req.Pattern == "") == (req.Expr == "") {
+		return httpErrorf(http.StatusBadRequest, "exactly one of pattern or expr is required")
+	}
+	format := strings.ToLower(req.Format)
+	if format == "" {
+		format = "json"
+		if strings.Contains(r.Header.Get("Accept"), "application/xml") {
+			format = "xml"
+		}
+	}
+
+	// Classify the operation the way tossd does, then split routable from
+	// proxy-only. Selections (plain and ranked) scatter: every answer comes
+	// from one document, so answers gather back losslessly on sequence.
+	// Joins, algebra and analyze combine state across documents that may
+	// live on different nodes — those proxy to a single node when the
+	// cluster has one, and are refused otherwise.
+	op := "select"
+	switch {
+	case req.Expr != "":
+		op = "algebra"
+	case req.Right != "":
+		op = "join"
+	case req.Ranked:
+		op = "ranked"
+	}
+	scatterable := (op == "select" || op == "ranked") && !req.Analyze && format == "json"
+	if !scatterable {
+		return rt.proxySingle(w, r, rawBody, req, op)
+	}
+
+	var pat *pattern.Tree
+	var err error
+	if pat, err = pattern.Parse(req.Pattern); err != nil {
+		return httpErrorf(http.StatusBadRequest, "parsing pattern: %v", err)
+	}
+	if req.Stream && op != "select" {
+		return httpErrorf(http.StatusBadRequest, "stream applies to selections and joins only")
+	}
+
+	timeout := rt.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > rt.cfg.MaxTimeout {
+			timeout = rt.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	release, err := rt.limiter.Acquire(ctx)
+	if err != nil {
+		if errors.Is(err, server.ErrSaturated) {
+			return httpErrorf(http.StatusTooManyRequests, "router saturated: %d executing, %d queued", rt.limiter.InFlight(), rt.limiter.Queued())
+		}
+		return err
+	}
+	defer release()
+
+	targets, skipped, absent := rt.planTargets(ctx, req.Instance, conditionTags(pat))
+	if absent {
+		return httpErrorf(http.StatusNotFound, "unknown instance %q", req.Instance)
+	}
+	info := NodesInfo{
+		Configured: len(rt.nodes),
+		Targeted:   len(targets),
+		Skipped:    len(skipped),
+	}
+	if len(targets) == 0 {
+		// Every node provably holds zero documents for the collection: the
+		// answer set is empty without touching a single node.
+		return rt.finishQuery(w, req, op, nil, info, start, start)
+	}
+
+	// Upstream request: always streamed (ranked excepted — ranking is a
+	// materialised op node-side), always with seqs (the merge key), always
+	// JSON. The client's own stream/seqs wishes only shape the re-encoding.
+	up := *req
+	up.Stream = op == "select"
+	up.Seqs = true
+	up.Format = "json"
+	up.TimeoutMS = int(time.Until(deadlineOf(ctx)) / time.Millisecond)
+	upBody, err := json.Marshal(&up)
+	if err != nil {
+		return err
+	}
+
+	if op == "ranked" {
+		return rt.gatherRanked(ctx, w, req, targets, upBody, info, start)
+	}
+	return rt.gatherStreamed(ctx, w, req, targets, upBody, info, start)
+}
+
+func deadlineOf(ctx context.Context) time.Time {
+	d, _ := ctx.Deadline()
+	return d
+}
+
+// conditionTags extracts the tag names a pattern's condition pins with
+// equality — the planner-lite signal for ordering fan-out by each node's
+// per-tag document counts.
+func conditionTags(pat *pattern.Tree) []string {
+	var tags []string
+	for _, a := range pattern.Atoms(pat.Cond) {
+		if a.Op != pattern.OpEq {
+			continue
+		}
+		if a.X.Kind == pattern.TermAttr && a.X.Attr == "tag" && a.Y.Kind == pattern.TermValue {
+			tags = append(tags, a.Y.Value)
+		}
+		if a.Y.Kind == pattern.TermAttr && a.Y.Attr == "tag" && a.X.Kind == pattern.TermValue {
+			tags = append(tags, a.X.Value)
+		}
+	}
+	return tags
+}
+
+// doNode issues one upstream POST with bounded retry: connect errors, 429s
+// and 5xx responses retry with doubling backoff until the attempt budget or
+// the deadline runs out. Responses that made it to a non-retryable status
+// are returned as-is — including 4xx, which the caller interprets. A
+// response that already began streaming is past the retry horizon by
+// construction: retries happen strictly before the body is touched.
+func (rt *Router) doNode(ctx context.Context, n *node, path string, body []byte) (*http.Response, error) {
+	backoff := rt.cfg.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt <= rt.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			n.retries.Add(1)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("%w (last error: %v)", ctx.Err(), lastErr)
+			}
+			backoff *= 2
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.url+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		n.requests.Add(1)
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			n.errors.Add(1)
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+			n.errors.Add(1)
+			lastErr = fmt.Errorf("status %d: %s", resp.StatusCode, readSnippet(resp.Body))
+			resp.Body.Close()
+			continue
+		}
+		return resp, nil
+	}
+	return nil, lastErr
+}
+
+func readSnippet(r io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(r, 512))
+	return strings.TrimSpace(string(b))
+}
+
+// fanResult extends a nodeStream with the terminal states a node can reach
+// before it ever streams: not-found (holds nothing for the instance) and
+// bad-request (the node rejected the query itself).
+type fanResult struct {
+	*nodeStream
+	notFound bool
+	badReq   string
+}
+
+// scatter launches one goroutine per target node; each either pumps its
+// stream into its channel or records a terminal state and closes it.
+func (rt *Router) scatter(ctx context.Context, targets []*node, upBody []byte) []*fanResult {
+	results := make([]*fanResult, len(targets))
+	for i, n := range targets {
+		fr := &fanResult{nodeStream: &nodeStream{n: n, ch: make(chan mergeAnswer, streamPrefetch)}}
+		results[i] = fr
+		go func(fr *fanResult) {
+			resp, err := rt.doNode(ctx, fr.n, "/v1/query", upBody)
+			if err != nil {
+				fr.err = err
+				close(fr.ch)
+				return
+			}
+			switch resp.StatusCode {
+			case http.StatusOK:
+				rt.pump(ctx, fr.nodeStream, resp.Body) // closes ch
+			case http.StatusNotFound:
+				// The node resolves the instance to nothing: zero
+				// contribution, not a failure (summaries may have been
+				// stale or absent when this node was targeted).
+				fr.notFound = true
+				resp.Body.Close()
+				close(fr.ch)
+			case http.StatusBadRequest:
+				fr.badReq = readSnippet(resp.Body)
+				resp.Body.Close()
+				close(fr.ch)
+			default:
+				fr.err = fmt.Errorf("status %d: %s", resp.StatusCode, readSnippet(resp.Body))
+				resp.Body.Close()
+				close(fr.ch)
+			}
+		}(fr)
+	}
+	return results
+}
+
+// settle classifies the fan-out after the merge finished. stopped reports
+// that the router cancelled the fan-out itself (answer limit reached):
+// context-cancellation errors are then the router's own doing, not node
+// failures.
+func settle(results []*fanResult, stopped bool) (failed []string, failErrs []string, notFound int, badReq string) {
+	for _, fr := range results {
+		switch {
+		case fr.err != nil:
+			if stopped && (errors.Is(fr.err, context.Canceled) || errors.Is(fr.err, context.DeadlineExceeded)) {
+				continue
+			}
+			failed = append(failed, fr.n.url)
+			failErrs = append(failErrs, fmt.Sprintf("%s: %v", fr.n.url, fr.err))
+		case fr.notFound:
+			notFound++
+		case fr.badReq != "" && badReq == "":
+			badReq = fr.badReq
+		}
+	}
+	return failed, failErrs, notFound, badReq
+}
+
+// gatherStreamed merges the per-node NDJSON streams by global sequence and
+// answers the client either as its own NDJSON stream (flushed per line) or
+// as a materialised JSON response. The merge's initial fill synchronises on
+// every node's first line or terminal state, so nothing is committed to the
+// client before each node has either started answering or failed — 4xx
+// classification still gets a clean status line.
+func (rt *Router) gatherStreamed(ctx context.Context, w http.ResponseWriter, req *server.QueryRequest, targets []*node, upBody []byte, info NodesInfo, start time.Time) error {
+	fanStart := time.Now()
+	fanCtx, fanCancel := context.WithCancel(ctx)
+	defer fanCancel()
+	results := rt.scatter(fanCtx, targets, upBody)
+	streams := make([]*nodeStream, len(results))
+	for i, fr := range results {
+		streams[i] = fr.nodeStream
+	}
+
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var answers []server.Answer
+	emitted := 0
+	stopped := false
+	var clientGone error
+	mergeBySeq(streams, func(ma mergeAnswer) bool {
+		a := server.Answer{XML: ma.XML}
+		if req.Seqs {
+			seq := ma.Seq
+			a.Seq = &seq
+		}
+		if req.Stream {
+			if emitted == 0 {
+				rt.hFirstResult.Observe(time.Since(start).Seconds())
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				w.Header().Set("X-Toss-Nodes-Configured", strconv.Itoa(info.Configured))
+				w.Header().Set("X-Toss-Nodes-Targeted", strconv.Itoa(info.Targeted))
+				rt.mStreamed.Inc()
+			}
+			if err := enc.Encode(a); err != nil {
+				clientGone = err
+				return false
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		} else {
+			answers = append(answers, a)
+		}
+		emitted++
+		if req.Limit > 0 && emitted >= req.Limit {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	fanCancel() // release any pumps still running (limit stop, client gone)
+	rt.hFanout.Observe(time.Since(fanStart).Seconds())
+	if clientGone != nil {
+		return nil // client went away mid-stream; nothing left to say
+	}
+
+	failed, failErrs, notFound, badReq := settle(results, stopped)
+	info.Reached = info.Targeted - len(failed)
+	info.Failed = failed
+	info.Partial = len(failed) > 0
+	if info.Partial {
+		rt.mPartials.Inc()
+	}
+	if emitted == 0 {
+		// Nothing on the wire yet: plain statuses are still available.
+		if badReq != "" && len(failed) == 0 {
+			return httpErrorf(http.StatusBadRequest, "%s", badReq)
+		}
+		if notFound == info.Targeted && info.Targeted > 0 {
+			return httpErrorf(http.StatusNotFound, "unknown instance %q", req.Instance)
+		}
+		if len(failed) == info.Targeted && info.Targeted > 0 {
+			return httpErrorf(http.StatusBadGateway, "all %d node(s) failed: %s", info.Targeted, strings.Join(failErrs, "; "))
+		}
+	}
+	if req.Stream {
+		if emitted == 0 {
+			rt.hFirstResult.Observe(time.Since(start).Seconds())
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.Header().Set("X-Toss-Nodes-Configured", strconv.Itoa(info.Configured))
+			w.Header().Set("X-Toss-Nodes-Targeted", strconv.Itoa(info.Targeted))
+			rt.mStreamed.Inc()
+			w.WriteHeader(http.StatusOK)
+		}
+		if info.Partial {
+			enc.Encode(streamTrailer{
+				Error:   fmt.Sprintf("partial result: %s", strings.Join(failErrs, "; ")),
+				Node:    failed[0],
+				Failed:  failed,
+				Partial: true,
+			})
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		return nil
+	}
+	if !stopped && emitted == 0 {
+		rt.hFirstResult.Observe(time.Since(start).Seconds())
+	}
+	return rt.finishQuery(w, req, "select", answers, info, start, fanStart)
+}
+
+// gatherRanked fans a ranked selection out as materialised per-node top-k
+// lists and merges them into the global ranking by (score, seq).
+func (rt *Router) gatherRanked(ctx context.Context, w http.ResponseWriter, req *server.QueryRequest, targets []*node, upBody []byte, info NodesInfo, start time.Time) error {
+	fanStart := time.Now()
+	type rankedResult struct {
+		n        *node
+		answers  []mergeAnswer
+		err      error
+		notFound bool
+		badReq   string
+	}
+	results := make([]*rankedResult, len(targets))
+	var wg sync.WaitGroup
+	for i, n := range targets {
+		rr := &rankedResult{n: n}
+		results[i] = rr
+		wg.Add(1)
+		go func(rr *rankedResult) {
+			defer wg.Done()
+			resp, err := rt.doNode(ctx, rr.n, "/v1/query", upBody)
+			if err != nil {
+				rr.err = err
+				return
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+			case http.StatusNotFound:
+				rr.notFound = true
+				return
+			case http.StatusBadRequest:
+				rr.badReq = readSnippet(resp.Body)
+				return
+			default:
+				rr.err = fmt.Errorf("status %d: %s", resp.StatusCode, readSnippet(resp.Body))
+				return
+			}
+			var qr server.QueryResponse
+			if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+				rt.nodeFailed(rr.n)
+				rr.err = fmt.Errorf("decoding response: %v", err)
+				return
+			}
+			for _, a := range qr.Answers {
+				if a.Seq == nil || a.Score == nil {
+					rt.nodeFailed(rr.n)
+					rr.err = errors.New("ranked answer missing seq or score")
+					return
+				}
+				rr.answers = append(rr.answers, mergeAnswer{XML: a.XML, Seq: *a.Seq, Score: *a.Score, HasScore: true})
+			}
+		}(rr)
+	}
+	wg.Wait()
+	rt.hFanout.Observe(time.Since(fanStart).Seconds())
+
+	var failed, failErrs []string
+	var lists [][]mergeAnswer
+	notFound := 0
+	badReq := ""
+	for _, rr := range results {
+		switch {
+		case rr.err != nil:
+			failed = append(failed, rr.n.url)
+			failErrs = append(failErrs, fmt.Sprintf("%s: %v", rr.n.url, rr.err))
+		case rr.notFound:
+			notFound++
+		case rr.badReq != "":
+			if badReq == "" {
+				badReq = rr.badReq
+			}
+		default:
+			lists = append(lists, rr.answers)
+		}
+	}
+	if badReq != "" && len(failed) == 0 {
+		return httpErrorf(http.StatusBadRequest, "%s", badReq)
+	}
+	if notFound == info.Targeted && info.Targeted > 0 {
+		return httpErrorf(http.StatusNotFound, "unknown instance %q", req.Instance)
+	}
+	if len(failed) == info.Targeted && info.Targeted > 0 {
+		return httpErrorf(http.StatusBadGateway, "all %d node(s) failed: %s", info.Targeted, strings.Join(failErrs, "; "))
+	}
+	info.Reached = info.Targeted - len(failed)
+	info.Failed = failed
+	info.Partial = len(failed) > 0
+	if info.Partial {
+		rt.mPartials.Inc()
+	}
+
+	merged := mergeRanked(lists)
+	if req.Limit > 0 && len(merged) > req.Limit {
+		merged = merged[:req.Limit]
+	}
+	answers := make([]server.Answer, len(merged))
+	for i, ma := range merged {
+		score := ma.Score
+		answers[i] = server.Answer{XML: ma.XML, Score: &score}
+		if req.Seqs {
+			seq := ma.Seq
+			answers[i].Seq = &seq
+		}
+	}
+	rt.hFirstResult.Observe(time.Since(start).Seconds())
+	return rt.finishQuery(w, req, "ranked", answers, info, start, fanStart)
+}
+
+// finishQuery writes the materialised routed response.
+func (rt *Router) finishQuery(w http.ResponseWriter, req *server.QueryRequest, op string, answers []server.Answer, info NodesInfo, start, fanStart time.Time) error {
+	if req.Stream {
+		// Reachable only for the zero-target case: an empty stream.
+		rt.mStreamed.Inc()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		return nil
+	}
+	if answers == nil {
+		answers = []server.Answer{}
+	}
+	resp := RoutedResponse{
+		QueryResponse: server.QueryResponse{
+			Op:        op,
+			Instance:  req.Instance,
+			Count:     len(answers),
+			Cached:    false,
+			ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
+			Answers:   answers,
+		},
+		Nodes: info,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Toss-Nodes-Configured", strconv.Itoa(info.Configured))
+	w.Header().Set("X-Toss-Nodes-Reached", strconv.Itoa(info.Reached))
+	if info.Partial {
+		w.Header().Set("X-Toss-Partial", "1")
+	}
+	return json.NewEncoder(w).Encode(resp)
+}
+
+// proxySingle forwards a request the router cannot scatter (joins, algebra,
+// analyze, xml rendering) verbatim to the only node — when there is only
+// one. Multi-node clusters refuse these with 501: a cross-node join would
+// need data movement the wire protocol does not carry yet.
+func (rt *Router) proxySingle(w http.ResponseWriter, r *http.Request, rawBody []byte, req *server.QueryRequest, op string) error {
+	if len(rt.nodes) != 1 {
+		return httpErrorf(http.StatusNotImplemented,
+			"%s queries (and non-JSON formats) are not routable across %d nodes; run them against a single node", op, len(rt.nodes))
+	}
+	timeout := rt.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > rt.cfg.MaxTimeout {
+			timeout = rt.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	release, err := rt.limiter.Acquire(ctx)
+	if err != nil {
+		if errors.Is(err, server.ErrSaturated) {
+			return httpErrorf(http.StatusTooManyRequests, "router saturated: %d executing, %d queued", rt.limiter.InFlight(), rt.limiter.Queued())
+		}
+		return err
+	}
+	defer release()
+
+	path := "/v1/query"
+	if q := r.URL.RawQuery; q != "" {
+		path += "?" + q
+	}
+	resp, err := rt.doNode(ctx, rt.nodes[0], path, rawBody)
+	if err != nil {
+		return httpErrorf(http.StatusBadGateway, "node %s: %v", rt.nodes[0].url, err)
+	}
+	defer resp.Body.Close()
+	rt.mProxied.Inc()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	flushCopy(w, resp.Body)
+	return nil
+}
+
+// flushCopy copies the upstream body through, flushing per chunk so proxied
+// NDJSON streams keep their incremental delivery.
+func flushCopy(w http.ResponseWriter, r io.Reader) {
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterminism: placement depends only on the node set, not on the
+// order nodes were configured in.
+func TestRingDeterminism(t *testing.T) {
+	nodes := []string{"http://a:8080", "http://b:8080", "http://c:8080"}
+	r1 := newRing(nodes)
+	r2 := newRing([]string{nodes[2], nodes[0], nodes[1]})
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("doc-%d", i)
+		if o1, o2 := r1.owner("col", key), r2.owner("col", key); o1 != o2 {
+			t.Fatalf("key %s: order-dependent placement %s vs %s", key, o1, o2)
+		}
+	}
+}
+
+// TestRingDistribution: with 128 vnodes per node, no node's share of 10k
+// keys should stray wildly from 1/N.
+func TestRingDistribution(t *testing.T) {
+	nodes := []string{"http://a:8080", "http://b:8080", "http://c:8080"}
+	r := newRing(nodes)
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[r.owner("col", fmt.Sprintf("doc-%d", i))]++
+	}
+	for _, n := range nodes {
+		if counts[n] < 1500 || counts[n] > 6000 {
+			t.Fatalf("lopsided ring: %v", counts)
+		}
+	}
+}
+
+// TestRingCollectionSeparation: the same key in different collections may
+// land on different nodes, and the separator keeps ("ab","c") distinct from
+// ("a","bc").
+func TestRingCollectionSeparation(t *testing.T) {
+	r := newRing([]string{"http://a:8080", "http://b:8080", "http://c:8080"})
+	if r.owner("ab", "c") == r.owner("a", "bc") {
+		// Not necessarily a failure — but the hashed bytes must differ.
+		if fnv64("ab\x00c") == fnv64("a\x00bc") {
+			t.Fatal("separator does not separate")
+		}
+	}
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("doc-%d", i)
+		if r.owner("col", key) != r.owner("other", key) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("collection name does not influence placement")
+	}
+}

@@ -1,0 +1,378 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/promtext"
+	"repro/internal/server"
+)
+
+// node is the router's view of one tossd instance: its base URL plus health
+// state (from the /readyz prober) and cumulative upstream counters.
+type node struct {
+	url string
+
+	healthy  atomic.Bool
+	probed   atomic.Bool // at least one probe has completed
+	probeMu  sync.Mutex  // guards probeErr
+	probeErr string
+
+	requests atomic.Uint64 // upstream requests issued (first attempts and retries)
+	errors   atomic.Uint64 // upstream attempts that failed (connect error, 429, 5xx, broken stream)
+	retries  atomic.Uint64 // retry attempts (subset of requests)
+}
+
+func (n *node) setProbe(healthy bool, errMsg string) {
+	n.healthy.Store(healthy)
+	n.probed.Store(true)
+	n.probeMu.Lock()
+	n.probeErr = errMsg
+	n.probeMu.Unlock()
+}
+
+func (n *node) probeError() string {
+	n.probeMu.Lock()
+	defer n.probeMu.Unlock()
+	return n.probeErr
+}
+
+// Router scatters client requests over a static tossd cluster and gathers
+// the answers back into the single-node wire format. It is stateless apart
+// from advisory caches (node summaries, health) and the per-collection
+// sequence counter it advances while assigning ingest positions — that
+// counter is re-seeded from the nodes' own next_seq on every batch, so a
+// router restart (or a second router) continues the same sequence space.
+type Router struct {
+	cfg     Config
+	client  *http.Client
+	nodes   []*node
+	ring    *ring
+	limiter *server.Limiter
+	reg     *promtext.Registry
+	start   time.Time
+	mux     http.Handler
+
+	draining atomic.Bool
+
+	// healthyCount is the healthy-node count of the last completed probe
+	// round; -1 until a round completes (readyz treats unknown as ready).
+	healthyCount atomic.Int64
+
+	sumMu sync.Mutex
+	sums  map[string]*summaryEntry // node URL -> cached digest
+
+	seqMu   sync.Mutex
+	nextSeq map[string]uint64 // collection -> next global sequence to assign
+
+	stopProbe chan struct{}
+	probeDone chan struct{}
+
+	mRequests     *promtext.Counter
+	mErrors       *promtext.Counter
+	mRejected     *promtext.Counter
+	mPanics       *promtext.Counter
+	mPartials     *promtext.Counter
+	mStreamed     *promtext.Counter
+	mProxied      *promtext.Counter
+	mIngested     *promtext.Counter
+	mIngestErrors *promtext.Counter
+	hLatency      *promtext.Histogram
+	hFanout       *promtext.Histogram
+	hFirstResult  *promtext.Histogram
+}
+
+// New builds a router over cfg.Nodes. The prober (if enabled) starts
+// immediately; call Close to stop it.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("router: at least one node is required")
+	}
+	cfg = cfg.withDefaults()
+	urls := make([]string, 0, len(cfg.Nodes))
+	seen := map[string]bool{}
+	for _, raw := range cfg.Nodes {
+		u := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if u == "" {
+			return nil, fmt.Errorf("router: empty node URL")
+		}
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			u = "http://" + u
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("router: duplicate node %s", u)
+		}
+		seen[u] = true
+		urls = append(urls, u)
+	}
+	rt := &Router{
+		cfg:       cfg,
+		client:    cfg.Client,
+		ring:      newRing(urls),
+		limiter:   server.NewLimiter(cfg.MaxInFlight, cfg.MaxQueue),
+		reg:       promtext.NewRegistry(),
+		start:     time.Now(),
+		sums:      map[string]*summaryEntry{},
+		nextSeq:   map[string]uint64{},
+		stopProbe: make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	rt.healthyCount.Store(-1)
+	for _, u := range urls {
+		rt.nodes = append(rt.nodes, &node{url: u})
+	}
+	rt.registerMetrics()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", rt.handleQuery)
+	mux.HandleFunc("/query", rt.handleQuery) // same alias tossd keeps
+	mux.HandleFunc("/v1/docs", rt.handleDocs)
+	mux.HandleFunc("/healthz", rt.handleHealthz)
+	mux.HandleFunc("/readyz", rt.handleReadyz)
+	mux.HandleFunc("/statz", rt.handleStatz)
+	mux.HandleFunc("/metrics", rt.handleMetrics)
+	rt.mux = rt.withRecovery(rt.withMetrics(mux))
+
+	if cfg.ProbeInterval > 0 {
+		go rt.probeLoop()
+	} else {
+		close(rt.probeDone)
+	}
+	return rt, nil
+}
+
+// Handler returns the router's HTTP handler (recovery and metrics middleware
+// included), ready for http.Server or httptest.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Limiter exposes the admission controller (observability and tests).
+func (rt *Router) Limiter() *server.Limiter { return rt.limiter }
+
+// Nodes returns the configured node URLs in ring order (observability).
+func (rt *Router) Nodes() []string {
+	out := make([]string, len(rt.nodes))
+	for i, n := range rt.nodes {
+		out[i] = n.url
+	}
+	return out
+}
+
+// StartDraining flips /readyz to 503 while requests keep executing, so
+// balancers stop sending new work during the drain window. Idempotent.
+func (rt *Router) StartDraining() { rt.draining.Store(true) }
+
+// Close stops the background prober (idempotent is not required: call once).
+func (rt *Router) Close() {
+	close(rt.stopProbe)
+	<-rt.probeDone
+}
+
+func (rt *Router) registerMetrics() {
+	r := rt.reg
+	rt.mRequests = r.NewCounter("toss_router_requests_total", "client requests served by the router")
+	rt.mErrors = r.NewCounter("toss_router_request_errors_total", "client requests answered with a 5xx status")
+	rt.mRejected = r.NewCounter("toss_router_rejected_total", "requests rejected with 429 by admission control")
+	rt.mPanics = r.NewCounter("toss_router_panics_total", "handler panics recovered")
+	rt.mPartials = r.NewCounter("toss_router_partial_results_total", "routed requests answered with partial results (some nodes unreachable)")
+	rt.mStreamed = r.NewCounter("toss_router_streamed_queries_total", "routed queries answered as NDJSON streams")
+	rt.mProxied = r.NewCounter("toss_router_proxied_requests_total", "requests proxied verbatim to a single node (joins, algebra, analyze, xml)")
+	rt.mIngested = r.NewCounter("toss_router_ingested_docs_total", "documents scattered to nodes via POST /v1/docs")
+	rt.mIngestErrors = r.NewCounter("toss_router_ingest_errors_total", "ingest lines rejected (bad lines and lines lost to node failures)")
+	rt.hLatency = r.NewHistogram("toss_router_request_seconds", "client request latency in seconds", nil)
+	rt.hFanout = r.NewHistogram("toss_router_fanout_seconds", "seconds from scatter start to gather completion for routed queries", nil)
+	rt.hFirstResult = r.NewHistogram("toss_router_first_result_seconds", "seconds from request arrival to the first merged answer", nil)
+	r.GaugeFunc("toss_router_in_flight", "routed requests currently executing", func() []promtext.Sample {
+		return []promtext.Sample{{Value: float64(rt.limiter.InFlight())}}
+	})
+	r.GaugeFunc("toss_router_queue_depth", "requests waiting for an execution slot", func() []promtext.Sample {
+		return []promtext.Sample{{Value: float64(rt.limiter.Queued())}}
+	})
+	r.GaugeFunc("toss_router_nodes_configured", "tossd nodes in the static topology", func() []promtext.Sample {
+		return []promtext.Sample{{Value: float64(len(rt.nodes))}}
+	})
+	r.GaugeFunc("toss_router_uptime_seconds", "seconds since router start", func() []promtext.Sample {
+		return []promtext.Sample{{Value: time.Since(rt.start).Seconds()}}
+	})
+	r.CounterFunc("toss_router_node_requests_total", "upstream requests issued per node (retries included)", rt.nodeSamples(func(n *node) float64 {
+		return float64(n.requests.Load())
+	}))
+	r.CounterFunc("toss_router_node_errors_total", "upstream attempts that failed per node", rt.nodeSamples(func(n *node) float64 {
+		return float64(n.errors.Load())
+	}))
+	r.CounterFunc("toss_router_node_retries_total", "upstream retries per node", rt.nodeSamples(func(n *node) float64 {
+		return float64(n.retries.Load())
+	}))
+	r.GaugeFunc("toss_router_node_healthy", "1 when the node's last /readyz probe succeeded (absent until first probe)", func() []promtext.Sample {
+		var out []promtext.Sample
+		for _, n := range rt.nodes {
+			if !n.probed.Load() {
+				continue
+			}
+			v := 0.0
+			if n.healthy.Load() {
+				v = 1.0
+			}
+			out = append(out, promtext.Sample{Labels: map[string]string{"node": n.url}, Value: v})
+		}
+		return out
+	})
+}
+
+func (rt *Router) nodeSamples(pick func(*node) float64) func() []promtext.Sample {
+	return func() []promtext.Sample {
+		out := make([]promtext.Sample, 0, len(rt.nodes))
+		for _, n := range rt.nodes {
+			out = append(out, promtext.Sample{
+				Labels: map[string]string{"node": n.url},
+				Value:  pick(n),
+			})
+		}
+		return out
+	}
+}
+
+// statusRecorder mirrors internal/server's: it captures the written status
+// for the metrics middleware and forwards Flush so NDJSON lines keep
+// streaming through it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(p)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (rt *Router) withMetrics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		rt.mRequests.Inc()
+		rt.hLatency.Observe(elapsed.Seconds())
+		if rec.status >= 500 {
+			rt.mErrors.Inc()
+		}
+		if rt.cfg.Logger != nil {
+			rt.cfg.Logger.Printf("%s %s %d %s", r.Method, r.URL.Path, rec.status, elapsed)
+		}
+	})
+}
+
+func (rt *Router) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				rt.mPanics.Inc()
+				if rt.cfg.Logger != nil {
+					rt.cfg.Logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				}
+				http.Error(w, "internal error", http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ok nodes=%d\n", len(rt.nodes))
+}
+
+// handleReadyz is the router's own readiness: 503 while draining, and 503
+// when the prober's last completed round found no healthy node (a router
+// with nowhere to route is not usefully ready). Before the first round — or
+// with probing disabled — node health is unknown and the router optimistically
+// reports ready.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case rt.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	case rt.healthyCount.Load() == 0:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "no healthy nodes (0/%d)\n", len(rt.nodes))
+	default:
+		fmt.Fprintf(w, "ready nodes=%d\n", len(rt.nodes))
+	}
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rt.reg.WriteText(w)
+}
+
+// nodeStatz is the /statz entry for one upstream node.
+type nodeStatz struct {
+	URL        string `json:"url"`
+	Healthy    *bool  `json:"healthy,omitempty"` // nil until first probe
+	ProbeError string `json:"probe_error,omitempty"`
+	Requests   uint64 `json:"requests"`
+	Errors     uint64 `json:"errors"`
+	Retries    uint64 `json:"retries"`
+}
+
+func (rt *Router) handleStatz(w http.ResponseWriter, r *http.Request) {
+	nodes := make([]nodeStatz, 0, len(rt.nodes))
+	for _, n := range rt.nodes {
+		ns := nodeStatz{
+			URL:      n.url,
+			Requests: n.requests.Load(),
+			Errors:   n.errors.Load(),
+			Retries:  n.retries.Load(),
+		}
+		if n.probed.Load() {
+			h := n.healthy.Load()
+			ns.Healthy = &h
+			ns.ProbeError = n.probeError()
+		}
+		nodes = append(nodes, ns)
+	}
+	body := map[string]any{
+		"uptime_seconds": time.Since(rt.start).Seconds(),
+		"router": map[string]any{
+			"requests":         rt.mRequests.Value(),
+			"errors":           rt.mErrors.Value(),
+			"rejected":         rt.mRejected.Value(),
+			"panics":           rt.mPanics.Value(),
+			"partial_results":  rt.mPartials.Value(),
+			"streamed_queries": rt.mStreamed.Value(),
+			"proxied_requests": rt.mProxied.Value(),
+			"ingested_docs":    rt.mIngested.Value(),
+			"ingest_errors":    rt.mIngestErrors.Value(),
+			"in_flight":        rt.limiter.InFlight(),
+			"queue_depth":      rt.limiter.Queued(),
+			"draining":         rt.draining.Load(),
+		},
+		"nodes": nodes,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
+}

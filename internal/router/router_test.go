@@ -1,0 +1,572 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/similarity"
+)
+
+const allAuthors = `#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author"`
+
+// newNode builds an empty tossd-equivalent node holding instance "col" and
+// serves it over httptest. Collections start empty and are fed through
+// ingestion, exactly like a production "-instance col=" node.
+func newNode(t *testing.T) (*server.Server, *httptest.Server) {
+	t.Helper()
+	sys := core.NewSystem()
+	if _, err := sys.AddInstance("col"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Build(similarity.NameRule{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(sys, server.Config{CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// newTestRouter wires a router over the given node URLs with test-friendly
+// knobs: no background prober, no summary caching, millisecond backoff.
+func newTestRouter(t *testing.T, urls ...string) *Router {
+	t.Helper()
+	rt, err := New(Config{
+		Nodes:         urls,
+		SummaryTTL:    time.Nanosecond,
+		ProbeInterval: -1,
+		Retries:       2,
+		RetryBackoff:  time.Millisecond,
+		Client:        NewClient(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func docLine(i int) string {
+	xml := fmt.Sprintf("<inproceedings><author>Author %d</author><title>Paper %d</title></inproceedings>", i, i)
+	b, _ := json.Marshal(map[string]string{"key": fmt.Sprintf("doc-%d", i), "xml": xml})
+	return string(b)
+}
+
+func postNDJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func postQuery(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/query", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// rawField extracts one top-level field of a JSON object as raw bytes —
+// the unit of byte-equivalence comparisons.
+func rawField(t *testing.T, body []byte, field string) string {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("unmarshal %s: %v (%s)", field, err, body)
+	}
+	return string(m[field])
+}
+
+// TestRoutedEquivalence is the core acceptance test: for clusters of 1, 2
+// and 3 nodes, documents ingested through the router and queried through
+// the router produce byte-identical answers — materialised, streamed,
+// limited, ranked, and with sequence positions — to one reference node that
+// ingested the same NDJSON lines directly.
+func TestRoutedEquivalence(t *testing.T) {
+	for _, nodes := range []int{1, 2, 3} {
+		t.Run(fmt.Sprintf("nodes=%d", nodes), func(t *testing.T) {
+			var urls []string
+			for i := 0; i < nodes; i++ {
+				_, ts := newNode(t)
+				urls = append(urls, ts.URL)
+			}
+			_, refTS := newNode(t)
+			rt := newTestRouter(t, urls...)
+			routerTS := httptest.NewServer(rt.Handler())
+			t.Cleanup(routerTS.Close)
+
+			var batch strings.Builder
+			const docs = 60
+			for i := 0; i < docs; i++ {
+				batch.WriteString(docLine(i))
+				batch.WriteByte('\n')
+			}
+			resp := postNDJSON(t, routerTS.URL+"/v1/docs?instance=col", batch.String())
+			var ir RoutedIngestResponse
+			if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if ir.Ingested != docs || ir.ErrorCount != 0 {
+				t.Fatalf("routed ingest: %+v", ir.IngestResponse)
+			}
+			refResp := postNDJSON(t, refTS.URL+"/v1/docs?instance=col", batch.String())
+			refResp.Body.Close()
+
+			if nodes > 1 {
+				spread := 0
+				for _, u := range urls {
+					r, err := http.Get(u + "/v1/stats-summary")
+					if err != nil {
+						t.Fatal(err)
+					}
+					var sum server.StatsSummary
+					json.NewDecoder(r.Body).Decode(&sum)
+					r.Body.Close()
+					if sum.Collections["col"].Docs > 0 {
+						spread++
+					}
+				}
+				if spread < 2 {
+					t.Fatalf("expected documents spread over >=2 nodes, got %d", spread)
+				}
+			}
+
+			post := func(url, body string) (int, []byte) {
+				resp, err := http.Post(url+"/v1/query", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resp.Body.Close()
+				var buf bytes.Buffer
+				buf.ReadFrom(resp.Body)
+				return resp.StatusCode, buf.Bytes()
+			}
+
+			queries := []string{
+				fmt.Sprintf(`{"instance":"col","pattern":%q}`, allAuthors),
+				fmt.Sprintf(`{"instance":"col","pattern":%q,"limit":7}`, allAuthors),
+				fmt.Sprintf(`{"instance":"col","pattern":%q,"seqs":true}`, allAuthors),
+				fmt.Sprintf(`{"instance":"col","pattern":%q,"ranked":true}`, `#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ "Author 1"`),
+				fmt.Sprintf(`{"instance":"col","pattern":%q,"ranked":true,"seqs":true,"limit":5}`, `#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ "Author 2"`),
+			}
+			for qi, q := range queries {
+				gotCode, got := post(routerTS.URL, q)
+				wantCode, want := post(refTS.URL, q)
+				if gotCode != wantCode {
+					t.Fatalf("query %d: status %d vs reference %d\nrouted: %s\nref: %s", qi, gotCode, wantCode, got, want)
+				}
+				ga, wa := rawField(t, got, "answers"), rawField(t, want, "answers")
+				if ga != wa {
+					t.Fatalf("query %d: answers diverge\nrouted: %s\nref:    %s", qi, ga, wa)
+				}
+				if rawField(t, got, "count") != rawField(t, want, "count") {
+					t.Fatalf("query %d: counts diverge", qi)
+				}
+			}
+
+			// Streamed bodies must be byte-identical end to end (same lines,
+			// same encoding, same order), with and without seqs.
+			for _, q := range []string{
+				fmt.Sprintf(`{"instance":"col","pattern":%q,"stream":true}`, allAuthors),
+				fmt.Sprintf(`{"instance":"col","pattern":%q,"stream":true,"seqs":true}`, allAuthors),
+				fmt.Sprintf(`{"instance":"col","pattern":%q,"stream":true,"limit":9}`, allAuthors),
+			} {
+				gotCode, got := post(routerTS.URL, q)
+				wantCode, want := post(refTS.URL, q)
+				if gotCode != http.StatusOK || wantCode != http.StatusOK {
+					t.Fatalf("stream status %d/%d", gotCode, wantCode)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("streamed bodies diverge\nrouted: %s\nref:    %s", got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestRoutedDeleteAndReplace checks mutation semantics survive routing: a
+// replaced document keeps its sequence position, a deleted one disappears.
+func TestRoutedDeleteAndReplace(t *testing.T) {
+	_, ts1 := newNode(t)
+	_, ts2 := newNode(t)
+	_, refTS := newNode(t)
+	rt := newTestRouter(t, ts1.URL, ts2.URL)
+	routerTS := httptest.NewServer(rt.Handler())
+	t.Cleanup(routerTS.Close)
+
+	var batch strings.Builder
+	for i := 0; i < 10; i++ {
+		batch.WriteString(docLine(i) + "\n")
+	}
+	// Replace doc-3 (keeps seq 3) and delete doc-7.
+	repl, _ := json.Marshal(map[string]string{"key": "doc-3", "xml": "<inproceedings><author>Replaced</author></inproceedings>"})
+	batch.WriteString(string(repl) + "\n")
+	batch.WriteString(`{"key":"doc-7","delete":true}` + "\n")
+
+	for _, url := range []string{routerTS.URL, refTS.URL} {
+		resp := postNDJSON(t, url+"/v1/docs?instance=col", batch.String())
+		var ir server.IngestResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if ir.Ingested != 11 || ir.Deleted != 1 || ir.ErrorCount != 0 {
+			t.Fatalf("%s ingest: %+v", url, ir)
+		}
+	}
+	q := fmt.Sprintf(`{"instance":"col","pattern":%q,"seqs":true}`, allAuthors)
+	got := postQuery(t, rt.Handler(), q)
+	ref, err := http.Post(refTS.URL+"/v1/query", "application/json", strings.NewReader(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refBuf bytes.Buffer
+	refBuf.ReadFrom(ref.Body)
+	ref.Body.Close()
+	ga, wa := rawField(t, got.Body.Bytes(), "answers"), rawField(t, refBuf.Bytes(), "answers")
+	if ga != wa {
+		t.Fatalf("answers diverge after replace+delete\nrouted: %s\nref:    %s", ga, wa)
+	}
+	if !strings.Contains(ga, "Replaced") || strings.Contains(ga, "Author 7") {
+		t.Fatalf("replace/delete not reflected: %s", ga)
+	}
+}
+
+// TestPartialOnNodeDeath kills one node of two and asserts the routed
+// response is a well-formed partial naming the dead node, and that the
+// router's error metrics moved.
+func TestPartialOnNodeDeath(t *testing.T) {
+	_, ts1 := newNode(t)
+	_, ts2 := newNode(t)
+	rt := newTestRouter(t, ts1.URL, ts2.URL)
+	routerTS := httptest.NewServer(rt.Handler())
+	t.Cleanup(routerTS.Close)
+
+	var batch strings.Builder
+	for i := 0; i < 20; i++ {
+		batch.WriteString(docLine(i) + "\n")
+	}
+	resp := postNDJSON(t, routerTS.URL+"/v1/docs?instance=col", batch.String())
+	resp.Body.Close()
+
+	ts2.Close() // node dies between ingest and query
+
+	q := fmt.Sprintf(`{"instance":"col","pattern":%q}`, allAuthors)
+	w := postQuery(t, rt.Handler(), q)
+	if w.Code != http.StatusOK {
+		t.Fatalf("partial query status %d: %s", w.Code, w.Body)
+	}
+	var rr RoutedResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Nodes.Partial {
+		t.Fatalf("expected partial result, got %+v", rr.Nodes)
+	}
+	if len(rr.Nodes.Failed) != 1 || rr.Nodes.Failed[0] != ts2.URL {
+		t.Fatalf("failed nodes %v, want [%s]", rr.Nodes.Failed, ts2.URL)
+	}
+	if rr.Nodes.Reached != rr.Nodes.Targeted-1 {
+		t.Fatalf("reached %d of %d targeted", rr.Nodes.Reached, rr.Nodes.Targeted)
+	}
+	if rr.Count == 0 || rr.Count >= 20 {
+		t.Fatalf("partial count %d, want surviving node's share (0 < n < 20)", rr.Count)
+	}
+	if w.Header().Get("X-Toss-Partial") != "1" {
+		t.Fatal("missing X-Toss-Partial header")
+	}
+
+	// Streamed: survivors' answers arrive, then the in-band trailer names
+	// the dead node.
+	w = postQuery(t, rt.Handler(), fmt.Sprintf(`{"instance":"col","pattern":%q,"stream":true}`, allAuthors))
+	if w.Code != http.StatusOK {
+		t.Fatalf("streamed partial status %d: %s", w.Code, w.Body)
+	}
+	lines := strings.Split(strings.TrimSpace(w.Body.String()), "\n")
+	var trailer streamTrailer
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &trailer); err != nil {
+		t.Fatal(err)
+	}
+	if trailer.Error == "" || !trailer.Partial || trailer.Node != ts2.URL {
+		t.Fatalf("trailer %+v, want partial naming %s", trailer, ts2.URL)
+	}
+	if len(lines)-1 != rr.Count {
+		t.Fatalf("streamed %d answers, materialised said %d", len(lines)-1, rr.Count)
+	}
+
+	// The per-node error counter must have moved for the dead node.
+	mw := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(mw, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	metrics := mw.Body.String()
+	errLine := fmt.Sprintf(`toss_router_node_errors_total{node="%s"}`, ts2.URL)
+	found := false
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, errLine) && !strings.HasSuffix(line, " 0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected nonzero %s in metrics", errLine)
+	}
+	if !strings.Contains(metrics, "toss_router_partial_results_total 2") {
+		t.Fatalf("expected 2 partial results counted:\n%s", metrics)
+	}
+}
+
+// TestMidStreamSentinelMerge reproduces PR 6's failure mode across the
+// wire: a node that dies mid-stream ends its NDJSON with an {"error":...}
+// line. The router must keep merging the surviving node's answers into the
+// right global positions and then surface the failure as a partial result
+// naming the node.
+func TestMidStreamSentinelMerge(t *testing.T) {
+	_, realTS := newNode(t)
+	// Seed the real node with documents at odd global sequences.
+	seed := `{"key":"k1","xml":"<inproceedings><author>Real 1</author></inproceedings>","seq":1}` + "\n" +
+		`{"key":"k3","xml":"<inproceedings><author>Real 3</author></inproceedings>","seq":3}` + "\n"
+	resp := postNDJSON(t, realTS.URL+"/v1/docs?instance=col", seed)
+	resp.Body.Close()
+
+	// The fake node claims seqs 0 and 2, then dies in-band.
+	fakeMux := http.NewServeMux()
+	fakeMux.HandleFunc("/v1/stats-summary", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"collections":{"col":{"docs":2,"nodes":4,"generation":2,"next_seq":4}}}`)
+	})
+	fakeMux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"xml":"<inproceedings><author>Fake 0</author></inproceedings>","seq":0}`)
+		fmt.Fprintln(w, `{"xml":"<inproceedings><author>Fake 2</author></inproceedings>","seq":2}`)
+		fmt.Fprintln(w, `{"error":"shard 1 read failed: disk died"}`)
+	})
+	fakeTS := httptest.NewServer(fakeMux)
+	t.Cleanup(fakeTS.Close)
+
+	rt := newTestRouter(t, realTS.URL, fakeTS.URL)
+	w := postQuery(t, rt.Handler(), fmt.Sprintf(`{"instance":"col","pattern":%q,"stream":true,"seqs":true}`, allAuthors))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	lines := strings.Split(strings.TrimSpace(w.Body.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 4 answers + trailer:\n%s", len(lines), w.Body)
+	}
+	wantOrder := []string{"Fake 0", "Real 1", "Fake 2", "Real 3"}
+	for i, want := range wantOrder {
+		var a struct {
+			XML string  `json:"xml"`
+			Seq *uint64 `json:"seq"`
+		}
+		if err := json.Unmarshal([]byte(lines[i]), &a); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if !strings.Contains(a.XML, want) {
+			t.Fatalf("line %d: want %q in %s", i, want, a.XML)
+		}
+		if a.Seq == nil || *a.Seq != uint64(i) {
+			t.Fatalf("line %d: seq %v, want %d", i, a.Seq, i)
+		}
+	}
+	var trailer streamTrailer
+	if err := json.Unmarshal([]byte(lines[4]), &trailer); err != nil {
+		t.Fatal(err)
+	}
+	if !trailer.Partial || trailer.Node != fakeTS.URL || !strings.Contains(trailer.Error, "disk died") {
+		t.Fatalf("trailer %+v, want partial naming %s with the node's error", trailer, fakeTS.URL)
+	}
+
+	// Materialised: same failure surfaces as partial with the node named,
+	// answers still in global order.
+	w = postQuery(t, rt.Handler(), fmt.Sprintf(`{"instance":"col","pattern":%q}`, allAuthors))
+	if w.Code != http.StatusOK {
+		t.Fatalf("materialised status %d: %s", w.Code, w.Body)
+	}
+	var rr RoutedResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Nodes.Partial || len(rr.Nodes.Failed) != 1 || rr.Nodes.Failed[0] != fakeTS.URL {
+		t.Fatalf("nodes %+v, want partial naming %s", rr.Nodes, fakeTS.URL)
+	}
+	if rr.Count != 4 {
+		t.Fatalf("count %d, want 4", rr.Count)
+	}
+}
+
+// TestIngestLineMappingAndErrors checks client line numbers survive the
+// scatter: a bad line in the middle of a routed batch is reported against
+// its original position.
+func TestIngestLineMappingAndErrors(t *testing.T) {
+	_, ts1 := newNode(t)
+	_, ts2 := newNode(t)
+	rt := newTestRouter(t, ts1.URL, ts2.URL)
+
+	body := docLine(0) + "\n" +
+		`{"xml":"<a/>"}` + "\n" + // line 2: missing key
+		docLine(1) + "\n" +
+		`{"key":"doc-x","delete":true}` + "\n" + // line 4: delete of a key that never existed
+		docLine(2) + "\n"
+	req := httptest.NewRequest(http.MethodPost, "/v1/docs?instance=col", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var ir RoutedIngestResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Ingested != 3 || ir.ErrorCount != 2 {
+		t.Fatalf("ingest summary %+v", ir.IngestResponse)
+	}
+	gotLines := map[int]bool{}
+	for _, e := range ir.Errors {
+		gotLines[e.Line] = true
+	}
+	if !gotLines[2] || !gotLines[4] {
+		t.Fatalf("error lines %v, want client lines 2 and 4: %+v", gotLines, ir.Errors)
+	}
+}
+
+// TestIngestPartialOnDeadNode: a dead node fails exactly the lines it
+// owned; the rest of the batch lands, and the response names the node and
+// the lost client lines.
+func TestIngestPartialOnDeadNode(t *testing.T) {
+	_, ts1 := newNode(t)
+	_, ts2 := newNode(t)
+	rt := newTestRouter(t, ts1.URL, ts2.URL)
+	// Warm the collection so summaries exist, then kill node 2.
+	resp := postNDJSON(t, ts1.URL+"/v1/docs?instance=col", docLine(100)+"\n")
+	resp.Body.Close()
+	ts2.Close()
+
+	var batch strings.Builder
+	const docs = 16
+	for i := 0; i < docs; i++ {
+		batch.WriteString(docLine(i) + "\n")
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/docs?instance=col", strings.NewReader(batch.String()))
+	w := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(w, req)
+	var ir RoutedIngestResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &ir); err != nil {
+		t.Fatal(err)
+	}
+	if !ir.Nodes.Partial || len(ir.Nodes.Failed) != 1 || ir.Nodes.Failed[0] != ts2.URL {
+		t.Fatalf("nodes %+v, want partial naming %s", ir.Nodes, ts2.URL)
+	}
+	if ir.Ingested+ir.ErrorCount != docs {
+		t.Fatalf("ingested %d + errors %d != %d", ir.Ingested, ir.ErrorCount, docs)
+	}
+	if ir.Ingested == 0 || ir.ErrorCount == 0 {
+		t.Fatalf("expected a split outcome, got ingested=%d errors=%d", ir.Ingested, ir.ErrorCount)
+	}
+	found := false
+	for _, e := range ir.Errors {
+		if strings.Contains(e.Err, ts2.URL) && strings.Contains(e.Err, "not applied") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no error names the dead node: %+v", ir.Errors)
+	}
+}
+
+// TestRouterReadyzAndProbe covers the router's own readiness lifecycle
+// against live, dead and draining nodes.
+func TestRouterReadyzAndProbe(t *testing.T) {
+	s1, ts1 := newNode(t)
+	_, ts2 := newNode(t)
+	rt := newTestRouter(t, ts1.URL, ts2.URL)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		rt.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+		return w
+	}
+	// Before any probe round the router is optimistically ready.
+	if w := get("/readyz"); w.Code != http.StatusOK {
+		t.Fatalf("pre-probe readyz %d", w.Code)
+	}
+	if n := rt.ProbeOnce(context.Background()); n != 2 {
+		t.Fatalf("probe found %d healthy, want 2", n)
+	}
+	// One node starts draining: it leaves rotation but the router stays up.
+	s1.StartDraining()
+	if n := rt.ProbeOnce(context.Background()); n != 1 {
+		t.Fatalf("probe found %d healthy, want 1 (one draining)", n)
+	}
+	if w := get("/readyz"); w.Code != http.StatusOK {
+		t.Fatalf("readyz with one healthy node %d", w.Code)
+	}
+	// All nodes gone: the router has nowhere to route.
+	ts1.Close()
+	ts2.Close()
+	if n := rt.ProbeOnce(context.Background()); n != 0 {
+		t.Fatalf("probe found %d healthy, want 0", n)
+	}
+	if w := get("/readyz"); w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), "no healthy nodes") {
+		t.Fatalf("readyz with dead cluster: %d %s", w.Code, w.Body)
+	}
+	// Draining overrides everything.
+	rt.StartDraining()
+	if w := get("/readyz"); w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), "draining") {
+		t.Fatalf("draining readyz: %d %s", w.Code, w.Body)
+	}
+	// Liveness is unaffected.
+	if w := get("/healthz"); w.Code != http.StatusOK {
+		t.Fatalf("healthz %d", w.Code)
+	}
+}
+
+// TestProxySingleNodeOps: joins, algebra, analyze and xml rendering proxy
+// verbatim on a single-node cluster and refuse with 501 on larger ones.
+func TestProxySingleNodeOps(t *testing.T) {
+	_, ts1 := newNode(t)
+	rt1 := newTestRouter(t, ts1.URL)
+	resp := postNDJSON(t, ts1.URL+"/v1/docs?instance=col", docLine(0)+"\n")
+	resp.Body.Close()
+
+	w := postQuery(t, rt1.Handler(), `{"expr":"col"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("proxied algebra status %d: %s", w.Code, w.Body)
+	}
+	var qr server.QueryResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Op != "algebra" || qr.Count != 1 {
+		t.Fatalf("proxied algebra response %+v", qr)
+	}
+
+	_, ts2 := newNode(t)
+	rt2 := newTestRouter(t, ts1.URL, ts2.URL)
+	w = postQuery(t, rt2.Handler(), `{"expr":"col"}`)
+	if w.Code != http.StatusNotImplemented {
+		t.Fatalf("multi-node algebra status %d, want 501: %s", w.Code, w.Body)
+	}
+}
+
+// TestUnknownInstanceRouted mirrors tossd's 404 for instances no node holds.
+func TestUnknownInstanceRouted(t *testing.T) {
+	_, ts1 := newNode(t)
+	rt := newTestRouter(t, ts1.URL)
+	w := postQuery(t, rt.Handler(), fmt.Sprintf(`{"instance":"nope","pattern":%q}`, allAuthors))
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404: %s", w.Code, w.Body)
+	}
+}

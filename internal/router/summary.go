@@ -1,0 +1,194 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// summaryTimeout bounds one /v1/stats-summary fetch; the digest is bounded
+// server-side (top-128 tags per collection), so this is a small request.
+const summaryTimeout = 2 * time.Second
+
+// summaryEntry caches one node's digest. The entry mutex doubles as a
+// per-node singleflight: concurrent requests needing the same stale digest
+// line up behind one fetch instead of stampeding the node.
+type summaryEntry struct {
+	mu      sync.Mutex
+	fetched time.Time
+	sum     *server.StatsSummary
+}
+
+// summaries returns every node's stats digest, fetching in parallel where
+// the cache is stale. A node that cannot be fetched maps to nil — callers
+// must treat nil as "unknown, fan out anyway". A failed refresh deliberately
+// does NOT fall back to the stale digest: a stale digest can say "empty" and
+// the skip would then silently hide a dead node from the partial-result
+// accounting. Unknown nodes are targeted, and targeting a dead node is what
+// turns its death into a reported failure.
+func (rt *Router) summaries(ctx context.Context) map[string]*server.StatsSummary {
+	out := make(map[string]*server.StatsSummary, len(rt.nodes))
+	var outMu sync.Mutex
+	var wg sync.WaitGroup
+	for _, n := range rt.nodes {
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			sum := rt.nodeSummary(ctx, n)
+			outMu.Lock()
+			out[n.url] = sum
+			outMu.Unlock()
+		}(n)
+	}
+	wg.Wait()
+	return out
+}
+
+func (rt *Router) nodeSummary(ctx context.Context, n *node) *server.StatsSummary {
+	rt.sumMu.Lock()
+	e, ok := rt.sums[n.url]
+	if !ok {
+		e = &summaryEntry{}
+		rt.sums[n.url] = e
+	}
+	rt.sumMu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sum != nil && time.Since(e.fetched) < rt.cfg.SummaryTTL {
+		return e.sum
+	}
+	sum, err := rt.fetchSummary(ctx, n)
+	if err != nil {
+		if rt.cfg.Logger != nil {
+			rt.cfg.Logger.Printf("stats-summary %s: %v", n.url, err)
+		}
+		e.sum = nil // drop the stale digest: unknown beats wrong (see summaries)
+		return nil
+	}
+	e.sum, e.fetched = sum, time.Now()
+	return sum
+}
+
+// invalidateSummaries drops the cached digests of the given nodes. Called
+// after a routed ingest: the digests the batch was planned with are now
+// known-stale, and a query arriving inside the TTL window must not skip a
+// node because its pre-ingest digest said "empty".
+func (rt *Router) invalidateSummaries(urls []string) {
+	rt.sumMu.Lock()
+	defer rt.sumMu.Unlock()
+	for _, u := range urls {
+		delete(rt.sums, u)
+	}
+}
+
+func (rt *Router) fetchSummary(ctx context.Context, n *node) (*server.StatsSummary, error) {
+	ctx, cancel := context.WithTimeout(ctx, summaryTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.url+"/v1/stats-summary", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var sum server.StatsSummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		return nil, err
+	}
+	return &sum, nil
+}
+
+// planTargets is the router's planner-lite: given the collection a query
+// targets and the tag names its condition mentions, it decides which nodes
+// to fan out to and in what order. The rules, in decreasing strength:
+//
+//   - A node whose fresh digest shows the collection absent or empty is
+//     skipped outright — it cannot contribute answers. (An empty collection
+//     name targets the node's default instance, which the router cannot
+//     resolve per node, so nothing is skipped.)
+//   - Among targeted nodes, fan-out is ordered by estimated contribution:
+//     the sum of per-tag document counts for the query's tags, falling back
+//     to the collection's document count when the digest names none of the
+//     tags. Tag estimates only order, never skip: ontology rewriting (SEO)
+//     can expand a query's tags beyond anything the digest mentions, so a
+//     zero estimate does not prove a node has no answers.
+//   - A node with no digest at all (unreachable, never fetched) is targeted
+//     first: nothing is known, so nothing may be skipped, and starting its
+//     stream early hides its (likely slower) first-answer latency.
+//
+// skipped reports the URLs left out, and absent reports whether every
+// digest-bearing node showed the collection missing entirely (the routed
+// equivalent of tossd's 404 for an unknown instance).
+func (rt *Router) planTargets(ctx context.Context, collection string, tags []string) (targets []*node, skipped []string, absent bool) {
+	sums := rt.summaries(ctx)
+	type cand struct {
+		n   *node
+		est float64
+	}
+	var cands []cand
+	known, missing := 0, 0
+	for _, n := range rt.nodes {
+		sum := sums[n.url]
+		if sum == nil {
+			cands = append(cands, cand{n: n, est: -1}) // sentinel: unknown
+			continue
+		}
+		known++
+		if collection == "" {
+			// No collection named: every node resolves its own default
+			// instance, so all of them are in play. Order by total docs.
+			total := 0
+			for _, cs := range sum.Collections {
+				total += cs.Docs
+			}
+			cands = append(cands, cand{n: n, est: float64(total)})
+			continue
+		}
+		cs, ok := sum.Collections[collection]
+		if !ok {
+			missing++
+			skipped = append(skipped, n.url)
+			continue
+		}
+		if cs.Docs == 0 {
+			skipped = append(skipped, n.url)
+			continue
+		}
+		est := 0.0
+		matched := false
+		for _, tag := range tags {
+			if ts, ok := cs.Tags[tag]; ok {
+				est += float64(ts.Docs)
+				matched = true
+			}
+		}
+		if !matched {
+			est = float64(cs.Docs)
+		}
+		cands = append(cands, cand{n: n, est: est})
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		// Unknown (-1) sorts first, then descending estimate.
+		if (cands[i].est < 0) != (cands[j].est < 0) {
+			return cands[i].est < 0
+		}
+		return cands[i].est > cands[j].est
+	})
+	for _, c := range cands {
+		targets = append(targets, c.n)
+	}
+	absent = collection != "" && known > 0 && missing == known
+	return targets, skipped, absent
+}

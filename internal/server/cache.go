@@ -13,6 +13,7 @@ import (
 type cachedResult struct {
 	XMLs   []string
 	Scores []float64 // non-nil only for ranked selections, aligned with XMLs
+	Seqs   []uint64  // non-nil only when the request set seqs, aligned with XMLs
 }
 
 // Cache is a fixed-capacity LRU of query results. Invalidation is by key

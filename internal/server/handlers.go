@@ -35,6 +35,7 @@ type QueryRequest struct {
 	SL        []int    `json:"sl,omitempty"`         // pattern labels whose subtrees are kept
 	Limit     int      `json:"limit,omitempty"`      // answer cap; selections stop scanning early
 	Stream    bool     `json:"stream,omitempty"`     // NDJSON response, one answer per line (also ?stream=1)
+	Seqs      bool     `json:"seqs,omitempty"`       // attach each answer's global insertion sequence (selections; routers merge on it)
 	Ranked    bool     `json:"ranked,omitempty"`     // order selection answers by similarity score
 	Analyze   bool     `json:"analyze,omitempty"`    // attach the EXPLAIN ANALYZE report (bypasses the cache)
 	NoPlanner bool     `json:"no_planner,omitempty"` // disable cost-based planning for this query
@@ -58,10 +59,13 @@ type QueryResponse struct {
 }
 
 // Answer is one witness tree, serialised as XML, with its similarity score
-// for ranked selections.
+// for ranked selections. Seq, present when the request set seqs, is the
+// global insertion sequence of the source document the answer came from —
+// the key tossrouter's cross-node merge orders on (docs/CLUSTER.md).
 type Answer struct {
 	XML   string   `json:"xml"`
 	Score *float64 `json:"score,omitempty"`
+	Seq   *uint64  `json:"seq,omitempty"`
 }
 
 type httpError struct {
@@ -262,6 +266,20 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, req *QueryRe
 			return httpErrorf(http.StatusBadRequest, "stream responses are NDJSON; format must be json")
 		}
 	}
+	if req.Seqs {
+		// Sequence positions exist for answers derived from one source
+		// document each: selections and ranked selections. Join and algebra
+		// answers combine documents and have no single position.
+		if op != "select" && op != "ranked" {
+			return httpErrorf(http.StatusBadRequest, "seqs applies to selections only")
+		}
+		if req.Analyze {
+			return httpErrorf(http.StatusBadRequest, "seqs does not apply to analyze")
+		}
+		if format != "json" {
+			return httpErrorf(http.StatusBadRequest, "seqs requires format json")
+		}
+	}
 
 	instance := req.Instance
 	if instance == "" && len(sys.Instances) > 0 {
@@ -405,7 +423,12 @@ func (s *Server) executeStream(ctx context.Context, w http.ResponseWriter, sys *
 			s.hFirstResult.Observe(time.Since(start).Seconds())
 			w.Header().Set("Content-Type", "application/x-ndjson")
 		}
-		if err := enc.Encode(Answer{XML: doc.XMLString()}); err != nil {
+		line := Answer{XML: doc.XMLString()}
+		if req.Seqs {
+			seq := doc.SrcSeq
+			line.Seq = &seq
+		}
+		if err := enc.Encode(line); err != nil {
 			return nil // client went away mid-stream
 		}
 		if flusher != nil {
@@ -462,7 +485,7 @@ func (s *Server) cacheKey(sys *core.System, op string, req *QueryRequest, pat *p
 	} else {
 		b.WriteString(expr.String())
 	}
-	fmt.Fprintf(&b, "\x00sl=%v\x00limit=%d\x00ranked=%t\x00noplanner=%t", req.SL, req.Limit, req.Ranked, req.NoPlanner)
+	fmt.Fprintf(&b, "\x00sl=%v\x00limit=%d\x00ranked=%t\x00noplanner=%t\x00seqs=%t", req.SL, req.Limit, req.Ranked, req.NoPlanner, req.Seqs)
 	fmt.Fprintf(&b, "\x00measure=%s\x00eps=%g", sys.Measure.Name(), sys.Epsilon)
 	names := make([]string, 0, len(involved))
 	gens := map[string]uint64{}
@@ -510,9 +533,15 @@ func (s *Server) execute(ctx context.Context, sys *core.System, op, instance str
 				XMLs:   make([]string, len(res.Ranked)),
 				Scores: make([]float64, len(res.Ranked)),
 			}
+			if req.Seqs {
+				out.Seqs = make([]uint64, len(res.Ranked))
+			}
 			for i, ra := range res.Ranked {
 				out.XMLs[i] = ra.Tree.XMLString()
 				out.Scores[i] = ra.Score
+				if out.Seqs != nil {
+					out.Seqs[i] = ra.Tree.SrcSeq
+				}
 			}
 			return out, nil, "", nil
 		}
@@ -532,8 +561,14 @@ func (s *Server) execute(ctx context.Context, sys *core.System, op, instance str
 		return nil, nil, "", err
 	}
 	res := &cachedResult{XMLs: make([]string, len(answers))}
+	if req.Seqs {
+		res.Seqs = make([]uint64, len(answers))
+	}
 	for i, t := range answers {
 		res.XMLs[i] = t.XMLString()
+		if res.Seqs != nil {
+			res.Seqs[i] = t.SrcSeq
+		}
 	}
 	return res, st, analyze, nil
 }
@@ -560,6 +595,10 @@ func (s *Server) render(w http.ResponseWriter, format, op, instance string, req 
 			if res.Scores != nil {
 				score := res.Scores[i]
 				resp.Answers[i].Score = &score
+			}
+			if res.Seqs != nil {
+				seq := res.Seqs[i]
+				resp.Answers[i].Seq = &seq
 			}
 		}
 		w.Header().Set("Content-Type", "application/json")

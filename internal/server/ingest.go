@@ -20,11 +20,15 @@ const maxIngestLine = 16 << 20
 const maxReportedIngestErrors = 20
 
 // IngestLine is one line of a POST /v1/docs NDJSON body. Put lines carry
-// key+xml; delete lines carry key+delete:true.
+// key+xml; delete lines carry key+delete:true. Seq, when present on a put,
+// stores the document at that explicit global insertion sequence
+// (Collection.PutXMLAt) — tossrouter assigns cluster-wide positions this
+// way so documents scattered across nodes merge back in one total order.
 type IngestLine struct {
-	Key    string `json:"key"`
-	XML    string `json:"xml,omitempty"`
-	Delete bool   `json:"delete,omitempty"`
+	Key    string  `json:"key"`
+	XML    string  `json:"xml,omitempty"`
+	Seq    *uint64 `json:"seq,omitempty"`
+	Delete bool    `json:"delete,omitempty"`
 }
 
 // IngestError reports one rejected line (1-based line number).
@@ -130,7 +134,13 @@ func (s *Server) handleDocs(w http.ResponseWriter, r *http.Request) {
 		case doc.XML == "":
 			lineErr(lineNo, doc.Key, errors.New("missing xml"))
 		default:
-			if _, err := in.Col.PutXML(doc.Key, strings.NewReader(doc.XML)); err != nil {
+			var err error
+			if doc.Seq != nil {
+				_, err = in.Col.PutXMLAt(doc.Key, strings.NewReader(doc.XML), *doc.Seq)
+			} else {
+				_, err = in.Col.PutXML(doc.Key, strings.NewReader(doc.XML))
+			}
+			if err != nil {
 				lineErr(lineNo, doc.Key, err)
 				continue
 			}

@@ -15,6 +15,7 @@ import (
 	"log"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -72,6 +73,14 @@ type Server struct {
 	reg     *promtext.Registry
 	start   time.Time
 	mux     http.Handler
+
+	// notReady and draining drive /readyz (readiness, as opposed to
+	// /healthz's liveness). A server is born ready — New requires a built
+	// system — and tossd's bootstrap handler covers the loading window
+	// before New; StartDraining flips /readyz to 503 for the drain window
+	// so balancers and routers stop sending work to a dying node.
+	notReady atomic.Bool
+	draining atomic.Bool
 
 	mRequests     *promtext.Counter
 	mErrors       *promtext.Counter
@@ -145,7 +154,9 @@ func New(sys *core.System, cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/query", s.handleQuery) // legacy alias for /v1/query
 	mux.HandleFunc("/v1/docs", s.handleDocs)
+	mux.HandleFunc("/v1/stats-summary", s.handleStatsSummary)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/statz", s.handleStatz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux = s.withRecovery(s.withMetrics(mux))
@@ -158,6 +169,18 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Limiter exposes the admission controller (observability and tests).
 func (s *Server) Limiter() *Limiter { return s.limiter }
+
+// SetReady overrides the readiness /readyz reports (a server is born ready).
+func (s *Server) SetReady(ready bool) { s.notReady.Store(!ready) }
+
+// StartDraining marks the server as shutting down: /readyz answers 503 from
+// this point on, while /healthz and query serving continue — in-flight and
+// still-arriving queries finish during the drain window, but health probers
+// take the node out of rotation. Idempotent.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+// Draining reports whether StartDraining was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Cache exposes the result cache (observability and tests).
 func (s *Server) Cache() *Cache { return s.cache }

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+)
+
+// maxSummaryTags bounds the per-collection tag digest shipped by
+// /v1/stats-summary: the router's planner-lite only needs the heavy hitters
+// to order fan-out, and a bounded digest keeps the endpoint cheap no matter
+// how wide the schema is. Tags are ranked by document count.
+const maxSummaryTags = 128
+
+// StatsSummary is the GET /v1/stats-summary body: a compact digest of every
+// collection's statistics, shipped to routing tiers instead of the full
+// Stats() sketches (value histograms never leave the node). tossrouter polls
+// it to seed its global sequence counter (NextSeq), skip nodes that hold
+// nothing for a collection (Docs == 0), and order fan-out by estimated
+// contribution (Tags).
+type StatsSummary struct {
+	Collections map[string]CollectionSummary `json:"collections"`
+}
+
+// CollectionSummary digests one collection.
+type CollectionSummary struct {
+	Docs       int    `json:"docs"`
+	Nodes      int    `json:"nodes"`
+	Generation uint64 `json:"generation"`
+	NextSeq    uint64 `json:"next_seq"`
+	// Tags holds per-tag document/node counts for the maxSummaryTags most
+	// document-frequent tags; TagsTruncated reports that the digest dropped
+	// some. Estimates derived from Tags order work, never skip it: ontology
+	// rewriting can expand a query's tags beyond what the digest names.
+	Tags          map[string]TagSummary `json:"tags,omitempty"`
+	TagsTruncated bool                  `json:"tags_truncated,omitempty"`
+}
+
+// TagSummary is the per-tag slice of the digest.
+type TagSummary struct {
+	Docs  int `json:"docs"`
+	Nodes int `json:"nodes"`
+}
+
+func (s *Server) handleStatsSummary(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	out := StatsSummary{Collections: map[string]CollectionSummary{}}
+	for _, in := range s.sys.Instances {
+		st := in.Col.Stats() // generation-cached; cheap between mutations
+		cs := CollectionSummary{
+			Docs:       st.Docs,
+			Nodes:      st.Nodes,
+			Generation: st.Generation,
+			NextSeq:    in.Col.NextSeq(),
+		}
+		if len(st.Tags) > 0 {
+			names := make([]string, 0, len(st.Tags))
+			for tag := range st.Tags {
+				names = append(names, tag)
+			}
+			sort.Slice(names, func(i, j int) bool {
+				a, b := st.Tags[names[i]], st.Tags[names[j]]
+				if a.Docs != b.Docs {
+					return a.Docs > b.Docs
+				}
+				return names[i] < names[j]
+			})
+			if len(names) > maxSummaryTags {
+				names = names[:maxSummaryTags]
+				cs.TagsTruncated = true
+			}
+			cs.Tags = make(map[string]TagSummary, len(names))
+			for _, tag := range names {
+				ts := st.Tags[tag]
+				cs.Tags[tag] = TagSummary{Docs: ts.Docs, Nodes: ts.Nodes}
+			}
+		}
+		out.Collections[in.Name] = cs
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// handleReadyz is the readiness probe: 200 only when the server can usefully
+// take traffic. Distinct from /healthz (liveness): a node that is loading
+// seeds, recovering its WAL, or draining for shutdown is alive but not
+// ready, and balancers must route around it while /healthz still answers ok.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case s.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	case s.notReady.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "not ready")
+	default:
+		fmt.Fprintf(w, "ready instances=%d\n", len(s.sys.Instances))
+	}
+}

@@ -1,0 +1,226 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/similarity"
+)
+
+// seqTestServer builds a server over one collection of n separate documents,
+// so answers span distinct insertion sequences.
+func seqTestServer(t *testing.T, n int) *Server {
+	t.Helper()
+	sys := core.NewSystem()
+	in, err := sys.AddInstance("col")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		xml := fmt.Sprintf("<inproceedings><author>Author %d</author><title>Paper %d</title></inproceedings>", i, i)
+		if _, err := in.Col.PutXML(fmt.Sprintf("doc-%d", i), strings.NewReader(xml)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Build(similarity.NameRule{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(sys, Config{CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+const allAuthorsPattern = `#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author"`
+
+func postQueryRaw(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/query", bytes.NewReader([]byte(body)))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestQuerySeqsMaterialized(t *testing.T) {
+	s := seqTestServer(t, 4)
+	w := postQueryRaw(t, s.Handler(), fmt.Sprintf(`{"pattern":%q,"seqs":true}`, allAuthorsPattern))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 4 {
+		t.Fatalf("count %d, want 4", resp.Count)
+	}
+	for i, a := range resp.Answers {
+		if a.Seq == nil {
+			t.Fatalf("answer %d has no seq", i)
+		}
+		if *a.Seq != uint64(i) {
+			t.Fatalf("answer %d seq %d, want %d", i, *a.Seq, i)
+		}
+	}
+	// Without seqs the field stays off the wire.
+	w = postQueryRaw(t, s.Handler(), fmt.Sprintf(`{"pattern":%q}`, allAuthorsPattern))
+	if bytes.Contains(w.Body.Bytes(), []byte(`"seq"`)) {
+		t.Fatalf("seq leaked into a request without seqs: %s", w.Body)
+	}
+}
+
+func TestQuerySeqsStreamed(t *testing.T) {
+	s := seqTestServer(t, 4)
+	w := postQueryRaw(t, s.Handler(), fmt.Sprintf(`{"pattern":%q,"stream":true,"seqs":true}`, allAuthorsPattern))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	lines := strings.Split(strings.TrimSpace(w.Body.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4: %s", len(lines), w.Body)
+	}
+	for i, line := range lines {
+		var a struct {
+			XML string  `json:"xml"`
+			Seq *uint64 `json:"seq"`
+		}
+		if err := json.Unmarshal([]byte(line), &a); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if a.Seq == nil || *a.Seq != uint64(i) {
+			t.Fatalf("line %d seq %v, want %d", i, a.Seq, i)
+		}
+		if a.XML == "" {
+			t.Fatalf("line %d has no xml", i)
+		}
+	}
+}
+
+func TestQuerySeqsRanked(t *testing.T) {
+	s := seqTestServer(t, 3)
+	pat := `#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ "Author 1"`
+	w := postQueryRaw(t, s.Handler(), fmt.Sprintf(`{"pattern":%q,"ranked":true,"seqs":true}`, pat))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count == 0 {
+		t.Fatal("ranked query returned nothing")
+	}
+	for i, a := range resp.Answers {
+		if a.Seq == nil {
+			t.Fatalf("ranked answer %d has no seq", i)
+		}
+		if a.Score == nil {
+			t.Fatalf("ranked answer %d has no score", i)
+		}
+	}
+}
+
+func TestQuerySeqsRejections(t *testing.T) {
+	s := seqTestServer(t, 2)
+	for _, body := range []string{
+		`{"expr":"col","seqs":true}`,
+		fmt.Sprintf(`{"pattern":%q,"seqs":true,"format":"xml"}`, allAuthorsPattern),
+	} {
+		if w := postQueryRaw(t, s.Handler(), body); w.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", body, w.Code)
+		}
+	}
+}
+
+func TestReadyzLifecycle(t *testing.T) {
+	s := seqTestServer(t, 1)
+	get := func(path string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+		return w
+	}
+	if w := get("/readyz"); w.Code != http.StatusOK {
+		t.Fatalf("fresh server readyz %d: %s", w.Code, w.Body)
+	}
+	s.SetReady(false)
+	if w := get("/readyz"); w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), "not ready") {
+		t.Fatalf("unready readyz %d: %s", w.Code, w.Body)
+	}
+	s.SetReady(true)
+	s.StartDraining()
+	w := get("/readyz")
+	if w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), "draining") {
+		t.Fatalf("draining readyz %d: %s", w.Code, w.Body)
+	}
+	// Liveness keeps answering 200 through the drain: the process is up even
+	// though it must leave rotation.
+	if w := get("/healthz"); w.Code != http.StatusOK {
+		t.Fatalf("healthz during drain %d", w.Code)
+	}
+	// Queries still execute during the drain window.
+	if w := postQueryRaw(t, s.Handler(), fmt.Sprintf(`{"pattern":%q}`, allAuthorsPattern)); w.Code != http.StatusOK {
+		t.Fatalf("query during drain %d: %s", w.Code, w.Body)
+	}
+}
+
+func TestStatsSummary(t *testing.T) {
+	s := seqTestServer(t, 5)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/stats-summary", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var sum StatsSummary
+	if err := json.Unmarshal(w.Body.Bytes(), &sum); err != nil {
+		t.Fatal(err)
+	}
+	cs, ok := sum.Collections["col"]
+	if !ok {
+		t.Fatalf("no col summary: %s", w.Body)
+	}
+	if cs.Docs != 5 || cs.NextSeq != 5 {
+		t.Fatalf("docs=%d next_seq=%d, want 5/5", cs.Docs, cs.NextSeq)
+	}
+	ts, ok := cs.Tags["author"]
+	if !ok || ts.Docs != 5 || ts.Nodes != 5 {
+		t.Fatalf("author tag summary %+v ok=%t", ts, ok)
+	}
+}
+
+func TestIngestExplicitSeq(t *testing.T) {
+	s := seqTestServer(t, 2) // doc-0 at seq 0, doc-1 at seq 1
+	body := `{"key":"late","xml":"<inproceedings><author>Late</author></inproceedings>","seq":10}` + "\n" +
+		`{"key":"between","xml":"<inproceedings><author>Between</author></inproceedings>","seq":5}` + "\n"
+	req := httptest.NewRequest(http.MethodPost, "/v1/docs?instance=col", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", w.Code, w.Body)
+	}
+	var resp IngestResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Ingested != 2 || resp.ErrorCount != 0 {
+		t.Fatalf("ingest response %+v", resp)
+	}
+	qw := postQueryRaw(t, s.Handler(), fmt.Sprintf(`{"pattern":%q,"seqs":true}`, allAuthorsPattern))
+	var qresp QueryResponse
+	if err := json.Unmarshal(qw.Body.Bytes(), &qresp); err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint64
+	for _, a := range qresp.Answers {
+		seqs = append(seqs, *a.Seq)
+	}
+	if fmt.Sprint(seqs) != "[0 1 5 10]" {
+		t.Fatalf("answer seqs %v, want [0 1 5 10]", seqs)
+	}
+}

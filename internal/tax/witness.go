@@ -108,7 +108,9 @@ func (c *Compiled) WitnessTree(dst *tree.Collection, t *tree.Tree, b Binding, sl
 	}
 	// The pattern root's image is an ancestor of every other image, so the
 	// forest has exactly one root.
-	return roots[0]
+	wt := roots[0]
+	wt.SrcSeq = t.SrcSeq
+	return wt
 }
 
 // insideFullSubtree reports whether n is a proper descendant of a node whose

@@ -32,9 +32,15 @@ type Node struct {
 	Children    []*Node
 }
 
-// Tree is a rooted ordered tree.
+// Tree is a rooted ordered tree. SrcSeq is the global insertion sequence of
+// the stored document the tree was derived from: xmldb stamps it when a
+// document is stored, and operators that derive trees from a stored document
+// (witness construction, projection) propagate it so results can be ordered
+// by source position even after crossing process boundaries. Zero for trees
+// that never touched a store.
 type Tree struct {
-	Root *Node
+	Root   *Node
+	SrcSeq uint64
 }
 
 // Collection is a finite ordered set of trees — a semistructured database.

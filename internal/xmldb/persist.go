@@ -46,7 +46,7 @@ func (c *Collection) saveEntries(dir string, entries []keyDoc) error {
 				return fmt.Errorf("xmldb: save %s: %w", e.key, err)
 			}
 			written[file] = true
-			fmt.Fprintf(&index, "%s\t%s\n", file, e.key)
+			fmt.Fprintf(&index, "%s\t%s\tseq:%d\n", file, e.key, e.seq)
 		}
 		if err := writeFileAtomic(filepath.Join(dir, "_index.tsv"), []byte(index.String())); err != nil {
 			return fmt.Errorf("xmldb: save index: %w", err)
@@ -68,7 +68,7 @@ func (c *Collection) saveEntries(dir string, entries []keyDoc) error {
 			return fmt.Errorf("xmldb: save %s: %w", e.key, err)
 		}
 		writtenByShard[si][file] = true
-		fmt.Fprintf(&indexes[si], "%s\t%s\n", file, e.key)
+		fmt.Fprintf(&indexes[si], "%s\t%s\tseq:%d\n", file, e.key, e.seq)
 	}
 	// Every shard writes its index, even an empty one: a shard that lost all
 	// its documents must not keep serving the previous save's index.
@@ -212,11 +212,12 @@ func (c *Collection) LoadDir(dir string) error {
 			if line == "" {
 				continue
 			}
-			file, key, ok := strings.Cut(line, "\t")
+			file, rest, ok := strings.Cut(line, "\t")
 			if !ok {
 				return fmt.Errorf("xmldb: malformed index line %q", line)
 			}
-			if err := c.loadFile(filepath.Join(dir, file), key); err != nil {
+			key, seq, hasSeq := cutIndexSeq(rest)
+			if err := c.loadFileAt(filepath.Join(dir, file), key, seq, hasSeq); err != nil {
 				return err
 			}
 		}
@@ -251,9 +252,11 @@ func (c *Collection) loadShardedDir(dir string) error {
 		return fmt.Errorf("xmldb: load %s: %w", dir, err)
 	}
 	type posFile struct {
-		pos  int
-		path string
-		key  string
+		pos    int
+		path   string
+		key    string
+		seq    uint64
+		hasSeq bool
 	}
 	var files []posFile
 	for _, e := range entries {
@@ -269,34 +272,59 @@ func (c *Collection) loadShardedDir(dir string) error {
 			if line == "" {
 				continue
 			}
-			file, key, ok := strings.Cut(line, "\t")
+			file, rest, ok := strings.Cut(line, "\t")
 			if !ok {
 				return fmt.Errorf("xmldb: malformed index line %q", line)
 			}
+			key, seq, hasSeq := cutIndexSeq(rest)
 			prefix, _, _ := strings.Cut(file, "-")
 			pos, err := strconv.Atoi(prefix)
 			if err != nil {
 				return fmt.Errorf("xmldb: malformed shard file name %q", file)
 			}
-			files = append(files, posFile{pos: pos, path: filepath.Join(sdir, file), key: key})
+			files = append(files, posFile{pos: pos, path: filepath.Join(sdir, file), key: key, seq: seq, hasSeq: hasSeq})
 		}
 	}
 	sort.Slice(files, func(i, j int) bool { return files[i].pos < files[j].pos })
 	for _, f := range files {
-		if err := c.loadFile(f.path, f.key); err != nil {
+		if err := c.loadFileAt(f.path, f.key, f.seq, f.hasSeq); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// cutIndexSeq splits an index line's remainder into the document key and the
+// optional trailing "seq:N" column (absent in layouts saved before explicit
+// sequencing existed; those load with freshly assigned positions).
+func cutIndexSeq(rest string) (key string, seq uint64, hasSeq bool) {
+	i := strings.LastIndex(rest, "\tseq:")
+	if i < 0 {
+		return rest, 0, false
+	}
+	n, err := strconv.ParseUint(rest[i+len("\tseq:"):], 10, 64)
+	if err != nil {
+		return rest, 0, false
+	}
+	return rest[:i], n, true
+}
+
 func (c *Collection) loadFile(path, key string) error {
+	return c.loadFileAt(path, key, 0, false)
+}
+
+func (c *Collection) loadFileAt(path, key string, seq uint64, hasSeq bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("xmldb: load %s: %w", path, err)
 	}
 	defer f.Close()
-	if _, err := c.PutXML(key, f); err != nil {
+	if hasSeq {
+		_, err = c.PutXMLAt(key, f, seq)
+	} else {
+		_, err = c.PutXML(key, f)
+	}
+	if err != nil {
 		return fmt.Errorf("xmldb: load %s: %w", path, err)
 	}
 	return nil

@@ -1,0 +1,182 @@
+package xmldb
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+func newTestCollection(t *testing.T, shards int) *Collection {
+	t.Helper()
+	db := New()
+	db.SetDefaultShards(shards)
+	return db.CreateCollection("c")
+}
+
+func docXML(i int) string {
+	return fmt.Sprintf("<doc><v>%d</v></doc>", i)
+}
+
+func TestSrcSeqStamping(t *testing.T) {
+	c := newTestCollection(t, 3)
+	for i := 0; i < 6; i++ {
+		tr, err := c.PutXML(fmt.Sprintf("k%d", i), strings.NewReader(docXML(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.SrcSeq != uint64(i) {
+			t.Fatalf("doc %d stamped SrcSeq %d", i, tr.SrcSeq)
+		}
+	}
+	// Replacement keeps the original position.
+	tr, err := c.PutXML("k2", strings.NewReader("<doc><v>replaced</v></doc>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.SrcSeq != 2 {
+		t.Fatalf("replacement stamped SrcSeq %d, want 2", tr.SrcSeq)
+	}
+	if got := c.NextSeq(); got != 6 {
+		t.Fatalf("NextSeq = %d, want 6", got)
+	}
+	for i, d := range c.Docs() {
+		if d.SrcSeq != uint64(i) {
+			t.Fatalf("Docs()[%d].SrcSeq = %d", i, d.SrcSeq)
+		}
+	}
+}
+
+func TestPutXMLAtExplicitOrder(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			c := newTestCollection(t, shards)
+			// Arrive out of order with gaps, as a router retrying ingest might.
+			seqs := []uint64{10, 4, 30, 7, 21}
+			for i, s := range seqs {
+				tr, err := c.PutXMLAt(fmt.Sprintf("k%d", i), strings.NewReader(docXML(i)), s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tr.SrcSeq != s {
+					t.Fatalf("doc %d stamped SrcSeq %d, want %d", i, tr.SrcSeq, s)
+				}
+			}
+			if got, want := c.Keys(), []string{"k1", "k3", "k0", "k4", "k2"}; fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("Keys() = %v, want %v", got, want)
+			}
+			if got := c.NextSeq(); got != 31 {
+				t.Fatalf("NextSeq = %d, want 31", got)
+			}
+			// Indexes survive the out-of-order inserts: query answers stay in
+			// global seq order.
+			nodes, err := c.Query("/doc/v")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []string
+			for _, n := range nodes {
+				got = append(got, n.Content)
+			}
+			if want := []string{"1", "3", "0", "4", "2"}; fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("query order %v, want %v", got, want)
+			}
+			// An implicit put lands after every explicit position.
+			if _, err := c.PutXML("late", strings.NewReader(docXML(99))); err != nil {
+				t.Fatal(err)
+			}
+			keys := c.Keys()
+			if keys[len(keys)-1] != "late" {
+				t.Fatalf("implicit put not last: %v", keys)
+			}
+		})
+	}
+}
+
+func TestPutXMLAtWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	c := newTestCollection(t, 2)
+	if err := c.OpenWAL(dir, WALOptions{Sync: SyncOff}); err != nil {
+		t.Fatal(err)
+	}
+	seqs := []uint64{5, 2, 9}
+	for i, s := range seqs {
+		if _, err := c.PutXMLAt(fmt.Sprintf("k%d", i), strings.NewReader(docXML(i)), s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.PutXML("plain", strings.NewReader(docXML(7))); err != nil {
+		t.Fatal(err)
+	}
+	wantKeys := fmt.Sprint(c.Keys())
+	wantNext := c.NextSeq()
+	if err := c.CloseWAL(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := newTestCollection(t, 2)
+	if err := r.OpenWAL(dir, WALOptions{Sync: SyncOff}); err != nil {
+		t.Fatal(err)
+	}
+	defer r.CloseWAL()
+	if got := fmt.Sprint(r.Keys()); got != wantKeys {
+		t.Fatalf("recovered keys %v, want %v", got, wantKeys)
+	}
+	if got := r.NextSeq(); got != wantNext {
+		t.Fatalf("recovered NextSeq %d, want %d", got, wantNext)
+	}
+	for _, d := range r.Docs() {
+		if d.SrcSeq == 0 && d != r.Docs()[0] {
+			t.Fatalf("recovered doc lost its SrcSeq")
+		}
+	}
+}
+
+func TestPersistSeqRoundTrip(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			dir := t.TempDir()
+			c := newTestCollection(t, shards)
+			for i, s := range []uint64{8, 3, 12} {
+				if _, err := c.PutXMLAt(fmt.Sprintf("k%d", i), strings.NewReader(docXML(i)), s); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := c.SaveDir(dir); err != nil {
+				t.Fatal(err)
+			}
+			r := newTestCollection(t, shards)
+			if err := r.LoadDir(dir); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := fmt.Sprint(r.Keys()), fmt.Sprint(c.Keys()); got != want {
+				t.Fatalf("loaded keys %v, want %v", got, want)
+			}
+			if got := r.NextSeq(); got != 13 {
+				t.Fatalf("loaded NextSeq %d, want 13", got)
+			}
+		})
+	}
+}
+
+// Old-format index lines (no seq column) still load, with positions assigned
+// in file order.
+func TestPersistLegacyIndexWithoutSeq(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(dir+"/0000-a.xml", []byte("<doc><v>0</v></doc>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir+"/0001-b.xml", []byte("<doc><v>1</v></doc>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir+"/_index.tsv", []byte("0000-a.xml\ta\n0001-b.xml\tb\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := newTestCollection(t, 1)
+	if err := c.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(c.Keys()); got != "[a b]" {
+		t.Fatalf("legacy load keys %v", got)
+	}
+}

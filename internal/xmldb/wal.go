@@ -51,10 +51,14 @@ const walHeaderSize = 8
 // is treated as a torn tail rather than an allocation request.
 const walMaxRecord = 64 << 20
 
-// WAL record operations.
+// WAL record operations. walOpPutSeq is a put carrying an explicit global
+// insertion sequence (PutXMLAt); its payload interposes the 8-byte sequence
+// between the generation and the key length, and replay restores the
+// document at that exact position.
 const (
 	walOpPut    = byte(1)
 	walOpDelete = byte(2)
+	walOpPutSeq = byte(3)
 )
 
 var walCRCTable = crc32.MakeTable(crc32.Castagnoli)
@@ -245,11 +249,31 @@ func encodeWALRecord(op byte, gen uint64, key, xml string) []byte {
 	return buf
 }
 
+// encodeWALRecordSeq renders a walOpPutSeq record:
+//
+//	payload = op(1) | generation(8 LE) | seq(8 LE) | key length(4 LE) | key | xml
+func encodeWALRecordSeq(op byte, gen, seq uint64, key, xml string) []byte {
+	payloadLen := 1 + 8 + 8 + 4 + len(key) + len(xml)
+	buf := make([]byte, walHeaderSize+payloadLen)
+	payload := buf[walHeaderSize:]
+	payload[0] = op
+	binary.LittleEndian.PutUint64(payload[1:], gen)
+	binary.LittleEndian.PutUint64(payload[9:], seq)
+	binary.LittleEndian.PutUint32(payload[17:], uint32(len(key)))
+	copy(payload[21:], key)
+	copy(payload[21+len(key):], xml)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, walCRCTable))
+	return buf
+}
+
 // walRecord is one decoded record plus where it ends in its source file
 // (recovery truncates each current segment back to its last applied record).
+// seq is meaningful only for walOpPutSeq records.
 type walRecord struct {
 	op   byte
 	gen  uint64
+	seq  uint64
 	key  string
 	xml  string
 	file string
@@ -279,19 +303,26 @@ func parseWALFile(path string) (recs []walRecord, torn bool, err error) {
 		if crc32.Checksum(payload, walCRCTable) != crc {
 			return recs, true, nil
 		}
-		keyLen := int(binary.LittleEndian.Uint32(payload[9:]))
-		if keyLen < 0 || 13+keyLen > payloadLen {
+		rec := walRecord{op: payload[0], gen: binary.LittleEndian.Uint64(payload[1:]), file: path}
+		// The fixed fields after op+generation depend on the op: walOpPutSeq
+		// interposes an 8-byte explicit sequence before the key length.
+		body := 13
+		if rec.op == walOpPutSeq {
+			body = 21
+			if payloadLen < body {
+				return recs, true, nil
+			}
+			rec.seq = binary.LittleEndian.Uint64(payload[9:])
+		}
+		keyLen := int(binary.LittleEndian.Uint32(payload[body-4:]))
+		if keyLen < 0 || body+keyLen > payloadLen {
 			return recs, true, nil
 		}
 		off += walHeaderSize + payloadLen
-		recs = append(recs, walRecord{
-			op:   payload[0],
-			gen:  binary.LittleEndian.Uint64(payload[1:]),
-			key:  string(payload[13 : 13+keyLen]),
-			xml:  string(payload[13+keyLen:]),
-			file: path,
-			end:  int64(off),
-		})
+		rec.key = string(payload[body : body+keyLen])
+		rec.xml = string(payload[body+keyLen:])
+		rec.end = int64(off)
+		recs = append(recs, rec)
 	}
 	return recs, false, nil
 }
@@ -413,6 +444,10 @@ func (c *Collection) recoverDurable(dir string) error {
 		switch r.op {
 		case walOpPut:
 			if _, err := c.PutXML(r.key, strings.NewReader(r.xml)); err != nil {
+				return fmt.Errorf("xmldb: replaying put %q at generation %d: %w", r.key, r.gen, err)
+			}
+		case walOpPutSeq:
+			if _, err := c.PutXMLAt(r.key, strings.NewReader(r.xml), r.seq); err != nil {
 				return fmt.Errorf("xmldb: replaying put %q at generation %d: %w", r.key, r.gen, err)
 			}
 		case walOpDelete:
@@ -552,8 +587,16 @@ func (c *Collection) CloseWAL() error {
 // unchanged. Under SyncAlways the record is on stable storage when append
 // returns.
 func (ws *walSet) append(st *walCounters, si int, op byte, gen uint64, key, xml string) error {
+	return ws.appendRecord(st, si, encodeWALRecord(op, gen, key, xml))
+}
+
+// appendSeq journals a walOpPutSeq mutation (see append).
+func (ws *walSet) appendSeq(st *walCounters, si int, op byte, gen, seq uint64, key, xml string) error {
+	return ws.appendRecord(st, si, encodeWALRecordSeq(op, gen, seq, key, xml))
+}
+
+func (ws *walSet) appendRecord(st *walCounters, si int, rec []byte) error {
 	w := ws.writers[si]
-	rec := encodeWALRecord(op, gen, key, xml)
 	w.mu.Lock()
 	if w.f == nil {
 		w.mu.Unlock()

@@ -316,10 +316,40 @@ func (c *Collection) PutXML(key string, r io.Reader) (*tree.Tree, error) {
 	return t, nil
 }
 
+// PutXMLAt is PutXML with an explicit global insertion sequence: a fresh key
+// is stored at position seq instead of the collection's own counter, and
+// nextSeq advances past it. A routing tier uses it to assign cluster-wide
+// positions at ingest time, so documents scattered across nodes merge back
+// in one total order (docs/CLUSTER.md). Replacing an existing key keeps the
+// document's original position, exactly like PutXML.
+func (c *Collection) PutXMLAt(key string, r io.Reader, seq uint64) (*tree.Tree, error) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	t, err := c.col.ParseXML(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.storeLockedAt(key, t, seq, true); err != nil {
+		c.removeTree(t)
+		return nil, err
+	}
+	return t, nil
+}
+
 // PutTree stores an already-built tree under key. The tree must have been
 // created in this collection's tree.Collection (use NewDocument) or is
 // cloned in.
 func (c *Collection) PutTree(key string, t *tree.Tree) error {
+	return c.putTreeAt(key, t, 0, false)
+}
+
+// PutTreeAt is PutTree with an explicit global insertion sequence (see
+// PutXMLAt).
+func (c *Collection) PutTreeAt(key string, t *tree.Tree, seq uint64) error {
+	return c.putTreeAt(key, t, seq, true)
+}
+
+func (c *Collection) putTreeAt(key string, t *tree.Tree, seq uint64, explicitSeq bool) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	added := false
@@ -328,7 +358,7 @@ func (c *Collection) PutTree(key string, t *tree.Tree) error {
 		c.col.Add(t)
 		added = true
 	}
-	if err := c.storeLocked(key, t); err != nil {
+	if err := c.storeLockedAt(key, t, seq, explicitSeq); err != nil {
 		// Undo only our own membership change: a tree that already belonged
 		// to c.col before the call (e.g. one stored under another key) must
 		// survive a rejected put.
@@ -340,6 +370,15 @@ func (c *Collection) PutTree(key string, t *tree.Tree) error {
 	return nil
 }
 
+// NextSeq returns the next global insertion sequence the collection would
+// assign. A router seeds its cluster-wide sequence counter from the maximum
+// NextSeq across nodes.
+func (c *Collection) NextSeq() uint64 {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return c.nextSeq
+}
+
 // storeLocked installs a tree (already present in c.col) under key in the
 // owning shard, enforcing the collection-wide size limit. If the key is
 // occupied, the old document is replaced only when the new one fits. With a
@@ -347,6 +386,14 @@ func (c *Collection) PutTree(key string, t *tree.Tree) error {
 // any in-memory state changes: a failed append rejects the put with the
 // collection untouched. Caller holds writeMu.
 func (c *Collection) storeLocked(key string, t *tree.Tree) error {
+	return c.storeLockedAt(key, t, 0, false)
+}
+
+// storeLockedAt is storeLocked with an optional explicit insertion sequence.
+// With explicitSeq, a fresh key is stored at position seq (journaled as a
+// walOpPutSeq record so recovery reproduces it) and nextSeq advances past
+// seq; a replacement keeps the entry's original position either way.
+func (c *Collection) storeLockedAt(key string, t *tree.Tree, seq uint64, explicitSeq bool) error {
 	xml := t.XMLString()
 	size := len(xml)
 	si := c.shardIndex(key)
@@ -363,7 +410,13 @@ func (c *Collection) storeLocked(key string, t *tree.Tree) error {
 			ErrCollectionFull, c.name, c.curBytes-oldSize, size, c.maxBytes)
 	}
 	if c.wal != nil {
-		if err := c.wal.append(&c.walc, si, walOpPut, c.generation.Load()+1, key, xml); err != nil {
+		var err error
+		if explicitSeq && !replacing {
+			err = c.wal.appendSeq(&c.walc, si, walOpPutSeq, c.generation.Load()+1, seq, key, xml)
+		} else {
+			err = c.wal.append(&c.walc, si, walOpPut, c.generation.Load()+1, key, xml)
+		}
+		if err != nil {
 			return fmt.Errorf("xmldb: wal append %s: %w", key, err)
 		}
 	}
@@ -379,20 +432,45 @@ func (c *Collection) storeLocked(key string, t *tree.Tree) error {
 		c.removeTree(old.tree)
 		delete(sh.byRoot, old.tree.Root)
 		sh.invalidateIndexes()
+		t.SrcSeq = old.seq
 		old.tree = t
 		old.size = size
 		sh.byRoot[t.Root] = old
 	} else {
-		e := &docEntry{key: key, seq: c.nextSeq, tree: t, size: size}
-		c.nextSeq++
+		newSeq := c.nextSeq
+		if explicitSeq {
+			newSeq = seq
+		}
+		t.SrcSeq = newSeq
+		e := &docEntry{key: key, seq: newSeq, tree: t, size: size}
 		sh.docs[key] = e
-		sh.entries = append(sh.entries, e)
 		sh.byRoot[t.Root] = e
-		// A fresh key lands at the end of insertion order, so appending its
-		// nodes to the posting lists reproduces exactly what a full rebuild
-		// would produce — the indexes (and the planner statistics derived
-		// from them) stay warm under insert load.
-		sh.indexTreeLocked(t)
+		if n := len(sh.entries); n > 0 && sh.entries[n-1].seq > newSeq {
+			// Out-of-order arrival (only possible with explicit sequencing):
+			// insert at the sorted position so cursors and the scatter-gather
+			// merge keep seeing ascending sequences, and rebuild the posting
+			// lists on the next query — incremental appends assume the new
+			// document is last in insertion order.
+			at := sort.Search(n, func(i int) bool { return sh.entries[i].seq > newSeq })
+			sh.entries = append(sh.entries, nil)
+			copy(sh.entries[at+1:], sh.entries[at:])
+			sh.entries[at] = e
+			sh.invalidateIndexes()
+		} else {
+			sh.entries = append(sh.entries, e)
+			// A fresh key lands at the end of insertion order, so appending its
+			// nodes to the posting lists reproduces exactly what a full rebuild
+			// would produce — the indexes (and the planner statistics derived
+			// from them) stay warm under insert load.
+			sh.indexTreeLocked(t)
+		}
+	}
+	if explicitSeq {
+		if seq+1 > c.nextSeq {
+			c.nextSeq = seq + 1
+		}
+	} else if !replacing {
+		c.nextSeq++
 	}
 	c.curBytes += size
 	sh.bytes += size
