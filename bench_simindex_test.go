@@ -1,0 +1,233 @@
+package toss
+
+// Similarity candidate index benchmarks: the same limit-10 ~ selection and
+// ranked limit-10 query over a 5000-document corpus, once through the
+// planner's simindex access path (n-gram candidate terms → value-index
+// postings → verify) and once with the planner disabled (cluster-expansion /
+// scan candidate path). Answers are byte-identical by construction — the
+// index proposes a superset of the matching terms and the evaluator verdict
+// is the same function — so the whole difference is how many documents each
+// path scores.
+//
+//	go test -run NONE -bench 'BenchmarkSimIndex' -count 10 | benchstat -
+//	go test -run TestWriteBenchSimIndexJSON -v
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/pattern"
+	"repro/internal/similarity"
+)
+
+const (
+	simIndexBenchPapers = 5000
+	simIndexBenchShards = 4
+	simIndexBenchLimit  = 10
+)
+
+// simIndexBenchSystem builds the one-paper-per-document corpus with the
+// Levenshtein measure at eps 2, the configuration whose dynamic ~ fallback
+// the n-gram filter covers. The author pool is far smaller than the paper
+// count, so author frequencies are heavily skewed — many documents share the
+// hot names the probe literal is a typo of.
+func simIndexBenchSystem(b testing.TB) (*core.System, *datagen.Corpus) {
+	b.Helper()
+	gen := datagen.DefaultConfig(simIndexBenchPapers)
+	gen.Seed = 11
+	corpus := datagen.Generate(gen)
+	s := core.NewSystem()
+	s.DB.SetDefaultShards(simIndexBenchShards)
+	dblp, err := s.AddInstance("dblp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dblp.Col.SetMaxBytes(0)
+	for i := range corpus.Papers {
+		key := fmt.Sprintf("dblp-%05d", i)
+		if _, err := dblp.Col.PutXML(key, strings.NewReader(corpus.DBLPString(corpus.Papers[i:i+1]))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Build(similarity.Levenshtein{}, 2); err != nil {
+		b.Fatal(err)
+	}
+	return s, corpus
+}
+
+// simIndexBenchPattern probes for a one-character typo of a real author name:
+// a term the ontology does not know, so the planner-off path cannot narrow by
+// the value index and the simindex's n-gram channel is what prunes.
+func simIndexBenchPattern(corpus *datagen.Corpus) *pattern.Tree {
+	name := []rune(corpus.Authors[0].Canonical())
+	lit := string(append(append([]rune(nil), name[:len(name)/2]...), name[len(name)/2+1:]...))
+	return pattern.MustParse(fmt.Sprintf(
+		`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ %q`, lit))
+}
+
+func benchmarkSimIndexQuery(b *testing.B, s *core.System, pat *pattern.Tree, ranked, noPlanner bool) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Query(ctx, core.QueryRequest{
+			Pattern: pat, Instance: "dblp", Adorn: []int{1},
+			Ranked: ranked, Limit: simIndexBenchLimit, NoPlanner: noPlanner,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ranked {
+			if len(res.Ranked) == 0 {
+				b.Fatal("ranked query matched nothing")
+			}
+		} else if len(res.Answers) == 0 {
+			b.Fatal("query matched nothing")
+		}
+	}
+}
+
+func BenchmarkSimIndexLimit(b *testing.B) {
+	s, corpus := simIndexBenchSystem(b)
+	pat := simIndexBenchPattern(corpus)
+	b.Run("mode=simindex", func(b *testing.B) { benchmarkSimIndexQuery(b, s, pat, false, false) })
+	b.Run("mode=scan", func(b *testing.B) { benchmarkSimIndexQuery(b, s, pat, false, true) })
+}
+
+func BenchmarkSimIndexRanked(b *testing.B) {
+	s, corpus := simIndexBenchSystem(b)
+	pat := simIndexBenchPattern(corpus)
+	b.Run("mode=simindex", func(b *testing.B) { benchmarkSimIndexQuery(b, s, pat, true, false) })
+	b.Run("mode=scan", func(b *testing.B) { benchmarkSimIndexQuery(b, s, pat, true, true) })
+}
+
+// TestWriteBenchSimIndexJSON measures what the similarity candidate index
+// buys and records it in BENCH_simindex.json: documents scored by the
+// indexed ranked limit-10 query against the planner-off candidate scan on
+// the same corpus, plus ns/op for both plans. CI asserts the ≥10x reduction
+// and this test asserts the answers are byte-identical, so a regression that
+// silently drops the access path — or makes it lossy — fails the build.
+func TestWriteBenchSimIndexJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark emission skipped in -short mode")
+	}
+	s, corpus := simIndexBenchSystem(t)
+	pat := simIndexBenchPattern(corpus)
+	ctx := context.Background()
+
+	// Traced ranked runs give the docs-scored counts for both plans.
+	idx, err := s.Query(ctx, core.QueryRequest{
+		Pattern: pat, Instance: "dblp", Adorn: []int{1}, Ranked: true, Limit: simIndexBenchLimit, Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Stats.Sim == nil {
+		t.Fatal("ranked limit query did not engage the simindex access path")
+	}
+	scan, err := s.Query(ctx, core.QueryRequest{
+		Pattern: pat, Instance: "dblp", Adorn: []int{1}, Ranked: true, Limit: simIndexBenchLimit,
+		NoPlanner: true, Trace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Byte-identical answers: same scores, same witness XML, same order.
+	if len(idx.Ranked) != len(scan.Ranked) {
+		t.Fatalf("simindex returned %d ranked answers, scan %d", len(idx.Ranked), len(scan.Ranked))
+	}
+	if len(idx.Ranked) == 0 {
+		t.Fatal("probe literal matched nothing — bench corpus broken")
+	}
+	for i := range idx.Ranked {
+		if idx.Ranked[i].Score != scan.Ranked[i].Score ||
+			idx.Ranked[i].Tree.XMLString() != scan.Ranked[i].Tree.XMLString() {
+			t.Fatalf("rank %d differs between simindex and scan paths", i)
+		}
+	}
+	// The selection path must agree too.
+	selIdx, err := s.Query(ctx, core.QueryRequest{
+		Pattern: pat, Instance: "dblp", Adorn: []int{1}, Limit: simIndexBenchLimit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	selScan, err := s.Query(ctx, core.QueryRequest{
+		Pattern: pat, Instance: "dblp", Adorn: []int{1}, Limit: simIndexBenchLimit, NoPlanner: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(selIdx.Answers) != len(selScan.Answers) {
+		t.Fatalf("limited selection: simindex %d answers, scan %d", len(selIdx.Answers), len(selScan.Answers))
+	}
+	for i := range selIdx.Answers {
+		if selIdx.Answers[i].XMLString() != selScan.Answers[i].XMLString() {
+			t.Fatalf("limited selection answer %d differs between paths", i)
+		}
+	}
+
+	type entry struct {
+		NsPerOp    int64 `json:"ns_per_op"`
+		AllocsOp   int64 `json:"allocs_per_op"`
+		N          int   `json:"n"`
+		DocsScored int   `json:"docs_scored"`
+	}
+	ri := testing.Benchmark(func(b *testing.B) { benchmarkSimIndexQuery(b, s, pat, true, false) })
+	rs := testing.Benchmark(func(b *testing.B) { benchmarkSimIndexQuery(b, s, pat, true, true) })
+	report := struct {
+		Papers         int     `json:"papers"`
+		Shards         int     `json:"shards"`
+		Limit          int     `json:"limit"`
+		TotalDocs      int     `json:"total_docs"`
+		CandidateTerms int     `json:"candidate_terms"`
+		MatchedTerms   int     `json:"matched_terms"`
+		Indexed        entry   `json:"indexed"`
+		Scan           entry   `json:"scan"`
+		ScoredReduct   float64 `json:"docs_scored_reduction"`
+		Speedup        float64 `json:"speedup"`
+	}{
+		Papers:         simIndexBenchPapers,
+		Shards:         simIndexBenchShards,
+		Limit:          simIndexBenchLimit,
+		TotalDocs:      idx.Stats.TotalDocs,
+		CandidateTerms: idx.Stats.Sim.CandidateTerms,
+		MatchedTerms:   idx.Stats.Sim.MatchedTerms,
+		Indexed: entry{
+			NsPerOp: ri.NsPerOp(), AllocsOp: ri.AllocsPerOp(), N: ri.N,
+			DocsScored: idx.Stats.DocsEvaluated,
+		},
+		Scan: entry{
+			NsPerOp: rs.NsPerOp(), AllocsOp: rs.AllocsPerOp(), N: rs.N,
+			DocsScored: scan.Stats.DocsEvaluated,
+		},
+	}
+	if report.Indexed.DocsScored > 0 {
+		report.ScoredReduct = float64(report.Scan.DocsScored) / float64(report.Indexed.DocsScored)
+	}
+	if ri.NsPerOp() > 0 {
+		report.Speedup = float64(rs.NsPerOp()) / float64(ri.NsPerOp())
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_simindex.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("limit-%d ~: simindex scores %d of %d docs, scan scores %d (%.1fx fewer), speedup %.2fx",
+		simIndexBenchLimit, report.Indexed.DocsScored, report.TotalDocs,
+		report.Scan.DocsScored, report.ScoredReduct, report.Speedup)
+	if report.ScoredReduct < 10 {
+		t.Errorf("simindex scored %d docs vs scan %d — reduction %.1fx is below the 10x floor",
+			report.Indexed.DocsScored, report.Scan.DocsScored, report.ScoredReduct)
+	}
+}

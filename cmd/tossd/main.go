@@ -79,6 +79,7 @@ func main() {
 	eps := flag.Float64("eps", 3, "similarity threshold epsilon")
 	rules := flag.String("rules", "", "DBA rule file to merge into the lexicon (isa:/part:/syn: lines)")
 	parallelism := flag.Int("parallelism", 0, "embedding-search worker count per query (0 = one per shard)")
+	minSimIndexDocs := flag.Int("min-simindex-docs", 0, "document count below which ~ queries skip the similarity candidate index (0 = planner default)")
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "hash-partitioned shards per collection (1 reproduces the unsharded layout; answers are identical at any count)")
 	maxInFlight := flag.Int("max-inflight", 4, "maximum concurrently executing queries")
 	maxQueue := flag.Int("max-queue", -1, "maximum queries waiting for a slot before 429 (-1 = 2×max-inflight)")
@@ -137,6 +138,9 @@ func main() {
 		sys.Parallelism = *parallelism
 	}
 	sys.DB.SetDefaultShards(*shards)
+	if *minSimIndexDocs > 0 {
+		sys.Planner.SetMinSimIndexDocs(*minSimIndexDocs)
+	}
 	if *rules != "" {
 		if err := sys.Lexicon.LoadRulesFile(*rules); err != nil {
 			log.Fatal(err)

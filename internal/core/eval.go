@@ -196,6 +196,20 @@ func (e *Evaluator) similar(x, y string) bool {
 	return similarity.Within(e.sys.Measure, x, y, e.sys.Epsilon)
 }
 
+// Similar reports x ~ y under the full satisfaction relation, memoized like
+// EvalAtomic's OpSim case. The similarity candidate index uses it as its
+// verifier stage: the index proposes terms, Similar delivers the verdict, so
+// accelerated answers can never diverge from evaluated ones.
+func (e *Evaluator) Similar(x, y string) bool {
+	key := [2]string{x, y}
+	if v, ok := e.simMemo[key]; ok {
+		return v
+	}
+	v := e.similar(x, y)
+	e.simMemo[key] = v
+	return v
+}
+
 // SimilarStrings returns every ontology term sharing an SEO cluster with v
 // (including v itself when known); the Query Executor expands ~ conditions
 // into XPath disjunctions with it.

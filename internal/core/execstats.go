@@ -38,6 +38,10 @@ type ExecStats struct {
 	// Join pairing (nil for selections).
 	Join *JoinTrace
 
+	// Similarity candidate-index probe (nil unless the planner routed a ~
+	// predicate through internal/simindex).
+	Sim *SimTrace
+
 	// Embedding-search stage.
 	Workers       int   // parallel workers used
 	WorkerDocs    []int // documents evaluated per worker (utilization)
@@ -74,6 +78,31 @@ type ExecStats struct {
 // ScanModeStream marks a trace whose selection ran as a streaming shard
 // scan (limit pushdown) instead of the materialized candidate pre-filter.
 const ScanModeStream = "stream-scan"
+
+// ScanModeSimIndex marks a trace whose candidate documents came from the
+// similarity candidate index (a simindex probe) instead of the XPath
+// pre-filter intersection or a streaming shard scan.
+const ScanModeSimIndex = "simindex"
+
+// SimTrace records one similarity candidate-index probe: what was probed,
+// how many terms each filter channel proposed, how many survived
+// verification, and what the planner expected.
+type SimTrace struct {
+	Tag     string
+	Literal string
+
+	ClusterTerms   int // SEO ε-cluster terms probed exactly (no verification)
+	CandidateTerms int // n-gram/phonetic candidates proposed (pre-verification)
+	VerifiedTerms  int // candidates that passed the measure/SEO verifier
+	MatchedTerms   int // terms with nodes under Tag, across all channels
+	Nodes          int // value-index postings visited
+	Docs           int // candidate documents before the residual path filter
+	ShardsTouched  int
+
+	EstDocs   float64 // planner's candidate-document estimate
+	ProbeCost float64
+	AltCost   float64
+}
 
 // OperatorTrace is one streaming operator's estimated-vs-actual row count:
 // how many rows the planner expected it to emit before the pipeline
@@ -211,6 +240,21 @@ func (st *ExecStats) String() string {
 		for i, op := range st.Operators {
 			fmt.Fprintf(&b, "stream:   [%d] %s estimated=%.1f rows actual=%d\n",
 				i+1, op.Name, op.Est, op.Actual)
+		}
+	}
+	if sim := st.Sim; sim != nil {
+		fmt.Fprintf(&b, "simindex: %s ~ %q cluster=%d candidates=%d verified=%d matched=%d nodes=%d docs=%d",
+			sim.Tag, sim.Literal, sim.ClusterTerms, sim.CandidateTerms,
+			sim.VerifiedTerms, sim.MatchedTerms, sim.Nodes, sim.Docs)
+		if sim.ShardsTouched > 1 {
+			fmt.Fprintf(&b, " shards=%d", sim.ShardsTouched)
+		}
+		b.WriteByte('\n')
+		if st.ScanMode == ScanModeSimIndex {
+			for i, op := range st.Operators {
+				fmt.Fprintf(&b, "stream:   [%d] %s estimated=%.1f rows actual=%d\n",
+					i+1, op.Name, op.Est, op.Actual)
+			}
 		}
 	}
 	for _, p := range st.Paths {

@@ -226,11 +226,11 @@ type joinStream struct {
 	sl    []int
 	st    *ExecStats
 
-	atom   *pattern.Atomic     // cross-side hash key atom; nil → nested loop
+	atom   *pattern.Atomic // cross-side hash key atom; nil → nested loop
 	built  bool
-	table  map[string][]int    // right-side hash table (hash join only)
-	lkeys  [][]string          // left-side keys, computed lazily per doc
-	probed map[string]bool     // distinct probe keys seen (trace)
+	table  map[string][]int // right-side hash table (hash join only)
+	lkeys  [][]string       // left-side keys, computed lazily per doc
+	probed map[string]bool  // distinct probe keys seen (trace)
 	trace  *JoinTrace
 
 	dst    *tree.Collection

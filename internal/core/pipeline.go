@@ -58,6 +58,13 @@ func (s *System) buildSelectStream(ctx context.Context, req QueryRequest, st *Ex
 		st.RewriteTime = time.Since(t0)
 	}
 
+	// Similarity candidate index: when the planner costs a ~ predicate's
+	// index probe below the scan alternatives, candidates come from term
+	// postings instead of any document scan (sublinear in documents).
+	if sp := s.planSimProbe(in, req.Pattern); sp != nil {
+		return s.simSelectStream(ctx, req, in, sp, paths, st)
+	}
+
 	if req.Limit > 0 {
 		if d := s.streamScanDecision(in.Col, paths, req.Limit); d.Stream {
 			cursors := in.Col.ShardCursors()
@@ -152,14 +159,14 @@ func (s *System) buildJoinStream(ctx context.Context, req QueryRequest, st *Exec
 // finalizeStreamTrace fills the per-operator actual row counts once the
 // pipeline has stopped (drained, limited out, or closed early).
 func finalizeStreamTrace(st *ExecStats) {
-	if st == nil || st.ScanMode != ScanModeStream {
+	if st == nil || (st.ScanMode != ScanModeStream && st.ScanMode != ScanModeSimIndex) {
 		return
 	}
 	for i := range st.Operators {
 		switch st.Operators[i].Name {
 		case "scan":
 			st.Operators[i].Actual = st.DocsScanned
-		case "filter":
+		case "simprobe", "filter":
 			st.Operators[i].Actual = st.CandidateDocs
 		case "eval", "limit":
 			st.Operators[i].Actual = st.Answers

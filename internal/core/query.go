@@ -209,13 +209,25 @@ func (s *System) queryRanked(ctx context.Context, req QueryRequest) (*QueryResul
 	if req.Analyze {
 		return nil, fmt.Errorf("core: ranked queries do not support analyze")
 	}
-	ranked, total, err := s.runSelectRanked(ctx, req.Instance, req.Pattern, req.Adorn, req.Limit)
+	var st *ExecStats
+	if req.Trace {
+		st = newExecStats("ranked", req.Instance)
+		st.Limit = req.Limit
+	}
+	t0 := time.Now()
+	ranked, total, err := s.runSelectRanked(ctx, req.Instance, req.Pattern, req.Adorn, req.Limit, st)
 	if err != nil {
 		return nil, err
 	}
 	res := &QueryResult{Ranked: ranked, Limit: req.Limit}
 	if req.Limit > 0 && total > req.Limit {
 		res.LimitHit = true
+	}
+	if st != nil {
+		st.TotalTime = time.Since(t0)
+		st.EvalTime = st.TotalTime - st.RewriteTime - st.PrefilterTime
+		st.LimitHit = res.LimitHit
+		res.Stats = st
 	}
 	return res, nil
 }

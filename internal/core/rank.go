@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/pattern"
 	"repro/internal/tax"
@@ -48,10 +49,13 @@ func (s *System) SelectRankedContext(ctx context.Context, instance string, p *pa
 // runSelectRanked is the ranked-selection pipeline behind Query, checking the
 // context between candidate documents. It returns the (possibly truncated)
 // ranking plus the total number of answers found. With limit > 0 a bounded
-// top-K heap keyed by (score, discovery order) replaces the full stable sort
-// — memory stays O(limit) however many answers exist, and the returned
-// prefix is exactly what stable-sorting everything and truncating produced.
-func (s *System) runSelectRanked(ctx context.Context, instance string, p *pattern.Tree, sl []int, limit int) ([]RankedAnswer, int, error) {
+// top-K heap keyed by (score, global insertion sequence, binding order)
+// replaces the full stable sort — memory stays O(limit) however many answers
+// exist, and the returned prefix is exactly what stable-sorting everything
+// and truncating produced. When the planner routes the ~ predicate through
+// the similarity candidate index, candidates come from term postings and the
+// heap's producer never materializes the full document set's evaluations.
+func (s *System) runSelectRanked(ctx context.Context, instance string, p *pattern.Tree, sl []int, limit int, st *ExecStats) ([]RankedAnswer, int, error) {
 	in := s.Instance(instance)
 	if in == nil {
 		return nil, 0, fmt.Errorf("core: unknown instance %q", instance)
@@ -59,9 +63,24 @@ func (s *System) runSelectRanked(ctx context.Context, instance string, p *patter
 	if s.Measure == nil {
 		return nil, 0, fmt.Errorf("core: system not built; no similarity measure")
 	}
-	cands, err := s.candidateDocs(ctx, in.Col, s.RewritePattern(p), nil)
+	t0 := time.Now()
+	paths := s.rewritePattern(p, st)
+	if st != nil {
+		st.RewriteTime = time.Since(t0)
+	}
+	t1 := time.Now()
+	var cands []*tree.Tree
+	var err error
+	if sp := s.planSimProbe(in, p); sp != nil {
+		cands, err = s.simCandidateDocs(ctx, in.Col, sp, paths, st)
+	} else {
+		cands, err = s.candidateDocs(ctx, in.Col, paths, st)
+	}
 	if err != nil {
 		return nil, 0, err
+	}
+	if st != nil {
+		st.PrefilterTime = time.Since(t1)
 	}
 	dst := tree.NewCollection()
 	c := tax.Compile(p)
@@ -78,7 +97,11 @@ func (s *System) runSelectRanked(ctx context.Context, instance string, p *patter
 		if err != nil {
 			return nil, 0, err
 		}
-		for _, b := range bindings {
+		if st != nil {
+			st.DocsEvaluated++
+			st.Embeddings += len(bindings)
+		}
+		for ord, b := range bindings {
 			wt := c.WitnessTree(dst, doc, b, sl)
 			if wt == nil {
 				continue
@@ -87,18 +110,26 @@ func (s *System) runSelectRanked(ctx context.Context, instance string, p *patter
 			if err != nil {
 				return nil, 0, err
 			}
-			top.add(RankedAnswer{Tree: wt, Score: score}, total)
+			top.add(RankedAnswer{Tree: wt, Score: score}, doc.SrcSeq, ord)
 			total++
 		}
+	}
+	if st != nil {
+		st.Answers = total
+		st.Workers = 1
 	}
 	return top.ranking(), total, nil
 }
 
 // topK accumulates ranked answers and produces the best k by ascending
-// (score, discovery index) — the order a stable sort on score gives. With
-// k <= 0 it keeps everything (the unlimited ranking). Internally a max-heap
-// of size k: the worst kept answer sits on top and is evicted as soon as a
-// better one arrives.
+// (score, global insertion sequence, within-document binding order) — the
+// order a stable sort on score gives when candidates arrive in document
+// order, and the same order internal/router's ranked gather produces, so
+// single-node and routed rankings break ties identically no matter what
+// order a candidate producer discovered the documents in. With k <= 0 it
+// keeps everything (the unlimited ranking). Internally a max-heap of size k:
+// the worst kept answer sits on top and is evicted as soon as a better one
+// arrives.
 type topK struct {
 	k     int
 	items []topKItem // heap-ordered when k > 0, insertion-ordered otherwise
@@ -106,21 +137,26 @@ type topK struct {
 
 type topKItem struct {
 	ans RankedAnswer
-	idx int // discovery index (stable-sort tie-break)
+	seq uint64 // document's global insertion sequence
+	ord int    // binding order within the document
 }
 
 func newTopK(k int) *topK { return &topK{k: k} }
 
-// worse reports whether a ranks after b (larger score, later discovery).
+// worse reports whether a ranks after b (larger score; ties by later
+// insertion sequence, then later binding).
 func (t *topK) worse(a, b topKItem) bool {
 	if a.ans.Score != b.ans.Score {
 		return a.ans.Score > b.ans.Score
 	}
-	return a.idx > b.idx
+	if a.seq != b.seq {
+		return a.seq > b.seq
+	}
+	return a.ord > b.ord
 }
 
-func (t *topK) add(a RankedAnswer, idx int) {
-	it := topKItem{ans: a, idx: idx}
+func (t *topK) add(a RankedAnswer, seq uint64, ord int) {
+	it := topKItem{ans: a, seq: seq, ord: ord}
 	if t.k <= 0 {
 		t.items = append(t.items, it)
 		return

@@ -1,0 +1,442 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datagen"
+	"repro/internal/pattern"
+	"repro/internal/similarity"
+	"repro/internal/tax"
+	"repro/internal/tree"
+)
+
+// buildSimIndexSystem builds a one-paper-per-document corpus system with the
+// given measure and the simindex gate forced open, so even these small test
+// corpora route eligible ~ predicates through the candidate index.
+func buildSimIndexSystem(t *testing.T, papers, shards int, m similarity.Measure, eps float64) (*System, *datagen.Corpus) {
+	t.Helper()
+	corpus := datagen.Generate(datagen.DefaultConfig(papers))
+	s := NewSystem()
+	s.DB.SetDefaultShards(shards)
+	dblp, err := s.AddInstance("dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range corpus.Papers {
+		key := fmt.Sprintf("dblp-%03d", i)
+		if _, err := dblp.Col.PutXML(key, strings.NewReader(corpus.DBLPString(corpus.Papers[i:i+1]))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Build(m, eps); err != nil {
+		t.Fatal(err)
+	}
+	s.Planner.SetMinSimIndexDocs(1)
+	return s, corpus
+}
+
+// fullScanSelect is the forced-full-scan reference: every document evaluated,
+// no planner, no index pre-filter of any kind — the ground truth the simindex
+// path and the planner-off cluster-expansion scan must both reproduce.
+func fullScanSelect(t *testing.T, s *System, instance string, p *pattern.Tree, sl []int) []*tree.Tree {
+	t.Helper()
+	in := s.Instance(instance)
+	if in == nil {
+		t.Fatalf("unknown instance %q", instance)
+	}
+	dst := tree.NewCollection()
+	c := tax.Compile(p)
+	ev := s.Evaluator()
+	var out []*tree.Tree
+	for _, doc := range in.Col.Docs() {
+		bindings, err := c.Embeddings(doc, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range bindings {
+			if wt := c.WitnessTree(dst, doc, b, sl); wt != nil {
+				out = append(out, wt)
+			}
+		}
+	}
+	return out
+}
+
+// fullScanRanked is the ranked counterpart: full scan, every binding scored,
+// stable-sorted by (score, insertion seq, binding order) — the exact order
+// runSelectRanked guarantees regardless of how candidates were produced.
+func fullScanRanked(t *testing.T, s *System, instance string, p *pattern.Tree, sl []int) []RankedAnswer {
+	t.Helper()
+	in := s.Instance(instance)
+	dst := tree.NewCollection()
+	c := tax.Compile(p)
+	ev := s.Evaluator()
+	simAtoms := simAtomsOf(p)
+	var items []topKItem
+	for _, doc := range in.Col.Docs() {
+		bindings, err := c.Embeddings(doc, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ord, b := range bindings {
+			wt := c.WitnessTree(dst, doc, b, sl)
+			if wt == nil {
+				continue
+			}
+			score, err := s.scoreBinding(simAtoms, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			items = append(items, topKItem{ans: RankedAnswer{Tree: wt, Score: score}, seq: doc.SrcSeq, ord: ord})
+		}
+	}
+	tk := newTopK(0)
+	sort.Slice(items, func(i, j int) bool { return tk.worse(items[j], items[i]) })
+	out := make([]RankedAnswer, len(items))
+	for i, it := range items {
+		out[i] = it.ans
+	}
+	return out
+}
+
+func sameRanked(a, b []RankedAnswer) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Score != b[i].Score || !tree.Equal(a[i].Tree, b[i].Tree) {
+			return false
+		}
+	}
+	return true
+}
+
+// typoOf injects idx%3 edits (delete, substitute, transpose-ish) into a name,
+// producing literals that are usually unknown to the ontology so the probe's
+// dynamic n-gram channel — not just the exact cluster channel — is exercised.
+func typoOf(name string, idx int) string {
+	r := []rune(name)
+	if len(r) < 4 {
+		return name
+	}
+	switch idx % 4 {
+	case 0:
+		return name // exact: known term, cluster channel
+	case 1:
+		return string(append(append([]rune(nil), r[:len(r)/2]...), r[len(r)/2+1:]...)) // deletion
+	case 2:
+		r[len(r)/3] = 'x' // substitution
+		return string(r)
+	default:
+		r[1], r[2] = r[2], r[1] // transposition (distance 2 for Levenshtein)
+		return string(r)
+	}
+}
+
+// TestSimIndexSelectEquivalenceQuick is the satellite property: for random
+// author literals (exact and typo'd), at shard counts 1, 2 and 7, the
+// simindex-accelerated selection (planner on, gate forced open), the
+// planner-off cluster-expansion scan and a forced full scan must return
+// byte-identical answers, and a limited query must be a prefix.
+func TestSimIndexSelectEquivalenceQuick(t *testing.T) {
+	shardCounts := []int{1, 2, 7}
+	systems := make([]*System, len(shardCounts))
+	var corpus *datagen.Corpus
+	for i, n := range shardCounts {
+		systems[i], corpus = buildSimIndexSystem(t, 25, n, similarity.Levenshtein{}, 2)
+	}
+	authors := make([]string, 0, len(corpus.Authors))
+	for _, a := range corpus.Authors {
+		authors = append(authors, a.Canonical())
+	}
+	ctx := context.Background()
+
+	simEngaged := false
+	f := func(aIdx, typoSel, limSel uint8) bool {
+		lit := typoOf(authors[int(aIdx)%len(authors)], int(typoSel))
+		src := fmt.Sprintf(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ %q`, lit)
+		p, perr := pattern.Parse(src)
+		if perr != nil {
+			t.Fatalf("bad generated pattern %q: %v", src, perr)
+		}
+
+		want := fullScanSelect(t, systems[0], "dblp", p, []int{1})
+		for i, s := range systems {
+			res, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, Trace: true})
+			if err != nil {
+				t.Fatalf("%s: shards=%d: %v", src, shardCounts[i], err)
+			}
+			if res.Stats != nil && res.Stats.Sim != nil {
+				simEngaged = true
+			}
+			off, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, NoPlanner: true})
+			if err != nil {
+				t.Fatalf("%s: shards=%d planner-off: %v", src, shardCounts[i], err)
+			}
+			if !sameTrees(want, res.Answers) || !sameTrees(want, off.Answers) {
+				t.Logf("%s: shards=%d: simindex %d / planner-off %d answers vs full scan %d",
+					src, shardCounts[i], len(res.Answers), len(off.Answers), len(want))
+				return false
+			}
+
+			limit := 1 + int(limSel)%(len(want)+2)
+			lres, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, Limit: limit})
+			if err != nil {
+				t.Fatalf("%s: shards=%d limit=%d: %v", src, shardCounts[i], limit, err)
+			}
+			wantLim := want
+			if limit < len(wantLim) {
+				wantLim = wantLim[:limit]
+			}
+			if !sameTrees(wantLim, lres.Answers) {
+				t.Logf("%s: shards=%d limit=%d: not a prefix (%d answers, ref %d)",
+					src, shardCounts[i], limit, len(lres.Answers), len(want))
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(47))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !simEngaged {
+		t.Error("no query ever routed through the simindex — the property tested nothing")
+	}
+}
+
+// TestSimIndexRankedEquivalenceQuick drives the same property through ranked
+// selection: the simindex-fed top-K heap must reproduce the full-scan
+// stable-sort ranking — scores, trees and tie-breaks — and a limited ranking
+// must be its exact prefix.
+func TestSimIndexRankedEquivalenceQuick(t *testing.T) {
+	shardCounts := []int{1, 2, 7}
+	systems := make([]*System, len(shardCounts))
+	var corpus *datagen.Corpus
+	for i, n := range shardCounts {
+		systems[i], corpus = buildSimIndexSystem(t, 25, n, similarity.Levenshtein{}, 2)
+	}
+	authors := make([]string, 0, len(corpus.Authors))
+	for _, a := range corpus.Authors {
+		authors = append(authors, a.Canonical())
+	}
+	ctx := context.Background()
+
+	f := func(aIdx, typoSel, limSel uint8) bool {
+		lit := typoOf(authors[int(aIdx)%len(authors)], int(typoSel))
+		src := fmt.Sprintf(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ %q`, lit)
+		p, perr := pattern.Parse(src)
+		if perr != nil {
+			t.Fatalf("bad generated pattern %q: %v", src, perr)
+		}
+
+		want := fullScanRanked(t, systems[0], "dblp", p, []int{1})
+		for i, s := range systems {
+			for _, noPlanner := range []bool{false, true} {
+				res, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, Ranked: true, NoPlanner: noPlanner})
+				if err != nil {
+					t.Fatalf("%s: shards=%d noPlanner=%t: %v", src, shardCounts[i], noPlanner, err)
+				}
+				if !sameRanked(want, res.Ranked) {
+					t.Logf("%s: shards=%d noPlanner=%t: %d ranked answers vs full scan %d",
+						src, shardCounts[i], noPlanner, len(res.Ranked), len(want))
+					return false
+				}
+
+				limit := 1 + int(limSel)%(len(want)+2)
+				lres, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, Ranked: true, Limit: limit, NoPlanner: noPlanner})
+				if err != nil {
+					t.Fatalf("%s: shards=%d noPlanner=%t limit=%d: %v", src, shardCounts[i], noPlanner, limit, err)
+				}
+				wantLim := want
+				if limit < len(wantLim) {
+					wantLim = wantLim[:limit]
+				}
+				if !sameRanked(wantLim, lres.Ranked) {
+					t.Logf("%s: shards=%d noPlanner=%t limit=%d: top-K not the sort prefix",
+						src, shardCounts[i], noPlanner, limit)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(53))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimIndexMeasureCoverage pins the per-measure probe construction paths
+// (Damerau transposition bound, Soundex phonetic buckets with and without
+// slack) against the planner-off scan and the full scan, deterministically.
+func TestSimIndexMeasureCoverage(t *testing.T) {
+	cases := []struct {
+		name string
+		m    similarity.Measure
+		eps  float64
+	}{
+		{"damerau", similarity.Damerau{}, 2},
+		{"soundex-exact", similarity.Soundex{}, 0.5},
+		{"soundex-slack", similarity.Soundex{}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, corpus := buildSimIndexSystem(t, 20, 3, tc.m, tc.eps)
+			ctx := context.Background()
+			engaged := false
+			for idx := 0; idx < 8; idx++ {
+				lit := typoOf(corpus.Authors[idx%len(corpus.Authors)].Canonical(), idx)
+				src := fmt.Sprintf(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ %q`, lit)
+				p := pattern.MustParse(src)
+				want := fullScanSelect(t, s, "dblp", p, []int{1})
+				res, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, Trace: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Stats != nil && res.Stats.Sim != nil {
+					engaged = true
+				}
+				off, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, NoPlanner: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameTrees(want, res.Answers) || !sameTrees(want, off.Answers) {
+					t.Errorf("%s ~ %q: simindex %d / planner-off %d answers vs full scan %d",
+						tc.name, lit, len(res.Answers), len(off.Answers), len(want))
+				}
+			}
+			if !engaged {
+				t.Errorf("%s: no probe ever engaged the simindex", tc.name)
+			}
+		})
+	}
+}
+
+// TestSimIndexEngagesAndEvaluatesFewer pins the acceptance criterion's shape
+// at test scale: an eligible ~ selection must actually route through the
+// simindex access path (trace says so) and evaluate strictly fewer documents
+// than the collection holds, while returning the full scan's exact answers.
+func TestSimIndexEngagesAndEvaluatesFewer(t *testing.T) {
+	s, corpus := buildSimIndexSystem(t, 40, 4, similarity.Levenshtein{}, 2)
+	lit := typoOf(corpus.Authors[0].Canonical(), 1)
+	p := pattern.MustParse(fmt.Sprintf(
+		`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content ~ %q`, lit))
+	ctx := context.Background()
+
+	res, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st == nil || st.Sim == nil {
+		t.Fatal("eligible ~ query did not engage the simindex")
+	}
+	if st.Sim.Docs >= st.TotalDocs {
+		t.Errorf("simindex proposed %d of %d docs — no pruning", st.Sim.Docs, st.TotalDocs)
+	}
+	if st.CandidateDocs >= st.TotalDocs {
+		t.Errorf("candidates %d of %d docs — no pruning", st.CandidateDocs, st.TotalDocs)
+	}
+	want := fullScanSelect(t, s, "dblp", p, []int{1})
+	if len(want) == 0 {
+		t.Fatal("typo literal matched nothing — corpus broken")
+	}
+	if !sameTrees(want, res.Answers) {
+		t.Fatalf("simindex answers differ from full scan (%d vs %d)", len(res.Answers), len(want))
+	}
+	rendered := st.String()
+	for _, frag := range []string{"simindex:", "candidates=", "verified="} {
+		if !strings.Contains(rendered, frag) {
+			t.Errorf("trace rendering missing %q:\n%s", frag, rendered)
+		}
+	}
+
+	// Limited run: the simindex stream shape with per-operator rows.
+	lres, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, Limit: 1, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lres.Stats.ScanMode != ScanModeSimIndex {
+		t.Errorf("limited run scan mode %q, want %q", lres.Stats.ScanMode, ScanModeSimIndex)
+	}
+	if len(lres.Stats.Operators) == 0 || lres.Stats.Operators[0].Name != "simprobe" {
+		t.Errorf("limited run operator trace %+v missing simprobe", lres.Stats.Operators)
+	}
+	if !sameTrees(want[:1], lres.Answers) {
+		t.Error("limited simindex run is not a prefix of the full answer")
+	}
+
+	// Ranked run: candidates come from the index, so strictly fewer documents
+	// are evaluated than the collection holds.
+	rres, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, Ranked: true, Limit: 5, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.Stats == nil || rres.Stats.Sim == nil {
+		t.Fatal("ranked query did not engage the simindex")
+	}
+	if rres.Stats.DocsEvaluated >= s.Instance("dblp").Col.DocCount() {
+		t.Errorf("ranked run evaluated %d of %d docs — candidate set not pruned",
+			rres.Stats.DocsEvaluated, s.Instance("dblp").Col.DocCount())
+	}
+}
+
+// TestTopKTieBreakInsertionOrderInvariance is the satellite-2 regression: the
+// ranking's tie-break is (score, global insertion seq, binding order) — a
+// property of the answers, not of the order the producer discovered them — so
+// feeding the same scored answers to the heap in any order must produce the
+// identical ranking, at every K.
+func TestTopKTieBreakInsertionOrderInvariance(t *testing.T) {
+	dst := tree.NewCollection()
+	mk := func(tag string) *tree.Tree { return &tree.Tree{Root: dst.NewNode(tag, "")} }
+	type item struct {
+		ans RankedAnswer
+		seq uint64
+		ord int
+	}
+	var items []item
+	for i := 0; i < 12; i++ {
+		items = append(items, item{
+			// Only three distinct scores across twelve answers: ties dominate.
+			ans: RankedAnswer{Tree: mk(fmt.Sprintf("t%d", i)), Score: float64(i % 3)},
+			seq: uint64(i / 2),
+			ord: i % 2,
+		})
+	}
+	var want []RankedAnswer
+	for _, k := range []int{0, 1, 3, len(items), len(items) + 4} {
+		want = nil
+		rng := rand.New(rand.NewSource(59))
+		for trial := 0; trial < 6; trial++ {
+			shuffled := append([]item(nil), items...)
+			rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+			tk := newTopK(k)
+			for _, it := range shuffled {
+				tk.add(it.ans, it.seq, it.ord)
+			}
+			got := tk.ranking()
+			if want == nil {
+				want = got
+				for i := 1; i < len(got); i++ {
+					if got[i-1].Score > got[i].Score {
+						t.Fatalf("k=%d: ranking not sorted by score", k)
+					}
+				}
+				if k > 0 && len(got) != k && len(got) != len(items) {
+					t.Fatalf("k=%d: ranking has %d items", k, len(got))
+				}
+				continue
+			}
+			if !sameRanked(want, got) {
+				t.Errorf("k=%d trial %d: ranking depends on insertion order", k, trial)
+			}
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/pattern"
+	"repro/internal/planner"
+	"repro/internal/similarity"
+	"repro/internal/simindex"
+	"repro/internal/tree"
+	"repro/internal/xmldb"
+	"repro/internal/xpath"
+)
+
+// simProbePlan is a costed decision to serve one `~` predicate from the
+// similarity candidate index instead of scanning: the probe to run, the
+// predicate it covers, and the planner's estimates for the trace.
+type simProbePlan struct {
+	tag      string
+	lit      string
+	probe    xmldb.SimProbe
+	decision planner.SimDecision
+}
+
+// planSimProbe decides whether the query's candidate documents can come from
+// the similarity candidate index. It returns nil when no eligible `~` atom
+// exists, when the dynamic-similarity fallback cannot be covered by an index
+// filter, or when the planner's cost model prefers the existing paths.
+//
+// Eligibility mirrors the evaluator's satisfaction relation for ~ exactly:
+//
+//   - known–known pairs are answered by the SEO, covered by the exact-terms
+//     channel (SimilarStrings);
+//   - pairs involving an unknown term fall back to a direct distance check —
+//     covered by the n-gram filter (Levenshtein/Damerau, k = ⌊ε⌋) or the
+//     phonetic buckets (Soundex, ε < 2), then re-verified with the
+//     evaluator itself. Other measures, or configurations where an
+//     empty-content node could match, make the probe incomplete, so the
+//     planner refuses and execution falls back to the scan paths.
+func (s *System) planSimProbe(in *Instance, p *pattern.Tree) *simProbePlan {
+	if s.Planner == nil {
+		return nil
+	}
+	tag, lit, ok := findSimProbeAtom(p)
+	if !ok {
+		return nil
+	}
+	probe := xmldb.SimProbe{Tag: tag, Literal: lit, MaxEdit: -1}
+	if s.SEO != nil && s.DynamicSimilarity && s.Measure != nil && s.Epsilon >= 0 {
+		switch s.Measure.(type) {
+		case similarity.Levenshtein:
+			probe.MaxEdit = int(math.Floor(s.Epsilon))
+			probe.GramsPerEdit = simindex.GramsPerEdit
+		case similarity.Damerau:
+			probe.MaxEdit = int(math.Floor(s.Epsilon))
+			probe.GramsPerEdit = simindex.GramsPerEditTranspose
+		case similarity.Soundex:
+			if s.Epsilon >= 2 {
+				return nil // beyond one token of slack the buckets are incomplete
+			}
+			probe.Phonetic = true
+			probe.PhoneticSlack = s.Epsilon >= 1
+		default:
+			return nil // no complete filter for this measure's fallback
+		}
+		// Empty-content nodes are invisible to the value index and the
+		// simindex dictionary; if one could satisfy the predicate, the probe
+		// would silently drop its documents.
+		if similarity.Within(s.Measure, "", lit, s.Epsilon) {
+			return nil
+		}
+	}
+	cluster := s.SimilarStrings(lit)
+	sort.Strings(cluster) // deterministic probe order across runs
+	for _, t := range cluster {
+		if t == "" {
+			return nil // an empty cluster term can match empty-content nodes
+		}
+	}
+	probe.ExactTerms = cluster
+	sound := s.simRewriteSound(tag, lit) && len(cluster) <= maxXPathExpansion
+	dec := planner.PlanSimProbe(in.Col.Stats(), tag, len(cluster), sound, s.Planner.MinSimIndexDocsGate())
+	if !dec.UseIndex {
+		return nil
+	}
+	return &simProbePlan{tag: tag, lit: lit, probe: probe, decision: dec}
+}
+
+// findSimProbeAtom scans the conjunctive spine for `#n.content ~ "lit"`
+// where #n also carries a concrete tag constraint — the shape the candidate
+// index can serve. Atoms are visited in pattern order, so the choice is
+// deterministic.
+func findSimProbeAtom(p *pattern.Tree) (tag, lit string, ok bool) {
+	atoms := pattern.Atoms(conjunctiveOnly(p.Cond))
+	tagOf := func(label int) string {
+		for _, a := range atoms {
+			ls := a.Labels(nil)
+			if len(ls) != 1 || ls[0] != label {
+				continue
+			}
+			if a.Op == pattern.OpEq && a.X.Kind == pattern.TermAttr && a.X.Attr == "tag" &&
+				a.Y.Kind == pattern.TermValue && a.Y.Value != Wildcard {
+				return a.Y.Value
+			}
+		}
+		return "*"
+	}
+	for _, a := range atoms {
+		ls := a.Labels(nil)
+		if len(ls) != 1 {
+			continue
+		}
+		attr, val, op, okAtom := normalizeAtom(a)
+		if !okAtom || op != pattern.OpSim || attr != "content" || val == Wildcard || val == "" {
+			continue
+		}
+		if t := tagOf(ls[0]); t != "*" {
+			return t, val, true
+		}
+	}
+	return "", "", false
+}
+
+// simCandidateDocs produces the candidate documents of a planned similarity
+// probe: index postings (global insertion order), then the remaining
+// rewritten XPath paths applied per document — each is a necessary
+// condition, so the result is still a complete superset of the answer
+// documents, in the same order candidateDocs produces.
+func (s *System) simCandidateDocs(ctx context.Context, col *xmldb.Collection, sp *simProbePlan, paths []*xpath.Path, st *ExecStats) ([]*tree.Tree, error) {
+	ev := s.Evaluator()
+	lit := sp.lit
+	sp.probe.Verify = func(term string) bool { return ev.Similar(term, lit) }
+	docs, ps := col.SimCandidateDocs(sp.probe)
+	out := docs[:0]
+	for _, d := range docs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		keep := true
+		for _, p := range paths {
+			if len(p.Eval(d.Root)) == 0 {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, d)
+		}
+	}
+	if s.Planner != nil {
+		s.Planner.Observe(sp.decision.EstDocs, float64(ps.Docs))
+	}
+	if st != nil {
+		st.TotalDocs += col.DocCount()
+		st.CandidateDocs += len(out)
+		st.Sim = &SimTrace{
+			Tag: sp.tag, Literal: sp.lit,
+			ClusterTerms:   len(sp.probe.ExactTerms),
+			CandidateTerms: ps.CandidateTerms,
+			VerifiedTerms:  ps.VerifiedTerms,
+			MatchedTerms:   ps.MatchedTerms,
+			Nodes:          ps.Nodes,
+			Docs:           ps.Docs,
+			ShardsTouched:  ps.ShardsTouched,
+			EstDocs:        sp.decision.EstDocs,
+			ProbeCost:      sp.decision.ProbeCost,
+			AltCost:        sp.decision.AltCost,
+		}
+		planTrace := &PlanTrace{
+			Collection:    col.Name(),
+			EstCandidates: sp.decision.EstDocs,
+			Steps: []PlanStep{{
+				XPath:       fmt.Sprintf("simindex(%s ~ %q)", sp.tag, sp.lit),
+				Access:      planner.AccessSimIndex,
+				EstDocs:     sp.decision.EstDocs,
+				EstNodes:    sp.decision.EstNodes,
+				ActualDocs:  ps.Docs,
+				ActualNodes: ps.Nodes,
+			}},
+		}
+		if len(paths) > 0 {
+			planTrace.Steps = append(planTrace.Steps, PlanStep{
+				XPath:      fmt.Sprintf("%d residual path(s)", len(paths)),
+				Access:     planner.AccessRestricted,
+				EstDocs:    sp.decision.EstDocs,
+				ActualDocs: len(out),
+				TestedDocs: ps.Docs,
+			})
+		}
+		planTrace.ActualCandidates = len(out)
+		st.Plans = append(st.Plans, planTrace)
+	}
+	return out, nil
+}
+
+// simSelectStream is the simindex-backed selection shape: probe → residual
+// filter (inside simCandidateDocs) → eval → limit. Candidates arrive in
+// insertion order, so answers are byte-identical to the materialized paths.
+func (s *System) simSelectStream(ctx context.Context, req QueryRequest, in *Instance, sp *simProbePlan, paths []*xpath.Path, st *ExecStats) (DocStream, error) {
+	t1 := time.Now()
+	cands, err := s.simCandidateDocs(ctx, in.Col, sp, paths, st)
+	if err != nil {
+		return nil, err
+	}
+	if st != nil {
+		st.PrefilterTime = time.Since(t1)
+	}
+	if req.Limit > 0 {
+		if st != nil {
+			st.ScanMode = ScanModeSimIndex
+			estRows := sp.decision.EstDocs
+			if lim := float64(req.Limit); estRows > lim {
+				estRows = lim
+			}
+			st.Operators = []OperatorTrace{
+				{Name: "simprobe", Est: sp.decision.EstDocs},
+				{Name: "eval", Est: estRows},
+				{Name: "limit", Est: estRows},
+			}
+		}
+		stream := newEvalStream(newSliceStream(cands), s, req.Pattern, req.Adorn, st)
+		return newLimitStream(stream, req.Limit, st), nil
+	}
+	if req.Stream {
+		return newEvalStream(newSliceStream(cands), s, req.Pattern, req.Adorn, st), nil
+	}
+	return newBatchEvalStream(s, cands, req.Pattern, req.Adorn, st, in.Col.ShardCount()), nil
+}

@@ -156,6 +156,9 @@ type Planner struct {
 	cap   int
 
 	errs errorWindow
+
+	// sim holds the similarity-index gate override (simplan.go).
+	sim simGate
 }
 
 type cacheEntry struct {

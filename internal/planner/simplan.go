@@ -1,0 +1,113 @@
+package planner
+
+import (
+	"sync/atomic"
+
+	"repro/internal/xmldb"
+)
+
+// AccessSimIndex marks a plan step answered by the similarity candidate
+// index (internal/simindex): n-gram/phonetic filter, measure verification,
+// value-index postings — no document scan.
+const AccessSimIndex = "simindex"
+
+const (
+	// MinSimIndexDocs gates the simindex access path: below it a scan is
+	// effectively free and the probe's fixed costs (filter merge, verifier
+	// calls) are not worth paying. Override per Planner with
+	// SetMinSimIndexDocs (tests and tossd -min-simindex-docs).
+	MinSimIndexDocs = 64
+
+	// CostSimVerify is one thresholded edit-distance verification of a
+	// candidate term (banded DP, a handful of short rows).
+	CostSimVerify = 6.0
+
+	// CostSimGram is visiting one n-gram posting entry during the count
+	// filter merge.
+	CostSimGram = 0.1
+
+	// DefaultSimTermSelectivity estimates the fraction of the distinct-term
+	// dictionary surviving the n-gram/phonetic filter when nothing better is
+	// known. Deliberately pessimistic; Observe feeds actuals back into the
+	// planner's error window like every other estimate.
+	DefaultSimTermSelectivity = 1.0 / 32
+)
+
+// SimDecision is the costed verdict on routing one `~` predicate through the
+// similarity candidate index instead of a cluster-expansion or full scan.
+type SimDecision struct {
+	UseIndex bool
+	Reason   string // "ok", "min-docs", or "alt-cheaper"
+
+	EstCandidateTerms float64 // filter-channel terms expected to need verification
+	EstNodes          float64 // value-index postings expected across matched terms
+	EstDocs           float64 // candidate documents expected
+	ProbeCost         float64
+	AltCost           float64 // best non-simindex alternative for this predicate
+}
+
+// PlanSimProbe costs a similarity probe for `tag.content ~ literal` against
+// the collection statistics. clusterTerms is the size of the SEO expansion
+// (the exact channel); soundExpansion reports whether the rewriter could
+// compile that expansion into value-index equality probes itself — when it
+// can, the alternative is those probes, not a full scan.
+func PlanSimProbe(st *xmldb.Stats, tag string, clusterTerms int, soundExpansion bool, minDocs int) SimDecision {
+	if minDocs <= 0 {
+		minDocs = MinSimIndexDocs
+	}
+	d := SimDecision{Reason: "ok"}
+	ts := st.TagEstimate(tag)
+	nodesPerValue := 1.0
+	if ts.DistinctValues > 0 {
+		nodesPerValue = float64(ts.ValueNodes) / float64(ts.DistinctValues)
+	}
+	d.EstCandidateTerms = float64(st.DistinctTerms) * DefaultSimTermSelectivity
+	matched := float64(clusterTerms) + d.EstCandidateTerms
+	d.EstNodes = matched * nodesPerValue
+	if vn := float64(ts.ValueNodes); d.EstNodes > vn && vn > 0 {
+		d.EstNodes = vn
+	}
+	d.EstDocs = DocsFromNodes(d.EstNodes, ts.Docs)
+	d.ProbeCost = float64(st.DistinctTerms)*CostSimGram +
+		d.EstCandidateTerms*CostSimVerify +
+		d.EstNodes*CostIndexProbe
+	d.AltCost = float64(st.Nodes) * CostScanNode
+	if soundExpansion {
+		// The rewriter can serve the exact channel with value-index probes on
+		// its own; the simindex only wins what the dynamic channel adds.
+		expansion := float64(clusterTerms) * nodesPerValue * CostIndexProbe
+		if expansion < d.AltCost {
+			d.AltCost = expansion
+		}
+	}
+	switch {
+	case st.Docs < minDocs:
+		d.Reason = "min-docs"
+	case d.ProbeCost >= d.AltCost:
+		d.Reason = "alt-cheaper"
+	default:
+		d.UseIndex = true
+	}
+	return d
+}
+
+// minSimDocs is the per-Planner override of MinSimIndexDocs (0 = default).
+// It lives outside the struct literal so existing construction sites don't
+// change; atomic because queries read it concurrently.
+type simGate struct {
+	minDocs atomic.Int64
+}
+
+// SetMinSimIndexDocs overrides the simindex document-count gate for plans
+// built by this planner; n <= 0 restores the default.
+func (p *Planner) SetMinSimIndexDocs(n int) {
+	p.sim.minDocs.Store(int64(n))
+}
+
+// MinSimIndexDocsGate returns the effective simindex gate.
+func (p *Planner) MinSimIndexDocsGate() int {
+	if v := p.sim.minDocs.Load(); v > 0 {
+		return int(v)
+	}
+	return MinSimIndexDocs
+}

@@ -1,0 +1,65 @@
+package router
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestMergeRankedTieBreakPartitionInvariance is the ranked-gather half of the
+// tie-break regression: however the answers are partitioned across nodes (and
+// whatever order the node lists arrive in), score ties must break by global
+// insertion sequence, so the merged ranking is byte-identical to what a
+// single node holding everything would return.
+func TestMergeRankedTieBreakPartitionInvariance(t *testing.T) {
+	// Twelve answers, three distinct scores: ties dominate the ordering.
+	var all []mergeAnswer
+	for i := 0; i < 12; i++ {
+		all = append(all, mergeAnswer{
+			XML:      fmt.Sprintf("<a n=%q/>", fmt.Sprint(i)),
+			Seq:      uint64(100 + i),
+			Score:    float64(i % 3),
+			HasScore: true,
+		})
+	}
+	want := mergeRanked([][]mergeAnswer{all})
+	for i := 1; i < len(want); i++ {
+		prev, cur := want[i-1], want[i]
+		if prev.Score > cur.Score || (prev.Score == cur.Score && prev.Seq > cur.Seq) {
+			t.Fatalf("reference ranking not ordered by (score, seq) at %d", i)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		nodes := 1 + rng.Intn(4)
+		lists := make([][]mergeAnswer, nodes)
+		for _, ma := range all {
+			n := rng.Intn(nodes)
+			lists[n] = append(lists[n], ma)
+		}
+		// Each node emits its ranking sorted by (score, local seq order),
+		// exactly as a node's own top-K produces it.
+		for _, l := range lists {
+			sort.Slice(l, func(i, j int) bool {
+				if l[i].Score != l[j].Score {
+					return l[i].Score < l[j].Score
+				}
+				return l[i].Seq < l[j].Seq
+			})
+		}
+		rng.Shuffle(nodes, func(i, j int) { lists[i], lists[j] = lists[j], lists[i] })
+		got := mergeRanked(lists)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: merged %d answers, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("trial %d: rank %d is seq %d score %g, want seq %d score %g",
+					trial, i, got[i].Seq, got[i].Score, want[i].Seq, want[i].Score)
+				break
+			}
+		}
+	}
+}

@@ -109,13 +109,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // collectionStatz is the /statz entry for one collection.
 type collectionStatz struct {
-	Docs       int               `json:"docs"`
-	Bytes      int               `json:"bytes"`
-	Generation uint64            `json:"generation"`
-	Counters   xmldb.Counters    `json:"counters"`
-	ShardCount int               `json:"shard_count"`
-	Shards     []xmldb.ShardInfo `json:"shards,omitempty"`
-	WAL        *xmldb.WALStats   `json:"wal,omitempty"`
+	Docs       int                    `json:"docs"`
+	Bytes      int                    `json:"bytes"`
+	Generation uint64                 `json:"generation"`
+	Counters   xmldb.Counters         `json:"counters"`
+	ShardCount int                    `json:"shard_count"`
+	Shards     []xmldb.ShardInfo      `json:"shards,omitempty"`
+	WAL        *xmldb.WALStats        `json:"wal,omitempty"`
+	SimIndex   xmldb.SimIndexCounters `json:"simindex"`
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
@@ -127,6 +128,7 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 			Generation: in.Col.Generation(),
 			Counters:   in.Col.Counters(),
 			ShardCount: in.Col.ShardCount(),
+			SimIndex:   in.Col.SimIndexCounters(),
 		}
 		// Per-shard breakdowns only say something new on sharded collections.
 		if cs.ShardCount > 1 {

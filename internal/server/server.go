@@ -279,6 +279,18 @@ func (s *Server) registerMetrics() {
 	r.CounterFunc("toss_shard_nodes_tested_total", "candidate nodes the shard tested on the indexed path", s.shardSamples(func(si xmldb.ShardInfo) float64 { return float64(si.NodesTested) }))
 	r.CounterFunc("toss_shard_nodes_matched_total", "nodes the shard contributed to query answers", s.shardSamples(func(si xmldb.ShardInfo) float64 { return float64(si.NodesMatched) }))
 
+	// Similarity candidate index (internal/simindex) activity: probe traffic
+	// and filter effectiveness counters plus index size gauges, sampled per
+	// collection. The gauges read 0 until a first probe (or any indexed
+	// query) builds the shard indexes — the sampler never forces a build.
+	r.CounterFunc("toss_simindex_probes_total", "similarity index probes served per collection", s.simSamples(func(sc xmldb.SimIndexCounters) float64 { return float64(sc.Probes) }))
+	r.CounterFunc("toss_simindex_candidate_terms_total", "candidate terms proposed by the n-gram/phonetic filters", s.simSamples(func(sc xmldb.SimIndexCounters) float64 { return float64(sc.CandidateTerms) }))
+	r.CounterFunc("toss_simindex_verified_terms_total", "candidate terms re-checked by the verifier stage", s.simSamples(func(sc xmldb.SimIndexCounters) float64 { return float64(sc.VerifiedTerms) }))
+	r.CounterFunc("toss_simindex_matched_terms_total", "terms that matched a probe after verification", s.simSamples(func(sc xmldb.SimIndexCounters) float64 { return float64(sc.MatchedTerms) }))
+	r.CounterFunc("toss_simindex_docs_total", "candidate documents produced by similarity probes", s.simSamples(func(sc xmldb.SimIndexCounters) float64 { return float64(sc.Docs) }))
+	r.GaugeFunc("toss_simindex_terms", "live terms in the similarity index dictionary", s.simSamples(func(sc xmldb.SimIndexCounters) float64 { return float64(sc.Terms) }))
+	r.GaugeFunc("toss_simindex_gram_postings", "n-gram posting entries in the similarity index", s.simSamples(func(sc xmldb.SimIndexCounters) float64 { return float64(sc.GramPostings) }))
+
 	// Durable-write-path metrics, sampled per collection from the WAL
 	// counters; collections running without a WAL export no series.
 	r.CounterFunc("toss_wal_appends_total", "WAL records appended per collection", s.walSamples(func(st xmldb.WALStats) float64 { return float64(st.Appends) }))
@@ -357,6 +369,19 @@ func (s *Server) shardSamples(pick func(xmldb.ShardInfo) float64) func() []promt
 					Value: pick(si),
 				})
 			}
+		}
+		return out
+	}
+}
+
+func (s *Server) simSamples(pick func(xmldb.SimIndexCounters) float64) func() []promtext.Sample {
+	return func() []promtext.Sample {
+		out := make([]promtext.Sample, 0, len(s.sys.Instances))
+		for _, in := range s.sys.Instances {
+			out = append(out, promtext.Sample{
+				Labels: map[string]string{"collection": in.Name},
+				Value:  pick(in.Col.SimIndexCounters()),
+			})
 		}
 		return out
 	}

@@ -27,11 +27,40 @@ func absInt(v int) int {
 	return v
 }
 
+// Thresholder is an optional extension of Measure: decide Distance(x, y) ≤ eps
+// without computing the full distance. The edit-distance measures implement it
+// with the banded DP of WithinK, which visits O(k·min(n,m)) cells instead of
+// the full O(n·m) matrix and exits early once a whole band row exceeds k.
+type Thresholder interface {
+	WithinEps(x, y string, eps float64) bool
+}
+
+// WithinEps for Levenshtein: distances are integers, so ≤ eps ⟺ ≤ ⌊eps⌋.
+func (Levenshtein) WithinEps(x, y string, eps float64) bool {
+	return WithinK(x, y, floorEps(eps))
+}
+
+// WithinEps for Damerau: same banded band, with the transposition cell.
+func (Damerau) WithinEps(x, y string, eps float64) bool {
+	return WithinKDamerau(x, y, floorEps(eps))
+}
+
+func floorEps(eps float64) int {
+	if eps < 0 {
+		return -1
+	}
+	return int(eps)
+}
+
 // Within reports whether d.Distance(x, y) ≤ eps, using the measure's lower
-// bound (if it has one) to short-circuit.
+// bound (if it has one) to short-circuit and its thresholded form (if it has
+// one) instead of the full distance.
 func Within(d Measure, x, y string, eps float64) bool {
 	if lb, ok := d.(LowerBounder); ok && lb.LowerBound(x, y) > eps {
 		return false
+	}
+	if th, ok := d.(Thresholder); ok {
+		return th.WithinEps(x, y, eps)
 	}
 	return d.Distance(x, y) <= eps
 }

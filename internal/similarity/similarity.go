@@ -52,6 +52,102 @@ func (Damerau) Distance(x, y string) float64 {
 	return float64(editDistance([]rune(x), []rune(y), true))
 }
 
+// WithinK reports whether the Levenshtein distance of a and b is at most k,
+// without ever materializing the full O(n·m) DP matrix: only the band of
+// cells within k of the diagonal can hold a value ≤ k, so the computation is
+// O(k·min(n,m)) with an early exit as soon as a whole band row exceeds k.
+// This is the verifier stage of the similarity candidate index and the
+// threshold path of Within for the edit-distance measures.
+func WithinK(a, b string, k int) bool {
+	return editDistanceWithin([]rune(a), []rune(b), k, false) <= k
+}
+
+// WithinKDamerau is WithinK for the restricted Damerau-Levenshtein distance.
+func WithinKDamerau(a, b string, k int) bool {
+	return editDistanceWithin([]rune(a), []rune(b), k, true) <= k
+}
+
+// editDistanceWithin returns the (Damerau-)Levenshtein distance of a and b if
+// it is ≤ k, and any value > k otherwise. Cells outside the |i-j| ≤ k band
+// are never computed (they cannot be ≤ k: every off-diagonal step costs at
+// least one edit), and the scan stops as soon as the minimum of a band row
+// exceeds k.
+func editDistanceWithin(a, b []rune, k int, transpose bool) int {
+	if k < 0 {
+		return 1 // any positive value > k
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(b)-len(a) > k {
+		return k + 1
+	}
+	if len(a) == 0 {
+		return len(b)
+	}
+	const inf = int(^uint(0) >> 2)
+	width := len(b) + 1
+	prev2 := make([]int, width)
+	prev := make([]int, width)
+	cur := make([]int, width)
+	for j := 0; j <= len(b); j++ {
+		if j > k {
+			prev[j] = inf
+		} else {
+			prev[j] = j
+		}
+	}
+	for i := 1; i <= len(a); i++ {
+		lo := i - k
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + k
+		if hi > len(b) {
+			hi = len(b)
+		}
+		if lo > 1 {
+			cur[lo-1] = inf
+		} else {
+			cur[0] = i
+			if i > k {
+				cur[0] = inf
+			}
+		}
+		rowMin := cur[lo-1]
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost
+			if v := cur[j-1] + 1; v < m {
+				m = v
+			}
+			if v := prev[j] + 1; v < m {
+				m = v
+			}
+			if transpose && i > 1 && j > 1 && a[i-1] == b[j-2] && a[i-2] == b[j-1] {
+				if t := prev2[j-2] + 1; t < m {
+					m = t
+				}
+			}
+			cur[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if hi < len(b) {
+			cur[hi+1] = inf
+		}
+		if rowMin > k {
+			return k + 1
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	return prev[len(b)]
+}
+
 // editDistance computes Levenshtein (or, with transpose, restricted
 // Damerau-Levenshtein) distance with two or three rolling rows.
 func editDistance(a, b []rune, transpose bool) int {

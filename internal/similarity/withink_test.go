@@ -1,0 +1,61 @@
+package similarity
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestWithinKMatchesFullDP: the banded threshold computation must agree with
+// the full DP for every (pair, k), for both measures.
+func TestWithinKMatchesFullDP(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		alpha := []rune("abcde")
+		gen := func() string {
+			out := make([]rune, r.Intn(12))
+			for i := range out {
+				out[i] = alpha[r.Intn(len(alpha))]
+			}
+			return string(out)
+		}
+		a, b := gen(), gen()
+		k := r.Intn(6) - 1 // includes k = -1
+		lev := editDistance([]rune(a), []rune(b), false)
+		dam := editDistance([]rune(a), []rune(b), true)
+		if WithinK(a, b, k) != (k >= 0 && lev <= k) {
+			t.Logf("WithinK(%q,%q,%d) disagrees with distance %d", a, b, k, lev)
+			return false
+		}
+		if WithinKDamerau(a, b, k) != (k >= 0 && dam <= k) {
+			t.Logf("WithinKDamerau(%q,%q,%d) disagrees with distance %d", a, b, k, dam)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWithinUsesThreshold: Within on the edit measures must agree with the
+// exact distance across fractional and negative epsilons.
+func TestWithinUsesThreshold(t *testing.T) {
+	cases := []struct{ x, y string }{
+		{"kitten", "sitting"}, {"abc", "cba"}, {"", ""}, {"", "abc"},
+		{"flaw", "lawn"}, {"gumbo", "gambol"},
+	}
+	for _, m := range []Measure{Levenshtein{}, Damerau{}} {
+		for _, c := range cases {
+			d := m.Distance(c.x, c.y)
+			for _, eps := range []float64{-1, 0, 0.5, 1, 1.9, 2, 3, 10} {
+				got := Within(m, c.x, c.y, eps)
+				want := d <= eps
+				if got != want {
+					t.Errorf("%s Within(%q,%q,%v) = %v, want %v (d=%v)",
+						m.Name(), c.x, c.y, eps, got, want, d)
+				}
+			}
+		}
+	}
+}

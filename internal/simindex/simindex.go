@@ -1,0 +1,299 @@
+// Package simindex implements a term-level similarity candidate index: the
+// filter half of the filter-then-verify pattern that makes `~` predicates
+// sublinear in the number of distinct terms.
+//
+// The index holds every distinct content value of a shard with a live
+// reference count, and offers two candidate channels:
+//
+//   - an occurrence-expanded character n-gram inverted index with length and
+//     count filtering for the edit-distance family. Strings within edit
+//     distance k share at least max(|a|,|b|) − n + 1 − k·c positional
+//     n-grams, where c is the number of grams one edit operation can destroy
+//     (n for Levenshtein, n+1 for restricted Damerau-Levenshtein, whose
+//     transpositions straddle one extra gram). Lengths for which that bound
+//     degenerates to ≤ 0 are enumerated from per-length buckets instead, so
+//     the filter never loses a true candidate.
+//
+//   - phonetic-key buckets for soundex-style measures: terms bucketed by the
+//     joined Soundex codes of their tokens, plus a prefix bucket (codes minus
+//     the last token) so a one-token length slack — the only way
+//     Soundex.Distance produces an odd value — stays one map lookup.
+//
+// Verification against the real measure (or the SEO relation) is the
+// caller's job; the index only guarantees it never drops a true candidate
+// for the supported probe shapes.
+package simindex
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/similarity"
+)
+
+// GramSize is the character n-gram width. Bigrams keep the posting lists
+// dense enough to filter short terms (the count bound is useless once
+// max(len) < n + k·c) while still cutting candidate sets by orders of
+// magnitude on realistic vocabularies.
+const GramSize = 2
+
+// GramsPerEdit is the count-filter cost of one Levenshtein edit operation:
+// a substitution, insertion or deletion destroys at most GramSize
+// positional grams.
+const GramsPerEdit = GramSize
+
+// GramsPerEditTranspose is the cost for restricted Damerau-Levenshtein: a
+// transposition of adjacent runes touches GramSize+1 grams.
+const GramsPerEditTranspose = GramSize + 1
+
+// TermID names a term in one Index. IDs are dense and never reused; a
+// removed term keeps its ID with a zero reference count until the next full
+// rebuild.
+type TermID int32
+
+// Index is the per-shard candidate index. It is not safe for concurrent
+// mutation; the owning shard serializes access under its index lock.
+type Index struct {
+	terms []string
+	lens  []int // rune lengths
+	refs  []int // live occurrence counts; 0 = tombstone
+	live  int   // number of terms with refs > 0
+
+	ids   map[string]TermID
+	byLen map[int][]TermID
+
+	// grams maps each n-gram to term IDs, one entry per occurrence of the
+	// gram in the term (occurrence expansion: the count filter needs
+	// min(count-in-term, count-in-query), not set intersection). Entries
+	// for one term are appended together, so the list is sorted by ID and
+	// same-term runs are contiguous.
+	grams map[string][]TermID
+
+	// phon buckets terms by the joined Soundex codes of their tokens;
+	// phonPre by the same key minus its last code (empty-token terms have
+	// key "" in phon and no phonPre entry).
+	phon    map[string][]TermID
+	phonPre map[string][]TermID
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		ids:     make(map[string]TermID),
+		byLen:   make(map[int][]TermID),
+		grams:   make(map[string][]TermID),
+		phon:    make(map[string][]TermID),
+		phonPre: make(map[string][]TermID),
+	}
+}
+
+// Add records one occurrence of term, indexing it on first sight. A term
+// whose count previously dropped to zero is resurrected in place: its
+// postings were never removed, only masked.
+func (ix *Index) Add(term string) {
+	if id, ok := ix.ids[term]; ok {
+		if ix.refs[id] == 0 {
+			ix.live++
+		}
+		ix.refs[id]++
+		return
+	}
+	id := TermID(len(ix.terms))
+	r := []rune(term)
+	ix.terms = append(ix.terms, term)
+	ix.lens = append(ix.lens, len(r))
+	ix.refs = append(ix.refs, 1)
+	ix.live++
+	ix.ids[term] = id
+	ix.byLen[len(r)] = append(ix.byLen[len(r)], id)
+	for i := 0; i+GramSize <= len(r); i++ {
+		g := string(r[i : i+GramSize])
+		ix.grams[g] = append(ix.grams[g], id)
+	}
+	key := PhoneticKey(term)
+	ix.phon[key] = append(ix.phon[key], id)
+	if pre, ok := dropLastCode(key); ok {
+		ix.phonPre[pre] = append(ix.phonPre[pre], id)
+	}
+}
+
+// Remove drops one occurrence of term. When the count reaches zero the term
+// becomes a tombstone: it stops appearing in candidate sets immediately, and
+// its postings are reclaimed by the next full rebuild.
+func (ix *Index) Remove(term string) {
+	id, ok := ix.ids[term]
+	if !ok || ix.refs[id] == 0 {
+		return
+	}
+	ix.refs[id]--
+	if ix.refs[id] == 0 {
+		ix.live--
+	}
+}
+
+// Term returns the string for id.
+func (ix *Index) Term(id TermID) string { return ix.terms[id] }
+
+// Terms returns the number of live (non-tombstoned) terms.
+func (ix *Index) Terms() int { return ix.live }
+
+// GramPostings returns the total number of n-gram posting entries, including
+// entries held by tombstoned terms.
+func (ix *Index) GramPostings() int {
+	n := 0
+	for _, p := range ix.grams {
+		n += len(p)
+	}
+	return n
+}
+
+// LiveTerms returns the live term strings in unspecified order (rebuild
+// equivalence checks and debugging).
+func (ix *Index) LiveTerms() []string {
+	out := make([]string, 0, ix.live)
+	for id, r := range ix.refs {
+		if r > 0 {
+			out = append(out, ix.terms[id])
+		}
+	}
+	return out
+}
+
+// CandidatesEdit returns every live term that can lie within edit distance k
+// of q, by the length filter ||t|−|q|| ≤ k plus the n-gram count filter
+// shared ≥ max(|t|,|q|) − GramSize + 1 − k·gramsPerEdit. Lengths for which
+// the bound degenerates (short strings) are enumerated from the length
+// buckets. The result is sorted by TermID and duplicate-free; it is a
+// superset of the true answer, never a subset.
+func (ix *Index) CandidatesEdit(q string, k, gramsPerEdit int) []TermID {
+	if k < 0 {
+		return nil
+	}
+	rq := []rune(q)
+	lq := len(rq)
+	var out []TermID
+
+	// Degenerate-bound channel: lengths whose count threshold is ≤ 0 get no
+	// filtering power from grams, so enumerate the whole length bucket.
+	for l := lq - k; l <= lq+k; l++ {
+		if l < 0 {
+			continue
+		}
+		if editThreshold(l, lq, k, gramsPerEdit) > 0 {
+			continue
+		}
+		for _, id := range ix.byLen[l] {
+			if ix.refs[id] > 0 {
+				out = append(out, id)
+			}
+		}
+	}
+
+	// Count-filter channel: merge the query's gram postings, crediting each
+	// term min(count-in-term, count-in-query) per gram, then keep terms
+	// meeting their length-specific threshold. Thresholds ≤ 0 were already
+	// handled above, so the two channels are disjoint.
+	qGrams := make(map[string]int)
+	for i := 0; i+GramSize <= len(rq); i++ {
+		qGrams[string(rq[i:i+GramSize])]++
+	}
+	counts := make(map[TermID]int)
+	for g, qc := range qGrams {
+		postings := ix.grams[g]
+		for i := 0; i < len(postings); {
+			id := postings[i]
+			run := 1
+			for i+run < len(postings) && postings[i+run] == id {
+				run++
+			}
+			i += run
+			if run > qc {
+				run = qc
+			}
+			counts[id] += run
+		}
+	}
+	for id, shared := range counts {
+		if ix.refs[id] == 0 {
+			continue
+		}
+		lt := ix.lens[id]
+		if lt < lq-k || lt > lq+k {
+			continue
+		}
+		t := editThreshold(lt, lq, k, gramsPerEdit)
+		if t <= 0 {
+			continue // degenerate channel owns this length
+		}
+		if shared >= t {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// editThreshold is the minimum number of shared grams two strings of rune
+// lengths lt and lq must have when their edit distance is ≤ k.
+func editThreshold(lt, lq, k, gramsPerEdit int) int {
+	m := lt
+	if lq > m {
+		m = lq
+	}
+	return m - GramSize + 1 - k*gramsPerEdit
+}
+
+// CandidatesPhonetic returns every live term whose Soundex distance to q can
+// be 0 (same token count, all positional codes equal) or, with slack, 1 (one
+// token count difference, all shared positions equal — the only source of
+// odd Soundex distances). Sorted by TermID, duplicate-free.
+func (ix *Index) CandidatesPhonetic(q string, slack bool) []TermID {
+	key := PhoneticKey(q)
+	var out []TermID
+	add := func(ids []TermID) {
+		for _, id := range ids {
+			if ix.refs[id] > 0 {
+				out = append(out, id)
+			}
+		}
+	}
+	add(ix.phon[key])
+	if slack {
+		// One token fewer than q: the term's full key is q's key minus its
+		// last code. One token more: the term's prefix key equals q's key.
+		if pre, ok := dropLastCode(key); ok {
+			add(ix.phon[pre])
+		}
+		add(ix.phonPre[key])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// The three buckets hold terms of three distinct token counts, so the
+	// merge is already duplicate-free.
+	return out
+}
+
+// PhoneticKey is the joined Soundex code sequence of s's tokens; terms and
+// queries bucket by it.
+func PhoneticKey(s string) string {
+	toks := similarity.Tokenize(s)
+	if len(toks) == 0 {
+		return ""
+	}
+	codes := make([]string, len(toks))
+	for i, t := range toks {
+		codes[i] = similarity.SoundexCode(t)
+	}
+	return strings.Join(codes, " ")
+}
+
+// dropLastCode strips the final code from a phonetic key, reporting false
+// for the empty (zero-token) key.
+func dropLastCode(key string) (string, bool) {
+	if key == "" {
+		return "", false
+	}
+	if i := strings.LastIndexByte(key, ' '); i >= 0 {
+		return key[:i], true
+	}
+	return "", true
+}

@@ -1,0 +1,246 @@
+package simindex
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/similarity"
+)
+
+// randTerm draws a short string over a tiny alphabet so collisions, shared
+// grams and near-misses are all common.
+func randTerm(r *rand.Rand) string {
+	alpha := []rune("abcd")
+	n := r.Intn(7)
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = alpha[r.Intn(len(alpha))]
+	}
+	return string(out)
+}
+
+func buildIndex(terms []string) *Index {
+	ix := New()
+	for _, t := range terms {
+		ix.Add(t)
+	}
+	return ix
+}
+
+func idSet(ids []TermID) map[TermID]bool {
+	m := make(map[TermID]bool, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+// TestCandidatesEditComplete: every live term within Levenshtein (and
+// Damerau) distance k of the query must be proposed by the filter.
+func TestCandidatesEditComplete(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		terms := make([]string, 40)
+		for i := range terms {
+			terms[i] = randTerm(r)
+		}
+		ix := buildIndex(terms)
+		q := randTerm(r)
+		k := r.Intn(3)
+		lev := idSet(ix.CandidatesEdit(q, k, GramsPerEdit))
+		dam := idSet(ix.CandidatesEdit(q, k, GramsPerEditTranspose))
+		for id := TermID(0); int(id) < len(ix.terms); id++ {
+			term := ix.Term(id)
+			if ix.refs[id] == 0 {
+				continue
+			}
+			if similarity.WithinK(term, q, k) && !lev[id] {
+				t.Logf("levenshtein: dropped %q within %d of %q", term, k, q)
+				return false
+			}
+			if similarity.WithinKDamerau(term, q, k) && !dam[id] {
+				t.Logf("damerau: dropped %q within %d of %q", term, k, q)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCandidatesEditSortedUnique: the result is sorted and duplicate-free so
+// callers can stream it without their own dedup pass.
+func TestCandidatesEditSortedUnique(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		terms := make([]string, 30)
+		for i := range terms {
+			terms[i] = randTerm(r)
+		}
+		ix := buildIndex(terms)
+		ids := ix.CandidatesEdit(randTerm(r), r.Intn(3), GramsPerEdit)
+		for i := 1; i < len(ids); i++ {
+			if ids[i] <= ids[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCandidatesPhoneticComplete: every live term within Soundex distance 0
+// (or 1, with slack) must be proposed.
+func TestCandidatesPhoneticComplete(t *testing.T) {
+	names := []string{
+		"meier", "mayer", "myer", "smith", "smyth", "smithe",
+		"john smith", "jon smyth", "john q smith", "smith john",
+		"robert", "rupert", "rob", "", "  ", "x1", "x 1",
+	}
+	r := rand.New(rand.NewSource(7))
+	terms := make([]string, 60)
+	for i := range terms {
+		if r.Intn(2) == 0 {
+			terms[i] = names[r.Intn(len(names))]
+		} else {
+			terms[i] = randTerm(r)
+		}
+	}
+	ix := buildIndex(terms)
+	var sdx similarity.Soundex
+	for _, q := range names {
+		exact := idSet(ix.CandidatesPhonetic(q, false))
+		slack := idSet(ix.CandidatesPhonetic(q, true))
+		for id := TermID(0); int(id) < len(ix.terms); id++ {
+			if ix.refs[id] == 0 {
+				continue
+			}
+			term := ix.Term(id)
+			d := sdx.Distance(term, q)
+			if d < 1 && !exact[id] {
+				t.Fatalf("exact: dropped %q at distance %v from %q", term, d, q)
+			}
+			if d < 2 && !slack[id] {
+				t.Fatalf("slack: dropped %q at distance %v from %q", term, d, q)
+			}
+		}
+	}
+}
+
+// TestIncrementalEqualsRebuild: after a random Add/Remove sequence the live
+// term set and every probe answer match an index rebuilt from the surviving
+// multiset — tombstones must be invisible.
+func TestIncrementalEqualsRebuild(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		inc := New()
+		counts := make(map[string]int)
+		for i := 0; i < 120; i++ {
+			term := randTerm(r)
+			if r.Intn(3) != 0 {
+				inc.Add(term)
+				counts[term]++
+			} else {
+				inc.Remove(term)
+				if counts[term] > 0 {
+					counts[term]--
+				}
+			}
+		}
+		fresh := New()
+		for term, c := range counts {
+			for i := 0; i < c; i++ {
+				fresh.Add(term)
+			}
+		}
+		if !sameStringSet(inc.LiveTerms(), fresh.LiveTerms()) {
+			t.Logf("live sets diverge: %v vs %v", inc.LiveTerms(), fresh.LiveTerms())
+			return false
+		}
+		if inc.Terms() != fresh.Terms() {
+			return false
+		}
+		for i := 0; i < 5; i++ {
+			q := randTerm(r)
+			k := r.Intn(3)
+			a := termStrings(inc, inc.CandidatesEdit(q, k, GramsPerEdit))
+			b := termStrings(fresh, fresh.CandidatesEdit(q, k, GramsPerEdit))
+			if !sameStringSet(a, b) {
+				t.Logf("edit candidates diverge for %q k=%d: %v vs %v", q, k, a, b)
+				return false
+			}
+			a = termStrings(inc, inc.CandidatesPhonetic(q, true))
+			b = termStrings(fresh, fresh.CandidatesPhonetic(q, true))
+			if !sameStringSet(a, b) {
+				t.Logf("phonetic candidates diverge for %q: %v vs %v", q, a, b)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func termStrings(ix *Index, ids []TermID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = ix.Term(id)
+	}
+	return out
+}
+
+func sameStringSet(a, b []string) bool {
+	as := append([]string(nil), a...)
+	bs := append([]string(nil), b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	if len(as) == 0 && len(bs) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(as, bs)
+}
+
+// TestRefcounts: Remove below zero is a no-op, resurrection works, and the
+// live gauge tracks.
+func TestRefcounts(t *testing.T) {
+	ix := New()
+	ix.Remove("ghost")
+	if ix.Terms() != 0 {
+		t.Fatalf("Terms after no-op remove = %d", ix.Terms())
+	}
+	ix.Add("a")
+	ix.Add("a")
+	ix.Add("b")
+	if ix.Terms() != 2 {
+		t.Fatalf("Terms = %d, want 2", ix.Terms())
+	}
+	ix.Remove("a")
+	if ix.Terms() != 2 {
+		t.Fatalf("Terms after partial remove = %d, want 2", ix.Terms())
+	}
+	ix.Remove("a")
+	if ix.Terms() != 1 {
+		t.Fatalf("Terms after tombstone = %d, want 1", ix.Terms())
+	}
+	// The 1-rune query sits below GramSize, so the degenerate-length channel
+	// proposes every live length-1 term ("b") — but never the tombstone.
+	if got := idSet(ix.CandidatesEdit("a", 0, GramsPerEdit)); got[0] {
+		t.Fatalf("tombstoned term still proposed: %v", got)
+	}
+	ix.Add("a")
+	if ix.Terms() != 2 {
+		t.Fatalf("Terms after resurrect = %d, want 2", ix.Terms())
+	}
+	if got := idSet(ix.CandidatesEdit("a", 0, GramsPerEdit)); !got[0] {
+		t.Fatalf("resurrected term not proposed: %v", got)
+	}
+}

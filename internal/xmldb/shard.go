@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/similarity"
+	"repro/internal/simindex"
 	"repro/internal/tree"
 )
 
@@ -39,6 +40,13 @@ type shard struct {
 	// string value joins its descendants' text and is not in the index.
 	valueIndex    map[string][]*tree.Node
 	mixedValueTag map[string]bool
+	// simIdx is the similarity candidate index over the shard's distinct
+	// content values (internal/simindex): n-gram and phonetic filters that
+	// propose candidate terms for `~` probes without scanning documents. It
+	// shares the tag/term/value index lifecycle: built lazily by
+	// buildIndexesLocked, maintained incrementally on insert/delete,
+	// invalidated wholesale with the others.
+	simIdx *simindex.Index
 
 	bytes      int // XML bytes stored in this shard
 	generation atomic.Uint64
@@ -78,16 +86,18 @@ func (sh *shard) invalidateIndexes() {
 	sh.tagIndex = nil
 	sh.termIndex = nil
 	sh.valueIndex = nil
+	sh.simIdx = nil
 }
 
 func (sh *shard) buildIndexesLocked() {
-	if sh.tagIndex != nil {
+	if sh.tagIndex != nil && sh.simIdx != nil {
 		return
 	}
 	tagIdx := map[string][]*tree.Node{}
 	termIdx := map[string][]*tree.Node{}
 	valIdx := map[string][]*tree.Node{}
 	mixed := map[string]bool{}
+	simIdx := simindex.New()
 	for _, e := range sh.entries {
 		e.tree.Walk(func(n *tree.Node) bool {
 			tagIdx[n.Tag] = append(tagIdx[n.Tag], n)
@@ -96,6 +106,7 @@ func (sh *shard) buildIndexesLocked() {
 					termIdx[tok] = append(termIdx[tok], n)
 				}
 				valIdx[valueKey(n.Tag, n.Content)] = append(valIdx[valueKey(n.Tag, n.Content)], n)
+				simIdx.Add(n.Content)
 			} else if subtreeHasContent(n) {
 				// XPath string value differs from (empty) own content:
 				// exclude the tag from value-index routing.
@@ -108,6 +119,7 @@ func (sh *shard) buildIndexesLocked() {
 	sh.termIndex = termIdx
 	sh.valueIndex = valIdx
 	sh.mixedValueTag = mixed
+	sh.simIdx = simIdx
 }
 
 // indexTreeLocked folds a newly inserted tree (appended at the end of the
@@ -124,6 +136,7 @@ func (sh *shard) indexTreeLocked(t *tree.Tree) {
 				sh.termIndex[tok] = append(sh.termIndex[tok], n)
 			}
 			sh.valueIndex[valueKey(n.Tag, n.Content)] = append(sh.valueIndex[valueKey(n.Tag, n.Content)], n)
+			sh.simIdx.Add(n.Content)
 		} else if subtreeHasContent(n) {
 			sh.mixedValueTag[n.Tag] = true
 		}
@@ -151,6 +164,10 @@ func (sh *shard) unindexTreeLocked(t *tree.Tree) {
 				terms[tok] = true
 			}
 			vals[valueKey(n.Tag, n.Content)] = true
+			// One Remove per node occurrence: the simindex refcount mirrors
+			// the number of live nodes carrying the value, so a value used by
+			// surviving documents stays live.
+			sh.simIdx.Remove(n.Content)
 		}
 		return true
 	})
@@ -184,7 +201,7 @@ func (sh *shard) unindexTreeLocked(t *tree.Tree) {
 // acquisitions.
 func (sh *shard) withIndexes(f func()) {
 	sh.mu.RLock()
-	for sh.tagIndex == nil {
+	for sh.tagIndex == nil || sh.simIdx == nil {
 		sh.mu.RUnlock()
 		sh.mu.Lock()
 		sh.buildIndexesLocked()

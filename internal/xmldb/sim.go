@@ -1,0 +1,177 @@
+package xmldb
+
+import (
+	"sort"
+
+	"repro/internal/simindex"
+	"repro/internal/tree"
+)
+
+// SimProbe describes one similarity candidate probe against a collection:
+// find the documents that can possibly satisfy `tag.content ~ literal`.
+//
+// Candidates come from up to three channels, matching the evaluator's
+// satisfaction relation for `~`:
+//
+//   - ExactTerms: the SEO ε-cluster expansion of the literal (plus the
+//     literal itself). These are similar by construction, so they are looked
+//     up directly in the value index with no verification.
+//   - the n-gram channel (MaxEdit ≥ 0): terms the length+count filter cannot
+//     rule out at edit distance MaxEdit, for the dynamic edit-distance
+//     fallback.
+//   - the phonetic channel (Phonetic): soundex-key bucket lookups, with
+//     PhoneticSlack admitting a one-token length difference.
+//
+// Filter-channel candidates are checked against the value index first (a
+// term absent under Tag can't contribute documents) and then passed to
+// Verify, which applies the caller's real similarity semantics.
+type SimProbe struct {
+	Tag           string
+	Literal       string
+	ExactTerms    []string
+	MaxEdit       int // < 0 disables the n-gram channel
+	GramsPerEdit  int // grams one edit op can destroy (simindex.GramsPerEdit*)
+	Phonetic      bool
+	PhoneticSlack bool
+	Verify        func(term string) bool
+}
+
+// SimProbeStats reports the work one probe did, for plan traces and metrics.
+type SimProbeStats struct {
+	CandidateTerms int // filter-channel terms proposed (pre-verification)
+	VerifiedTerms  int // filter-channel terms that passed Verify
+	MatchedTerms   int // terms (any channel) with nodes under Tag
+	Nodes          int // value-index postings visited
+	Docs           int // distinct documents returned
+	ShardsTouched  int
+}
+
+// SimCandidateDocs runs a similarity probe and returns the candidate
+// documents in global insertion order — a superset of the documents that can
+// satisfy the probe's predicate, never a subset. Shards are probed under
+// their read locks with the indexes built on demand, exactly like any other
+// index lookup.
+func (c *Collection) SimCandidateDocs(p SimProbe) ([]*tree.Tree, SimProbeStats) {
+	type docHit struct {
+		seq  uint64
+		tree *tree.Tree
+	}
+	var all []docHit
+	var stats SimProbeStats
+	// Verify verdicts are cached across shards: each shard proposes from its
+	// own dictionary, and hot terms recur.
+	verdicts := map[string]bool{}
+	for _, sh := range c.shards {
+		var hits []docHit
+		sh.withIndexes(func() {
+			seenDoc := map[*tree.Node]bool{}
+			addNodes := func(nodes []*tree.Node) {
+				stats.Nodes += len(nodes)
+				for _, n := range nodes {
+					r := n.Root()
+					if seenDoc[r] {
+						continue
+					}
+					seenDoc[r] = true
+					if e := sh.byRoot[r]; e != nil {
+						hits = append(hits, docHit{seq: e.seq, tree: e.tree})
+					}
+				}
+			}
+			exact := make(map[string]bool, len(p.ExactTerms))
+			for _, t := range p.ExactTerms {
+				exact[t] = true
+				if nodes := sh.valueIndex[valueKey(p.Tag, t)]; len(nodes) > 0 {
+					stats.MatchedTerms++
+					addNodes(nodes)
+				}
+			}
+			var ids []simindex.TermID
+			if p.MaxEdit >= 0 {
+				ids = sh.simIdx.CandidatesEdit(p.Literal, p.MaxEdit, p.GramsPerEdit)
+			}
+			if p.Phonetic {
+				ids = append(ids, sh.simIdx.CandidatesPhonetic(p.Literal, p.PhoneticSlack)...)
+			}
+			seenTerm := map[simindex.TermID]bool{}
+			for _, id := range ids {
+				if seenTerm[id] {
+					continue
+				}
+				seenTerm[id] = true
+				term := sh.simIdx.Term(id)
+				if exact[term] {
+					continue // already handled by the exact channel
+				}
+				stats.CandidateTerms++
+				nodes := sh.valueIndex[valueKey(p.Tag, term)]
+				if len(nodes) == 0 {
+					continue // value exists in the shard, but not under Tag
+				}
+				if p.Verify != nil {
+					ok, cached := verdicts[term]
+					if !cached {
+						ok = p.Verify(term)
+						verdicts[term] = ok
+					}
+					if !ok {
+						continue
+					}
+				}
+				stats.VerifiedTerms++
+				stats.MatchedTerms++
+				addNodes(nodes)
+			}
+		})
+		if len(hits) > 0 {
+			stats.ShardsTouched++
+			all = append(all, hits...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	docs := make([]*tree.Tree, len(all))
+	for i, h := range all {
+		docs[i] = h.tree
+	}
+	stats.Docs = len(docs)
+	c.nSimProbes.Add(1)
+	c.nSimCandidateTerms.Add(uint64(stats.CandidateTerms))
+	c.nSimVerifiedTerms.Add(uint64(stats.VerifiedTerms))
+	c.nSimMatchedTerms.Add(uint64(stats.MatchedTerms))
+	c.nSimDocs.Add(uint64(stats.Docs))
+	return docs, stats
+}
+
+// SimIndexCounters is a snapshot of the collection's similarity-index
+// activity and size, for /statz and the toss_simindex_* metrics.
+type SimIndexCounters struct {
+	Probes         uint64 `json:"probes"`
+	CandidateTerms uint64 `json:"candidate_terms"`
+	VerifiedTerms  uint64 `json:"verified_terms"`
+	MatchedTerms   uint64 `json:"matched_terms"`
+	Docs           uint64 `json:"docs"`
+	Terms          int    `json:"terms"`
+	GramPostings   int    `json:"gram_postings"`
+}
+
+// SimIndexCounters snapshots the probe counters plus the index size gauges.
+// Size gauges only reflect shards whose indexes are currently built — the
+// metrics path never forces an index build.
+func (c *Collection) SimIndexCounters() SimIndexCounters {
+	out := SimIndexCounters{
+		Probes:         c.nSimProbes.Load(),
+		CandidateTerms: c.nSimCandidateTerms.Load(),
+		VerifiedTerms:  c.nSimVerifiedTerms.Load(),
+		MatchedTerms:   c.nSimMatchedTerms.Load(),
+		Docs:           c.nSimDocs.Load(),
+	}
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		if sh.simIdx != nil {
+			out.Terms += sh.simIdx.Terms()
+			out.GramPostings += sh.simIdx.GramPostings()
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}

@@ -148,6 +148,14 @@ type Collection struct {
 	nDocsWalked     atomic.Uint64
 	nNodesTested    atomic.Uint64
 	nNodesMatched   atomic.Uint64
+
+	// Similarity candidate-index probe counters (SimCandidateDocs); snapshot
+	// with SimIndexCounters, surfaced as toss_simindex_* metrics.
+	nSimProbes         atomic.Uint64
+	nSimCandidateTerms atomic.Uint64
+	nSimVerifiedTerms  atomic.Uint64
+	nSimMatchedTerms   atomic.Uint64
+	nSimDocs           atomic.Uint64
 }
 
 func newCollection(name string, shards int) *Collection {
@@ -250,6 +258,11 @@ func (c *Collection) ResetCounters() {
 	c.nDocsWalked.Store(0)
 	c.nNodesTested.Store(0)
 	c.nNodesMatched.Store(0)
+	c.nSimProbes.Store(0)
+	c.nSimCandidateTerms.Store(0)
+	c.nSimVerifiedTerms.Store(0)
+	c.nSimMatchedTerms.Store(0)
+	c.nSimDocs.Store(0)
 	for _, sh := range c.shards {
 		sh.resetCounters()
 	}
