@@ -64,12 +64,12 @@ func main() {
 
 	if *dot {
 		if *show == "isa" || *show == "all" {
-			if err := sys.FusedIsa.WriteDOT(os.Stdout, "isa"); err != nil {
+			if err := sys.Ontology().FusedIsa.WriteDOT(os.Stdout, "isa"); err != nil {
 				log.Fatal(err)
 			}
 		}
 		if *show == "part-of" || *show == "all" {
-			if err := sys.FusedPart.WriteDOT(os.Stdout, "partof"); err != nil {
+			if err := sys.Ontology().FusedPart.WriteDOT(os.Stdout, "partof"); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -77,16 +77,16 @@ func main() {
 	}
 	if *show == "isa" || *show == "all" {
 		fmt.Println("=== fused isa hierarchy ===")
-		fmt.Print(sys.FusedIsa.String())
+		fmt.Print(sys.Ontology().FusedIsa.String())
 	}
 	if *show == "part-of" || *show == "all" {
 		fmt.Println("=== fused part-of hierarchy ===")
-		fmt.Print(sys.FusedPart.String())
+		fmt.Print(sys.Ontology().FusedPart.String())
 	}
 	if *show == "seo" || *show == "all" {
 		fmt.Printf("=== similarity enhanced ontology (measure=%s eps=%g) ===\n", *measureName, *eps)
-		fmt.Print(sys.SEO.String())
+		fmt.Print(sys.Ontology().SEO.String())
 	}
 	log.Printf("instances=%d fused-terms=%d seo-nodes=%d",
-		len(sys.Instances), sys.OntologyTermCount(), sys.SEO.NodeCount())
+		len(sys.Instances), sys.OntologyTermCount(), sys.Ontology().SEO.NodeCount())
 }

@@ -208,7 +208,7 @@ func main() {
 		in.Col.BuildIndexes()
 	}
 	log.Printf("built in %s: fused ontology %d terms, SEO %d nodes (measure=%s eps=%g)",
-		time.Since(start).Round(time.Millisecond), sys.OntologyTermCount(), sys.SEO.NodeCount(), *measureName, *eps)
+		time.Since(start).Round(time.Millisecond), sys.OntologyTermCount(), sys.Ontology().SEO.NodeCount(), *measureName, *eps)
 
 	cfg := server.Config{
 		MaxInFlight:    *maxInFlight,

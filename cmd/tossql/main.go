@@ -168,7 +168,7 @@ func main() {
 		log.Fatalf("building SEO: %v", err)
 	}
 	log.Printf("fused ontology: %d terms; SEO: %d nodes (measure=%s eps=%g)",
-		sys.OntologyTermCount(), sys.SEO.NodeCount(), *measureName, *eps)
+		sys.OntologyTermCount(), sys.Ontology().SEO.NodeCount(), *measureName, *eps)
 	if *stats {
 		for _, line := range strings.Split(strings.TrimRight(sys.Stats().String(), "\n"), "\n") {
 			log.Printf("stats: %s", line)
@@ -340,16 +340,18 @@ type remoteOptions struct {
 }
 
 // remoteLine is one NDJSON line of a streamed remote response: an answer,
-// or the in-band error sentinel tossd and tossrouter append when a stream
-// dies mid-flight (tossrouter's names the failing node).
+// the in-band error sentinel tossd and tossrouter append when a stream dies
+// mid-flight (tossrouter's names the failing node), or the success trailer
+// ({"ontology_version":N}) every complete stream ends with.
 type remoteLine struct {
-	XML     string   `json:"xml"`
-	Seq     *uint64  `json:"seq,omitempty"`
-	Score   *float64 `json:"score,omitempty"`
-	Error   string   `json:"error,omitempty"`
-	Node    string   `json:"node,omitempty"`
-	Failed  []string `json:"failed_nodes,omitempty"`
-	Partial bool     `json:"partial,omitempty"`
+	XML             string   `json:"xml"`
+	Seq             *uint64  `json:"seq,omitempty"`
+	Score           *float64 `json:"score,omitempty"`
+	Error           string   `json:"error,omitempty"`
+	Node            string   `json:"node,omitempty"`
+	Failed          []string `json:"failed_nodes,omitempty"`
+	Partial         bool     `json:"partial,omitempty"`
+	OntologyVersion *uint64  `json:"ontology_version,omitempty"`
 }
 
 // runRemote sends the query to a running tossd or tossrouter over POST
@@ -445,6 +447,9 @@ func runRemote(base string, o remoteOptions) {
 					log.Printf("%d answer tree(s) before the stream aborted", n)
 				}
 				log.Fatalf("stream error: %s", rl.Error)
+			}
+			if rl.OntologyVersion != nil {
+				continue // success trailer: the stream is complete
 			}
 			printXML(rl.XML)
 			n++

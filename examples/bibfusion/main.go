@@ -89,7 +89,7 @@ func main() {
 
 	// Show how fusion merged schema terms across the two sources.
 	fmt.Println("fused ontology nodes that merged terms from both sources:")
-	for name, members := range sys.FusedIsa.Members {
+	for name, members := range sys.Ontology().FusedIsa.Members {
 		sources := map[int]bool{}
 		for _, q := range members {
 			sources[q.Source] = true

@@ -62,7 +62,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("fused ontology: %d terms, SEO: %d nodes\n\n",
-		sys.OntologyTermCount(), sys.SEO.NodeCount())
+		sys.OntologyTermCount(), sys.Ontology().SEO.NodeCount())
 
 	// 3. Query: all papers with an author similar to "Jeffrey D. Ullman".
 	p := toss.MustParsePattern(`#1 pc #2 :: #1.tag = "inproceedings" & ` +

@@ -51,10 +51,19 @@ type System struct {
 
 	// Fusion products (per relation) and the similarity enhancement of the
 	// fused isa hierarchy.
-	FusedIsa    *ontology.Fusion
-	FusedPart   *ontology.Fusion
-	SEO         *seo.SEO
-	Measure     similarity.Measure
+	//
+	// Deprecated: these are read-only mirrors of the snapshot last installed
+	// by Build/Enhance, kept for source compatibility. They do not follow
+	// live mutations observed by a concurrent reader — use Ontology() (or
+	// the pinned view Query creates) instead; see snapshot.go.
+	FusedIsa *ontology.Fusion
+	// Deprecated: mirror of Ontology().FusedPart; see FusedIsa.
+	FusedPart *ontology.Fusion
+	// Deprecated: mirror of Ontology().SEO; see FusedIsa.
+	SEO *seo.SEO
+	// Deprecated: mirror of Ontology().Measure; see FusedIsa.
+	Measure similarity.Measure
+	// Deprecated: mirror of Ontology().Epsilon; see FusedIsa.
 	Epsilon     float64
 	SEAOptions  seo.Options
 	MakerConfig MakerConfig
@@ -80,10 +89,17 @@ type System struct {
 
 	// valueTags records, per tag, that the Ontology Maker ontologized that
 	// tag's content values — which makes XPath similarity pre-filters sound.
+	// Mirror of the snapshot's set (the authoritative copy lives there so a
+	// re-Build cannot race in-flight queries).
 	valueTags map[string]bool
 	// valueTruncated is set when MaxValueTerms capped value ontologization,
 	// invalidating completeness-dependent optimisations.
 	valueTruncated bool
+
+	// onto is the shared snapshot lineage (see snapshot.go); pinned, when
+	// non-nil, fixes this view to one snapshot for the duration of a query.
+	onto   *ontoState
+	pinned *OntologySnapshot
 }
 
 // NewSystem returns a system with an empty database, default type system and
@@ -98,6 +114,7 @@ func NewSystem() *System {
 		DynamicSimilarity: true,
 		Planner:           planner.New(0),
 		valueTags:         map[string]bool{},
+		onto:              &ontoState{},
 	}
 }
 
@@ -146,16 +163,19 @@ func (s *System) Build(measure similarity.Measure, epsilon float64) error {
 
 // MakeOntologies runs the Ontology Maker over every instance (see maker.go).
 // It is re-runnable: adding documents after a Build and calling Build again
-// refreshes the ontologies, the fusion and the SEO.
+// refreshes the ontologies, the fusion and the SEO. The maker byproducts are
+// accumulated in fresh maps and assigned once at the end, so a query running
+// against the previous snapshot never observes a half-built value-tag set.
 func (s *System) MakeOntologies() error {
 	if len(s.Instances) == 0 {
 		return fmt.Errorf("core: no instances registered")
 	}
-	s.valueTags = map[string]bool{}
-	s.valueTruncated = false
+	mk := &makerState{valueTags: map[string]bool{}}
 	for _, in := range s.Instances {
-		in.Ont = s.makeOntology(in)
+		in.Ont = s.makeOntology(in, mk)
 	}
+	s.valueTags = mk.valueTags
+	s.valueTruncated = mk.valueTruncated
 	return nil
 }
 
@@ -186,13 +206,17 @@ func (s *System) Fuse() error {
 }
 
 // Enhance runs the Similarity Enhancer (SEA algorithm) over the fused isa
-// hierarchy, producing the SEO all similarity queries consult.
+// hierarchy and installs the result as a new ontology snapshot (bumping the
+// version; in-flight queries keep the snapshot they pinned). Build-phase
+// only — it is not safe to run concurrently with other mutators; for
+// runtime evolution use AddEdge/RetractEdge/AddConstraintLive.
 func (s *System) Enhance(measure similarity.Measure, epsilon float64) error {
+	if s.pinned != nil {
+		return fmt.Errorf("core: cannot Enhance a pinned snapshot view (use SnapshotVariant)")
+	}
 	if s.FusedIsa == nil {
 		return fmt.Errorf("core: no fused ontology; run Fuse first")
 	}
-	s.Measure = measure
-	s.Epsilon = epsilon
 	opts := s.SEAOptions
 	opts.Strings = s.fusedNodeStrings()
 	// The production pipeline clusters only order-compatible terms, which
@@ -204,24 +228,23 @@ func (s *System) Enhance(measure similarity.Measure, epsilon float64) error {
 	if err != nil {
 		return fmt.Errorf("core: similarity enhancement: %w", err)
 	}
-	s.SEO = enhanced
+	s.installSnapshot(&OntologySnapshot{
+		Version:        s.OntologyVersion() + 1,
+		FusedIsa:       s.FusedIsa,
+		FusedPart:      s.FusedPart,
+		SEO:            enhanced,
+		Measure:        measure,
+		Epsilon:        epsilon,
+		valueTags:      s.valueTags,
+		valueTruncated: s.valueTruncated,
+	})
 	return nil
 }
 
 // fusedNodeStrings maps every fused isa node to the distinct bare terms it
 // merged — the "set of strings contained in a node" of Definition 7.
 func (s *System) fusedNodeStrings() map[string][]string {
-	out := make(map[string][]string, len(s.FusedIsa.Members))
-	for name, members := range s.FusedIsa.Members {
-		seen := map[string]bool{}
-		for _, q := range members {
-			if !seen[q.Term] {
-				seen[q.Term] = true
-				out[name] = append(out[name], q.Term)
-			}
-		}
-	}
-	return out
+	return fusedStringsOf(s.FusedIsa)
 }
 
 // VerifySEO independently checks the current SEO against Definition 8's

@@ -240,7 +240,7 @@ func (s *System) candidateDocs(ctx context.Context, col *xmldb.Collection, paths
 	}
 	if s.Planner != nil {
 		var hit bool
-		plan, hit = s.Planner.PlanSelect(col, paths)
+		plan, hit = s.Planner.PlanSelect(col, s.OntologyVersion(), paths)
 		order = plan.Order
 		planTrace = &PlanTrace{
 			Collection:    col.Name(),

@@ -37,10 +37,18 @@ func DefaultMakerConfig() MakerConfig {
 	}
 }
 
+// makerState accumulates the run-wide Ontology Maker byproducts; a fresh one
+// per MakeOntologies keeps half-built sets out of the live System (the
+// snapshot carries the finished maps).
+type makerState struct {
+	valueTags      map[string]bool
+	valueTruncated bool
+}
+
 // makeOntology implements the Ontology Maker for one instance: structural
 // part-of extraction, lexicon-driven isa/part-of edges, and value/token
 // instance terms.
-func (s *System) makeOntology(in *Instance) *ontology.Ontology {
+func (s *System) makeOntology(in *Instance, mk *makerState) *ontology.Ontology {
 	cfg := s.MakerConfig
 	ont := ontology.NewOntology()
 	isa := ont.Isa()
@@ -49,7 +57,7 @@ func (s *System) makeOntology(in *Instance) *ontology.Ontology {
 	valueTag := map[string]bool{}
 	for _, t := range cfg.ValueTags {
 		valueTag[t] = true
-		s.valueTags[t] = true
+		mk.valueTags[t] = true
 	}
 	tokenTag := map[string]bool{}
 	for _, t := range cfg.TokenTags {
@@ -84,7 +92,7 @@ func (s *System) makeOntology(in *Instance) *ontology.Ontology {
 				key := [2]string{tag, n.Content}
 				if !seenValue[key] {
 					if cfg.MaxValueTerms > 0 && valueCount[tag] >= cfg.MaxValueTerms {
-						s.valueTruncated = true
+						mk.valueTruncated = true
 					} else {
 						seenValue[key] = true
 						valueCount[tag]++

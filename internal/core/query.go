@@ -70,6 +70,10 @@ type QueryResult struct {
 	// Stream is the live answer stream of a Stream request (Answers is nil
 	// then). The caller owns it and must Close it exactly once.
 	Stream DocStream
+	// OntologyVersion is the snapshot version the query pinned at entry
+	// (0 when the system has no built ontology). Streamed answers keep
+	// coming from this version even if a mutation installs a successor.
+	OntologyVersion uint64
 }
 
 // Query executes one TOSS algebra query described by req. It is the unified
@@ -81,6 +85,15 @@ func (s *System) Query(ctx context.Context, req QueryRequest) (*QueryResult, err
 	if req.Pattern == nil {
 		return nil, fmt.Errorf("core: query has no pattern")
 	}
+	// Pin the ontology snapshot once at entry: everything downstream —
+	// evaluator, similarity rewrites, plan-cache keys, a live stream the
+	// caller drains later — reads this version even if a mutation installs
+	// a successor mid-flight.
+	if s.pinned == nil {
+		if snap := s.Ontology(); snap != nil {
+			s = s.WithSnapshot(snap)
+		}
+	}
 	if req.NoPlanner && s.Planner != nil {
 		clone := *s
 		clone.Planner = nil
@@ -89,14 +102,20 @@ func (s *System) Query(ctx context.Context, req QueryRequest) (*QueryResult, err
 	if req.Stream && (req.Ranked || req.Analyze) {
 		return nil, fmt.Errorf("core: ranked and analyze queries do not stream")
 	}
+	var res *QueryResult
+	var err error
 	switch {
 	case req.Ranked:
-		return s.queryRanked(ctx, req)
+		res, err = s.queryRanked(ctx, req)
 	case req.Right != "":
-		return s.queryJoin(ctx, req)
+		res, err = s.queryJoin(ctx, req)
 	default:
-		return s.querySelect(ctx, req)
+		res, err = s.querySelect(ctx, req)
 	}
+	if res != nil {
+		res.OntologyVersion = s.OntologyVersion()
+	}
+	return res, err
 }
 
 // querySelect drives the selection operator tree built by buildSelectStream:

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/ontology"
+	"repro/internal/pattern"
+	"repro/internal/seo"
+	"repro/internal/similarity"
+)
+
+// kindSystem builds a system over one "things" instance whose documents carry
+// a single <kind> value each, sharded shards ways. The vocabulary is chosen so
+// that under NameRule/ε=1 no two kinds cluster together: every answer-set
+// change observed by the tests below comes from a live mutation, not from
+// accidental similarity.
+func kindSystem(t testing.TB, shards int, kinds map[string]int) *System {
+	t.Helper()
+	s := NewSystem()
+	s.DB.SetDefaultShards(shards)
+	in, err := s.AddInstance("things")
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for kind, n := range kinds {
+		for j := 0; j < n; j++ {
+			xml := fmt.Sprintf("<item><kind>%s</kind><id>%s-%d</id></item>", kind, kind, j)
+			if _, err := in.Col.PutXML(fmt.Sprintf("doc-%s-%d", kind, j), strings.NewReader(xml)); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		}
+	}
+	if err := s.Build(similarity.NameRule{}, 1); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+var isaVehiclePattern = pattern.MustParse(
+	`#1 pc #2 :: #1.tag = "item" & #2.tag = "kind" & #2.content isa "vehicle"`)
+
+// answersOf runs a materialized query and returns the answer XML strings.
+func answersOf(t testing.TB, s *System, p *pattern.Tree) []string {
+	t.Helper()
+	res, err := s.Query(context.Background(), QueryRequest{Pattern: p, Instance: "things", Adorn: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(res.Answers))
+	for i, a := range res.Answers {
+		out[i] = a.XMLString()
+	}
+	return out
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMutationSemantics exercises the live mutation API end to end: version
+// bumps, no-op detection, cycle rejection, part-of isolation from the SEA,
+// constraint semantics, counters, and the pinned-view guard.
+func TestMutationSemantics(t *testing.T) {
+	s := kindSystem(t, 2, map[string]int{"car": 2, "bus": 2, "oak": 1})
+	v0 := s.OntologyVersion()
+	if v0 == 0 {
+		t.Fatal("built system has version 0")
+	}
+
+	// A fresh edge bumps the version and reports recluster work.
+	res, err := s.AddEdge(ontology.RelIsa, "car", "vehicle")
+	if err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if !res.Changed || res.Version != v0+1 || s.OntologyVersion() != v0+1 {
+		t.Fatalf("AddEdge result %+v, system version %d; want changed install of %d", res, s.OntologyVersion(), v0+1)
+	}
+	if res.ComponentNodes == 0 || res.TotalNodes == 0 || res.SEONodes == 0 {
+		t.Fatalf("AddEdge reported no recluster work: %+v", res)
+	}
+
+	// Re-adding the same edge is a no-op: Changed=false, version unchanged.
+	res, err = s.AddEdge(ontology.RelIsa, "car", "vehicle")
+	if err != nil {
+		t.Fatalf("repeat AddEdge: %v", err)
+	}
+	if res.Changed || res.Version != v0+1 || s.OntologyVersion() != v0+1 {
+		t.Fatalf("no-op AddEdge result %+v, system version %d", res, s.OntologyVersion())
+	}
+
+	// A cycle-creating edge is rejected and installs nothing.
+	if _, err := s.AddEdge(ontology.RelIsa, "vehicle", "car"); err == nil {
+		t.Fatal("cycle-creating AddEdge succeeded")
+	}
+	if s.OntologyVersion() != v0+1 {
+		t.Fatalf("failed mutation moved the version to %d", s.OntologyVersion())
+	}
+
+	// part-of mutations swap the fused DAG but never touch the SEA: the new
+	// snapshot shares the previous snapshot's SEO pointer.
+	before := s.Ontology()
+	res, err = s.AddEdge(ontology.RelPartOf, "wheel", "car")
+	if err != nil {
+		t.Fatalf("part-of AddEdge: %v", err)
+	}
+	after := s.Ontology()
+	if !res.Changed || after.Version != before.Version+1 {
+		t.Fatalf("part-of AddEdge result %+v (versions %d -> %d)", res, before.Version, after.Version)
+	}
+	if after.SEO != before.SEO {
+		t.Fatal("part-of mutation rebuilt the SEO")
+	}
+	if after.FusedPart == before.FusedPart {
+		t.Fatal("part-of mutation did not swap the fused part-of DAG")
+	}
+
+	// Retracting the edge undoes the reachability it added.
+	if _, err := s.RetractEdge(ontology.RelIsa, "car", "vehicle"); err != nil {
+		t.Fatalf("RetractEdge: %v", err)
+	}
+	if got := answersOf(t, s, isaVehiclePattern); len(got) != 0 {
+		t.Fatalf("after retraction, isa query still returns %d answers", len(got))
+	}
+	if _, err := s.RetractEdge(ontology.RelIsa, "no-such-term", "vehicle"); err == nil {
+		t.Fatal("retracting an edge of an unknown term succeeded")
+	}
+
+	// Constraints: x = y merges; a violated x ≠ y is an error; a satisfied
+	// one changes nothing. "car" and "vehicle" both exist as (runtime) terms
+	// at this point, in distinct fused nodes after the retraction above.
+	if _, err := s.AddConstraintLive(ontology.RelIsa, ontology.NotEqual("car", 0, "vehicle", 0)); err != nil {
+		t.Fatalf("satisfied neq constraint errored: %v", err)
+	}
+	vBefore := s.OntologyVersion()
+	res, err = s.AddConstraintLive(ontology.RelIsa, ontology.Equal("car", 0, "vehicle", 0))
+	if err != nil {
+		t.Fatalf("eq constraint: %v", err)
+	}
+	if !res.Changed || s.OntologyVersion() != vBefore+1 {
+		t.Fatalf("eq constraint result %+v, version %d -> %d", res, vBefore, s.OntologyVersion())
+	}
+	if _, err := s.AddConstraintLive(ontology.RelIsa, ontology.NotEqual("car", 0, "vehicle", 0)); err == nil {
+		t.Fatal("violated neq constraint succeeded")
+	}
+
+	// Counters reflect the installs (4 changed mutations above).
+	c := s.OntologyCounters()
+	if c.Mutations != 4 {
+		t.Fatalf("Mutations counter %d, want 4", c.Mutations)
+	}
+	if c.ReclusteredNodes == 0 || c.LastComponent == 0 || c.LastDirty == 0 {
+		t.Fatalf("recluster counters stayed at zero: %+v", c)
+	}
+
+	// A pinned view must refuse mutations: it cannot install a successor of
+	// a snapshot that is no longer necessarily current.
+	pinnedView := s.WithSnapshot(s.Ontology())
+	if _, err := pinnedView.AddEdge(ontology.RelIsa, "x", "y"); err == nil {
+		t.Fatal("pinned view accepted a mutation")
+	}
+}
+
+// TestMutationChangesAnswers: a runtime isa edge immediately changes what an
+// isa query answers, and the incrementally re-clustered SEO is byte-identical
+// to a full Enhance over the mutated fusion (the incremental ≡ full contract,
+// checked here on the system-level path rather than the seo package's own
+// randomized equivalence suite).
+func TestMutationChangesAnswers(t *testing.T) {
+	s := kindSystem(t, 2, map[string]int{"car": 3, "bus": 2, "oak": 2})
+
+	if got := answersOf(t, s, isaVehiclePattern); len(got) != 0 {
+		t.Fatalf("pre-mutation isa query returned %d answers, want 0", len(got))
+	}
+	if _, err := s.AddEdge(ontology.RelIsa, "car", "vehicle"); err != nil {
+		t.Fatal(err)
+	}
+	if got := answersOf(t, s, isaVehiclePattern); len(got) != 3 {
+		t.Fatalf("after car≤vehicle, isa query returned %d answers, want the 3 car docs", len(got))
+	}
+	if _, err := s.AddEdge(ontology.RelIsa, "bus", "vehicle"); err != nil {
+		t.Fatal(err)
+	}
+	if got := answersOf(t, s, isaVehiclePattern); len(got) != 5 {
+		t.Fatalf("after bus≤vehicle, isa query returned %d answers, want 5", len(got))
+	}
+
+	// Incremental ≡ full: re-enhance the mutated fusion from scratch and
+	// compare the rendered SEO byte for byte.
+	snap := s.Ontology()
+	opts := s.SEAOptions
+	opts.Strings = fusedStringsOf(snap.FusedIsa)
+	opts.CompatibilityFilter = true
+	full, err := seo.Enhance(snap.FusedIsa.Hierarchy, snap.Measure, snap.Epsilon, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.SEO.String() != full.String() {
+		t.Fatalf("incrementally re-clustered SEO differs from full Enhance:\n--- incremental ---\n%s\n--- full ---\n%s",
+			snap.SEO.String(), full.String())
+	}
+}
+
+// TestStreamPinnedAcrossMutation is the snapshot-isolation contract of the
+// query path: a streamed query pinned on version N keeps producing version-N
+// answers even though a mutation installs N+1 while the stream is mid-drain.
+// Runs at shard counts 1, 2, and 7 — the asynchronous shard cursors are
+// where a torn read would surface under -race.
+func TestStreamPinnedAcrossMutation(t *testing.T) {
+	for _, shards := range []int{1, 2, 7} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			s := kindSystem(t, shards, map[string]int{"car": 6, "bus": 4, "oak": 2})
+			if _, err := s.AddEdge(ontology.RelIsa, "car", "vehicle"); err != nil {
+				t.Fatal(err)
+			}
+			vN := s.OntologyVersion()
+			ref := answersOf(t, s, isaVehiclePattern) // the 6 car docs
+			if len(ref) != 6 {
+				t.Fatalf("reference answer set has %d answers, want 6", len(ref))
+			}
+
+			res, err := s.Query(context.Background(), QueryRequest{
+				Pattern: isaVehiclePattern, Instance: "things", Adorn: []int{1}, Stream: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.OntologyVersion != vN {
+				t.Fatalf("stream pinned version %d, want %d", res.OntologyVersion, vN)
+			}
+
+			// Pull one answer, then install version N+1 underneath the open
+			// stream.
+			var got []string
+			first, err := res.Stream.Next(context.Background())
+			if err != nil {
+				t.Fatalf("first streamed answer: %v", err)
+			}
+			got = append(got, first.XMLString())
+
+			mres, err := s.AddEdge(ontology.RelIsa, "bus", "vehicle")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mres.Version != vN+1 || s.OntologyVersion() != vN+1 {
+				t.Fatalf("mutation installed version %d, system at %d, want %d", mres.Version, s.OntologyVersion(), vN+1)
+			}
+
+			// The rest of the stream still answers from version N: exactly the
+			// reference answers, no bus docs.
+			for {
+				tr, err := res.Stream.Next(context.Background())
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("streamed answer: %v", err)
+				}
+				got = append(got, tr.XMLString())
+			}
+			res.Stream.Close()
+			if !sameStrings(got, ref) {
+				t.Fatalf("stream opened before the mutation drained %d answers (want the %d version-%d answers):\n%s",
+					len(got), len(ref), vN, strings.Join(got, "\n"))
+			}
+
+			// A query entered after the install sees version N+1 and the
+			// widened answer set.
+			post, err := s.Query(context.Background(), QueryRequest{
+				Pattern: isaVehiclePattern, Instance: "things", Adorn: []int{1},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if post.OntologyVersion != vN+1 {
+				t.Fatalf("post-mutation query pinned version %d, want %d", post.OntologyVersion, vN+1)
+			}
+			if len(post.Answers) != 10 {
+				t.Fatalf("post-mutation query returned %d answers, want 10 (6 car + 4 bus)", len(post.Answers))
+			}
+		})
+	}
+}
+
+// TestConcurrentQueriesAndMutations hammers the snapshot lineage from both
+// sides: readers pin and drain streamed queries while a writer keeps
+// installing successors. Run with -race this is the proof that pinning, the
+// atomic install, and the mirror-field sync never race; functionally each
+// drained stream must return one of the answer-set cardinalities some
+// snapshot version actually had.
+func TestConcurrentQueriesAndMutations(t *testing.T) {
+	s := kindSystem(t, 3, map[string]int{"car": 4, "bus": 3, "oak": 2})
+	valid := map[int]bool{0: true, 4: true, 7: true} // none, +car, +car+bus
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			if _, err := s.AddEdge(ontology.RelIsa, "car", "vehicle"); err != nil {
+				t.Errorf("writer AddEdge car: %v", err)
+				return
+			}
+			if _, err := s.AddEdge(ontology.RelIsa, "bus", "vehicle"); err != nil {
+				t.Errorf("writer AddEdge bus: %v", err)
+				return
+			}
+			if _, err := s.RetractEdge(ontology.RelIsa, "bus", "vehicle"); err != nil {
+				t.Errorf("writer RetractEdge bus: %v", err)
+				return
+			}
+			if _, err := s.RetractEdge(ontology.RelIsa, "car", "vehicle"); err != nil {
+				t.Errorf("writer RetractEdge car: %v", err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				res, err := s.Query(context.Background(), QueryRequest{
+					Pattern: isaVehiclePattern, Instance: "things", Adorn: []int{1}, Stream: true,
+				})
+				if err != nil {
+					t.Errorf("reader query: %v", err)
+					return
+				}
+				n := 0
+				for {
+					_, err := res.Stream.Next(context.Background())
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						t.Errorf("reader stream: %v", err)
+						res.Stream.Close()
+						return
+					}
+					n++
+				}
+				res.Stream.Close()
+				if !valid[n] {
+					t.Errorf("drained %d answers; no snapshot version ever had that answer set", n)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

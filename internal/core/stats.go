@@ -8,62 +8,69 @@ import (
 // Stats summarises a built system: data volumes, ontology sizes and SEO
 // shape. Useful in CLIs and for sanity checks after Build.
 type Stats struct {
-	Instances      int
-	Documents      int
-	Bytes          int
-	IsaTerms       int
-	IsaEdges       int
-	PartTerms      int
-	PartEdges      int
-	SEONodes       int
-	MergedNodes    int // SEO clusters with more than one member
-	Epsilon        float64
-	MeasureName    string
-	ValueTags      []string
-	DroppedEdges   int
-	TypeCount      int
-	Parallelism    int
-	DynamicSimOn   bool
-	ValueTruncated bool
+	Instances       int
+	Documents       int
+	Bytes           int
+	IsaTerms        int
+	IsaEdges        int
+	PartTerms       int
+	PartEdges       int
+	SEONodes        int
+	MergedNodes     int // SEO clusters with more than one member
+	OntologyVersion uint64
+	Epsilon         float64
+	MeasureName     string
+	ValueTags       []string
+	DroppedEdges    int
+	TypeCount       int
+	Parallelism     int
+	DynamicSimOn    bool
+	ValueTruncated  bool
 }
 
 // Stats collects the current statistics (zero values where the system has
-// not been built yet).
+// not been built yet). Ontology figures come from the current snapshot, so
+// Stats is safe to call concurrently with live mutations.
 func (s *System) Stats() Stats {
 	st := Stats{
-		Instances:      len(s.Instances),
-		Epsilon:        s.Epsilon,
-		Parallelism:    s.Parallelism,
-		DynamicSimOn:   s.DynamicSimilarity,
-		TypeCount:      len(s.Types.Names()),
-		ValueTruncated: s.valueTruncated,
-	}
-	for tag := range s.valueTags {
-		st.ValueTags = append(st.ValueTags, tag)
+		Instances:    len(s.Instances),
+		Parallelism:  s.Parallelism,
+		DynamicSimOn: s.DynamicSimilarity,
+		TypeCount:    len(s.Types.Names()),
 	}
 	for _, in := range s.Instances {
 		st.Documents += in.Col.DocCount()
 		st.Bytes += in.Col.ByteSize()
 	}
-	if s.Measure != nil {
-		st.MeasureName = s.Measure.Name()
+	snap := s.Ontology()
+	if snap == nil {
+		return st
 	}
-	if s.FusedIsa != nil {
-		st.IsaTerms = s.FusedIsa.Hierarchy.NodeCount()
-		st.IsaEdges = s.FusedIsa.Hierarchy.EdgeCount()
+	st.OntologyVersion = snap.Version
+	st.Epsilon = snap.Epsilon
+	st.ValueTruncated = snap.valueTruncated
+	for tag := range snap.valueTags {
+		st.ValueTags = append(st.ValueTags, tag)
 	}
-	if s.FusedPart != nil {
-		st.PartTerms = s.FusedPart.Hierarchy.NodeCount()
-		st.PartEdges = s.FusedPart.Hierarchy.EdgeCount()
+	if snap.Measure != nil {
+		st.MeasureName = snap.Measure.Name()
 	}
-	if s.SEO != nil {
-		st.SEONodes = s.SEO.NodeCount()
-		for _, members := range s.SEO.Clusters {
+	if snap.FusedIsa != nil {
+		st.IsaTerms = snap.FusedIsa.Hierarchy.NodeCount()
+		st.IsaEdges = snap.FusedIsa.Hierarchy.EdgeCount()
+	}
+	if snap.FusedPart != nil {
+		st.PartTerms = snap.FusedPart.Hierarchy.NodeCount()
+		st.PartEdges = snap.FusedPart.Hierarchy.EdgeCount()
+	}
+	if snap.SEO != nil {
+		st.SEONodes = snap.SEO.NodeCount()
+		for _, members := range snap.SEO.Clusters {
 			if len(members) > 1 {
 				st.MergedNodes++
 			}
 		}
-		st.DroppedEdges = len(s.SEO.Dropped)
+		st.DroppedEdges = len(snap.SEO.Dropped)
 	}
 	return st
 }

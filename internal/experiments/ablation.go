@@ -140,7 +140,7 @@ func RunAblations(cfg AblationConfig) (*AblationReport, error) {
 	}
 
 	// 4. Reachability index vs per-query DFS.
-	h := withSEO.FusedIsa.Hierarchy
+	h := withSEO.Ontology().FusedIsa.Hierarchy
 	nodes := h.Nodes()
 	h.BuildReachability()
 	if err := timeIt("reachability", "indexed", func() error {

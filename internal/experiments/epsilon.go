@@ -120,7 +120,7 @@ func RunEpsilon(cfg EpsilonConfig) (*EpsilonReport, error) {
 			SelectTime: selTotal / time.Duration(reps),
 			JoinTime:   joinTotal / time.Duration(reps),
 			OntoTerms:  sysSel.OntologyTermCount(),
-			SEONodes:   sysSel.SEO.NodeCount(),
+			SEONodes:   sysSel.Ontology().SEO.NodeCount(),
 		})
 	}
 	return rep, nil

@@ -65,6 +65,23 @@ func (h *Hierarchy) AddEdge(child, parent string) error {
 	return nil
 }
 
+// HasEdge reports whether the direct (Hasse) edge child→parent is present.
+func (h *Hierarchy) HasEdge(child, parent string) bool { return h.up[child][parent] }
+
+// RemoveEdge deletes the direct edge child→parent, reporting whether it was
+// present. Only Hasse edges can be retracted: if the order also holds through
+// another path, that path keeps it. Removal cannot create cycles, so it
+// always succeeds when the edge exists.
+func (h *Hierarchy) RemoveEdge(child, parent string) bool {
+	if !h.up[child][parent] {
+		return false
+	}
+	delete(h.up[child], parent)
+	delete(h.down[parent], child)
+	h.reach = nil
+	return true
+}
+
 // MustAddEdge is AddEdge but panics on error. Convenient for building fixed
 // ontologies in code.
 func (h *Hierarchy) MustAddEdge(child, parent string) {

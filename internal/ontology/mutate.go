@@ -1,0 +1,246 @@
+package ontology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file is the incremental half of Section 4.2: runtime mutation of an
+// already-computed canonical fusion. A full Fuse re-runs the SCC contraction
+// from scratch; the operations here apply one edge addition, one edge
+// retraction, or one equality merge directly to the fused DAG, producing the
+// same structure a re-Fuse with the extra constraint would (the merged set of
+// an equality constraint is exactly the SCC the hierarchy graph of
+// Definition 6 would contract). Callers mutate a Clone and install the result
+// atomically; none of these methods is safe for concurrent use on a shared
+// Fusion.
+
+// RuntimeSource is the QTerm source index given to terms introduced at
+// runtime rather than by a registered instance (instances are 1-based).
+const RuntimeSource = 0
+
+// Clone returns a deep copy of the fusion; mutations of the copy leave the
+// original untouched.
+func (f *Fusion) Clone() *Fusion {
+	cp := &Fusion{
+		Hierarchy: f.Hierarchy.Clone(),
+		Members:   make(map[string][]QTerm, len(f.Members)),
+		Witness:   make(map[QTerm]string, len(f.Witness)),
+		byTerm:    make(map[string][]string, len(f.byTerm)),
+	}
+	for n, ms := range f.Members {
+		cp.Members[n] = append([]QTerm(nil), ms...)
+	}
+	for q, n := range f.Witness {
+		cp.Witness[q] = n
+	}
+	for t, ns := range f.byTerm {
+		cp.byTerm[t] = append([]string(nil), ns...)
+	}
+	return cp
+}
+
+// nodeOfTerm resolves a bare term to its canonical fused node. Terms that
+// appear in several fused nodes (distinct unconstrained sources) are
+// ambiguous mutation targets and yield an error.
+func (f *Fusion) nodeOfTerm(term string) (string, bool, error) {
+	ns := f.byTerm[term]
+	switch len(ns) {
+	case 0:
+		return "", false, nil
+	case 1:
+		return ns[0], true, nil
+	}
+	return "", false, fmt.Errorf("ontology: term %q is ambiguous (fused nodes %s)", term, strings.Join(ns, ", "))
+}
+
+// EnsureTerm returns the canonical fused node containing term, adding a fresh
+// singleton node (qualified by source, RuntimeSource for ad-hoc terms) when
+// the term is unknown.
+func (f *Fusion) EnsureTerm(term string, source int) (string, error) {
+	if term == "" {
+		return "", fmt.Errorf("ontology: empty term")
+	}
+	if n, ok, err := f.nodeOfTerm(term); err != nil || ok {
+		return n, err
+	}
+	q := QTerm{Term: term, Source: source}
+	name := term
+	if _, taken := f.Members[name]; taken {
+		// A node is named term without containing it (qualified-name
+		// fallback collisions); qualify the new node the same way.
+		name = q.String()
+		if _, taken := f.Members[name]; taken {
+			return "", fmt.Errorf("ontology: cannot name new node for term %q: %q taken", term, name)
+		}
+	}
+	f.Members[name] = []QTerm{q}
+	f.Witness[q] = name
+	f.byTerm[term] = append(f.byTerm[term], name)
+	sort.Strings(f.byTerm[term])
+	f.Hierarchy.AddNode(name)
+	return name, nil
+}
+
+// AddTermEdge records childTerm ≤ parentTerm between the canonical fused
+// nodes of the two bare terms, adding unknown terms as fresh nodes qualified
+// by source. It returns the two canonical node names and whether the
+// hierarchy changed (false when the direct edge already existed). An edge
+// that would create a cycle — i.e. an addition under which no integration
+// exists — is an error.
+func (f *Fusion) AddTermEdge(childTerm, parentTerm string, source int) (child, parent string, changed bool, err error) {
+	if child, err = f.EnsureTerm(childTerm, source); err != nil {
+		return
+	}
+	if parent, err = f.EnsureTerm(parentTerm, source); err != nil {
+		return
+	}
+	if child == parent {
+		err = fmt.Errorf("ontology: %q and %q already share fused node %q", childTerm, parentTerm, child)
+		return
+	}
+	if f.Hierarchy.HasEdge(child, parent) {
+		return child, parent, false, nil
+	}
+	if err = f.Hierarchy.AddEdge(child, parent); err != nil {
+		return
+	}
+	return child, parent, true, nil
+}
+
+// RetractTermEdge removes the direct fused edge childTerm ≤ parentTerm. Only
+// Hasse edges are retractable; retracting an order that holds only through
+// intermediate nodes is an error (retract the chain's own edges instead).
+func (f *Fusion) RetractTermEdge(childTerm, parentTerm string) (child, parent string, err error) {
+	child, ok, err := f.nodeOfTerm(childTerm)
+	if err != nil {
+		return "", "", err
+	}
+	if !ok {
+		return "", "", fmt.Errorf("ontology: unknown term %q", childTerm)
+	}
+	parent, ok, err = f.nodeOfTerm(parentTerm)
+	if err != nil {
+		return "", "", err
+	}
+	if !ok {
+		return "", "", fmt.Errorf("ontology: unknown term %q", parentTerm)
+	}
+	if !f.Hierarchy.RemoveEdge(child, parent) {
+		return "", "", fmt.Errorf("ontology: no direct edge %q ≤ %q (only Hasse edges can be retracted)", child, parent)
+	}
+	return child, parent, nil
+}
+
+// MergeTerms applies the equality constraint xTerm = yTerm to the fusion:
+// the canonical nodes of both terms — together with every node on a directed
+// path between them, which is exactly the SCC the hierarchy graph of
+// Definition 6 would contract after adding x ≤ y and y ≤ x — collapse into
+// one fused node. It returns the merged node's canonical name and the node
+// names that disappeared. Contracting a path set cannot create cycles, so a
+// merge always yields a valid fusion.
+func (f *Fusion) MergeTerms(xTerm, yTerm string) (merged string, removed []string, err error) {
+	nx, ok, err := f.nodeOfTerm(xTerm)
+	if err != nil {
+		return "", nil, err
+	}
+	if !ok {
+		return "", nil, fmt.Errorf("ontology: unknown term %q", xTerm)
+	}
+	ny, ok, err := f.nodeOfTerm(yTerm)
+	if err != nil {
+		return "", nil, err
+	}
+	if !ok {
+		return "", nil, fmt.Errorf("ontology: unknown term %q", yTerm)
+	}
+	if nx == ny {
+		return "", nil, fmt.Errorf("ontology: %q and %q already share fused node %q", xTerm, yTerm, nx)
+	}
+
+	// The merge set: nx, ny, and every node between them (in a DAG paths run
+	// in at most one direction).
+	h := f.Hierarchy
+	h.BuildReachability()
+	mset := map[string]bool{nx: true, ny: true}
+	for _, n := range h.Nodes() {
+		if (h.Leq(nx, n) && h.Leq(n, ny)) || (h.Leq(ny, n) && h.Leq(n, nx)) {
+			mset[n] = true
+		}
+	}
+
+	// Canonical name of the merged node: smallest member term, matching
+	// Fuse's naming; fall back to the qualified spelling when that bare name
+	// already names an unrelated node.
+	var qs []QTerm
+	for n := range mset {
+		qs = append(qs, f.Members[n]...)
+	}
+	sort.Slice(qs, func(a, b int) bool {
+		if qs[a].Term != qs[b].Term {
+			return qs[a].Term < qs[b].Term
+		}
+		return qs[a].Source < qs[b].Source
+	})
+	merged = qs[0].Term
+	if _, taken := f.Members[merged]; taken && !mset[merged] {
+		merged = qs[0].String()
+		if _, taken := f.Members[merged]; taken && !mset[merged] {
+			return "", nil, fmt.Errorf("ontology: cannot name merged node: %q taken", merged)
+		}
+	}
+
+	// Rebuild the hierarchy with the merge set contracted. Because mset is
+	// closed under betweenness, contraction cannot form a cycle.
+	rename := func(n string) string {
+		if mset[n] {
+			return merged
+		}
+		return n
+	}
+	nh := NewHierarchy()
+	for _, n := range h.Nodes() {
+		nh.AddNode(rename(n))
+	}
+	for _, e := range h.Edges() {
+		c, p := rename(e.Child), rename(e.Parent)
+		if c == p {
+			continue
+		}
+		if err := nh.AddEdge(c, p); err != nil {
+			return "", nil, fmt.Errorf("ontology: merge of %q and %q: %w", xTerm, yTerm, err)
+		}
+	}
+	nh.TransitiveReduction()
+	f.Hierarchy = nh
+
+	// Rewire membership and witnesses.
+	terms := map[string]bool{}
+	for n := range mset {
+		for _, q := range f.Members[n] {
+			f.Witness[q] = merged
+			terms[q.Term] = true
+		}
+		if n != merged {
+			removed = append(removed, n)
+		}
+		delete(f.Members, n)
+	}
+	f.Members[merged] = qs
+	for t := range terms {
+		var keep []string
+		for _, n := range f.byTerm[t] {
+			if !mset[n] {
+				keep = append(keep, n)
+			}
+		}
+		if !containsStr(keep, merged) {
+			keep = append(keep, merged)
+		}
+		sort.Strings(keep)
+		f.byTerm[t] = keep
+	}
+	sort.Strings(removed)
+	return merged, removed, nil
+}

@@ -184,13 +184,15 @@ func New(cacheSize int) *Planner {
 // PlanSelect returns the plan for intersecting the given rewritten paths on
 // the collection, consulting the plan cache first. The cache key is the
 // canonical path strings (deterministically derived from the normalized
-// pattern) plus the collection's mutation generation, so plans invalidate by
-// key construction exactly like the server's result cache. The second return
-// reports whether the plan came from the cache.
-func (pl *Planner) PlanSelect(col *xmldb.Collection, paths []*xpath.Path) (*SelectPlan, bool) {
+// pattern) plus the collection's mutation generation and the ontology
+// snapshot version the query pinned (paths are rewritten against the SEO, so
+// an ontology mutation changes them the same way a data mutation does) —
+// plans invalidate by key construction exactly like the server's result
+// cache. The second return reports whether the plan came from the cache.
+func (pl *Planner) PlanSelect(col *xmldb.Collection, ontologyVersion uint64, paths []*xpath.Path) (*SelectPlan, bool) {
 	st := col.Stats()
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%s@%d", col.Name(), st.Generation)
+	fmt.Fprintf(&sb, "%s@%d#%d", col.Name(), st.Generation, ontologyVersion)
 	for _, p := range paths {
 		sb.WriteByte(0)
 		sb.WriteString(p.String())

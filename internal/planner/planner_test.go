@@ -100,11 +100,11 @@ func TestPlanSelectCache(t *testing.T) {
 	pl := New(0)
 	paths := []*xpath.Path{xpath.MustParse(`//author[.="Rare"]`)}
 
-	p1, hit1 := pl.PlanSelect(c, paths)
+	p1, hit1 := pl.PlanSelect(c, 1, paths)
 	if hit1 {
 		t.Fatal("first plan cannot be a cache hit")
 	}
-	p2, hit2 := pl.PlanSelect(c, paths)
+	p2, hit2 := pl.PlanSelect(c, 1, paths)
 	if !hit2 || p2 != p1 {
 		t.Fatal("second identical plan should hit the cache")
 	}
@@ -112,16 +112,22 @@ func TestPlanSelectCache(t *testing.T) {
 	if _, err := c.PutXML("new", strings.NewReader(`<paper><author>Rare</author></paper>`)); err != nil {
 		t.Fatal(err)
 	}
-	_, hit3 := pl.PlanSelect(c, paths)
+	_, hit3 := pl.PlanSelect(c, 1, paths)
 	if hit3 {
 		t.Fatal("plan for a new generation must miss the cache")
 	}
+	// An ontology version bump must miss too: the ontology rewrites the
+	// paths, so its version is part of the key.
+	_, hit4 := pl.PlanSelect(c, 2, paths)
+	if hit4 {
+		t.Fatal("plan for a new ontology version must miss the cache")
+	}
 	ctr := pl.Counters()
-	if ctr.PlansBuilt != 2 || ctr.CacheHits != 1 || ctr.CacheMisses != 2 {
+	if ctr.PlansBuilt != 3 || ctr.CacheHits != 1 || ctr.CacheMisses != 3 {
 		t.Fatalf("counters = %+v", ctr)
 	}
-	if ctr.CacheSize != 2 {
-		t.Fatalf("cache size = %d, want 2", ctr.CacheSize)
+	if ctr.CacheSize != 3 {
+		t.Fatalf("cache size = %d, want 3", ctr.CacheSize)
 	}
 }
 
@@ -130,7 +136,7 @@ func TestPlanCacheEviction(t *testing.T) {
 	pl := New(2)
 	for i := 0; i < 4; i++ {
 		paths := []*xpath.Path{xpath.MustParse(fmt.Sprintf(`//author[.="A%d"]`, i))}
-		pl.PlanSelect(c, paths)
+		pl.PlanSelect(c, 1, paths)
 	}
 	if got := pl.Counters().CacheSize; got != 2 {
 		t.Fatalf("cache size = %d, want capacity 2", got)

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 )
 
 // maxNodeLine bounds one NDJSON line read from a node stream; matches the
@@ -23,13 +24,16 @@ const maxNodeLine = 16 << 20
 const streamPrefetch = 16
 
 // wireLine is one NDJSON line of a node's streamed response: an answer
-// ({"xml":...,"seq":...}) or the in-band error trailer ({"error":...}) a
-// node emits when it fails after answers already went out.
+// ({"xml":...,"seq":...}), the in-band error trailer ({"error":...}) a node
+// emits when it fails after answers already went out, or the success trailer
+// ({"ontology_version":N}) every complete stream ends with — the ontology
+// snapshot version the node's answers were computed on.
 type wireLine struct {
-	XML   string   `json:"xml"`
-	Score *float64 `json:"score,omitempty"`
-	Seq   *uint64  `json:"seq,omitempty"`
-	Error string   `json:"error,omitempty"`
+	XML             string   `json:"xml"`
+	Score           *float64 `json:"score,omitempty"`
+	Seq             *uint64  `json:"seq,omitempty"`
+	Error           string   `json:"error,omitempty"`
+	OntologyVersion *uint64  `json:"ontology_version,omitempty"`
 }
 
 // mergeAnswer is one gathered answer with its global merge keys.
@@ -42,12 +46,16 @@ type mergeAnswer struct {
 
 // nodeStream is one node's contribution to a gather: a channel of decoded
 // answers pumped by its own goroutine. err is written (if at all) strictly
-// before the channel closes, so after draining ch the merge may read err
-// without further synchronisation.
+// before the channel closes, so after draining ch the merge may read it
+// without further synchronisation. version — the ontology snapshot version
+// from the node's success trailer (0 until one arrives) — is atomic instead:
+// a limit-stopped merge returns without draining to the close, so the gather
+// may read it while the pump is still scanning the trailer.
 type nodeStream struct {
-	n   *node
-	ch  chan mergeAnswer
-	err error
+	n       *node
+	ch      chan mergeAnswer
+	err     error
+	version atomic.Uint64
 }
 
 // pump decodes body's NDJSON lines into ns.ch until the stream ends, the
@@ -78,6 +86,13 @@ func (rt *Router) pump(ctx context.Context, ns *nodeStream, body io.ReadCloser) 
 			ns.err = errors.New(wl.Error)
 			rt.nodeFailed(ns.n)
 			return
+		}
+		if wl.OntologyVersion != nil {
+			// The node's success trailer: the stream is complete and its
+			// answers were computed on this snapshot version. Keep scanning
+			// (it is the last line by protocol, but tolerate trailing blanks).
+			ns.version.Store(*wl.OntologyVersion)
+			continue
 		}
 		if wl.Seq == nil {
 			ns.err = errors.New("node answer carried no seq")

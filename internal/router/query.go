@@ -55,6 +55,15 @@ type streamTrailer struct {
 	Partial bool     `json:"partial"`
 }
 
+// versionTrailer is the router's success trailer, byte-identical to tossd's:
+// a complete routed stream ends with {"ontology_version":N} where N is the
+// highest snapshot version the contributing nodes reported (nodes mutate
+// independently; the maximum names the most recent ontology any answer saw).
+// Partial streams end with the streamTrailer instead.
+type versionTrailer struct {
+	OntologyVersion uint64 `json:"ontology_version"`
+}
+
 type httpError struct {
 	status int
 	msg    string
@@ -180,8 +189,9 @@ func (rt *Router) serveQuery(w http.ResponseWriter, r *http.Request, req *server
 	}
 	if len(targets) == 0 {
 		// Every node provably holds zero documents for the collection: the
-		// answer set is empty without touching a single node.
-		return rt.finishQuery(w, req, op, nil, info, start, start)
+		// answer set is empty without touching a single node (no node was
+		// asked, so no ontology version is known — the trailer carries 0).
+		return rt.finishQuery(w, req, op, nil, info, 0, start, start)
 	}
 
 	// Upstream request: always streamed (ranked excepted — ranking is a
@@ -409,6 +419,12 @@ func (rt *Router) gatherStreamed(ctx context.Context, w http.ResponseWriter, req
 	if info.Partial {
 		rt.mPartials.Inc()
 	}
+	var version uint64
+	for _, fr := range results {
+		if v := fr.version.Load(); v > version {
+			version = v
+		}
+	}
 	if emitted == 0 {
 		// Nothing on the wire yet: plain statuses are still available.
 		if badReq != "" && len(failed) == 0 {
@@ -437,16 +453,18 @@ func (rt *Router) gatherStreamed(ctx context.Context, w http.ResponseWriter, req
 				Failed:  failed,
 				Partial: true,
 			})
-			if flusher != nil {
-				flusher.Flush()
-			}
+		} else {
+			enc.Encode(versionTrailer{OntologyVersion: version})
+		}
+		if flusher != nil {
+			flusher.Flush()
 		}
 		return nil
 	}
 	if !stopped && emitted == 0 {
 		rt.hFirstResult.Observe(time.Since(start).Seconds())
 	}
-	return rt.finishQuery(w, req, "select", answers, info, start, fanStart)
+	return rt.finishQuery(w, req, "select", answers, info, version, start, fanStart)
 }
 
 // gatherRanked fans a ranked selection out as materialised per-node top-k
@@ -456,6 +474,7 @@ func (rt *Router) gatherRanked(ctx context.Context, w http.ResponseWriter, req *
 	type rankedResult struct {
 		n        *node
 		answers  []mergeAnswer
+		version  uint64
 		err      error
 		notFound bool
 		badReq   string
@@ -492,6 +511,7 @@ func (rt *Router) gatherRanked(ctx context.Context, w http.ResponseWriter, req *
 				rr.err = fmt.Errorf("decoding response: %v", err)
 				return
 			}
+			rr.version = qr.OntologyVersion
 			for _, a := range qr.Answers {
 				if a.Seq == nil || a.Score == nil {
 					rt.nodeFailed(rr.n)
@@ -507,6 +527,7 @@ func (rt *Router) gatherRanked(ctx context.Context, w http.ResponseWriter, req *
 
 	var failed, failErrs []string
 	var lists [][]mergeAnswer
+	var version uint64
 	notFound := 0
 	badReq := ""
 	for _, rr := range results {
@@ -522,6 +543,9 @@ func (rt *Router) gatherRanked(ctx context.Context, w http.ResponseWriter, req *
 			}
 		default:
 			lists = append(lists, rr.answers)
+			if rr.version > version {
+				version = rr.version
+			}
 		}
 	}
 	if badReq != "" && len(failed) == 0 {
@@ -554,16 +578,18 @@ func (rt *Router) gatherRanked(ctx context.Context, w http.ResponseWriter, req *
 		}
 	}
 	rt.hFirstResult.Observe(time.Since(start).Seconds())
-	return rt.finishQuery(w, req, "ranked", answers, info, start, fanStart)
+	return rt.finishQuery(w, req, "ranked", answers, info, version, start, fanStart)
 }
 
 // finishQuery writes the materialised routed response.
-func (rt *Router) finishQuery(w http.ResponseWriter, req *server.QueryRequest, op string, answers []server.Answer, info NodesInfo, start, fanStart time.Time) error {
+func (rt *Router) finishQuery(w http.ResponseWriter, req *server.QueryRequest, op string, answers []server.Answer, info NodesInfo, version uint64, start, fanStart time.Time) error {
 	if req.Stream {
-		// Reachable only for the zero-target case: an empty stream.
+		// Reachable only for the zero-target case: an empty stream, complete
+		// by definition, still ends with the success trailer.
 		rt.mStreamed.Inc()
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.WriteHeader(http.StatusOK)
+		json.NewEncoder(w).Encode(versionTrailer{OntologyVersion: version})
 		return nil
 	}
 	if answers == nil {
@@ -571,12 +597,13 @@ func (rt *Router) finishQuery(w http.ResponseWriter, req *server.QueryRequest, o
 	}
 	resp := RoutedResponse{
 		QueryResponse: server.QueryResponse{
-			Op:        op,
-			Instance:  req.Instance,
-			Count:     len(answers),
-			Cached:    false,
-			ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
-			Answers:   answers,
+			Op:              op,
+			Instance:        req.Instance,
+			Count:           len(answers),
+			Cached:          false,
+			ElapsedMS:       float64(time.Since(start).Microseconds()) / 1e3,
+			OntologyVersion: version,
+			Answers:         answers,
 		},
 		Nodes: info,
 	}

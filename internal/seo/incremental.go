@@ -1,0 +1,275 @@
+// Incremental SEA: re-cluster only the part of the hierarchy a mutation
+// touched. The similarity graph of Definition 8 decomposes the SEO into
+// connected components; an edge addition/retraction or a node merge can only
+// change similarity edges, order-compatibility, or order-lifting verdicts
+// for nodes in the component reachable from the mutation's dirty set, so the
+// cliques (clusters) outside that component — and the lift verdicts between
+// them — are reused verbatim. Recluster is proven equivalent to a
+// from-scratch Enhance by testing/quick in incremental_test.go.
+package seo
+
+import (
+	"sort"
+
+	"repro/internal/ontology"
+	"repro/internal/similarity"
+)
+
+// Delta names what a hierarchy mutation touched, in hierarchy-node terms.
+type Delta struct {
+	// Dirty lists nodes whose similarity or order neighbourhood may have
+	// changed. The caller must include every node whose contained-string set
+	// changed and every node whose ancestor or descendant set changed: for an
+	// edge mutation x ≤ y that is Below(x) ∪ Above(y) — taken in the
+	// post-mutation hierarchy for additions and the pre-mutation hierarchy
+	// for retractions; for a merge, Below ∪ Above of the merged node.
+	// Unknown names are ignored, so passing supersets is safe.
+	Dirty []string
+	// Removed lists nodes deleted from the hierarchy (merges contract
+	// several nodes into one); their old clusters are dissolved and the
+	// surviving co-members re-clustered.
+	Removed []string
+}
+
+// ReclusterStats quantifies how much work an incremental update did — the
+// counters the component-bound acceptance tests and the toss_ontology_*
+// metrics read.
+type ReclusterStats struct {
+	// DirtyNodes and ComponentNodes are the seed set size and the size of
+	// the affected similarity component actually re-clustered; TotalNodes is
+	// the hierarchy size for comparison.
+	DirtyNodes     int
+	ComponentNodes int
+	TotalNodes     int
+	// ReusedClusters were copied from the previous SEO untouched;
+	// RebuiltClusters came out of the component's clique enumeration.
+	ReusedClusters  int
+	RebuiltClusters int
+	// SimChecks counts node pairs re-measured for similarity; PairChecks
+	// counts cluster pairs whose order lift was recomputed.
+	SimChecks  int
+	PairChecks int
+}
+
+// Recluster incrementally updates prev — a similarity enhancement of some
+// earlier version of h — to the current h, re-clustering only the similarity
+// component touched by delta. The result is byte-identical (clusters, names,
+// Mu, hierarchy, dropped edges) to Enhance(h, d, eps, opts); d, eps and opts
+// must be the ones prev was built with. A nil prev falls back to Enhance.
+func Recluster(prev *SEO, h *ontology.Hierarchy, d similarity.Measure, eps float64, opts Options, delta Delta) (*SEO, *ReclusterStats, error) {
+	if prev == nil || prev.lift == nil {
+		s, err := Enhance(h, d, eps, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		st := &ReclusterStats{
+			TotalNodes:      h.NodeCount(),
+			ComponentNodes:  h.NodeCount(),
+			RebuiltClusters: len(s.Clusters),
+		}
+		return s, st, nil
+	}
+
+	nodes := h.Nodes()
+	nodeSet := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		nodeSet[n] = true
+	}
+	strs := func(n string) []string {
+		if opts.Strings != nil {
+			if s := opts.Strings[n]; len(s) > 0 {
+				return s
+			}
+		}
+		return []string{n}
+	}
+	st := &ReclusterStats{TotalNodes: len(nodes)}
+
+	dirty := map[string]bool{}
+	for _, n := range delta.Dirty {
+		if nodeSet[n] {
+			dirty[n] = true
+		}
+	}
+	st.DirtyNodes = len(dirty)
+
+	h.BuildReachability()
+
+	// Fresh similarity edges incident to dirty nodes: only these can differ
+	// from the previous graph — a clean–clean pair has unchanged strings and
+	// unchanged ancestor/descendant sets, so its edge is exactly its old
+	// co-cluster adjacency.
+	adjNew := map[string]map[string]bool{}
+	link := func(a, b string) {
+		if adjNew[a] == nil {
+			adjNew[a] = map[string]bool{}
+		}
+		adjNew[a][b] = true
+	}
+	for a := range dirty {
+		sa := strs(a)
+		for _, b := range nodes {
+			if b == a {
+				continue
+			}
+			st.SimChecks++
+			if !nodeWithin(d, sa, strs(b), eps, opts.DisableLemma1) {
+				continue
+			}
+			if opts.CompatibilityFilter && !orderCompatible(h, a, b) {
+				continue
+			}
+			link(a, b)
+			link(b, a)
+		}
+	}
+
+	// Old adjacency of a surviving node: its co-members in any prev cluster.
+	oldCo := func(n string) []string {
+		var out []string
+		for _, c := range prev.Mu[n] {
+			for _, m := range prev.Clusters[c] {
+				if m != n && nodeSet[m] {
+					out = append(out, m)
+				}
+			}
+		}
+		return out
+	}
+
+	// The affected component: BFS from the dirty nodes (plus survivors of
+	// clusters that lost a removed member) over the union of old and new
+	// adjacency. Every old or new similarity edge incident to the component
+	// stays inside it, so cliques decompose across its boundary.
+	comp := map[string]bool{}
+	var queue []string
+	push := func(n string) {
+		if nodeSet[n] && !comp[n] {
+			comp[n] = true
+			queue = append(queue, n)
+		}
+	}
+	for n := range dirty {
+		push(n)
+	}
+	for _, r := range delta.Removed {
+		for _, c := range prev.Mu[r] {
+			for _, m := range prev.Clusters[c] {
+				push(m)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for b := range adjNew[n] {
+			push(b)
+		}
+		for _, b := range oldCo(n) {
+			push(b)
+		}
+	}
+	st.ComponentNodes = len(comp)
+
+	// Clique enumeration restricted to the component. Clean–clean adjacency
+	// inside it is the (unchanged) old co-membership; pairs with a dirty
+	// endpoint were just recomputed.
+	compNodes := make([]string, 0, len(comp))
+	for n := range comp {
+		compNodes = append(compNodes, n)
+	}
+	sort.Strings(compNodes)
+	idx := make(map[string]int, len(compNodes))
+	for i, n := range compNodes {
+		idx[n] = i
+	}
+	adj := make([]map[int]bool, len(compNodes))
+	for i := range adj {
+		adj[i] = map[int]bool{}
+	}
+	inOldCluster := func(a, b string) bool {
+		i, j := 0, 0
+		ca, cb := prev.Mu[a], prev.Mu[b]
+		for i < len(ca) && j < len(cb) {
+			switch {
+			case ca[i] == cb[j]:
+				return true
+			case ca[i] < cb[j]:
+				i++
+			default:
+				j++
+			}
+		}
+		return false
+	}
+	for i, a := range compNodes {
+		for j := i + 1; j < len(compNodes); j++ {
+			b := compNodes[j]
+			var edge bool
+			if dirty[a] || dirty[b] {
+				edge = adjNew[a][b]
+			} else {
+				edge = inOldCluster(a, b)
+			}
+			if edge {
+				adj[i][j] = true
+				adj[j][i] = true
+			}
+		}
+	}
+	rebuilt := maximalCliques(adj)
+
+	// Final cluster set: prev clusters disjoint from the component (and free
+	// of removed nodes) plus the component's fresh cliques, canonically
+	// ordered so naming matches a from-scratch Enhance.
+	var all [][]string
+	dirtyKeys := map[string]bool{}
+	prevKeys := make(map[string]bool, len(prev.Clusters))
+	for _, ms := range prev.Clusters {
+		prevKeys[clusterKey(ms)] = true
+	}
+	for _, ms := range prev.Clusters {
+		touched := false
+		for _, m := range ms {
+			if comp[m] || !nodeSet[m] {
+				touched = true
+				break
+			}
+		}
+		if touched {
+			continue
+		}
+		all = append(all, ms)
+		st.ReusedClusters++
+	}
+	for _, cl := range rebuilt {
+		ms := make([]string, len(cl))
+		for k, i := range cl {
+			ms[k] = compNodes[i]
+		}
+		sort.Strings(ms)
+		all = append(all, ms)
+		// A rebuilt clique whose member set existed before and contains no
+		// dirty node has unchanged lift inputs; leave it clean so its pair
+		// verdicts are reused too.
+		key := clusterKey(ms)
+		clean := prevKeys[key]
+		for _, m := range ms {
+			if dirty[m] {
+				clean = false
+				break
+			}
+		}
+		if !clean {
+			dirtyKeys[key] = true
+		}
+		st.RebuiltClusters++
+	}
+	sortClusterLists(all)
+
+	s, err := assemble(h, all, d, eps, opts, prev, dirtyKeys, st)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, st, nil
+}

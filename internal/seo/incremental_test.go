@@ -1,0 +1,254 @@
+package seo
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ontology"
+	"repro/internal/similarity"
+)
+
+// randHierarchy builds a random DAG over n terms whose names cluster in
+// small groups (shared prefix + one-digit suffix, so Levenshtein at eps 1
+// forms real multi-member clusters).
+func randHierarchy(r *rand.Rand, n int) *ontology.Hierarchy {
+	h := ontology.NewHierarchy()
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("g%02d-%d", r.Intn(n/3+1), r.Intn(10))
+		h.AddNode(names[i])
+	}
+	edges := r.Intn(2 * n)
+	for i := 0; i < edges; i++ {
+		a, b := names[r.Intn(n)], names[r.Intn(n)]
+		_ = h.AddEdge(a, b) // cycle/self-loop attempts are skipped
+	}
+	return h
+}
+
+// seoEqual compares every externally observable part of two SEOs.
+func seoEqual(t *testing.T, got, want *SEO) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Clusters, want.Clusters) {
+		t.Fatalf("clusters differ:\ngot  %v\nwant %v", got.Clusters, want.Clusters)
+	}
+	if !reflect.DeepEqual(got.Mu, want.Mu) {
+		t.Fatalf("mu differs:\ngot  %v\nwant %v", got.Mu, want.Mu)
+	}
+	if got.Hierarchy.String() != want.Hierarchy.String() {
+		t.Fatalf("lifted hierarchy differs:\ngot\n%s\nwant\n%s", got.Hierarchy, want.Hierarchy)
+	}
+	if !reflect.DeepEqual(got.Dropped, want.Dropped) {
+		t.Fatalf("dropped edges differ:\ngot  %v\nwant %v", got.Dropped, want.Dropped)
+	}
+	if got.Epsilon != want.Epsilon || got.MeasureName != want.MeasureName {
+		t.Fatalf("parameters differ: got (%g,%s) want (%g,%s)", got.Epsilon, got.MeasureName, want.Epsilon, want.MeasureName)
+	}
+}
+
+// deltaFor computes the contractual dirty set of one edge mutation: for an
+// addition, Below(child) ∪ Above(parent) in the post-mutation hierarchy; for
+// a retraction the same sets in the pre-mutation hierarchy (the caller
+// computes it before removing the edge).
+func deltaFor(h *ontology.Hierarchy, child, parent string) Delta {
+	return Delta{Dirty: append(h.Below(child), h.Above(parent)...)}
+}
+
+// TestReclusterEquivalenceQuick drives random add/retract sequences through
+// Recluster and checks each step byte-equals a from-scratch Enhance — for the
+// production configuration (CompatibilityFilter) and for the paper's relaxed
+// mode without the filter.
+func TestReclusterEquivalenceQuick(t *testing.T) {
+	d := similarity.Levenshtein{}
+	for _, opts := range []Options{
+		{CompatibilityFilter: true},
+		{Relaxed: true},
+	} {
+		opts := opts
+		check := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			h := randHierarchy(r, 12+r.Intn(24))
+			eps := float64(r.Intn(2))
+			cur, err := Enhance(h, d, eps, opts)
+			if err != nil {
+				return true // inconsistent start: nothing to update incrementally
+			}
+			for step := 0; step < 6; step++ {
+				nodes := h.Nodes()
+				a := nodes[r.Intn(len(nodes))]
+				b := nodes[r.Intn(len(nodes))]
+				var delta Delta
+				if r.Intn(3) > 0 {
+					h2 := h.Clone()
+					if h2.AddEdge(a, b) != nil {
+						continue // cycle or self-loop: mutation rejected upstream
+					}
+					h = h2
+					delta = deltaFor(h, a, b)
+				} else {
+					if !h.HasEdge(a, b) {
+						continue
+					}
+					delta = deltaFor(h, a, b)
+					h2 := h.Clone()
+					h2.RemoveEdge(a, b)
+					h = h2
+				}
+				want, wantErr := Enhance(h, d, eps, opts)
+				got, st, gotErr := Recluster(cur, h, d, eps, opts, delta)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("seed %d step %d: error mismatch: enhance=%v recluster=%v", seed, step, wantErr, gotErr)
+				}
+				if wantErr != nil {
+					return true // both inconsistent; sequence ends here
+				}
+				if st.ComponentNodes > st.TotalNodes {
+					t.Fatalf("seed %d: component %d larger than hierarchy %d", seed, st.ComponentNodes, st.TotalNodes)
+				}
+				seoEqual(t, got, want)
+				cur = got
+			}
+			return true
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+	}
+}
+
+// TestReclusterMergeEquivalence exercises the node-merge delta shape
+// (Removed + dirty merged node) that AddConstraintLive's equality path uses.
+func TestReclusterMergeEquivalence(t *testing.T) {
+	d := similarity.Levenshtein{}
+	opts := Options{CompatibilityFilter: true, Strings: map[string][]string{}}
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		h := randHierarchy(r, 16)
+		strings := map[string][]string{}
+		for _, n := range h.Nodes() {
+			strings[n] = []string{n}
+		}
+		opts.Strings = strings
+		cur, err := Enhance(h, d, 1, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Merge two nodes the way Fusion.MergeTerms would: contract the set
+		// of nodes between them into the lexicographically first member.
+		nodes := h.Nodes()
+		x, y := nodes[r.Intn(len(nodes))], nodes[r.Intn(len(nodes))]
+		if x == y {
+			continue
+		}
+		h.BuildReachability()
+		mset := map[string]bool{x: true, y: true}
+		for _, n := range nodes {
+			if (h.Leq(x, n) && h.Leq(n, y)) || (h.Leq(y, n) && h.Leq(n, x)) {
+				mset[n] = true
+			}
+		}
+		merged := ""
+		for n := range mset {
+			if merged == "" || n < merged {
+				merged = n
+			}
+		}
+		h2 := ontology.NewHierarchy()
+		rename := func(n string) string {
+			if mset[n] {
+				return merged
+			}
+			return n
+		}
+		for _, n := range nodes {
+			h2.AddNode(rename(n))
+		}
+		for _, e := range h.Edges() {
+			c, p := rename(e.Child), rename(e.Parent)
+			if c != p {
+				if err := h2.AddEdge(c, p); err != nil {
+					t.Fatalf("contraction created a cycle: %v", err)
+				}
+			}
+		}
+		h2.TransitiveReduction()
+		var removed []string
+		strs2 := map[string][]string{}
+		mergedStrings := map[string]bool{}
+		for _, n := range nodes {
+			if mset[n] {
+				if n != merged {
+					removed = append(removed, n)
+				}
+				mergedStrings[n] = true
+				continue
+			}
+			strs2[n] = []string{n}
+		}
+		for sstr := range mergedStrings {
+			strs2[merged] = append(strs2[merged], sstr)
+		}
+		opts2 := opts
+		opts2.Strings = strs2
+		delta := Delta{
+			Dirty:   append(h2.Below(merged), h2.Above(merged)...),
+			Removed: removed,
+		}
+		want, err := Enhance(h2, d, 1, opts2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := Recluster(cur, h2, d, 1, opts2, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seoEqual(t, got, want)
+	}
+}
+
+// TestReclusterComponentBound is the acceptance bound: a 1-edge change on a
+// 5000-term ontology must re-examine fewer than 5% of the nodes.
+func TestReclusterComponentBound(t *testing.T) {
+	const n = 5000
+	h := ontology.NewHierarchy()
+	// 50 branches of 100 terms each under a root; term strings are sparse
+	// enough that eps-1 Levenshtein clusters stay small.
+	for b := 0; b < 50; b++ {
+		parent := fmt.Sprintf("branch-%02d-root", b)
+		h.MustAddEdge(parent, "root")
+		for i := 0; i < 99; i++ {
+			h.MustAddEdge(fmt.Sprintf("b%02dterm%04dx", b, i*37), parent)
+		}
+	}
+	if h.NodeCount() < n {
+		t.Fatalf("fixture has %d nodes, want >= %d", h.NodeCount(), n)
+	}
+	d := similarity.Levenshtein{}
+	opts := Options{CompatibilityFilter: true}
+	cur, err := Enhance(h, d, 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := h.Clone()
+	if err := h2.AddEdge("b00term0037x", "branch-07-root"); err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := Recluster(cur, h2, d, 1, opts, deltaFor(h2, "b00term0037x", "branch-07-root"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limit := h2.NodeCount() / 20; st.ComponentNodes >= limit {
+		t.Fatalf("1-edge change re-clustered %d of %d nodes (>= 5%% bound %d)", st.ComponentNodes, st.TotalNodes, limit)
+	}
+	if st.ComponentNodes == 0 {
+		t.Fatal("expected a non-empty recluster component")
+	}
+	want, err := Enhance(h2, d, 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seoEqual(t, got, want)
+}

@@ -34,7 +34,28 @@ type SEO struct {
 	// Dropped lists order edges that relaxed construction removed because
 	// the converse of condition (1) failed; empty for strict construction.
 	Dropped []DroppedEdge
+
+	// lift caches the order-lifting verdict of every ordered cluster pair
+	// with existsLeq, keyed by the member-list keys of the two clusters.
+	// Recluster reuses the verdicts of clean pairs, so an incremental update
+	// re-examines only pairs that involve a rebuilt cluster.
+	lift map[liftKey]liftEdge
 }
+
+// liftKey identifies an ordered cluster pair by member-list keys (cluster
+// names are not stable across re-clustering; member sets are).
+type liftKey [2]string
+
+// liftEdge is one cached order-lifting verdict: ok means the all-pairs
+// condition (converse of Definition 8 condition (1)) held; otherwise wa/wb
+// witness the violating base pair.
+type liftEdge struct {
+	ok     bool
+	wa, wb string
+}
+
+// clusterKey canonically identifies a cluster by its sorted member list.
+func clusterKey(members []string) string { return strings.Join(members, "\x1f") }
 
 // DroppedEdge records an H'-edge removed in relaxed mode, with one witness
 // pair of H-nodes whose order the edge would have fabricated.
@@ -164,31 +185,67 @@ func Enhance(h *ontology.Hierarchy, d similarity.Measure, eps float64, opts Opti
 	// every member pair is ≤ eps apart (2); every ≤-eps pair co-occurs in
 	// some clique (3); maximality rules out redundant subsets (4).
 	cliques := maximalCliques(adj)
+	members := make([][]string, len(cliques))
+	for ci, cl := range cliques {
+		ms := make([]string, len(cl))
+		for k, i := range cl {
+			ms[k] = nodes[i]
+		}
+		sort.Strings(ms)
+		members[ci] = ms
+	}
+	sortClusterLists(members)
+	return assemble(h, members, d, eps, opts, nil, nil, nil)
+}
 
+// sortClusterLists orders member lists lexicographically (each list already
+// sorted), making cluster naming and edge processing independent of clique
+// enumeration order — the invariant that lets the incremental Recluster
+// reproduce a from-scratch Enhance byte for byte.
+func sortClusterLists(ms [][]string) {
+	sort.Slice(ms, func(i, j int) bool { return lessStrings(ms[i], ms[j]) })
+}
+
+func lessStrings(a, b []string) bool {
+	for k := 0; k < len(a) && k < len(b); k++ {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// assemble builds the SEO for a fixed, canonically sorted cluster set:
+// naming, order lifting with the converse-of-(1)/acyclicity checks, and
+// transitive reduction. When prev is non-nil, cached lift verdicts are reused
+// for ordered pairs whose two clusters both carry member keys present in
+// prev and absent from dirtyKeys; pairs involving a dirty cluster are
+// recomputed against h. The output is a pure function of (h, cliques, d,
+// eps, opts) either way — the cache only skips recomputation of verdicts
+// whose inputs are unchanged. stats, when non-nil, counts recomputed pairs.
+func assemble(h *ontology.Hierarchy, cliques [][]string, d similarity.Measure, eps float64, opts Options, prev *SEO, dirtyKeys map[string]bool, stats *ReclusterStats) (*SEO, error) {
 	s := &SEO{
 		Hierarchy:   ontology.NewHierarchy(),
 		Clusters:    map[string][]string{},
 		Mu:          map[string][]string{},
 		Epsilon:     eps,
 		MeasureName: d.Name(),
+		lift:        make(map[liftKey]liftEdge),
 	}
 	names := make([]string, len(cliques))
+	keys := make([]string, len(cliques))
 	used := map[string]int{}
-	for ci, cl := range cliques {
-		members := make([]string, len(cl))
-		for k, i := range cl {
-			members[k] = nodes[i]
-		}
-		sort.Strings(members)
-		name := members[0]
+	for ci, ms := range cliques {
+		name := ms[0]
 		if n := used[name]; n > 0 {
-			name = fmt.Sprintf("%s#%d", members[0], n)
+			name = fmt.Sprintf("%s#%d", ms[0], n)
 		}
-		used[members[0]]++
+		used[ms[0]]++
 		names[ci] = name
-		s.Clusters[name] = members
+		keys[ci] = clusterKey(ms)
+		s.Clusters[name] = ms
 		s.Hierarchy.AddNode(name)
-		for _, m := range members {
+		for _, m := range ms {
 			s.Mu[m] = append(s.Mu[m], name)
 		}
 	}
@@ -197,37 +254,62 @@ func Enhance(h *ontology.Hierarchy, d similarity.Measure, eps float64, opts Opti
 	}
 
 	// Order lifting (condition (1) forward direction): cluster C1 precedes
-	// C2 whenever some member of C1 precedes some member of C2 in H.
+	// C2 whenever some member of C1 precedes some member of C2 in H. The
+	// verdict of each pair depends only on the two member sets and H's
+	// reachability, so clean pairs may be copied from prev.
 	h.BuildReachability()
-	type edge struct{ from, to string }
-	var edges []edge
-	for i, ci := range names {
-		for j, cj := range names {
+	reuse := prev != nil && prev.lift != nil
+	for i := range cliques {
+		for j := range cliques {
 			if i == j {
 				continue
 			}
-			if existsLeq(h, s.Clusters[ci], s.Clusters[cj]) {
-				edges = append(edges, edge{ci, cj})
+			k := liftKey{keys[i], keys[j]}
+			if reuse && !dirtyKeys[keys[i]] && !dirtyKeys[keys[j]] {
+				if le, ok := prev.lift[k]; ok {
+					s.lift[k] = le
+				}
+				continue
 			}
+			if stats != nil {
+				stats.PairChecks++
+			}
+			if !existsLeq(h, cliques[i], cliques[j]) {
+				continue
+			}
+			le := liftEdge{ok: true}
+			if a, b, ok := allLeq(h, cliques[i], cliques[j]); !ok {
+				le = liftEdge{wa: a, wb: b}
+			}
+			s.lift[k] = le
 		}
 	}
-	// Acyclicity + converse of condition (1).
-	for _, e := range edges {
-		if a, b, ok := allLeq(h, s.Clusters[e.from], s.Clusters[e.to]); !ok {
-			if !opts.Relaxed {
-				return nil, &InconsistencyError{Reason: fmt.Sprintf(
-					"edge %s -> %s requires %s <= %s in the base hierarchy, which does not hold",
-					e.from, e.to, a, b)}
+	// Acyclicity + converse of condition (1), applied in canonical order.
+	for i := range cliques {
+		for j := range cliques {
+			if i == j {
+				continue
 			}
-			s.Dropped = append(s.Dropped, DroppedEdge{From: e.from, To: e.to, WitnessA: a, WitnessB: b})
-			continue
-		}
-		if err := s.Hierarchy.AddEdge(e.from, e.to); err != nil {
-			if !opts.Relaxed {
-				return nil, &InconsistencyError{Reason: fmt.Sprintf(
-					"enhanced hierarchy is cyclic: %v", err)}
+			le, ok := s.lift[liftKey{keys[i], keys[j]}]
+			if !ok {
+				continue
 			}
-			s.Dropped = append(s.Dropped, DroppedEdge{From: e.from, To: e.to})
+			if !le.ok {
+				if !opts.Relaxed {
+					return nil, &InconsistencyError{Reason: fmt.Sprintf(
+						"edge %s -> %s requires %s <= %s in the base hierarchy, which does not hold",
+						names[i], names[j], le.wa, le.wb)}
+				}
+				s.Dropped = append(s.Dropped, DroppedEdge{From: names[i], To: names[j], WitnessA: le.wa, WitnessB: le.wb})
+				continue
+			}
+			if err := s.Hierarchy.AddEdge(names[i], names[j]); err != nil {
+				if !opts.Relaxed {
+					return nil, &InconsistencyError{Reason: fmt.Sprintf(
+						"enhanced hierarchy is cyclic: %v", err)}
+				}
+				s.Dropped = append(s.Dropped, DroppedEdge{From: names[i], To: names[j]})
+			}
 		}
 	}
 	s.Hierarchy.TransitiveReduction()

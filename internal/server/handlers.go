@@ -54,8 +54,12 @@ type QueryResponse struct {
 	Count     int      `json:"count"`
 	Cached    bool     `json:"cached"`
 	ElapsedMS float64  `json:"elapsed_ms"`
-	Answers   []Answer `json:"answers"`
-	Analyze   string   `json:"analyze,omitempty"`
+	// OntologyVersion is the ontology snapshot the query executed against
+	// (see /v1/ontology); answers computed before a live mutation carry the
+	// version they were computed on.
+	OntologyVersion uint64   `json:"ontology_version"`
+	Answers         []Answer `json:"answers"`
+	Analyze         string   `json:"analyze,omitempty"`
 }
 
 // Answer is one witness tree, serialised as XML, with its similarity score
@@ -99,7 +103,9 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "ok instances=%d seo_nodes=%d\n", len(s.sys.Instances), s.sys.SEO.NodeCount())
+	snap := s.sys.Ontology()
+	fmt.Fprintf(w, "ok instances=%d seo_nodes=%d ontology_version=%d\n",
+		len(s.sys.Instances), snap.SEO.NodeCount(), snap.Version)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -163,6 +169,15 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		},
 		"collections": cols,
 		"ops":         s.aggregates(),
+	}
+	oc := s.sys.OntologyCounters()
+	body["ontology"] = map[string]any{
+		"version":              s.sys.OntologyVersion(),
+		"mutations":            oc.Mutations,
+		"recluster_seconds":    oc.ReclusterSeconds,
+		"reclustered_nodes":    oc.ReclusteredNodes,
+		"last_component_nodes": oc.LastComponent,
+		"last_dirty_nodes":     oc.LastDirty,
 	}
 	if s.sys.Planner != nil {
 		body["planner"] = s.sys.Planner.Counters()
@@ -311,7 +326,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, req *QueryRe
 	if !req.Analyze && !req.Stream {
 		if res, ok := s.cache.Get(key); ok {
 			s.aggregate(op, true, time.Since(start), nil)
-			return s.render(w, format, op, instance, req, res, true, time.Since(start), "")
+			return s.render(w, format, op, instance, req, res, true, time.Since(start), "", sys.OntologyVersion())
 		}
 	}
 
@@ -342,7 +357,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, req *QueryRe
 	s.hFirstResult.Observe(elapsed.Seconds())
 	s.observeScanned(st)
 	s.aggregate(op, false, elapsed, st)
-	return s.render(w, format, op, instance, req, res, false, elapsed, analyze)
+	return s.render(w, format, op, instance, req, res, false, elapsed, analyze, sys.OntologyVersion())
 }
 
 // observeScanned feeds the docs-scanned-before-limit counter: on the
@@ -369,13 +384,24 @@ type streamError struct {
 	Error string `json:"error"`
 }
 
+// streamTrailer is the final NDJSON line of every successful stream: it
+// carries the ontology snapshot version the answers were computed on (the
+// streamed counterpart of QueryResponse.OntologyVersion). A stream opened on
+// version N drains with a version-N trailer even if a mutation installed N+1
+// mid-stream — the query pinned its snapshot at entry. Clients distinguish
+// the three line shapes by member: "xml" is an answer, "error" marks a
+// truncated stream, "ontology_version" marks a complete one.
+type streamTrailer struct {
+	OntologyVersion uint64 `json:"ontology_version"`
+}
+
 // executeStream answers a streamed query as NDJSON: one JSON object per
 // answer, flushed as produced, so the client sees the first answer at
-// first-result latency rather than total query latency. The line count of a
-// successful stream equals the non-streamed response's count field; there is
-// no trailer on success. Errors after the first line append a final
-// {"error":"..."} sentinel so clients can distinguish truncation from
-// completion.
+// first-result latency rather than total query latency. A successful stream
+// has the non-streamed response's count field worth of answer lines plus one
+// streamTrailer line (an empty result is just the trailer). Errors after the
+// first line append a final {"error":"..."} sentinel instead of the trailer
+// so clients can distinguish truncation from completion.
 func (s *Server) executeStream(ctx context.Context, w http.ResponseWriter, sys *core.System, op, instance string, req *QueryRequest, pat *pattern.Tree, start time.Time) error {
 	qreq := core.QueryRequest{
 		Pattern:   pat,
@@ -445,6 +471,9 @@ func (s *Server) executeStream(ctx context.Context, w http.ResponseWriter, sys *
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.WriteHeader(http.StatusOK)
 	}
+	if err := enc.Encode(streamTrailer{OntologyVersion: res.OntologyVersion}); err == nil && flusher != nil {
+		flusher.Flush()
+	}
 	stream.Close() // finalize trace counters before reading them
 	s.observeScanned(res.Stats)
 	s.aggregate(op, false, time.Since(start), res.Stats)
@@ -475,9 +504,11 @@ func (s *Server) involvedInstances(sys *core.System, op, instance, right string,
 
 // cacheKey builds the result-cache key: operation, normalized pattern or
 // expression (both re-rendered from the parse tree, so textual variants of
-// the same query share an entry), options, measure/eps, and the name plus
-// mutation generation of every involved collection. Embedding generations
-// makes every write invalidate all affected entries by construction.
+// the same query share an entry), options, measure/eps, the pinned ontology
+// snapshot version, and the name plus mutation generation of every involved
+// collection. Embedding generations makes every data write invalidate all
+// affected entries by construction; embedding the ontology version does the
+// same for live ontology mutations.
 func (s *Server) cacheKey(sys *core.System, op string, req *QueryRequest, pat *pattern.Tree, expr core.Expr, involved []*core.Instance) string {
 	var b strings.Builder
 	b.WriteString(op)
@@ -488,7 +519,7 @@ func (s *Server) cacheKey(sys *core.System, op string, req *QueryRequest, pat *p
 		b.WriteString(expr.String())
 	}
 	fmt.Fprintf(&b, "\x00sl=%v\x00limit=%d\x00ranked=%t\x00noplanner=%t\x00seqs=%t", req.SL, req.Limit, req.Ranked, req.NoPlanner, req.Seqs)
-	fmt.Fprintf(&b, "\x00measure=%s\x00eps=%g", sys.Measure.Name(), sys.Epsilon)
+	fmt.Fprintf(&b, "\x00measure=%s\x00eps=%g\x00ov=%d", sys.Measure.Name(), sys.Epsilon, sys.OntologyVersion())
 	names := make([]string, 0, len(involved))
 	gens := map[string]uint64{}
 	for _, in := range involved {
@@ -575,22 +606,23 @@ func (s *Server) execute(ctx context.Context, sys *core.System, op, instance str
 	return res, st, analyze, nil
 }
 
-func (s *Server) render(w http.ResponseWriter, format, op, instance string, req *QueryRequest, res *cachedResult, cached bool, elapsed time.Duration, analyze string) error {
+func (s *Server) render(w http.ResponseWriter, format, op, instance string, req *QueryRequest, res *cachedResult, cached bool, elapsed time.Duration, analyze string, ontologyVersion uint64) error {
 	if op == "join" {
 		instance = instance + "⨝" + req.Right
 	}
 	switch format {
 	case "xml":
-		return renderXML(w, op, instance, res, cached, elapsed, analyze)
+		return renderXML(w, op, instance, res, cached, elapsed, analyze, ontologyVersion)
 	default:
 		resp := QueryResponse{
-			Op:        op,
-			Instance:  instance,
-			Count:     len(res.XMLs),
-			Cached:    cached,
-			ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
-			Answers:   make([]Answer, len(res.XMLs)),
-			Analyze:   analyze,
+			Op:              op,
+			Instance:        instance,
+			Count:           len(res.XMLs),
+			Cached:          cached,
+			ElapsedMS:       float64(elapsed.Microseconds()) / 1e3,
+			OntologyVersion: ontologyVersion,
+			Answers:         make([]Answer, len(res.XMLs)),
+			Analyze:         analyze,
 		}
 		for i, x := range res.XMLs {
 			resp.Answers[i] = Answer{XML: x}
@@ -608,11 +640,11 @@ func (s *Server) render(w http.ResponseWriter, format, op, instance string, req 
 	}
 }
 
-func renderXML(w http.ResponseWriter, op, instance string, res *cachedResult, cached bool, elapsed time.Duration, analyze string) error {
+func renderXML(w http.ResponseWriter, op, instance string, res *cachedResult, cached bool, elapsed time.Duration, analyze string, ontologyVersion uint64) error {
 	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
 	var b strings.Builder
-	fmt.Fprintf(&b, "<answers op=%q instance=%q count=\"%d\" cached=\"%t\" elapsedMs=\"%.3f\">\n",
-		op, instance, len(res.XMLs), cached, float64(elapsed.Microseconds())/1e3)
+	fmt.Fprintf(&b, "<answers op=%q instance=%q count=\"%d\" cached=\"%t\" elapsedMs=\"%.3f\" ontologyVersion=\"%d\">\n",
+		op, instance, len(res.XMLs), cached, float64(elapsed.Microseconds())/1e3, ontologyVersion)
 	for i, x := range res.XMLs {
 		if res.Scores != nil {
 			fmt.Fprintf(&b, "<answer score=\"%g\">\n", res.Scores[i])

@@ -1,0 +1,200 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/ontology"
+)
+
+// ontologyInfo is the GET /v1/ontology body: the live snapshot's shape plus
+// the cumulative mutation counters. Version is the number queries echo — a
+// client that saw ontology_version N in a response can poll here to learn
+// whether the ontology has moved on.
+type ontologyInfo struct {
+	Version        uint64  `json:"version"`
+	Measure        string  `json:"measure"`
+	Epsilon        float64 `json:"epsilon"`
+	IsaTerms       int     `json:"isa_terms"`
+	IsaEdges       int     `json:"isa_edges"`
+	PartTerms      int     `json:"part_terms"`
+	PartEdges      int     `json:"part_edges"`
+	SEONodes       int     `json:"seo_nodes"`
+	MergedClusters int     `json:"merged_clusters"`
+	DroppedEdges   int     `json:"dropped_edges"`
+
+	Mutations        uint64  `json:"mutations"`
+	ReclusterSeconds float64 `json:"recluster_seconds"`
+	ReclusteredNodes uint64  `json:"reclustered_nodes"`
+	LastComponent    uint64  `json:"last_component_nodes"`
+	LastDirty        uint64  `json:"last_dirty_nodes"`
+}
+
+// ontologyMutation is the POST /v1/ontology body. Op selects the mutation:
+//
+//	add-edge      child ≤ parent enters the relation's fused hierarchy
+//	retract-edge  the direct edge child ≤ parent is removed (Hasse edges only)
+//	constraint    an interoperation constraint applied live: kind leq adds
+//	              x ≤ y, eq merges the fused nodes of x and y, neq verifies
+//	              the terms sit in distinct fused nodes (400 if violated)
+//
+// Relation defaults to isa; part-of mutations update the fused part-of DAG
+// without touching the SEO. Sources qualify terms the paper's x:i way
+// (1-based instance indices); 0 — the default — marks a runtime term.
+type ontologyMutation struct {
+	Op       string `json:"op"`
+	Relation string `json:"relation,omitempty"`
+	Child    string `json:"child,omitempty"`
+	Parent   string `json:"parent,omitempty"`
+
+	Kind    string `json:"kind,omitempty"`
+	X       string `json:"x,omitempty"`
+	Y       string `json:"y,omitempty"`
+	XSource int    `json:"x_source,omitempty"`
+	YSource int    `json:"y_source,omitempty"`
+}
+
+// ontologyMutationResponse reports what the mutation did — most importantly
+// the new snapshot version (queries arriving after this response observe it)
+// and how much re-clustering work the change cost.
+type ontologyMutationResponse struct {
+	Version         uint64  `json:"version"`
+	Relation        string  `json:"relation"`
+	Op              string  `json:"op"`
+	Changed         bool    `json:"changed"`
+	DirtyNodes      int     `json:"dirty_nodes"`
+	ComponentNodes  int     `json:"component_nodes"`
+	TotalNodes      int     `json:"total_nodes"`
+	ReusedClusters  int     `json:"reused_clusters"`
+	RebuiltClusters int     `json:"rebuilt_clusters"`
+	SEONodes        int     `json:"seo_nodes"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleOntology(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.handleOntologyGet(w)
+	case http.MethodPost:
+		s.handleOntologyPost(w, r)
+	default:
+		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleOntologyGet(w http.ResponseWriter) {
+	snap := s.sys.Ontology()
+	if snap == nil {
+		http.Error(w, "system not built", http.StatusServiceUnavailable)
+		return
+	}
+	info := ontologyInfo{
+		Version: snap.Version,
+		Epsilon: snap.Epsilon,
+	}
+	if snap.Measure != nil {
+		info.Measure = snap.Measure.Name()
+	}
+	if snap.FusedIsa != nil {
+		info.IsaTerms = snap.FusedIsa.Hierarchy.NodeCount()
+		info.IsaEdges = snap.FusedIsa.Hierarchy.EdgeCount()
+	}
+	if snap.FusedPart != nil {
+		info.PartTerms = snap.FusedPart.Hierarchy.NodeCount()
+		info.PartEdges = snap.FusedPart.Hierarchy.EdgeCount()
+	}
+	if snap.SEO != nil {
+		info.SEONodes = snap.SEO.NodeCount()
+		for _, members := range snap.SEO.Clusters {
+			if len(members) > 1 {
+				info.MergedClusters++
+			}
+		}
+		info.DroppedEdges = len(snap.SEO.Dropped)
+	}
+	c := s.sys.OntologyCounters()
+	info.Mutations = c.Mutations
+	info.ReclusterSeconds = c.ReclusterSeconds
+	info.ReclusteredNodes = c.ReclusteredNodes
+	info.LastComponent = c.LastComponent
+	info.LastDirty = c.LastDirty
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(info)
+}
+
+func (s *Server) handleOntologyPost(w http.ResponseWriter, r *http.Request) {
+	var req ontologyMutation
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	relation := req.Relation
+	if relation == "" {
+		relation = ontology.RelIsa
+	}
+	res, err := s.applyOntologyMutation(relation, &req)
+	if err != nil {
+		status := http.StatusBadRequest
+		var he *httpError
+		if errors.As(err, &he) {
+			status = he.status
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf("ontology %s %s: version=%d changed=%t component=%d/%d in %s",
+			res.Relation, res.Op, res.Version, res.Changed, res.ComponentNodes, res.TotalNodes, res.Duration)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(ontologyMutationResponse{
+		Version:         res.Version,
+		Relation:        res.Relation,
+		Op:              res.Op,
+		Changed:         res.Changed,
+		DirtyNodes:      res.DirtyNodes,
+		ComponentNodes:  res.ComponentNodes,
+		TotalNodes:      res.TotalNodes,
+		ReusedClusters:  res.ReusedClusters,
+		RebuiltClusters: res.RebuiltClusters,
+		SEONodes:        res.SEONodes,
+		ElapsedMS:       float64(res.Duration.Microseconds()) / 1e3,
+	})
+}
+
+func (s *Server) applyOntologyMutation(relation string, req *ontologyMutation) (*core.MutationResult, error) {
+	switch req.Op {
+	case "add-edge", "retract-edge":
+		if req.Child == "" || req.Parent == "" {
+			return nil, httpErrorf(http.StatusBadRequest, "op %s requires child and parent", req.Op)
+		}
+		if req.Op == "add-edge" {
+			return s.sys.AddEdge(relation, req.Child, req.Parent)
+		}
+		return s.sys.RetractEdge(relation, req.Child, req.Parent)
+	case "constraint":
+		if req.X == "" || req.Y == "" {
+			return nil, httpErrorf(http.StatusBadRequest, "op constraint requires x and y")
+		}
+		var c ontology.Constraint
+		switch req.Kind {
+		case "", "leq":
+			c = ontology.Leq(req.X, req.XSource, req.Y, req.YSource)
+		case "eq":
+			c = ontology.Equal(req.X, req.XSource, req.Y, req.YSource)
+		case "neq":
+			c = ontology.NotEqual(req.X, req.XSource, req.Y, req.YSource)
+		default:
+			return nil, httpErrorf(http.StatusBadRequest, "unknown constraint kind %q (want leq, eq or neq)", req.Kind)
+		}
+		return s.sys.AddConstraintLive(relation, c)
+	default:
+		return nil, httpErrorf(http.StatusBadRequest, "unknown op %q (want add-edge, retract-edge or constraint)", req.Op)
+	}
+}

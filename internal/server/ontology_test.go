@@ -1,0 +1,244 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func getOntology(t *testing.T, ts *httptest.Server) ontologyInfo {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/ontology")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/ontology status %d", resp.StatusCode)
+	}
+	var info ontologyInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func postOntology(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/ontology", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func TestOntologyGet(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	info := getOntology(t, ts)
+	if info.Version == 0 {
+		t.Error("built server reports ontology version 0")
+	}
+	if info.Measure != "name-rule" {
+		t.Errorf("measure %q, want name-rule", info.Measure)
+	}
+	if info.Epsilon != 3 {
+		t.Errorf("epsilon %g, want 3", info.Epsilon)
+	}
+	if info.IsaTerms == 0 || info.SEONodes == 0 {
+		t.Errorf("empty ontology shape: %+v", info)
+	}
+	if info.Mutations != 0 {
+		t.Errorf("fresh server reports %d mutations", info.Mutations)
+	}
+}
+
+// TestOntologyMutationChangesAnswers is the server-level half of the live
+// mutation contract: a POSTed isa edge immediately changes what queries
+// answer, bumps the advertised version everywhere (query responses, GET
+// /v1/ontology, /metrics, /statz), and invalidates the result cache by key
+// construction — the pre-mutation entry is simply never looked up again.
+func TestOntologyMutationChangesAnswers(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	// "ullman" is a token of both Ullman author values; "db-pioneer" is a
+	// fresh runtime term, so pre-mutation the query cannot match anything.
+	isaReq := QueryRequest{
+		Instance: "dblp",
+		Pattern:  `#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content isa "db-pioneer"`,
+		SL:       []int{1},
+	}
+
+	_, body := postQuery(t, ts, isaReq)
+	before := decodeResponse(t, body)
+	if before.Count != 0 {
+		t.Fatalf("pre-mutation isa query returned %d answers, want 0", before.Count)
+	}
+	v0 := before.OntologyVersion
+	if v0 == 0 || v0 != getOntology(t, ts).Version {
+		t.Fatalf("query version %d disagrees with /v1/ontology %d", v0, getOntology(t, ts).Version)
+	}
+
+	// Warm the result cache, then prove it answers from memory.
+	_, body = postQuery(t, ts, isaReq)
+	if !decodeResponse(t, body).Cached {
+		t.Fatal("repeat query was not served from the result cache")
+	}
+
+	resp, mbody := postOntology(t, ts, `{"op":"add-edge","child":"ullman","parent":"db-pioneer"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutation status %d: %s", resp.StatusCode, mbody)
+	}
+	var mres ontologyMutationResponse
+	if err := json.Unmarshal(mbody, &mres); err != nil {
+		t.Fatal(err)
+	}
+	if !mres.Changed || mres.Version != v0+1 || mres.Relation != "isa" {
+		t.Fatalf("mutation response %+v, want changed install of version %d", mres, v0+1)
+	}
+	if mres.ComponentNodes == 0 || mres.TotalNodes == 0 {
+		t.Errorf("mutation reported no recluster work: %+v", mres)
+	}
+
+	// Same request, new snapshot: the version-keyed cache key misses, and
+	// both Ullman docs now answer.
+	_, body = postQuery(t, ts, isaReq)
+	after := decodeResponse(t, body)
+	if after.Cached {
+		t.Fatal("post-mutation query was served the stale cached result")
+	}
+	if after.OntologyVersion != v0+1 {
+		t.Fatalf("post-mutation query version %d, want %d", after.OntologyVersion, v0+1)
+	}
+	if after.Count != 2 {
+		t.Fatalf("post-mutation isa query returned %d answers, want the 2 Ullman docs", after.Count)
+	}
+	all := ""
+	for _, a := range after.Answers {
+		all += a.XML
+	}
+	if !strings.Contains(all, "Jeffrey D. Ullman") || !strings.Contains(all, "J. Ullman") {
+		t.Errorf("post-mutation answers incomplete:\n%s", all)
+	}
+
+	info := getOntology(t, ts)
+	if info.Version != v0+1 || info.Mutations != 1 || info.LastComponent == 0 {
+		t.Errorf("/v1/ontology after mutation: %+v", info)
+	}
+
+	// The version gauge and mutation counter surface on /metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	metrics := buf.String()
+	for _, want := range []string{
+		fmt.Sprintf("toss_ontology_version %d", v0+1),
+		"toss_ontology_mutations_total 1",
+		"toss_ontology_recluster_seconds",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics is missing %q", want)
+		}
+	}
+
+	// And on /statz.
+	sresp, err := http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var statz struct {
+		Ontology struct {
+			Version   uint64 `json:"version"`
+			Mutations uint64 `json:"mutations"`
+		} `json:"ontology"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&statz); err != nil {
+		t.Fatal(err)
+	}
+	if statz.Ontology.Version != v0+1 || statz.Ontology.Mutations != 1 {
+		t.Errorf("/statz ontology section: %+v", statz.Ontology)
+	}
+
+	_ = srv
+}
+
+// TestOntologyVariantAcrossVersions: per-request measure/ε overlay variants
+// are cached keyed by snapshot version, so a mutation invalidates them by key
+// construction — the override keeps working and observes the new edge.
+func TestOntologyVariantAcrossVersions(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	eps := 3.0
+	req := QueryRequest{
+		Instance: "dblp",
+		Pattern:  `#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content isa "db-pioneer"`,
+		SL:       []int{1},
+		Measure:  "levenshtein",
+		Eps:      &eps,
+	}
+	_, body := postQuery(t, ts, req)
+	if got := decodeResponse(t, body); got.Count != 0 {
+		t.Fatalf("pre-mutation variant query returned %d answers", got.Count)
+	}
+	if resp, mbody := postOntology(t, ts, `{"op":"add-edge","child":"ullman","parent":"db-pioneer"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutation status %d: %s", resp.StatusCode, mbody)
+	}
+	_, body = postQuery(t, ts, req)
+	got := decodeResponse(t, body)
+	if got.Count != 2 {
+		t.Fatalf("post-mutation variant query returned %d answers, want 2", got.Count)
+	}
+}
+
+func TestOntologyMutationRejections(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{"op":"add-edge","child":"a"}`, http.StatusBadRequest},           // missing parent
+		{`{"op":"constraint","x":"a"}`, http.StatusBadRequest},             // missing y
+		{`{"op":"frobnicate"}`, http.StatusBadRequest},                     // unknown op
+		{`{"op":"add-edge","child":"a","parent":"b","bogus":true}`, http.StatusBadRequest}, // unknown field
+		{`{"op":"constraint","kind":"gt","x":"a","y":"b"}`, http.StatusBadRequest},         // unknown kind
+		{`{"op":"add-edge","relation":"sibling","child":"a","parent":"b"}`, http.StatusBadRequest},
+		{`{"op":"retract-edge","child":"nope","parent":"also-nope"}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if resp, body := postOntology(t, ts, tc.body); resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d (%s), want %d", tc.body, resp.StatusCode, body, tc.want)
+		}
+	}
+
+	// A cycle is rejected and nothing installs.
+	v0 := getOntology(t, ts).Version
+	if resp, _ := postOntology(t, ts, `{"op":"add-edge","child":"a","parent":"b"}`); resp.StatusCode != http.StatusOK {
+		t.Fatal("setup edge failed")
+	}
+	if resp, body := postOntology(t, ts, `{"op":"add-edge","child":"b","parent":"a"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("cycle edge: status %d (%s), want 400", resp.StatusCode, body)
+	}
+	if got := getOntology(t, ts).Version; got != v0+1 {
+		t.Errorf("version %d after rejected cycle, want %d", got, v0+1)
+	}
+
+	// Non-GET/POST methods are refused.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/ontology", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE status %d, want 405", resp.StatusCode)
+	}
+}

@@ -11,6 +11,7 @@
 package server
 
 import (
+	"container/list"
 	"fmt"
 	"log"
 	"net/http"
@@ -97,10 +98,15 @@ type Server struct {
 	aggMu sync.Mutex
 	agg   map[string]*OpAggregate
 
-	// variants caches SEO re-enhancements for queries that override the
-	// measure or epsilon: built once per distinct (measure, eps), reused.
+	// variants caches per-request snapshot overlays for queries that
+	// override the measure or epsilon: a pinned System view whose SEO was
+	// re-enhanced once per distinct (ontology version, measure, eps) triple
+	// and reused until evicted. Keying on the snapshot version makes every
+	// ontology mutation invalidate the overlays by key construction; the LRU
+	// bound keeps dead-version entries from accumulating.
 	varMu    sync.Mutex
-	variants map[string]*seoVariant
+	variants map[string]*list.Element
+	varOrder *list.List // front = most recently used
 
 	// testHookAdmitted, when set, runs after admission control and before
 	// query execution (test seam for saturation/deadline behavior).
@@ -112,10 +118,16 @@ type Server struct {
 }
 
 type seoVariant struct {
+	key  string
 	once sync.Once
 	sys  *core.System
 	err  error
 }
+
+// variantCacheCap bounds the overlay cache: each entry holds one re-enhanced
+// SEO, so a handful covers every measure/eps combination a dashboard cycles
+// through while old ontology versions age out.
+const variantCacheCap = 8
 
 // OpAggregate accumulates execution statistics per operation kind, the
 // /statz counterpart of the per-query EXPLAIN ANALYZE trace.
@@ -134,7 +146,10 @@ type OpAggregate struct {
 // New returns a server around a built system (Build must have been called:
 // queries need the SEO and measure).
 func New(sys *core.System, cfg Config) (*Server, error) {
-	if sys == nil || sys.SEO == nil || sys.Measure == nil {
+	if sys == nil {
+		return nil, fmt.Errorf("server: system not built (run Build before New)")
+	}
+	if snap := sys.Ontology(); snap == nil || snap.SEO == nil || snap.Measure == nil {
 		return nil, fmt.Errorf("server: system not built (run Build before New)")
 	}
 	cfg = cfg.withDefaults()
@@ -146,13 +161,15 @@ func New(sys *core.System, cfg Config) (*Server, error) {
 		reg:      promtext.NewRegistry(),
 		start:    time.Now(),
 		agg:      map[string]*OpAggregate{},
-		variants: map[string]*seoVariant{},
+		variants: map[string]*list.Element{},
+		varOrder: list.New(),
 	}
 	s.registerMetrics()
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/query", s.handleQuery) // legacy alias for /v1/query
+	mux.HandleFunc("/v1/ontology", s.handleOntology)
 	mux.HandleFunc("/v1/docs", s.handleDocs)
 	mux.HandleFunc("/v1/stats-summary", s.handleStatsSummary)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -218,6 +235,43 @@ func (s *Server) registerMetrics() {
 	})
 	r.GaugeFunc("tossd_uptime_seconds", "seconds since server start", func() []promtext.Sample {
 		return []promtext.Sample{{Value: time.Since(s.start).Seconds()}}
+	})
+
+	// Live-ontology state and mutation activity (/v1/ontology). The version
+	// gauge moves on every accepted mutation; caches key on it, so a bump
+	// here implies the result/plan/variant caches started missing.
+	r.GaugeFunc("toss_ontology_version", "installed ontology snapshot version (bumps on every live mutation and re-Build)", func() []promtext.Sample {
+		return []promtext.Sample{{Value: float64(s.sys.OntologyVersion())}}
+	})
+	r.CounterFunc("toss_ontology_mutations_total", "live ontology mutations applied via the mutation API", func() []promtext.Sample {
+		return []promtext.Sample{{Value: float64(s.sys.OntologyCounters().Mutations)}}
+	})
+	r.SummaryFunc("toss_ontology_recluster_seconds", "cumulative seconds spent in incremental SEA re-clustering", func() (float64, uint64) {
+		c := s.sys.OntologyCounters()
+		return c.ReclusterSeconds, c.Mutations
+	})
+	r.CounterFunc("toss_ontology_reclustered_nodes_total", "hierarchy nodes re-examined by incremental re-clustering", func() []promtext.Sample {
+		return []promtext.Sample{{Value: float64(s.sys.OntologyCounters().ReclusteredNodes)}}
+	})
+	r.GaugeFunc("toss_ontology_recluster_component_nodes", "nodes in the last mutation's recluster component", func() []promtext.Sample {
+		return []promtext.Sample{{Value: float64(s.sys.OntologyCounters().LastComponent)}}
+	})
+	r.GaugeFunc("toss_ontology_recluster_dirty_nodes", "dirty nodes seeding the last mutation's recluster", func() []promtext.Sample {
+		return []promtext.Sample{{Value: float64(s.sys.OntologyCounters().LastDirty)}}
+	})
+	r.GaugeFunc("toss_ontology_seo_nodes", "clusters in the live similarity enhanced ontology", func() []promtext.Sample {
+		snap := s.sys.Ontology()
+		if snap == nil || snap.SEO == nil {
+			return nil
+		}
+		return []promtext.Sample{{Value: float64(snap.SEO.NodeCount())}}
+	})
+	r.GaugeFunc("toss_ontology_dropped_edges", "order edges dropped by relaxed similarity enhancement in the live SEO", func() []promtext.Sample {
+		snap := s.sys.Ontology()
+		if snap == nil || snap.SEO == nil {
+			return nil
+		}
+		return []promtext.Sample{{Value: float64(len(snap.SEO.Dropped))}}
 	})
 
 	// Query-planner activity (the Planner is shared by every SEO variant of
@@ -400,30 +454,45 @@ func (s *Server) counterSamples(pick func(xmldb.Counters) float64) func() []prom
 	}
 }
 
-// systemFor resolves the system variant a request's measure/eps overrides
-// select: the base system when they match the startup build, otherwise a
-// shallow clone whose SEO was re-enhanced once for that (measure, eps) pair
-// and cached for reuse — the expensive structures are never rebuilt per
-// query.
+// systemFor resolves the pinned System view a request executes against. It
+// pins the current ontology snapshot once, here, so everything the request
+// touches — cache keys, plan keys, the evaluator, a stream drained minutes
+// from now — reads one consistent version even while mutations install
+// successors. Measure/eps overrides select a snapshot-overlay variant: the
+// same pinned snapshot with its SEO re-enhanced once for that (version,
+// measure, eps) triple, cached in a small LRU. A version bump changes the
+// key, so overlays of dead versions stop being served and age out.
 func (s *Server) systemFor(measureName string, eps *float64) (*core.System, error) {
 	base := s.sys
-	name := base.Measure.Name()
-	e := base.Epsilon
+	snap := base.Ontology()
+	if snap == nil {
+		return nil, fmt.Errorf("system not built")
+	}
+	name := snap.Measure.Name()
+	e := snap.Epsilon
 	if measureName != "" {
 		name = measureName
 	}
 	if eps != nil {
 		e = *eps
 	}
-	if name == base.Measure.Name() && e == base.Epsilon {
-		return base, nil
+	if name == snap.Measure.Name() && e == snap.Epsilon {
+		return base.WithSnapshot(snap), nil
 	}
-	key := fmt.Sprintf("%s|%g", name, e)
+	key := fmt.Sprintf("%d|%s|%g", snap.Version, name, e)
 	s.varMu.Lock()
-	v, ok := s.variants[key]
-	if !ok {
-		v = &seoVariant{}
-		s.variants[key] = v
+	var v *seoVariant
+	if el, ok := s.variants[key]; ok {
+		s.varOrder.MoveToFront(el)
+		v = el.Value.(*seoVariant)
+	} else {
+		v = &seoVariant{key: key}
+		s.variants[key] = s.varOrder.PushFront(v)
+		for s.varOrder.Len() > variantCacheCap {
+			old := s.varOrder.Back()
+			s.varOrder.Remove(old)
+			delete(s.variants, old.Value.(*seoVariant).key)
+		}
 	}
 	s.varMu.Unlock()
 	v.once.Do(func() {
@@ -432,12 +501,12 @@ func (s *Server) systemFor(measureName string, eps *float64) (*core.System, erro
 			v.err = fmt.Errorf("unknown measure %q", name)
 			return
 		}
-		clone := *base // shallow: Enhance replaces only Measure, Epsilon, SEO
-		if err := clone.Enhance(m, e); err != nil {
+		vsnap, err := base.SnapshotVariant(snap, m, e)
+		if err != nil {
 			v.err = err
 			return
 		}
-		v.sys = &clone
+		v.sys = base.WithSnapshot(vsnap)
 	})
 	return v.sys, v.err
 }

@@ -52,10 +52,10 @@ func TestStreamNDJSONMatchesMaterializedCount(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
 		t.Fatalf("Content-Type %q, want application/x-ndjson", ct)
 	}
-	if len(lines) != ref.Count {
-		t.Fatalf("stream produced %d lines, materialized count %d", len(lines), ref.Count)
+	if len(lines) != ref.Count+1 {
+		t.Fatalf("stream produced %d lines, want %d answers + 1 trailer", len(lines), ref.Count)
 	}
-	for i, line := range lines {
+	for i, line := range lines[:ref.Count] {
 		var a Answer
 		if err := json.Unmarshal([]byte(line), &a); err != nil {
 			t.Fatalf("line %d is not JSON: %v\n%s", i, err, line)
@@ -63,6 +63,13 @@ func TestStreamNDJSONMatchesMaterializedCount(t *testing.T) {
 		if a.XML != ref.Answers[i].XML {
 			t.Fatalf("line %d XML differs from materialized answer %d", i, i)
 		}
+	}
+	var trailer streamTrailer
+	if err := json.Unmarshal([]byte(lines[ref.Count]), &trailer); err != nil {
+		t.Fatalf("trailer line is not JSON: %v\n%s", err, lines[ref.Count])
+	}
+	if trailer.OntologyVersion != ref.OntologyVersion {
+		t.Fatalf("trailer version %d, materialized response version %d", trailer.OntologyVersion, ref.OntologyVersion)
 	}
 }
 
@@ -91,8 +98,8 @@ func TestStreamBodyFieldAndJoin(t *testing.T) {
 			lines++
 		}
 	}
-	if resp.StatusCode != http.StatusOK || lines != ref.Count {
-		t.Fatalf("streamed join: status %d, %d lines, want 200 with %d", resp.StatusCode, lines, ref.Count)
+	if resp.StatusCode != http.StatusOK || lines != ref.Count+1 {
+		t.Fatalf("streamed join: status %d, %d lines, want 200 with %d answers + 1 trailer", resp.StatusCode, lines, ref.Count)
 	}
 }
 
@@ -108,8 +115,12 @@ func TestStreamEmptyResultIsOKWithZeroLines(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
 		t.Fatalf("empty stream Content-Type %q", ct)
 	}
-	if len(lines) != 0 {
-		t.Fatalf("empty stream produced %d lines", len(lines))
+	if len(lines) != 1 {
+		t.Fatalf("empty stream produced %d lines, want just the trailer", len(lines))
+	}
+	var trailer streamTrailer
+	if err := json.Unmarshal([]byte(lines[0]), &trailer); err != nil || trailer.OntologyVersion == 0 {
+		t.Fatalf("empty stream's only line is not a version trailer: %v\n%s", err, lines[0])
 	}
 }
 
@@ -148,8 +159,8 @@ func TestStreamMetricsAndStatz(t *testing.T) {
 	srv, ts := testServer(t, Config{})
 	req := QueryRequest{Instance: "dblp", Pattern: selectPattern, SL: []int{1}, Limit: 1}
 	resp, lines := postStream(t, ts.URL, req)
-	if resp.StatusCode != http.StatusOK || len(lines) != 1 {
-		t.Fatalf("limit-1 stream: status %d, %d lines", resp.StatusCode, len(lines))
+	if resp.StatusCode != http.StatusOK || len(lines) != 2 {
+		t.Fatalf("limit-1 stream: status %d, %d lines, want 1 answer + 1 trailer", resp.StatusCode, len(lines))
 	}
 
 	if srv.hFirstResult.Count() == 0 {

@@ -83,9 +83,13 @@ func TestQuerySeqsStreamed(t *testing.T) {
 		t.Fatalf("status %d: %s", w.Code, w.Body)
 	}
 	lines := strings.Split(strings.TrimSpace(w.Body.String()), "\n")
-	if len(lines) != 4 {
-		t.Fatalf("got %d lines, want 4: %s", len(lines), w.Body)
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 4 answers + 1 trailer: %s", len(lines), w.Body)
 	}
+	if !strings.Contains(lines[4], `"ontology_version"`) {
+		t.Fatalf("last line is not a version trailer: %s", lines[4])
+	}
+	lines = lines[:4]
 	for i, line := range lines {
 		var a struct {
 			XML string  `json:"xml"`
