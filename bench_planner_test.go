@@ -11,6 +11,7 @@ package toss
 //	go test -run NONE -bench 'BenchmarkPlanner' -count 10 | benchstat -
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -126,6 +127,85 @@ func BenchmarkPlannerJoin(b *testing.B) {
 	b.Run("heuristic", func(b *testing.B) { benchmarkPlannerJoin(b, false) })
 }
 
+// adaptiveDriftSystem builds the skewed-and-drifting workload the adaptive
+// layer exists for: "Alice" appears in ~10% of documents and "2021" in ~50%,
+// but never together. The independence assumption estimates ~150 candidate
+// documents for the conjunction — dense enough that the static planner routes
+// a limit-1 query through the streaming scan expecting a ~20-document prefix —
+// and the scan walks the entire collection finding nothing, every time. The
+// feedback loop learns the real cardinality on the first query and re-plans
+// all later ones to the (empty, fast) index intersection; the static planner
+// repeats the full scan forever.
+func adaptiveDriftSystem(b testing.TB, docs int) *core.System {
+	b.Helper()
+	s := core.NewSystem()
+	dblp, err := s.AddInstance("dblp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dblp.Col.SetMaxBytes(0)
+	// Each document carries a block of citation filler so the streaming
+	// filter's per-document path walks cost real work; the value-index
+	// intersection the corrected plan switches to never touches those nodes.
+	var filler strings.Builder
+	for j := 0; j < 60; j++ {
+		fmt.Fprintf(&filler, `<cite ref="c%d">Reference %d</cite>`, j, j)
+	}
+	for i := 0; i < docs; i++ {
+		author, year := "Bob", "2000"
+		switch {
+		case i%10 == 0:
+			author, year = "Alice", "2020"
+		case i%2 == 0:
+			year = "2021"
+		}
+		doc := fmt.Sprintf(`<dblp><inproceedings key="p%d"><author>%s</author><year>%s</year>%s</inproceedings></dblp>`,
+			i, author, year, filler.String())
+		if _, err := dblp.Col.PutXML(fmt.Sprintf("d%05d", i), strings.NewReader(doc)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Build(experiments.DefaultMeasure(), 3); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func adaptiveDriftPattern() *pattern.Tree {
+	return pattern.MustParse(`#1 pc #2, #1 pc #3 :: #1.tag = "inproceedings" & #2.tag = "author" & #3.tag = "year" & #2.content = "Alice" & #3.content = "2021"`)
+}
+
+func benchmarkAdaptiveDrift(b *testing.B, adaptive bool) {
+	s := adaptiveDriftSystem(b, 3000)
+	if !adaptive {
+		s.AdaptiveDisabled = true
+	}
+	pat := adaptiveDriftPattern()
+	ctx := context.Background()
+	// One warm-up query before the timer: both variants pay the lazy index
+	// builds, and the adaptive variant learns the misestimate — the bench
+	// measures the steady state of the workload, where the corrected plan
+	// either exists (adaptive) or never will (static).
+	if _, err := s.Query(ctx, core.QueryRequest{Pattern: pat, Instance: "dblp", Adorn: []int{1}, Limit: 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Query(ctx, core.QueryRequest{Pattern: pat, Instance: "dblp", Adorn: []int{1}, Limit: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Answers) != 0 {
+			b.Fatal("drifted conjunction must match nothing")
+		}
+	}
+}
+
+func BenchmarkAdaptiveDrift(b *testing.B) {
+	b.Run("adaptive", func(b *testing.B) { benchmarkAdaptiveDrift(b, true) })
+	b.Run("static", func(b *testing.B) { benchmarkAdaptiveDrift(b, false) })
+}
+
 // TestWriteBenchPlannerJSON runs the planned-vs-heuristic comparison once
 // and records it in BENCH_planner.json (ns/op per variant plus the ratio),
 // so CI and later sessions can diff planner performance without re-running
@@ -135,10 +215,11 @@ func TestWriteBenchPlannerJSON(t *testing.T) {
 		t.Skip("benchmark emission skipped in -short mode")
 	}
 	type entry struct {
-		NsPerOp  int64   `json:"ns_per_op"`
-		AllocsOp int64   `json:"allocs_per_op"`
-		N        int     `json:"n"`
-		Speedup  float64 `json:"speedup_vs_heuristic,omitempty"`
+		NsPerOp       int64   `json:"ns_per_op"`
+		AllocsOp      int64   `json:"allocs_per_op"`
+		N             int     `json:"n"`
+		Speedup       float64 `json:"speedup_vs_heuristic,omitempty"`
+		SpeedupStatic float64 `json:"speedup_vs_static,omitempty"`
 	}
 	out := map[string]map[string]entry{}
 	record := func(group string, run func(b *testing.B, planned bool)) {
@@ -164,6 +245,29 @@ func TestWriteBenchPlannerJSON(t *testing.T) {
 	record("select_skewed", benchmarkPlannerSelect)
 	record("join_sides", benchmarkPlannerJoin)
 
+	// Adaptive-versus-static on the drifting workload: the adaptive variant
+	// learns the misestimate on its first query and re-plans; the static
+	// variant repeats the full streaming scan on every query.
+	{
+		variants := map[string]entry{}
+		var ns [2]int64
+		for i, adaptive := range []bool{true, false} {
+			r := testing.Benchmark(func(b *testing.B) { benchmarkAdaptiveDrift(b, adaptive) })
+			name := "adaptive"
+			if !adaptive {
+				name = "static"
+			}
+			ns[i] = r.NsPerOp()
+			variants[name] = entry{NsPerOp: r.NsPerOp(), AllocsOp: r.AllocsPerOp(), N: r.N}
+		}
+		if ns[0] > 0 {
+			e := variants["adaptive"]
+			e.SpeedupStatic = float64(ns[1]) / float64(ns[0])
+			variants["adaptive"] = e
+		}
+		out["adaptive_drift"] = variants
+	}
+
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -172,9 +276,13 @@ func TestWriteBenchPlannerJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	sel := out["select_skewed"]["planned"].Speedup
-	t.Logf("planner speedup: select_skewed %.2fx, join_sides %.2fx",
-		sel, out["join_sides"]["planned"].Speedup)
+	drift := out["adaptive_drift"]["adaptive"].SpeedupStatic
+	t.Logf("planner speedup: select_skewed %.2fx, join_sides %.2fx, adaptive_drift %.2fx",
+		sel, out["join_sides"]["planned"].Speedup, drift)
 	if sel < 1.0 {
 		t.Logf("warning: planned selection slower than heuristic on this machine (%.2fx)", sel)
+	}
+	if drift < 1.3 {
+		t.Logf("warning: adaptive drift speedup below the 1.3x target (%.2fx)", drift)
 	}
 }

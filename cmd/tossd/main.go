@@ -80,6 +80,7 @@ func main() {
 	rules := flag.String("rules", "", "DBA rule file to merge into the lexicon (isa:/part:/syn: lines)")
 	parallelism := flag.Int("parallelism", 0, "embedding-search worker count per query (0 = one per shard)")
 	minSimIndexDocs := flag.Int("min-simindex-docs", 0, "document count below which ~ queries skip the similarity candidate index (0 = planner default)")
+	noAdaptive := flag.Bool("no-adaptive", false, "disable the adaptive feedback layer (corrections, auto-tuned gates, mid-stream re-optimization); the static cost-based planner still runs")
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "hash-partitioned shards per collection (1 reproduces the unsharded layout; answers are identical at any count)")
 	maxInFlight := flag.Int("max-inflight", 4, "maximum concurrently executing queries")
 	maxQueue := flag.Int("max-queue", -1, "maximum queries waiting for a slot before 429 (-1 = 2×max-inflight)")
@@ -140,6 +141,9 @@ func main() {
 	sys.DB.SetDefaultShards(*shards)
 	if *minSimIndexDocs > 0 {
 		sys.Planner.SetMinSimIndexDocs(*minSimIndexDocs)
+	}
+	if *noAdaptive {
+		sys.AdaptiveDisabled = true
 	}
 	if *rules != "" {
 		if err := sys.Lexicon.LoadRulesFile(*rules); err != nil {

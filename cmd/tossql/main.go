@@ -76,6 +76,8 @@ func main() {
 	stats := flag.Bool("stats", false, "print system statistics after building")
 	timeout := flag.Duration("timeout", 0, "abort query execution after this duration, e.g. 500ms (0 = no deadline; TOSS paths only)")
 	noPlanner := flag.Bool("no-planner", false, "disable the cost-based planner and use the fixed execution heuristics (answers are identical either way)")
+	noAdaptive := flag.Bool("no-adaptive", false, "disable the adaptive feedback layer (corrections, auto-tuned gates, mid-stream re-optimization); the static planner still runs (answers are identical either way)")
+	warmup := flag.Int("warmup", 0, "run the query this many times before the -analyze run so the adaptive planner learns corrections (local mode, -analyze only)")
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "hash-partitioned shards per collection (1 reproduces the unsharded layout; answers are identical at any count)")
 	limit := flag.Int("limit", 0, "stop after this many answers (0 = all; selections stop scanning early via limit pushdown)")
 	stream := flag.Bool("stream", false, "print answers incrementally as the executor produces them (TOSS selections and joins only); the count prints last")
@@ -97,20 +99,24 @@ func main() {
 		if *taxMode || *explain || *stats || *rules != "" {
 			log.Fatal("-tax, -explain, -stats and -rules apply to local mode only (the server built its own structures)")
 		}
+		if *warmup > 0 {
+			log.Fatal("-warmup applies to local mode only (a server's feedback store is already warm from its own traffic)")
+		}
 		runRemote(*serverURL, remoteOptions{
-			instances: instances.specs,
-			arg:       flag.Arg(0),
-			slSpec:    *slFlag,
-			algebra:   *algebra,
-			join:      *join,
-			analyze:   *analyze,
-			ranked:    *ranked,
-			noPlanner: *noPlanner,
-			limit:     *limit,
-			stream:    *stream,
-			timeout:   *timeout,
-			measure:   *measureName,
-			eps:       *eps,
+			instances:  instances.specs,
+			arg:        flag.Arg(0),
+			slSpec:     *slFlag,
+			algebra:    *algebra,
+			join:       *join,
+			analyze:    *analyze,
+			ranked:     *ranked,
+			noPlanner:  *noPlanner,
+			noAdaptive: *noAdaptive,
+			limit:      *limit,
+			stream:     *stream,
+			timeout:    *timeout,
+			measure:    *measureName,
+			eps:        *eps,
 		})
 		return
 	}
@@ -137,6 +143,9 @@ func main() {
 	sys := core.NewSystem()
 	if *noPlanner {
 		sys.Planner = nil
+	}
+	if *noAdaptive {
+		sys.AdaptiveDisabled = true
 	}
 	sys.DB.SetDefaultShards(*shards)
 	if *rules != "" {
@@ -205,6 +214,14 @@ func main() {
 				log.Fatal("-join needs two -instance specs")
 			}
 			qreq.Right = names[1]
+		}
+		// Warm-up runs seed the feedback store with estimated-vs-actual rows,
+		// so the analyzed run below shows the corrected plan (its trace grows
+		// an `adaptive:` line once corrections apply).
+		for i := 0; i < *warmup; i++ {
+			if _, werr := sys.Query(ctx, qreq); werr != nil {
+				log.Fatalf("warm-up query: %v", werr)
+			}
 		}
 		res, aerr := sys.Query(ctx, qreq)
 		if aerr != nil {
@@ -324,19 +341,20 @@ func parseSL(spec string) []int {
 }
 
 type remoteOptions struct {
-	instances []string
-	arg       string
-	slSpec    string
-	algebra   bool
-	join      bool
-	analyze   bool
-	ranked    bool
-	noPlanner bool
-	limit     int
-	stream    bool
-	timeout   time.Duration
-	measure   string
-	eps       float64
+	instances  []string
+	arg        string
+	slSpec     string
+	algebra    bool
+	join       bool
+	analyze    bool
+	ranked     bool
+	noPlanner  bool
+	noAdaptive bool
+	limit      int
+	stream     bool
+	timeout    time.Duration
+	measure    string
+	eps        float64
 }
 
 // remoteLine is one NDJSON line of a streamed remote response: an answer,
@@ -365,12 +383,13 @@ func runRemote(base string, o remoteOptions) {
 		base = "http://" + base
 	}
 	req := server.QueryRequest{
-		SL:        parseSL(o.slSpec),
-		Limit:     o.limit,
-		Stream:    o.stream,
-		Ranked:    o.ranked,
-		Analyze:   o.analyze,
-		NoPlanner: o.noPlanner,
+		SL:         parseSL(o.slSpec),
+		Limit:      o.limit,
+		Stream:     o.stream,
+		Ranked:     o.ranked,
+		Analyze:    o.analyze,
+		NoPlanner:  o.noPlanner,
+		NoAdaptive: o.noAdaptive,
 	}
 	if o.algebra {
 		req.Expr = o.arg

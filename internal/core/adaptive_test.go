@@ -1,0 +1,435 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pattern"
+	"repro/internal/similarity"
+	"repro/internal/tax"
+	"repro/internal/tree"
+)
+
+// buildAntiCorrelatedSystem builds a corpus whose two predicates are strongly
+// anti-correlated — exactly the workload the independence assumption
+// misestimates and the feedback loop corrects. alice2021 documents carrying
+// the (Alice, 2021) conjunction are appended LAST in insertion order, so a
+// streaming scan only reaches them after walking everything the planner
+// thought it would not need.
+func buildAntiCorrelatedSystem(t *testing.T, alice2020, bob2021, alice2021, shards int) *System {
+	t.Helper()
+	s := NewSystem()
+	s.DB.SetDefaultShards(shards)
+	in, err := s.AddInstance("dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := func(i int, author, year string) {
+		doc := fmt.Sprintf(`<dblp><inproceedings key="p%d"><author>%s</author><year>%s</year></inproceedings></dblp>`, i, author, year)
+		if _, err := in.Col.PutXML(fmt.Sprintf("d%04d", i), strings.NewReader(doc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	for i := 0; i < alice2020; i++ {
+		put(n, "Alice", "2020")
+		n++
+	}
+	for i := 0; i < bob2021; i++ {
+		put(n, "Bob", "2021")
+		n++
+	}
+	for i := 0; i < alice2021; i++ {
+		put(n, "Alice", "2021")
+		n++
+	}
+	s.DynamicSimilarity = false
+	if err := s.Build(similarity.NameRule{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+var antiCorrelatedPattern = `#1 pc #2, #1 pc #3 :: #1.tag = "inproceedings" & #2.tag = "author" & #3.tag = "year" & #2.content = "Alice" & #3.content = "2021"`
+
+// TestAdaptiveEqualsStaticQuick is the adaptive-equivalence property: for
+// random patterns at shard counts 1, 2 and 7, the feedback-driven executor —
+// cold, warm (corrections learned, plans re-sorted), and with re-optimization
+// forced on any overrun (ReoptFactor 1) — must return byte-identical answers
+// to the static planner and to the planner-off heuristics, streamed, limited
+// and ranked alike. Systems persist across iterations, so corrections
+// accumulate and drift plans mid-property; the answers must never move.
+func TestAdaptiveEqualsStaticQuick(t *testing.T) {
+	shardCounts := []int{1, 2, 7}
+	adaptive := make([]*System, len(shardCounts))
+	forced := make([]*System, len(shardCounts)) // reopt on any overrun
+	for i, n := range shardCounts {
+		adaptive[i], _ = buildShardedJoinSystem(t, 40, 1, n)
+		forced[i], _ = buildShardedJoinSystem(t, 40, 1, n)
+		forced[i].Planner.SetReoptFactor(1.0)
+	}
+	var corpus = func() []string {
+		_, c := buildShardedJoinSystem(t, 40, 1, 1)
+		out := make([]string, 0, len(c.Authors))
+		for _, a := range c.Authors {
+			out = append(out, a.Canonical())
+		}
+		return out
+	}()
+	years := []string{"1999", "2000", "2001", "2002", "2003"}
+	ctx := context.Background()
+
+	f := func(aIdx, yIdx, opSel, shape, limSel uint8) bool {
+		author := corpus[int(aIdx)%len(corpus)]
+		year := years[int(yIdx)%len(years)]
+		ops := []string{"=", "~", "contains"}
+		op := ops[int(opSel)%len(ops)]
+		var src string
+		switch shape % 3 {
+		case 0:
+			src = fmt.Sprintf(`#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "author" & #2.content %s %q`, op, author)
+		case 1:
+			src = fmt.Sprintf(`#1 pc #2, #1 pc #3 :: #1.tag = "inproceedings" & #2.tag = "author" & #3.tag = "year" & #2.content %s %q & #3.content = %q`, op, author, year)
+		default:
+			src = `#1 pc #2 :: #1.tag = "inproceedings" & #2.tag = "title"`
+		}
+		p, perr := pattern.Parse(src)
+		if perr != nil {
+			t.Fatalf("bad generated pattern %q: %v", src, perr)
+		}
+
+		// Reference: static planner (adaptive layer off) on the 1-shard system.
+		ref, err := adaptive[0].Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, NoAdaptive: true})
+		if err != nil {
+			t.Fatalf("%s: reference: %v", src, err)
+		}
+		limit := 1 + int(limSel)%(len(ref.Answers)+2)
+		wantLim := ref.Answers
+		if limit < len(wantLim) {
+			wantLim = wantLim[:limit]
+		}
+
+		for i, s := range adaptive {
+			// Adaptive streamed ≡ static materialized.
+			res, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, Stream: true})
+			if err != nil {
+				t.Fatalf("%s: shards=%d stream: %v", src, shardCounts[i], err)
+			}
+			got, err := drainStream(ctx, res.Stream)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameTrees(ref.Answers, got) {
+				t.Logf("%s: shards=%d: adaptive streamed %d answers vs static %d", src, shardCounts[i], len(got), len(ref.Answers))
+				return false
+			}
+
+			// Adaptive limited, planner-off limited, and forced-reopt limited
+			// must all be the same prefix with the same LimitHit.
+			for _, mode := range []struct {
+				name string
+				sys  *System
+				req  QueryRequest
+			}{
+				{"adaptive", s, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, Limit: limit}},
+				{"no-planner", s, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, Limit: limit, NoPlanner: true}},
+				{"forced-reopt", forced[i], QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, Limit: limit}},
+			} {
+				lres, err := mode.sys.Query(ctx, mode.req)
+				if err != nil {
+					t.Fatalf("%s: shards=%d %s limit=%d: %v", src, shardCounts[i], mode.name, limit, err)
+				}
+				if !sameTrees(wantLim, lres.Answers) {
+					t.Logf("%s: shards=%d %s limit=%d: not the static prefix (%d answers, ref %d)",
+						src, shardCounts[i], mode.name, limit, len(lres.Answers), len(ref.Answers))
+					return false
+				}
+				if wantHit := len(ref.Answers) >= limit; lres.LimitHit != wantHit {
+					t.Logf("%s: shards=%d %s limit=%d: LimitHit=%t want %t",
+						src, shardCounts[i], mode.name, limit, lres.LimitHit, wantHit)
+					return false
+				}
+			}
+
+			// Ranked: adaptive must produce the static ranking, score for score.
+			if shape%3 == 0 {
+				rref, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, Ranked: true, NoAdaptive: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rgot, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, Ranked: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(rref.Ranked) != len(rgot.Ranked) {
+					t.Logf("%s: shards=%d ranked: %d vs %d answers", src, shardCounts[i], len(rgot.Ranked), len(rref.Ranked))
+					return false
+				}
+				for j := range rref.Ranked {
+					if rref.Ranked[j].Score != rgot.Ranked[j].Score || !tree.Equal(rref.Ranked[j].Tree, rgot.Ranked[j].Tree) {
+						t.Logf("%s: shards=%d ranked: rank %d differs", src, shardCounts[i], j)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 20,
+		Rand:     rand.New(rand.NewSource(47)),
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdaptiveJoinEquivalence drives the property through the join path at
+// shard counts 1, 2 and 7: adaptive joins (including the feedback-chosen
+// build side) must match the static join's answers and order, streamed and
+// limited, warm or cold.
+func TestAdaptiveJoinEquivalence(t *testing.T) {
+	shardCounts := []int{1, 2, 7}
+	joinSrc := fmt.Sprintf(
+		`#1 pc #2, #1 pc #3, #2 ad #4, #3 ad #5 :: #1.tag = %q & #2.tag = "dblp" & #3.tag = "ProceedingsPage" & #4.tag = "title" & #5.tag = "title" & #4.content ~ #5.content`,
+		tax.ProdRootTag)
+	jp := pattern.MustParse(joinSrc)
+	ctx := context.Background()
+
+	for _, n := range shardCounts {
+		s, _ := buildShardedJoinSystem(t, 40, 2, n)
+		ref, err := s.Query(ctx, QueryRequest{Pattern: jp, Instance: "dblp", Right: "proc", Adorn: []int{2, 3}, NoAdaptive: true})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", n, err)
+		}
+		if len(ref.Answers) == 0 {
+			t.Fatal("join matched nothing — test corpus broken")
+		}
+		// Three passes so the second and third run against learned corrections.
+		for pass := 0; pass < 3; pass++ {
+			sres, err := s.Query(ctx, QueryRequest{Pattern: jp, Instance: "dblp", Right: "proc", Adorn: []int{2, 3}, Stream: true})
+			if err != nil {
+				t.Fatalf("shards=%d pass=%d: %v", n, pass, err)
+			}
+			got, err := drainStream(ctx, sres.Stream)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameTrees(ref.Answers, got) {
+				t.Errorf("shards=%d pass=%d: adaptive streamed join differs (%d vs %d answers)", n, pass, len(got), len(ref.Answers))
+			}
+			for _, limit := range []int{1, len(ref.Answers), len(ref.Answers) + 3} {
+				lres, err := s.Query(ctx, QueryRequest{Pattern: jp, Instance: "dblp", Right: "proc", Adorn: []int{2, 3}, Limit: limit})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := ref.Answers
+				if limit < len(want) {
+					want = want[:limit]
+				}
+				if !sameTrees(want, lres.Answers) {
+					t.Errorf("shards=%d pass=%d limit=%d: adaptive limited join is not the static prefix", n, pass, limit)
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveJoinBuildSide pins the build-side re-planning: when the LEFT
+// side's post-prefilter candidate set is the small one, the adaptive
+// streaming join builds its hash table there (the static shape always builds
+// right), the trace says so, the re-plan counter moves — and the answers are
+// byte-identical to the static build.
+func TestAdaptiveJoinBuildSide(t *testing.T) {
+	// proc (6 docs) joined against dblp (20 docs): left is the cheap build.
+	joinSrc := fmt.Sprintf(
+		`#1 pc #2, #1 pc #3, #2 ad #4, #3 ad #5 :: #1.tag = %q & #2.tag = "ProceedingsPage" & #3.tag = "dblp" & #4.tag = "title" & #5.tag = "title" & #4.content ~ #5.content`,
+		tax.ProdRootTag)
+	jp := pattern.MustParse(joinSrc)
+	ctx := context.Background()
+	s, _ := buildShardedJoinSystem(t, 40, 2, 4)
+
+	ref, err := s.Query(ctx, QueryRequest{Pattern: jp, Instance: "proc", Right: "dblp", Adorn: []int{2, 3}, NoAdaptive: true, Stream: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := drainStream(ctx, ref.Stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("join matched nothing — test corpus broken")
+	}
+
+	before := s.Planner.Counters().ReoptBuildSide
+	res, err := s.Query(ctx, QueryRequest{Pattern: jp, Instance: "proc", Right: "dblp", Adorn: []int{2, 3}, Stream: true, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := drainStream(ctx, res.Stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameTrees(want, got) {
+		t.Fatalf("build-left join differs from build-right: %d vs %d answers", len(got), len(want))
+	}
+	if res.Stats == nil || res.Stats.Join == nil {
+		t.Fatal("traced join left no join trace")
+	}
+	if res.Stats.Join.BuildSide != "left" {
+		t.Fatalf("BuildSide = %q, want \"left\" (left side is the small build)", res.Stats.Join.BuildSide)
+	}
+	if after := s.Planner.Counters().ReoptBuildSide; after <= before {
+		t.Fatalf("reopt_build_side counter did not move (%d -> %d)", before, after)
+	}
+	if res.Stats.Adaptive == nil || len(res.Stats.Adaptive.Reopts) == 0 {
+		t.Fatal("build-side re-plan missing from the adaptive trace")
+	}
+}
+
+// TestReoptMaterializeEquivalence pins mid-stream re-optimization: the
+// planner's independence estimate says a short scan prefix will satisfy the
+// limit, but the matching documents sit at the very END of insertion order.
+// With ReoptFactor forced to 1 the scan overruns immediately, the remainder
+// is re-planned to the materialized shape — and the answers must still be
+// exactly the static prefix.
+func TestReoptMaterializeEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 2, 7} {
+		s := buildAntiCorrelatedSystem(t, 50, 60, 10, shards)
+		s.Planner.SetReoptFactor(1.0)
+		p := pattern.MustParse(antiCorrelatedPattern)
+		ctx := context.Background()
+
+		ref, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, Limit: 2, NoAdaptive: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ref.Answers) != 2 || !ref.LimitHit {
+			t.Fatalf("shards=%d: static reference got %d answers (hit=%t), want 2", shards, len(ref.Answers), ref.LimitHit)
+		}
+
+		before := s.Planner.Counters().ReoptMaterialize
+		res, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, Limit: 2, Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameTrees(ref.Answers, res.Answers) || res.LimitHit != ref.LimitHit {
+			t.Fatalf("shards=%d: re-optimized answers differ from static (%d vs %d, hit %t vs %t)",
+				shards, len(res.Answers), len(ref.Answers), res.LimitHit, ref.LimitHit)
+		}
+		if res.Stats.ScanMode != ScanModeStream {
+			t.Fatalf("shards=%d: scan mode %q — the misestimate must route through the streaming scan", shards, res.Stats.ScanMode)
+		}
+		after := s.Planner.Counters().ReoptMaterialize
+		if after <= before {
+			t.Fatalf("shards=%d: streaming scan overran but reopt_materialize did not move (%d -> %d)", shards, before, after)
+		}
+		if res.Stats.Adaptive == nil || len(res.Stats.Adaptive.Reopts) == 0 {
+			t.Fatalf("shards=%d: re-optimization fired but left no reopt trace", shards)
+		}
+		rendered := res.Stats.String()
+		if !strings.Contains(rendered, "reopt: [scan] materialize") {
+			t.Errorf("shards=%d: trace missing the reopt line:\n%s", shards, rendered)
+		}
+	}
+}
+
+// TestAdaptiveCorrectionsLearnAndReset is the invalidation regression: a
+// misestimated query warms the correction store (second run shows corrections
+// in its trace); a data write moves the collection generation and a live
+// ontology mutation moves the snapshot version — each must silently retire
+// the learned factors (fresh keys), so the next run plans cold again.
+func TestAdaptiveCorrectionsLearnAndReset(t *testing.T) {
+	s := buildAntiCorrelatedSystem(t, 50, 50, 0, 1)
+	p := pattern.MustParse(antiCorrelatedPattern)
+	ctx := context.Background()
+	run := func(label string) *ExecStats {
+		t.Helper()
+		res, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, Trace: true})
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if len(res.Answers) != 0 {
+			t.Fatalf("%s: anti-correlated query matched %d docs, want 0", label, len(res.Answers))
+		}
+		return res.Stats
+	}
+
+	// Cold: no corrections exist, the trace carries no adaptive line.
+	if st := run("cold"); st.Adaptive != nil {
+		t.Fatalf("cold run carries an adaptive trace: %+v", st.Adaptive)
+	}
+	c := s.Planner.Counters()
+	if c.CorrectionsRecorded == 0 {
+		t.Fatal("cold run recorded no corrections")
+	}
+	if c.CorrectionEpoch == 0 {
+		t.Fatal("a 64x misestimate must bump the correction epoch")
+	}
+
+	// Warm: the epoch moved, the cached plan is invalidated, the rebuild
+	// applies the learned factor and says so in the trace.
+	st := run("warm")
+	if st.Adaptive == nil || st.Adaptive.CorrectionsApplied == 0 {
+		t.Fatalf("warm run applied no corrections: %+v", st.Adaptive)
+	}
+	if got := s.Planner.Counters().EpochInvalidations; got == 0 {
+		t.Fatal("epoch move did not invalidate the cached adaptive plan")
+	}
+
+	// A data write bumps the generation: fresh keys, cold plan again.
+	in := s.Instance("dblp")
+	if _, err := in.Col.PutXML("extra", strings.NewReader(`<dblp><inproceedings key="x"><author>Carol</author><year>1990</year></inproceedings></dblp>`)); err != nil {
+		t.Fatal(err)
+	}
+	if st := run("post-write"); st.Adaptive != nil {
+		t.Fatalf("corrections survived a generation bump: %+v", st.Adaptive)
+	}
+	// …and they re-learn under the new generation.
+	if st := run("post-write warm"); st.Adaptive == nil || st.Adaptive.CorrectionsApplied == 0 {
+		t.Fatal("corrections did not re-learn after the write")
+	}
+
+	// A live ontology mutation bumps the snapshot version: same reset.
+	if _, err := s.AddEdge("isa", "festschrift", "inproceedings"); err != nil {
+		t.Fatal(err)
+	}
+	if st := run("post-mutation"); st.Adaptive != nil {
+		t.Fatalf("corrections survived an ontology-version bump: %+v", st.Adaptive)
+	}
+	if st := run("post-mutation warm"); st.Adaptive == nil || st.Adaptive.CorrectionsApplied == 0 {
+		t.Fatal("corrections did not re-learn after the ontology mutation")
+	}
+}
+
+// TestNoAdaptiveEscapeHatch: with AdaptiveDisabled (the -no-adaptive flag) or
+// QueryRequest.NoAdaptive, the static planner runs, nothing is learned and
+// nothing is corrected.
+func TestNoAdaptiveEscapeHatch(t *testing.T) {
+	s := buildAntiCorrelatedSystem(t, 50, 50, 0, 1)
+	p := pattern.MustParse(antiCorrelatedPattern)
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		if _, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}, NoAdaptive: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := s.Planner.Counters(); c.CorrectionsRecorded != 0 || c.CorrectionsApplied != 0 {
+		t.Fatalf("NoAdaptive queries touched the feedback store: %+v", c)
+	}
+
+	s.AdaptiveDisabled = true
+	for i := 0; i < 3; i++ {
+		if _, err := s.Query(ctx, QueryRequest{Pattern: p, Instance: "dblp", Adorn: []int{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := s.Planner.Counters(); c.CorrectionsRecorded != 0 {
+		t.Fatalf("AdaptiveDisabled system recorded corrections: %+v", c)
+	}
+}

@@ -80,6 +80,14 @@ type System struct {
 	// the answer set is identical — the planner only reorders work.
 	Planner *planner.Planner
 
+	// AdaptiveDisabled turns off feedback-driven planning and mid-stream
+	// re-optimization while keeping the static cost-based planner: estimates
+	// come from statistics alone, no corrections are learned or applied, and
+	// the streaming operators never re-plan. The escape hatch behind
+	// `tossd -no-adaptive` and QueryRequest.NoAdaptive; answers are identical
+	// either way — adaptivity only moves work.
+	AdaptiveDisabled bool
+
 	// DynamicSimilarity allows the ~ operator to fall back to a direct
 	// measure comparison for terms the ontology does not know. It keeps the
 	// operator total on ad-hoc strings (default), at the cost of disabling
@@ -116,6 +124,13 @@ func NewSystem() *System {
 		valueTags:         map[string]bool{},
 		onto:              &ontoState{},
 	}
+}
+
+// adaptive reports whether feedback-driven planning applies to this view:
+// the planner is on and the adaptive layer has not been disabled (system-wide
+// or per-query via QueryRequest.NoAdaptive).
+func (s *System) adaptive() bool {
+	return s.Planner != nil && !s.AdaptiveDisabled
 }
 
 // AddInstance creates a collection with the given name and registers it as

@@ -234,13 +234,20 @@ func (s *System) candidateDocs(ctx context.Context, col *xmldb.Collection, paths
 	// set — only the work done to reach it.
 	var plan *planner.SelectPlan
 	var planTrace *PlanTrace
+	adaptive := s.adaptive()
+	var feedbackGen uint64 // stats generation the feedback keys are built on
 	order := make([]int, len(paths))
 	for i := range order {
 		order[i] = i
 	}
 	if s.Planner != nil {
 		var hit bool
-		plan, hit = s.Planner.PlanSelect(col, s.OntologyVersion(), paths)
+		if adaptive {
+			feedbackGen = col.Stats().Generation
+			plan, hit = s.Planner.PlanSelectAdaptive(col, s.OntologyVersion(), paths)
+		} else {
+			plan, hit = s.Planner.PlanSelect(col, s.OntologyVersion(), paths)
+		}
 		order = plan.Order
 		planTrace = &PlanTrace{
 			Collection:    col.Name(),
@@ -250,6 +257,11 @@ func (s *System) candidateDocs(ctx context.Context, col *xmldb.Collection, paths
 		}
 		if st != nil {
 			st.Plans = append(st.Plans, planTrace)
+			if adaptive && plan.CorrectionsApplied > 0 {
+				at := st.adaptiveTrace()
+				at.CorrectionsApplied += plan.CorrectionsApplied
+				at.Epoch = plan.FeedbackEpoch
+			}
 		}
 	}
 
@@ -305,6 +317,13 @@ func (s *System) candidateDocs(ctx context.Context, col *xmldb.Collection, paths
 			step.ActualShards = qs.ShardsTouched
 			if plan != nil {
 				s.Planner.Observe(est.EstDocs, float64(len(hits)))
+				if adaptive {
+					// Per-path feedback: the whole collection was queried, so
+					// the document count is exact. Learned against the raw
+					// estimate so re-applied factors cannot compound.
+					k := planner.FeedbackKey(col.Name(), feedbackGen, s.OntologyVersion(), planner.PathShape(est.XPath))
+					s.Planner.Learn(k, est.RawDocs, float64(len(hits)))
+				}
 			}
 		}
 		step.ActualDocs = len(hits)
@@ -324,6 +343,10 @@ func (s *System) candidateDocs(ctx context.Context, col *xmldb.Collection, paths
 			}
 		}
 		if len(surviving) == 0 {
+			if adaptive && plan != nil {
+				k := planner.FeedbackKey(col.Name(), feedbackGen, s.OntologyVersion(), planner.SelectShape(paths))
+				s.Planner.Learn(k, plan.RawCandidates, 0)
+			}
 			return nil, nil
 		}
 	}
@@ -335,6 +358,13 @@ func (s *System) candidateDocs(ctx context.Context, col *xmldb.Collection, paths
 	}
 	if planTrace != nil {
 		planTrace.ActualCandidates = len(out)
+	}
+	if adaptive && plan != nil {
+		// Whole-plan feedback: the intersection ran to completion, so the
+		// final candidate count is exact — the correlation signal the
+		// per-path independence product cannot see.
+		k := planner.FeedbackKey(col.Name(), feedbackGen, s.OntologyVersion(), planner.SelectShape(paths))
+		s.Planner.Learn(k, plan.RawCandidates, float64(len(out)))
 	}
 	if st != nil {
 		st.CandidateDocs += len(out)

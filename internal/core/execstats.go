@@ -42,6 +42,11 @@ type ExecStats struct {
 	// predicate through internal/simindex).
 	Sim *SimTrace
 
+	// Adaptive-execution trace (nil unless feedback corrections fired on this
+	// query's plan or a mid-stream re-optimization triggered, so static and
+	// cold-start traces render exactly as before).
+	Adaptive *AdaptiveTrace
+
 	// Embedding-search stage.
 	Workers       int   // parallel workers used
 	WorkerDocs    []int // documents evaluated per worker (utilization)
@@ -102,6 +107,39 @@ type SimTrace struct {
 	EstDocs   float64 // planner's candidate-document estimate
 	ProbeCost float64
 	AltCost   float64
+}
+
+// AdaptiveTrace records the adaptive-execution activity of one query: how
+// many learned correction factors the planner folded into its estimates, the
+// correction epoch the plan was built under, and any mid-stream
+// re-optimizations the checkpoint operators triggered.
+type AdaptiveTrace struct {
+	// CorrectionsApplied counts feedback correction factors multiplied into
+	// this query's estimates (per-path, whole-plan, and simprobe factors).
+	CorrectionsApplied int
+	// Epoch is the correction epoch the plan was built under.
+	Epoch uint64
+	// Reopts lists mid-stream re-optimization events, in trigger order.
+	Reopts []ReoptEvent
+}
+
+// ReoptEvent is one mid-stream re-optimization: which operator's actual
+// cardinality disproved the plan, what the executor switched to, and the
+// estimated-versus-actual rows that triggered it.
+type ReoptEvent struct {
+	Operator string  // operator whose actuals blew past the estimate ("scan", "join")
+	Action   string  // what the re-plan did ("materialize", "build-side")
+	Est      float64 // the estimate the trigger compared against
+	Actual   int     // the actual row count at trigger time
+}
+
+// adaptiveTrace returns the trace's adaptive block, allocating it on first
+// use. Callers must hold a non-nil st.
+func (st *ExecStats) adaptiveTrace() *AdaptiveTrace {
+	if st.Adaptive == nil {
+		st.Adaptive = &AdaptiveTrace{}
+	}
+	return st.Adaptive
 }
 
 // OperatorTrace is one streaming operator's estimated-vs-actual row count:
@@ -310,6 +348,14 @@ func (st *ExecStats) String() string {
 			}
 			fmt.Fprintf(&b, "plan: join build=%s probe=%s (estimated hash entries left=%.1f right=%.1f)\n",
 				j.BuildSide, probe, j.EstLeft, j.EstRight)
+		}
+	}
+	if a := st.Adaptive; a != nil {
+		fmt.Fprintf(&b, "adaptive: corrections applied=%d feedback epoch=%d\n",
+			a.CorrectionsApplied, a.Epoch)
+		for _, r := range a.Reopts {
+			fmt.Fprintf(&b, "reopt: [%s] %s estimated=%.1f rows actual=%d\n",
+				r.Operator, r.Action, r.Est, r.Actual)
 		}
 	}
 	fmt.Fprintf(&b, "eval  [%s]: workers=%d docs=%d embeddings=%d answers=%d\n",

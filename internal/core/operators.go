@@ -4,8 +4,10 @@ import (
 	"context"
 	"io"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/pattern"
+	"repro/internal/planner"
 	"repro/internal/tax"
 	"repro/internal/tree"
 	"repro/internal/xmldb"
@@ -23,6 +25,10 @@ type scanStream struct {
 	heads   []xmldb.DocSnap // current head per cursor
 	live    []bool
 	st      *ExecStats
+	// scanned mirrors st.DocsScanned atomically: the scan runs inside the
+	// async prefetch goroutine, and the adaptive checkpoint downstream reads
+	// the live count from the consumer side (reoptStream.shouldReopt).
+	scanned atomic.Int64
 }
 
 func newScanStream(cursors []*xmldb.Cursor, st *ExecStats) *scanStream {
@@ -56,6 +62,7 @@ func (s *scanStream) Next(ctx context.Context) (*tree.Tree, error) {
 	}
 	doc := s.heads[min].Doc
 	s.heads[min], s.live[min] = s.cursors[min].Next()
+	s.scanned.Add(1)
 	if s.st != nil {
 		s.st.DocsScanned++
 	}
@@ -211,12 +218,15 @@ func (s *batchEvalStream) Next(ctx context.Context) (*tree.Tree, error) {
 
 func (s *batchEvalStream) Close() {}
 
-// joinStream is the streaming condition join: the right side is built into
-// a hash table (or kept whole for the nested-loop fallback) up front, and
-// the left side is probed in document order. For each left document its
+// joinStream is the streaming condition join: one side is built into a hash
+// table (or both kept whole for the nested-loop fallback) up front, and the
+// left side is consumed in document order. The static shape always builds on
+// the right and probes per left document; an adaptive plan built from actual
+// candidate counts may build on the left instead, pre-probing with the right
+// side so left documents still drive emission. For each left document its
 // matching right partners come out sorted and deduplicated, so pairs are
-// emitted in ascending (left, right) index order — the exact order the
-// materialized join produced after its global sort — and a limited join's
+// emitted in ascending (left, right) index order either way — the exact order
+// the materialized join produced after its global sort — and a limited join's
 // answers are a strict prefix of the unlimited ones.
 type joinStream struct {
 	sys   *System
@@ -225,13 +235,14 @@ type joinStream struct {
 	p     *pattern.Tree
 	sl    []int
 	st    *ExecStats
+	plan  *planner.JoinPlan // adaptive build-side choice; nil → build right
 
-	atom   *pattern.Atomic // cross-side hash key atom; nil → nested loop
-	built  bool
-	table  map[string][]int // right-side hash table (hash join only)
-	lkeys  [][]string       // left-side keys, computed lazily per doc
-	probed map[string]bool  // distinct probe keys seen (trace)
-	trace  *JoinTrace
+	atom     *pattern.Atomic // cross-side hash key atom; nil → nested loop
+	built    bool
+	table    map[string][]int // right-side hash table (build-right only)
+	partners [][]int          // per-left-doc partners (build-left only)
+	probed   map[string]bool  // distinct probe keys seen (trace)
+	trace    *JoinTrace
 
 	dst    *tree.Collection
 	ev     *Evaluator
@@ -240,9 +251,9 @@ type joinStream struct {
 	closed bool
 }
 
-func newJoinStream(sys *System, ldocs, rdocs []*tree.Tree, p *pattern.Tree, sl []int, st *ExecStats) *joinStream {
+func newJoinStream(sys *System, ldocs, rdocs []*tree.Tree, p *pattern.Tree, sl []int, st *ExecStats, jp *planner.JoinPlan) *joinStream {
 	return &joinStream{
-		sys: sys, ldocs: ldocs, rdocs: rdocs, p: p, sl: sl, st: st,
+		sys: sys, ldocs: ldocs, rdocs: rdocs, p: p, sl: sl, st: st, plan: jp,
 		dst: tree.NewCollection(), ev: sys.Evaluator(),
 	}
 }
@@ -261,7 +272,14 @@ func (s *joinStream) build() {
 		return // nested loop: every pair
 	}
 	s.trace.HashJoin = true
+	if s.plan != nil && s.plan.BuildLeft {
+		s.buildLeft()
+		return
+	}
 	s.trace.BuildSide = "right"
+	if s.plan != nil {
+		s.trace.EstLeft, s.trace.EstRight = s.plan.EstLeft, s.plan.EstRight
+	}
 	s.table = map[string][]int{}
 	for i, d := range s.rdocs {
 		for _, k := range s.docJoinKeys(d) {
@@ -270,6 +288,48 @@ func (s *joinStream) build() {
 	}
 	s.trace.RightKeys = len(s.table)
 	s.probed = map[string]bool{}
+}
+
+// buildLeft is the adaptive build side: the left documents key the hash
+// table and the right side streams through it up front, accumulating each
+// left document's partner list. Right indices are visited in ascending order,
+// so every partner list comes out sorted without a per-document sort.
+func (s *joinStream) buildLeft() {
+	s.trace.BuildSide = "left"
+	s.trace.EstLeft, s.trace.EstRight = s.plan.EstLeft, s.plan.EstRight
+	lt := map[string][]int{}
+	for i, d := range s.ldocs {
+		for _, k := range s.docJoinKeys(d) {
+			lt[k] = append(lt[k], i)
+		}
+	}
+	s.trace.LeftKeys = len(lt)
+	s.partners = make([][]int, len(s.ldocs))
+	probed := map[string]bool{}
+	for j, d := range s.rdocs {
+		for _, k := range s.docJoinKeys(d) {
+			probed[k] = true
+			for _, li := range lt[k] {
+				// j is non-decreasing per left doc, so duplicate keys shared
+				// with the same right doc only ever repeat the last element.
+				if n := len(s.partners[li]); n > 0 && s.partners[li][n-1] == j {
+					continue
+				}
+				s.partners[li] = append(s.partners[li], j)
+			}
+		}
+	}
+	s.trace.RightKeys = len(probed)
+	if pl := s.sys.Planner; pl != nil {
+		pl.CountReopt("build-side")
+	}
+	if s.st != nil {
+		at := s.st.adaptiveTrace()
+		at.Reopts = append(at.Reopts, ReoptEvent{
+			Operator: "join", Action: "build-side",
+			Est: s.plan.EstLeft, Actual: len(s.ldocs),
+		})
+	}
 }
 
 // docJoinKeys is the per-document key extraction of the hash join (the same
@@ -301,6 +361,9 @@ func (s *joinStream) partnersOf(li int) []int {
 			out[i] = i
 		}
 		return out
+	}
+	if s.partners != nil {
+		return s.partners[li]
 	}
 	seen := map[int]bool{}
 	var out []int
@@ -360,7 +423,7 @@ func (s *joinStream) Close() {
 		return
 	}
 	s.closed = true
-	if s.trace != nil && s.trace.HashJoin {
+	if s.trace != nil && s.trace.HashJoin && s.partners == nil {
 		s.trace.LeftKeys = len(s.probed)
 	}
 	if s.st != nil {

@@ -40,8 +40,16 @@ func (s *System) selectDocs(ctx context.Context, cands []*tree.Tree, p *pattern.
 		workers = 1
 	}
 	// With only a handful of candidates the fan-out setup (one evaluator and
-	// destination collection per worker) costs more than it saves.
-	if s.Planner != nil && len(cands) < planner.MinParallelDocs {
+	// destination collection per worker) costs more than it saves. The gate
+	// counts the post-narrowing candidates it receives — never the collection
+	// size — so a tiny survivor set never forks goroutines, planner or not.
+	// With the planner on, the gate position is auto-tuned from observed
+	// first-result latency (floored at the seed constant).
+	gate := planner.MinParallelDocs
+	if s.Planner != nil {
+		gate = s.Planner.MinParallelDocsGate()
+	}
+	if len(cands) < gate {
 		workers = 1
 	}
 	if workers <= 1 || len(cands) <= 1 {
@@ -147,6 +155,11 @@ func parallelDocKeys(ctx context.Context, docs []*tree.Tree, docKeys func(*tree.
 	}
 	if fan > len(docs) {
 		fan = len(docs)
+	}
+	// Same tiny-input rule as selectDocs: fanning out for a handful of
+	// documents costs more than the key walks it spreads.
+	if len(docs) < planner.MinParallelDocs {
+		fan = 1
 	}
 	if fan <= 1 {
 		for i, d := range docs {

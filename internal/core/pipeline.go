@@ -21,6 +21,9 @@ const streamBufferDocs = 8
 // candidate set. With the planner disabled the heuristic fallback applies.
 func (s *System) streamScanDecision(col *xmldb.Collection, paths []*xpath.Path, limit int) planner.StreamDecision {
 	if s.Planner != nil {
+		if s.adaptive() {
+			return s.Planner.PlanStreamScanAdaptive(col.Name(), col.Stats(), s.OntologyVersion(), paths, limit)
+		}
 		return planner.PlanStreamScan(col.Stats(), paths, limit)
 	}
 	d := planner.StreamDecision{Stream: planner.HeuristicStreamScan(col.DocCount(), limit)}
@@ -86,9 +89,25 @@ func (s *System) buildSelectStream(ctx context.Context, req QueryRequest, st *Ex
 					{Name: "limit", Est: estRows},
 				}
 			}
-			var stream DocStream = newScanStream(cursors, st)
+			scan := newScanStream(cursors, st)
+			var stream DocStream = scan
 			stream = newFilterStream(stream, paths, st)
 			stream = newAsyncStream(stream, streamBufferDocs)
+			if s.adaptive() {
+				// Adaptive checkpoint: evaluates like evalStream but re-plans
+				// to the materialized shape when the scan overruns its
+				// estimate, and feeds actual cardinalities back into the
+				// correction store. Answers are identical either way.
+				if st != nil && d.Corrections > 0 {
+					at := st.adaptiveTrace()
+					at.CorrectionsApplied += d.Corrections
+					at.Epoch = s.Planner.FeedbackEpoch()
+				}
+				cst := in.Col.Stats()
+				key := planner.FeedbackKey(in.Col.Name(), cst.Generation, s.OntologyVersion(), planner.SelectShape(paths))
+				stream = newReoptStream(stream, s, req.Pattern, req.Adorn, st, d, &scan.scanned, key, in.Col.ShardCount())
+				return newFirstResultStream(newLimitStream(stream, req.Limit, st), s.Planner, true), nil
+			}
 			stream = newEvalStream(stream, s, req.Pattern, req.Adorn, st)
 			return newLimitStream(stream, req.Limit, st), nil
 		}
@@ -103,8 +122,12 @@ func (s *System) buildSelectStream(ctx context.Context, req QueryRequest, st *Ex
 		st.PrefilterTime = time.Since(t1)
 	}
 	if req.Limit > 0 {
-		stream := newEvalStream(newSliceStream(cands), s, req.Pattern, req.Adorn, st)
-		return newLimitStream(stream, req.Limit, st), nil
+		var stream DocStream = newEvalStream(newSliceStream(cands), s, req.Pattern, req.Adorn, st)
+		stream = newLimitStream(stream, req.Limit, st)
+		if s.adaptive() {
+			stream = newFirstResultStream(stream, s.Planner, false)
+		}
+		return stream, nil
 	}
 	if req.Stream {
 		return newEvalStream(newSliceStream(cands), s, req.Pattern, req.Adorn, st), nil
@@ -149,7 +172,16 @@ func (s *System) buildJoinStream(ctx context.Context, req QueryRequest, st *Exec
 		st.TotalDocs = len(ldocs) + len(rdocs)
 		st.CandidateDocs = st.TotalDocs
 	}
-	var stream DocStream = newJoinStream(s, ldocs, rdocs, req.Pattern, req.Adorn, st)
+	// Adaptive build-side choice: the streaming join's static shape always
+	// builds the hash table on the right side. With feedback enabled the
+	// actual post-prefilter candidate counts re-plan the build side the same
+	// way the materialized join does — pairs still come out in ascending
+	// (left, right) order, so the answers cannot change.
+	var jp *planner.JoinPlan
+	if s.adaptive() {
+		jp = planner.PlanJoinSides(li.Col.Stats(), ri.Col.Stats(), len(ldocs), len(rdocs))
+	}
+	var stream DocStream = newJoinStream(s, ldocs, rdocs, req.Pattern, req.Adorn, st, jp)
 	if req.Limit > 0 {
 		stream = newLimitStream(stream, req.Limit, st)
 	}

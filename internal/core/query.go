@@ -40,6 +40,11 @@ type QueryRequest struct {
 	// ablation switch previously spelled "clone the System, nil the
 	// Planner").
 	NoPlanner bool
+	// NoAdaptive keeps the static cost-based planner but disables the
+	// adaptive feedback layer for this query only: no corrections are applied
+	// or learned and the streaming operators never re-plan mid-flight. The
+	// answers are identical either way (adaptivity only moves work).
+	NoAdaptive bool
 	// Stream asks for a live DocStream in the result instead of a
 	// materialized answer slice: the caller pulls answers one at a time and
 	// MUST Close the stream (see docs/EXECUTION.md for the lifecycle
@@ -97,6 +102,11 @@ func (s *System) Query(ctx context.Context, req QueryRequest) (*QueryResult, err
 	if req.NoPlanner && s.Planner != nil {
 		clone := *s
 		clone.Planner = nil
+		s = &clone
+	}
+	if req.NoAdaptive && s.adaptive() {
+		clone := *s
+		clone.AdaptiveDisabled = true
 		s = &clone
 	}
 	if req.Stream && (req.Ranked || req.Analyze) {

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"context"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pattern"
+	"repro/internal/planner"
+	"repro/internal/tax"
+	"repro/internal/tree"
+)
+
+// reoptStream is the adaptive checkpoint operator of the streaming scan
+// pipeline. It evaluates candidate documents exactly like evalStream — same
+// evaluator, same per-document accounting — but before each pull it compares
+// the scan's actual cardinality against the planner's estimate. When
+// DocsScanned blows past ReoptFactor × EstScanDocs, the streaming premise
+// (candidates dense enough that a short scan prefix satisfies the limit) has
+// been disproven mid-flight: the operator re-plans, draining the remaining
+// candidates and evaluating them with the parallel batch evaluator
+// (selectDocs) instead of one document at a time. The filter upstream yields
+// candidates in insertion order and selectDocs preserves input order, so the
+// emitted answers are byte-identical to the fully-streamed execution — the
+// re-optimization moves work, never results.
+//
+// Completed scans (EOF or re-optimization drain) feed the whole-plan
+// estimated-versus-actual candidate count into the planner's correction
+// store exactly; a scan truncated by the limit learns only upward (its
+// candidate count is a lower bound, so a downward correction would be
+// unsound).
+type reoptStream struct {
+	in        DocStream
+	sys       *System
+	p         *pattern.Tree
+	sl        []int
+	dst       *tree.Collection
+	ev        *Evaluator
+	buf       []*tree.Tree
+	evaluated int // documents evaluated sequentially (pre-reopt)
+	st        *ExecStats
+	closed    bool
+
+	estScan  float64       // planner's scan-prefix estimate (the trigger baseline)
+	rawCands float64       // raw whole-plan candidate estimate (learning baseline)
+	scanned  *atomic.Int64 // live scan count (written by the prefetch goroutine)
+	learnKey string        // whole-plan correction key
+	shards   int           // fan-out for the materialized remainder
+
+	cands   int  // candidates pulled from the input so far
+	eof     bool // input exhausted — the candidate count is exact
+	learned bool
+	reopted bool
+	sub     ExecStats    // stats of the materialized remainder evaluation
+	rem     []*tree.Tree // answers of the materialized remainder
+	remPos  int
+}
+
+func newReoptStream(in DocStream, sys *System, p *pattern.Tree, sl []int, st *ExecStats, d planner.StreamDecision, scanned *atomic.Int64, learnKey string, shards int) *reoptStream {
+	return &reoptStream{
+		in: in, sys: sys, p: p, sl: sl,
+		dst: tree.NewCollection(), ev: sys.Evaluator(), st: st,
+		estScan: d.EstScanDocs, rawCands: d.RawCandidates,
+		scanned: scanned, learnKey: learnKey, shards: shards,
+	}
+}
+
+// shouldReopt reports whether the scan has blown past its estimate by the
+// configured factor. An estimate that already budgeted the whole collection
+// can never overrun, so plans that expected a full walk keep streaming.
+func (s *reoptStream) shouldReopt() bool {
+	if s.scanned == nil || s.sys.Planner == nil {
+		return false
+	}
+	est := s.estScan
+	if est < 1 {
+		est = 1
+	}
+	return float64(s.scanned.Load()) > s.sys.Planner.ReoptFactor()*est
+}
+
+// reoptimize switches the rest of the query to the materialized shape: drain
+// the remaining candidates (still insertion order), learn the now-exact
+// candidate cardinality, and run the parallel batch evaluator over the
+// remainder.
+func (s *reoptStream) reoptimize(ctx context.Context) error {
+	s.reopted = true
+	var rest []*tree.Tree
+	for {
+		d, err := s.in.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		rest = append(rest, d)
+	}
+	s.cands += len(rest)
+	s.eof = true
+	s.learn()
+	if pl := s.sys.Planner; pl != nil {
+		pl.CountReopt("materialize")
+		pl.ObserveStreamOverrun()
+	}
+	if s.st != nil {
+		at := s.st.adaptiveTrace()
+		at.Reopts = append(at.Reopts, ReoptEvent{
+			Operator: "scan", Action: "materialize",
+			Est: s.estScan, Actual: int(s.scanned.Load()),
+		})
+	}
+	out, err := s.sys.selectDocs(ctx, rest, s.p, s.sl, &s.sub, s.shards)
+	if err != nil {
+		return err
+	}
+	s.rem = out
+	if s.st != nil {
+		s.st.DocsEvaluated = s.evaluated + s.sub.DocsEvaluated
+		s.st.Embeddings += s.sub.Embeddings
+	}
+	return nil
+}
+
+// learn feeds the whole-plan candidate cardinality into the correction store
+// (once): exactly when the scan completed, upward-only when it was truncated
+// by the limit.
+func (s *reoptStream) learn() {
+	if s.learned || s.sys.Planner == nil || s.learnKey == "" {
+		return
+	}
+	actual := float64(s.cands)
+	switch {
+	case s.eof:
+		s.learned = true
+		s.sys.Planner.Learn(s.learnKey, s.rawCands, actual)
+		if !s.reopted {
+			s.sys.Planner.ObserveStreamOnTarget()
+		}
+	case actual > s.rawCands:
+		s.learned = true
+		s.sys.Planner.Learn(s.learnKey, s.rawCands, actual)
+	}
+}
+
+func (s *reoptStream) Next(ctx context.Context) (*tree.Tree, error) {
+	for len(s.buf) == 0 {
+		if s.reopted {
+			if s.remPos >= len(s.rem) {
+				return nil, io.EOF
+			}
+			d := s.rem[s.remPos]
+			s.remPos++
+			if s.st != nil {
+				s.st.Answers++
+			}
+			return d, nil
+		}
+		if s.shouldReopt() {
+			if err := s.reoptimize(ctx); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		doc, err := s.in.Next(ctx)
+		if err == io.EOF {
+			s.eof = true
+			s.learn()
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.cands++
+		res, ops, err := tax.SelectTraced(s.dst, []*tree.Tree{doc}, s.p, s.sl, s.ev)
+		if err != nil {
+			return nil, err
+		}
+		s.evaluated++
+		if s.st != nil {
+			s.st.DocsEvaluated = s.evaluated
+			s.st.Embeddings += ops.Embeddings
+		}
+		s.buf = res
+	}
+	d := s.buf[0]
+	s.buf = s.buf[1:]
+	if s.st != nil {
+		s.st.Answers++
+	}
+	return d, nil
+}
+
+// Close finalizes the utilization trace: the sequential prefix is one worker,
+// and a re-optimized remainder appends the batch evaluator's workers — the
+// same shapes evalStream and selectDocs report on their own.
+func (s *reoptStream) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.in.Close()
+	s.learn()
+	if s.st != nil {
+		if s.reopted && s.sub.Workers > 0 {
+			s.st.Workers = 1 + s.sub.Workers
+			s.st.WorkerDocs = append([]int{s.evaluated}, s.sub.WorkerDocs...)
+		} else {
+			s.st.Workers = 1
+			s.st.WorkerDocs = []int{s.evaluated}
+		}
+	}
+}
+
+// firstResultStream feeds the latency of the first emitted answer back into
+// the planner's auto-tuned execution gates (tunables.go): consistently slow
+// first answers on one mode raise that mode's gate, fast ones decay it back
+// toward the seed constant. Pass-through otherwise.
+type firstResultStream struct {
+	in       DocStream
+	pl       *planner.Planner
+	streamed bool
+	start    time.Time
+	seen     bool
+}
+
+func newFirstResultStream(in DocStream, pl *planner.Planner, streamed bool) *firstResultStream {
+	return &firstResultStream{in: in, pl: pl, streamed: streamed, start: time.Now()}
+}
+
+func (s *firstResultStream) Next(ctx context.Context) (*tree.Tree, error) {
+	d, err := s.in.Next(ctx)
+	if err == nil && !s.seen {
+		s.seen = true
+		s.pl.ObserveFirstResult(s.streamed, time.Since(s.start))
+	}
+	return d, err
+}
+
+func (s *firstResultStream) Close() { s.in.Close() }

@@ -83,7 +83,12 @@ func (s *System) planSimProbe(in *Instance, p *pattern.Tree) *simProbePlan {
 	}
 	probe.ExactTerms = cluster
 	sound := s.simRewriteSound(tag, lit) && len(cluster) <= maxXPathExpansion
-	dec := planner.PlanSimProbe(in.Col.Stats(), tag, len(cluster), sound, s.Planner.MinSimIndexDocsGate())
+	var dec planner.SimDecision
+	if s.adaptive() {
+		dec = s.Planner.PlanSimProbeAdaptive(in.Col.Name(), in.Col.Stats(), s.OntologyVersion(), tag, lit, len(cluster), sound)
+	} else {
+		dec = planner.PlanSimProbe(in.Col.Stats(), tag, len(cluster), sound, s.Planner.MinSimIndexDocsGate())
+	}
 	if !dec.UseIndex {
 		return nil
 	}
@@ -153,6 +158,15 @@ func (s *System) simCandidateDocs(ctx context.Context, col *xmldb.Collection, sp
 	}
 	if s.Planner != nil {
 		s.Planner.Observe(sp.decision.EstDocs, float64(ps.Docs))
+		if s.adaptive() {
+			// The probe enumerated every posting, so its document count is
+			// exact: feed the correction store (keyed by probe shape) and the
+			// auto-tuned term selectivity (keyed by the filter funnel).
+			cst := col.Stats()
+			k := planner.FeedbackKey(col.Name(), cst.Generation, s.OntologyVersion(), planner.SimShape(sp.tag, sp.lit))
+			s.Planner.Learn(k, sp.decision.RawDocs, float64(ps.Docs))
+			s.Planner.ObserveSimProbe(ps.CandidateTerms, cst.DistinctTerms)
+		}
 	}
 	if st != nil {
 		st.TotalDocs += col.DocCount()
@@ -208,20 +222,30 @@ func (s *System) simSelectStream(ctx context.Context, req QueryRequest, in *Inst
 	}
 	if st != nil {
 		st.PrefilterTime = time.Since(t1)
-	}
-	if req.Limit > 0 {
-		if st != nil {
-			st.ScanMode = ScanModeSimIndex
-			estRows := sp.decision.EstDocs
+		// The simprobe source operator reports estimated-vs-actual rows for
+		// every query shape (not just limited ones), so simindex queries feed
+		// the correction store with observable rows like any other source.
+		st.ScanMode = ScanModeSimIndex
+		estRows := sp.decision.EstDocs
+		if req.Limit > 0 {
 			if lim := float64(req.Limit); estRows > lim {
 				estRows = lim
 			}
-			st.Operators = []OperatorTrace{
-				{Name: "simprobe", Est: sp.decision.EstDocs},
-				{Name: "eval", Est: estRows},
-				{Name: "limit", Est: estRows},
-			}
 		}
+		st.Operators = []OperatorTrace{
+			{Name: "simprobe", Est: sp.decision.EstDocs},
+			{Name: "eval", Est: estRows},
+		}
+		if req.Limit > 0 {
+			st.Operators = append(st.Operators, OperatorTrace{Name: "limit", Est: estRows})
+		}
+		if s.adaptive() && sp.decision.Corrections > 0 {
+			at := st.adaptiveTrace()
+			at.CorrectionsApplied += sp.decision.Corrections
+			at.Epoch = s.Planner.FeedbackEpoch()
+		}
+	}
+	if req.Limit > 0 {
 		stream := newEvalStream(newSliceStream(cands), s, req.Pattern, req.Adorn, st)
 		return newLimitStream(stream, req.Limit, st), nil
 	}

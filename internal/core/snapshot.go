@@ -126,6 +126,7 @@ func (s *System) WithSnapshot(snap *OntologySnapshot) *System {
 		MakerConfig:       s.MakerConfig,
 		Parallelism:       s.Parallelism,
 		Planner:           s.Planner,
+		AdaptiveDisabled:  s.AdaptiveDisabled,
 		DynamicSimilarity: s.DynamicSimilarity,
 		onto:              s.onto,
 		pinned:            snap,

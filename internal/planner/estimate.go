@@ -60,6 +60,11 @@ type PathEstimate struct {
 	Access   string  // chosen access method (AccessIndex, AccessValueIndex, AccessScan)
 	EstNodes float64 // estimated matching nodes
 	EstDocs  float64 // estimated documents containing a match
+	// RawDocs preserves the uncorrected statistics-only document estimate:
+	// adaptive planning overwrites EstDocs with a corrected value but always
+	// learns and re-applies corrections against RawDocs, so factors cannot
+	// compound across plan rebuilds.
+	RawDocs float64
 	// EstShards is the estimated number of shards holding at least one
 	// matching document (1 on unsharded collections). Highly selective paths
 	// estimate close to 1: the gather stage expects to touch only the owning
@@ -89,6 +94,7 @@ func EstimatePath(st *xmldb.Stats, p *xpath.Path) PathEstimate {
 			est.EstDocs = float64(st.Docs) * DefaultPredSelectivity
 		}
 		est.EstShards = ShardsFromDocs(est.EstDocs, st.Shards)
+		est.RawDocs = est.EstDocs
 		return est
 	}
 
@@ -139,6 +145,7 @@ func EstimatePath(st *xmldb.Stats, p *xpath.Path) PathEstimate {
 		est.Cost = scanCost
 	}
 	est.EstShards = ShardsFromDocs(est.EstDocs, st.Shards)
+	est.RawDocs = est.EstDocs
 	return est
 }
 

@@ -1,0 +1,200 @@
+package planner
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/xpath"
+)
+
+// Feedback is the planner's correction store: per-(collection, pattern-shape)
+// multiplicative correction factors learned from completed queries'
+// estimated-versus-actual cardinality rows. Keys embed the collection's
+// mutation generation and the pinned ontology snapshot version — the same
+// scheme as the plan cache — so a data write or live ontology mutation
+// resets the corrections for the affected collection by key construction:
+// stale factors are simply never looked up again and age out of the LRU.
+//
+// Factors decay exponentially (each new observation carries CorrectionDecay
+// of the weight), so a drifting workload is tracked instead of averaged
+// away. A material factor move bumps the store's epoch, which invalidates
+// adaptive plan-cache entries built under older corrections.
+type Feedback struct {
+	mu    sync.Mutex
+	cache map[string]*list.Element
+	order *list.List // front = most recently used
+	cap   int
+
+	epoch    atomic.Uint64
+	recorded atomic.Uint64
+	applied  atomic.Uint64
+}
+
+type correction struct {
+	key    string
+	factor float64
+}
+
+const (
+	// DefaultFeedbackSize bounds the correction store (same order as the
+	// plan cache: one entry per distinct pattern shape per generation).
+	DefaultFeedbackSize = 512
+
+	// CorrectionDecay is the weight of the newest observation in the
+	// exponentially decayed factor: high enough to track drift within a few
+	// queries, low enough that one outlier row does not whipsaw plans.
+	CorrectionDecay = 0.5
+
+	// Correction factors are clamped to [1/CorrectionClamp, CorrectionClamp]
+	// so a zero-actual observation cannot zero an estimate forever.
+	CorrectionClamp = 64.0
+
+	// CorrectionEpochStep is the relative factor move that counts as
+	// material and bumps the epoch (invalidating adaptive cached plans).
+	CorrectionEpochStep = 0.5
+)
+
+// NewFeedback returns a correction store with an LRU bound of the given
+// capacity (<= 0 selects DefaultFeedbackSize).
+func NewFeedback(capacity int) *Feedback {
+	if capacity <= 0 {
+		capacity = DefaultFeedbackSize
+	}
+	return &Feedback{
+		cache: make(map[string]*list.Element, capacity),
+		order: list.New(),
+		cap:   capacity,
+	}
+}
+
+// FeedbackKey builds a correction key. It mirrors the plan-cache key —
+// collection name, mutation generation, ontology snapshot version — plus the
+// pattern shape the correction applies to, so invalidation on writes and
+// ontology mutations is by key construction.
+func FeedbackKey(collection string, generation, ontologyVersion uint64, shape string) string {
+	return fmt.Sprintf("%s@%d#%d|%s", collection, generation, ontologyVersion, shape)
+}
+
+// PathShape is the shape string for one rewritten pre-filter path.
+func PathShape(xp string) string { return "path|" + xp }
+
+// SelectShape is the shape string for a whole selection pre-filter (the
+// final intersection cardinality across all paths).
+func SelectShape(paths []*xpath.Path) string {
+	shape := "select"
+	for _, p := range paths {
+		shape += "\x00" + p.String()
+	}
+	return shape
+}
+
+// SimShape is the shape string for a similarity-probe source operator.
+func SimShape(tag, literal string) string { return "simprobe|" + tag + "|" + literal }
+
+// Record folds one estimated-versus-actual observation into the correction
+// factor for key. The observed ratio actual/est is clamped and blended into
+// the existing factor with exponential decay; a material move bumps the
+// epoch.
+func (f *Feedback) Record(key string, est, actual float64) {
+	if f == nil {
+		return
+	}
+	if est < 0.5 {
+		est = 0.5 // floor: a sub-one estimate observing 1 actual is ~2x off, not 1000x
+	}
+	if actual < 0 {
+		actual = 0
+	}
+	ratio := actual / est
+	if ratio < 1/CorrectionClamp {
+		ratio = 1 / CorrectionClamp
+	}
+	if ratio > CorrectionClamp {
+		ratio = CorrectionClamp
+	}
+	f.recorded.Add(1)
+
+	f.mu.Lock()
+	old := 1.0 // an absent entry behaves like factor 1 (no correction)
+	if el, ok := f.cache[key]; ok {
+		c := el.Value.(*correction)
+		old = c.factor
+		c.factor = old*(1-CorrectionDecay) + ratio*CorrectionDecay
+		f.order.MoveToFront(el)
+	} else {
+		f.cache[key] = f.order.PushFront(&correction{key: key, factor: ratio})
+		for f.order.Len() > f.cap {
+			back := f.order.Back()
+			f.order.Remove(back)
+			delete(f.cache, back.Value.(*correction).key)
+		}
+	}
+	now := f.cache[key].Value.(*correction).factor
+	f.mu.Unlock()
+
+	if math.Abs(now-old)/old >= CorrectionEpochStep {
+		f.epoch.Add(1)
+	}
+}
+
+// Correct multiplies est through the correction factor for key, if one has
+// been learned. fired reports whether a correction applied.
+func (f *Feedback) Correct(key string, est float64) (corrected float64, fired bool) {
+	if f == nil {
+		return est, false
+	}
+	f.mu.Lock()
+	el, ok := f.cache[key]
+	if !ok {
+		f.mu.Unlock()
+		return est, false
+	}
+	f.order.MoveToFront(el)
+	factor := el.Value.(*correction).factor
+	f.mu.Unlock()
+	f.applied.Add(1)
+	return est * factor, true
+}
+
+// Factor returns the learned correction factor for key (1 when absent),
+// without touching LRU order or counters. Observability only.
+func (f *Feedback) Factor(key string) float64 {
+	if f == nil {
+		return 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if el, ok := f.cache[key]; ok {
+		return el.Value.(*correction).factor
+	}
+	return 1
+}
+
+// Epoch returns the current correction epoch. Adaptive cached plans remember
+// the epoch they were built under; a mismatch on lookup forces a rebuild.
+func (f *Feedback) Epoch() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.epoch.Load()
+}
+
+// Len reports the live correction entries.
+func (f *Feedback) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.order.Len()
+}
+
+func (f *Feedback) counters() (recorded, applied, epoch uint64, entries int) {
+	if f == nil {
+		return 0, 0, 0, 0
+	}
+	return f.recorded.Load(), f.applied.Load(), f.epoch.Load(), f.Len()
+}

@@ -1,0 +1,238 @@
+package planner
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestFeedbackRecordCorrect(t *testing.T) {
+	f := NewFeedback(0)
+	key := FeedbackKey("dblp", 3, 1, PathShape("//a"))
+
+	// No entry yet: Correct is a no-op miss.
+	if got, fired := f.Correct(key, 10); fired || got != 10 {
+		t.Fatalf("Correct on empty store = (%g, %t), want (10, false)", got, fired)
+	}
+	if f.Factor(key) != 1 {
+		t.Fatalf("Factor on empty store = %g, want 1", f.Factor(key))
+	}
+
+	// First observation takes the clamped ratio wholesale.
+	f.Record(key, 10, 20) // ratio 2
+	if got := f.Factor(key); got != 2 {
+		t.Fatalf("factor after first Record = %g, want 2", got)
+	}
+	if got, fired := f.Correct(key, 10); !fired || got != 20 {
+		t.Fatalf("Correct = (%g, %t), want (20, true)", got, fired)
+	}
+
+	// Later observations blend with exponential decay:
+	// old*(1-CorrectionDecay) + ratio*CorrectionDecay.
+	f.Record(key, 10, 40) // ratio 4
+	want := 2*(1-CorrectionDecay) + 4*CorrectionDecay
+	if got := f.Factor(key); got != want {
+		t.Fatalf("decayed factor = %g, want %g", got, want)
+	}
+
+	rec, app, _, entries := f.counters()
+	if rec != 2 || app != 1 || entries != 1 {
+		t.Fatalf("counters = recorded %d applied %d entries %d, want 2/1/1", rec, app, entries)
+	}
+}
+
+func TestFeedbackRatioClampAndEstFloor(t *testing.T) {
+	f := NewFeedback(0)
+
+	// Zero actual clamps at 1/CorrectionClamp instead of zeroing forever.
+	low := FeedbackKey("c", 0, 0, "low")
+	f.Record(low, 1000, 0)
+	if got := f.Factor(low); got != 1/CorrectionClamp {
+		t.Fatalf("zero-actual factor = %g, want %g", got, 1/CorrectionClamp)
+	}
+
+	// Huge actual clamps at CorrectionClamp.
+	high := FeedbackKey("c", 0, 0, "high")
+	f.Record(high, 1, 1e9)
+	if got := f.Factor(high); got != CorrectionClamp {
+		t.Fatalf("huge-actual factor = %g, want %g", got, CorrectionClamp)
+	}
+
+	// Sub-one estimates are floored at 0.5 before the ratio: estimating 0.001
+	// and observing 1 is a ~2x miss, not a 1000x one.
+	floor := FeedbackKey("c", 0, 0, "floor")
+	f.Record(floor, 0.001, 1)
+	if got := f.Factor(floor); got != 2 {
+		t.Fatalf("floored-estimate factor = %g, want 2", got)
+	}
+}
+
+func TestFeedbackLRUBound(t *testing.T) {
+	f := NewFeedback(4)
+	for i := 0; i < 10; i++ {
+		f.Record(fmt.Sprintf("k%d", i), 10, 20)
+	}
+	if f.Len() != 4 {
+		t.Fatalf("Len = %d, want cap 4", f.Len())
+	}
+	// Oldest entries were evicted; the newest survived.
+	if f.Factor("k0") != 1 {
+		t.Error("k0 should have been evicted (factor 1)")
+	}
+	if f.Factor("k9") != 2 {
+		t.Errorf("k9 factor = %g, want 2", f.Factor("k9"))
+	}
+}
+
+func TestFeedbackEpochBumpsOnMaterialMove(t *testing.T) {
+	f := NewFeedback(0)
+	key := FeedbackKey("dblp", 0, 0, "shape")
+
+	// First observation: factor moves 1 → 2, a 100% relative move — material.
+	before := f.Epoch()
+	f.Record(key, 10, 20)
+	if f.Epoch() == before {
+		t.Fatal("first material factor move must bump the epoch")
+	}
+
+	// Repeating the same observation leaves the factor in place: no bump.
+	before = f.Epoch()
+	f.Record(key, 10, 20)
+	if f.Epoch() != before {
+		t.Fatal("steady-state observation must not bump the epoch")
+	}
+
+	// A big swing bumps again.
+	f.Record(key, 10, 1000)
+	if f.Epoch() == before {
+		t.Fatal("large factor swing must bump the epoch")
+	}
+}
+
+func TestFeedbackKeyIsolation(t *testing.T) {
+	f := NewFeedback(0)
+	base := FeedbackKey("dblp", 1, 1, "shape")
+	f.Record(base, 10, 40)
+	if f.Factor(base) != 4 {
+		t.Fatalf("factor = %g, want 4", f.Factor(base))
+	}
+
+	// A data write bumps the collection generation; the new key starts clean.
+	if k := FeedbackKey("dblp", 2, 1, "shape"); f.Factor(k) != 1 {
+		t.Errorf("generation-bumped key inherited factor %g", f.Factor(k))
+	}
+	// A live ontology mutation bumps the snapshot version; same reset.
+	if k := FeedbackKey("dblp", 1, 2, "shape"); f.Factor(k) != 1 {
+		t.Errorf("ontology-bumped key inherited factor %g", f.Factor(k))
+	}
+	// Another collection never shares corrections.
+	if k := FeedbackKey("proc", 1, 1, "shape"); f.Factor(k) != 1 {
+		t.Errorf("cross-collection key inherited factor %g", f.Factor(k))
+	}
+}
+
+func TestTunableGatesFloorAndCeil(t *testing.T) {
+	pl := New(0)
+	if pl.MinParallelDocsGate() != MinParallelDocs {
+		t.Fatalf("fresh parallel gate = %d, want seed %d", pl.MinParallelDocsGate(), MinParallelDocs)
+	}
+	if pl.MinStreamScanDocsGate() != MinStreamScanDocs {
+		t.Fatalf("fresh stream gate = %d, want seed %d", pl.MinStreamScanDocsGate(), MinStreamScanDocs)
+	}
+
+	// Overruns double the stream gate, capped at seed × tunableCeil.
+	for i := 0; i < 20; i++ {
+		pl.ObserveStreamOverrun()
+	}
+	if got, want := pl.MinStreamScanDocsGate(), MinStreamScanDocs*tunableCeil; got != want {
+		t.Fatalf("raised stream gate = %d, want ceiling %d", got, want)
+	}
+
+	// On-target scans decay the gate halfway back toward the seed — and never
+	// below it.
+	for i := 0; i < 40; i++ {
+		pl.ObserveStreamOnTarget()
+	}
+	if got := pl.MinStreamScanDocsGate(); got != MinStreamScanDocs {
+		t.Fatalf("decayed stream gate = %d, want seed %d", got, MinStreamScanDocs)
+	}
+}
+
+func TestObserveFirstResultRaisesParallelGate(t *testing.T) {
+	pl := New(0)
+	// Establish a fast long-window baseline, then degrade sharply: the
+	// materialized-mode gate must rise above its seed.
+	for i := 0; i < 50; i++ {
+		pl.ObserveFirstResult(false, time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		pl.ObserveFirstResult(false, 100*time.Millisecond)
+	}
+	if got := pl.MinParallelDocsGate(); got <= MinParallelDocs {
+		t.Fatalf("degraded first-result latency left parallel gate at %d", got)
+	}
+	// Recovery decays it back to the seed floor.
+	for i := 0; i < 200; i++ {
+		pl.ObserveFirstResult(false, time.Microsecond)
+	}
+	if got := pl.MinParallelDocsGate(); got != MinParallelDocs {
+		t.Fatalf("recovered parallel gate = %d, want seed %d", got, MinParallelDocs)
+	}
+}
+
+func TestObserveSimProbeTunesTermSelectivity(t *testing.T) {
+	pl := New(0)
+	if got := pl.SimTermSelectivityGate(); got != DefaultSimTermSelectivity {
+		t.Fatalf("fresh term selectivity = %g, want default %g", got, DefaultSimTermSelectivity)
+	}
+	pl.ObserveSimProbe(50, 100)
+	if got := pl.SimTermSelectivityGate(); got != 0.5 {
+		t.Fatalf("first observation = %g, want 0.5 wholesale", got)
+	}
+	// Clamped below at 1/4096 even for empty funnels…
+	for i := 0; i < 100; i++ {
+		pl.ObserveSimProbe(0, 1000000)
+	}
+	if got := pl.SimTermSelectivityGate(); got < 1.0/4096-1e-12 {
+		t.Fatalf("selectivity %g fell below the 1/4096 clamp", got)
+	}
+	// …and above at 1.
+	for i := 0; i < 100; i++ {
+		pl.ObserveSimProbe(2000, 1000)
+	}
+	if got := pl.SimTermSelectivityGate(); got > 1 {
+		t.Fatalf("selectivity %g exceeded 1", got)
+	}
+	// Zero dictionary: ignored.
+	before := pl.SimTermSelectivityGate()
+	pl.ObserveSimProbe(10, 0)
+	if got := pl.SimTermSelectivityGate(); got != before {
+		t.Fatal("zero-dictionary observation must be ignored")
+	}
+}
+
+func TestAdaptivePlanCacheEpochInvalidation(t *testing.T) {
+	pl := New(0)
+	plan := &SelectPlan{Collection: "dblp"}
+
+	pl.cachePut("a\x00k", 0, plan)
+	if _, ok := pl.cacheGet("a\x00k", 0, true); !ok {
+		t.Fatal("same-epoch lookup must hit")
+	}
+	// Epoch moved: the entry is evicted and the lookup is a miss.
+	if _, ok := pl.cacheGet("a\x00k", 1, true); ok {
+		t.Fatal("stale-epoch lookup must miss")
+	}
+	if pl.epochInvalidate.Load() != 1 {
+		t.Fatalf("epoch invalidations = %d, want 1", pl.epochInvalidate.Load())
+	}
+	if _, ok := pl.cacheGet("a\x00k", 1, true); ok {
+		t.Fatal("evicted entry must stay gone")
+	}
+
+	// Static lookups ignore epochs entirely.
+	pl.cachePut("k", 0, plan)
+	if _, ok := pl.cacheGet("k", 99, false); !ok {
+		t.Fatal("static lookup must ignore the epoch")
+	}
+}

@@ -29,8 +29,19 @@ type SelectPlan struct {
 	// Reordered reports whether the chosen order differs from rewrite order.
 	Reordered bool
 	// EstCandidates is the estimated size of the final intersection, under
-	// the usual attribute-independence assumption.
+	// the usual attribute-independence assumption (corrected by learned
+	// feedback factors on adaptive plans).
 	EstCandidates float64
+	// RawCandidates is the uncorrected intersection estimate. Feedback
+	// corrections are learned against raw estimates — never against already
+	// corrected ones — so factors cannot compound across generations of the
+	// same plan.
+	RawCandidates float64
+	// CorrectionsApplied counts the feedback corrections folded into this
+	// plan's estimates (0 on non-adaptive plans); FeedbackEpoch is the
+	// correction epoch the plan was built under.
+	CorrectionsApplied int
+	FeedbackEpoch      uint64
 }
 
 // BuildSelectPlan estimates every rewritten path against the statistics
@@ -73,6 +84,7 @@ func BuildSelectPlan(collection string, st *xmldb.Stats, paths []*xpath.Path) *S
 	if docs > 0 {
 		plan.EstCandidates = sel * docs
 	}
+	plan.RawCandidates = plan.EstCandidates
 	return plan
 }
 
@@ -141,6 +153,19 @@ type Counters struct {
 	ErrP50 float64 `json:"err_p50"`
 	ErrP90 float64 `json:"err_p90"`
 	ErrMax float64 `json:"err_max"`
+
+	// Adaptive-execution feedback (docs/PLANNER.md §7).
+	CorrectionsRecorded uint64 `json:"corrections_recorded"`
+	CorrectionsApplied  uint64 `json:"corrections_applied"`
+	CorrectionEpoch     uint64 `json:"correction_epoch"`
+	FeedbackEntries     int    `json:"feedback_entries"`
+	EpochInvalidations  uint64 `json:"epoch_invalidations"`
+	ReoptMaterialize    uint64 `json:"reopt_materialize"`
+	ReoptBuildSide      uint64 `json:"reopt_build_side"`
+	// Auto-tuned gate positions (seeded from the package constants).
+	TunedMinParallelDocs    int     `json:"tuned_min_parallel_docs"`
+	TunedMinStreamScanDocs  int     `json:"tuned_min_stream_scan_docs"`
+	TunedSimTermSelectivity float64 `json:"tuned_sim_term_selectivity"`
 }
 
 // Planner builds, caches, and scores query plans. Safe for concurrent use;
@@ -159,11 +184,22 @@ type Planner struct {
 
 	// sim holds the similarity-index gate override (simplan.go).
 	sim simGate
+
+	// fb is the adaptive-execution correction store (feedback.go); tun
+	// holds the auto-tuned execution gates (tunables.go).
+	fb              *Feedback
+	tun             tunables
+	epochInvalidate atomic.Uint64
 }
 
 type cacheEntry struct {
-	key  string
-	plan *SelectPlan
+	key string
+	// epoch is the correction epoch the plan was built under; adaptive
+	// lookups treat a stale epoch as a miss. Static plans are built from raw
+	// estimates only and live under unprefixed keys (adaptive keys carry an
+	// "a\x00" prefix), so the two never serve each other's entries.
+	epoch uint64
+	plan  *SelectPlan
 }
 
 // DefaultCacheSize bounds the plan cache when New is given size <= 0.
@@ -178,6 +214,7 @@ func New(cacheSize int) *Planner {
 		cache: make(map[string]*list.Element, cacheSize),
 		order: list.New(),
 		cap:   cacheSize,
+		fb:    NewFeedback(0),
 	}
 }
 
@@ -191,31 +228,78 @@ func New(cacheSize int) *Planner {
 // cache. The second return reports whether the plan came from the cache.
 func (pl *Planner) PlanSelect(col *xmldb.Collection, ontologyVersion uint64, paths []*xpath.Path) (*SelectPlan, bool) {
 	st := col.Stats()
+	key := selectCacheKey("", col.Name(), st.Generation, ontologyVersion, paths)
+	if plan, ok := pl.cacheGet(key, 0, false); ok {
+		return plan, true
+	}
+	plan := BuildSelectPlan(col.Name(), st, paths)
+	pl.plansBuilt.Add(1)
+	pl.cachePut(key, 0, plan)
+	return plan, false
+}
+
+// PlanSelectAdaptive is PlanSelect with learned feedback folded in: per-path
+// and whole-plan correction factors multiply through the raw estimates, the
+// intersection order is re-sorted on the corrected cardinalities, and the
+// cached plan remembers the correction epoch it was built under — a material
+// correction move (epoch bump) invalidates it on the next lookup. Adaptive
+// plans live under their own key prefix, so static (`-no-adaptive`) queries
+// never see corrected estimates.
+func (pl *Planner) PlanSelectAdaptive(col *xmldb.Collection, ontologyVersion uint64, paths []*xpath.Path) (*SelectPlan, bool) {
+	st := col.Stats()
+	epoch := pl.fb.Epoch()
+	key := selectCacheKey("a\x00", col.Name(), st.Generation, ontologyVersion, paths)
+	if plan, ok := pl.cacheGet(key, epoch, true); ok {
+		return plan, true
+	}
+	plan := pl.buildAdaptiveSelectPlan(col.Name(), st, ontologyVersion, paths)
+	plan.FeedbackEpoch = epoch
+	pl.plansBuilt.Add(1)
+	pl.cachePut(key, epoch, plan)
+	return plan, false
+}
+
+func selectCacheKey(prefix, collection string, generation, ontologyVersion uint64, paths []*xpath.Path) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%s@%d#%d", col.Name(), st.Generation, ontologyVersion)
+	sb.WriteString(prefix)
+	fmt.Fprintf(&sb, "%s@%d#%d", collection, generation, ontologyVersion)
 	for _, p := range paths {
 		sb.WriteByte(0)
 		sb.WriteString(p.String())
 	}
-	key := sb.String()
+	return sb.String()
+}
 
+// cacheGet looks key up in the plan cache. When epochAware, an entry built
+// under a different correction epoch is evicted and reported as a miss.
+func (pl *Planner) cacheGet(key string, wantEpoch uint64, epochAware bool) (*SelectPlan, bool) {
 	pl.mu.Lock()
-	if el, ok := pl.cache[key]; ok {
-		pl.order.MoveToFront(el)
-		plan := el.Value.(*cacheEntry).plan
+	el, ok := pl.cache[key]
+	if !ok {
 		pl.mu.Unlock()
-		pl.hits.Add(1)
-		return plan, true
+		pl.misses.Add(1)
+		return nil, false
 	}
+	ent := el.Value.(*cacheEntry)
+	if epochAware && ent.epoch != wantEpoch {
+		pl.order.Remove(el)
+		delete(pl.cache, key)
+		pl.mu.Unlock()
+		pl.misses.Add(1)
+		pl.epochInvalidate.Add(1)
+		return nil, false
+	}
+	pl.order.MoveToFront(el)
+	plan := ent.plan
 	pl.mu.Unlock()
-	pl.misses.Add(1)
+	pl.hits.Add(1)
+	return plan, true
+}
 
-	plan := BuildSelectPlan(col.Name(), st, paths)
-	pl.plansBuilt.Add(1)
-
+func (pl *Planner) cachePut(key string, epoch uint64, plan *SelectPlan) {
 	pl.mu.Lock()
 	if _, ok := pl.cache[key]; !ok {
-		pl.cache[key] = pl.order.PushFront(&cacheEntry{key: key, plan: plan})
+		pl.cache[key] = pl.order.PushFront(&cacheEntry{key: key, epoch: epoch, plan: plan})
 		for pl.order.Len() > pl.cap {
 			old := pl.order.Back()
 			pl.order.Remove(old)
@@ -223,7 +307,102 @@ func (pl *Planner) PlanSelect(col *xmldb.Collection, ontologyVersion uint64, pat
 		}
 	}
 	pl.mu.Unlock()
-	return plan, false
+}
+
+// buildAdaptiveSelectPlan builds the raw plan and multiplies learned
+// corrections through it. Corrections always apply to raw estimates
+// (PathEstimate.RawDocs, SelectPlan.RawCandidates) so a factor re-applied on
+// every rebuild cannot compound.
+func (pl *Planner) buildAdaptiveSelectPlan(collection string, st *xmldb.Stats, ontologyVersion uint64, paths []*xpath.Path) *SelectPlan {
+	plan := BuildSelectPlan(collection, st, paths)
+	if pl.fb == nil || len(plan.Paths) == 0 {
+		return plan
+	}
+	docs := float64(st.Docs)
+	applied := 0
+	for i := range plan.Paths {
+		est := &plan.Paths[i]
+		k := FeedbackKey(collection, st.Generation, ontologyVersion, PathShape(est.XPath))
+		if c, ok := pl.fb.Correct(k, est.RawDocs); ok {
+			if c > docs {
+				c = docs
+			}
+			est.EstDocs = c
+			est.EstShards = ShardsFromDocs(c, st.Shards)
+			applied++
+		}
+	}
+	// Re-sort the intersection on the corrected cardinalities: a path the
+	// statistics called selective but feedback proved fat should run late.
+	idx := make([]int, len(plan.Paths))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ea, eb := plan.Paths[idx[a]], plan.Paths[idx[b]]
+		if ea.EstDocs != eb.EstDocs {
+			return ea.EstDocs < eb.EstDocs
+		}
+		return ea.Cost < eb.Cost
+	})
+	newPaths := make([]PathEstimate, len(idx))
+	newOrder := make([]int, len(idx))
+	reordered := false
+	for i, j := range idx {
+		newPaths[i] = plan.Paths[j]
+		newOrder[i] = plan.Order[j]
+		if newOrder[i] != i {
+			reordered = true
+		}
+	}
+	plan.Paths, plan.Order, plan.Reordered = newPaths, newOrder, reordered
+	if docs > 0 {
+		sel := 1.0
+		for i := range plan.Paths {
+			sel *= plan.Paths[i].EstDocs / docs
+		}
+		plan.EstCandidates = sel * docs
+	}
+	// The whole-plan correction — learned from completed intersections —
+	// overrides the independence product entirely: correlation between paths
+	// is exactly what the product cannot see and the actuals can.
+	k := FeedbackKey(collection, st.Generation, ontologyVersion, SelectShape(paths))
+	if c, ok := pl.fb.Correct(k, plan.RawCandidates); ok {
+		if c > docs {
+			c = docs
+		}
+		plan.EstCandidates = c
+		applied++
+	}
+	plan.CorrectionsApplied = applied
+	return plan
+}
+
+// Learn records one raw-estimate-versus-actual observation in the
+// correction store. Callers pass the RAW (uncorrected) estimate; the
+// corrected estimate belongs in Observe, where the error quantiles measure
+// how well corrections are working.
+func (pl *Planner) Learn(key string, rawEst, actual float64) {
+	if pl == nil {
+		return
+	}
+	pl.fb.Record(key, rawEst, actual)
+}
+
+// Correction multiplies rawEst through the learned factor for key, if any.
+func (pl *Planner) Correction(key string, rawEst float64) (float64, bool) {
+	if pl == nil {
+		return rawEst, false
+	}
+	return pl.fb.Correct(key, rawEst)
+}
+
+// FeedbackEpoch returns the correction store's current epoch.
+func (pl *Planner) FeedbackEpoch() uint64 {
+	if pl == nil {
+		return 0
+	}
+	return pl.fb.Epoch()
 }
 
 // Observe records one estimated-versus-actual cardinality pair, feeding the
@@ -247,6 +426,13 @@ func (pl *Planner) Counters() Counters {
 	c.CacheSize = pl.order.Len()
 	pl.mu.Unlock()
 	c.Observations, c.ErrP50, c.ErrP90, c.ErrMax = pl.errs.quantiles()
+	c.CorrectionsRecorded, c.CorrectionsApplied, c.CorrectionEpoch, c.FeedbackEntries = pl.fb.counters()
+	c.EpochInvalidations = pl.epochInvalidate.Load()
+	c.ReoptMaterialize = pl.tun.reoptMaterialize.Load()
+	c.ReoptBuildSide = pl.tun.reoptBuildSide.Load()
+	c.TunedMinParallelDocs = pl.MinParallelDocsGate()
+	c.TunedMinStreamScanDocs = pl.MinStreamScanDocsGate()
+	c.TunedSimTermSelectivity = pl.SimTermSelectivityGate()
 	return c
 }
 

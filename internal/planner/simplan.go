@@ -42,8 +42,13 @@ type SimDecision struct {
 	EstCandidateTerms float64 // filter-channel terms expected to need verification
 	EstNodes          float64 // value-index postings expected across matched terms
 	EstDocs           float64 // candidate documents expected
-	ProbeCost         float64
-	AltCost           float64 // best non-simindex alternative for this predicate
+	// RawDocs is the uncorrected candidate-document estimate — what feedback
+	// corrections are learned against (see SelectPlan.RawCandidates).
+	RawDocs   float64
+	ProbeCost float64
+	AltCost   float64 // best non-simindex alternative for this predicate
+	// Corrections counts feedback corrections folded in (adaptive only).
+	Corrections int
 }
 
 // PlanSimProbe costs a similarity probe for `tag.content ~ literal` against
@@ -52,6 +57,28 @@ type SimDecision struct {
 // compile that expansion into value-index equality probes itself — when it
 // can, the alternative is those probes, not a full scan.
 func PlanSimProbe(st *xmldb.Stats, tag string, clusterTerms int, soundExpansion bool, minDocs int) SimDecision {
+	return planSimProbeWith(st, tag, clusterTerms, soundExpansion, minDocs, DefaultSimTermSelectivity)
+}
+
+// PlanSimProbeAdaptive is PlanSimProbe with learned feedback folded in: the
+// term selectivity is the auto-tuned value ObserveSimProbe maintains from
+// actual filter funnels, and the candidate-document estimate is multiplied
+// through the correction factor learned from past probes of the same
+// (tag, literal) shape.
+func (pl *Planner) PlanSimProbeAdaptive(collection string, st *xmldb.Stats, ontologyVersion uint64, tag, literal string, clusterTerms int, soundExpansion bool) SimDecision {
+	d := planSimProbeWith(st, tag, clusterTerms, soundExpansion, pl.MinSimIndexDocsGate(), pl.SimTermSelectivityGate())
+	k := FeedbackKey(collection, st.Generation, ontologyVersion, SimShape(tag, literal))
+	if c, ok := pl.Correction(k, d.RawDocs); ok {
+		if docs := float64(st.Docs); c > docs {
+			c = docs
+		}
+		d.EstDocs = c
+		d.Corrections++
+	}
+	return d
+}
+
+func planSimProbeWith(st *xmldb.Stats, tag string, clusterTerms int, soundExpansion bool, minDocs int, termSel float64) SimDecision {
 	if minDocs <= 0 {
 		minDocs = MinSimIndexDocs
 	}
@@ -61,13 +88,14 @@ func PlanSimProbe(st *xmldb.Stats, tag string, clusterTerms int, soundExpansion 
 	if ts.DistinctValues > 0 {
 		nodesPerValue = float64(ts.ValueNodes) / float64(ts.DistinctValues)
 	}
-	d.EstCandidateTerms = float64(st.DistinctTerms) * DefaultSimTermSelectivity
+	d.EstCandidateTerms = float64(st.DistinctTerms) * termSel
 	matched := float64(clusterTerms) + d.EstCandidateTerms
 	d.EstNodes = matched * nodesPerValue
 	if vn := float64(ts.ValueNodes); d.EstNodes > vn && vn > 0 {
 		d.EstNodes = vn
 	}
 	d.EstDocs = DocsFromNodes(d.EstNodes, ts.Docs)
+	d.RawDocs = d.EstDocs
 	d.ProbeCost = float64(st.DistinctTerms)*CostSimGram +
 		d.EstCandidateTerms*CostSimVerify +
 		d.EstNodes*CostIndexProbe

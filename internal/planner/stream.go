@@ -20,8 +20,15 @@ type StreamDecision struct {
 	// Stream reports whether the streaming scan is estimated cheaper.
 	Stream bool
 	// EstCandidates is the estimated size of the full candidate set (the
-	// usual attribute-independence product over the paths).
+	// usual attribute-independence product over the paths; corrected by
+	// learned feedback factors on adaptive decisions).
 	EstCandidates float64
+	// RawCandidates is the uncorrected candidate estimate — what corrections
+	// are learned against (see SelectPlan.RawCandidates).
+	RawCandidates float64
+	// Corrections counts feedback corrections folded into this decision
+	// (always 0 on non-adaptive decisions).
+	Corrections int
 	// EstScanDocs is the estimated number of documents the streaming scan
 	// pulls before the limit is satisfied (candidates spread uniformly over
 	// insertion order).
@@ -55,6 +62,7 @@ func PlanStreamScan(st *xmldb.Stats, paths []*xpath.Path, limit int) StreamDecis
 		}
 	}
 	d.EstCandidates = sel * docs
+	d.RawCandidates = d.EstCandidates
 	if d.EstCandidates < 1 {
 		// Expecting no candidates at all: the streaming scan would walk the
 		// whole collection to find out; budget for that.
@@ -90,4 +98,68 @@ func PlanStreamScan(st *xmldb.Stats, paths []*xpath.Path, limit int) StreamDecis
 // either way.
 func HeuristicStreamScan(docCount, limit int) bool {
 	return limit > 0 && docCount >= MinStreamScanDocs
+}
+
+// PlanStreamScanAdaptive is PlanStreamScan with learned feedback folded in:
+// the document-count gate is the auto-tuned MinStreamScanDocsGate, per-path
+// and whole-plan correction factors multiply through the raw estimates, and
+// the corrected candidate count drives the scan-prefix estimate. A learned
+// low correlation (few real candidates) inflates EstScanDocs and flips the
+// decision back to the materialized pre-filter — the feedback loop's answer
+// to a drifted workload where streaming walks the whole collection.
+func (pl *Planner) PlanStreamScanAdaptive(collection string, st *xmldb.Stats, ontologyVersion uint64, paths []*xpath.Path, limit int) StreamDecision {
+	d := StreamDecision{}
+	if limit <= 0 || st == nil || st.Docs < pl.MinStreamScanDocsGate() {
+		return d
+	}
+	docs := float64(st.Docs)
+	sel, rawSel := 1.0, 1.0
+	for _, p := range paths {
+		est := EstimatePath(st, p)
+		d.MaterializedCost += est.Cost
+		corrected := est.RawDocs
+		k := FeedbackKey(collection, st.Generation, ontologyVersion, PathShape(est.XPath))
+		if c, ok := pl.Correction(k, est.RawDocs); ok {
+			if c > docs {
+				c = docs
+			}
+			corrected = c
+			d.Corrections++
+		}
+		if docs > 0 {
+			sel *= corrected / docs
+			rawSel *= est.RawDocs / docs
+		}
+	}
+	d.EstCandidates = sel * docs
+	d.RawCandidates = rawSel * docs
+	k := FeedbackKey(collection, st.Generation, ontologyVersion, SelectShape(paths))
+	if c, ok := pl.Correction(k, d.RawCandidates); ok {
+		if c > docs {
+			c = docs
+		}
+		d.EstCandidates = c
+		d.Corrections++
+	}
+	if d.EstCandidates < 1 {
+		d.EstScanDocs = docs
+	} else {
+		d.EstScanDocs = float64(limit) / (d.EstCandidates / docs)
+		if d.EstScanDocs > docs {
+			d.EstScanDocs = docs
+		}
+	}
+	perDoc := st.AvgNodesPerDoc() * CostScanNode
+	nPaths := len(paths)
+	if nPaths == 0 {
+		nPaths = 1
+	}
+	d.StreamCost = d.EstScanDocs * perDoc * float64(nPaths)
+	if len(paths) == 0 {
+		d.Stream = true
+		d.StreamCost = 0
+		return d
+	}
+	d.Stream = d.StreamCost < d.MaterializedCost
+	return d
 }

@@ -1,0 +1,215 @@
+package planner
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultReoptFactor is the cardinality blow-past factor that triggers
+// mid-stream re-optimization: when an operator's actual row count exceeds
+// its (corrected) estimate by this factor, the remainder of the pipeline is
+// re-planned. Override per Planner with SetReoptFactor (tests force 1.0).
+const DefaultReoptFactor = 4.0
+
+// tunableCeil caps how far an auto-tuned gate can be raised above its seed
+// constant (seed × tunableCeil).
+const tunableCeil = 8
+
+// tunables holds the planner's auto-tuned execution gates. Every gate is
+// seeded from its package constant (a zero atomic reads as the seed) and
+// floored there: adaptation only ever raises a gate and decays it back, so
+// small-collection behavior — and the traces tests pin — never change.
+// All fields are atomics because queries read them concurrently.
+type tunables struct {
+	minParallelDocs   atomic.Int64
+	minStreamScanDocs atomic.Int64
+	reoptFactor       atomicFloat
+	simTermSel        atomicFloat
+
+	// First-result latency EWMAs per execution mode (seconds): a short
+	// window tracking "now" against a long window tracking "normal".
+	frStreamShort atomicFloat
+	frStreamLong  atomicFloat
+	frMatShort    atomicFloat
+	frMatLong     atomicFloat
+
+	reoptMaterialize atomic.Uint64
+	reoptBuildSide   atomic.Uint64
+}
+
+// atomicFloat is a float64 behind an atomic.Uint64 (zero bits = 0.0).
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat) load() float64   { return math.Float64frombits(a.bits.Load()) }
+func (a *atomicFloat) store(v float64) { a.bits.Store(math.Float64bits(v)) }
+
+// ewma folds v into the stored value with weight alpha (an unset value takes
+// v wholesale) and returns the new value.
+func (a *atomicFloat) ewma(v, alpha float64) float64 {
+	for {
+		oldBits := a.bits.Load()
+		old := math.Float64frombits(oldBits)
+		next := v
+		if oldBits != 0 {
+			next = old*(1-alpha) + v*alpha
+		}
+		if a.bits.CompareAndSwap(oldBits, math.Float64bits(next)) {
+			return next
+		}
+	}
+}
+
+// MinParallelDocsGate returns the effective parallel-evaluation gate:
+// candidate sets below it are evaluated sequentially. Never below the
+// MinParallelDocs seed.
+func (pl *Planner) MinParallelDocsGate() int {
+	if v := pl.tun.minParallelDocs.Load(); v > MinParallelDocs {
+		return int(v)
+	}
+	return MinParallelDocs
+}
+
+// MinStreamScanDocsGate returns the effective stream-scan gate: collections
+// below it keep the materialized pre-filter. Never below the
+// MinStreamScanDocs seed.
+func (pl *Planner) MinStreamScanDocsGate() int {
+	if v := pl.tun.minStreamScanDocs.Load(); v > MinStreamScanDocs {
+		return int(v)
+	}
+	return MinStreamScanDocs
+}
+
+// ReoptFactor returns the mid-stream re-optimization trigger factor.
+func (pl *Planner) ReoptFactor() float64 {
+	if v := pl.tun.reoptFactor.load(); v > 0 {
+		return v
+	}
+	return DefaultReoptFactor
+}
+
+// SetReoptFactor overrides the re-optimization trigger factor; v <= 0
+// restores the default. Tests force 1.0 to trigger on any overrun.
+func (pl *Planner) SetReoptFactor(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	pl.tun.reoptFactor.store(v)
+}
+
+// SimTermSelectivityGate returns the effective similarity-probe term
+// selectivity: DefaultSimTermSelectivity until ObserveSimProbe has fed back
+// actual filter-funnel ratios.
+func (pl *Planner) SimTermSelectivityGate() float64 {
+	if v := pl.tun.simTermSel.load(); v > 0 {
+		return v
+	}
+	return DefaultSimTermSelectivity
+}
+
+// ObserveSimProbe feeds one similarity probe's filter funnel back into the
+// term-selectivity estimate: candidateTerms survived the n-gram/phonetic
+// filters out of distinctTerms in the dictionary.
+func (pl *Planner) ObserveSimProbe(candidateTerms, distinctTerms int) {
+	if distinctTerms <= 0 {
+		return
+	}
+	sel := float64(candidateTerms) / float64(distinctTerms)
+	if sel < 1.0/4096 {
+		sel = 1.0 / 4096
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	pl.tun.simTermSel.ewma(sel, 0.3)
+}
+
+// ObserveFirstResult feeds one query's first-result latency into the
+// per-mode EWMAs. When the short window degrades materially against the
+// long window, the corresponding gate is raised (streaming regressing →
+// raise the stream-scan gate; materialized regressing → raise the
+// parallel-eval gate, the forking is the main overhead knob there); when it
+// recovers, the gate decays back toward its seed.
+func (pl *Planner) ObserveFirstResult(streamed bool, d time.Duration) {
+	sec := d.Seconds()
+	var short, long float64
+	if streamed {
+		short = pl.tun.frStreamShort.ewma(sec, 0.5)
+		long = pl.tun.frStreamLong.ewma(sec, 0.05)
+	} else {
+		short = pl.tun.frMatShort.ewma(sec, 0.5)
+		long = pl.tun.frMatLong.ewma(sec, 0.05)
+	}
+	if long <= 0 {
+		return
+	}
+	switch {
+	case short > 1.5*long:
+		if streamed {
+			raiseGate(&pl.tun.minStreamScanDocs, MinStreamScanDocs)
+		} else {
+			raiseGate(&pl.tun.minParallelDocs, MinParallelDocs)
+		}
+	case short < long:
+		if streamed {
+			decayGate(&pl.tun.minStreamScanDocs, MinStreamScanDocs)
+		} else {
+			decayGate(&pl.tun.minParallelDocs, MinParallelDocs)
+		}
+	}
+}
+
+// ObserveStreamOverrun reports that a streaming scan blew past its estimated
+// scan prefix (the primary signal that the stream-scan gate is too eager);
+// the gate doubles, capped at seed × tunableCeil.
+func (pl *Planner) ObserveStreamOverrun() {
+	raiseGate(&pl.tun.minStreamScanDocs, MinStreamScanDocs)
+}
+
+// ObserveStreamOnTarget reports a streaming scan that finished within its
+// estimate; the gate decays halfway back toward its seed.
+func (pl *Planner) ObserveStreamOnTarget() {
+	decayGate(&pl.tun.minStreamScanDocs, MinStreamScanDocs)
+}
+
+func raiseGate(g *atomic.Int64, seed int64) {
+	for {
+		cur := g.Load()
+		eff := cur
+		if eff < seed {
+			eff = seed
+		}
+		next := eff * 2
+		if next > seed*tunableCeil {
+			next = seed * tunableCeil
+		}
+		if g.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+func decayGate(g *atomic.Int64, seed int64) {
+	for {
+		cur := g.Load()
+		if cur <= seed {
+			return
+		}
+		next := seed + (cur-seed)/2
+		if g.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// CountReopt records one mid-stream re-optimization event for /statz and
+// /metrics. Actions: "materialize" (stream-scan flipped to a materialized
+// remainder) and "build-side" (hash-join build side switched).
+func (pl *Planner) CountReopt(action string) {
+	switch action {
+	case "materialize":
+		pl.tun.reoptMaterialize.Add(1)
+	case "build-side":
+		pl.tun.reoptBuildSide.Add(1)
+	}
+}

@@ -32,15 +32,16 @@ type QueryRequest struct {
 	Pattern  string `json:"pattern,omitempty"`  // tossql pattern syntax
 	Expr     string `json:"expr,omitempty"`     // tossql algebra-expression syntax
 
-	SL        []int    `json:"sl,omitempty"`         // pattern labels whose subtrees are kept
-	Limit     int      `json:"limit,omitempty"`      // answer cap; selections stop scanning early
-	Stream    bool     `json:"stream,omitempty"`     // NDJSON response, one answer per line (also ?stream=1)
-	Seqs      bool     `json:"seqs,omitempty"`       // attach each answer's global insertion sequence (selections; routers merge on it)
-	Ranked    bool     `json:"ranked,omitempty"`     // order selection answers by similarity score
-	Analyze   bool     `json:"analyze,omitempty"`    // attach the EXPLAIN ANALYZE report (bypasses the cache)
-	NoPlanner bool     `json:"no_planner,omitempty"` // disable cost-based planning for this query
-	Measure   string   `json:"measure,omitempty"`    // similarity measure override (SEO variant built once, reused)
-	Eps       *float64 `json:"eps,omitempty"`        // epsilon override
+	SL         []int    `json:"sl,omitempty"`          // pattern labels whose subtrees are kept
+	Limit      int      `json:"limit,omitempty"`       // answer cap; selections stop scanning early
+	Stream     bool     `json:"stream,omitempty"`      // NDJSON response, one answer per line (also ?stream=1)
+	Seqs       bool     `json:"seqs,omitempty"`        // attach each answer's global insertion sequence (selections; routers merge on it)
+	Ranked     bool     `json:"ranked,omitempty"`      // order selection answers by similarity score
+	Analyze    bool     `json:"analyze,omitempty"`     // attach the EXPLAIN ANALYZE report (bypasses the cache)
+	NoPlanner  bool     `json:"no_planner,omitempty"`  // disable cost-based planning for this query
+	NoAdaptive bool     `json:"no_adaptive,omitempty"` // keep the planner but disable feedback corrections and mid-stream re-optimization
+	Measure    string   `json:"measure,omitempty"`     // similarity measure override (SEO variant built once, reused)
+	Eps        *float64 `json:"eps,omitempty"`         // epsilon override
 
 	TimeoutMS int    `json:"timeout_ms,omitempty"` // per-request deadline (default/max from server config)
 	Format    string `json:"format,omitempty"`     // "json" (default) or "xml"
@@ -49,11 +50,11 @@ type QueryRequest struct {
 // QueryResponse is the JSON answer shape; the XML format carries the same
 // fields as attributes/elements of <answers>.
 type QueryResponse struct {
-	Op        string   `json:"op"`
-	Instance  string   `json:"instance,omitempty"`
-	Count     int      `json:"count"`
-	Cached    bool     `json:"cached"`
-	ElapsedMS float64  `json:"elapsed_ms"`
+	Op        string  `json:"op"`
+	Instance  string  `json:"instance,omitempty"`
+	Count     int     `json:"count"`
+	Cached    bool    `json:"cached"`
+	ElapsedMS float64 `json:"elapsed_ms"`
 	// OntologyVersion is the ontology snapshot the query executed against
 	// (see /v1/ontology); answers computed before a live mutation carry the
 	// version they were computed on.
@@ -404,13 +405,14 @@ type streamTrailer struct {
 // so clients can distinguish truncation from completion.
 func (s *Server) executeStream(ctx context.Context, w http.ResponseWriter, sys *core.System, op, instance string, req *QueryRequest, pat *pattern.Tree, start time.Time) error {
 	qreq := core.QueryRequest{
-		Pattern:   pat,
-		Instance:  instance,
-		Adorn:     req.SL,
-		Limit:     req.Limit,
-		Trace:     true,
-		NoPlanner: req.NoPlanner,
-		Stream:    true,
+		Pattern:    pat,
+		Instance:   instance,
+		Adorn:      req.SL,
+		Limit:      req.Limit,
+		Trace:      true,
+		NoPlanner:  req.NoPlanner,
+		NoAdaptive: req.NoAdaptive,
+		Stream:     true,
 	}
 	if op == "join" {
 		qreq.Right = req.Right
@@ -518,7 +520,7 @@ func (s *Server) cacheKey(sys *core.System, op string, req *QueryRequest, pat *p
 	} else {
 		b.WriteString(expr.String())
 	}
-	fmt.Fprintf(&b, "\x00sl=%v\x00limit=%d\x00ranked=%t\x00noplanner=%t\x00seqs=%t", req.SL, req.Limit, req.Ranked, req.NoPlanner, req.Seqs)
+	fmt.Fprintf(&b, "\x00sl=%v\x00limit=%d\x00ranked=%t\x00noplanner=%t\x00noadaptive=%t\x00seqs=%t", req.SL, req.Limit, req.Ranked, req.NoPlanner, req.NoAdaptive, req.Seqs)
 	fmt.Fprintf(&b, "\x00measure=%s\x00eps=%g\x00ov=%d", sys.Measure.Name(), sys.Epsilon, sys.OntologyVersion())
 	names := make([]string, 0, len(involved))
 	gens := map[string]uint64{}
@@ -544,14 +546,15 @@ func (s *Server) execute(ctx context.Context, sys *core.System, op, instance str
 	switch op {
 	case "select", "join", "ranked":
 		qreq := core.QueryRequest{
-			Pattern:   pat,
-			Instance:  instance,
-			Adorn:     req.SL,
-			Limit:     req.Limit,
-			Ranked:    op == "ranked",
-			Trace:     true,
-			Analyze:   req.Analyze,
-			NoPlanner: req.NoPlanner,
+			Pattern:    pat,
+			Instance:   instance,
+			Adorn:      req.SL,
+			Limit:      req.Limit,
+			Ranked:     op == "ranked",
+			Trace:      true,
+			Analyze:    req.Analyze,
+			NoPlanner:  req.NoPlanner,
+			NoAdaptive: req.NoAdaptive,
 		}
 		if op == "join" {
 			qreq.Right = req.Right

@@ -205,9 +205,9 @@ func TestOntologyMutationRejections(t *testing.T) {
 		body string
 		want int
 	}{
-		{`{"op":"add-edge","child":"a"}`, http.StatusBadRequest},           // missing parent
-		{`{"op":"constraint","x":"a"}`, http.StatusBadRequest},             // missing y
-		{`{"op":"frobnicate"}`, http.StatusBadRequest},                     // unknown op
+		{`{"op":"add-edge","child":"a"}`, http.StatusBadRequest},                           // missing parent
+		{`{"op":"constraint","x":"a"}`, http.StatusBadRequest},                             // missing y
+		{`{"op":"frobnicate"}`, http.StatusBadRequest},                                     // unknown op
 		{`{"op":"add-edge","child":"a","parent":"b","bogus":true}`, http.StatusBadRequest}, // unknown field
 		{`{"op":"constraint","kind":"gt","x":"a","y":"b"}`, http.StatusBadRequest},         // unknown kind
 		{`{"op":"add-edge","relation":"sibling","child":"a","parent":"b"}`, http.StatusBadRequest},

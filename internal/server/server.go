@@ -303,6 +303,34 @@ func (s *Server) registerMetrics() {
 		}
 	})
 
+	// Adaptive-execution feedback: correction-store activity, epoch-driven
+	// plan invalidations, and mid-stream re-optimizations (docs/PLANNER.md §7).
+	r.CounterFunc("toss_planner_corrections_recorded_total", "estimated-vs-actual rows folded into the correction store", s.plannerSample(func(c planner.Counters) float64 {
+		return float64(c.CorrectionsRecorded)
+	}))
+	r.CounterFunc("toss_planner_corrections_applied_total", "learned correction factors multiplied into estimates", s.plannerSample(func(c planner.Counters) float64 {
+		return float64(c.CorrectionsApplied)
+	}))
+	r.CounterFunc("toss_planner_corrections_epoch", "correction epoch (bumped on material factor moves; invalidates adaptive cached plans)", s.plannerSample(func(c planner.Counters) float64 {
+		return float64(c.CorrectionEpoch)
+	}))
+	r.GaugeFunc("toss_planner_corrections_entries", "live entries in the correction store", s.plannerSample(func(c planner.Counters) float64 {
+		return float64(c.FeedbackEntries)
+	}))
+	r.CounterFunc("toss_planner_corrections_invalidations_total", "adaptive cached plans evicted by an epoch move", s.plannerSample(func(c planner.Counters) float64 {
+		return float64(c.EpochInvalidations)
+	}))
+	r.CounterFunc("toss_exec_reopt_total", "mid-stream re-optimizations by action", func() []promtext.Sample {
+		if s.sys.Planner == nil {
+			return nil
+		}
+		c := s.sys.Planner.Counters()
+		return []promtext.Sample{
+			{Labels: map[string]string{"action": "materialize"}, Value: float64(c.ReoptMaterialize)},
+			{Labels: map[string]string{"action": "build-side"}, Value: float64(c.ReoptBuildSide)},
+		}
+	})
+
 	// Per-collection gauges and the cumulative atomic query counters the
 	// xmldb substrate already maintains, exposed with a collection label.
 	r.GaugeFunc("xmldb_collection_docs", "documents per collection", s.collectionGauge(func(in *core.Instance) float64 {
